@@ -1,0 +1,32 @@
+//! # jigsaw-analysis
+//!
+//! The paper's evaluation, § by §: every table and figure of
+//! *Jigsaw: Solving the Puzzle of Enterprise 802.11 Analysis* (SIGCOMM 2006)
+//! implemented as a streaming consumer of the pipeline's outputs.
+//!
+//! | paper artifact | module |
+//! |---|---|
+//! | Table 1 — trace summary | [`summary`] |
+//! | Figure 4 — CDF of group dispersion | [`dispersion`] |
+//! | §6 oracle + Figures 6 & 7 — coverage | [`coverage`] |
+//! | Figure 8 — diurnal activity time series | [`activity`] |
+//! | Figure 9 — interference loss rate CDF | [`interference`] |
+//! | Figure 10 — overprotective APs | [`protection`] |
+//! | Figure 11 — TCP loss rate, wireless vs wired | [`tcploss`] |
+//!
+//! Shared machinery lives in [`stats`] (CDFs, time series) and
+//! [`stations`] (learning which addresses are APs/clients and their
+//! b/g capabilities purely from observed frames — the analyses never peek
+//! at simulator ground truth).
+
+pub mod activity;
+pub mod coverage;
+pub mod dispersion;
+pub mod interference;
+pub mod protection;
+pub mod stations;
+pub mod stats;
+pub mod summary;
+pub mod tcploss;
+
+pub use stats::{Cdf, TimeSeries};

@@ -1,0 +1,225 @@
+//! Statistics helpers shared by all analyses: streaming CDFs and binned
+//! time series.
+
+/// A simple empirical CDF accumulator over `f64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Empty CDF.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// Value at quantile `q` in [0, 1]. Returns `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let idx = ((self.samples.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        Some(self.samples[idx])
+    }
+
+    /// Fraction of samples ≤ `v`.
+    pub fn fraction_below(&mut self, v: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.partition_point(|&x| x <= v);
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// Fraction of samples ≥ `v`.
+    pub fn fraction_at_least(&mut self, v: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let below = self.samples.partition_point(|&x| x < v);
+        (self.samples.len() - below) as f64 / self.samples.len() as f64
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// `(value, cumulative fraction)` points for plotting/printing,
+    /// down-sampled to at most `max_points`.
+    pub fn points(&mut self, max_points: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || max_points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let step = (n / max_points).max(1);
+        let mut out = Vec::with_capacity(n.div_ceil(step));
+        let mut i = step.saturating_sub(1);
+        loop {
+            let idx = i.min(n - 1);
+            out.push((self.samples[idx], (idx + 1) as f64 / n as f64));
+            if idx == n - 1 {
+                break;
+            }
+            i += step;
+        }
+        out
+    }
+}
+
+/// A time series binned over fixed-width intervals of the universal clock.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    /// Bin width (µs).
+    pub bin_us: u64,
+    /// Start of bin 0.
+    pub origin_us: u64,
+    bins: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bin width and origin.
+    pub fn new(origin_us: u64, bin_us: u64) -> Self {
+        assert!(bin_us > 0);
+        TimeSeries {
+            bin_us,
+            origin_us,
+            bins: Vec::new(),
+        }
+    }
+
+    /// Bin index of a timestamp.
+    pub fn bin_of(&self, ts: u64) -> usize {
+        (ts.saturating_sub(self.origin_us) / self.bin_us) as usize
+    }
+
+    /// Adds `v` to the bin of `ts`.
+    pub fn add(&mut self, ts: u64, v: f64) {
+        let b = self.bin_of(ts);
+        if b >= self.bins.len() {
+            self.bins.resize(b + 1, 0.0);
+        }
+        self.bins[b] += v;
+    }
+
+    /// Values per bin (empty trailing bins omitted).
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Total over all bins.
+    pub fn total(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// Maximum bin value.
+    pub fn peak(&self) -> f64 {
+        self.bins.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_quantiles() {
+        let mut c = Cdf::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            c.add(v);
+        }
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.quantile(1.0), Some(5.0));
+        assert_eq!(c.quantile(0.5), Some(3.0));
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn cdf_fractions() {
+        let mut c = Cdf::new();
+        for v in 1..=10 {
+            c.add(f64::from(v));
+        }
+        assert!((c.fraction_below(5.0) - 0.5).abs() < 1e-9);
+        assert!((c.fraction_at_least(9.0) - 0.2).abs() < 1e-9);
+        assert!((c.fraction_below(0.0)).abs() < 1e-9);
+        assert!((c.fraction_below(10.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_empty() {
+        let mut c = Cdf::new();
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.mean(), None);
+        assert!(c.points(10).is_empty());
+    }
+
+    #[test]
+    fn cdf_points_cover_range() {
+        let mut c = Cdf::new();
+        for v in 0..1000 {
+            c.add(f64::from(v));
+        }
+        let pts = c.points(10);
+        assert!(pts.len() <= 11);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn timeseries_binning() {
+        let mut t = TimeSeries::new(1_000, 60);
+        t.add(1_000, 1.0);
+        t.add(1_059, 2.0);
+        t.add(1_060, 5.0);
+        t.add(1_300, 7.0);
+        assert_eq!(t.bins()[0], 3.0);
+        assert_eq!(t.bins()[1], 5.0);
+        assert_eq!(t.bins()[5], 7.0);
+        assert_eq!(t.total(), 15.0);
+        assert_eq!(t.peak(), 7.0);
+    }
+
+    #[test]
+    fn timeseries_before_origin_clamps() {
+        let mut t = TimeSeries::new(10_000, 100);
+        t.add(5, 1.0); // before origin → bin 0
+        assert_eq!(t.bins()[0], 1.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Table 1 — trace summary characteristics.
+//!
+//! The paper's Table 1 reports, for a 24-hour trace: monitors/radios,
+//! total events, the PHY/CRC-error share, unified events, jframes, events
+//! per jframe, APs observed (in-building and external), unique clients,
+//! and traffic volumes. This module computes the same rows from the
+//! pipeline's outputs.
+
+use crate::stations::StationLearner;
+use jigsaw_core::jframe::JFrame;
+use jigsaw_core::pipeline::PipelineReport;
+use jigsaw_ieee80211::{FrameType, Micros};
+use jigsaw_trace::PhyStatus;
+
+/// Accumulates Table-1 statistics from the jframe stream.
+#[derive(Debug, Default)]
+pub struct SummaryBuilder {
+    stations: StationLearner,
+    events_total: u64,
+    events_phy_err: u64,
+    events_fcs_err: u64,
+    events_unified: u64,
+    jframes: u64,
+    valid_jframes: u64,
+    data_frames: u64,
+    mgmt_frames: u64,
+    ctrl_frames: u64,
+    bytes_on_air: u64,
+    first_ts: Option<Micros>,
+    last_ts: Micros,
+}
+
+/// The finished table.
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    /// Trace duration on the universal clock, µs.
+    pub duration_us: Micros,
+    /// Number of radios that contributed events.
+    pub radios: usize,
+    /// Total PHY events across all radios.
+    pub events_total: u64,
+    /// PHY-error events.
+    pub events_phy_err: u64,
+    /// FCS-error events.
+    pub events_fcs_err: u64,
+    /// Fraction of events that were PHY or CRC errors (paper: 47%).
+    pub error_fraction: f64,
+    /// Events unified into multi-or-single-instance jframes (valid frames
+    /// plus associated error frames — the paper's 1.58 B).
+    pub events_unified: u64,
+    /// jframes produced (the paper's 530 M).
+    pub jframes: u64,
+    /// jframes with at least one valid instance.
+    pub valid_jframes: u64,
+    /// Average events per jframe (the paper's 2.97).
+    pub events_per_jframe: f64,
+    /// Data / management / control frame counts among valid jframes.
+    pub data_frames: u64,
+    /// Management frames.
+    pub mgmt_frames: u64,
+    /// Control frames.
+    pub ctrl_frames: u64,
+    /// Total bytes that crossed the air in valid frames.
+    pub bytes_on_air: u64,
+    /// APs observed (addresses that beaconed) — in-building + external.
+    pub aps_observed: usize,
+    /// Unique client addresses observed.
+    pub clients_observed: usize,
+    /// TCP flows reconstructed / with complete handshakes.
+    pub flows: u64,
+    /// Flows with complete handshakes.
+    pub flows_established: u64,
+}
+
+impl SummaryBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one jframe.
+    pub fn observe(&mut self, jf: &JFrame) {
+        self.jframes += 1;
+        self.events_total += jf.instance_count() as u64;
+        for i in &jf.instances {
+            match i.status {
+                PhyStatus::PhyError => self.events_phy_err += 1,
+                PhyStatus::FcsError => self.events_fcs_err += 1,
+                PhyStatus::Ok => {}
+            }
+        }
+        if jf.valid {
+            self.valid_jframes += 1;
+            self.events_unified += jf.instance_count() as u64;
+            self.bytes_on_air += u64::from(jf.wire_len);
+            if let Some((subtype, _)) = jf.peek() {
+                match subtype.frame_type() {
+                    FrameType::Data => self.data_frames += 1,
+                    FrameType::Management => self.mgmt_frames += 1,
+                    FrameType::Control => self.ctrl_frames += 1,
+                }
+            }
+        }
+        if self.first_ts.is_none() {
+            self.first_ts = Some(jf.ts);
+        }
+        self.last_ts = self.last_ts.max(jf.ts);
+        self.stations.observe(jf);
+    }
+
+    /// Finalizes the table using the pipeline report for flow counts.
+    pub fn finish(self, report: &PipelineReport, radios: usize) -> TraceSummary {
+        let err = self.events_phy_err + self.events_fcs_err;
+        TraceSummary {
+            duration_us: self.last_ts.saturating_sub(self.first_ts.unwrap_or(0)),
+            radios,
+            events_total: self.events_total,
+            events_phy_err: self.events_phy_err,
+            events_fcs_err: self.events_fcs_err,
+            error_fraction: if self.events_total > 0 {
+                err as f64 / self.events_total as f64
+            } else {
+                0.0
+            },
+            events_unified: self.events_unified,
+            jframes: self.jframes,
+            valid_jframes: self.valid_jframes,
+            events_per_jframe: if self.valid_jframes > 0 {
+                self.events_unified as f64 / self.valid_jframes as f64
+            } else {
+                0.0
+            },
+            data_frames: self.data_frames,
+            mgmt_frames: self.mgmt_frames,
+            ctrl_frames: self.ctrl_frames,
+            bytes_on_air: self.bytes_on_air,
+            aps_observed: self.stations.aps.len(),
+            clients_observed: self.stations.clients.len(),
+            flows: report.transport.flows,
+            flows_established: report.transport.established,
+        }
+    }
+}
+
+impl TraceSummary {
+    /// Renders the table in the paper's row format.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let mut row = |k: &str, v: String| {
+            s.push_str(&format!("{k:<38} {v}\n"));
+        };
+        row("Trace duration (s)", format!("{:.1}", self.duration_us as f64 / 1e6));
+        row("Radios", self.radios.to_string());
+        row("Total events", self.events_total.to_string());
+        row(
+            "PHY/CRC error events",
+            format!(
+                "{} ({:.0}%)",
+                self.events_phy_err + self.events_fcs_err,
+                self.error_fraction * 100.0
+            ),
+        );
+        row("Events unified", self.events_unified.to_string());
+        row("jframes", self.jframes.to_string());
+        row("Events per valid jframe", format!("{:.2}", self.events_per_jframe));
+        row("Data frames", self.data_frames.to_string());
+        row("Management frames", self.mgmt_frames.to_string());
+        row("Control frames", self.ctrl_frames.to_string());
+        row("Bytes on air", self.bytes_on_air.to_string());
+        row("APs observed", self.aps_observed.to_string());
+        row("Unique clients", self.clients_observed.to_string());
+        row(
+            "TCP flows (handshake-complete)",
+            format!("{} ({})", self.flows, self.flows_established),
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_core::pipeline::{Pipeline, PipelineConfig};
+    use jigsaw_sim::scenario::ScenarioConfig;
+
+    #[test]
+    fn summary_from_tiny_world() {
+        let out = ScenarioConfig::tiny(3).run();
+        let mut b = SummaryBuilder::new();
+        let report = Pipeline::run(
+            out.memory_streams(),
+            &PipelineConfig::default(),
+            |jf| b.observe(jf),
+            |_| {},
+        )
+        .unwrap();
+        let t = b.finish(&report, out.radio_meta.len());
+        assert_eq!(t.events_total, out.total_events());
+        assert!(t.jframes > 0);
+        assert!(t.events_per_jframe > 1.0, "epj {}", t.events_per_jframe);
+        assert!(t.error_fraction > 0.0 && t.error_fraction < 0.9);
+        assert_eq!(t.aps_observed, 1);
+        assert!(t.clients_observed >= 1);
+        assert!(t.flows_established > 0);
+        assert!(t.data_frames > 50);
+        assert!(t.mgmt_frames > 50); // beacons
+        assert!(t.ctrl_frames > 20); // acks
+        let rendered = t.render();
+        assert!(rendered.contains("jframes"));
+        assert!(rendered.contains("Unique clients"));
+    }
+}

@@ -1,0 +1,81 @@
+//! # jigsaw-bench
+//!
+//! The reproduction harness: scenario presets scaled to a CPU/RAM budget,
+//! shared runners, and the `repro` binary that regenerates every table and
+//! figure of the paper's evaluation. Criterion benchmarks (merge
+//! throughput, scaling, baselines) live under `benches/`.
+
+use jigsaw_core::pipeline::{Pipeline, PipelineConfig, PipelineReport};
+use jigsaw_sim::output::SimOutput;
+use jigsaw_sim::scenario::ScenarioConfig;
+
+/// The paper-scale scenario at a CPU/RAM scale factor.
+///
+/// `scale = 1.0` simulates a full diurnal "day" compressed into 720 s of
+/// simulated time with 39 pods / 156 radios / 44+12 APs / 60 clients.
+/// Smaller scales shorten the represented day proportionally (the diurnal
+/// curve is preserved; only its sampling shrinks).
+pub fn paper_scenario(seed: u64, scale: f64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_day(seed);
+    let scale = scale.clamp(0.02, 4.0);
+    cfg.day_us = (720_000_000.0 * scale) as u64;
+    cfg.day_compression = 86_400_000_000.0 / cfg.day_us as f64;
+    cfg.protection_timeout_us = (3_600_000_000.0 / cfg.day_compression) as u64;
+    cfg.protection_check_us = (cfg.protection_timeout_us / 20).max(250_000);
+    cfg
+}
+
+/// The per-"minute" bin width for a scenario: the represented day has 1440
+/// minutes regardless of compression.
+pub fn minute_bin_us(day_us: u64) -> u64 {
+    (day_us / 1440).max(1)
+}
+
+/// Runs the full pipeline with no sinks and returns the report
+/// (benchmarks; figure runners attach their own sinks).
+pub fn run_pipeline_plain(out: &SimOutput) -> PipelineReport {
+    Pipeline::run(
+        out.memory_streams(),
+        &PipelineConfig::default(),
+        |_| {},
+        |_| {},
+    )
+    .expect("pipeline")
+}
+
+/// Builds memory streams for a subset of radios (Figure 7 pod reduction).
+pub fn subset_streams(
+    out: &SimOutput,
+    radios: &[usize],
+) -> Vec<jigsaw_trace::stream::MemoryStream> {
+    radios
+        .iter()
+        .map(|&r| {
+            jigsaw_trace::stream::MemoryStream::new(out.radio_meta[r], out.traces[r].clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_scaling() {
+        let full = paper_scenario(1, 1.0);
+        assert_eq!(full.day_us, 720_000_000);
+        assert_eq!(full.n_pods, 39);
+        let half = paper_scenario(1, 0.5);
+        assert_eq!(half.day_us, 360_000_000);
+        // Compression doubles when the day halves.
+        assert!((half.day_compression / full.day_compression - 2.0).abs() < 1e-9);
+        // Protection timeout keeps representing one hour of the day.
+        assert_eq!(half.protection_timeout_us * 24, half.day_us / 2 * 2);
+    }
+
+    #[test]
+    fn minute_bins() {
+        assert_eq!(minute_bin_us(720_000_000), 500_000);
+        assert_eq!(minute_bin_us(1_440), 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! The jframe: one physical transmission, unified from every radio that
+//! heard it (paper §4.2).
+
+use jigsaw_ieee80211::frame::Frame;
+use jigsaw_ieee80211::wire::parse_frame;
+use jigsaw_ieee80211::{Micros, PhyRate};
+use jigsaw_trace::{PhyStatus, RadioId};
+
+/// One radio's reception of the transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// The radio that heard it.
+    pub radio: RadioId,
+    /// Raw local timestamp from the trace.
+    pub ts_local: Micros,
+    /// The instance's timestamp translated to universal time at the moment
+    /// of unification.
+    pub ts_universal: Micros,
+    /// Reported signal strength.
+    pub rssi_dbm: i16,
+    /// Decode quality at this radio.
+    pub status: PhyStatus,
+}
+
+/// A unified frame: the synchronized record of one on-air transmission.
+#[derive(Debug, Clone)]
+pub struct JFrame {
+    /// Universal timestamp: the median of the instances' adjusted
+    /// timestamps (µs). Refers to the end of the PLCP header, which is when
+    /// monitor hardware timestamps receptions.
+    pub ts: Micros,
+    /// Frame contents from the best (FCS-valid, longest) instance,
+    /// possibly snap-truncated. Empty for pure PHY-error events.
+    pub bytes: Vec<u8>,
+    /// True on-air length in bytes.
+    pub wire_len: u32,
+    /// PLCP rate.
+    pub rate: PhyRate,
+    /// Every reception that was unified into this jframe.
+    pub instances: Vec<Instance>,
+    /// Worst-case time offset between any two instances (µs) — the paper's
+    /// *group dispersion* (Figure 4 plots its CDF).
+    pub dispersion: Micros,
+    /// True if at least one instance decoded with a valid FCS.
+    pub valid: bool,
+    /// True if this frame was usable as a synchronization reference
+    /// (content-unique, non-retry).
+    pub unique: bool,
+}
+
+impl JFrame {
+    /// Number of instances (the paper's trace averages 2.97).
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Parses the frame contents (FCS-valid instances only).
+    ///
+    /// Returns `None` for error-only jframes or undecodable contents.
+    /// Snap-truncated frames fail the FCS check by construction, so complete
+    /// capture is required — analyses that only need headers use
+    /// [`JFrame::peek`] instead.
+    pub fn parse(&self) -> Option<Frame> {
+        if !self.valid || self.bytes.is_empty() {
+            return None;
+        }
+        parse_frame(&self.bytes).ok()
+    }
+
+    /// Best-effort `(subtype, transmitter)` even for corrupt/snapped frames.
+    pub fn peek(&self) -> Option<(jigsaw_ieee80211::Subtype, Option<jigsaw_ieee80211::MacAddr>)> {
+        jigsaw_ieee80211::wire::peek_transmitter(&self.bytes)
+    }
+
+    /// True when the full frame body was captured (no snap truncation).
+    pub fn is_complete(&self) -> bool {
+        self.bytes.len() as u32 == self.wire_len
+    }
+
+    /// The airtime of the MAC payload portion (everything after the PLCP),
+    /// used to place the end of the transmission on the universal timeline.
+    pub fn payload_airtime_us(&self) -> Micros {
+        use jigsaw_ieee80211::timing::{airtime_us, Preamble};
+        let full = airtime_us(self.rate, self.wire_len as usize, Preamble::Long);
+        let plcp = match self.rate.modulation() {
+            jigsaw_ieee80211::Modulation::Ofdm => jigsaw_ieee80211::timing::OFDM_PLCP_US,
+            _ => jigsaw_ieee80211::timing::DSSS_LONG_PLCP_US,
+        };
+        full.saturating_sub(plcp)
+    }
+
+    /// Universal time at which the transmission left the air.
+    pub fn end_ts(&self) -> Micros {
+        self.ts + self.payload_airtime_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_ieee80211::frame::Frame;
+    use jigsaw_ieee80211::wire::serialize_frame;
+    use jigsaw_ieee80211::MacAddr;
+
+    fn jf(bytes: Vec<u8>, wire_len: u32, valid: bool) -> JFrame {
+        JFrame {
+            ts: 1000,
+            bytes,
+            wire_len,
+            rate: PhyRate::R11,
+            instances: vec![],
+            dispersion: 0,
+            valid,
+            unique: false,
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let ack = Frame::Ack {
+            duration: 0,
+            ra: MacAddr::local(1, 1),
+        };
+        let bytes = serialize_frame(&ack);
+        let len = bytes.len() as u32;
+        let j = jf(bytes, len, true);
+        assert!(j.is_complete());
+        assert_eq!(j.parse(), Some(ack));
+    }
+
+    #[test]
+    fn invalid_jframe_does_not_parse() {
+        let j = jf(vec![1, 2, 3], 3, false);
+        assert_eq!(j.parse(), None);
+        let j2 = jf(vec![], 0, true);
+        assert_eq!(j2.parse(), None);
+    }
+
+    #[test]
+    fn end_ts_accounts_for_airtime() {
+        // 14-byte ACK at 11 Mbps: payload is ceil(112*10/110)=11 µs.
+        let j = jf(vec![0; 14], 14, true);
+        assert_eq!(j.end_ts(), 1000 + 11);
+    }
+
+    #[test]
+    fn peek_works_on_truncated() {
+        let data = Frame::Data(jigsaw_ieee80211::frame::DataFrame {
+            duration: 44,
+            addr1: MacAddr::local(1, 1),
+            addr2: MacAddr::local(2, 2),
+            addr3: MacAddr::local(3, 3),
+            seq: jigsaw_ieee80211::SeqNum::new(5),
+            frag: 0,
+            flags: Default::default(),
+            null: false,
+            body: vec![0; 500],
+        });
+        let bytes = serialize_frame(&data);
+        let mut j = jf(bytes[..40].to_vec(), bytes.len() as u32, false);
+        j.rate = PhyRate::R54;
+        assert!(!j.is_complete());
+        let (st, ta) = j.peek().unwrap();
+        assert_eq!(st, jigsaw_ieee80211::Subtype::Data);
+        assert_eq!(ta, Some(MacAddr::local(2, 2)));
+    }
+}

@@ -1,0 +1,45 @@
+//! # jigsaw-core
+//!
+//! The Jigsaw system itself (SIGCOMM 2006): merging hundreds of passive
+//! per-radio traces into one globally synchronized view, then reconstructing
+//! link-layer and transport-layer conversations from it.
+//!
+//! The crate mirrors the paper's architecture:
+//!
+//! * [`mod@sync::bootstrap`] — **bootstrap synchronization** (§4.1): find
+//!   content-unique reference frames heard by multiple radios in the first
+//!   (NTP-delimited) second of each trace, build overlapping synchronization
+//!   sets, and BFS a consistent per-radio clock offset, bridging channels
+//!   through monitors whose two radios share a single clock;
+//! * [`sync::clock`] — per-radio clock state during merging: offset, skew,
+//!   and an EWMA drift predictor, continuously corrected by unification
+//!   (§4.2 "clock adjustment" / "managing skew and drift");
+//! * [`unify`] — **frame unification** (§4.2): a single priority queue over
+//!   all radio cursors, a search window, content comparison with
+//!   short-circuit, transmitter-address matching for corrupted instances,
+//!   median timestamps, group dispersion, and opportunistic
+//!   resynchronization on every unique frame;
+//! * [`link`] — **link-layer reconstruction** (§5.1): jframes → transmission
+//!   attempts (CTS-to-self + DATA + ACK, paired via the Duration field) →
+//!   frame exchanges (retry coalescing by sequence-number delta, the
+//!   R1–R4 rules, inference for missing frames);
+//! * [`transport`] — **transport reconstruction** (§5.2): TCP flow
+//!   reassembly, covering-ACK delivery oracle, monitor-omission inference,
+//!   and wireless/wired loss attribution;
+//! * [`pipeline`] — the single-pass streaming driver tying it together
+//!   (requirement 3 of §4: faster than real time, one pass);
+//! * [`baseline`] — the comparison mergers the benchmarks run against:
+//!   a `mergecap`-style local-timestamp merge and a Yeo-style
+//!   beacon-reference synchronizer without skew management.
+
+pub mod baseline;
+pub mod jframe;
+pub mod link;
+pub mod pipeline;
+pub mod sync;
+pub mod transport;
+pub mod unify;
+
+pub use jframe::{Instance, JFrame};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
+pub use unify::{MergeConfig, Merger};

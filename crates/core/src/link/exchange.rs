@@ -1,0 +1,460 @@
+//! Frame-exchange assembly (paper §5.1, right side of Figure 5).
+//!
+//! A *frame exchange* is the complete set of transmission attempts —
+//! original plus link-layer retransmissions — that ends with an MSDU either
+//! delivered or abandoned. Attempts from the same transmitter are composed
+//! by the sequence-number delta rules:
+//!
+//! * **R1** — group-addressed frames are never retransmitted: attempt ≡
+//!   exchange;
+//! * **R2** — delta 0: a retransmission; coalesce into the open exchange;
+//! * **R3** — delta 1: a new exchange begins; the previous one closes and
+//!   any queued sequence-less attempts are resolved against it;
+//! * **R4** — delta > 1: a gap the monitors missed entirely; no inference —
+//!   flush and start fresh.
+//!
+//! Heuristics from the paper: exchanges complete within 500 ms; ACKs are
+//! less likely to be lost than data; the coded rate never increases on a
+//! retry (used to sanity-check R2 coalescing); retransmissions usually set
+//! the retry bit.
+
+use crate::link::attempt::{Attempt, AttemptOutcome};
+use jigsaw_ieee80211::{MacAddr, Micros, PhyRate, SeqNum, Subtype};
+use std::collections::HashMap;
+
+/// Delivery status of an exchange as seen from the link layer alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryStatus {
+    /// An ACK proves delivery.
+    Delivered,
+    /// No ACK observed — inherently ambiguous from a passive vantage point
+    /// (the transport layer may still prove delivery via covering ACKs).
+    Ambiguous,
+    /// Group-addressed: delivery is undefined at the link layer.
+    GroupAddressed,
+}
+
+/// One reconstructed frame exchange.
+#[derive(Debug, Clone)]
+pub struct Exchange {
+    /// Transmitter.
+    pub transmitter: MacAddr,
+    /// Receiver (None when only inferred attempts were seen).
+    pub receiver: Option<MacAddr>,
+    /// Sequence number (None for fully inferred exchanges).
+    pub seq: Option<SeqNum>,
+    /// Universal time of the first attempt.
+    pub first_ts: Micros,
+    /// Universal time the last attempt ended.
+    pub last_end: Micros,
+    /// Observed transmission attempts.
+    pub attempts: u8,
+    /// Attempts whose DATA frame was inferred rather than captured.
+    pub inferred_attempts: u8,
+    /// Whether any attempt was positively acknowledged.
+    pub delivery: DeliveryStatus,
+    /// Subtype of the MSDU.
+    pub subtype: Subtype,
+    /// Rate of the *first* observed attempt (rate adaptation analyses).
+    pub first_rate: PhyRate,
+    /// Rate of the last attempt.
+    pub last_rate: PhyRate,
+    /// Whether any attempt used CTS-to-self protection.
+    pub protected: bool,
+    /// On-air length of the MSDU frame.
+    pub wire_len: u32,
+    /// Best captured bytes of the DATA frame (for transport parsing).
+    pub bytes: Vec<u8>,
+    /// True if `bytes` is a complete FCS-valid capture.
+    pub data_valid: bool,
+    /// Maximum instance count over the attempts (coverage bookkeeping).
+    pub instance_count: usize,
+}
+
+impl Exchange {
+    /// Retries = attempts − 1.
+    pub fn retries(&self) -> u8 {
+        self.attempts.saturating_sub(1)
+    }
+}
+
+/// Counters for the paper's §5.1 numbers (0.58% of attempts, 0.14% of
+/// exchanges require inference).
+#[derive(Debug, Clone, Default)]
+pub struct LinkStats {
+    /// Total attempts consumed.
+    pub attempts: u64,
+    /// Attempts requiring inference (missing DATA).
+    pub attempts_inferred: u64,
+    /// Exchanges emitted.
+    pub exchanges: u64,
+    /// Exchanges containing at least one inferred attempt.
+    pub exchanges_inferred: u64,
+    /// Exchanges flushed by the R4 gap rule.
+    pub seq_gaps: u64,
+    /// Exchanges closed by the 500 ms timeout.
+    pub timeouts: u64,
+    /// Delivered / ambiguous tallies.
+    pub delivered: u64,
+    /// Exchanges with no ACK evidence.
+    pub ambiguous: u64,
+}
+
+/// Exchanges must complete within this bound (paper heuristic).
+pub const EXCHANGE_TIMEOUT_US: Micros = 500_000;
+
+#[derive(Debug)]
+struct OpenExchange {
+    x: Exchange,
+}
+
+/// Streaming exchange assembler: feed time-ordered attempts.
+#[derive(Debug, Default)]
+pub struct ExchangeAssembler {
+    open: HashMap<MacAddr, OpenExchange>,
+    /// Link-layer statistics.
+    pub stats: LinkStats,
+}
+
+impl ExchangeAssembler {
+    /// Creates an assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn close(&mut self, o: OpenExchange, out: &mut Vec<Exchange>) {
+        self.stats.exchanges += 1;
+        if o.x.inferred_attempts > 0 {
+            self.stats.exchanges_inferred += 1;
+        }
+        match o.x.delivery {
+            DeliveryStatus::Delivered => self.stats.delivered += 1,
+            DeliveryStatus::Ambiguous => self.stats.ambiguous += 1,
+            DeliveryStatus::GroupAddressed => {}
+        }
+        out.push(o.x);
+    }
+
+    /// Feeds one attempt; closed exchanges are appended to `out`.
+    pub fn push(&mut self, a: Attempt, out: &mut Vec<Exchange>) {
+        self.stats.attempts += 1;
+        if a.inferred_data {
+            self.stats.attempts_inferred += 1;
+        }
+        let now = a.ts;
+        self.flush_older_than(now.saturating_sub(EXCHANGE_TIMEOUT_US), true, out);
+
+        // R1: group-addressed — the attempt is the exchange.
+        if a.outcome == AttemptOutcome::NoAckExpected {
+            let x = exchange_from(&a, DeliveryStatus::GroupAddressed);
+            self.stats.exchanges += 1;
+            out.push(x);
+            return;
+        }
+        let Some(t) = a.transmitter else {
+            // Untraceable inferred attempt; count it as its own exchange.
+            let x = exchange_from(&a, delivery_of(&a));
+            self.stats.exchanges += 1;
+            self.stats.exchanges_inferred += 1;
+            out.push(x);
+            return;
+        };
+
+        match self.open.remove(&t) {
+            None => {
+                self.open.insert(t, OpenExchange { x: exchange_from(&a, delivery_of(&a)) });
+            }
+            Some(mut o) => {
+                let same = match (a.seq, o.x.seq) {
+                    // Sequence-less (inferred) attempts attach to the open
+                    // exchange when the receiver is compatible and the
+                    // exchange is still unresolved (paper: queued until more
+                    // data resolves their position; ACKs are less likely
+                    // lost than data, so an inferred-ACK attempt usually
+                    // belongs to the open, unacked exchange).
+                    (None, _) => o.x.delivery != DeliveryStatus::Delivered,
+                    // R2: same sequence → retransmission.
+                    (Some(s), Some(os)) => s.delta(os) == 0,
+                    (Some(_), None) => false,
+                };
+                if same {
+                    merge_attempt(&mut o.x, &a);
+                    self.open.insert(t, o);
+                } else {
+                    let delta = match (a.seq, o.x.seq) {
+                        (Some(s), Some(os)) => s.delta(os),
+                        _ => 1,
+                    };
+                    if delta > 1 {
+                        self.stats.seq_gaps += 1;
+                    }
+                    self.close(o, out);
+                    self.open
+                        .insert(t, OpenExchange { x: exchange_from(&a, delivery_of(&a)) });
+                }
+            }
+        }
+
+        // A delivered exchange can close immediately: the sender moves on.
+        if let Some(o) = self.open.get(&t) {
+            if o.x.delivery == DeliveryStatus::Delivered {
+                let o = self.open.remove(&t).expect("present");
+                self.close(o, out);
+            }
+        }
+    }
+
+    /// Closes exchanges idle since before `cutoff`.
+    fn flush_older_than(&mut self, cutoff: Micros, count_timeout: bool, out: &mut Vec<Exchange>) {
+        let mut stale: Vec<MacAddr> = self
+            .open
+            .iter()
+            .filter(|(_, o)| o.x.last_end < cutoff)
+            .map(|(k, _)| *k)
+            .collect();
+        // Deterministic emission order (exchange start, then address).
+        stale.sort_by_key(|k| (self.open[k].x.first_ts, k.to_u64()));
+        for k in stale {
+            let o = self.open.remove(&k).expect("present");
+            if count_timeout {
+                self.stats.timeouts += 1;
+            }
+            self.close(o, out);
+        }
+    }
+
+    /// End of stream.
+    pub fn finish(&mut self, out: &mut Vec<Exchange>) {
+        self.flush_older_than(Micros::MAX, false, out);
+    }
+}
+
+fn delivery_of(a: &Attempt) -> DeliveryStatus {
+    match a.outcome {
+        AttemptOutcome::Acked => DeliveryStatus::Delivered,
+        AttemptOutcome::NoAckSeen => DeliveryStatus::Ambiguous,
+        AttemptOutcome::NoAckExpected => DeliveryStatus::GroupAddressed,
+    }
+}
+
+fn exchange_from(a: &Attempt, delivery: DeliveryStatus) -> Exchange {
+    Exchange {
+        transmitter: a.transmitter.unwrap_or(MacAddr::ZERO),
+        receiver: a.receiver,
+        seq: a.seq,
+        first_ts: a.ts,
+        last_end: a.end_ts,
+        attempts: 1,
+        inferred_attempts: u8::from(a.inferred_data),
+        delivery,
+        subtype: a.subtype,
+        first_rate: a.rate,
+        last_rate: a.rate,
+        protected: a.protected,
+        wire_len: a.wire_len,
+        bytes: a.bytes.clone(),
+        data_valid: a.data_valid,
+        instance_count: a.instance_count,
+    }
+}
+
+fn merge_attempt(x: &mut Exchange, a: &Attempt) {
+    x.attempts = x.attempts.saturating_add(1);
+    x.inferred_attempts = x.inferred_attempts.saturating_add(u8::from(a.inferred_data));
+    x.last_end = x.last_end.max(a.end_ts);
+    x.last_rate = a.rate;
+    x.protected |= a.protected;
+    x.instance_count = x.instance_count.max(a.instance_count);
+    if a.outcome == AttemptOutcome::Acked {
+        x.delivery = DeliveryStatus::Delivered;
+    }
+    if a.receiver.is_some() && x.receiver.is_none() {
+        x.receiver = a.receiver;
+    }
+    if a.seq.is_some() && x.seq.is_none() {
+        x.seq = a.seq;
+    }
+    // Keep the best capture for transport parsing.
+    if (a.data_valid && !x.data_valid)
+        || (a.data_valid == x.data_valid && a.bytes.len() > x.bytes.len())
+    {
+        x.bytes = a.bytes.clone();
+        x.data_valid = a.data_valid;
+        x.wire_len = x.wire_len.max(a.wire_len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attempt(
+        tx: u32,
+        seq: Option<u16>,
+        ts: Micros,
+        outcome: AttemptOutcome,
+        retry: bool,
+    ) -> Attempt {
+        Attempt {
+            transmitter: Some(MacAddr::local(3, tx)),
+            receiver: Some(MacAddr::local(0, 1)),
+            ts,
+            end_ts: ts + 500,
+            rate: PhyRate::R11,
+            seq: seq.map(SeqNum::new),
+            retry,
+            subtype: Subtype::Data,
+            protected: false,
+            outcome,
+            inferred_data: false,
+            wire_len: 200,
+            bytes: vec![1, 2, 3],
+            data_valid: true,
+            instance_count: 3,
+        }
+    }
+
+    fn run(attempts: Vec<Attempt>) -> (Vec<Exchange>, LinkStats) {
+        let mut asm = ExchangeAssembler::new();
+        let mut out = Vec::new();
+        for a in attempts {
+            asm.push(a, &mut out);
+        }
+        asm.finish(&mut out);
+        (out, asm.stats.clone())
+    }
+
+    #[test]
+    fn single_acked_attempt_single_exchange() {
+        let (out, stats) = run(vec![attempt(1, Some(10), 1_000, AttemptOutcome::Acked, false)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].attempts, 1);
+        assert_eq!(out[0].delivery, DeliveryStatus::Delivered);
+        assert_eq!(stats.delivered, 1);
+    }
+
+    #[test]
+    fn r2_retries_coalesce() {
+        let (out, _) = run(vec![
+            attempt(1, Some(10), 1_000, AttemptOutcome::NoAckSeen, false),
+            attempt(1, Some(10), 3_000, AttemptOutcome::NoAckSeen, true),
+            attempt(1, Some(10), 6_000, AttemptOutcome::Acked, true),
+            attempt(1, Some(11), 9_000, AttemptOutcome::Acked, false),
+        ]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].attempts, 3);
+        assert_eq!(out[0].retries(), 2);
+        assert_eq!(out[0].delivery, DeliveryStatus::Delivered);
+        assert_eq!(out[1].attempts, 1);
+    }
+
+    #[test]
+    fn r3_new_seq_closes_previous() {
+        let (out, stats) = run(vec![
+            attempt(1, Some(10), 1_000, AttemptOutcome::NoAckSeen, false),
+            attempt(1, Some(11), 5_000, AttemptOutcome::Acked, false),
+        ]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].seq, Some(SeqNum::new(10)));
+        assert_eq!(out[0].delivery, DeliveryStatus::Ambiguous);
+        assert_eq!(out[1].delivery, DeliveryStatus::Delivered);
+        assert_eq!(stats.ambiguous, 1);
+        assert_eq!(stats.delivered, 1);
+    }
+
+    #[test]
+    fn r4_gap_counted() {
+        let (out, stats) = run(vec![
+            attempt(1, Some(10), 1_000, AttemptOutcome::NoAckSeen, false),
+            attempt(1, Some(15), 5_000, AttemptOutcome::Acked, false),
+        ]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.seq_gaps, 1);
+    }
+
+    #[test]
+    fn r1_broadcast_immediate() {
+        let mut a = attempt(1, Some(3), 1_000, AttemptOutcome::NoAckExpected, false);
+        a.receiver = Some(MacAddr::BROADCAST);
+        let (out, _) = run(vec![a]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].delivery, DeliveryStatus::GroupAddressed);
+    }
+
+    #[test]
+    fn sequence_wrap_is_r3() {
+        let (out, stats) = run(vec![
+            attempt(1, Some(4095), 1_000, AttemptOutcome::Acked, false),
+            attempt(1, Some(0), 3_000, AttemptOutcome::Acked, false),
+        ]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.seq_gaps, 0, "wrap must read as delta 1");
+    }
+
+    #[test]
+    fn inferred_attempt_attaches_to_open_unacked_exchange() {
+        let mut inferred = attempt(1, None, 4_000, AttemptOutcome::Acked, false);
+        inferred.inferred_data = true;
+        let (out, stats) = run(vec![
+            attempt(1, Some(20), 1_000, AttemptOutcome::NoAckSeen, false),
+            inferred,
+        ]);
+        // The inferred ACK resolves the open exchange as delivered.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].attempts, 2);
+        assert_eq!(out[0].delivery, DeliveryStatus::Delivered);
+        assert_eq!(out[0].inferred_attempts, 1);
+        assert_eq!(stats.exchanges_inferred, 1);
+        assert_eq!(stats.attempts_inferred, 1);
+    }
+
+    #[test]
+    fn inferred_attempt_alone_is_inferred_exchange() {
+        let mut inferred = attempt(2, None, 4_000, AttemptOutcome::Acked, false);
+        inferred.inferred_data = true;
+        let (out, stats) = run(vec![inferred]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(stats.exchanges_inferred, 1);
+    }
+
+    #[test]
+    fn timeout_closes_stale_exchange() {
+        let (out, stats) = run(vec![
+            attempt(1, Some(30), 1_000, AttemptOutcome::NoAckSeen, false),
+            // Next attempt from the same station arrives 600 ms later with
+            // the SAME seq — but the 500 ms rule already closed the first.
+            attempt(1, Some(30), 700_000, AttemptOutcome::Acked, true),
+        ]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.timeouts, 1);
+    }
+
+    #[test]
+    fn independent_transmitters_do_not_interact() {
+        let (out, _) = run(vec![
+            attempt(1, Some(5), 1_000, AttemptOutcome::NoAckSeen, false),
+            attempt(2, Some(9), 1_200, AttemptOutcome::Acked, false),
+            attempt(1, Some(5), 2_000, AttemptOutcome::Acked, true),
+        ]);
+        assert_eq!(out.len(), 2);
+        let a = out
+            .iter()
+            .find(|x| x.transmitter == MacAddr::local(3, 1))
+            .unwrap();
+        assert_eq!(a.attempts, 2);
+    }
+
+    #[test]
+    fn best_bytes_kept_across_retries() {
+        let mut first = attempt(1, Some(7), 1_000, AttemptOutcome::NoAckSeen, false);
+        first.data_valid = false;
+        first.bytes = vec![1, 2];
+        let mut second = attempt(1, Some(7), 3_000, AttemptOutcome::Acked, true);
+        second.data_valid = true;
+        second.bytes = vec![1, 2, 3, 4, 5];
+        let (out, _) = run(vec![first, second]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].data_valid);
+        assert_eq!(out[0].bytes.len(), 5);
+    }
+}

@@ -1,0 +1,8 @@
+//! Link-layer reconstruction (paper §5.1): jframes → transmission attempts
+//! → frame exchanges, with inference for frames the monitors missed.
+
+pub mod attempt;
+pub mod exchange;
+
+pub use attempt::{Attempt, AttemptAssembler, AttemptOutcome};
+pub use exchange::{DeliveryStatus, Exchange, ExchangeAssembler, LinkStats};

@@ -1,0 +1,223 @@
+//! The single-pass streaming pipeline: bootstrap → unify → link → transport.
+//!
+//! Mirrors the paper's online design (§4, requirement 3): traces are
+//! consumed once, in time order, and every stage streams into the next.
+//! Analyses subscribe via sinks instead of materializing the 500M-jframe
+//! intermediate the paper's hardware had to contend with.
+
+use crate::jframe::JFrame;
+use crate::link::attempt::AttemptAssembler;
+use crate::link::exchange::{Exchange, ExchangeAssembler, LinkStats};
+use crate::sync::bootstrap::{bootstrap, BootstrapConfig, BootstrapError, BootstrapReport};
+use crate::transport::flow::{FlowRecord, TransportAnalyzer, TransportStats};
+use crate::unify::{MergeConfig, MergeStats, Merger};
+use jigsaw_trace::format::FormatError;
+use jigsaw_trace::stream::EventStream;
+use jigsaw_trace::{PhyEvent, RadioMeta};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfig {
+    /// Bootstrap parameters.
+    pub bootstrap: BootstrapConfig,
+    /// Unification parameters.
+    pub merge: MergeConfig,
+}
+
+/// Everything the pipeline reports at the end of a run.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// Bootstrap outcome.
+    pub bootstrap: BootstrapReport,
+    /// Merge statistics.
+    pub merge: MergeStats,
+    /// Attempt-assembly statistics.
+    pub attempts: crate::link::attempt::AttemptStats,
+    /// Exchange-assembly statistics (the paper's §5.1 inference rates).
+    pub link: LinkStats,
+    /// Per-flow transport records.
+    pub flows: Vec<FlowRecord>,
+    /// Aggregate transport statistics.
+    pub transport: TransportStats,
+}
+
+/// Errors from a pipeline run.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Bootstrap failed.
+    Bootstrap(BootstrapError),
+    /// Trace decoding failed.
+    Format(FormatError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Bootstrap(e) => write!(f, "bootstrap: {e}"),
+            PipelineError::Format(e) => write!(f, "trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<BootstrapError> for PipelineError {
+    fn from(e: BootstrapError) -> Self {
+        PipelineError::Bootstrap(e)
+    }
+}
+
+impl From<FormatError> for PipelineError {
+    fn from(e: FormatError) -> Self {
+        PipelineError::Format(e)
+    }
+}
+
+/// The pipeline driver.
+pub struct Pipeline;
+
+impl Pipeline {
+    /// Runs the full pipeline over per-radio streams.
+    ///
+    /// `jframe_sink` observes every unified frame; `exchange_sink` observes
+    /// every reconstructed frame exchange. Both may be no-ops.
+    pub fn run<S: EventStream>(
+        streams: Vec<S>,
+        cfg: &PipelineConfig,
+        jframe_sink: impl FnMut(&JFrame),
+        exchange_sink: impl FnMut(&Exchange),
+    ) -> Result<PipelineReport, PipelineError> {
+        Self::run_full(streams, cfg, jframe_sink, |_| {}, exchange_sink)
+    }
+
+    /// Like [`Pipeline::run`], with an additional sink observing every
+    /// *transmission attempt* (the paper's interference analysis operates
+    /// on attempts, which are distinct from frame exchanges, §7.2).
+    pub fn run_full<S: EventStream>(
+        mut streams: Vec<S>,
+        cfg: &PipelineConfig,
+        mut jframe_sink: impl FnMut(&JFrame),
+        mut attempt_sink: impl FnMut(&crate::link::attempt::Attempt),
+        mut exchange_sink: impl FnMut(&Exchange),
+    ) -> Result<PipelineReport, PipelineError> {
+        // --- phase 1: read the bootstrap window from every trace ---
+        let metas: Vec<RadioMeta> = streams.iter().map(|s| s.meta()).collect();
+        let mut prefixes: Vec<Vec<PhyEvent>> = Vec::with_capacity(streams.len());
+        for s in streams.iter_mut() {
+            let meta = s.meta();
+            let hi = meta
+                .anchor_local_us
+                .saturating_add(cfg.bootstrap.window_us);
+            let mut prefix = Vec::new();
+            loop {
+                match s.next_event()? {
+                    Some(ev) => {
+                        let stop = ev.ts_local > hi;
+                        prefix.push(ev);
+                        if stop {
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            }
+            prefixes.push(prefix);
+        }
+
+        // --- phase 2: bootstrap synchronization ---
+        let boot = bootstrap(&metas, &prefixes, &cfg.bootstrap)?;
+
+        // --- phase 3: streaming merge + reconstruction ---
+        let mut merger = Merger::new(streams, &boot.offsets, cfg.merge.clone());
+        for (r, prefix) in prefixes.into_iter().enumerate() {
+            merger.seed_pending(r, prefix);
+        }
+
+        let mut attempts = AttemptAssembler::new();
+        let mut exchanges = ExchangeAssembler::new();
+        let mut transport = TransportAnalyzer::new();
+        let mut attempt_buf = Vec::new();
+        let mut exchange_buf = Vec::new();
+
+        // Exchanges close out of order (a delivered exchange closes at its
+        // ACK; an ambiguous one lingers to the 500 ms timeout). Transport
+        // reconstruction needs them in transmission-time order, so they sit
+        // in a small reordering heap until a 1 s watermark passes them.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut reorder: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut reorder_store: std::collections::HashMap<u64, Exchange> =
+            std::collections::HashMap::new();
+        let mut reorder_seq = 0u64;
+        const REORDER_HORIZON_US: u64 = 1_000_000;
+
+        let merge_stats = merger.run(|jf| {
+            jframe_sink(&jf);
+            attempts.push(&jf, &mut attempt_buf);
+            for a in attempt_buf.drain(..) {
+                attempt_sink(&a);
+                exchanges.push(a, &mut exchange_buf);
+            }
+            for x in exchange_buf.drain(..) {
+                let key = (x.first_ts, reorder_seq);
+                reorder.push(Reverse(key));
+                reorder_store.insert(reorder_seq, x);
+                reorder_seq += 1;
+            }
+            let watermark = jf.ts.saturating_sub(REORDER_HORIZON_US);
+            while let Some(&Reverse((ts, seq))) = reorder.peek() {
+                if ts >= watermark {
+                    break;
+                }
+                reorder.pop();
+                let x = reorder_store.remove(&seq).expect("stored exchange");
+                transport.push(&x);
+                exchange_sink(&x);
+            }
+        })?;
+        attempts.finish(&mut attempt_buf);
+        for a in attempt_buf.drain(..) {
+            attempt_sink(&a);
+            exchanges.push(a, &mut exchange_buf);
+        }
+        exchanges.finish(&mut exchange_buf);
+        for x in exchange_buf.drain(..) {
+            let key = (x.first_ts, reorder_seq);
+            reorder.push(Reverse(key));
+            reorder_store.insert(reorder_seq, x);
+            reorder_seq += 1;
+        }
+        while let Some(Reverse((_, seq))) = reorder.pop() {
+            let x = reorder_store.remove(&seq).expect("stored exchange");
+            transport.push(&x);
+            exchange_sink(&x);
+        }
+        let (flows, transport_stats) = transport.finish();
+
+        Ok(PipelineReport {
+            bootstrap: boot,
+            merge: merge_stats,
+            attempts: attempts.stats.clone(),
+            link: exchanges.stats.clone(),
+            flows,
+            transport: transport_stats,
+        })
+    }
+
+    /// Convenience wrapper that materializes jframes and exchanges
+    /// (small runs and tests only).
+    pub fn run_collect<S: EventStream>(
+        streams: Vec<S>,
+        cfg: &PipelineConfig,
+    ) -> Result<(Vec<JFrame>, Vec<Exchange>, PipelineReport), PipelineError> {
+        let mut jframes = Vec::new();
+        let mut xs = Vec::new();
+        let report = Self::run(
+            streams,
+            cfg,
+            |jf| jframes.push(jf.clone()),
+            |x| xs.push(x.clone()),
+        )?;
+        Ok((jframes, xs, report))
+    }
+}

@@ -1,0 +1,6 @@
+//! Transport-layer reconstruction (paper §5.2): TCP flow reassembly with
+//! the covering-ACK delivery oracle and wireless/wired loss attribution.
+
+pub mod flow;
+
+pub use flow::{FlowKey, FlowRecord, LossCause, SegmentFate, TransportAnalyzer, TransportStats};

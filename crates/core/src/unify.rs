@@ -1,0 +1,827 @@
+//! Frame unification (paper §4.2): merging per-radio event streams into a
+//! single stream of [`JFrame`]s on a universal timeline, while continuously
+//! re-synchronizing every radio's clock.
+//!
+//! Mechanics, mirroring the paper:
+//! * a single priority queue holds the earliest pending instance of each
+//!   radio (cost per jframe is linear in the frame's reception range, not
+//!   in the number of radios);
+//! * instances within a *search window* of the earliest are candidates;
+//!   candidates are grouped by frame content (length/rate short-circuit,
+//!   then bytes), with corrupted instances attached by transmitter address;
+//! * identical-content frames transmitted at different times (think: ACKs
+//!   to the same station) are split by a time-gap guard, and no jframe may
+//!   contain two instances from the same radio;
+//! * the jframe timestamp is the median instance timestamp; *group
+//!   dispersion* (max−min) above a threshold triggers resynchronization of
+//!   the involved clocks, with skew/drift tracked by an EWMA predictor;
+//! * groups too close to the window's trailing edge are pushed back so that
+//!   instances still in flight can join them next round.
+
+use crate::jframe::{Instance, JFrame};
+use crate::sync::clock::ClockState;
+use jigsaw_ieee80211::fc::{FrameControl, FrameType, Subtype};
+use jigsaw_ieee80211::{MacAddr, Micros};
+use jigsaw_trace::format::FormatError;
+use jigsaw_trace::stream::EventStream;
+use jigsaw_trace::{PhyEvent, PhyStatus};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Unification parameters.
+#[derive(Debug, Clone)]
+pub struct MergeConfig {
+    /// Search window (paper: 10 ms).
+    pub search_window_us: Micros,
+    /// Minimum group dispersion before resynchronizing (paper: 10 µs).
+    pub resync_threshold_us: Micros,
+    /// Maximum spread of instances within one jframe; also the split guard
+    /// between identical-content transmissions.
+    pub merge_gap_us: Micros,
+    /// EWMA weight for skew measurements (0 disables skew learning —
+    /// an ablation the benchmarks exercise).
+    pub ewma_alpha: f64,
+    /// Master switch for continuous resynchronization (false = bootstrap
+    /// offsets only; the Yeo-style baseline).
+    pub resync_enabled: bool,
+}
+
+impl Default for MergeConfig {
+    fn default() -> Self {
+        MergeConfig {
+            search_window_us: 10_000,
+            resync_threshold_us: 10,
+            merge_gap_us: 1_000,
+            ewma_alpha: 0.1,
+            resync_enabled: true,
+        }
+    }
+}
+
+/// Counters describing a merge run.
+#[derive(Debug, Clone, Default)]
+pub struct MergeStats {
+    /// Events consumed across all radios.
+    pub events_in: u64,
+    /// jframes emitted.
+    pub jframes_out: u64,
+    /// Valid (FCS-ok) instances unified into multi-instance jframes.
+    pub instances_unified: u64,
+    /// Clock corrections applied.
+    pub resyncs: u64,
+    /// Corrupted instances attached to a valid jframe by transmitter match.
+    pub corrupt_attached: u64,
+    /// Error events that became singleton jframes.
+    pub singleton_errors: u64,
+    /// Groups pushed back past the emit guard (re-processed next round).
+    pub pushbacks: u64,
+}
+
+/// Is this event content-unique enough to drive synchronization?
+/// (Shared rule with bootstrap: non-retry DATA with payload, or
+/// beacon / probe-response management frames.)
+pub fn is_sync_quality(ev_bytes: &[u8], wire_len: u32, status: PhyStatus) -> bool {
+    if status != PhyStatus::Ok || ev_bytes.len() < 24 {
+        return false;
+    }
+    let fc = match FrameControl::from_u16(u16::from_le_bytes([ev_bytes[0], ev_bytes[1]])) {
+        Some(fc) => fc,
+        None => return false,
+    };
+    if fc.flags.retry {
+        return false;
+    }
+    match fc.subtype.frame_type() {
+        FrameType::Control => false,
+        FrameType::Data => fc.subtype == Subtype::Data && wire_len > 28,
+        FrameType::Management => matches!(fc.subtype, Subtype::Beacon | Subtype::ProbeResp),
+    }
+}
+
+struct Cursor<S> {
+    stream: S,
+    pending: VecDeque<PhyEvent>,
+    head: Option<PhyEvent>,
+    gen: u64,
+    exhausted: bool,
+}
+
+impl<S: EventStream> Cursor<S> {
+    fn refill(&mut self) -> Result<(), FormatError> {
+        if self.head.is_some() {
+            return Ok(());
+        }
+        if let Some(ev) = self.pending.pop_front() {
+            self.head = Some(ev);
+            self.gen += 1;
+            return Ok(());
+        }
+        if self.exhausted {
+            return Ok(());
+        }
+        match self.stream.next_event()? {
+            Some(ev) => {
+                self.head = Some(ev);
+                self.gen += 1;
+            }
+            None => self.exhausted = true,
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    radio: usize,
+    ev: PhyEvent,
+    univ: Micros,
+}
+
+/// The streaming merger.
+pub struct Merger<S> {
+    cursors: Vec<Cursor<S>>,
+    clocks: Vec<ClockState>,
+    cfg: MergeConfig,
+    stats: MergeStats,
+    heap: BinaryHeap<Reverse<(Micros, usize, u64)>>,
+    // Output reordering: jframes within 2×window may emerge out of order.
+    out: BinaryHeap<Reverse<(Micros, u64)>>,
+    out_frames: HashMap<u64, JFrame>,
+    out_seq: u64,
+}
+
+impl<S: EventStream> Merger<S> {
+    /// Creates a merger from per-radio streams (indexed by position) and
+    /// bootstrap offsets.
+    pub fn new(streams: Vec<S>, offsets: &[i64], cfg: MergeConfig) -> Self {
+        assert_eq!(streams.len(), offsets.len(), "one offset per stream");
+        let clocks = offsets
+            .iter()
+            .map(|&o| ClockState::new(o, cfg.ewma_alpha))
+            .collect();
+        let cursors = streams
+            .into_iter()
+            .map(|s| Cursor {
+                stream: s,
+                pending: VecDeque::new(),
+                head: None,
+                gen: 0,
+                exhausted: false,
+            })
+            .collect();
+        Merger {
+            cursors,
+            clocks,
+            cfg,
+            stats: MergeStats::default(),
+            heap: BinaryHeap::new(),
+            out: BinaryHeap::new(),
+            out_frames: HashMap::new(),
+            out_seq: 0,
+        }
+    }
+
+    /// Pre-seeds a radio's cursor with already-read events (the bootstrap
+    /// prefix). Must be called before [`Merger::run`].
+    pub fn seed_pending(&mut self, radio: usize, events: Vec<PhyEvent>) {
+        self.cursors[radio].pending.extend(events);
+    }
+
+    /// Merge statistics so far.
+    pub fn stats(&self) -> &MergeStats {
+        &self.stats
+    }
+
+    /// Clock state access (diagnostics, tests).
+    pub fn clock(&self, radio: usize) -> &ClockState {
+        &self.clocks[radio]
+    }
+
+    fn univ_of(&self, radio: usize, local: Micros) -> Micros {
+        self.clocks[radio].to_universal(local)
+    }
+
+    fn push_head(&mut self, radio: usize) -> Result<(), FormatError> {
+        self.cursors[radio].refill()?;
+        if let Some(ev) = &self.cursors[radio].head {
+            let ts = self.clocks[radio].to_universal(ev.ts_local);
+            let gen = self.cursors[radio].gen;
+            self.heap.push(Reverse((ts, radio, gen)));
+        }
+        Ok(())
+    }
+
+    fn take_head(&mut self, radio: usize) -> Candidate {
+        let ev = self.cursors[radio].head.take().expect("head present");
+        let univ = self.univ_of(radio, ev.ts_local);
+        self.stats.events_in += 1;
+        Candidate { radio, ev, univ }
+    }
+
+    /// Pops the earliest valid heap entry, re-pushing stale ones.
+    fn pop_valid(&mut self) -> Option<(Micros, usize)> {
+        while let Some(Reverse((ts, radio, gen))) = self.heap.pop() {
+            let cur = &self.cursors[radio];
+            match &cur.head {
+                Some(ev) if cur.gen == gen => {
+                    let fresh = self.univ_of(radio, ev.ts_local);
+                    if fresh == ts {
+                        return Some((ts, radio));
+                    }
+                    // Clock moved under us: reinsert with the fresh key.
+                    self.heap.push(Reverse((fresh, radio, gen)));
+                }
+                _ => {} // stale entry, drop
+            }
+        }
+        None
+    }
+
+    /// Runs the merge to completion, streaming jframes to `sink`.
+    pub fn run(mut self, mut sink: impl FnMut(JFrame)) -> Result<MergeStats, FormatError> {
+        for r in 0..self.cursors.len() {
+            self.push_head(r)?;
+        }
+        while let Some((t0, r0)) = self.pop_valid() {
+            let mut candidates = vec![self.take_head(r0)];
+            self.push_head(r0)?;
+            let window_end = t0.saturating_add(self.cfg.search_window_us);
+            loop {
+                match self.pop_valid() {
+                    Some((ts, r)) if ts <= window_end => {
+                        candidates.push(self.take_head(r));
+                        self.push_head(r)?;
+                    }
+                    Some((ts, r)) => {
+                        // Past the window: restore for the next round.
+                        let gen = self.cursors[r].gen;
+                        self.heap.push(Reverse((ts, r, gen)));
+                        break;
+                    }
+                    None => break,
+                }
+            }
+            let drained = self.heap.is_empty()
+                && self.cursors.iter().all(|c| c.head.is_none() && c.exhausted);
+            self.process_candidates(candidates, t0, drained, &mut sink);
+            // Flush reordered output older than the safety horizon.
+            let horizon = t0.saturating_sub(2 * self.cfg.search_window_us);
+            self.flush_out(horizon, &mut sink);
+        }
+        self.flush_out(Micros::MAX, &mut sink);
+        Ok(self.stats)
+    }
+
+    fn emit(&mut self, jf: JFrame) {
+        let seq = self.out_seq;
+        self.out_seq += 1;
+        self.out.push(Reverse((jf.ts, seq)));
+        self.out_frames.insert(seq, jf);
+        self.stats.jframes_out += 1;
+    }
+
+    fn flush_out(&mut self, horizon: Micros, sink: &mut impl FnMut(JFrame)) {
+        while let Some(&Reverse((ts, seq))) = self.out.peek() {
+            if ts >= horizon {
+                break;
+            }
+            self.out.pop();
+            let jf = self.out_frames.remove(&seq).expect("frame stored");
+            sink(jf);
+        }
+    }
+
+    fn process_candidates(
+        &mut self,
+        mut candidates: Vec<Candidate>,
+        t0: Micros,
+        drained: bool,
+        _sink: &mut impl FnMut(JFrame),
+    ) {
+        candidates.sort_by_key(|c| c.univ);
+        // Emit guard: a group whose earliest instance is in the first half
+        // of the window cannot gain new instances (they would have been
+        // within the window); later groups wait for the next round unless
+        // the streams are fully drained.
+        let emit_before = if drained {
+            Micros::MAX
+        } else {
+            t0.saturating_add(self.cfg.search_window_us / 2)
+        };
+
+        // --- partition: valid / corrupt / phy-error ---
+        let mut valid: Vec<Candidate> = Vec::new();
+        let mut corrupt: Vec<Candidate> = Vec::new();
+        let mut errors: Vec<Candidate> = Vec::new();
+        for c in candidates {
+            match c.ev.status {
+                PhyStatus::Ok => valid.push(c),
+                PhyStatus::FcsError => corrupt.push(c),
+                PhyStatus::PhyError => errors.push(c),
+            }
+        }
+
+        // --- group valid instances by content, split on gaps/duplicates ---
+        let mut groups: Vec<Vec<Candidate>> = Vec::new();
+        {
+            let mut by_key: HashMap<u64, Vec<Candidate>> = HashMap::new();
+            for c in valid {
+                by_key
+                    .entry(crate::sync::bootstrap::content_key(&c.ev))
+                    .or_default()
+                    .push(c);
+            }
+            let mut keyed: Vec<(u64, Vec<Candidate>)> = by_key.into_iter().collect();
+            keyed.sort_by_key(|(k, v)| (v.first().map(|c| c.univ).unwrap_or(0), *k));
+            for (_, mut cluster) in keyed {
+                cluster.sort_by_key(|c| c.univ);
+                let mut cur: Vec<Candidate> = Vec::new();
+                for c in cluster {
+                    let gap_split = cur
+                        .last()
+                        .map(|p| c.univ.saturating_sub(p.univ) > self.cfg.merge_gap_us)
+                        .unwrap_or(false);
+                    let dup_radio = cur.iter().any(|p| p.radio == c.radio);
+                    if gap_split || dup_radio {
+                        groups.push(std::mem::take(&mut cur));
+                    }
+                    cur.push(c);
+                }
+                if !cur.is_empty() {
+                    groups.push(cur);
+                }
+            }
+        }
+
+        // --- attach corrupted instances by transmitter address ---
+        let mut leftover_corrupt: Vec<Candidate> = Vec::new();
+        'corrupt: for c in corrupt {
+            let peek = jigsaw_ieee80211::wire::peek_transmitter(&c.ev.bytes);
+            if let Some((_, Some(ta))) = peek {
+                // Best candidate: same rate, transmitter matches, closest in
+                // time within the merge gap.
+                let mut best: Option<(usize, Micros)> = None;
+                for (gi, g) in groups.iter().enumerate() {
+                    if g[0].ev.rate != c.ev.rate {
+                        continue; // short-circuit: rate first
+                    }
+                    if g.iter().any(|p| p.radio == c.radio) {
+                        continue; // one instance per radio
+                    }
+                    let gta = group_transmitter(g);
+                    if gta != Some(ta) {
+                        continue;
+                    }
+                    let med = g[g.len() / 2].univ;
+                    let dist = med.abs_diff(c.univ);
+                    if dist <= self.cfg.merge_gap_us
+                        && best.map(|(_, d)| dist < d).unwrap_or(true)
+                    {
+                        best = Some((gi, dist));
+                    }
+                }
+                if let Some((gi, _)) = best {
+                    groups[gi].push(c);
+                    self.stats.corrupt_attached += 1;
+                    continue 'corrupt;
+                }
+            }
+            leftover_corrupt.push(c);
+        }
+
+        // --- build jframes, respecting the emit guard ---
+        let mut pushback: Vec<Candidate> = Vec::new();
+        for mut g in groups {
+            g.sort_by_key(|c| c.univ);
+            let min_ts = g.iter().map(|c| c.univ).min().unwrap_or(0);
+            if min_ts >= emit_before {
+                self.stats.pushbacks += 1;
+                pushback.extend(g);
+                continue;
+            }
+            self.finish_group(g);
+        }
+        for c in leftover_corrupt.into_iter().chain(errors) {
+            if c.univ >= emit_before {
+                pushback.push(c);
+                continue;
+            }
+            self.stats.singleton_errors += 1;
+            let jf = singleton_jframe(&c);
+            self.emit(jf);
+        }
+
+        // --- return pushed-back events to their cursors, in ts order ---
+        if !pushback.is_empty() {
+            pushback.sort_by_key(|c| c.ev.ts_local);
+            let mut per_radio: HashMap<usize, Vec<PhyEvent>> = HashMap::new();
+            for c in pushback {
+                self.stats.events_in -= 1; // they will be counted again
+                per_radio.entry(c.radio).or_default().push(c.ev);
+            }
+            for (r, evs) in per_radio {
+                // The current head (if any) came *after* these events.
+                for ev in evs.into_iter().rev() {
+                    if let Some(h) = self.cursors[r].head.take() {
+                        self.cursors[r].pending.push_front(h);
+                    }
+                    self.cursors[r].pending.push_front(ev);
+                }
+                self.cursors[r].gen += 1;
+                self.cursors[r].head = None;
+                let _ = self.push_head(r);
+            }
+        }
+    }
+
+    fn finish_group(&mut self, mut group: Vec<Candidate>) {
+        debug_assert!(!group.is_empty());
+        // Re-translate instance timestamps with the *current* clock state:
+        // corrections applied while finishing earlier groups of the same
+        // search-window batch must reach later groups (the paper's Figure 3
+        // adjusts frames still sitting in the radio queues).
+        for c in group.iter_mut() {
+            c.univ = self.clocks[c.radio].to_universal(c.ev.ts_local);
+        }
+        group.sort_by_key(|c| c.univ);
+        let n = group.len();
+        // Median and dispersion are computed over the FCS-valid instances:
+        // corrupt attachments come from radios whose clocks nothing ever
+        // corrects (only unique frames drive sync), so their timestamps
+        // must not pollute the jframe's placement (lower middle for even
+        // sizes).
+        let ok_ts: Vec<Micros> = group
+            .iter()
+            .filter(|c| c.ev.status == PhyStatus::Ok)
+            .map(|c| c.univ)
+            .collect();
+        let (median, dispersion) = if ok_ts.is_empty() {
+            (group[(n - 1) / 2].univ, group[n - 1].univ - group[0].univ)
+        } else {
+            (
+                ok_ts[(ok_ts.len() - 1) / 2],
+                ok_ts[ok_ts.len() - 1] - ok_ts[0],
+            )
+        };
+
+        // Representative: FCS-valid instance with the most bytes.
+        let rep = group
+            .iter()
+            .filter(|c| c.ev.status == PhyStatus::Ok)
+            .max_by_key(|c| c.ev.bytes.len())
+            .unwrap_or(&group[0]);
+        let valid = rep.ev.status == PhyStatus::Ok;
+        let unique = is_sync_quality(&rep.ev.bytes, rep.ev.wire_len, rep.ev.status);
+        let bytes = rep.ev.bytes.clone();
+        let wire_len = rep.ev.wire_len;
+        let rate = rep.ev.rate;
+
+        // Resynchronize using this jframe if it qualifies (paper: only
+        // unique frames drive synchronization; only when the group
+        // dispersion exceeds the threshold, to bound overhead).
+        let ok_count = group
+            .iter()
+            .filter(|c| c.ev.status == PhyStatus::Ok)
+            .count();
+        if self.cfg.resync_enabled
+            && unique
+            && ok_count >= 2
+            && dispersion >= self.cfg.resync_threshold_us
+        {
+            for c in &group {
+                if c.ev.status != PhyStatus::Ok {
+                    continue;
+                }
+                let err = c.univ as f64 - median as f64;
+                self.clocks[c.radio].correct(err, c.ev.ts_local);
+                self.stats.resyncs += 1;
+            }
+        }
+
+        if n >= 2 {
+            self.stats.instances_unified += ok_count as u64;
+        }
+        let instances = group
+            .into_iter()
+            .map(|c| Instance {
+                radio: c.ev.radio,
+                ts_local: c.ev.ts_local,
+                ts_universal: c.univ,
+                rssi_dbm: c.ev.rssi_dbm,
+                status: c.ev.status,
+            })
+            .collect();
+        let jf = JFrame {
+            ts: median,
+            bytes,
+            wire_len,
+            rate,
+            instances,
+            dispersion,
+            valid,
+            unique,
+        };
+        self.emit(jf);
+    }
+}
+
+fn group_transmitter(g: &[Candidate]) -> Option<MacAddr> {
+    g.iter().find_map(|c| {
+        jigsaw_ieee80211::wire::peek_transmitter(&c.ev.bytes).and_then(|(_, ta)| ta)
+    })
+}
+
+fn singleton_jframe(c: &Candidate) -> JFrame {
+    JFrame {
+        ts: c.univ,
+        bytes: c.ev.bytes.clone(),
+        wire_len: c.ev.wire_len,
+        rate: c.ev.rate,
+        instances: vec![Instance {
+            radio: c.ev.radio,
+            ts_local: c.ev.ts_local,
+            ts_universal: c.univ,
+            rssi_dbm: c.ev.rssi_dbm,
+            status: c.ev.status,
+        }],
+        dispersion: 0,
+        valid: false,
+        unique: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_ieee80211::fc::FcFlags;
+    use jigsaw_ieee80211::frame::{DataFrame, Frame};
+    use jigsaw_ieee80211::wire::serialize_frame;
+    use jigsaw_ieee80211::{Channel, PhyRate, SeqNum};
+    use jigsaw_trace::stream::MemoryStream;
+    use jigsaw_trace::{MonitorId, RadioId, RadioMeta};
+
+    fn meta(radio: u16) -> RadioMeta {
+        RadioMeta {
+            radio: RadioId(radio),
+            monitor: MonitorId(radio / 2),
+            channel: Channel::of(1),
+            anchor_wall_us: 0,
+            anchor_local_us: 0,
+        }
+    }
+
+    fn frame_bytes(seq: u16, body_len: usize) -> Vec<u8> {
+        serialize_frame(&Frame::Data(DataFrame {
+            duration: 44,
+            addr1: MacAddr::local(1, 1),
+            addr2: MacAddr::local(2, 2),
+            addr3: MacAddr::local(3, 3),
+            seq: SeqNum::new(seq),
+            frag: 0,
+            flags: FcFlags {
+                to_ds: true,
+                ..Default::default()
+            },
+            null: false,
+            body: vec![seq as u8; body_len],
+        }))
+    }
+
+    fn ev(radio: u16, ts: u64, bytes: Vec<u8>, status: PhyStatus) -> PhyEvent {
+        let len = bytes.len() as u32;
+        PhyEvent {
+            radio: RadioId(radio),
+            ts_local: ts,
+            channel: Channel::of(1),
+            rate: PhyRate::R11,
+            rssi_dbm: -50,
+            status,
+            wire_len: len,
+            bytes,
+        }
+    }
+
+    fn run_merge(
+        streams: Vec<MemoryStream>,
+        offsets: &[i64],
+        cfg: MergeConfig,
+    ) -> (Vec<JFrame>, MergeStats) {
+        let merger = Merger::new(streams, offsets, cfg);
+        let mut out = Vec::new();
+        let stats = merger.run(|jf| out.push(jf)).unwrap();
+        (out, stats)
+    }
+
+    #[test]
+    fn duplicates_unify_into_one_jframe() {
+        let f = frame_bytes(1, 50);
+        let s0 = MemoryStream::new(meta(0), vec![ev(0, 1000, f.clone(), PhyStatus::Ok)]);
+        let s1 = MemoryStream::new(meta(1), vec![ev(1, 1003, f.clone(), PhyStatus::Ok)]);
+        let s2 = MemoryStream::new(meta(2), vec![ev(2, 998, f, PhyStatus::Ok)]);
+        let (out, stats) = run_merge(vec![s0, s1, s2], &[0, 0, 0], MergeConfig::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].instance_count(), 3);
+        assert_eq!(out[0].ts, 1000); // median of {998, 1000, 1003}
+        assert_eq!(out[0].dispersion, 5);
+        assert!(out[0].valid);
+        assert_eq!(stats.jframes_out, 1);
+    }
+
+    #[test]
+    fn distinct_content_stays_separate() {
+        let fa = frame_bytes(1, 50);
+        let fb = frame_bytes(2, 50);
+        let s0 = MemoryStream::new(
+            meta(0),
+            vec![
+                ev(0, 1000, fa.clone(), PhyStatus::Ok),
+                ev(0, 1500, fb.clone(), PhyStatus::Ok),
+            ],
+        );
+        let s1 = MemoryStream::new(
+            meta(1),
+            vec![
+                ev(1, 1001, fa, PhyStatus::Ok),
+                ev(1, 1501, fb, PhyStatus::Ok),
+            ],
+        );
+        let (out, _) = run_merge(vec![s0, s1], &[0, 0], MergeConfig::default());
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|j| j.instance_count() == 2));
+        // Output is time-ordered.
+        assert!(out[0].ts < out[1].ts);
+    }
+
+    #[test]
+    fn identical_acks_apart_in_time_do_not_merge() {
+        // Two ACK transmissions with byte-identical content 5 ms apart,
+        // within the 10 ms search window.
+        let ack = serialize_frame(&Frame::Ack {
+            duration: 0,
+            ra: MacAddr::local(7, 7),
+        });
+        let s0 = MemoryStream::new(
+            meta(0),
+            vec![
+                ev(0, 1_000, ack.clone(), PhyStatus::Ok),
+                ev(0, 6_000, ack.clone(), PhyStatus::Ok),
+            ],
+        );
+        let s1 = MemoryStream::new(
+            meta(1),
+            vec![
+                ev(1, 1_002, ack.clone(), PhyStatus::Ok),
+                ev(1, 6_001, ack, PhyStatus::Ok),
+            ],
+        );
+        let (out, _) = run_merge(vec![s0, s1], &[0, 0], MergeConfig::default());
+        assert_eq!(out.len(), 2, "got {out:#?}");
+        assert!(out.iter().all(|j| j.instance_count() == 2));
+    }
+
+    #[test]
+    fn offsets_applied_before_matching() {
+        // Radio 1's clock is 1 s ahead; bootstrap offset compensates.
+        let f = frame_bytes(3, 60);
+        let s0 = MemoryStream::new(meta(0), vec![ev(0, 5_000, f.clone(), PhyStatus::Ok)]);
+        let s1 = MemoryStream::new(meta(1), vec![ev(1, 1_005_004, f, PhyStatus::Ok)]);
+        let (out, _) = run_merge(vec![s0, s1], &[0, 1_000_000], MergeConfig::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].instance_count(), 2);
+        assert_eq!(out[0].dispersion, 4);
+    }
+
+    #[test]
+    fn corrupt_instance_attached_by_transmitter() {
+        let f = frame_bytes(4, 80);
+        // Corrupted copy: flip a body byte (transmitter address intact).
+        let mut corrupted = f.clone();
+        let n = corrupted.len();
+        corrupted[n - 6] ^= 0xff;
+        let s0 = MemoryStream::new(meta(0), vec![ev(0, 2_000, f, PhyStatus::Ok)]);
+        let s1 = MemoryStream::new(meta(1), vec![ev(1, 2_003, corrupted, PhyStatus::FcsError)]);
+        let (out, stats) = run_merge(vec![s0, s1], &[0, 0], MergeConfig::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].instance_count(), 2);
+        assert!(out[0].valid);
+        assert_eq!(stats.corrupt_attached, 1);
+        // Contents come from the valid instance.
+        assert!(jigsaw_ieee80211::wire::parse_frame(&out[0].bytes).is_ok());
+    }
+
+    #[test]
+    fn orphan_corrupt_becomes_singleton_error() {
+        let mut garbled = frame_bytes(5, 40);
+        garbled[0] ^= 0x0f;
+        let s0 = MemoryStream::new(meta(0), vec![ev(0, 3_000, garbled, PhyStatus::FcsError)]);
+        let (out, stats) = run_merge(vec![s0], &[0], MergeConfig::default());
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].valid);
+        assert_eq!(stats.singleton_errors, 1);
+    }
+
+    #[test]
+    fn phy_errors_pass_through() {
+        let mut e = ev(0, 4_000, vec![], PhyStatus::PhyError);
+        e.wire_len = 0;
+        let s0 = MemoryStream::new(meta(0), vec![e]);
+        let (out, _) = run_merge(vec![s0], &[0], MergeConfig::default());
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].valid);
+        assert_eq!(out[0].instance_count(), 1);
+    }
+
+    #[test]
+    fn resync_corrects_drifting_clock() {
+        // Radio 1 drifts +40 µs over the run; shared unique frames let the
+        // merger pull it back so late frames still unify.
+        let mut ev0 = Vec::new();
+        let mut ev1 = Vec::new();
+        for k in 0..200u64 {
+            let t = 10_000 + k * 20_000; // every 20 ms
+            let f = frame_bytes((k % 4000) as u16, 64);
+            ev0.push(ev(0, t, f.clone(), PhyStatus::Ok));
+            // Radio 1 runs fast: +10 ppm → +0.2 µs per 20 ms, cumulative.
+            let drifted = t + (k * 20_000) / 50_000;
+            ev1.push(ev(1, drifted, f, PhyStatus::Ok));
+        }
+        let s0 = MemoryStream::new(meta(0), ev0);
+        let s1 = MemoryStream::new(meta(1), ev1);
+        let cfg = MergeConfig {
+            resync_threshold_us: 5,
+            ..MergeConfig::default()
+        };
+        let (out, stats) = run_merge(vec![s0, s1], &[0, 0], cfg);
+        assert_eq!(out.len(), 200);
+        assert!(out.iter().all(|j| j.instance_count() == 2), "lost sync");
+        assert!(stats.resyncs > 0);
+        // Dispersion stays bounded despite 80 µs of accumulated drift.
+        let max_disp = out.iter().map(|j| j.dispersion).max().unwrap();
+        assert!(max_disp <= 40, "max dispersion {max_disp}");
+    }
+
+    #[test]
+    fn resync_disabled_lets_drift_accumulate() {
+        let mut ev0 = Vec::new();
+        let mut ev1 = Vec::new();
+        for k in 0..200u64 {
+            let t = 10_000 + k * 20_000;
+            let f = frame_bytes((k % 4000) as u16, 64);
+            ev0.push(ev(0, t, f.clone(), PhyStatus::Ok));
+            let drifted = t + (k * 20_000) / 50_000;
+            ev1.push(ev(1, drifted, f, PhyStatus::Ok));
+        }
+        let s0 = MemoryStream::new(meta(0), ev0);
+        let s1 = MemoryStream::new(meta(1), ev1);
+        let cfg = MergeConfig {
+            resync_enabled: false,
+            ..MergeConfig::default()
+        };
+        let (out, stats) = run_merge(vec![s0, s1], &[0, 0], cfg);
+        assert_eq!(stats.resyncs, 0);
+        let max_disp = out.iter().map(|j| j.dispersion).max().unwrap();
+        assert!(max_disp >= 70, "drift should accumulate: {max_disp}");
+    }
+
+    #[test]
+    fn same_radio_never_twice_in_one_jframe() {
+        // The same radio reports identical content twice in quick
+        // succession (pathological); they must become two jframes.
+        let f = frame_bytes(6, 30);
+        let s0 = MemoryStream::new(
+            meta(0),
+            vec![
+                ev(0, 1_000, f.clone(), PhyStatus::Ok),
+                ev(0, 1_050, f.clone(), PhyStatus::Ok),
+            ],
+        );
+        let s1 = MemoryStream::new(meta(1), vec![ev(1, 1_001, f, PhyStatus::Ok)]);
+        let (out, _) = run_merge(vec![s0, s1], &[0, 0], MergeConfig::default());
+        assert_eq!(out.len(), 2);
+        for j in &out {
+            let radios: std::collections::HashSet<_> =
+                j.instances.iter().map(|i| i.radio).collect();
+            assert_eq!(radios.len(), j.instance_count());
+        }
+    }
+
+    #[test]
+    fn output_time_ordered() {
+        // Interleaved traffic from three radios with small offsets.
+        let mut streams = Vec::new();
+        for r in 0..3u16 {
+            let mut evs = Vec::new();
+            for k in 0..50u64 {
+                let f = frame_bytes((k as u16) % 4000, 32);
+                evs.push(ev(r, 1_000 + k * 3_000 + u64::from(r), f, PhyStatus::Ok));
+            }
+            streams.push(MemoryStream::new(meta(r), evs));
+        }
+        let (out, _) = run_merge(streams, &[0, 0, 0], MergeConfig::default());
+        assert_eq!(out.len(), 50);
+        for w in out.windows(2) {
+            assert!(w[0].ts <= w[1].ts, "out of order");
+        }
+        assert!(out.iter().all(|j| j.instance_count() == 3));
+    }
+}

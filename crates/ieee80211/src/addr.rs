@@ -1,0 +1,189 @@
+//! 48-bit IEEE MAC addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit IEEE 802 MAC address.
+///
+/// Stored as six big-endian bytes, exactly as it appears on the air.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The all-ones broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// The all-zero address (never transmitted; useful as a sentinel).
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Builds an address from raw bytes.
+    pub const fn new(b: [u8; 6]) -> Self {
+        MacAddr(b)
+    }
+
+    /// Builds a locally-administered unicast address from a 40-bit value.
+    ///
+    /// The jigsaw simulator uses disjoint tag spaces for APs, clients,
+    /// monitors and wired hosts; `tag` selects the space and `id` the member.
+    pub const fn local(tag: u8, id: u32) -> Self {
+        MacAddr([
+            0x02, // locally administered, unicast
+            tag,
+            (id >> 24) as u8,
+            (id >> 16) as u8,
+            (id >> 8) as u8,
+            id as u8,
+        ])
+    }
+
+    /// True for the group-addressed bit (multicast *or* broadcast).
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True only for `ff:ff:ff:ff:ff:ff`.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True for unicast (not group-addressed) addresses.
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast()
+    }
+
+    /// Raw bytes, big-endian (transmission order).
+    pub fn bytes(&self) -> &[u8; 6] {
+        &self.0
+    }
+
+    /// The address as a u64 (upper 16 bits zero) — handy for compact maps.
+    pub fn to_u64(&self) -> u64 {
+        let b = self.0;
+        (u64::from(b[0]) << 40)
+            | (u64::from(b[1]) << 32)
+            | (u64::from(b[2]) << 24)
+            | (u64::from(b[3]) << 16)
+            | (u64::from(b[4]) << 8)
+            | u64::from(b[5])
+    }
+
+    /// Inverse of [`MacAddr::to_u64`]; the upper 16 bits are ignored.
+    pub fn from_u64(v: u64) -> Self {
+        MacAddr([
+            (v >> 40) as u8,
+            (v >> 32) as u8,
+            (v >> 24) as u8,
+            (v >> 16) as u8,
+            (v >> 8) as u8,
+            v as u8,
+        ])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error returned when parsing a textual MAC address fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrParseError;
+
+impl fmt::Display for AddrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address syntax (expected aa:bb:cc:dd:ee:ff)")
+    }
+}
+
+impl std::error::Error for AddrParseError {}
+
+impl FromStr for MacAddr {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut out = [0u8; 6];
+        let mut parts = s.split(|c| c == ':' || c == '-');
+        for slot in out.iter_mut() {
+            let p = parts.next().ok_or(AddrParseError)?;
+            if p.len() != 2 {
+                return Err(AddrParseError);
+            }
+            *slot = u8::from_str_radix(p, 16).map_err(|_| AddrParseError)?;
+        }
+        if parts.next().is_some() {
+            return Err(AddrParseError);
+        }
+        Ok(MacAddr(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_is_multicast() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::BROADCAST.is_unicast());
+    }
+
+    #[test]
+    fn local_addresses_are_unicast_and_distinct() {
+        let a = MacAddr::local(1, 7);
+        let b = MacAddr::local(1, 8);
+        let c = MacAddr::local(2, 7);
+        assert!(a.is_unicast());
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let a = MacAddr([0xde, 0xad, 0xbe, 0xef, 0x01, 0x02]);
+        assert_eq!(MacAddr::from_u64(a.to_u64()), a);
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let a = MacAddr([0x02, 0x1f, 0x00, 0xaa, 0x0b, 0xff]);
+        let s = a.to_string();
+        assert_eq!(s, "02:1f:00:aa:0b:ff");
+        assert_eq!(s.parse::<MacAddr>().unwrap(), a);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<MacAddr>().is_err());
+        assert!("02:1f:00:aa:0b".parse::<MacAddr>().is_err());
+        assert!("02:1f:00:aa:0b:ff:11".parse::<MacAddr>().is_err());
+        assert!("02:1f:00:aa:0b:zz".parse::<MacAddr>().is_err());
+        assert!("021f:00:aa:0b:ff".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn dash_separator_accepted() {
+        assert_eq!(
+            "02-1f-00-aa-0b-ff".parse::<MacAddr>().unwrap(),
+            MacAddr([0x02, 0x1f, 0x00, 0xaa, 0x0b, 0xff])
+        );
+    }
+
+    #[test]
+    fn multicast_bit() {
+        assert!(MacAddr([0x01, 0, 0x5e, 0, 0, 1]).is_multicast());
+        assert!(!MacAddr([0x00, 0, 0x5e, 0, 0, 1]).is_multicast());
+    }
+}

@@ -1,0 +1,157 @@
+//! 2.4 GHz (802.11b/g) channelization.
+//!
+//! Channels 1–14 are 5 MHz apart but each transmission occupies ~22 MHz
+//! (DSSS) / ~20 MHz (OFDM), so only channels spaced ≥5 apart (1, 6, 11) are
+//! "non-overlapping". Jigsaw's pods monitor all three plus a fourth
+//! configurable radio; the simulator models partial energy bleed between
+//! nearby channels so that adjacent-channel receptions appear as PHY errors,
+//! as they do in the paper's traces.
+
+use std::fmt;
+
+/// A 2.4 GHz 802.11 channel (1..=14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Channel(u8);
+
+/// Error for out-of-range channel numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidChannel(pub u8);
+
+impl fmt::Display for InvalidChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid 2.4 GHz channel number {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidChannel {}
+
+impl Channel {
+    /// The three canonical non-overlapping channels used in enterprise
+    /// deployments (and by the paper's infrastructure).
+    pub const ORTHOGONAL: [Channel; 3] = [Channel(1), Channel(6), Channel(11)];
+
+    /// Constructs a channel, validating the number (1..=14).
+    pub fn new(num: u8) -> Result<Self, InvalidChannel> {
+        if (1..=14).contains(&num) {
+            Ok(Channel(num))
+        } else {
+            Err(InvalidChannel(num))
+        }
+    }
+
+    /// Constructs a channel from a known-good constant.
+    ///
+    /// # Panics
+    /// Panics if `num` is outside 1..=14. Use only with literals.
+    pub const fn of(num: u8) -> Self {
+        assert!(num >= 1 && num <= 14);
+        Channel(num)
+    }
+
+    /// The channel number (1..=14).
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Center frequency in MHz (channel 14 is a special case at 2484).
+    pub fn center_mhz(self) -> u16 {
+        if self.0 == 14 {
+            2484
+        } else {
+            2407 + 5 * u16::from(self.0)
+        }
+    }
+
+    /// Channel separation in channel numbers.
+    pub fn separation(self, other: Channel) -> u8 {
+        self.0.abs_diff(other.0)
+    }
+
+    /// Cross-channel energy rejection in deci-dB (positive = attenuation)
+    /// seen by a receiver tuned to `self` for a transmission on `other`.
+    ///
+    /// Co-channel → 0 dB; each channel of separation buys roughly 10 dB up
+    /// to separation 5 where the channels no longer overlap (modeled as
+    /// a 100 dB notch, i.e. effectively silent). This piecewise model is the
+    /// standard approximation of the DSSS transmit spectral mask.
+    pub fn rejection_decidb(self, other: Channel) -> i32 {
+        match self.separation(other) {
+            0 => 0,
+            1 => 100,  // 10 dB
+            2 => 200,  // 20 dB
+            3 => 350,  // 35 dB
+            4 => 500,  // 50 dB
+            _ => 1000, // disjoint
+        }
+    }
+
+    /// True if transmissions on `other` can deposit *any* energy into a
+    /// receiver tuned to `self` (separation < 5).
+    pub fn overlaps(self, other: Channel) -> bool {
+        self.separation(other) < 5
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Channel::new(0).is_err());
+        assert!(Channel::new(15).is_err());
+        assert_eq!(Channel::new(6).unwrap().number(), 6);
+    }
+
+    #[test]
+    fn frequencies() {
+        assert_eq!(Channel::of(1).center_mhz(), 2412);
+        assert_eq!(Channel::of(6).center_mhz(), 2437);
+        assert_eq!(Channel::of(11).center_mhz(), 2462);
+        assert_eq!(Channel::of(14).center_mhz(), 2484);
+    }
+
+    #[test]
+    fn orthogonal_channels_disjoint() {
+        for a in Channel::ORTHOGONAL {
+            for b in Channel::ORTHOGONAL {
+                if a != b {
+                    assert!(!a.overlaps(b), "{a} overlaps {b}");
+                    assert_eq!(a.rejection_decidb(b), 1000);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejection_monotone_in_separation() {
+        let base = Channel::of(6);
+        let mut last = -1;
+        for n in 6..=11 {
+            let r = base.rejection_decidb(Channel::of(n));
+            assert!(r >= last);
+            last = r;
+        }
+    }
+
+    #[test]
+    fn rejection_symmetric() {
+        for a in 1..=14 {
+            for b in 1..=14 {
+                let (ca, cb) = (Channel::of(a), Channel::of(b));
+                assert_eq!(ca.rejection_decidb(cb), cb.rejection_decidb(ca));
+            }
+        }
+    }
+
+    #[test]
+    fn co_channel_no_rejection() {
+        assert_eq!(Channel::of(3).rejection_decidb(Channel::of(3)), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! The 802.11 frame check sequence: CRC-32 (same polynomial as Ethernet).
+//!
+//! Implemented from scratch (no third-party CRC crate): reflected CRC-32
+//! with polynomial 0x04C11DB7, init 0xFFFFFFFF, final XOR 0xFFFFFFFF,
+//! using a compile-time 256-entry table.
+
+/// The 256-entry lookup table for the reflected polynomial 0xEDB88320.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_table();
+
+/// Computes the CRC-32 of `data` (the value transmitted in the FCS field,
+/// least-significant byte first).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        let idx = ((crc ^ u32::from(b)) & 0xff) as usize;
+        crc = (crc >> 8) ^ CRC_TABLE[idx];
+    }
+    !crc
+}
+
+/// Appends the four FCS bytes (little-endian CRC-32) to `buf` in place.
+pub fn append_fcs(buf: &mut Vec<u8>) {
+    let crc = crc32(buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Checks that the final four bytes of `frame` are a valid FCS over the rest.
+///
+/// Returns `false` for frames shorter than five bytes.
+pub fn check_fcs(frame: &[u8]) -> bool {
+    if frame.len() < 5 {
+        return false;
+    }
+    let (body, fcs) = frame.split_at(frame.len() - 4);
+    let got = u32::from_le_bytes([fcs[0], fcs[1], fcs[2], fcs[3]]);
+    crc32(body) == got
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn append_then_check() {
+        let mut buf = b"the quick brown fox".to_vec();
+        append_fcs(&mut buf);
+        assert!(check_fcs(&buf));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut buf = b"some 802.11 frame body".to_vec();
+        append_fcs(&mut buf);
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            assert!(!check_fcs(&bad), "single-bit flip at {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = b"payload".to_vec();
+        append_fcs(&mut buf);
+        for cut in 1..buf.len() {
+            assert!(!check_fcs(&buf[..buf.len() - cut]));
+        }
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        assert!(!check_fcs(&[]));
+        assert!(!check_fcs(&[1, 2, 3, 4]));
+    }
+}

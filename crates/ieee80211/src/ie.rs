@@ -1,0 +1,237 @@
+//! Management-frame information elements (IEs).
+//!
+//! Only the elements the Jigsaw analyses consume are decoded; everything else
+//! round-trips as [`Ie::Unknown`] so that traces never lose bytes.
+
+/// Element IDs for the decoded IEs.
+pub mod eid {
+    /// SSID element.
+    pub const SSID: u8 = 0;
+    /// Supported rates element.
+    pub const SUPPORTED_RATES: u8 = 1;
+    /// DS parameter set (current channel).
+    pub const DS_PARAM: u8 = 3;
+    /// Traffic indication map.
+    pub const TIM: u8 = 5;
+    /// ERP information (802.11g protection signalling).
+    pub const ERP_INFO: u8 = 42;
+    /// Extended supported rates.
+    pub const EXT_SUPPORTED_RATES: u8 = 50;
+}
+
+/// ERP Information flags (element 42). `USE_PROTECTION` is what an AP
+/// asserts in its beacons while 802.11g protection mode is active — the
+/// paper's overprotective-AP analysis keys off exactly this state.
+pub mod erp {
+    /// A non-ERP (802.11b) station is associated or detected.
+    pub const NON_ERP_PRESENT: u8 = 0x01;
+    /// ERP stations must protect OFDM transmissions (CTS-to-self / RTS-CTS).
+    pub const USE_PROTECTION: u8 = 0x02;
+    /// Barker (long) preamble mode required.
+    pub const BARKER_PREAMBLE: u8 = 0x04;
+}
+
+/// A single decoded information element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ie {
+    /// Network name (0–32 bytes; not necessarily UTF-8).
+    Ssid(Vec<u8>),
+    /// Rates in 500 kbps units, top bit = "basic rate".
+    SupportedRates(Vec<u8>),
+    /// Current channel number.
+    DsParam(u8),
+    /// Traffic indication map (opaque: DTIM count, period, bitmap).
+    Tim(Vec<u8>),
+    /// ERP information flags (see [`erp`]).
+    ErpInfo(u8),
+    /// Rates beyond the first eight.
+    ExtSupportedRates(Vec<u8>),
+    /// Any element we do not interpret; preserved verbatim.
+    Unknown { id: u8, data: Vec<u8> },
+}
+
+impl Ie {
+    /// The on-air element ID.
+    pub fn id(&self) -> u8 {
+        match self {
+            Ie::Ssid(_) => eid::SSID,
+            Ie::SupportedRates(_) => eid::SUPPORTED_RATES,
+            Ie::DsParam(_) => eid::DS_PARAM,
+            Ie::Tim(_) => eid::TIM,
+            Ie::ErpInfo(_) => eid::ERP_INFO,
+            Ie::ExtSupportedRates(_) => eid::EXT_SUPPORTED_RATES,
+            Ie::Unknown { id, .. } => *id,
+        }
+    }
+
+    /// Serializes `id, len, data` onto `out`.
+    ///
+    /// Bodies longer than 255 bytes are truncated to 255 (cannot occur for
+    /// elements built by this crate).
+    pub fn write(&self, out: &mut Vec<u8>) {
+        let body: &[u8] = match self {
+            Ie::Ssid(b) | Ie::SupportedRates(b) | Ie::Tim(b) | Ie::ExtSupportedRates(b) => b,
+            Ie::DsParam(ch) => std::slice::from_ref(ch),
+            Ie::ErpInfo(f) => std::slice::from_ref(f),
+            Ie::Unknown { data, .. } => data,
+        };
+        let len = body.len().min(255);
+        out.push(self.id());
+        out.push(len as u8);
+        out.extend_from_slice(&body[..len]);
+    }
+
+    /// Parses one element from the front of `buf`, returning the element and
+    /// the remaining bytes, or `None` if `buf` is exhausted / malformed.
+    pub fn parse(buf: &[u8]) -> Option<(Ie, &[u8])> {
+        if buf.len() < 2 {
+            return None;
+        }
+        let id = buf[0];
+        let len = buf[1] as usize;
+        if buf.len() < 2 + len {
+            return None;
+        }
+        let data = &buf[2..2 + len];
+        let rest = &buf[2 + len..];
+        let ie = match id {
+            eid::SSID => Ie::Ssid(data.to_vec()),
+            eid::SUPPORTED_RATES => Ie::SupportedRates(data.to_vec()),
+            eid::DS_PARAM if len == 1 => Ie::DsParam(data[0]),
+            eid::TIM => Ie::Tim(data.to_vec()),
+            eid::ERP_INFO if len == 1 => Ie::ErpInfo(data[0]),
+            eid::EXT_SUPPORTED_RATES => Ie::ExtSupportedRates(data.to_vec()),
+            _ => Ie::Unknown {
+                id,
+                data: data.to_vec(),
+            },
+        };
+        Some((ie, rest))
+    }
+
+    /// Parses a full element list (e.g. a beacon tail). Trailing garbage that
+    /// does not form a complete element is ignored, mirroring real parsers.
+    pub fn parse_all(mut buf: &[u8]) -> Vec<Ie> {
+        let mut out = Vec::new();
+        while let Some((ie, rest)) = Ie::parse(buf) {
+            out.push(ie);
+            buf = rest;
+        }
+        out
+    }
+
+    /// Serializes a list of elements.
+    pub fn write_all(ies: &[Ie], out: &mut Vec<u8>) {
+        for ie in ies {
+            ie.write(out);
+        }
+    }
+}
+
+/// Convenience: find the SSID in an element list.
+pub fn find_ssid(ies: &[Ie]) -> Option<&[u8]> {
+    ies.iter().find_map(|ie| match ie {
+        Ie::Ssid(b) => Some(b.as_slice()),
+        _ => None,
+    })
+}
+
+/// Convenience: find the ERP flags in an element list.
+pub fn find_erp(ies: &[Ie]) -> Option<u8> {
+    ies.iter().find_map(|ie| match ie {
+        Ie::ErpInfo(f) => Some(*f),
+        _ => None,
+    })
+}
+
+/// Convenience: find the advertised channel in an element list.
+pub fn find_channel(ies: &[Ie]) -> Option<u8> {
+    ies.iter().find_map(|ie| match ie {
+        Ie::DsParam(c) => Some(*c),
+        _ => None,
+    })
+}
+
+/// True if the supported-rates elements include any ERP-OFDM rate — the test
+/// Jigsaw uses to classify a station as 802.11g-capable from its probes.
+pub fn rates_include_ofdm(ies: &[Ie]) -> bool {
+    ies.iter().any(|ie| match ie {
+        Ie::SupportedRates(r) | Ie::ExtSupportedRates(r) => {
+            // Units of 500 kbps with the basic bit masked off; OFDM rates
+            // start at 6 Mbps = 12 units.
+            r.iter().any(|&b| {
+                let units = b & 0x7f;
+                units >= 12 && units != 22 // 22 = 11 Mbps CCK
+            })
+        }
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_each_kind() {
+        let ies = vec![
+            Ie::Ssid(b"jigsaw-test".to_vec()),
+            Ie::SupportedRates(vec![0x82, 0x84, 0x8b, 0x96]),
+            Ie::DsParam(6),
+            Ie::Tim(vec![0, 1, 0, 0]),
+            Ie::ErpInfo(erp::USE_PROTECTION | erp::NON_ERP_PRESENT),
+            Ie::ExtSupportedRates(vec![12, 18, 24, 36]),
+            Ie::Unknown {
+                id: 221,
+                data: vec![0, 0x50, 0xf2, 1],
+            },
+        ];
+        let mut buf = Vec::new();
+        Ie::write_all(&ies, &mut buf);
+        let parsed = Ie::parse_all(&buf);
+        assert_eq!(parsed, ies);
+    }
+
+    #[test]
+    fn truncated_element_ignored() {
+        let mut buf = Vec::new();
+        Ie::Ssid(b"ok".to_vec()).write(&mut buf);
+        buf.extend_from_slice(&[1, 200, 0x02]); // claims 200 bytes, has 1
+        let parsed = Ie::parse_all(&buf);
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn empty_ssid_roundtrips() {
+        // A zero-length (wildcard/hidden) SSID is legal and common in probes.
+        let mut buf = Vec::new();
+        Ie::Ssid(Vec::new()).write(&mut buf);
+        assert_eq!(Ie::parse_all(&buf), vec![Ie::Ssid(Vec::new())]);
+    }
+
+    #[test]
+    fn helpers() {
+        let ies = vec![
+            Ie::Ssid(b"cse".to_vec()),
+            Ie::DsParam(11),
+            Ie::ErpInfo(erp::USE_PROTECTION),
+        ];
+        assert_eq!(find_ssid(&ies), Some(&b"cse"[..]));
+        assert_eq!(find_channel(&ies), Some(11));
+        assert_eq!(find_erp(&ies), Some(erp::USE_PROTECTION));
+        assert_eq!(find_erp(&[]), None);
+    }
+
+    #[test]
+    fn ofdm_detection() {
+        // Pure-b rate set: 1, 2, 5.5, 11 (units 2,4,11,22; basic bits set).
+        let b_only = vec![Ie::SupportedRates(vec![0x82, 0x84, 0x8b, 0x96])];
+        assert!(!rates_include_ofdm(&b_only));
+        // b/g rate set including 6 and 54 Mbps.
+        let bg = vec![
+            Ie::SupportedRates(vec![0x82, 0x84, 0x8b, 0x96, 12, 24]),
+            Ie::ExtSupportedRates(vec![48, 72, 96, 108]),
+        ];
+        assert!(rates_include_ofdm(&bg));
+    }
+}

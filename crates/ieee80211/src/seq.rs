@@ -1,0 +1,128 @@
+//! 12-bit wrapping sequence numbers.
+//!
+//! Every DATA and MANAGEMENT frame carries a monotonically increasing 12-bit
+//! sequence number (0..=4095, wrapping). Jigsaw's frame-exchange
+//! reconstruction (§5.1) classifies transmission attempts by the *delta*
+//! between consecutive sequence numbers from the same sender, so wrapping
+//! arithmetic must be exact.
+
+use std::fmt;
+
+/// A 12-bit 802.11 sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SeqNum(u16);
+
+/// Half of the 12-bit space; deltas are interpreted in (-2048, 2048].
+const HALF: u16 = 2048;
+/// The modulus of the sequence space.
+const MOD: u16 = 4096;
+
+impl SeqNum {
+    /// Constructs a sequence number, masking to 12 bits.
+    pub fn new(v: u16) -> Self {
+        SeqNum(v & 0x0fff)
+    }
+
+    /// The raw 12-bit value.
+    pub fn value(self) -> u16 {
+        self.0
+    }
+
+    /// The next sequence number (wrapping 4095 → 0).
+    pub fn next(self) -> Self {
+        SeqNum((self.0 + 1) % MOD)
+    }
+
+    /// Signed wrapped delta `self - earlier` in the range (-2048, 2048].
+    ///
+    /// A delta of 0 means a retransmission of the same MSDU; +1 means the
+    /// immediately following frame; larger positive values are gaps
+    /// (frames the monitors never saw).
+    pub fn delta(self, earlier: SeqNum) -> i16 {
+        let d = (self.0 + MOD - earlier.0) % MOD;
+        if d > HALF {
+            d as i16 - MOD as i16
+        } else {
+            d as i16
+        }
+    }
+
+    /// Advances by `n` (wrapping).
+    pub fn add(self, n: u16) -> Self {
+        SeqNum((self.0 + (n % MOD)) % MOD)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u16> for SeqNum {
+    fn from(v: u16) -> Self {
+        SeqNum::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn masking() {
+        assert_eq!(SeqNum::new(0x1fff).value(), 0x0fff);
+        assert_eq!(SeqNum::new(4096).value(), 0);
+    }
+
+    #[test]
+    fn next_wraps() {
+        assert_eq!(SeqNum::new(4095).next(), SeqNum::new(0));
+        assert_eq!(SeqNum::new(7).next(), SeqNum::new(8));
+    }
+
+    #[test]
+    fn simple_deltas() {
+        let a = SeqNum::new(100);
+        assert_eq!(a.delta(a), 0);
+        assert_eq!(a.next().delta(a), 1);
+        assert_eq!(a.delta(a.next()), -1);
+        assert_eq!(SeqNum::new(0).delta(SeqNum::new(4095)), 1);
+        assert_eq!(SeqNum::new(4095).delta(SeqNum::new(0)), -1);
+        assert_eq!(SeqNum::new(10).delta(SeqNum::new(5)), 5);
+    }
+
+    #[test]
+    fn delta_half_space() {
+        // Exactly half the space is positive by convention.
+        assert_eq!(SeqNum::new(2048).delta(SeqNum::new(0)), 2048);
+        assert_eq!(SeqNum::new(2049).delta(SeqNum::new(0)), -2047);
+    }
+
+    proptest! {
+        #[test]
+        fn delta_add_roundtrip(start in 0u16..4096, n in 0u16..2048) {
+            let a = SeqNum::new(start);
+            let b = a.add(n);
+            prop_assert_eq!(b.delta(a), n as i16);
+        }
+
+        #[test]
+        fn delta_antisymmetric(x in 0u16..4096, y in 0u16..4096) {
+            let (a, b) = (SeqNum::new(x), SeqNum::new(y));
+            let d1 = a.delta(b);
+            let d2 = b.delta(a);
+            // Antisymmetric except at the half-space point 2048.
+            if d1 != 2048 && d2 != 2048 {
+                prop_assert_eq!(d1, -d2);
+            }
+        }
+
+        #[test]
+        fn delta_range(x in 0u16..4096, y in 0u16..4096) {
+            let d = SeqNum::new(x).delta(SeqNum::new(y));
+            prop_assert!(d > -2048 && d <= 2048);
+        }
+    }
+}

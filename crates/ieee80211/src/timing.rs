@@ -1,0 +1,247 @@
+//! PLCP and MAC timing arithmetic for 802.11b/g in the 2.4 GHz band.
+//!
+//! Everything is exact integer microseconds. The paper's analyses depend on
+//! this arithmetic in three places:
+//!
+//! * trace merging treats reception at multiple monitors as simultaneous and
+//!   needs *slot-time* precision (20 µs) — [`SLOT_US`];
+//! * link-layer reconstruction uses the Duration/ID field to pair ACKs with
+//!   (possibly missing) DATA frames — [`duration_data_ack`];
+//! * the 802.11g protection-mode analysis (paper §7.3, footnote 7) compares
+//!   CTS-to-self-protected and bare exchanges — [`duration_cts_to_self`] and
+//!   the airtime functions reproduce the footnote's 248 µs CTS number.
+
+use crate::rate::{Modulation, PhyRate};
+use crate::Micros;
+
+/// Short interframe space (2.4 GHz PHYs): 10 µs.
+pub const SIFS_US: Micros = 10;
+
+/// Slot time used by 802.11b and by 802.11g in compatibility (long-slot)
+/// mode: 20 µs. The paper quotes this as the synchronization precision target.
+pub const SLOT_US: Micros = 20;
+
+/// DCF interframe space = SIFS + 2 × slot = 50 µs.
+pub const DIFS_US: Micros = SIFS_US + 2 * SLOT_US;
+
+/// Contention-window bounds (802.11b values; g uses CW_MIN=15 when no b
+/// stations are present, which the simulator selects dynamically).
+pub const CW_MIN_B: u16 = 31;
+/// Minimum contention window for pure-g operation.
+pub const CW_MIN_G: u16 = 15;
+/// Maximum contention window after repeated collisions.
+pub const CW_MAX: u16 = 1023;
+
+/// Typical beacon interval: 100 TU = 102.4 ms.
+pub const BEACON_INTERVAL_US: Micros = 102_400;
+
+/// Long DSSS PLCP preamble + header: 144 + 48 = 192 µs (always at 1 Mbps).
+pub const DSSS_LONG_PLCP_US: Micros = 192;
+
+/// Short DSSS PLCP preamble + header: 72 + 24 = 96 µs.
+pub const DSSS_SHORT_PLCP_US: Micros = 96;
+
+/// OFDM preamble (16 µs) + SIGNAL symbol (4 µs).
+pub const OFDM_PLCP_US: Micros = 20;
+
+/// ERP-OFDM signal extension in 2.4 GHz: 6 µs of silence after the frame.
+pub const OFDM_SIGNAL_EXT_US: Micros = 6;
+
+/// An ACK or CTS frame is 14 bytes on the air (2 FC + 2 dur + 6 RA + 4 FCS).
+pub const ACK_FRAME_LEN: usize = 14;
+
+/// An RTS frame is 20 bytes (2 FC + 2 dur + 6 RA + 6 TA + 4 FCS).
+pub const RTS_FRAME_LEN: usize = 20;
+
+/// DSSS preamble flavor. Long is mandatory-compatible; the paper's APs use
+/// long preambles for protection CTS (footnote 7: 248 µs CTS at 2 Mbps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Preamble {
+    /// 192 µs PLCP.
+    #[default]
+    Long,
+    /// 96 µs PLCP (short-preamble capable networks only).
+    Short,
+}
+
+/// Airtime in µs to transmit `len` bytes (MAC header through FCS) at `rate`.
+///
+/// Includes the PLCP preamble/header and, for ERP-OFDM, the 6 µs signal
+/// extension. Integer math, rounding the payload duration up as the PHY does.
+pub fn airtime_us(rate: PhyRate, len: usize, preamble: Preamble) -> Micros {
+    let bits = 8 * len as u64;
+    match rate.modulation() {
+        Modulation::Dsss | Modulation::Cck => {
+            let plcp = match preamble {
+                Preamble::Long => DSSS_LONG_PLCP_US,
+                Preamble::Short => DSSS_SHORT_PLCP_US,
+            };
+            // rate.centi_mbps() is exactly "bits per 10 µs".
+            let payload = (bits * 10).div_ceil(u64::from(rate.centi_mbps()));
+            plcp + payload
+        }
+        Modulation::Ofdm => {
+            let bps = u64::from(rate.ofdm_bits_per_symbol().expect("ofdm rate"));
+            // 16 service bits + 6 tail bits join the PSDU in the DATA field.
+            let symbols = (16 + bits + 6).div_ceil(bps);
+            OFDM_PLCP_US + 4 * symbols + OFDM_SIGNAL_EXT_US
+        }
+    }
+}
+
+/// The mandatory basic rate used to answer a frame sent at `rate`
+/// (highest basic rate ≤ `rate`; basic sets: {1, 2, 5.5, 11} for CCK,
+/// {6, 12, 24} for OFDM).
+pub fn response_rate(rate: PhyRate) -> PhyRate {
+    match rate.modulation() {
+        Modulation::Dsss | Modulation::Cck => match rate {
+            PhyRate::R1 => PhyRate::R1,
+            PhyRate::R2 | PhyRate::R5_5 => PhyRate::R2,
+            _ => PhyRate::R11,
+        },
+        Modulation::Ofdm => {
+            if rate >= PhyRate::R24 {
+                PhyRate::R24
+            } else if rate >= PhyRate::R12 {
+                PhyRate::R12
+            } else {
+                PhyRate::R6
+            }
+        }
+    }
+}
+
+/// Airtime of the ACK answering a data frame sent at `data_rate`.
+pub fn ack_airtime_us(data_rate: PhyRate, preamble: Preamble) -> Micros {
+    airtime_us(response_rate(data_rate), ACK_FRAME_LEN, preamble)
+}
+
+/// Duration/ID field (µs) for a unicast DATA frame: the time remaining
+/// *after* the frame — one SIFS plus the ACK.
+pub fn duration_data_ack(data_rate: PhyRate, preamble: Preamble) -> u16 {
+    (SIFS_US + ack_airtime_us(data_rate, preamble)) as u16
+}
+
+/// Duration/ID field for a CTS-to-self protecting a pending data exchange:
+/// SIFS + DATA + SIFS + ACK (the CTS itself is not counted).
+pub fn duration_cts_to_self(
+    data_rate: PhyRate,
+    data_len: usize,
+    preamble: Preamble,
+) -> u16 {
+    let t = SIFS_US
+        + airtime_us(data_rate, data_len, preamble)
+        + SIFS_US
+        + ack_airtime_us(data_rate, preamble);
+    t.min(u64::from(u16::MAX)) as u16
+}
+
+/// Duration/ID field for an RTS: CTS + DATA + ACK + 3×SIFS.
+pub fn duration_rts(data_rate: PhyRate, data_len: usize, preamble: Preamble) -> u16 {
+    let cts = airtime_us(response_rate(data_rate), ACK_FRAME_LEN, preamble);
+    let t = 3 * SIFS_US
+        + cts
+        + airtime_us(data_rate, data_len, preamble)
+        + ack_airtime_us(data_rate, preamble);
+    t.min(u64::from(u16::MAX)) as u16
+}
+
+/// Mean backoff time (µs) for contention window `cw`: `cw/2 × slot`.
+/// Used by the protection-mode headroom estimate (paper footnote 7).
+pub fn mean_backoff_us(cw: u16) -> Micros {
+    Micros::from(cw / 2 + cw % 2) * SLOT_US
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_footnote7_cts_is_248us() {
+        // "our APs send CTS at 2 Mbps with the long preamble" → 248 µs.
+        assert_eq!(airtime_us(PhyRate::R2, ACK_FRAME_LEN, Preamble::Long), 248);
+    }
+
+    #[test]
+    fn paper_footnote7_ofdm_ack() {
+        // ACK at the 24 Mbps basic rate: 20 + 4*ceil(134/96) = 28 µs before
+        // the ERP signal extension; the paper quotes 28 µs.
+        let t = airtime_us(PhyRate::R24, ACK_FRAME_LEN, Preamble::Long);
+        assert_eq!(t, 28 + OFDM_SIGNAL_EXT_US);
+    }
+
+    #[test]
+    fn dsss_airtime_exact() {
+        // 1000 bytes at 1 Mbps = 8000 µs + 192 µs preamble.
+        assert_eq!(airtime_us(PhyRate::R1, 1000, Preamble::Long), 8192);
+        // 1000 bytes at 11 Mbps = ceil(80000/110)*... = ceil(8000*10/110)=728.
+        assert_eq!(airtime_us(PhyRate::R11, 1000, Preamble::Long), 192 + 728);
+        // 5.5 Mbps fractional rate rounds up: 24 bits / 5.5 Mbps = 4.36 → 5 µs.
+        assert_eq!(airtime_us(PhyRate::R5_5, 3, Preamble::Short), 96 + 5);
+    }
+
+    #[test]
+    fn ofdm_airtime_exact() {
+        // 1500 bytes at 54 Mbps: symbols = ceil((16+12000+6)/216) = 56
+        // → 20 + 224 + 6 = 250 µs.
+        assert_eq!(airtime_us(PhyRate::R54, 1500, Preamble::Long), 250);
+        // 100 bytes at 6 Mbps: ceil((16+800+6)/24)=35 → 20+140+6=166.
+        assert_eq!(airtime_us(PhyRate::R6, 100, Preamble::Long), 166);
+    }
+
+    #[test]
+    fn airtime_monotone_in_len() {
+        for rate in PhyRate::BG_LADDER {
+            let mut last = 0;
+            for len in [14, 64, 256, 512, 1024, 1536] {
+                let t = airtime_us(rate, len, Preamble::Long);
+                assert!(t >= last, "airtime not monotone at {rate:?} len {len}");
+                last = t;
+            }
+        }
+    }
+
+    #[test]
+    fn airtime_antitone_in_rate_within_family() {
+        for fam in [&PhyRate::B_RATES[..], &PhyRate::G_RATES[..]] {
+            for w in fam.windows(2) {
+                assert!(
+                    airtime_us(w[0], 1000, Preamble::Long)
+                        > airtime_us(w[1], 1000, Preamble::Long)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn response_rates_are_basic() {
+        assert_eq!(response_rate(PhyRate::R1), PhyRate::R1);
+        assert_eq!(response_rate(PhyRate::R5_5), PhyRate::R2);
+        assert_eq!(response_rate(PhyRate::R11), PhyRate::R11);
+        assert_eq!(response_rate(PhyRate::R6), PhyRate::R6);
+        assert_eq!(response_rate(PhyRate::R18), PhyRate::R12);
+        assert_eq!(response_rate(PhyRate::R54), PhyRate::R24);
+    }
+
+    #[test]
+    fn duration_fields_consistent() {
+        // The duration of a CTS-to-self covers strictly more than DATA+ACK.
+        let d1 = duration_data_ack(PhyRate::R54, Preamble::Long);
+        let d2 = duration_cts_to_self(PhyRate::R54, 1500, Preamble::Long);
+        assert!(u64::from(d2) > u64::from(d1) + airtime_us(PhyRate::R54, 1500, Preamble::Long) - 20);
+        // RTS covers even more than CTS-to-self (adds the CTS and a SIFS).
+        let d3 = duration_rts(PhyRate::R54, 1500, Preamble::Long);
+        assert!(d3 > d2);
+    }
+
+    #[test]
+    fn difs_is_50us() {
+        assert_eq!(DIFS_US, 50);
+    }
+
+    #[test]
+    fn mean_backoff() {
+        assert_eq!(mean_backoff_us(CW_MIN_G), 8 * SLOT_US);
+        assert_eq!(mean_backoff_us(CW_MIN_B), 16 * SLOT_US);
+    }
+}

@@ -1,0 +1,164 @@
+//! ARP for IPv4 over 802.x media.
+//!
+//! ARP matters to the paper far beyond address resolution: §7.1 finds that
+//! wired-side ARP broadcasts — forwarded onto *every* AP's channel at the
+//! lowest rate — regularly consume ~10% of airtime. The simulator reproduces
+//! that workload (a Vernier-style management server ARP-scanning the client
+//! space), so ARP needs a faithful wire format.
+
+use crate::PacketError;
+use std::net::Ipv4Addr;
+
+/// ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArpOp {
+    /// Who-has.
+    Request,
+    /// Is-at.
+    Reply,
+}
+
+impl ArpOp {
+    fn code(self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        }
+    }
+
+    fn from_code(c: u16) -> Option<Self> {
+        match c {
+            1 => Some(ArpOp::Request),
+            2 => Some(ArpOp::Reply),
+            _ => None,
+        }
+    }
+}
+
+/// An Ethernet/IPv4 ARP packet (28 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Request or reply.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: [u8; 6],
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: [u8; 6],
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+/// On-air size of an Ethernet/IPv4 ARP packet.
+pub const ARP_LEN: usize = 28;
+
+impl ArpPacket {
+    /// Builds a who-has request.
+    pub fn who_has(sender_mac: [u8; 6], sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: [0; 6],
+            target_ip,
+        }
+    }
+
+    /// Builds the is-at reply answering `req`.
+    pub fn reply_to(req: &ArpPacket, my_mac: [u8; 6]) -> Self {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: my_mac,
+            sender_ip: req.target_ip,
+            target_mac: req.sender_mac,
+            target_ip: req.sender_ip,
+        }
+    }
+
+    /// Serializes onto `out`.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&1u16.to_be_bytes()); // htype: ethernet
+        out.extend_from_slice(&0x0800u16.to_be_bytes()); // ptype: ipv4
+        out.push(6); // hlen
+        out.push(4); // plen
+        out.extend_from_slice(&self.op.code().to_be_bytes());
+        out.extend_from_slice(&self.sender_mac);
+        out.extend_from_slice(&self.sender_ip.octets());
+        out.extend_from_slice(&self.target_mac);
+        out.extend_from_slice(&self.target_ip.octets());
+    }
+
+    /// Parses from bytes.
+    pub fn parse(bytes: &[u8]) -> Result<Self, PacketError> {
+        if bytes.len() < ARP_LEN {
+            return Err(PacketError::Truncated {
+                layer: "arp",
+                needed: ARP_LEN,
+                got: bytes.len(),
+            });
+        }
+        let htype = u16::from_be_bytes([bytes[0], bytes[1]]);
+        let ptype = u16::from_be_bytes([bytes[2], bytes[3]]);
+        if htype != 1 || ptype != 0x0800 || bytes[4] != 6 || bytes[5] != 4 {
+            return Err(PacketError::Unsupported {
+                what: "non ethernet/ipv4 arp",
+            });
+        }
+        let op = ArpOp::from_code(u16::from_be_bytes([bytes[6], bytes[7]]))
+            .ok_or(PacketError::Unsupported { what: "arp opcode" })?;
+        let mut sender_mac = [0u8; 6];
+        sender_mac.copy_from_slice(&bytes[8..14]);
+        let sender_ip = Ipv4Addr::new(bytes[14], bytes[15], bytes[16], bytes[17]);
+        let mut target_mac = [0u8; 6];
+        target_mac.copy_from_slice(&bytes[18..24]);
+        let target_ip = Ipv4Addr::new(bytes[24], bytes[25], bytes[26], bytes[27]);
+        Ok(ArpPacket {
+            op,
+            sender_mac,
+            sender_ip,
+            target_mac,
+            target_ip,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let req = ArpPacket::who_has(
+            [2, 0, 0, 0, 0, 9],
+            Ipv4Addr::new(10, 0, 0, 9),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        let mut buf = Vec::new();
+        req.write(&mut buf);
+        assert_eq!(buf.len(), ARP_LEN);
+        assert_eq!(ArpPacket::parse(&buf).unwrap(), req);
+
+        let rep = ArpPacket::reply_to(&req, [2, 0, 0, 0, 0, 1]);
+        assert_eq!(rep.op, ArpOp::Reply);
+        assert_eq!(rep.target_ip, req.sender_ip);
+        assert_eq!(rep.sender_ip, req.target_ip);
+        assert_eq!(rep.target_mac, req.sender_mac);
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(ArpPacket::parse(&[0; 27]).is_err());
+    }
+
+    #[test]
+    fn bad_htype() {
+        let mut buf = Vec::new();
+        ArpPacket::who_has([0; 6], Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED).write(&mut buf);
+        buf[0] = 9;
+        assert!(matches!(
+            ArpPacket::parse(&buf),
+            Err(PacketError::Unsupported { .. })
+        ));
+    }
+}

@@ -1,0 +1,87 @@
+//! RFC 1071 one's-complement checksum, shared by IPv4, UDP and TCP.
+
+/// Accumulates 16-bit big-endian words (odd trailing byte padded with zero).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Checksum { sum: 0 }
+    }
+
+    /// Feeds raw bytes.
+    pub fn add_bytes(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Feeds one 16-bit value.
+    pub fn add_u16(&mut self, v: u16) {
+        self.sum += u32::from(v);
+    }
+
+    /// Feeds one 32-bit value as two 16-bit words.
+    pub fn add_u32(&mut self, v: u32) {
+        self.add_u16((v >> 16) as u16);
+        self.add_u16(v as u16);
+    }
+
+    /// Folds carries and returns the one's-complement result.
+    pub fn finish(self) -> u16 {
+        let mut s = self.sum;
+        while s > 0xffff {
+            s = (s & 0xffff) + (s >> 16);
+        }
+        !(s as u16)
+    }
+}
+
+/// One-shot checksum of a byte slice.
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(data);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Classic example: 00 01 f2 03 f4 f5 f6 f7 → sum 0xddf2, cksum 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_padding() {
+        assert_eq!(checksum(&[0xff]), !0xff00);
+    }
+
+    #[test]
+    fn verify_property() {
+        // A message with its checksum inserted sums to zero.
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x40, 0x00, 0x40, 0x06];
+        let ck = checksum(&data);
+        data.extend_from_slice(&ck.to_be_bytes());
+        assert_eq!(checksum(&data), 0);
+    }
+
+    #[test]
+    fn u32_matches_bytes() {
+        let mut a = Checksum::new();
+        a.add_u32(0xdead_beef);
+        let mut b = Checksum::new();
+        b.add_bytes(&[0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

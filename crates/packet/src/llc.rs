@@ -1,0 +1,74 @@
+//! LLC/SNAP encapsulation (RFC 1042): the 8-byte prefix of every 802.11
+//! data-frame body that carries an ethertype-tagged payload.
+
+use crate::PacketError;
+
+/// Length of the LLC/SNAP header: AA AA 03 | 00 00 00 | ethertype(2).
+pub const LLC_SNAP_LEN: usize = 8;
+
+/// Well-known ethertypes used by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EtherType(pub u16);
+
+impl EtherType {
+    /// IPv4.
+    pub const IPV4: EtherType = EtherType(0x0800);
+    /// ARP.
+    pub const ARP: EtherType = EtherType(0x0806);
+}
+
+/// Writes the LLC/SNAP header for `ethertype` onto `out`.
+pub fn write_llc_snap(out: &mut Vec<u8>, ethertype: u16) {
+    out.extend_from_slice(&[0xaa, 0xaa, 0x03, 0x00, 0x00, 0x00]);
+    out.extend_from_slice(&ethertype.to_be_bytes());
+}
+
+/// Parses an LLC/SNAP header, returning `(ethertype, payload)`.
+pub fn parse_llc_snap(bytes: &[u8]) -> Result<(u16, &[u8]), PacketError> {
+    if bytes.len() < LLC_SNAP_LEN {
+        return Err(PacketError::Truncated {
+            layer: "llc/snap",
+            needed: LLC_SNAP_LEN,
+            got: bytes.len(),
+        });
+    }
+    if bytes[0] != 0xaa || bytes[1] != 0xaa || bytes[2] != 0x03 {
+        return Err(PacketError::Unsupported {
+            what: "non-SNAP LLC header",
+        });
+    }
+    let ethertype = u16::from_be_bytes([bytes[6], bytes[7]]);
+    Ok((ethertype, &bytes[LLC_SNAP_LEN..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_llc_snap(&mut buf, 0x0800);
+        buf.extend_from_slice(b"payload");
+        let (et, rest) = parse_llc_snap(&buf).unwrap();
+        assert_eq!(et, 0x0800);
+        assert_eq!(rest, b"payload");
+    }
+
+    #[test]
+    fn short_input() {
+        assert!(matches!(
+            parse_llc_snap(&[0xaa, 0xaa]),
+            Err(PacketError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn non_snap_rejected() {
+        let buf = [0x42, 0x42, 0x03, 0, 0, 0, 0x08, 0x00];
+        assert!(matches!(
+            parse_llc_snap(&buf),
+            Err(PacketError::Unsupported { .. })
+        ));
+    }
+}

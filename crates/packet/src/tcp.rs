@@ -1,0 +1,356 @@
+//! TCP segments.
+//!
+//! Payload *content* is never inspected by any Jigsaw analysis — only
+//! sequence ranges matter — so segments carry a `payload_len` and serialize a
+//! deterministic zero-fill. This keeps traces compact and, crucially, makes
+//! parsing robust to snap-length truncation: the true payload length is
+//! recovered from the IP total-length field even when the captured bytes
+//! stop at the snap limit (exactly how Jigsaw handles jigdump's ~200-byte
+//! capture window, paper §5).
+
+use crate::checksum::Checksum;
+use crate::PacketError;
+use std::net::Ipv4Addr;
+
+/// TCP header flags (the subset the reconstruction uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags {
+    /// Synchronize (connection setup).
+    pub syn: bool,
+    /// Acknowledgment field significant.
+    pub ack: bool,
+    /// Finish (orderly teardown).
+    pub fin: bool,
+    /// Reset.
+    pub rst: bool,
+    /// Push.
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    fn to_byte(self) -> u8 {
+        (u8::from(self.fin))
+            | (u8::from(self.syn) << 1)
+            | (u8::from(self.rst) << 2)
+            | (u8::from(self.psh) << 3)
+            | (u8::from(self.ack) << 4)
+    }
+
+    fn from_byte(b: u8) -> Self {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+/// A TCP segment: full header semantics, zero-filled payload of known length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte (or the SYN/FIN).
+    pub seq: u32,
+    /// Acknowledgment number (valid when `flags.ack`).
+    pub ack: u32,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window.
+    pub window: u16,
+    /// MSS option (emitted on SYN segments only).
+    pub mss: Option<u16>,
+    /// Payload length in bytes (content is zero-fill on the wire).
+    pub payload_len: u16,
+}
+
+impl TcpSegment {
+    /// A SYN segment opening a connection.
+    pub fn syn(src_port: u16, dst_port: u16, seq: u32, mss: u16) -> Self {
+        TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack: 0,
+            flags: TcpFlags {
+                syn: true,
+                ..Default::default()
+            },
+            window: 65535,
+            mss: Some(mss),
+            payload_len: 0,
+        }
+    }
+
+    /// A SYN-ACK answering `syn`.
+    pub fn syn_ack(syn: &TcpSegment, seq: u32, mss: u16) -> Self {
+        TcpSegment {
+            src_port: syn.dst_port,
+            dst_port: syn.src_port,
+            seq,
+            ack: syn.seq.wrapping_add(1),
+            flags: TcpFlags {
+                syn: true,
+                ack: true,
+                ..Default::default()
+            },
+            window: 65535,
+            mss: Some(mss),
+            payload_len: 0,
+        }
+    }
+
+    /// A data segment (ACK flag set, as in any established-state segment).
+    pub fn data(src_port: u16, dst_port: u16, seq: u32, ack: u32, len: u16) -> Self {
+        TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags: TcpFlags {
+                ack: true,
+                psh: len > 0,
+                ..Default::default()
+            },
+            window: 65535,
+            mss: None,
+            payload_len: len,
+        }
+    }
+
+    /// A pure acknowledgment.
+    pub fn pure_ack(src_port: u16, dst_port: u16, seq: u32, ack: u32) -> Self {
+        Self::data(src_port, dst_port, seq, ack, 0)
+    }
+
+    /// Header length in bytes (20, or 24 with the MSS option).
+    pub fn header_len(&self) -> usize {
+        if self.mss.is_some() {
+            24
+        } else {
+            20
+        }
+    }
+
+    /// Total on-wire length: header + payload.
+    pub fn wire_len(&self) -> usize {
+        self.header_len() + usize::from(self.payload_len)
+    }
+
+    /// Sequence space consumed: payload bytes plus one for SYN and FIN.
+    pub fn seq_space(&self) -> u32 {
+        u32::from(self.payload_len)
+            + u32::from(self.flags.syn)
+            + u32::from(self.flags.fin)
+    }
+
+    /// The sequence number just past this segment.
+    pub fn seq_end(&self) -> u32 {
+        self.seq.wrapping_add(self.seq_space())
+    }
+
+    /// Serializes (header + zero payload) with a valid checksum for the
+    /// `src`/`dst` pseudo-header.
+    pub fn write(&self, out: &mut Vec<u8>, src: Ipv4Addr, dst: Ipv4Addr) {
+        let start = out.len();
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        let data_offset_words = (self.header_len() / 4) as u8;
+        out.push(data_offset_words << 4);
+        out.push(self.flags.to_byte());
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&[0, 0]); // urgent pointer
+        if let Some(mss) = self.mss {
+            out.push(2); // kind: MSS
+            out.push(4); // length
+            out.extend_from_slice(&mss.to_be_bytes());
+        }
+        out.resize(out.len() + usize::from(self.payload_len), 0);
+
+        let mut ck = Checksum::new();
+        ck.add_bytes(&src.octets());
+        ck.add_bytes(&dst.octets());
+        ck.add_u16(6); // protocol
+        ck.add_u16(self.wire_len() as u16);
+        ck.add_bytes(&out[start..]);
+        let sum = ck.finish();
+        out[start + 16] = (sum >> 8) as u8;
+        out[start + 17] = sum as u8;
+    }
+
+    /// Parses a TCP segment.
+    ///
+    /// `wire_len` is the segment length according to the enclosing IP header;
+    /// `bytes` may be shorter (snap truncation), in which case the checksum
+    /// is not verifiable and is skipped — headers are still recovered.
+    pub fn parse(bytes: &[u8], wire_len: usize) -> Result<Self, PacketError> {
+        if bytes.len() < 20 {
+            return Err(PacketError::Truncated {
+                layer: "tcp",
+                needed: 20,
+                got: bytes.len(),
+            });
+        }
+        let src_port = u16::from_be_bytes([bytes[0], bytes[1]]);
+        let dst_port = u16::from_be_bytes([bytes[2], bytes[3]]);
+        let seq = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        let ack = u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        let header_len = usize::from(bytes[12] >> 4) * 4;
+        if !(20..=60).contains(&header_len) {
+            return Err(PacketError::Unsupported {
+                what: "tcp data offset",
+            });
+        }
+        if wire_len < header_len {
+            return Err(PacketError::Truncated {
+                layer: "tcp",
+                needed: header_len,
+                got: wire_len,
+            });
+        }
+        let flags = TcpFlags::from_byte(bytes[13]);
+        let window = u16::from_be_bytes([bytes[14], bytes[15]]);
+        // Scan options (present bytes only) for MSS.
+        let mut mss = None;
+        if header_len > 20 && bytes.len() >= header_len {
+            let mut opts = &bytes[20..header_len];
+            while let [kind, rest @ ..] = opts {
+                match kind {
+                    0 => break,
+                    1 => opts = rest,
+                    2 => {
+                        if rest.len() >= 3 && rest[0] == 4 {
+                            mss = Some(u16::from_be_bytes([rest[1], rest[2]]));
+                        }
+                        break;
+                    }
+                    _ => {
+                        if rest.is_empty() || usize::from(rest[0]) < 2 {
+                            break;
+                        }
+                        let skip = usize::from(rest[0]) - 1;
+                        if skip > rest.len() {
+                            break;
+                        }
+                        opts = &rest[skip..];
+                    }
+                }
+            }
+        }
+        Ok(TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window,
+            mss,
+            payload_len: (wire_len - header_len) as u16,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum::Checksum;
+    use proptest::prelude::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(172, 16, 4, 2);
+
+    fn roundtrip(seg: TcpSegment) {
+        let mut buf = Vec::new();
+        seg.write(&mut buf, SRC, DST);
+        assert_eq!(buf.len(), seg.wire_len());
+        let back = TcpSegment::parse(&buf, buf.len()).unwrap();
+        assert_eq!(back, seg);
+    }
+
+    #[test]
+    fn syn_roundtrip() {
+        roundtrip(TcpSegment::syn(5000, 80, 12345, 1460));
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        roundtrip(TcpSegment::data(5000, 80, 1, 1, 1460));
+        roundtrip(TcpSegment::pure_ack(80, 5000, 1, 1461));
+    }
+
+    #[test]
+    fn fin_consumes_seq_space() {
+        let mut seg = TcpSegment::data(1, 2, 100, 1, 10);
+        seg.flags.fin = true;
+        assert_eq!(seg.seq_space(), 11);
+        assert_eq!(seg.seq_end(), 111);
+        let syn = TcpSegment::syn(1, 2, 7, 1460);
+        assert_eq!(syn.seq_space(), 1);
+    }
+
+    #[test]
+    fn checksum_verifies() {
+        let seg = TcpSegment::data(5000, 80, 99, 42, 100);
+        let mut buf = Vec::new();
+        seg.write(&mut buf, SRC, DST);
+        // Recompute including pseudo-header: must be zero.
+        let mut ck = Checksum::new();
+        ck.add_bytes(&SRC.octets());
+        ck.add_bytes(&DST.octets());
+        ck.add_u16(6);
+        ck.add_u16(buf.len() as u16);
+        ck.add_bytes(&buf);
+        assert_eq!(ck.finish(), 0);
+    }
+
+    #[test]
+    fn snap_truncated_parse_recovers_headers() {
+        let seg = TcpSegment::data(5000, 80, 7, 9, 1400);
+        let mut buf = Vec::new();
+        seg.write(&mut buf, SRC, DST);
+        // Snap to 60 bytes, but tell the parser the true wire length.
+        let back = TcpSegment::parse(&buf[..60], buf.len()).unwrap();
+        assert_eq!(back, seg);
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        assert!(TcpSegment::parse(&[0; 19], 19).is_err());
+    }
+
+    #[test]
+    fn syn_ack_mirrors_ports() {
+        let syn = TcpSegment::syn(4321, 443, 1000, 1460);
+        let sa = TcpSegment::syn_ack(&syn, 5555, 1460);
+        assert_eq!(sa.src_port, 443);
+        assert_eq!(sa.dst_port, 4321);
+        assert_eq!(sa.ack, 1001);
+        assert!(sa.flags.syn && sa.flags.ack);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_roundtrip(src_port: u16, dst_port: u16, seq: u32, ackn: u32,
+                               window: u16, len in 0u16..1460,
+                               syn: bool, ackf: bool, fin: bool, rst: bool, psh: bool,
+                               mss in proptest::option::of(500u16..1500)) {
+            let seg = TcpSegment {
+                src_port, dst_port, seq, ack: ackn,
+                flags: TcpFlags { syn, ack: ackf, fin, rst, psh },
+                window,
+                mss,
+                payload_len: len,
+            };
+            let mut buf = Vec::new();
+            seg.write(&mut buf, SRC, DST);
+            prop_assert_eq!(TcpSegment::parse(&buf, buf.len()).unwrap(), seg);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! UDP datagrams (zero-filled payload of known length, like [`crate::tcp`]).
+//!
+//! The paper's broadcast-abuse findings (§7.1) feature UDP heavily: the
+//! MS Office anti-piracy beacon broadcast to port 2222 (footnote 6) and
+//! assorted discovery chatter. The simulator reproduces those workloads.
+
+use crate::checksum::Checksum;
+use crate::PacketError;
+use std::net::Ipv4Addr;
+
+/// A UDP datagram with a zero-filled payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload length in bytes.
+    pub payload_len: u16,
+}
+
+impl UdpDatagram {
+    /// Builds a datagram.
+    pub fn new(src_port: u16, dst_port: u16, payload_len: u16) -> Self {
+        UdpDatagram {
+            src_port,
+            dst_port,
+            payload_len,
+        }
+    }
+
+    /// Total on-wire length (8-byte header + payload).
+    pub fn wire_len(&self) -> usize {
+        8 + usize::from(self.payload_len)
+    }
+
+    /// Serializes with a valid checksum for the `src`/`dst` pseudo-header.
+    pub fn write(&self, out: &mut Vec<u8>, src: Ipv4Addr, dst: Ipv4Addr) {
+        let start = out.len();
+        let len = self.wire_len() as u16;
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.resize(out.len() + usize::from(self.payload_len), 0);
+
+        let mut ck = Checksum::new();
+        ck.add_bytes(&src.octets());
+        ck.add_bytes(&dst.octets());
+        ck.add_u16(17);
+        ck.add_u16(len);
+        ck.add_bytes(&out[start..]);
+        let mut sum = ck.finish();
+        if sum == 0 {
+            sum = 0xffff; // per RFC 768, transmitted zero means "no checksum"
+        }
+        out[start + 6] = (sum >> 8) as u8;
+        out[start + 7] = sum as u8;
+    }
+
+    /// Parses a UDP datagram; `bytes` may be snap-truncated, the header's
+    /// own length field is authoritative.
+    pub fn parse(bytes: &[u8]) -> Result<Self, PacketError> {
+        if bytes.len() < 8 {
+            return Err(PacketError::Truncated {
+                layer: "udp",
+                needed: 8,
+                got: bytes.len(),
+            });
+        }
+        let src_port = u16::from_be_bytes([bytes[0], bytes[1]]);
+        let dst_port = u16::from_be_bytes([bytes[2], bytes[3]]);
+        let len = u16::from_be_bytes([bytes[4], bytes[5]]);
+        if len < 8 {
+            return Err(PacketError::Unsupported {
+                what: "udp length < 8",
+            });
+        }
+        Ok(UdpDatagram {
+            src_port,
+            dst_port,
+            payload_len: len - 8,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 10);
+    const DST: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 255);
+
+    #[test]
+    fn roundtrip() {
+        let d = UdpDatagram::new(2222, 2222, 120);
+        let mut buf = Vec::new();
+        d.write(&mut buf, SRC, DST);
+        assert_eq!(buf.len(), d.wire_len());
+        assert_eq!(UdpDatagram::parse(&buf).unwrap(), d);
+    }
+
+    #[test]
+    fn truncated_capture_still_parses() {
+        let d = UdpDatagram::new(53, 5353, 400);
+        let mut buf = Vec::new();
+        d.write(&mut buf, SRC, DST);
+        assert_eq!(UdpDatagram::parse(&buf[..16]).unwrap(), d);
+    }
+
+    #[test]
+    fn short_header_rejected() {
+        assert!(UdpDatagram::parse(&[0; 7]).is_err());
+    }
+
+    #[test]
+    fn bogus_length_rejected() {
+        let mut buf = vec![0, 1, 0, 2, 0, 3, 0, 0]; // length field = 3 < 8
+        buf[5] = 3;
+        assert!(UdpDatagram::parse(&buf).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-monitor clock models.
+//!
+//! Each monitor timestamps PHY events with a free-running 1 µs counter (the
+//! Atheros TSF). Jigsaw's whole synchronization problem (paper §4) exists
+//! because these clocks have arbitrary offsets, part-per-million *skew*, and
+//! slowly changing skew (*drift*). The model here:
+//!
+//! ```text
+//! local(t) = offset + t + skew(t)·t ,  skew(t) = skew₀ + random-walk(t)
+//! ```
+//!
+//! realized incrementally so the walk is causal, then quantized to 1 µs.
+//! A monitor also records an NTP wall-clock anchor with a few milliseconds
+//! of error — exactly what footnote 4 of the paper describes ("each monitor
+//! maintains their system clock within milliseconds using NTP... this is the
+//! only point at which the system clock time is ever used").
+
+use jigsaw_ieee80211::Micros;
+
+/// A free-running monitor clock with offset, skew and drift.
+#[derive(Debug, Clone)]
+pub struct ClockModel {
+    /// Constant offset, µs (the TSF started counting long before the trace).
+    pub offset_us: u64,
+    /// Initial skew in parts-per-million.
+    pub skew_ppm: f64,
+    /// Random-walk step applied to skew each [`ClockModel::DRIFT_STEP_US`],
+    /// ppm (pre-drawn sequence keeps the model deterministic and pure).
+    drift_steps_ppm: Vec<f64>,
+    /// NTP error of this monitor's system clock, µs (±).
+    pub ntp_error_us: i64,
+}
+
+impl ClockModel {
+    /// Interval at which the drift random walk advances.
+    pub const DRIFT_STEP_US: Micros = 1_000_000;
+
+    /// Builds a clock. `drift_steps_ppm[k]` perturbs the skew during second
+    /// `k` of true time; an empty vector means a perfectly stable oscillator.
+    pub fn new(offset_us: u64, skew_ppm: f64, drift_steps_ppm: Vec<f64>, ntp_error_us: i64) -> Self {
+        ClockModel {
+            offset_us,
+            skew_ppm,
+            drift_steps_ppm,
+            ntp_error_us,
+        }
+    }
+
+    /// An ideal clock (tests).
+    pub fn ideal() -> Self {
+        ClockModel::new(0, 0.0, Vec::new(), 0)
+    }
+
+    /// The instantaneous skew (ppm) in effect at true time `t`.
+    pub fn skew_at(&self, t: Micros) -> f64 {
+        let steps = (t / Self::DRIFT_STEP_US) as usize;
+        let walked: f64 = self
+            .drift_steps_ppm
+            .iter()
+            .take(steps)
+            .sum();
+        self.skew_ppm + walked
+    }
+
+    /// Maps true time to this clock's local time, quantized to 1 µs.
+    ///
+    /// Integrates the skew over each drift interval so that local time is
+    /// continuous and strictly increasing for |skew| < 10⁶ ppm.
+    pub fn local(&self, t: Micros) -> Micros {
+        let mut advance = 0.0f64; // accumulated (local - true) beyond offset
+        let mut done: Micros = 0;
+        let mut step = 0usize;
+        while done < t {
+            let seg_end = ((done / Self::DRIFT_STEP_US) + 1) * Self::DRIFT_STEP_US;
+            let seg = seg_end.min(t) - done;
+            let skew = self.skew_ppm
+                + self.drift_steps_ppm.iter().take(step).sum::<f64>();
+            advance += seg as f64 * skew * 1e-6;
+            done += seg;
+            step += 1;
+        }
+        let local = self.offset_us as f64 + t as f64 + advance;
+        local.round().max(0.0) as Micros
+    }
+
+    /// The wall-clock (NTP) time this monitor believes corresponds to true
+    /// time `t` — true time plus its NTP error.
+    pub fn wall(&self, t: Micros) -> Micros {
+        let w = t as i64 + self.ntp_error_us;
+        w.max(0) as Micros
+    }
+}
+
+/// Cached incremental converter for hot-path timestamping: O(1) per call for
+/// monotone queries (the simulator always asks in non-decreasing `t`).
+#[derive(Debug, Clone)]
+pub struct ClockCursor {
+    model: ClockModel,
+    seg_start: Micros,
+    advance_at_seg_start: f64,
+    skew_now: f64,
+    step: usize,
+}
+
+impl ClockCursor {
+    /// Wraps a model.
+    pub fn new(model: ClockModel) -> Self {
+        let skew_now = model.skew_ppm;
+        ClockCursor {
+            model,
+            seg_start: 0,
+            advance_at_seg_start: 0.0,
+            skew_now,
+            step: 0,
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &ClockModel {
+        &self.model
+    }
+
+    /// Local time for true time `t`; `t` may go backwards slightly (within
+    /// the current drift segment) but is expected to be mostly monotone.
+    pub fn local(&mut self, t: Micros) -> Micros {
+        if t < self.seg_start {
+            // Rare non-monotone query: fall back to the pure computation.
+            return self.model.local(t);
+        }
+        // Advance whole segments.
+        loop {
+            let seg_end = ((self.seg_start / ClockModel::DRIFT_STEP_US) + 1)
+                * ClockModel::DRIFT_STEP_US;
+            if t < seg_end {
+                break;
+            }
+            self.advance_at_seg_start += (seg_end - self.seg_start) as f64 * self.skew_now * 1e-6;
+            self.seg_start = seg_end;
+            self.skew_now = self.model.skew_ppm
+                + self
+                    .model
+                    .drift_steps_ppm
+                    .iter()
+                    .take(self.step + 1)
+                    .sum::<f64>();
+            self.step += 1;
+        }
+        let advance =
+            self.advance_at_seg_start + (t - self.seg_start) as f64 * self.skew_now * 1e-6;
+        let local = self.model.offset_us as f64 + t as f64 + advance;
+        local.round().max(0.0) as Micros
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_clock_is_identity() {
+        let c = ClockModel::ideal();
+        for t in [0u64, 1, 999_999, 12_345_678] {
+            assert_eq!(c.local(t), t);
+        }
+    }
+
+    #[test]
+    fn offset_applied() {
+        let c = ClockModel::new(5_000_000, 0.0, vec![], 0);
+        assert_eq!(c.local(0), 5_000_000);
+        assert_eq!(c.local(100), 5_000_100);
+    }
+
+    #[test]
+    fn skew_accumulates() {
+        // +100 ppm: after 1 s of true time, local has gained 100 µs.
+        let c = ClockModel::new(0, 100.0, vec![], 0);
+        assert_eq!(c.local(1_000_000), 1_000_100);
+        assert_eq!(c.local(10_000_000), 10_001_000);
+    }
+
+    #[test]
+    fn negative_skew() {
+        let c = ClockModel::new(1_000_000, -50.0, vec![], 0);
+        assert_eq!(c.local(1_000_000), 1_000_000 + 1_000_000 - 50);
+    }
+
+    #[test]
+    fn drift_changes_rate() {
+        // Skew 0 during second 0, +10 ppm during second 1.
+        let c = ClockModel::new(0, 0.0, vec![10.0], 0);
+        assert_eq!(c.local(1_000_000), 1_000_000);
+        assert_eq!(c.local(2_000_000), 2_000_010);
+        assert_eq!(c.skew_at(500_000), 0.0);
+        assert_eq!(c.skew_at(1_500_000), 10.0);
+    }
+
+    #[test]
+    fn monotonicity() {
+        let steps: Vec<f64> = (0..60).map(|i| if i % 2 == 0 { 0.3 } else { -0.25 }).collect();
+        let c = ClockModel::new(77, 25.0, steps, 0);
+        let mut last = 0;
+        for t in (0..60_000_000u64).step_by(10_007) {
+            let l = c.local(t);
+            assert!(l >= last, "clock ran backwards at t={t}");
+            last = l;
+        }
+    }
+
+    #[test]
+    fn cursor_matches_model() {
+        let steps: Vec<f64> = (0..30).map(|i| ((i * 7919) % 11) as f64 * 0.01 - 0.05).collect();
+        let m = ClockModel::new(123_456, -12.5, steps, 0);
+        let mut cur = ClockCursor::new(m.clone());
+        for t in (0..30_000_000u64).step_by(99_991) {
+            assert_eq!(cur.local(t), m.local(t), "divergence at t={t}");
+        }
+        // Non-monotone query falls back correctly.
+        assert_eq!(cur.local(5), m.local(5));
+    }
+
+    #[test]
+    fn wall_clock_error() {
+        let c = ClockModel::new(0, 0.0, vec![], -3_000);
+        assert_eq!(c.wall(10_000), 7_000);
+        let c2 = ClockModel::new(0, 0.0, vec![], 3_000);
+        assert_eq!(c2.wall(10_000), 13_000);
+    }
+}

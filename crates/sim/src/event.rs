@@ -1,0 +1,209 @@
+//! The discrete-event queue driving the simulator.
+
+use jigsaw_ieee80211::Micros;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{HostId, StationId};
+
+/// Timer kinds delivered to a station's MAC (see `mac`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacTimerKind {
+    /// One backoff slot elapsed.
+    BackoffSlot,
+    /// The ACK we were waiting for did not arrive.
+    AckTimeout,
+    /// SIFS elapsed: perform the queued immediate response
+    /// (send an ACK, or the DATA stage of a CTS-to-self exchange).
+    SifsAction,
+}
+
+/// Everything that can happen in the world.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// A transmission finishes; receivers resolve their outcomes.
+    TxEnd {
+        /// Medium transmission id.
+        tx_id: u64,
+    },
+    /// A MAC-level timer for one station. `gen` guards against stale timers.
+    MacTimer {
+        /// The station.
+        station: StationId,
+        /// Generation at scheduling time.
+        gen: u32,
+        /// What to do.
+        kind: MacTimerKind,
+    },
+    /// Time to enqueue the next beacon at an AP.
+    Beacon {
+        /// The AP.
+        station: StationId,
+    },
+    /// A packet crossed the wired network and arrives at an AP for wireless
+    /// delivery, or at a wired host.
+    WiredArrival {
+        /// Index into the pending wired-packet table.
+        handle: u64,
+    },
+    /// A TCP endpoint timer (retransmission or delayed work).
+    TcpTimer {
+        /// Flow index.
+        flow: u32,
+        /// Generation guard.
+        gen: u32,
+    },
+    /// Client lifecycle / workload progression.
+    AppTimer {
+        /// The client station.
+        station: StationId,
+        /// Generation guard.
+        gen: u32,
+    },
+    /// The microwave oven toggles a noise burst.
+    NoiseBurst {
+        /// Interferer entity id.
+        entity: u32,
+    },
+    /// An AP re-evaluates its protection-mode timeout.
+    ProtectionCheck {
+        /// The AP.
+        station: StationId,
+    },
+    /// The management server ARP-scans the next registered client.
+    VernierArp,
+    /// A wired host application acts (e.g. produces response bytes).
+    HostApp {
+        /// The host.
+        host: HostId,
+        /// Flow index the action belongs to.
+        flow: u32,
+    },
+    /// A user session starts or ends (diurnal lifecycle).
+    ClientLifecycle {
+        /// The client.
+        station: StationId,
+        /// True to activate, false to deactivate.
+        activate: bool,
+    },
+    /// The next keystroke burst of an interactive ssh flow.
+    SshKeystroke {
+        /// Flow index.
+        flow: u32,
+    },
+    /// The periodic MS-Office-style UDP broadcast from a client.
+    OfficeBroadcast {
+        /// The client.
+        station: StationId,
+    },
+}
+
+#[derive(Debug)]
+struct HeapItem {
+    time: Micros,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap: earliest time first, FIFO within a time.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-heap event queue (ties broken by insertion order).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<HeapItem>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at absolute time `time`.
+    pub fn schedule(&mut self, time: Micros, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(HeapItem { time, seq, kind });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(Micros, EventKind)> {
+        self.heap.pop().map(|i| (i.time, i.kind))
+    }
+
+    /// Next event time without popping.
+    pub fn peek_time(&self) -> Option<Micros> {
+        self.heap.peek().map(|i| i.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, EventKind::VernierArp);
+        q.schedule(10, EventKind::VernierArp);
+        q.schedule(20, EventKind::VernierArp);
+        let times: Vec<Micros> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn fifo_within_same_time() {
+        let mut q = EventQueue::new();
+        q.schedule(5, EventKind::Beacon { station: StationId(1) });
+        q.schedule(5, EventKind::Beacon { station: StationId(2) });
+        q.schedule(5, EventKind::Beacon { station: StationId(3) });
+        let mut ids = Vec::new();
+        while let Some((_, EventKind::Beacon { station })) = q.pop() {
+            ids.push(station.0);
+        }
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(7, EventKind::VernierArp);
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+    }
+}

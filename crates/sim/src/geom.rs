@@ -1,0 +1,190 @@
+//! Building geometry: positions in meters, floors, and the pod/AP layout
+//! helpers used by scenario construction.
+//!
+//! The modeled building mirrors the paper's Figure 1 at parameter level:
+//! four floors, two wings per floor joined by a central core,
+//! roughly 75 m × 35 m footprint (≈ 150,000 sq ft over four floors),
+//! 3.5 m floor pitch.
+
+/// A position in the building, meters. `z` increases with floor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point3 {
+    /// East-west, 0..≈75 m.
+    pub x: f64,
+    /// North-south, 0..≈35 m.
+    pub y: f64,
+    /// Height: floor × [`Building::FLOOR_PITCH_M`].
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Constructs a point.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Euclidean distance, meters (floored at 0.5 m so co-located antennas
+    /// never yield a degenerate zero-distance path loss).
+    pub fn distance(&self, other: &Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt().max(0.5)
+    }
+}
+
+/// Building-level constants and placement helpers.
+#[derive(Debug, Clone)]
+pub struct Building {
+    /// East-west extent, m.
+    pub width_m: f64,
+    /// North-south extent, m.
+    pub depth_m: f64,
+    /// Number of floors.
+    pub floors: u8,
+}
+
+impl Building {
+    /// Vertical distance between floors, m.
+    pub const FLOOR_PITCH_M: f64 = 3.5;
+
+    /// The paper's building: ~150,000 sq ft over four floors.
+    pub fn ucsd_cse() -> Self {
+        Building {
+            width_m: 75.0,
+            depth_m: 35.0,
+            floors: 4,
+        }
+    }
+
+    /// A point on a given floor (0-based).
+    pub fn at(&self, floor: u8, x: f64, y: f64) -> Point3 {
+        Point3::new(
+            x.clamp(0.0, self.width_m),
+            y.clamp(0.0, self.depth_m),
+            f64::from(floor) * Self::FLOOR_PITCH_M + 1.5, // antenna height
+        )
+    }
+
+    /// Which floor a point lies on.
+    pub fn floor_of(&self, p: &Point3) -> u8 {
+        ((p.z / Self::FLOOR_PITCH_M).floor() as i64).clamp(0, i64::from(self.floors) - 1) as u8
+    }
+
+    /// Number of floor slabs a straight line between two points crosses.
+    pub fn floors_crossed(&self, a: &Point3, b: &Point3) -> u8 {
+        self.floor_of(a).abs_diff(self.floor_of(b))
+    }
+
+    /// Evenly spreads `n` positions across corridors of all floors:
+    /// a serpentine per-floor grid, matching how both the production APs and
+    /// the sensor pods are corridor-mounted in the paper.
+    pub fn corridor_grid(&self, n: usize) -> Vec<Point3> {
+        let mut out = Vec::with_capacity(n);
+        if n == 0 {
+            return out;
+        }
+        let per_floor = n.div_ceil(usize::from(self.floors));
+        let mut placed = 0usize;
+        for floor in 0..self.floors {
+            let here = per_floor.min(n - placed);
+            if here == 0 {
+                break;
+            }
+            // Two corridor rows per floor at 1/3 and 2/3 depth.
+            let rows = [self.depth_m / 3.0, 2.0 * self.depth_m / 3.0];
+            let per_row = here.div_ceil(2);
+            for (r, &y) in rows.iter().enumerate() {
+                let count = if r == 0 { per_row } else { here - per_row };
+                for i in 0..count {
+                    let frac = (i as f64 + 0.5) / count.max(1) as f64;
+                    out.push(self.at(floor, frac * self.width_m, y));
+                    placed += 1;
+                }
+            }
+        }
+        out.truncate(n);
+        out
+    }
+
+    /// Spreads `n` client/office positions pseudo-deterministically across
+    /// office space (off-corridor), using a low-discrepancy pattern.
+    pub fn office_positions(&self, n: usize) -> Vec<Point3> {
+        let mut out = Vec::with_capacity(n);
+        let phi = 0.618_033_988_749_894_9_f64; // golden-ratio sequence
+        for i in 0..n {
+            let floor = (i % usize::from(self.floors)) as u8;
+            let fx = ((i as f64) * phi).fract();
+            let fy = ((i as f64) * phi * phi).fract();
+            out.push(self.at(floor, fx * self.width_m, fy * self.depth_m));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(3.0, 4.0, 0.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-9);
+        // Degenerate distance floored.
+        assert!(a.distance(&a) >= 0.5);
+    }
+
+    #[test]
+    fn floors() {
+        let b = Building::ucsd_cse();
+        let p0 = b.at(0, 10.0, 10.0);
+        let p3 = b.at(3, 10.0, 10.0);
+        assert_eq!(b.floor_of(&p0), 0);
+        assert_eq!(b.floor_of(&p3), 3);
+        assert_eq!(b.floors_crossed(&p0, &p3), 3);
+        assert_eq!(b.floors_crossed(&p0, &p0), 0);
+    }
+
+    #[test]
+    fn corridor_grid_counts_and_bounds() {
+        let b = Building::ucsd_cse();
+        for n in [0, 1, 4, 39, 44, 156] {
+            let pts = b.corridor_grid(n);
+            assert_eq!(pts.len(), n);
+            for p in &pts {
+                assert!(p.x >= 0.0 && p.x <= b.width_m);
+                assert!(p.y >= 0.0 && p.y <= b.depth_m);
+            }
+        }
+    }
+
+    #[test]
+    fn corridor_grid_spans_floors() {
+        let b = Building::ucsd_cse();
+        let pts = b.corridor_grid(40);
+        let floors: std::collections::HashSet<u8> = pts.iter().map(|p| b.floor_of(p)).collect();
+        assert_eq!(floors.len(), 4, "pods should cover all four floors");
+    }
+
+    #[test]
+    fn office_positions_disperse() {
+        let b = Building::ucsd_cse();
+        let pts = b.office_positions(100);
+        assert_eq!(pts.len(), 100);
+        // No two clients exactly co-located.
+        for i in 0..pts.len() {
+            for j in i + 1..pts.len() {
+                assert!(pts[i].distance(&pts[j]) > 0.4);
+            }
+        }
+    }
+
+    #[test]
+    fn clamping() {
+        let b = Building::ucsd_cse();
+        let p = b.at(0, -5.0, 1e9);
+        assert_eq!(p.x, 0.0);
+        assert_eq!(p.y, b.depth_m);
+    }
+}

@@ -1,0 +1,87 @@
+//! # jigsaw-sim
+//!
+//! A discrete-event simulator of a building-scale production 802.11b/g
+//! network — the stand-in for the UCSD CSE building deployment that the
+//! Jigsaw paper measures (paper §3). Nothing in the measurement pipeline
+//! (`jigsaw-core`, `jigsaw-analysis`) depends on this crate; it exists to
+//! *generate* the distributed radio traces, the wired distribution-network
+//! trace, and a ground-truth RF schedule against which the pipeline's
+//! inferences can be validated.
+//!
+//! ## What is modeled
+//!
+//! * **Geometry & propagation** — a four-floor building; log-distance path
+//!   loss with floor attenuation and per-link lognormal shadowing; SINR with
+//!   cumulative interference; a rate- and length-dependent frame error model
+//!   ([`prop`]).
+//! * **The medium** — overlapping transmissions, physical + virtual (NAV)
+//!   carrier sense, legacy-radio blindness to OFDM (the root cause of
+//!   802.11g protection mode), microwave-oven wideband interference
+//!   ([`medium`]).
+//! * **DCF MAC** — DIFS/SIFS, binary-exponential backoff, link-layer
+//!   retransmission with retry bits and sequence numbers, duration/NAV,
+//!   ACKs, CTS-to-self protection, ARF rate adaptation ([`mac`]).
+//! * **Infrastructure** — APs with beacons, association, wired bridging of
+//!   broadcasts (ARP!), and the overly conservative protection-mode timeout
+//!   the paper's §7.3 critiques; clients with probe/auth/associate state
+//!   machines and diurnal activity ([`station`]).
+//! * **Transport & workloads** — TCP endpoints (slow start, congestion
+//!   avoidance, fast retransmit, RTO) over the WLAN bridged to wired hosts;
+//!   web/ssh/scp-style workloads; a Vernier-style ARP management server; the
+//!   MS Office UDP-broadcast anti-piracy beacon (footnote 6) ([`tcp`],
+//!   [`traffic`], [`wired`]).
+//! * **Monitoring infrastructure** — 39 pods × 2 monitors × 2 radios with
+//!   per-monitor free-running 1 µs clocks (offset + ppm skew + random-walk
+//!   drift), NTP wall-clock anchors, capture impairments (FCS corruption,
+//!   snap truncation, PHY errors) ([`monitor`], [`clock`]).
+//!
+//! ## What is deliberately not modeled
+//!
+//! Power-save buffering, 802.11e QoS, fragmentation, WEP payload crypto,
+//! client mobility mid-session, and 5 GHz operation — none of which the
+//! paper's evaluation depends on.
+//!
+//! Everything is deterministic given a [`scenario::ScenarioConfig`] seed.
+
+pub mod clock;
+pub mod event;
+pub mod frames;
+pub mod geom;
+pub mod mac;
+pub mod medium;
+pub mod monitor;
+pub mod output;
+pub mod prop;
+pub mod rng;
+pub mod scenario;
+pub mod station;
+pub mod tcp;
+pub mod traffic;
+pub mod wired;
+pub mod world;
+
+pub use output::{GroundTruth, SimOutput, TruthRecord, WiredRecord};
+pub use scenario::ScenarioConfig;
+pub use world::World;
+
+/// Index of a MAC-bearing station (AP or client) in the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StationId(pub u16);
+
+impl StationId {
+    /// As a usize index.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+/// Index of a wired host (server) attached to the distribution network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostId(pub u16);
+
+impl HostId {
+    /// As a usize index.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}

@@ -1,0 +1,464 @@
+//! Per-station 802.11 DCF MAC state.
+//!
+//! This module holds the *data* of the MAC state machine — queue, backoff,
+//! NAV, retry and rate-adaptation state. The *transitions* are driven by the
+//! world's event loop (`world`), which owns the medium and the event queue.
+//!
+//! Modeled faithfully (because the paper's link-layer reconstruction
+//! recovers exactly these behaviours): DIFS deferral, binary-exponential
+//! backoff frozen while the medium is busy, SIFS-spaced ACKs, retry bit +
+//! per-station 12-bit sequence numbers, duration/NAV virtual carrier sense,
+//! CTS-to-self 802.11g protection, ARF rate adaptation, retry limits.
+
+use jigsaw_ieee80211::frame::MgmtBody;
+use jigsaw_ieee80211::timing::{Preamble, CW_MAX, CW_MIN_B, CW_MIN_G};
+use jigsaw_ieee80211::{MacAddr, Micros, PhyRate, SeqNum};
+use std::collections::{HashMap, VecDeque};
+
+/// Retry limit per MPDU. Large data frames use dot11LongRetryLimit = 4
+/// (they exceed the RTS threshold); we apply it uniformly.
+pub const RETRY_LIMIT: u8 = 4;
+
+/// Maximum MPDUs queued per station before tail drop (models the AP
+/// per-interface queue whose overflow is a major TCP loss source in WLANs).
+pub const QUEUE_LIMIT: usize = 64;
+
+/// What an MPDU carries.
+#[derive(Debug, Clone)]
+pub enum MpduKind {
+    /// A data frame with an MSDU payload (LLC/SNAP + network packet).
+    Msdu {
+        /// Serialized LLC/SNAP + payload bytes.
+        bytes: Vec<u8>,
+        /// addr3: the final destination for ToDS frames, the original
+        /// source for FromDS frames.
+        addr3: MacAddr,
+        /// True for client→AP frames.
+        to_ds: bool,
+        /// True for AP→client frames.
+        from_ds: bool,
+    },
+    /// A management frame.
+    Mgmt(MgmtBody),
+    /// A NULL-data frame.
+    Null,
+}
+
+/// One queued MPDU awaiting transmission.
+#[derive(Debug, Clone)]
+pub struct Mpdu {
+    /// Receiver address (addr1).
+    pub dst: MacAddr,
+    /// Payload.
+    pub kind: MpduKind,
+    /// Retries so far (0 on first attempt).
+    pub retries: u8,
+    /// Sequence number: assigned when the first attempt starts, and kept
+    /// across retries (the retry bit + same seq is what Jigsaw's exchange
+    /// FSM keys on).
+    pub seq: Option<SeqNum>,
+    /// When the MPDU entered the queue (true time).
+    pub enqueued_at: Micros,
+    /// Ground-truth exchange id assigned at enqueue (for validation).
+    pub truth_xid: u64,
+}
+
+impl Mpdu {
+    /// Whether this MPDU expects a link-layer ACK.
+    pub fn needs_ack(&self) -> bool {
+        self.dst.is_unicast()
+    }
+}
+
+/// The immediate (SIFS-spaced) action a station owes the medium.
+#[derive(Debug, Clone)]
+pub enum SifsAction {
+    /// Send an ACK to `to` (we just received their unicast frame).
+    SendAck {
+        /// Station being acknowledged.
+        to: MacAddr,
+        /// The rate to answer at (basic rate ≤ the data rate).
+        rate: PhyRate,
+    },
+    /// Send the DATA stage of a CTS-to-self protected exchange.
+    SendProtectedData,
+}
+
+/// MAC state machine phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MacPhase {
+    /// Nothing to do (queue may be empty or medium contention not started).
+    Idle,
+    /// Counting down backoff slots (paused while the medium is busy).
+    Backoff,
+    /// Our own CTS-to-self is in flight.
+    TxCts,
+    /// Our own DATA/management frame is in flight.
+    TxData,
+    /// Waiting SIFS before the protected DATA stage.
+    WaitSifs,
+    /// DATA sent, waiting for the ACK (timeout scheduled).
+    WaitAck,
+}
+
+/// ARF (Automatic Rate Fallback) per-destination state.
+#[derive(Debug, Clone)]
+pub struct ArfState {
+    /// Current rate for this destination.
+    pub rate: PhyRate,
+    /// Consecutive successes at this rate.
+    pub successes: u32,
+    /// Consecutive failures at this rate.
+    pub failures: u32,
+}
+
+/// Successes needed before ARF probes the next faster rate.
+pub const ARF_UP_THRESHOLD: u32 = 10;
+/// Consecutive failures that trigger a rate step-down.
+pub const ARF_DOWN_THRESHOLD: u32 = 2;
+
+/// Per-station MAC state.
+#[derive(Debug)]
+pub struct Mac {
+    /// Our MAC address.
+    pub addr: MacAddr,
+    /// True for 802.11b-only hardware.
+    pub b_only: bool,
+    /// Preamble flavor used for CCK transmissions.
+    pub preamble: Preamble,
+    /// Transmit queue; head is the MPDU in service.
+    pub queue: VecDeque<Mpdu>,
+    /// Current phase.
+    pub phase: MacPhase,
+    /// Pending SIFS action (valid in `WaitSifs`).
+    pub sifs_action: Option<SifsAction>,
+    /// Remaining backoff slots.
+    pub backoff_slots: u32,
+    /// Current contention window.
+    pub cw: u16,
+    /// Next sequence number to assign.
+    pub seq_counter: SeqNum,
+    /// NAV: medium reserved (virtually) until this true time.
+    pub nav_until: Micros,
+    /// Number of transmissions we currently sense on the air.
+    pub sensed: u32,
+    /// True time at which the medium last became idle for us
+    /// (used for the DIFS + slot bookkeeping).
+    pub idle_since: Micros,
+    /// One of our own transmissions (head or response) is on the air.
+    pub radio_busy: bool,
+    /// Generation guard for backoff-slot timers.
+    pub gen_backoff: u32,
+    /// Generation guard for SIFS-action timers.
+    pub gen_resp: u32,
+    /// Generation guard for ACK timeouts.
+    pub gen_ack: u32,
+    /// Whether 802.11g protection (CTS-to-self before OFDM) is in force.
+    pub protection: bool,
+    /// ARF state per destination.
+    pub arf: HashMap<MacAddr, ArfState>,
+    /// Cap on the rate usable toward a peer (learned from rate-set IEs).
+    pub peer_cap: HashMap<MacAddr, PhyRate>,
+    /// MPDUs dropped due to queue overflow (stat).
+    pub queue_drops: u64,
+    /// MPDUs abandoned after the retry limit (stat).
+    pub retry_failures: u64,
+}
+
+impl Mac {
+    /// A fresh MAC.
+    pub fn new(addr: MacAddr, b_only: bool) -> Self {
+        Mac {
+            addr,
+            b_only,
+            preamble: Preamble::Long,
+            queue: VecDeque::new(),
+            phase: MacPhase::Idle,
+            sifs_action: None,
+            backoff_slots: 0,
+            cw: if b_only { CW_MIN_B } else { CW_MIN_G },
+            seq_counter: SeqNum::new(0),
+            nav_until: 0,
+            sensed: 0,
+            idle_since: 0,
+            radio_busy: false,
+            gen_backoff: 0,
+            gen_resp: 0,
+            gen_ack: 0,
+            protection: false,
+            arf: HashMap::new(),
+            peer_cap: HashMap::new(),
+            queue_drops: 0,
+            retry_failures: 0,
+        }
+    }
+
+    /// The minimum contention window for this station right now.
+    pub fn cw_min(&self) -> u16 {
+        if self.b_only || self.protection {
+            CW_MIN_B
+        } else {
+            CW_MIN_G
+        }
+    }
+
+    /// Is the medium busy for us at `now` (physical or virtual carrier)?
+    pub fn medium_busy(&self, now: Micros) -> bool {
+        self.sensed > 0 || self.nav_until > now
+    }
+
+    /// Enqueues an MPDU (tail-dropping at [`QUEUE_LIMIT`]).
+    /// Returns false when dropped.
+    pub fn enqueue(&mut self, mpdu: Mpdu) -> bool {
+        if self.queue.len() >= QUEUE_LIMIT {
+            self.queue_drops += 1;
+            return false;
+        }
+        self.queue.push_back(mpdu);
+        true
+    }
+
+    /// Takes the next sequence number (advancing the counter).
+    pub fn next_seq(&mut self) -> SeqNum {
+        let s = self.seq_counter;
+        self.seq_counter = self.seq_counter.next();
+        s
+    }
+
+    /// Doubles the contention window after a failed attempt.
+    pub fn grow_cw(&mut self) {
+        self.cw = (self.cw * 2 + 1).min(CW_MAX);
+    }
+
+    /// Resets the contention window after a completed exchange.
+    pub fn reset_cw(&mut self) {
+        self.cw = self.cw_min();
+    }
+
+    /// Invalidates outstanding backoff-slot timers; returns the new gen.
+    pub fn bump_backoff(&mut self) -> u32 {
+        self.gen_backoff = self.gen_backoff.wrapping_add(1);
+        self.gen_backoff
+    }
+
+    /// Invalidates outstanding SIFS-action timers; returns the new gen.
+    pub fn bump_resp(&mut self) -> u32 {
+        self.gen_resp = self.gen_resp.wrapping_add(1);
+        self.gen_resp
+    }
+
+    /// Invalidates outstanding ACK timeouts; returns the new gen.
+    pub fn bump_ack(&mut self) -> u32 {
+        self.gen_ack = self.gen_ack.wrapping_add(1);
+        self.gen_ack
+    }
+
+    /// The fastest rate this station may use toward `dst` (own capability
+    /// ∧ peer capability; unknown peers get the safe CCK ceiling).
+    pub fn rate_cap(&self, dst: MacAddr) -> PhyRate {
+        let own = if self.b_only { PhyRate::R11 } else { PhyRate::R54 };
+        let peer = if dst.is_multicast() {
+            // Group-addressed frames go at a basic rate everyone decodes.
+            PhyRate::R1
+        } else {
+            self.peer_cap.get(&dst).copied().unwrap_or(PhyRate::R11)
+        };
+        own.min(peer)
+    }
+
+    /// The ARF-selected rate toward `dst`, clamped to the capability cap.
+    pub fn current_rate(&mut self, dst: MacAddr) -> PhyRate {
+        let cap = self.rate_cap(dst);
+        let e = self.arf.entry(dst).or_insert(ArfState {
+            rate: PhyRate::R11.min(cap),
+            successes: 0,
+            failures: 0,
+        });
+        if e.rate > cap {
+            e.rate = cap;
+        }
+        e.rate
+    }
+
+    /// Records the outcome of a frame exchange toward `dst` and walks the
+    /// ARF ladder.
+    pub fn arf_feedback(&mut self, dst: MacAddr, success: bool) {
+        let cap = self.rate_cap(dst);
+        let e = self.arf.entry(dst).or_insert(ArfState {
+            rate: PhyRate::R11.min(cap),
+            successes: 0,
+            failures: 0,
+        });
+        if success {
+            e.successes += 1;
+            e.failures = 0;
+            if e.successes >= ARF_UP_THRESHOLD {
+                e.successes = 0;
+                if let Some(up) = e.rate.step_up() {
+                    if up <= cap {
+                        e.rate = up;
+                    }
+                }
+            }
+        } else {
+            e.failures += 1;
+            e.successes = 0;
+            if e.failures >= ARF_DOWN_THRESHOLD {
+                e.failures = 0;
+                if let Some(down) = e.rate.step_down() {
+                    e.rate = down;
+                }
+            }
+        }
+    }
+
+    /// Should this (g-capable) station protect a transmission at `rate`?
+    pub fn needs_protection(&self, rate: PhyRate) -> bool {
+        self.protection && !rate.is_b_compatible()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac() -> Mac {
+        Mac::new(MacAddr::local(1, 1), false)
+    }
+
+    fn mpdu(dst: MacAddr) -> Mpdu {
+        Mpdu {
+            dst,
+            kind: MpduKind::Null,
+            retries: 0,
+            seq: None,
+            enqueued_at: 0,
+            truth_xid: 0,
+        }
+    }
+
+    #[test]
+    fn seq_counter_wraps() {
+        let mut m = mac();
+        m.seq_counter = SeqNum::new(4095);
+        assert_eq!(m.next_seq().value(), 4095);
+        assert_eq!(m.next_seq().value(), 0);
+    }
+
+    #[test]
+    fn cw_growth_and_reset() {
+        let mut m = mac();
+        assert_eq!(m.cw, CW_MIN_G);
+        m.grow_cw();
+        assert_eq!(m.cw, CW_MIN_G * 2 + 1);
+        for _ in 0..20 {
+            m.grow_cw();
+        }
+        assert_eq!(m.cw, CW_MAX);
+        m.reset_cw();
+        assert_eq!(m.cw, CW_MIN_G);
+    }
+
+    #[test]
+    fn cw_min_depends_on_protection() {
+        let mut m = mac();
+        assert_eq!(m.cw_min(), CW_MIN_G);
+        m.protection = true;
+        assert_eq!(m.cw_min(), CW_MIN_B);
+        let b = Mac::new(MacAddr::local(1, 2), true);
+        assert_eq!(b.cw_min(), CW_MIN_B);
+    }
+
+    #[test]
+    fn queue_limit_drops() {
+        let mut m = mac();
+        let dst = MacAddr::local(2, 2);
+        for _ in 0..QUEUE_LIMIT {
+            assert!(m.enqueue(mpdu(dst)));
+        }
+        assert!(!m.enqueue(mpdu(dst)));
+        assert_eq!(m.queue_drops, 1);
+        assert_eq!(m.queue.len(), QUEUE_LIMIT);
+    }
+
+    #[test]
+    fn medium_busy_via_nav_or_sense() {
+        let mut m = mac();
+        assert!(!m.medium_busy(100));
+        m.sensed = 1;
+        assert!(m.medium_busy(100));
+        m.sensed = 0;
+        m.nav_until = 500;
+        assert!(m.medium_busy(499));
+        assert!(!m.medium_busy(500));
+    }
+
+    #[test]
+    fn arf_walks_up_after_successes() {
+        let mut m = mac();
+        let dst = MacAddr::local(2, 9);
+        m.peer_cap.insert(dst, PhyRate::R54);
+        let start = m.current_rate(dst);
+        assert_eq!(start, PhyRate::R11);
+        for _ in 0..ARF_UP_THRESHOLD {
+            m.arf_feedback(dst, true);
+        }
+        assert_eq!(m.current_rate(dst), PhyRate::R12);
+    }
+
+    #[test]
+    fn arf_steps_down_after_failures() {
+        let mut m = mac();
+        let dst = MacAddr::local(2, 9);
+        m.peer_cap.insert(dst, PhyRate::R54);
+        m.arf.insert(
+            dst,
+            ArfState {
+                rate: PhyRate::R54,
+                successes: 0,
+                failures: 0,
+            },
+        );
+        m.arf_feedback(dst, false);
+        assert_eq!(m.current_rate(dst), PhyRate::R54);
+        m.arf_feedback(dst, false);
+        assert_eq!(m.current_rate(dst), PhyRate::R48);
+    }
+
+    #[test]
+    fn rate_capped_by_peer_capability() {
+        let mut m = mac();
+        let legacy = MacAddr::local(2, 1);
+        m.peer_cap.insert(legacy, PhyRate::R11);
+        for _ in 0..100 {
+            m.arf_feedback(legacy, true);
+        }
+        assert!(m.current_rate(legacy).is_b_compatible());
+        // Unknown peer: safe ceiling.
+        let unknown = MacAddr::local(2, 77);
+        assert_eq!(m.rate_cap(unknown), PhyRate::R11);
+        // Broadcast: basic rate.
+        assert_eq!(m.rate_cap(MacAddr::BROADCAST), PhyRate::R1);
+    }
+
+    #[test]
+    fn b_only_station_never_exceeds_11mbps() {
+        let mut m = Mac::new(MacAddr::local(1, 3), true);
+        let dst = MacAddr::local(2, 9);
+        m.peer_cap.insert(dst, PhyRate::R54);
+        for _ in 0..200 {
+            m.arf_feedback(dst, true);
+        }
+        assert!(m.current_rate(dst) <= PhyRate::R11);
+    }
+
+    #[test]
+    fn protection_gates_on_modulation() {
+        let mut m = mac();
+        m.protection = true;
+        assert!(m.needs_protection(PhyRate::R54));
+        assert!(!m.needs_protection(PhyRate::R11));
+        m.protection = false;
+        assert!(!m.needs_protection(PhyRate::R54));
+    }
+}

@@ -1,0 +1,395 @@
+//! The shared radio medium: who is transmitting, who can hear what, and how
+//! much interference every reception suffers.
+//!
+//! The medium is the source of all the ambiguity Jigsaw exists to resolve:
+//! spatial diversity (no receiver hears everything), co-channel interference
+//! from hidden terminals, adjacent-channel energy bleed, and capture
+//! impairments. Receptions are resolved at transmission *end*, using a
+//! snapshot of every transmission that overlapped in time.
+
+use crate::geom::{Building, Point3};
+use crate::prop::{ddbm_to_mw, mw_to_ddbm, PropModel, NOISE_FLOOR_DDBM};
+#[cfg(test)]
+use crate::prop::TX_POWER_DDBM;
+use jigsaw_ieee80211::frame::Frame;
+use jigsaw_ieee80211::{Channel, Micros, PhyRate};
+use std::collections::HashMap;
+
+/// What kind of radio an entity is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityKind {
+    /// An AP or client: transmits and receives on a fixed channel.
+    Station {
+        /// Legacy 802.11b-only hardware (cannot decode or preamble-sense
+        /// OFDM — it only energy-detects it).
+        b_only: bool,
+    },
+    /// A passive monitor radio: receives everything on its channel.
+    MonitorRadio,
+    /// A non-802.11 interferer (microwave oven): transmits wideband noise.
+    Interferer,
+}
+
+/// One radio-bearing entity in the building.
+#[derive(Debug, Clone)]
+pub struct Entity {
+    /// Position in the building.
+    pub pos: Point3,
+    /// Tuned channel (interferers: nominal center of their emission).
+    pub channel: Channel,
+    /// Role.
+    pub kind: EntityKind,
+    /// Receive antenna gain, deci-dB.
+    pub ant_gain_ddb: i32,
+    /// Transmit power, deci-dBm.
+    pub tx_power_ddbm: i32,
+}
+
+/// A transmission in flight (or being described to a receiver).
+#[derive(Debug, Clone)]
+pub struct TxDesc {
+    /// Transmitting entity.
+    pub entity: u32,
+    /// Channel transmitted on.
+    pub channel: Channel,
+    /// PHY rate.
+    pub rate: PhyRate,
+    /// Start of the transmission (air time of the preamble), µs true time.
+    pub start: Micros,
+    /// End of the transmission, µs true time.
+    pub end: Micros,
+    /// PLCP preamble+header duration (capture timestamp reference), µs.
+    pub plcp_us: Micros,
+    /// The decoded frame (None for noise bursts).
+    pub frame: Option<Frame>,
+    /// Full serialized frame bytes including FCS (empty for noise).
+    pub bytes: Vec<u8>,
+    /// True for non-802.11 wideband noise.
+    pub is_noise: bool,
+    /// Ground-truth record index assigned by the world.
+    pub truth_idx: usize,
+}
+
+/// Snapshot of an overlapping transmission, taken when overlap is detected.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlapInfo {
+    /// The other transmitter's entity id.
+    pub entity: u32,
+    /// Its channel.
+    pub channel: Channel,
+    /// Its start time.
+    pub start: Micros,
+    /// Whether it was a noise burst.
+    pub is_noise: bool,
+}
+
+/// A completed transmission together with everything that overlapped it.
+#[derive(Debug, Clone)]
+pub struct CompletedTx {
+    /// The transmission.
+    pub desc: TxDesc,
+    /// All transmissions that overlapped it in time (any amount).
+    pub overlaps: Vec<OverlapInfo>,
+}
+
+struct ActiveTx {
+    desc: TxDesc,
+    overlaps: Vec<OverlapInfo>,
+}
+
+/// The medium: entity table, precomputed pairwise link gains, active set.
+pub struct Medium {
+    entities: Vec<Entity>,
+    /// Dense link-gain matrix, deci-dB: `gain[tx * n + rx]`.
+    gains: Vec<i32>,
+    active: HashMap<u64, ActiveTx>,
+    next_id: u64,
+    noise_mw: f64,
+}
+
+impl Medium {
+    /// Builds the medium, precomputing the full pairwise gain matrix
+    /// (entities are static for the life of a scenario).
+    pub fn new(building: &Building, prop: &PropModel, entities: Vec<Entity>, seed: u64) -> Self {
+        let n = entities.len();
+        let mut gains = vec![0i32; n * n];
+        for (i, a) in entities.iter().enumerate() {
+            for (j, b) in entities.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                gains[i * n + j] = prop.link_gain_ddb(
+                    building,
+                    &a.pos,
+                    &b.pos,
+                    i as u32,
+                    j as u32,
+                    b.ant_gain_ddb,
+                    seed,
+                );
+            }
+        }
+        Medium {
+            entities,
+            gains,
+            active: HashMap::new(),
+            next_id: 0,
+            noise_mw: ddbm_to_mw(NOISE_FLOOR_DDBM),
+        }
+    }
+
+    /// Entity table access.
+    pub fn entity(&self, id: u32) -> &Entity {
+        &self.entities[id as usize]
+    }
+
+    /// Number of entities.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Raw link gain tx→rx in deci-dB (no channel rejection).
+    pub fn gain_ddb(&self, tx: u32, rx: u32) -> i32 {
+        self.gains[tx as usize * self.entities.len() + rx as usize]
+    }
+
+    /// Received power at `rx` for a transmission from `tx` on `tx_chan`,
+    /// deci-dBm, including the receiver's channel rejection.
+    pub fn rx_power_ddbm(&self, tx: u32, rx: u32, tx_chan: Channel) -> i32 {
+        let e = &self.entities[tx as usize];
+        let rx_chan = self.entities[rx as usize].channel;
+        e.tx_power_ddbm + self.gain_ddb(tx, rx) - rx_chan.rejection_decidb(tx_chan)
+    }
+
+    /// Registers a transmission; snapshots mutual overlaps with everything
+    /// currently in flight. Returns the transmission id (schedule `TxEnd`
+    /// for `desc.end` with it).
+    pub fn start_tx(&mut self, desc: TxDesc) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let info = OverlapInfo {
+            entity: desc.entity,
+            channel: desc.channel,
+            start: desc.start,
+            is_noise: desc.is_noise,
+        };
+        let mut overlaps = Vec::new();
+        for other in self.active.values_mut() {
+            overlaps.push(OverlapInfo {
+                entity: other.desc.entity,
+                channel: other.desc.channel,
+                start: other.desc.start,
+                is_noise: other.desc.is_noise,
+            });
+            other.overlaps.push(info);
+        }
+        self.active.insert(id, ActiveTx { desc, overlaps });
+        id
+    }
+
+    /// Completes a transmission, returning its description and overlap set.
+    ///
+    /// # Panics
+    /// Panics if the id is unknown (double-end is a simulator bug).
+    pub fn end_tx(&mut self, id: u64) -> CompletedTx {
+        let a = self.active.remove(&id).expect("unknown transmission id");
+        CompletedTx {
+            desc: a.desc,
+            overlaps: a.overlaps,
+        }
+    }
+
+    /// Currently in-flight transmissions.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Total interference-plus-noise power at `rx`, deci-dBm, for a
+    /// reception of `subject`, given its overlap snapshot.
+    ///
+    /// Sums, in linear space, the received power of every overlapping
+    /// transmission (after channel rejection) plus the thermal floor.
+    pub fn interference_ddbm(&self, rx: u32, overlaps: &[OverlapInfo]) -> i32 {
+        let mut mw = self.noise_mw;
+        for o in overlaps {
+            if o.entity == rx {
+                continue; // own transmission handled as half-duplex elsewhere
+            }
+            let p = self.rx_power_ddbm(o.entity, rx, o.channel);
+            mw += ddbm_to_mw(p);
+        }
+        mw_to_ddbm(mw)
+    }
+
+    /// True if `rx` itself transmitted during the subject's airtime
+    /// (half-duplex radios cannot receive while transmitting).
+    pub fn rx_was_transmitting(&self, rx: u32, overlaps: &[OverlapInfo]) -> bool {
+        overlaps.iter().any(|o| o.entity == rx)
+    }
+
+    /// The carrier-sense threshold (deci-dBm) that `listener` applies to a
+    /// transmission with modulation of `rate`: legacy-b radios can only
+    /// energy-detect OFDM (the 802.11g protection problem, paper §2).
+    pub fn cs_threshold_ddbm(&self, listener: u32, rate: PhyRate, is_noise: bool) -> i32 {
+        use crate::prop::{CS_ENERGY_DDBM, CS_PREAMBLE_DDBM};
+        let b_only = matches!(
+            self.entities[listener as usize].kind,
+            EntityKind::Station { b_only: true }
+        );
+        if is_noise || (b_only && !rate.is_b_compatible()) {
+            CS_ENERGY_DDBM
+        } else {
+            CS_PREAMBLE_DDBM
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Building;
+
+    fn test_medium() -> Medium {
+        let b = Building::ucsd_cse();
+        let prop = PropModel {
+            shadow_sigma_ddb: 0, // deterministic link budgets for tests
+            ..PropModel::default()
+        };
+        let entities = vec![
+            Entity {
+                pos: b.at(0, 10.0, 10.0),
+                channel: Channel::of(1),
+                kind: EntityKind::Station { b_only: false },
+                ant_gain_ddb: 0,
+                tx_power_ddbm: TX_POWER_DDBM,
+            },
+            Entity {
+                pos: b.at(0, 15.0, 10.0),
+                channel: Channel::of(1),
+                kind: EntityKind::Station { b_only: true },
+                ant_gain_ddb: 0,
+                tx_power_ddbm: TX_POWER_DDBM,
+            },
+            Entity {
+                pos: b.at(0, 60.0, 25.0),
+                channel: Channel::of(1),
+                kind: EntityKind::MonitorRadio,
+                ant_gain_ddb: 25,
+                tx_power_ddbm: 0,
+            },
+            Entity {
+                pos: b.at(0, 12.0, 10.0),
+                channel: Channel::of(6),
+                kind: EntityKind::MonitorRadio,
+                ant_gain_ddb: 25,
+                tx_power_ddbm: 0,
+            },
+        ];
+        Medium::new(&b, &prop, entities, 1)
+    }
+
+    fn tx(entity: u32, chan: u8, start: Micros, end: Micros) -> TxDesc {
+        TxDesc {
+            entity,
+            channel: Channel::of(chan),
+            rate: PhyRate::R11,
+            start,
+            end,
+            plcp_us: 192,
+            frame: None,
+            bytes: vec![],
+            is_noise: false,
+            truth_idx: 0,
+        }
+    }
+
+    #[test]
+    fn nearby_rx_power_exceeds_far() {
+        let m = test_medium();
+        let near = m.rx_power_ddbm(0, 1, Channel::of(1));
+        let far = m.rx_power_ddbm(0, 2, Channel::of(1));
+        assert!(near > far + 100, "near {near} far {far}");
+    }
+
+    #[test]
+    fn cross_channel_rejection_applied() {
+        let m = test_medium();
+        // Same receiver (entity 3, tuned to ch6): a ch6 transmission arrives
+        // at full strength, a ch1 transmission is notched by 100 dB.
+        let co = m.rx_power_ddbm(0, 3, Channel::of(6));
+        let off = m.rx_power_ddbm(0, 3, Channel::of(1));
+        assert_eq!(co - off, Channel::of(6).rejection_decidb(Channel::of(1)));
+        assert!(co - off >= 1000, "co {co}, off-channel {off}");
+    }
+
+    #[test]
+    fn overlap_snapshotting() {
+        let mut m = test_medium();
+        let t1 = m.start_tx(tx(0, 1, 100, 500));
+        let t2 = m.start_tx(tx(1, 1, 200, 400));
+        assert_eq!(m.active_count(), 2);
+        let done2 = m.end_tx(t2);
+        assert_eq!(done2.overlaps.len(), 1);
+        assert_eq!(done2.overlaps[0].entity, 0);
+        let done1 = m.end_tx(t1);
+        assert_eq!(done1.overlaps.len(), 1);
+        assert_eq!(done1.overlaps[0].entity, 1);
+        assert_eq!(m.active_count(), 0);
+    }
+
+    #[test]
+    fn non_overlapping_txs_dont_interfere() {
+        let mut m = test_medium();
+        let t1 = m.start_tx(tx(0, 1, 100, 200));
+        let done1 = m.end_tx(t1);
+        let t2 = m.start_tx(tx(1, 1, 300, 400));
+        let done2 = m.end_tx(t2);
+        assert!(done1.overlaps.is_empty());
+        assert!(done2.overlaps.is_empty());
+    }
+
+    #[test]
+    fn interference_sums_in_linear_space() {
+        let m = test_medium();
+        // Receiver entity 3 (ch6, 2 m away) hears a strong ch6 interferer.
+        let o = OverlapInfo {
+            entity: 0,
+            channel: Channel::of(6),
+            start: 0,
+            is_noise: false,
+        };
+        let i1 = m.interference_ddbm(3, &[o]);
+        assert!(i1 > NOISE_FLOOR_DDBM + 100, "interferer drowned: {i1}");
+        let i2 = m.interference_ddbm(3, &[o, o]);
+        // Doubling the interferer power adds ≈ 3 dB (30 deci-dB).
+        assert!((i2 - i1 - 30).abs() <= 2, "i1 {i1} i2 {i2}");
+        // No overlaps → the noise floor.
+        assert_eq!(m.interference_ddbm(3, &[]), NOISE_FLOOR_DDBM);
+    }
+
+    #[test]
+    fn half_duplex_detection() {
+        let m = test_medium();
+        let own = OverlapInfo {
+            entity: 2,
+            channel: Channel::of(1),
+            start: 0,
+            is_noise: false,
+        };
+        assert!(m.rx_was_transmitting(2, &[own]));
+        assert!(!m.rx_was_transmitting(1, &[own]));
+    }
+
+    #[test]
+    fn legacy_b_only_energy_detects_ofdm() {
+        let m = test_medium();
+        use crate::prop::{CS_ENERGY_DDBM, CS_PREAMBLE_DDBM};
+        // entity 1 is b-only.
+        assert_eq!(m.cs_threshold_ddbm(1, PhyRate::R54, false), CS_ENERGY_DDBM);
+        assert_eq!(m.cs_threshold_ddbm(1, PhyRate::R11, false), CS_PREAMBLE_DDBM);
+        // entity 0 is b/g.
+        assert_eq!(m.cs_threshold_ddbm(0, PhyRate::R54, false), CS_PREAMBLE_DDBM);
+        // noise is always energy-detect.
+        assert_eq!(m.cs_threshold_ddbm(0, PhyRate::R1, true), CS_ENERGY_DDBM);
+    }
+}

@@ -1,0 +1,157 @@
+//! Simulation outputs: per-radio traces, the wired trace, ground truth, and
+//! summary statistics.
+//!
+//! Ground truth is what the real Jigsaw could never have — the actual RF
+//! schedule. It exists here to *validate* the pipeline (unification
+//! correctness, delivery-inference accuracy, coverage accounting), never to
+//! feed it.
+
+use crate::wired::WiredTraceRecord;
+use jigsaw_ieee80211::{MacAddr, Micros, PhyRate, Subtype};
+use jigsaw_trace::{PhyEvent, RadioMeta};
+
+/// Re-export for convenience in analysis code.
+pub type WiredRecord = WiredTraceRecord;
+
+/// One transmission that actually occurred on the air.
+#[derive(Debug, Clone)]
+pub struct TruthRecord {
+    /// True start time (preamble), µs.
+    pub start: Micros,
+    /// True end time, µs.
+    pub end: Micros,
+    /// PLCP duration (timestamp reference point for captures).
+    pub plcp_us: Micros,
+    /// Channel.
+    pub channel: u8,
+    /// PHY rate.
+    pub rate: PhyRate,
+    /// Frame subtype (Data, Ack, Cts, Beacon, ...). None for noise bursts.
+    pub subtype: Option<Subtype>,
+    /// Transmitter (None for noise).
+    pub sender: Option<MacAddr>,
+    /// Addressed receiver (None for noise).
+    pub receiver: Option<MacAddr>,
+    /// 802.11 sequence number if the frame carries one.
+    pub seq: Option<u16>,
+    /// Retry bit.
+    pub retry: bool,
+    /// On-air length in bytes.
+    pub wire_len: u32,
+    /// True for microwave-style noise bursts.
+    pub is_noise: bool,
+    /// Frame-exchange id this transmission belongs to (u64::MAX if none).
+    pub xid: u64,
+    /// For unicast frames: did the addressed receiver decode it?
+    pub delivered: Option<bool>,
+    /// Number of monitor radios that logged any event for it.
+    pub captures: u16,
+}
+
+/// Ground truth for one link-layer frame exchange (one MSDU lifetime).
+#[derive(Debug, Clone)]
+pub struct TruthExchange {
+    /// Exchange id (referenced by [`TruthRecord::xid`]).
+    pub xid: u64,
+    /// Sender.
+    pub sender: MacAddr,
+    /// Receiver.
+    pub receiver: MacAddr,
+    /// Transmission attempts made (1 = no retries).
+    pub attempts: u8,
+    /// Did the receiver ever decode the data frame?
+    pub delivered: bool,
+    /// Did the sender ever get an ACK (sender-side success)?
+    pub acked: bool,
+    /// True time of the first attempt.
+    pub first_tx: Micros,
+    /// True time of the last attempt's end.
+    pub last_tx: Micros,
+}
+
+/// The complete RF/exchange ground truth for a run.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Every transmission, in start-time order.
+    pub transmissions: Vec<TruthRecord>,
+    /// Every unicast frame exchange.
+    pub exchanges: Vec<TruthExchange>,
+}
+
+/// Kind and capability of a station, for analysis bookkeeping.
+#[derive(Debug, Clone)]
+pub struct StationInfo {
+    /// MAC address.
+    pub addr: MacAddr,
+    /// True for APs.
+    pub is_ap: bool,
+    /// True for 802.11b-only clients.
+    pub b_only: bool,
+    /// True for external/rogue APs (outside the monitored network).
+    pub external: bool,
+    /// Operating channel.
+    pub channel: u8,
+    /// Position (x, y, z) meters.
+    pub pos: (f64, f64, f64),
+}
+
+/// Aggregate counters from a run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Total 802.11 frames transmitted on the air.
+    pub frames_transmitted: u64,
+    /// MSDUs dropped at MAC queues (overflow).
+    pub queue_drops: u64,
+    /// Frame exchanges abandoned after the retry limit.
+    pub retry_failures: u64,
+    /// Packets lost on the wired path.
+    pub wired_losses: u64,
+    /// TCP flows opened.
+    pub flows_opened: u64,
+    /// TCP flows that ran to completion.
+    pub flows_completed: u64,
+    /// Total capture events across all monitor radios.
+    pub capture_events: u64,
+    /// Noise bursts emitted by interferers.
+    pub noise_bursts: u64,
+    /// TCP RTO retransmissions across all endpoints.
+    pub tcp_rto_retx: u64,
+    /// TCP fast retransmissions across all endpoints.
+    pub tcp_fast_retx: u64,
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct SimOutput {
+    /// Per-radio metadata (index = radio id).
+    pub radio_meta: Vec<RadioMeta>,
+    /// Per-radio event traces (index = radio id), local-time sorted.
+    pub traces: Vec<Vec<PhyEvent>>,
+    /// The wired distribution-network trace, true-time sorted.
+    pub wired: Vec<WiredRecord>,
+    /// Ground truth.
+    pub truth: GroundTruth,
+    /// Station inventory.
+    pub stations: Vec<StationInfo>,
+    /// Aggregate counters.
+    pub stats: SimStats,
+    /// Simulated duration, µs.
+    pub duration_us: Micros,
+}
+
+impl SimOutput {
+    /// Total capture events across all radios.
+    pub fn total_events(&self) -> u64 {
+        self.traces.iter().map(|t| t.len() as u64).sum()
+    }
+
+    /// Converts the in-memory traces into per-radio `MemoryStream`s for the
+    /// pipeline (consumes nothing; clones the events).
+    pub fn memory_streams(&self) -> Vec<jigsaw_trace::stream::MemoryStream> {
+        self.radio_meta
+            .iter()
+            .zip(self.traces.iter())
+            .map(|(meta, evs)| jigsaw_trace::stream::MemoryStream::new(*meta, evs.clone()))
+            .collect()
+    }
+}

@@ -1,0 +1,281 @@
+//! Radio propagation and the frame-error model.
+//!
+//! Indoor log-distance path loss with floor attenuation and per-link
+//! lognormal shadowing; SINR computed against the noise floor plus the sum
+//! of co-/adjacent-channel interference; frame error probability derived
+//! from the SINR margin over the rate's threshold, exponential in frame
+//! length (so ACKs survive conditions that kill 1500-byte data frames —
+//! the asymmetry Jigsaw's inference heuristics rely on, paper §5.1).
+//!
+//! All signal arithmetic is in deci-dB (i32, dB × 10) to keep the hot path
+//! in integer math; conversions to linear mW happen only when summing
+//! interference powers.
+
+use crate::geom::{Building, Point3};
+use jigsaw_ieee80211::PhyRate;
+
+/// Thermal noise floor for a 20 MHz channel plus typical receiver noise
+/// figure: ≈ −95 dBm (deci-dB).
+pub const NOISE_FLOOR_DDBM: i32 = -950;
+
+/// Carrier-sense threshold for a decodable (same-family) preamble.
+pub const CS_PREAMBLE_DDBM: i32 = -820;
+
+/// Energy-detect threshold — all a legacy 802.11b radio has against OFDM.
+pub const CS_ENERGY_DDBM: i32 = -620;
+
+/// Weakest signal a monitor records as *any* kind of PHY event.
+/// DSSS preamble correlation has ~10 dB of processing gain, so detection
+/// works below the thermal floor — this is where the paper's huge PHY-error
+/// population ("transmissions observed by distant monitors just beyond
+/// reception range", §7.1) comes from.
+pub const CAPTURE_FLOOR_DDBM: i32 = -1020;
+
+/// Transmit power used by APs and clients (15 dBm) in deci-dBm.
+pub const TX_POWER_DDBM: i32 = 150;
+
+/// Antenna gain of the pods' rubber-duck antennas (2.5 dBi), deci-dB.
+pub const MONITOR_ANT_GAIN_DDB: i32 = 25;
+
+/// Propagation model parameters.
+#[derive(Debug, Clone)]
+pub struct PropModel {
+    /// Path loss at 1 m, deci-dB (≈ 40 dB at 2.4 GHz).
+    pub pl0_ddb: i32,
+    /// Path-loss exponent × 10 (indoor NLOS ≈ 3.3).
+    pub exponent_x10: i32,
+    /// Attenuation per floor slab crossed, deci-dB (≈ 14 dB).
+    pub floor_loss_ddb: i32,
+    /// Lognormal shadowing σ, deci-dB (≈ 6 dB).
+    pub shadow_sigma_ddb: i32,
+    /// Excess attenuation per horizontal meter beyond 5 m, deci-dB —
+    /// approximates interior walls (attenuation-factor model). Keeps 1 Mbps
+    /// beacons audible ~25–30 m, matching the paper's ≈3 receptions per
+    /// valid frame.
+    pub excess_ddb_per_m: i32,
+}
+
+impl Default for PropModel {
+    fn default() -> Self {
+        PropModel {
+            pl0_ddb: 400,
+            exponent_x10: 33,
+            floor_loss_ddb: 250,
+            shadow_sigma_ddb: 60,
+            excess_ddb_per_m: 26,
+        }
+    }
+}
+
+impl PropModel {
+    /// Deterministic per-link shadowing in deci-dB: a hash of the unordered
+    /// pair of endpoint ids drives a pseudo-normal draw, so the link budget
+    /// is stable over a run (slow fading) and symmetric.
+    pub fn shadowing_ddb(&self, id_a: u32, id_b: u32, seed: u64) -> i32 {
+        let (lo, hi) = if id_a < id_b { (id_a, id_b) } else { (id_b, id_a) };
+        let mut h = seed ^ 0x9e3779b97f4a7c15;
+        for v in [u64::from(lo), u64::from(hi)] {
+            h ^= v.wrapping_mul(0xff51afd7ed558ccd);
+            h = h.rotate_left(31).wrapping_mul(0xc4ceb9fe1a85ec53);
+        }
+        // Sum of 4 uniform nibbles ≈ normal; scale to σ.
+        let mut acc: i64 = 0;
+        for k in 0..4 {
+            acc += ((h >> (k * 16)) & 0xffff) as i64 - 32768;
+        }
+        // acc ∈ [-131072, 131072], σ_acc ≈ 2·16384·…; empirically acc/32768
+        // has σ ≈ 1.15 — close enough for a shadowing term.
+        ((acc as f64 / 37_000.0) * f64::from(self.shadow_sigma_ddb)) as i32
+    }
+
+    /// Path loss between two points, deci-dB, *excluding* shadowing.
+    pub fn path_loss_ddb(&self, building: &Building, a: &Point3, b: &Point3) -> i32 {
+        let d = a.distance(b);
+        let floors = i32::from(building.floors_crossed(a, b));
+        let wall_excess = f64::from(self.excess_ddb_per_m) * (d - 5.0).max(0.0);
+        let pl = f64::from(self.pl0_ddb)
+            + f64::from(self.exponent_x10) * 10.0 * d.log10()
+            + f64::from(self.floor_loss_ddb * floors)
+            + wall_excess;
+        pl as i32
+    }
+
+    /// Full link gain (negative deci-dB) from tx to rx including antenna
+    /// gains and shadowing. `rx_gain_ddb` is the receiver's antenna gain.
+    pub fn link_gain_ddb(
+        &self,
+        building: &Building,
+        a: &Point3,
+        b: &Point3,
+        id_a: u32,
+        id_b: u32,
+        rx_gain_ddb: i32,
+        seed: u64,
+    ) -> i32 {
+        -self.path_loss_ddb(building, a, b) + rx_gain_ddb + self.shadowing_ddb(id_a, id_b, seed)
+    }
+}
+
+/// Converts deci-dBm to linear milliwatts.
+pub fn ddbm_to_mw(ddbm: i32) -> f64 {
+    10f64.powf(f64::from(ddbm) / 100.0)
+}
+
+/// Converts linear milliwatts to deci-dBm (floored well below thermal).
+pub fn mw_to_ddbm(mw: f64) -> i32 {
+    if mw <= 1e-30 {
+        -3000
+    } else {
+        (100.0 * mw.log10()) as i32
+    }
+}
+
+/// SINR in deci-dB given signal and total interference+noise, both deci-dBm.
+pub fn sinr_ddb(signal_ddbm: i32, interference_noise_ddbm: i32) -> i32 {
+    signal_ddbm - interference_noise_ddbm
+}
+
+/// Bit error rate as a function of the SINR margin over the rate threshold.
+///
+/// Calibrated so that at margin 0 a 1500-byte frame fails ≈ 10% of the time,
+/// improving ~10× per 3 dB. Clamped to [1e-9, 0.5].
+pub fn bit_error_rate(margin_ddb: i32) -> f64 {
+    let ber = 8.8e-6 * 10f64.powf(-f64::from(margin_ddb) / 30.0);
+    ber.clamp(1e-9, 0.5)
+}
+
+/// Frame error probability for `len` bytes at `rate` under `sinr_ddb`.
+pub fn frame_error_prob(sinr_ddb: i32, rate: PhyRate, len: usize) -> f64 {
+    let margin = sinr_ddb - rate.snr_threshold_decidb();
+    let ber = bit_error_rate(margin);
+    let bits = (len * 8) as f64;
+    1.0 - (1.0 - ber).powf(bits)
+}
+
+/// Probability that the PLCP preamble+header (robust, low-rate) decodes.
+/// Below this the radio logs at most a PHY error.
+pub fn preamble_success_prob(sinr_ddb: i32) -> f64 {
+    // The preamble is ~192 bits at the most robust modulation (threshold of
+    // the 1 Mbps rate), with ~1 dB of correlation margin.
+    let margin = sinr_ddb - PhyRate::R1.snr_threshold_decidb() + 10;
+    let ber = bit_error_rate(margin);
+    (1.0 - ber).powf(192.0)
+}
+
+/// Per-reception multipath fading, deci-dB: a zero-mean draw with σ ≈ 4 dB,
+/// clamped to ±15 dB. Applied independently per (transmission, receiver),
+/// it smears the decode boundary — the same link yields clean frames,
+/// FCS errors and PHY errors across receptions, as real traces show.
+pub fn fading_ddb<R: rand::Rng>(rng: &mut R) -> i32 {
+    let draw = crate::rng::normal(rng, 0.0, 40.0);
+    draw.clamp(-150.0, 150.0) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Building;
+
+    #[test]
+    fn path_loss_increases_with_distance() {
+        let b = Building::ucsd_cse();
+        let m = PropModel::default();
+        let a = b.at(0, 0.0, 0.0);
+        let mut last = 0;
+        for d in [1.0, 5.0, 10.0, 30.0, 70.0] {
+            let p = b.at(0, d, 0.0);
+            let pl = m.path_loss_ddb(&b, &a, &p);
+            assert!(pl > last, "non-monotone at {d}");
+            last = pl;
+        }
+    }
+
+    #[test]
+    fn floor_penalty() {
+        let b = Building::ucsd_cse();
+        let m = PropModel::default();
+        let a = b.at(0, 10.0, 10.0);
+        let same = b.at(0, 15.0, 10.0);
+        let mut above = b.at(1, 15.0, 10.0);
+        above.z = same.z + Building::FLOOR_PITCH_M; // same x-y offset, one floor up
+        let pl_same = m.path_loss_ddb(&b, &a, &same);
+        let pl_above = m.path_loss_ddb(&b, &a, &above);
+        assert!(pl_above > pl_same + m.floor_loss_ddb / 2);
+    }
+
+    #[test]
+    fn shadowing_symmetric_and_bounded() {
+        let m = PropModel::default();
+        let mut extremes = 0;
+        for i in 0..200u32 {
+            for j in (i + 1)..(i + 4) {
+                let s1 = m.shadowing_ddb(i, j, 42);
+                let s2 = m.shadowing_ddb(j, i, 42);
+                assert_eq!(s1, s2);
+                if s1.abs() > 3 * m.shadow_sigma_ddb {
+                    extremes += 1;
+                }
+            }
+        }
+        assert!(extremes < 6, "shadowing tail too fat: {extremes}");
+    }
+
+    #[test]
+    fn shadowing_roughly_zero_mean() {
+        let m = PropModel::default();
+        let n = 2_000;
+        let sum: i64 = (0..n)
+            .map(|i| i64::from(m.shadowing_ddb(i, i + 1000, 7)))
+            .sum();
+        let mean = sum as f64 / f64::from(n);
+        assert!(mean.abs() < 10.0, "mean shadowing {mean} deci-dB");
+    }
+
+    #[test]
+    fn db_mw_roundtrip() {
+        for ddbm in [-900, -500, 0, 150] {
+            let back = mw_to_ddbm(ddbm_to_mw(ddbm));
+            assert!((back - ddbm).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn fer_calibration_point() {
+        // margin 0, 1500 bytes → ≈ 10%.
+        let rate = PhyRate::R11;
+        let sinr = rate.snr_threshold_decidb();
+        let fer = frame_error_prob(sinr, rate, 1500);
+        assert!((0.06..0.15).contains(&fer), "fer {fer}");
+    }
+
+    #[test]
+    fn fer_improves_with_margin() {
+        let rate = PhyRate::R11;
+        let t = rate.snr_threshold_decidb();
+        let f0 = frame_error_prob(t, rate, 1500);
+        let f3 = frame_error_prob(t + 30, rate, 1500);
+        let f6 = frame_error_prob(t + 60, rate, 1500);
+        assert!(f0 > f3 && f3 > f6);
+        assert!(f3 < 0.02);
+        let fneg = frame_error_prob(t - 60, rate, 1500);
+        assert!(fneg > 0.6);
+    }
+
+    #[test]
+    fn short_frames_survive_where_long_die() {
+        let rate = PhyRate::R11;
+        let sinr = rate.snr_threshold_decidb() - 20;
+        let long = frame_error_prob(sinr, rate, 1500);
+        let ack = frame_error_prob(sinr, rate, 14);
+        assert!(ack < long / 5.0, "ack {ack} vs data {long}");
+    }
+
+    #[test]
+    fn preamble_more_robust_than_payload() {
+        // At an SINR where an 11 Mbps payload is hopeless, the preamble
+        // still usually decodes (yielding FCS-error events, not silence).
+        let sinr = PhyRate::R1.snr_threshold_decidb() + 10;
+        assert!(preamble_success_prob(sinr) > 0.9);
+        assert!(frame_error_prob(sinr, PhyRate::R11, 1500) > 0.9);
+    }
+}

@@ -1,0 +1,110 @@
+//! Deterministic randomness: one master seed fans out into independent
+//! named streams so that adding a draw in one subsystem never perturbs
+//! another (crucial for reproducible experiments and bisection debugging).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic RNG derived from `(seed, purpose)`.
+pub fn stream(seed: u64, purpose: &str) -> ChaCha8Rng {
+    // FNV-1a over the purpose string, folded into the seed.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in purpose.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    ChaCha8Rng::seed_from_u64(seed ^ h)
+}
+
+/// Samples a standard normal via Box–Muller (keeps us off `rand_distr`,
+/// which is outside the approved dependency set).
+pub fn normal<R: Rng>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std_dev * z
+}
+
+/// Samples an exponential with the given mean.
+pub fn exponential<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Samples a bounded Pareto (heavy-tailed flow sizes, web-like workloads).
+pub fn bounded_pareto<R: Rng>(rng: &mut R, alpha: f64, lo: f64, hi: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    let x = (-(u * (ha - la) - ha) / (ha * la)).powf(-1.0 / alpha);
+    x.clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_independent() {
+        let mut a1 = stream(42, "clocks");
+        let mut a2 = stream(42, "clocks");
+        let mut b = stream(42, "traffic");
+        let x1: u64 = a1.gen();
+        let x2: u64 = a2.gen();
+        let y: u64 = b.gen();
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = stream(1, "x");
+        let mut b = stream(2, "x");
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = stream(7, "test-normal");
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = stream(7, "test-exp");
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_bounds() {
+        let mut rng = stream(9, "test-pareto");
+        for _ in 0..10_000 {
+            let x = bounded_pareto(&mut rng, 1.2, 1_000.0, 1_000_000.0);
+            assert!((1_000.0..=1_000_000.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let mut rng = stream(9, "test-pareto2");
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| bounded_pareto(&mut rng, 1.2, 1_000.0, 1_000_000.0))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let median = {
+            let mut s = samples.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[n / 2]
+        };
+        // Heavy tail: mean well above median.
+        assert!(mean > 2.0 * median, "mean {mean}, median {median}");
+    }
+}

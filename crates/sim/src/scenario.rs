@@ -1,0 +1,647 @@
+//! Scenario configuration and world construction: the UCSD-CSE-building
+//! deployment (paper §3) and scaled-down variants for tests.
+//!
+//! ## Time compression
+//!
+//! A real 24-hour trace is not tractable in a unit-test budget, so scenarios
+//! compress the *diurnal* timeline (session arrival/departure, think times)
+//! while keeping *MAC-timescale* behaviour real (beacon intervals, SIFS/DIFS,
+//! airtime, RTTs, ARP rates). Airtime fractions — what the paper's Figure 8
+//! and the interference analysis measure — are therefore preserved, while a
+//! "day" passes in minutes. `day_us` is the simulated duration standing in
+//! for 24 hours; per-minute bins in the analyses map to per-day-1440th bins.
+
+use crate::clock::{ClockCursor, ClockModel};
+use crate::event::EventKind;
+use crate::geom::Building;
+use crate::mac::Mac;
+use crate::medium::{Entity, EntityKind, Medium};
+use crate::monitor::{Monitor, MonitorRadio, TraceCollector};
+use crate::output::{GroundTruth, SimStats};
+use crate::prop::{PropModel, MONITOR_ANT_GAIN_DDB, TX_POWER_DDBM};
+use crate::rng::{normal, stream};
+use crate::station::{ApState, ClientState, Role, Station, WiredHost};
+use crate::traffic::{sample_session, WorkloadParams};
+use crate::wired::Wired;
+use crate::world::{InterfererState, TruthMode, World};
+use crate::{HostId, StationId};
+use jigsaw_ieee80211::{Channel, MacAddr, Micros};
+use jigsaw_trace::{MonitorId, RadioId};
+use rand::Rng;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Ground-truth recording level requested by a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruthConfig {
+    /// Record nothing.
+    Off,
+    /// Record only the traffic of client `n` (the §6 oracle laptop).
+    OracleClient(usize),
+    /// Record everything (small validation runs only).
+    Full,
+}
+
+/// All scenario parameters.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Master seed — everything is deterministic in it.
+    pub seed: u64,
+    /// Simulated duration representing one day, µs.
+    pub day_us: Micros,
+    /// Diurnal compression factor (real seconds per simulated second) —
+    /// scales session placement and the protection timeout.
+    pub day_compression: f64,
+    /// Workload compression (think times, ssh gaps).
+    pub workload_compression: f64,
+    /// Number of sensor pods (×2 monitors ×2 radios each).
+    pub n_pods: usize,
+    /// Internal production APs.
+    pub n_aps: usize,
+    /// Neighbor-building / rogue APs (beacon-only, weak).
+    pub n_external_aps: usize,
+    /// Wireless clients.
+    pub n_clients: usize,
+    /// Fraction of clients with 802.11b-only hardware.
+    pub b_only_fraction: f64,
+    /// How many clients run the MS-Office-style broadcaster.
+    pub office_broadcasters: usize,
+    /// LAN hosts (low latency, lossless).
+    pub lan_hosts: usize,
+    /// Internet hosts (higher latency, lossy).
+    pub internet_hosts: usize,
+    /// Loss probability on Internet paths.
+    pub internet_loss: f64,
+    /// Beacon interval (real MAC timescale).
+    pub beacon_interval_us: Micros,
+    /// AP protection-mode switch-off timeout (paper: one hour, scaled by
+    /// day compression).
+    pub protection_timeout_us: Micros,
+    /// How often APs re-evaluate the protection timeout.
+    pub protection_check_us: Micros,
+    /// Vernier-style ARP scan period.
+    pub vernier_interval_us: Micros,
+    /// Office UDP broadcast period.
+    pub office_broadcast_us: Micros,
+    /// Capture snap length (jigdump: ~200 bytes + headers).
+    pub snaplen: u32,
+    /// Monitor clock initial offsets drawn uniformly from [0, this].
+    pub clock_offset_max_us: u64,
+    /// σ of the per-monitor constant skew, ppm.
+    pub clock_skew_ppm_sigma: f64,
+    /// σ of the per-second skew random walk, ppm.
+    pub clock_drift_ppm_sigma: f64,
+    /// NTP error drawn uniformly from ±this.
+    pub ntp_error_max_us: i64,
+    /// Number of microwave-oven interferers.
+    pub microwaves: usize,
+    /// Mean gap between cooking sessions.
+    pub microwave_gap_us: Micros,
+    /// Cooking session duration (upper bound; lower = half).
+    pub microwave_cook_us: Micros,
+    /// Ground-truth recording.
+    pub truth: TruthConfig,
+    /// When false, clients are active for the whole run (tests) instead of
+    /// sampling diurnal sessions.
+    pub diurnal: bool,
+}
+
+impl ScenarioConfig {
+    /// The paper-scale building day, diurnally compressed: 39 pods
+    /// (156 radios), 39+5 APs, external APs, 60 diurnal clients, a full
+    /// traffic mix — a "24-hour" trace in 12 simulated minutes.
+    pub fn paper_day(seed: u64) -> Self {
+        let day_compression = 120.0;
+        ScenarioConfig {
+            seed,
+            day_us: 720_000_000, // 720 s ≙ 24 h
+            day_compression,
+            workload_compression: 10.0,
+            n_pods: 39,
+            n_aps: 44, // 39 + 5 basement
+            n_external_aps: 12,
+            n_clients: 60,
+            b_only_fraction: 0.3,
+            office_broadcasters: 3,
+            lan_hosts: 4,
+            internet_hosts: 12,
+            internet_loss: 0.004,
+            beacon_interval_us: 102_400,
+            protection_timeout_us: (3_600_000_000f64 / day_compression) as Micros,
+            protection_check_us: 1_000_000,
+            vernier_interval_us: 1_000_000,
+            office_broadcast_us: 10_000_000,
+            snaplen: 260,
+            clock_offset_max_us: 100_000_000_000, // up to ~28 h of TSF offset
+            clock_skew_ppm_sigma: 15.0,
+            clock_drift_ppm_sigma: 0.02,
+            ntp_error_max_us: 800,
+            microwaves: 2,
+            microwave_gap_us: 60_000_000,
+            microwave_cook_us: 4_000_000,
+            truth: TruthConfig::Off,
+            diurnal: true,
+        }
+    }
+
+    /// A small multi-AP scenario for integration tests (~tens of seconds).
+    pub fn small(seed: u64) -> Self {
+        ScenarioConfig {
+            day_us: 30_000_000,
+            day_compression: 2880.0,
+            n_pods: 6,
+            n_aps: 4,
+            n_external_aps: 1,
+            n_clients: 8,
+            office_broadcasters: 1,
+            lan_hosts: 2,
+            internet_hosts: 3,
+            microwaves: 1,
+            microwave_gap_us: 8_000_000,
+            microwave_cook_us: 2_000_000,
+            clock_offset_max_us: 10_000_000_000,
+            truth: TruthConfig::Full,
+            diurnal: false,
+            ..Self::paper_day(seed)
+        }
+    }
+
+    /// A minimal one-AP lab for unit tests (seconds).
+    pub fn tiny(seed: u64) -> Self {
+        ScenarioConfig {
+            day_us: 8_000_000,
+            day_compression: 10_000.0,
+            n_pods: 2,
+            n_aps: 1,
+            n_external_aps: 0,
+            n_clients: 2,
+            b_only_fraction: 0.0,
+            office_broadcasters: 0,
+            lan_hosts: 1,
+            internet_hosts: 1,
+            internet_loss: 0.0,
+            microwaves: 0,
+            clock_offset_max_us: 1_000_000_000,
+            truth: TruthConfig::Full,
+            diurnal: false,
+            workload_compression: 30.0,
+            ..Self::paper_day(seed)
+        }
+    }
+
+    /// Builds the world and schedules the initial events.
+    pub fn build(self) -> World {
+        build_world(self)
+    }
+
+    /// Convenience: build and run for the configured day.
+    pub fn run(self) -> crate::output::SimOutput {
+        let day = self.day_us;
+        self.build().run(day)
+    }
+}
+
+fn client_session_bounds(
+    rng: &mut impl Rng,
+    day_us: Micros,
+) -> (Micros, Micros, bool) {
+    let (s, e, overnight) = sample_session(rng, day_us);
+    // Ensure a non-degenerate session.
+    let s = s.min(day_us.saturating_sub(1_000_000));
+    let e = e.max(s + 1_000_000).min(day_us);
+    (s, e, overnight)
+}
+
+fn build_world(cfg: ScenarioConfig) -> World {
+    let building = Building::ucsd_cse();
+    let prop = PropModel::default();
+    let mut rng = stream(cfg.seed, "scenario");
+
+    let mut entities: Vec<Entity> = Vec::new();
+    let mut stations: Vec<Station> = Vec::new();
+    let mut addr_to_station = HashMap::new();
+    let mut ip_to_station = HashMap::new();
+
+    // ---- internal APs --------------------------------------------------
+    let ap_positions = building.corridor_grid(cfg.n_aps);
+    let mut ap_channel: Vec<Channel> = Vec::with_capacity(cfg.n_aps);
+    for (i, pos) in ap_positions.iter().enumerate() {
+        let channel = Channel::ORTHOGONAL[i % 3];
+        ap_channel.push(channel);
+        let entity = entities.len() as u32;
+        entities.push(Entity {
+            pos: *pos,
+            channel,
+            kind: EntityKind::Station { b_only: false },
+            ant_gain_ddb: 20,
+            tx_power_ddbm: TX_POWER_DDBM + 10, // APs run a bit hotter
+        });
+        let sid = StationId(stations.len() as u16);
+        let addr = MacAddr::local(0, i as u32);
+        let ip = Ipv4Addr::new(10, 1, (i / 200) as u8, (i % 200 + 1) as u8);
+        let mac = Mac::new(addr, false);
+        stations.push(Station::new(
+            sid,
+            entity,
+            Role::Ap(ApState::new(
+                format!("cse-{}", i % 4).into_bytes(),
+                cfg.protection_timeout_us,
+                false,
+            )),
+            mac,
+            ip,
+        ));
+        addr_to_station.insert(addr, sid);
+    }
+
+    // ---- external / rogue APs ------------------------------------------
+    for i in 0..cfg.n_external_aps {
+        let side = i % 4;
+        let (x, y) = match side {
+            0 => (-30.0 - (i as f64) * 5.0, 15.0),
+            1 => (building.width_m + 30.0 + (i as f64) * 5.0, 20.0),
+            2 => (20.0 + (i as f64) * 4.0, -35.0),
+            _ => (30.0 + (i as f64) * 4.0, building.depth_m + 35.0),
+        };
+        let mut pos = building.at((i % 4) as u8, 0.0, 0.0);
+        pos.x = x;
+        pos.y = y;
+        let channel = Channel::ORTHOGONAL[(i + 1) % 3];
+        let entity = entities.len() as u32;
+        entities.push(Entity {
+            pos,
+            channel,
+            kind: EntityKind::Station { b_only: false },
+            ant_gain_ddb: 20,
+            tx_power_ddbm: TX_POWER_DDBM + 30,
+        });
+        let sid = StationId(stations.len() as u16);
+        let addr = MacAddr::local(4, i as u32);
+        let mac = Mac::new(addr, false);
+        stations.push(Station::new(
+            sid,
+            entity,
+            Role::Ap(ApState::new(
+                format!("ext-{i}").into_bytes(),
+                cfg.protection_timeout_us,
+                true,
+            )),
+            mac,
+            Ipv4Addr::new(192, 168, 77, (i + 1) as u8),
+        ));
+        addr_to_station.insert(addr, sid);
+    }
+
+    // ---- clients --------------------------------------------------------
+    let client_positions = building.office_positions(cfg.n_clients);
+    let mut client_sessions = Vec::with_capacity(cfg.n_clients);
+    for (i, pos) in client_positions.iter().enumerate() {
+        // Tune the client to the channel of its nearest internal AP.
+        let nearest = ap_positions
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                pos.distance(a)
+                    .partial_cmp(&pos.distance(b))
+                    .expect("finite")
+            })
+            .map(|(idx, _)| idx)
+            .unwrap_or(0);
+        let channel = ap_channel[nearest];
+        let b_only = rng.gen_bool(cfg.b_only_fraction.clamp(0.0, 1.0));
+        let entity = entities.len() as u32;
+        entities.push(Entity {
+            pos: *pos,
+            channel,
+            kind: EntityKind::Station { b_only },
+            ant_gain_ddb: 0,
+            tx_power_ddbm: TX_POWER_DDBM,
+        });
+        let sid = StationId(stations.len() as u16);
+        let addr = MacAddr::local(3, i as u32);
+        let ip = Ipv4Addr::new(10, 2, (i / 200) as u8, (i % 200 + 1) as u8);
+        let (start, end, overnight) = if cfg.diurnal {
+            client_session_bounds(&mut rng, cfg.day_us)
+        } else {
+            (200_000 * (i as u64 + 1), cfg.day_us, true)
+        };
+        client_sessions.push((sid, start, end));
+        let mac = Mac::new(addr, b_only);
+        stations.push(Station::new(
+            sid,
+            entity,
+            Role::Client(ClientState::new(b_only, start, end, overnight)),
+            mac,
+            ip,
+        ));
+        addr_to_station.insert(addr, sid);
+        ip_to_station.insert(ip, sid);
+    }
+
+    // ---- monitors / pods -------------------------------------------------
+    // Pods sit in corridors too, offset from the AP grid.
+    let mut pod_positions = building.corridor_grid(cfg.n_pods);
+    for p in pod_positions.iter_mut() {
+        p.x = (p.x + 2.5).min(building.width_m);
+        p.y = (p.y + 1.0).min(building.depth_m);
+    }
+    let mut monitors: Vec<Monitor> = Vec::new();
+    let mut collectors: Vec<TraceCollector> = Vec::new();
+    let mut entity_monitor_radio: Vec<Option<(u16, u8)>> = vec![None; entities.len()];
+    let mut clock_rng = stream(cfg.seed, "clocks");
+    let mut next_radio = 0u16;
+    for (p, pos) in pod_positions.iter().enumerate() {
+        // Per pod: monitor A radios on ch 1 & 6, monitor B on ch 11 and a
+        // rotating fourth channel.
+        let fourth = Channel::ORTHOGONAL[p % 3];
+        let chans = [
+            [Channel::of(1), Channel::of(6)],
+            [Channel::of(11), fourth],
+        ];
+        for half in 0..2 {
+            let mon_id = MonitorId(monitors.len() as u16);
+            let offset = clock_rng.gen_range(0..=cfg.clock_offset_max_us);
+            let skew = normal(&mut clock_rng, 0.0, cfg.clock_skew_ppm_sigma).clamp(-80.0, 80.0);
+            let steps_n = (cfg.day_us / ClockModel::DRIFT_STEP_US + 2) as usize;
+            let drift: Vec<f64> = (0..steps_n)
+                .map(|_| normal(&mut clock_rng, 0.0, cfg.clock_drift_ppm_sigma))
+                .collect();
+            let ntp_err = clock_rng.gen_range(-cfg.ntp_error_max_us..=cfg.ntp_error_max_us);
+            let model = ClockModel::new(offset, skew, drift, ntp_err);
+            let mut radios = Vec::with_capacity(2);
+            for (slot, &ch) in chans[half].iter().enumerate() {
+                let entity = entities.len() as u32;
+                // The two monitors of a pod sit a meter apart.
+                let mut mp = *pos;
+                mp.x = (mp.x + half as f64).min(building.width_m);
+                entities.push(Entity {
+                    pos: mp,
+                    channel: ch,
+                    kind: EntityKind::MonitorRadio,
+                    ant_gain_ddb: MONITOR_ANT_GAIN_DDB,
+                    tx_power_ddbm: 0,
+                });
+                entity_monitor_radio.push(Some((mon_id.0, slot as u8)));
+                radios.push(MonitorRadio {
+                    radio: RadioId(next_radio),
+                    entity,
+                    channel: ch,
+                });
+                next_radio += 1;
+                collectors.push(TraceCollector::default());
+            }
+            monitors.push(Monitor {
+                id: mon_id,
+                clock: ClockCursor::new(model),
+                radios: [radios[0], radios[1]],
+            });
+        }
+    }
+    // entity_monitor_radio was extended while pushing entities; make sure the
+    // station prefix is padded correctly.
+    debug_assert_eq!(entity_monitor_radio.len(), entities.len());
+
+    // ---- interferers -----------------------------------------------------
+    let mut interferers = Vec::new();
+    for m in 0..cfg.microwaves {
+        let entity = entities.len() as u32;
+        let pos = building.at((m % 4) as u8, 10.0 + 20.0 * m as f64, 5.0);
+        entities.push(Entity {
+            pos,
+            channel: Channel::of(8), // microwaves sit mid-band
+            kind: EntityKind::Interferer,
+            ant_gain_ddb: 0,
+            tx_power_ddbm: 260, // strong leakage
+        });
+        entity_monitor_radio.push(None);
+        interferers.push(InterfererState {
+            entity,
+            session_until: 0,
+            burst_active: false,
+        });
+    }
+
+    // ---- wired hosts -----------------------------------------------------
+    let mut hosts = Vec::new();
+    for h in 0..cfg.lan_hosts {
+        hosts.push(WiredHost {
+            id: HostId(hosts.len() as u16),
+            mac: MacAddr::local(9, h as u32),
+            ip: Ipv4Addr::new(172, 16, 0, (h + 1) as u8),
+            latency_us: 300,
+            loss_prob: 0.0,
+        });
+    }
+    for h in 0..cfg.internet_hosts {
+        hosts.push(WiredHost {
+            id: HostId(hosts.len() as u16),
+            mac: MacAddr::local(9, 1000 + h as u32),
+            ip: Ipv4Addr::new(198, 18, (h / 200) as u8, (h % 200 + 1) as u8),
+            latency_us: 5_000 + 3_000 * h as u64,
+            loss_prob: cfg.internet_loss,
+        });
+    }
+    let vernier_host = if cfg.lan_hosts > 0 { Some(HostId(0)) } else { None };
+
+    // ---- medium + audibility --------------------------------------------
+    let medium = Medium::new(&building, &prop, entities, cfg.seed);
+    let n_entities = medium.entity_count();
+    let mut entity_station: Vec<Option<StationId>> = vec![None; n_entities];
+    for s in &stations {
+        entity_station[s.entity as usize] = Some(s.id);
+    }
+
+    let mut audible_stations: Vec<Vec<(StationId, i32)>> = vec![Vec::new(); n_entities];
+    let mut audible_radios: Vec<Vec<(u32, i32)>> = vec![Vec::new(); n_entities];
+    const AUDIBLE_CUTOFF: i32 = -1040;
+    for tx in 0..n_entities as u32 {
+        let can_tx = !matches!(medium.entity(tx).kind, EntityKind::MonitorRadio);
+        if !can_tx {
+            continue;
+        }
+        let tx_chan = medium.entity(tx).channel;
+        for rx in 0..n_entities as u32 {
+            if rx == tx {
+                continue;
+            }
+            let p = medium.rx_power_ddbm(tx, rx, tx_chan);
+            if p < AUDIBLE_CUTOFF {
+                continue;
+            }
+            match medium.entity(rx).kind {
+                EntityKind::Station { .. } => {
+                    if let Some(sid) = entity_station[rx as usize] {
+                        audible_stations[tx as usize].push((sid, p));
+                    }
+                }
+                EntityKind::MonitorRadio => {
+                    audible_radios[tx as usize].push((rx, p));
+                }
+                EntityKind::Interferer => {}
+            }
+        }
+    }
+
+    // ---- truth mode -------------------------------------------------------
+    let truth_mode = match cfg.truth {
+        TruthConfig::Off => TruthMode::Off,
+        TruthConfig::Full => TruthMode::Full,
+        TruthConfig::OracleClient(n) => {
+            let idx = cfg.n_aps + cfg.n_external_aps + n.min(cfg.n_clients.saturating_sub(1));
+            TruthMode::Sample(stations[idx].mac.addr)
+        }
+    };
+
+    let params = WorkloadParams::compressed(cfg.workload_compression);
+    let world_rng = stream(cfg.seed, "world");
+
+    let mut world = World {
+        params,
+        now: 0,
+        queue: crate::event::EventQueue::new(),
+        medium,
+        stations,
+        monitors,
+        collectors,
+        wired: Wired::new(hosts),
+        wired_trace: Vec::new(),
+        flows: Vec::new(),
+        truth: GroundTruth::default(),
+        truth_mode,
+        stats: SimStats::default(),
+        rng: world_rng,
+        addr_to_station,
+        ip_to_station,
+        entity_station,
+        entity_monitor_radio,
+        flow_by_client_port: HashMap::new(),
+        audible_stations,
+        audible_radios,
+        tx_tags: HashMap::new(),
+        next_xid: 0,
+        next_port: 10_000,
+        interferers,
+        vernier_registry: Vec::new(),
+        vernier_next: 0,
+        vernier_host,
+        cfg,
+    };
+
+    // ---- initial events ----------------------------------------------------
+    let n_aps_total = world.cfg.n_aps + world.cfg.n_external_aps;
+    for i in 0..n_aps_total {
+        let sid = StationId(i as u16);
+        let stagger = (i as u64 * 2_341) % world.cfg.beacon_interval_us;
+        world
+            .queue
+            .schedule(stagger, EventKind::Beacon { station: sid });
+        if i < world.cfg.n_aps {
+            world.queue.schedule(
+                world.cfg.protection_check_us,
+                EventKind::ProtectionCheck { station: sid },
+            );
+        }
+    }
+    for (sid, start, end) in client_sessions {
+        world.queue.schedule(
+            start,
+            EventKind::ClientLifecycle {
+                station: sid,
+                activate: true,
+            },
+        );
+        world.queue.schedule(
+            end,
+            EventKind::ClientLifecycle {
+                station: sid,
+                activate: false,
+            },
+        );
+    }
+    // Office broadcasters: the first K clients.
+    for k in 0..world.cfg.office_broadcasters.min(world.cfg.n_clients) {
+        let sid = StationId((n_aps_total + k) as u16);
+        let stagger = world.cfg.office_broadcast_us / (k as u64 + 1);
+        world
+            .queue
+            .schedule(stagger, EventKind::OfficeBroadcast { station: sid });
+    }
+    world.queue.schedule(1_000_000, EventKind::VernierArp);
+    for (i, _) in world.interferers.iter().enumerate() {
+        world
+            .queue
+            .schedule(500_000, EventKind::NoiseBurst { entity: i as u32 });
+    }
+
+    world
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_world_builds() {
+        let w = ScenarioConfig::tiny(1).build();
+        assert_eq!(w.stations.len(), 1 + 0 + 2);
+        assert_eq!(w.monitors.len(), 4); // 2 pods × 2 monitors
+        assert_eq!(w.collectors.len(), 8); // × 2 radios
+        assert!(w.queue.len() > 0);
+    }
+
+    #[test]
+    fn paper_day_inventory() {
+        let w = ScenarioConfig::paper_day(7).build();
+        // 156 radios: 39 pods × 2 monitors × 2 radios.
+        assert_eq!(w.collectors.len(), 156);
+        assert_eq!(w.monitors.len(), 78);
+        assert_eq!(
+            w.stations.len(),
+            w.cfg.n_aps + w.cfg.n_external_aps + w.cfg.n_clients
+        );
+        // Pods cover all three orthogonal channels.
+        let chans: std::collections::HashSet<u8> = w
+            .monitors
+            .iter()
+            .flat_map(|m| m.radios.iter().map(|r| r.channel.number()))
+            .collect();
+        assert!(chans.contains(&1) && chans.contains(&6) && chans.contains(&11));
+    }
+
+    #[test]
+    fn determinism() {
+        let w1 = ScenarioConfig::tiny(42).build();
+        let w2 = ScenarioConfig::tiny(42).build();
+        assert_eq!(w1.stations.len(), w2.stations.len());
+        for (a, b) in w1.stations.iter().zip(w2.stations.iter()) {
+            assert_eq!(a.mac.addr, b.mac.addr);
+            assert_eq!(a.mac.b_only, b.mac.b_only);
+        }
+        for (a, b) in w1.monitors.iter().zip(w2.monitors.iter()) {
+            assert_eq!(a.clock.model().offset_us, b.clock.model().offset_us);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let w1 = ScenarioConfig::tiny(1).build();
+        let w2 = ScenarioConfig::tiny(2).build();
+        let o1: Vec<u64> = w1.monitors.iter().map(|m| m.clock.model().offset_us).collect();
+        let o2: Vec<u64> = w2.monitors.iter().map(|m| m.clock.model().offset_us).collect();
+        assert_ne!(o1, o2);
+    }
+
+    #[test]
+    fn clients_tuned_to_nearest_ap_channel() {
+        let w = ScenarioConfig::small(3).build();
+        let ap_chans: Vec<u8> = (0..w.cfg.n_aps)
+            .map(|i| w.medium.entity(w.stations[i].entity).channel.number())
+            .collect();
+        for s in &w.stations {
+            if s.role.as_client().is_some() {
+                let ch = w.medium.entity(s.entity).channel.number();
+                assert!(ap_chans.contains(&ch));
+            }
+        }
+    }
+}

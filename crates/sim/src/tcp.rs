@@ -1,0 +1,634 @@
+//! Simulated TCP endpoints.
+//!
+//! Both ends of every flow are simulated (client on a wireless station,
+//! server on a wired host), producing protocol-correct segment sequences:
+//! three-way handshake, slow start, congestion avoidance, duplicate-ACK
+//! fast retransmit, RTO with exponential backoff and go-back-N resend, FIN
+//! teardown. That is exactly the surface Jigsaw's transport reconstruction
+//! consumes (paper §5.2): sequence/ACK numbers whose "covering" proves
+//! link-layer delivery.
+//!
+//! Simplifications (not observable by the paper's analyses): no SACK, no
+//! delayed ACKs, no window scaling, fixed 64 KB receive window. Out-of-order
+//! data is held in a reassembly interval set (content is irrelevant, only
+//! sequence ranges matter), so a single loss costs a single retransmission.
+
+use jigsaw_ieee80211::Micros;
+use jigsaw_packet::TcpSegment;
+
+/// Wrapping sequence-space comparison: is `a < b`?
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    (b.wrapping_sub(a) as i32) > 0
+}
+
+/// Wrapping sequence-space comparison: is `a <= b`?
+pub fn seq_le(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+/// Endpoint connection state (simplified TCP state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// Initial (passive side waits here for a SYN).
+    Closed,
+    /// Active opener sent its SYN.
+    SynSent,
+    /// Passive side answered with SYN-ACK.
+    SynRcvd,
+    /// Data may flow.
+    Established,
+    /// We sent our FIN, awaiting its ACK (and possibly the peer's FIN).
+    Closing,
+    /// Both FINs exchanged and acknowledged.
+    Done,
+}
+
+/// Minimum retransmission timeout. RFC 2988 (the era's standard) keeps a
+/// conservative 1 s floor — important here because WLAN queueing delay
+/// under contention routinely exceeds 200 ms and would otherwise trigger
+/// spurious RTOs.
+pub const RTO_MIN_US: u64 = 1_000_000;
+/// Maximum retransmission timeout.
+pub const RTO_MAX_US: u64 = 60_000_000;
+/// Initial RTO before any RTT sample.
+pub const RTO_INIT_US: u64 = 1_000_000;
+/// Congestion window cap (bytes) — models the 64 KB receive window.
+pub const CWND_MAX: u32 = 64 * 1024;
+
+/// What an endpoint wants the world to do after an input.
+#[derive(Debug, Default)]
+pub struct TcpOutput {
+    /// Segments to transmit, in order.
+    pub segments: Vec<TcpSegment>,
+    /// If set, (re)arm the retransmission timer for this absolute deadline.
+    /// `None` leaves the timer as is; the world checks `timer_gen`.
+    pub arm_timer: Option<Micros>,
+}
+
+/// One endpoint of a TCP connection.
+#[derive(Debug)]
+pub struct TcpEndpoint {
+    /// Our port.
+    pub port: u16,
+    /// Peer's port.
+    pub peer_port: u16,
+    /// State.
+    pub state: TcpState,
+    /// Initial send sequence number.
+    pub iss: u32,
+    /// Highest sequence sent + 1.
+    pub snd_nxt: u32,
+    /// Oldest unacknowledged sequence.
+    pub snd_una: u32,
+    /// Congestion window, bytes.
+    pub cwnd: u32,
+    /// Slow-start threshold, bytes.
+    pub ssthresh: u32,
+    /// Maximum segment size.
+    pub mss: u16,
+    /// Next sequence expected from the peer.
+    pub rcv_nxt: u32,
+    /// Application bytes still to be sent (not yet packetized).
+    pub app_remaining: u64,
+    /// Close once `app_remaining` drains and all data is acked.
+    pub close_when_done: bool,
+    /// Sequence of our FIN, once sent.
+    pub fin_seq: Option<u32>,
+    /// Peer's FIN has been received.
+    pub peer_fin_seen: bool,
+    /// Sequence consumed by the peer's FIN (it may arrive out of order).
+    pub remote_fin_end: Option<u32>,
+    /// Reassembly buffer: out-of-order `[start, end)` sequence intervals.
+    pub ooo: Vec<(u32, u32)>,
+    /// Consecutive duplicate ACKs.
+    pub dupacks: u8,
+    /// Smoothed RTT (µs).
+    pub srtt_us: Option<f64>,
+    /// RTT variance (µs).
+    pub rttvar_us: f64,
+    /// Current RTO (µs).
+    pub rto_us: u64,
+    /// Outstanding RTT probe: (sequence that must be covered, send time).
+    pub rtt_probe: Option<(u32, Micros)>,
+    /// Timer generation (world checks on fire).
+    pub timer_gen: u32,
+    /// Statistics: segments retransmitted by RTO.
+    pub rto_retransmits: u64,
+    /// Statistics: segments retransmitted by fast retransmit.
+    pub fast_retransmits: u64,
+}
+
+impl TcpEndpoint {
+    /// A fresh endpoint.
+    pub fn new(port: u16, peer_port: u16, iss: u32, mss: u16) -> Self {
+        TcpEndpoint {
+            port,
+            peer_port,
+            state: TcpState::Closed,
+            iss,
+            snd_nxt: iss,
+            snd_una: iss,
+            cwnd: u32::from(mss) * 2,
+            ssthresh: CWND_MAX,
+            mss,
+            rcv_nxt: 0,
+            app_remaining: 0,
+            close_when_done: false,
+            fin_seq: None,
+            peer_fin_seen: false,
+            remote_fin_end: None,
+            ooo: Vec::new(),
+            dupacks: 0,
+            srtt_us: None,
+            rttvar_us: 0.0,
+            rto_us: RTO_INIT_US,
+            rtt_probe: None,
+            timer_gen: 0,
+            rto_retransmits: 0,
+            fast_retransmits: 0,
+        }
+    }
+
+    /// Bytes in flight.
+    pub fn inflight(&self) -> u32 {
+        self.snd_nxt.wrapping_sub(self.snd_una)
+    }
+
+    /// True when this endpoint has nothing more to do.
+    pub fn is_done(&self) -> bool {
+        self.state == TcpState::Done
+    }
+
+    fn bump_timer(&mut self) -> u32 {
+        self.timer_gen = self.timer_gen.wrapping_add(1);
+        self.timer_gen
+    }
+
+    /// Active open: emit the SYN.
+    pub fn connect(&mut self, now: Micros) -> TcpOutput {
+        debug_assert_eq!(self.state, TcpState::Closed);
+        self.state = TcpState::SynSent;
+        self.snd_nxt = self.iss.wrapping_add(1);
+        self.rtt_probe = Some((self.snd_nxt, now));
+        self.bump_timer();
+        TcpOutput {
+            segments: vec![TcpSegment::syn(self.port, self.peer_port, self.iss, self.mss)],
+            arm_timer: Some(now + self.rto_us),
+        }
+    }
+
+    /// Queues application data for transmission and tries to send.
+    pub fn app_write(&mut self, bytes: u64, now: Micros) -> TcpOutput {
+        self.app_remaining += bytes;
+        self.try_send(now)
+    }
+
+    /// Marks that the connection should close after pending data drains.
+    pub fn shutdown(&mut self, now: Micros) -> TcpOutput {
+        self.close_when_done = true;
+        self.try_send(now)
+    }
+
+    /// Emits as much data as cwnd allows (plus SYN-ACK/FIN when due).
+    pub fn try_send(&mut self, now: Micros) -> TcpOutput {
+        let mut out = TcpOutput::default();
+        if self.state != TcpState::Established && self.state != TcpState::Closing {
+            return out;
+        }
+        let mut sent_any = false;
+        while self.app_remaining > 0 && self.inflight() + u32::from(self.mss) <= self.cwnd {
+            let chunk = u64::from(self.mss).min(self.app_remaining) as u16;
+            let seg = TcpSegment::data(self.port, self.peer_port, self.snd_nxt, self.rcv_nxt, chunk);
+            self.snd_nxt = self.snd_nxt.wrapping_add(u32::from(chunk));
+            self.app_remaining -= u64::from(chunk);
+            if self.rtt_probe.is_none() {
+                self.rtt_probe = Some((self.snd_nxt, now));
+            }
+            out.segments.push(seg);
+            sent_any = true;
+        }
+        // FIN once everything is packetized and we were asked to close.
+        if self.close_when_done
+            && self.app_remaining == 0
+            && self.fin_seq.is_none()
+            && self.state == TcpState::Established
+        {
+            let mut fin = TcpSegment::data(self.port, self.peer_port, self.snd_nxt, self.rcv_nxt, 0);
+            fin.flags.fin = true;
+            self.fin_seq = Some(self.snd_nxt);
+            self.snd_nxt = self.snd_nxt.wrapping_add(1);
+            self.state = TcpState::Closing;
+            out.segments.push(fin);
+            sent_any = true;
+        }
+        if sent_any {
+            self.bump_timer();
+            out.arm_timer = Some(now + self.rto_us);
+        }
+        out
+    }
+
+    /// The retransmission timer fired (world verified the generation).
+    pub fn on_rto(&mut self, now: Micros) -> TcpOutput {
+        let mut out = TcpOutput::default();
+        if self.inflight() == 0 && self.state != TcpState::SynSent {
+            return out;
+        }
+        // Classic Tahoe-style response: collapse to one MSS, back off RTO.
+        let inflight = self.inflight();
+        self.ssthresh = (inflight / 2).max(2 * u32::from(self.mss));
+        self.cwnd = u32::from(self.mss);
+        self.rto_us = (self.rto_us * 2).min(RTO_MAX_US);
+        self.dupacks = 0;
+        self.rtt_probe = None; // Karn's algorithm
+        self.rto_retransmits += 1;
+        match self.state {
+            TcpState::SynSent => {
+                out.segments
+                    .push(TcpSegment::syn(self.port, self.peer_port, self.iss, self.mss));
+            }
+            _ => {
+                out.segments.push(self.retransmit_head());
+            }
+        }
+        self.bump_timer();
+        out.arm_timer = Some(now + self.rto_us);
+        out
+    }
+
+    /// Builds the segment at `snd_una` for retransmission (go-back-N: the
+    /// window beyond the head will be resent as later ACKs force it).
+    fn retransmit_head(&mut self) -> TcpSegment {
+        if Some(self.snd_una) == self.fin_seq {
+            let mut fin = TcpSegment::data(self.port, self.peer_port, self.snd_una, self.rcv_nxt, 0);
+            fin.flags.fin = true;
+            return fin;
+        }
+        // Distance to FIN (or to snd_nxt) bounds the chunk.
+        let limit = match self.fin_seq {
+            Some(f) => f.wrapping_sub(self.snd_una),
+            None => self.snd_nxt.wrapping_sub(self.snd_una),
+        };
+        let chunk = limit.min(u32::from(self.mss)) as u16;
+        TcpSegment::data(self.port, self.peer_port, self.snd_una, self.rcv_nxt, chunk)
+    }
+
+    /// Processes an incoming segment. Returns segments to send in response.
+    pub fn on_segment(&mut self, seg: &TcpSegment, now: Micros) -> TcpOutput {
+        let mut out = TcpOutput::default();
+        match self.state {
+            TcpState::Closed => {
+                // Passive open.
+                if seg.flags.syn && !seg.flags.ack {
+                    self.rcv_nxt = seg.seq.wrapping_add(1);
+                    self.state = TcpState::SynRcvd;
+                    if let Some(peer_mss) = seg.mss {
+                        self.mss = self.mss.min(peer_mss);
+                    }
+                    self.snd_nxt = self.iss.wrapping_add(1);
+                    out.segments
+                        .push(TcpSegment::syn_ack(seg, self.iss, self.mss));
+                    self.bump_timer();
+                    out.arm_timer = Some(now + self.rto_us);
+                }
+                return out;
+            }
+            TcpState::SynSent => {
+                if seg.flags.syn && seg.flags.ack && seg.ack == self.snd_nxt {
+                    self.rcv_nxt = seg.seq.wrapping_add(1);
+                    self.snd_una = seg.ack;
+                    if let Some(peer_mss) = seg.mss {
+                        self.mss = self.mss.min(peer_mss);
+                    }
+                    self.take_rtt_sample(seg.ack, now);
+                    self.state = TcpState::Established;
+                    out.segments.push(TcpSegment::pure_ack(
+                        self.port,
+                        self.peer_port,
+                        self.snd_nxt,
+                        self.rcv_nxt,
+                    ));
+                    let more = self.try_send(now);
+                    out.segments.extend(more.segments);
+                    out.arm_timer = more.arm_timer;
+                }
+                return out;
+            }
+            TcpState::SynRcvd => {
+                if seg.flags.ack && seg.ack == self.snd_nxt {
+                    self.snd_una = seg.ack;
+                    self.take_rtt_sample(seg.ack, now);
+                    self.state = TcpState::Established;
+                    // Fall through to normal processing (the ACK may carry data).
+                } else if seg.flags.syn && !seg.flags.ack {
+                    // Duplicate SYN: repeat the SYN-ACK.
+                    out.segments
+                        .push(TcpSegment::syn_ack(seg, self.iss, self.mss));
+                    return out;
+                }
+            }
+            TcpState::Done => return out,
+            _ => {}
+        }
+
+        // --- Established / Closing common path ---
+        let mut must_ack = false;
+
+        // ACK processing.
+        if seg.flags.ack {
+            let ack = seg.ack;
+            if seq_lt(self.snd_una, ack) && seq_le(ack, self.snd_nxt) {
+                // New data acknowledged.
+                self.take_rtt_sample(ack, now);
+                let acked = ack.wrapping_sub(self.snd_una);
+                self.snd_una = ack;
+                self.dupacks = 0;
+                // cwnd growth: slow start below ssthresh, else CA.
+                if self.cwnd < self.ssthresh {
+                    self.cwnd = (self.cwnd + acked.min(u32::from(self.mss))).min(CWND_MAX);
+                } else {
+                    let add = (u32::from(self.mss) * u32::from(self.mss) / self.cwnd).max(1);
+                    self.cwnd = (self.cwnd + add).min(CWND_MAX);
+                }
+                // FIN acknowledged?
+                if let Some(f) = self.fin_seq {
+                    if seq_lt(f, ack) && self.peer_fin_seen {
+                        self.state = TcpState::Done;
+                    }
+                }
+                if self.inflight() > 0 {
+                    self.bump_timer();
+                    out.arm_timer = Some(now + self.rto_us);
+                }
+            } else if ack == self.snd_una && self.inflight() > 0 && seg.payload_len == 0 {
+                // Duplicate ACK.
+                self.dupacks = self.dupacks.saturating_add(1);
+                if self.dupacks == 3 {
+                    // Fast retransmit.
+                    self.ssthresh = (self.inflight() / 2).max(2 * u32::from(self.mss));
+                    self.cwnd = self.ssthresh;
+                    self.rtt_probe = None;
+                    self.fast_retransmits += 1;
+                    let seg = self.retransmit_head();
+                    out.segments.push(seg);
+                    self.bump_timer();
+                    out.arm_timer = Some(now + self.rto_us);
+                }
+            }
+        }
+
+        // Data consumption with reassembly: in-order data advances rcv_nxt
+        // directly; out-of-order ranges wait in the interval buffer.
+        if seg.seq_space() > 0 {
+            let (start, end) = (seg.seq, seg.seq_end());
+            if seg.flags.fin {
+                self.remote_fin_end = Some(end);
+            }
+            if seq_le(start, self.rcv_nxt) && seq_lt(self.rcv_nxt, end) {
+                self.rcv_nxt = end;
+            } else if seq_lt(self.rcv_nxt, start) {
+                // Insert + merge the out-of-order interval.
+                self.ooo.push((start, end));
+                self.ooo.sort_by(|a, b| {
+                    if a.0 == b.0 {
+                        std::cmp::Ordering::Equal
+                    } else if seq_lt(a.0, b.0) {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    }
+                });
+                let mut merged: Vec<(u32, u32)> = Vec::with_capacity(self.ooo.len());
+                for &(s0, e0) in self.ooo.iter() {
+                    match merged.last_mut() {
+                        Some((_, le)) if seq_le(s0, *le) => {
+                            if seq_lt(*le, e0) {
+                                *le = e0;
+                            }
+                        }
+                        _ => merged.push((s0, e0)),
+                    }
+                }
+                self.ooo = merged;
+            }
+            // Drain buffered intervals now contiguous with rcv_nxt.
+            while let Some(&(s0, e0)) = self.ooo.first() {
+                if seq_le(s0, self.rcv_nxt) {
+                    if seq_lt(self.rcv_nxt, e0) {
+                        self.rcv_nxt = e0;
+                    }
+                    self.ooo.remove(0);
+                } else {
+                    break;
+                }
+            }
+            // The peer's FIN is consumed when rcv_nxt passes it.
+            if let Some(fe) = self.remote_fin_end {
+                if seq_le(fe, self.rcv_nxt) {
+                    self.peer_fin_seen = true;
+                    if let Some(f) = self.fin_seq {
+                        if seq_lt(f, self.snd_una) {
+                            self.state = TcpState::Done;
+                        }
+                    }
+                }
+            }
+            // Always acknowledge received data (cumulative; dupACK on holes).
+            must_ack = true;
+        }
+
+        if must_ack {
+            out.segments.push(TcpSegment::pure_ack(
+                self.port,
+                self.peer_port,
+                self.snd_nxt,
+                self.rcv_nxt,
+            ));
+        }
+
+        // Window may have opened.
+        let more = self.try_send(now);
+        out.segments.extend(more.segments);
+        if more.arm_timer.is_some() {
+            out.arm_timer = more.arm_timer;
+        }
+        out
+    }
+
+    fn take_rtt_sample(&mut self, ack: u32, now: Micros) {
+        if let Some((probe_seq, sent_at)) = self.rtt_probe {
+            if seq_le(probe_seq, ack) {
+                let rtt = (now - sent_at) as f64;
+                match self.srtt_us {
+                    None => {
+                        self.srtt_us = Some(rtt);
+                        self.rttvar_us = rtt / 2.0;
+                    }
+                    Some(srtt) => {
+                        let delta = (srtt - rtt).abs();
+                        self.rttvar_us = 0.75 * self.rttvar_us + 0.25 * delta;
+                        self.srtt_us = Some(0.875 * srtt + 0.125 * rtt);
+                    }
+                }
+                let rto = self.srtt_us.unwrap() + 4.0 * self.rttvar_us;
+                self.rto_us = (rto as u64).clamp(RTO_MIN_US, RTO_MAX_US);
+                self.rtt_probe = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives two endpoints against each other over a perfect wire with the
+    /// given one-way latency, returning total segments exchanged.
+    fn run_perfect_wire(a_bytes: u64, b_bytes: u64) -> (TcpEndpoint, TcpEndpoint, usize) {
+        let mut a = TcpEndpoint::new(5000, 80, 1_000, 1460);
+        let mut b = TcpEndpoint::new(80, 5000, 9_000, 1460);
+        let latency = 10_000u64;
+        let mut now = 0u64;
+        let mut wire: std::collections::VecDeque<(u64, bool, TcpSegment)> =
+            std::collections::VecDeque::new();
+        let mut total = 0usize;
+
+        a.app_remaining = a_bytes;
+        a.close_when_done = true;
+        b.app_remaining = b_bytes;
+        b.close_when_done = true;
+        for s in a.connect(now).segments {
+            wire.push_back((now + latency, false, s));
+            total += 1;
+        }
+        let mut steps = 0;
+        while let Some((t, to_a, seg)) = wire.pop_front() {
+            steps += 1;
+            assert!(steps < 10_000, "connection did not converge");
+            now = t.max(now);
+            let out = if to_a {
+                a.on_segment(&seg, now)
+            } else {
+                b.on_segment(&seg, now)
+            };
+            for s in out.segments {
+                wire.push_back((now + latency, !to_a, s));
+                total += 1;
+            }
+        }
+        (a, b, total)
+    }
+
+    #[test]
+    fn handshake_and_teardown_only() {
+        let (a, b, total) = run_perfect_wire(0, 0);
+        assert_eq!(a.state, TcpState::Done);
+        assert_eq!(b.state, TcpState::Done);
+        // SYN, SYN-ACK, ACK, 2×(FIN + ACK) ≈ 7 segments, small slack.
+        assert!(total >= 7 && total <= 10, "total {total}");
+    }
+
+    #[test]
+    fn bulk_transfer_completes() {
+        let (a, b, _) = run_perfect_wire(100_000, 0);
+        assert_eq!(a.state, TcpState::Done);
+        assert_eq!(b.state, TcpState::Done);
+        assert_eq!(a.app_remaining, 0);
+        // Receiver consumed everything: rcv_nxt advanced 100_000 + SYN + FIN.
+        assert_eq!(b.rcv_nxt.wrapping_sub(1_000), 100_000 + 2);
+    }
+
+    #[test]
+    fn bidirectional_transfer() {
+        let (a, b, _) = run_perfect_wire(30_000, 50_000);
+        assert_eq!(a.state, TcpState::Done);
+        assert_eq!(b.state, TcpState::Done);
+        assert_eq!(b.rcv_nxt.wrapping_sub(1_000), 30_000 + 2);
+        assert_eq!(a.rcv_nxt.wrapping_sub(9_000), 50_000 + 2);
+    }
+
+    #[test]
+    fn slow_start_grows_cwnd() {
+        let (a, _, _) = run_perfect_wire(200_000, 0);
+        assert!(a.cwnd > 2 * 1460, "cwnd {}", a.cwnd);
+    }
+
+    #[test]
+    fn rtt_estimated() {
+        let (a, _, _) = run_perfect_wire(10_000, 0);
+        let srtt = a.srtt_us.expect("rtt sampled");
+        assert!((srtt - 20_000.0).abs() < 5_000.0, "srtt {srtt}");
+        assert_eq!(a.rto_us, RTO_MIN_US); // 20ms + var « 200ms floor
+    }
+
+    #[test]
+    fn rto_retransmits_syn() {
+        let mut a = TcpEndpoint::new(1, 2, 0, 1460);
+        let o = a.connect(0);
+        assert_eq!(o.segments.len(), 1);
+        assert!(o.segments[0].flags.syn);
+        let o2 = a.on_rto(RTO_INIT_US);
+        assert_eq!(o2.segments.len(), 1);
+        assert!(o2.segments[0].flags.syn);
+        assert_eq!(a.rto_us, 2 * RTO_INIT_US);
+        assert_eq!(a.rto_retransmits, 1);
+    }
+
+    #[test]
+    fn dupacks_trigger_fast_retransmit() {
+        let mut a = TcpEndpoint::new(1, 2, 1000, 1000);
+        // Get established quickly by hand.
+        a.state = TcpState::Established;
+        a.snd_nxt = 1001;
+        a.snd_una = 1001;
+        a.rcv_nxt = 501;
+        a.cwnd = 10_000;
+        let out = a.app_write(5_000, 0);
+        assert_eq!(out.segments.len(), 5);
+        // Peer acks nothing new, three duplicate ACKs at snd_una.
+        let dup = TcpSegment::pure_ack(2, 1, 501, 1001);
+        assert!(a.on_segment(&dup, 100).segments.is_empty());
+        assert!(a.on_segment(&dup, 200).segments.is_empty());
+        let third = a.on_segment(&dup, 300);
+        assert_eq!(third.segments.len(), 1, "fast retransmit fired");
+        assert_eq!(third.segments[0].seq, 1001);
+        assert_eq!(a.fast_retransmits, 1);
+        assert!(a.cwnd < 10_000);
+    }
+
+    #[test]
+    fn out_of_order_data_produces_dup_acks() {
+        let mut b = TcpEndpoint::new(80, 5000, 0, 1000);
+        b.state = TcpState::Established;
+        b.rcv_nxt = 100;
+        // In-order segment advances rcv_nxt and acks.
+        let s1 = TcpSegment::data(5000, 80, 100, 1, 1000);
+        let o1 = b.on_segment(&s1, 0);
+        assert_eq!(b.rcv_nxt, 1100);
+        assert_eq!(o1.segments.len(), 1);
+        assert_eq!(o1.segments[0].ack, 1100);
+        // Gap: segment at 2100 (missing 1100..2100) → dup ack at 1100,
+        // with the out-of-order range buffered for reassembly.
+        let s3 = TcpSegment::data(5000, 80, 2100, 1, 1000);
+        let o3 = b.on_segment(&s3, 10);
+        assert_eq!(b.rcv_nxt, 1100, "hole not skipped");
+        assert_eq!(o3.segments[0].ack, 1100);
+        assert_eq!(b.ooo, vec![(2100, 3100)]);
+        // Filling the hole jumps rcv_nxt past the buffered range.
+        let s2 = TcpSegment::data(5000, 80, 1100, 1, 1000);
+        let o2 = b.on_segment(&s2, 20);
+        assert_eq!(b.rcv_nxt, 3100, "reassembly failed");
+        assert_eq!(o2.segments[0].ack, 3100);
+        assert!(b.ooo.is_empty());
+    }
+
+    #[test]
+    fn mss_negotiated_down() {
+        let mut server = TcpEndpoint::new(80, 5000, 0, 1460);
+        let syn = TcpSegment::syn(5000, 80, 7, 536);
+        let out = server.on_segment(&syn, 0);
+        assert_eq!(server.mss, 536);
+        assert_eq!(out.segments.len(), 1);
+        assert!(out.segments[0].flags.syn && out.segments[0].flags.ack);
+    }
+}

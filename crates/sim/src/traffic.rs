@@ -1,0 +1,273 @@
+//! Workload generation: diurnal user sessions and the traffic mixes the
+//! paper observes — web browsing, interactive ssh, bulk scp (§6's oracle
+//! workload is exactly this trio), plus the pathological broadcast sources
+//! §7.1 calls out (Vernier ARP scanning, MS Office UDP beacons).
+
+use crate::rng::{bounded_pareto, exponential};
+use crate::{HostId, StationId};
+use jigsaw_ieee80211::Micros;
+use rand::Rng;
+
+/// The kind of a TCP flow (drives size and interactivity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// A web-style download (heavy-tailed size).
+    Web,
+    /// An interactive ssh session: many small request/response exchanges.
+    Ssh,
+    /// A bulk copy, upstream or down.
+    Scp {
+        /// True when the client uploads.
+        upload: bool,
+    },
+    /// Background keepalive chatter from overnight machines.
+    Background,
+}
+
+/// A TCP flow in progress, tying two endpoints together.
+#[derive(Debug)]
+pub struct Flow {
+    /// Flow index.
+    pub id: u32,
+    /// The wireless client.
+    pub client: StationId,
+    /// The wired peer.
+    pub host: HostId,
+    /// Client's ephemeral port.
+    pub client_port: u16,
+    /// Server port.
+    pub host_port: u16,
+    /// Flow kind.
+    pub kind: FlowKind,
+    /// Remaining interactive exchanges (ssh only).
+    pub exchanges_left: u32,
+    /// Client-side TCP endpoint.
+    pub client_end: crate::tcp::TcpEndpoint,
+    /// Host-side TCP endpoint.
+    pub host_end: crate::tcp::TcpEndpoint,
+    /// Set when both sides are finished and accounted.
+    pub completed: bool,
+    /// True time the flow was opened (watchdog reference).
+    pub created_at: jigsaw_ieee80211::Micros,
+}
+
+/// Activity chosen at each workload step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activity {
+    /// Browse: 1–4 web flows.
+    Web {
+        /// Number of parallel fetches.
+        fetches: u8,
+    },
+    /// One interactive ssh session.
+    Ssh,
+    /// One bulk transfer.
+    Scp {
+        /// Upload or download.
+        upload: bool,
+    },
+    /// Idle this step.
+    Think,
+}
+
+/// Workload parameters, all scaled by the scenario's time compression.
+#[derive(Debug, Clone)]
+pub struct WorkloadParams {
+    /// Mean think time between activities, µs.
+    pub think_mean_us: f64,
+    /// Web flow size range (bytes), Pareto α.
+    pub web_lo: f64,
+    /// Upper bound of web flow sizes.
+    pub web_hi: f64,
+    /// Pareto shape for web sizes.
+    pub web_alpha: f64,
+    /// ssh exchanges per session range.
+    pub ssh_exchanges: (u32, u32),
+    /// Mean gap between ssh keystроke bursts, µs.
+    pub ssh_gap_mean_us: f64,
+    /// scp size range (bytes).
+    pub scp_lo: f64,
+    /// scp size upper bound.
+    pub scp_hi: f64,
+    /// Background flow size (bytes).
+    pub background_bytes: u64,
+    /// Mean gap between background flows, µs.
+    pub background_gap_us: f64,
+}
+
+impl WorkloadParams {
+    /// Defaults for a time-compressed day: `compression` = how many real
+    /// seconds one simulated second represents (60 → a 24 h day in 24 min).
+    pub fn compressed(compression: f64) -> Self {
+        WorkloadParams {
+            think_mean_us: 30_000_000.0 / compression,
+            web_lo: 2_000.0,
+            web_hi: 400_000.0,
+            web_alpha: 1.2,
+            ssh_exchanges: (5, 40),
+            ssh_gap_mean_us: 2_000_000.0 / compression,
+            scp_lo: 100_000.0,
+            scp_hi: 3_000_000.0,
+            background_bytes: 1_500,
+            background_gap_us: 120_000_000.0 / compression,
+        }
+    }
+}
+
+/// Samples the next activity for an active user.
+pub fn pick_activity<R: Rng>(rng: &mut R) -> Activity {
+    let x: f64 = rng.gen_range(0.0..1.0);
+    if x < 0.55 {
+        Activity::Web {
+            fetches: rng.gen_range(1..=4),
+        }
+    } else if x < 0.70 {
+        Activity::Ssh
+    } else if x < 0.80 {
+        Activity::Scp {
+            upload: rng.gen_bool(0.4),
+        }
+    } else {
+        Activity::Think
+    }
+}
+
+/// Samples a web transfer size.
+pub fn web_size<R: Rng>(rng: &mut R, p: &WorkloadParams) -> u64 {
+    bounded_pareto(rng, p.web_alpha, p.web_lo, p.web_hi) as u64
+}
+
+/// Samples an scp transfer size.
+pub fn scp_size<R: Rng>(rng: &mut R, p: &WorkloadParams) -> u64 {
+    rng.gen_range(p.scp_lo..p.scp_hi) as u64
+}
+
+/// Samples a think time.
+pub fn think_time<R: Rng>(rng: &mut R, p: &WorkloadParams) -> Micros {
+    exponential(rng, p.think_mean_us).max(1_000.0) as Micros
+}
+
+/// Samples an ssh inter-exchange gap.
+pub fn ssh_gap<R: Rng>(rng: &mut R, p: &WorkloadParams) -> Micros {
+    exponential(rng, p.ssh_gap_mean_us).max(1_000.0) as Micros
+}
+
+/// Samples a diurnal user session within a day of `day_us` µs:
+/// `(start, end, overnight)`. The distribution follows the paper's Figure 8:
+/// most sessions start between 9 am and 5 pm; a minority of machines stay on
+/// all day producing background traffic.
+pub fn sample_session<R: Rng>(rng: &mut R, day_us: Micros) -> (Micros, Micros, bool) {
+    let day = day_us as f64;
+    if rng.gen_bool(0.15) {
+        // Overnight machine: active the whole day.
+        return (0, day_us, true);
+    }
+    // Session start: triangular-ish peak at 11 am.
+    let frac: f64 = {
+        let a: f64 = rng.gen_range(0.0..1.0);
+        let b: f64 = rng.gen_range(0.0..1.0);
+        // Average of two uniforms peaks at 0.5; shift window to 8am..6pm.
+        (8.0 + (a + b) / 2.0 * 10.0) / 24.0
+    };
+    let start = (frac * day) as Micros;
+    // Session length: 30 min to 6 h (day fraction 1/48 .. 1/4).
+    let len_frac: f64 = rng.gen_range(1.0 / 48.0..0.25);
+    let end = (start + (len_frac * day) as Micros).min(day_us);
+    (start, end, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream;
+
+    #[test]
+    fn activity_mix_roughly_matches_weights() {
+        let mut rng = stream(1, "traffic-test");
+        let n = 20_000;
+        let mut web = 0;
+        let mut ssh = 0;
+        let mut scp = 0;
+        let mut think = 0;
+        for _ in 0..n {
+            match pick_activity(&mut rng) {
+                Activity::Web { fetches } => {
+                    assert!((1..=4).contains(&fetches));
+                    web += 1;
+                }
+                Activity::Ssh => ssh += 1,
+                Activity::Scp { .. } => scp += 1,
+                Activity::Think => think += 1,
+            }
+        }
+        let f = |x: i32| f64::from(x) / n as f64;
+        assert!((f(web) - 0.55).abs() < 0.02);
+        assert!((f(ssh) - 0.15).abs() < 0.02);
+        assert!((f(scp) - 0.10).abs() < 0.02);
+        assert!((f(think) - 0.20).abs() < 0.02);
+    }
+
+    #[test]
+    fn sessions_fit_in_day() {
+        let mut rng = stream(2, "traffic-test");
+        let day = 86_400_000_000u64;
+        let mut overnight = 0;
+        for _ in 0..2_000 {
+            let (s, e, o) = sample_session(&mut rng, day);
+            assert!(s <= e);
+            assert!(e <= day);
+            if o {
+                overnight += 1;
+                assert_eq!(s, 0);
+            } else {
+                // Daytime session: starts in 8am–6pm.
+                let frac = s as f64 / day as f64;
+                assert!((0.32..0.76).contains(&frac), "start frac {frac}");
+            }
+        }
+        let rate = f64::from(overnight) / 2_000.0;
+        assert!((rate - 0.15).abs() < 0.03, "overnight rate {rate}");
+    }
+
+    #[test]
+    fn sessions_peak_midday() {
+        let mut rng = stream(3, "traffic-test");
+        let day = 86_400_000_000u64;
+        let mut morning = 0; // 8-11am
+        let mut midday = 0; // 11am-3pm
+        for _ in 0..5_000 {
+            let (s, _, o) = sample_session(&mut rng, day);
+            if o {
+                continue;
+            }
+            let h = s as f64 / day as f64 * 24.0;
+            if (8.0..11.0).contains(&h) {
+                morning += 1;
+            } else if (11.0..15.0).contains(&h) {
+                midday += 1;
+            }
+        }
+        assert!(midday > morning, "midday {midday} vs morning {morning}");
+    }
+
+    #[test]
+    fn compressed_params_scale() {
+        let p1 = WorkloadParams::compressed(1.0);
+        let p60 = WorkloadParams::compressed(60.0);
+        assert!((p1.think_mean_us / p60.think_mean_us - 60.0).abs() < 1e-9);
+        // Flow sizes do NOT scale (bytes are bytes).
+        assert_eq!(p1.web_hi, p60.web_hi);
+    }
+
+    #[test]
+    fn sizes_within_bounds() {
+        let mut rng = stream(4, "traffic-test");
+        let p = WorkloadParams::compressed(60.0);
+        for _ in 0..5_000 {
+            let w = web_size(&mut rng, &p);
+            assert!((2_000..=400_000).contains(&w));
+            let s = scp_size(&mut rng, &p);
+            assert!((100_000..3_000_000).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The wired distribution network: the switch fabric connecting APs to
+//! campus/Internet hosts, the wired-side packet trace (the paper's §6
+//! coverage ground truth), and wired-path impairments (latency, loss).
+
+use crate::station::WiredHost;
+use crate::{HostId, StationId};
+use jigsaw_ieee80211::{MacAddr, Micros};
+use jigsaw_packet::Msdu;
+use std::collections::HashMap;
+
+/// Destination of a packet in flight on the wired side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WiredDst {
+    /// To a wired host (server / router).
+    Host(HostId),
+    /// To one AP, for wireless transmission.
+    Ap(StationId),
+}
+
+/// A packet crossing the wired network.
+#[derive(Debug, Clone)]
+pub struct WiredPacket {
+    /// L2 source.
+    pub src_mac: MacAddr,
+    /// L2 destination (a client MAC, host MAC, or broadcast).
+    pub dst_mac: MacAddr,
+    /// Payload.
+    pub msdu: Msdu,
+    /// Where it is headed.
+    pub dst: WiredDst,
+}
+
+/// Direction of a wired-trace record relative to the wireless network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WiredDirection {
+    /// Left the wireless network through an AP.
+    FromWireless,
+    /// Entered the wireless network through an AP (or will, if bridged).
+    ToWireless,
+}
+
+/// The wired side of the world: hosts, switch learning table, in-flight
+/// packet storage.
+#[derive(Debug, Default)]
+pub struct Wired {
+    /// All wired hosts.
+    pub hosts: Vec<WiredHost>,
+    /// Switch bridge table: which AP serves a given client MAC.
+    pub client_ap: HashMap<MacAddr, StationId>,
+    /// Host lookup by MAC.
+    pub host_by_mac: HashMap<MacAddr, HostId>,
+    /// Host lookup by IP.
+    pub host_by_ip: HashMap<std::net::Ipv4Addr, HostId>,
+    /// In-flight packets keyed by delivery handle.
+    in_flight: HashMap<u64, WiredPacket>,
+    next_handle: u64,
+}
+
+impl Wired {
+    /// Builds the wired network from a host table.
+    pub fn new(hosts: Vec<WiredHost>) -> Self {
+        let host_by_mac = hosts.iter().map(|h| (h.mac, h.id)).collect();
+        let host_by_ip = hosts.iter().map(|h| (h.ip, h.id)).collect();
+        Wired {
+            hosts,
+            client_ap: HashMap::new(),
+            host_by_mac,
+            host_by_ip,
+            in_flight: HashMap::new(),
+            next_handle: 0,
+        }
+    }
+
+    /// Host accessor.
+    pub fn host(&self, id: HostId) -> &WiredHost {
+        &self.hosts[id.index()]
+    }
+
+    /// Registers an in-flight packet; returns the handle to schedule with.
+    pub fn launch(&mut self, pkt: WiredPacket) -> u64 {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.in_flight.insert(h, pkt);
+        h
+    }
+
+    /// Claims an arrived packet.
+    ///
+    /// # Panics
+    /// Panics on an unknown handle (scheduling bug).
+    pub fn arrive(&mut self, handle: u64) -> WiredPacket {
+        self.in_flight.remove(&handle).expect("unknown wired handle")
+    }
+
+    /// Learns / refreshes a client's serving AP (bridge learning).
+    pub fn learn_client(&mut self, client: MacAddr, ap: StationId) {
+        self.client_ap.insert(client, ap);
+    }
+
+    /// Forgets a client (disassociation).
+    pub fn forget_client(&mut self, client: MacAddr) {
+        self.client_ap.remove(&client);
+    }
+}
+
+/// One record of the wired distribution-network trace. This is the exact
+/// analogue of the "second trace of the same traffic captured on the wired
+/// distribution network" the paper compares coverage against (§6).
+#[derive(Debug, Clone)]
+pub struct WiredTraceRecord {
+    /// True time the packet crossed the building switch, µs.
+    pub ts: Micros,
+    /// L2 source address.
+    pub src_mac: MacAddr,
+    /// L2 destination address.
+    pub dst_mac: MacAddr,
+    /// The AP it entered/left through (None for host↔host chatter).
+    pub ap: Option<StationId>,
+    /// Direction relative to the wireless side.
+    pub direction: WiredDirection,
+    /// Decoded payload (headers only are meaningful).
+    pub msdu: Msdu,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_packet::{ArpPacket, Msdu};
+    use std::net::Ipv4Addr;
+
+    fn host(id: u16) -> WiredHost {
+        WiredHost {
+            id: HostId(id),
+            mac: MacAddr::local(9, u32::from(id)),
+            ip: Ipv4Addr::new(172, 16, 0, id as u8),
+            latency_us: 300,
+            loss_prob: 0.0,
+        }
+    }
+
+    fn arp_msdu() -> Msdu {
+        Msdu::Arp(ArpPacket::who_has(
+            [2, 9, 0, 0, 0, 1],
+            Ipv4Addr::new(172, 16, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 5),
+        ))
+    }
+
+    #[test]
+    fn launch_arrive_roundtrip() {
+        let mut w = Wired::new(vec![host(0), host(1)]);
+        let pkt = WiredPacket {
+            src_mac: MacAddr::local(9, 0),
+            dst_mac: MacAddr::BROADCAST,
+            msdu: arp_msdu(),
+            dst: WiredDst::Ap(StationId(3)),
+        };
+        let h1 = w.launch(pkt.clone());
+        let h2 = w.launch(pkt.clone());
+        assert_ne!(h1, h2);
+        let got = w.arrive(h1);
+        assert_eq!(got.dst, WiredDst::Ap(StationId(3)));
+        let _ = w.arrive(h2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown wired handle")]
+    fn double_arrive_panics() {
+        let mut w = Wired::new(vec![]);
+        let h = w.launch(WiredPacket {
+            src_mac: MacAddr::ZERO,
+            dst_mac: MacAddr::ZERO,
+            msdu: arp_msdu(),
+            dst: WiredDst::Host(HostId(0)),
+        });
+        let _ = w.arrive(h);
+        let _ = w.arrive(h);
+    }
+
+    #[test]
+    fn bridge_learning() {
+        let mut w = Wired::new(vec![host(0)]);
+        let c = MacAddr::local(3, 7);
+        assert!(w.client_ap.get(&c).is_none());
+        w.learn_client(c, StationId(2));
+        assert_eq!(w.client_ap[&c], StationId(2));
+        w.learn_client(c, StationId(4)); // roamed
+        assert_eq!(w.client_ap[&c], StationId(4));
+        w.forget_client(c);
+        assert!(w.client_ap.get(&c).is_none());
+    }
+
+    #[test]
+    fn host_lookup() {
+        // HostId doubles as the index into the host table.
+        let w = Wired::new(vec![host(0), host(1)]);
+        assert_eq!(w.host_by_mac[&MacAddr::local(9, 1)], HostId(1));
+        assert_eq!(w.host_by_ip[&Ipv4Addr::new(172, 16, 0, 1)], HostId(1));
+        assert_eq!(w.host(HostId(1)).latency_us, 300);
+    }
+}

@@ -1,0 +1,613 @@
+//! Driving the DCF state machine: contention, backoff, transmission
+//! start/finish, retries, and SIFS-spaced responses.
+
+use super::{HeadStage, TxTag, World};
+use crate::event::{EventKind, MacTimerKind};
+use crate::mac::{MacPhase, Mpdu, MpduKind, SifsAction, RETRY_LIMIT};
+use crate::medium::TxDesc;
+use crate::output::TruthRecord;
+use crate::StationId;
+use jigsaw_ieee80211::frame::{Frame, MgmtBody, MgmtHeader};
+use jigsaw_ieee80211::rate::Modulation;
+use jigsaw_ieee80211::timing::{
+    ack_airtime_us, airtime_us, duration_cts_to_self, duration_data_ack, Preamble,
+    DIFS_US, DSSS_LONG_PLCP_US, DSSS_SHORT_PLCP_US, OFDM_PLCP_US, SIFS_US, SLOT_US,
+};
+use jigsaw_ieee80211::wire::serialize_frame;
+use jigsaw_ieee80211::{MacAddr, Micros, PhyRate};
+use rand::Rng;
+
+/// Extra slack beyond SIFS+ACK before declaring an ACK lost.
+const ACK_SLACK_US: Micros = 3 * SLOT_US;
+
+impl World {
+    /// PLCP duration for a rate/preamble combination.
+    pub(crate) fn plcp_us(rate: PhyRate, preamble: Preamble) -> Micros {
+        match rate.modulation() {
+            Modulation::Ofdm => OFDM_PLCP_US,
+            _ => match preamble {
+                Preamble::Long => DSSS_LONG_PLCP_US,
+                Preamble::Short => DSSS_SHORT_PLCP_US,
+            },
+        }
+    }
+
+    /// Enqueues an MPDU at a station's MAC and kicks contention.
+    pub(crate) fn mac_enqueue(&mut self, sid: StationId, mpdu: Mpdu) {
+        let accepted = self.stations[sid.index()].mac.enqueue(mpdu);
+        if accepted {
+            let mac = &self.stations[sid.index()].mac;
+            if mac.phase == MacPhase::Idle && !mac.radio_busy {
+                self.mac_kick(sid);
+            }
+        }
+    }
+
+    /// Starts contention for the head of the queue if the MAC is idle.
+    pub(crate) fn mac_kick(&mut self, sid: StationId) {
+        let now = self.now;
+        {
+            let mac = &self.stations[sid.index()].mac;
+            if mac.phase != MacPhase::Idle || mac.queue.is_empty() || mac.radio_busy {
+                return;
+            }
+            if !mac.medium_busy(now) && now >= mac.idle_since + DIFS_US {
+                // Medium has been idle long enough: transmit immediately.
+            } else {
+                self.mac_enter_backoff(sid);
+                return;
+            }
+        }
+        self.mac_transmit_head(sid);
+    }
+
+    /// Draws a backoff and schedules slot ticks.
+    pub(crate) fn mac_enter_backoff(&mut self, sid: StationId) {
+        let now = self.now;
+        let slots = {
+            let cw = self.stations[sid.index()].mac.cw;
+            self.rng.gen_range(0..=u32::from(cw))
+        };
+        let mac = &mut self.stations[sid.index()].mac;
+        mac.phase = MacPhase::Backoff;
+        mac.backoff_slots = slots;
+        if !mac.medium_busy(now) && !mac.radio_busy {
+            let at = now.max(mac.idle_since + DIFS_US) + SLOT_US;
+            let gen = mac.bump_backoff();
+            self.queue.schedule(
+                at,
+                EventKind::MacTimer {
+                    station: sid,
+                    gen,
+                    kind: MacTimerKind::BackoffSlot,
+                },
+            );
+        }
+        // If busy, the idle transition will schedule the tick.
+    }
+
+    /// Handles all MAC timers for `sid`.
+    pub(crate) fn on_mac_timer(&mut self, sid: StationId, gen: u32, kind: MacTimerKind) {
+        let mac = &self.stations[sid.index()].mac;
+        let valid = match kind {
+            MacTimerKind::BackoffSlot => gen == mac.gen_backoff,
+            MacTimerKind::AckTimeout => gen == mac.gen_ack,
+            MacTimerKind::SifsAction => gen == mac.gen_resp,
+        };
+        if !valid {
+            return;
+        }
+        match kind {
+            MacTimerKind::BackoffSlot => self.on_backoff_slot(sid),
+            MacTimerKind::AckTimeout => self.on_ack_timeout(sid),
+            MacTimerKind::SifsAction => self.on_sifs_action(sid),
+        }
+    }
+
+    fn on_backoff_slot(&mut self, sid: StationId) {
+        let now = self.now;
+        let mac = &mut self.stations[sid.index()].mac;
+        if mac.phase != MacPhase::Backoff || mac.radio_busy {
+            return;
+        }
+        if mac.sensed > 0 {
+            // Physical carrier: the busy→idle transition will resume us.
+            return;
+        }
+        if mac.nav_until > now {
+            // Virtual carrier only: nobody will wake us — reschedule at the
+            // NAV boundary ourselves.
+            let at = mac.nav_until + DIFS_US + SLOT_US;
+            let gen = mac.bump_backoff();
+            self.queue.schedule(
+                at,
+                EventKind::MacTimer {
+                    station: sid,
+                    gen,
+                    kind: MacTimerKind::BackoffSlot,
+                },
+            );
+            return;
+        }
+        if mac.backoff_slots == 0 {
+            self.mac_transmit_head(sid);
+        } else {
+            mac.backoff_slots -= 1;
+            let gen = mac.bump_backoff();
+            self.queue.schedule(
+                now + SLOT_US,
+                EventKind::MacTimer {
+                    station: sid,
+                    gen,
+                    kind: MacTimerKind::BackoffSlot,
+                },
+            );
+        }
+    }
+
+    /// Builds the on-air frame for the head-of-queue MPDU.
+    /// Returns `(frame, rate)`.
+    fn build_head_frame(&mut self, sid: StationId) -> (Frame, PhyRate) {
+        let now = self.now;
+        let is_ap = self.stations[sid.index()].is_ap();
+        let my_addr = self.stations[sid.index()].mac.addr;
+        // Assign the sequence number once per MSDU (kept across retries).
+        let (dst, retry) = {
+            let mac = &mut self.stations[sid.index()].mac;
+            let next = mac.next_seq();
+            let head = mac.queue.front_mut().expect("queue head");
+            if head.seq.is_none() {
+                head.seq = Some(next);
+            } else {
+                // Undo the draw (retries re-use the number).
+                mac.seq_counter = next;
+            }
+            (mac.queue.front().unwrap().dst, mac.queue.front().unwrap().retries > 0)
+        };
+        let mac = &mut self.stations[sid.index()].mac;
+        let head = mac.queue.front().unwrap();
+        let seq = head.seq.unwrap();
+        let preamble = mac.preamble;
+        match head.kind.clone() {
+            MpduKind::Msdu {
+                bytes,
+                addr3,
+                to_ds,
+                from_ds,
+            } => {
+                let rate = if dst.is_multicast() {
+                    PhyRate::R1
+                } else {
+                    mac.current_rate(dst)
+                };
+                let f = crate::frames::data_frame(
+                    dst, my_addr, addr3, to_ds, from_ds, seq, retry, rate, preamble, bytes,
+                );
+                (f, rate)
+            }
+            MpduKind::Mgmt(mut body) => {
+                // Beacons and probe responses carry the TSF at tx time.
+                match &mut body {
+                    MgmtBody::Beacon { timestamp, .. } | MgmtBody::ProbeResp { timestamp, .. } => {
+                        *timestamp = now;
+                    }
+                    _ => {}
+                }
+                let rate = if dst.is_multicast() {
+                    PhyRate::R1
+                } else {
+                    PhyRate::R2
+                };
+                let bssid = if is_ap {
+                    my_addr
+                } else if dst.is_multicast() {
+                    MacAddr::BROADCAST
+                } else {
+                    dst
+                };
+                let mut header = MgmtHeader::new(dst, my_addr, bssid, seq);
+                header.retry = retry;
+                header.duration = if dst.is_unicast() {
+                    duration_data_ack(rate, preamble)
+                } else {
+                    0
+                };
+                (Frame::Mgmt { header, body }, rate)
+            }
+            MpduKind::Null => {
+                let rate = PhyRate::R2;
+                let f = Frame::Data(jigsaw_ieee80211::frame::DataFrame {
+                    duration: duration_data_ack(rate, preamble),
+                    addr1: dst,
+                    addr2: my_addr,
+                    addr3: dst,
+                    seq,
+                    frag: 0,
+                    flags: jigsaw_ieee80211::fc::FcFlags {
+                        to_ds: !is_ap,
+                        from_ds: is_ap,
+                        retry,
+                        ..Default::default()
+                    },
+                    null: true,
+                    body: vec![],
+                });
+                (f, rate)
+            }
+        }
+    }
+
+    /// Transmits the head MPDU (possibly preceded by CTS-to-self).
+    fn mac_transmit_head(&mut self, sid: StationId) {
+        if self.stations[sid.index()].mac.queue.is_empty() {
+            self.stations[sid.index()].mac.phase = MacPhase::Idle;
+            return;
+        }
+        let (frame, rate) = self.build_head_frame(sid);
+        let needs_protection = {
+            let mac = &self.stations[sid.index()].mac;
+            mac.needs_protection(rate) && matches!(frame, Frame::Data(_))
+        };
+        if needs_protection {
+            // CTS-to-self at 2 Mbps with the long preamble (paper fn. 7).
+            let my_addr = self.stations[sid.index()].mac.addr;
+            let preamble = self.stations[sid.index()].mac.preamble;
+            let data_len = serialize_frame(&frame).len();
+            let cts = Frame::Cts {
+                duration: duration_cts_to_self(rate, data_len, preamble),
+                ra: my_addr,
+            };
+            self.stations[sid.index()].mac.phase = MacPhase::TxCts;
+            self.start_station_tx(
+                sid,
+                cts,
+                PhyRate::R2,
+                TxTag::Head {
+                    station: sid,
+                    stage: HeadStage::Cts,
+                    rate,
+                },
+            );
+        } else {
+            self.stations[sid.index()].mac.phase = MacPhase::TxData;
+            self.note_attempt(sid);
+            self.start_station_tx(
+                sid,
+                frame,
+                rate,
+                TxTag::Head {
+                    station: sid,
+                    stage: HeadStage::Data,
+                    rate,
+                },
+            );
+        }
+    }
+
+    /// Updates the ground-truth exchange for a data attempt.
+    fn note_attempt(&mut self, sid: StationId) {
+        let now = self.now;
+        let xid = self.stations[sid.index()]
+            .mac
+            .queue
+            .front()
+            .map(|m| m.truth_xid)
+            .unwrap_or(u64::MAX);
+        if xid != u64::MAX {
+            if let Some(x) = self.truth.exchanges.get_mut(xid as usize) {
+                if x.attempts == 0 {
+                    x.first_tx = now;
+                }
+                x.attempts = x.attempts.saturating_add(1);
+                x.last_tx = now;
+            }
+        }
+    }
+
+    /// Puts a frame on the air from a station.
+    pub(crate) fn start_station_tx(
+        &mut self,
+        sid: StationId,
+        frame: Frame,
+        rate: PhyRate,
+        tag: TxTag,
+    ) {
+        let now = self.now;
+        let entity = self.stations[sid.index()].entity;
+        let preamble = self.stations[sid.index()].mac.preamble;
+        let bytes = serialize_frame(&frame);
+        let air = airtime_us(rate, bytes.len(), preamble);
+        let plcp = Self::plcp_us(rate, preamble);
+        let channel = self.medium.entity(entity).channel;
+
+        let sender = frame.transmitter().or(Some(self.stations[sid.index()].mac.addr));
+        let receiver = Some(frame.receiver());
+        let truth_idx = if self.truth_covers(sender, receiver) {
+            let xid = match tag {
+                TxTag::Head {
+                    stage: HeadStage::Data,
+                    ..
+                } => self.stations[sid.index()]
+                    .mac
+                    .queue
+                    .front()
+                    .map(|m| m.truth_xid)
+                    .unwrap_or(u64::MAX),
+                _ => u64::MAX,
+            };
+            self.truth.transmissions.push(TruthRecord {
+                start: now,
+                end: now + air,
+                plcp_us: plcp,
+                channel: channel.number(),
+                rate,
+                subtype: Some(frame.subtype()),
+                sender,
+                receiver,
+                seq: frame.seq().map(|s| s.value()),
+                retry: frame.retry(),
+                wire_len: bytes.len() as u32,
+                is_noise: false,
+                xid,
+                delivered: if receiver.map(|r| r.is_unicast()).unwrap_or(false) {
+                    Some(false)
+                } else {
+                    None
+                },
+                captures: 0,
+            });
+            self.truth.transmissions.len() - 1
+        } else {
+            usize::MAX
+        };
+
+        let tx_id = self.medium.start_tx(TxDesc {
+            entity,
+            channel,
+            rate,
+            start: now,
+            end: now + air,
+            plcp_us: plcp,
+            frame: Some(frame),
+            bytes,
+            is_noise: false,
+            truth_idx,
+        });
+        self.tx_tags.insert(tx_id, tag);
+        self.queue.schedule(now + air, EventKind::TxEnd { tx_id });
+        self.apply_sensing(entity, rate, false, true);
+        self.stations[sid.index()].mac.radio_busy = true;
+        self.stations[sid.index()].tx_frames += 1;
+    }
+
+    /// Sender-side bookkeeping when one of our transmissions ends.
+    pub(crate) fn mac_tx_finished(&mut self, tag: TxTag) {
+        let now = self.now;
+        match tag {
+            TxTag::Head { station, stage, rate } => {
+                let mac = &mut self.stations[station.index()].mac;
+                mac.radio_busy = false;
+                mac.idle_since = now;
+                match stage {
+                    HeadStage::Cts => {
+                        mac.phase = MacPhase::WaitSifs;
+                        mac.sifs_action = Some(SifsAction::SendProtectedData);
+                        let gen = mac.bump_resp();
+                        self.queue.schedule(
+                            now + SIFS_US,
+                            EventKind::MacTimer {
+                                station,
+                                gen,
+                                kind: MacTimerKind::SifsAction,
+                            },
+                        );
+                    }
+                    HeadStage::Data => {
+                        let needs_ack = mac
+                            .queue
+                            .front()
+                            .map(|m| m.needs_ack())
+                            .unwrap_or(false);
+                        if needs_ack {
+                            mac.phase = MacPhase::WaitAck;
+                            let preamble = mac.preamble;
+                            let gen = mac.bump_ack();
+                            let deadline =
+                                now + SIFS_US + ack_airtime_us(rate, preamble) + ACK_SLACK_US;
+                            self.queue.schedule(
+                                deadline,
+                                EventKind::MacTimer {
+                                    station,
+                                    gen,
+                                    kind: MacTimerKind::AckTimeout,
+                                },
+                            );
+                        } else {
+                            self.head_complete(station, true);
+                        }
+                    }
+                }
+            }
+            TxTag::Response { station } => {
+                let mac = &mut self.stations[station.index()].mac;
+                mac.radio_busy = false;
+                mac.idle_since = now;
+                let phase = mac.phase.clone();
+                let busy = mac.medium_busy(now);
+                match phase {
+                    MacPhase::Backoff if !busy => {
+                        let at = now.max(mac.idle_since + DIFS_US) + SLOT_US;
+                        let gen = mac.bump_backoff();
+                        self.queue.schedule(
+                            at,
+                            EventKind::MacTimer {
+                                station,
+                                gen,
+                                kind: MacTimerKind::BackoffSlot,
+                            },
+                        );
+                    }
+                    MacPhase::Idle => {
+                        if !self.stations[station.index()].mac.queue.is_empty() {
+                            self.mac_kick(station);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            TxTag::Noise { interferer } => {
+                self.interferers[usize::from(interferer)].burst_active = false;
+            }
+        }
+    }
+
+    /// The ACK never came.
+    fn on_ack_timeout(&mut self, sid: StationId) {
+        let now = self.now;
+        let mac = &mut self.stations[sid.index()].mac;
+        if mac.phase != MacPhase::WaitAck {
+            return;
+        }
+        let dst = match mac.queue.front() {
+            Some(h) => h.dst,
+            None => {
+                mac.phase = MacPhase::Idle;
+                return;
+            }
+        };
+        mac.arf_feedback(dst, false);
+        let retries = {
+            let head = mac.queue.front_mut().unwrap();
+            head.retries += 1;
+            head.retries
+        };
+        let _ = now;
+        if retries > RETRY_LIMIT {
+            mac.retry_failures += 1;
+            self.head_complete(sid, false);
+        } else {
+            mac.grow_cw();
+            mac.phase = MacPhase::Idle;
+            self.mac_enter_backoff(sid);
+        }
+    }
+
+    /// SIFS elapsed: send the pending response or the protected data stage.
+    fn on_sifs_action(&mut self, sid: StationId) {
+        let action = self.stations[sid.index()].mac.sifs_action.take();
+        match action {
+            Some(SifsAction::SendAck { to, rate }) => {
+                if self.stations[sid.index()].mac.radio_busy {
+                    return; // shouldn't happen; drop the ACK
+                }
+                let ack = Frame::Ack { duration: 0, ra: to };
+                self.start_station_tx(sid, ack, rate, TxTag::Response { station: sid });
+            }
+            Some(SifsAction::SendProtectedData) => {
+                if self.stations[sid.index()].mac.phase != MacPhase::WaitSifs {
+                    return;
+                }
+                let (frame, rate) = self.build_head_frame(sid);
+                self.stations[sid.index()].mac.phase = MacPhase::TxData;
+                self.note_attempt(sid);
+                self.start_station_tx(
+                    sid,
+                    frame,
+                    rate,
+                    TxTag::Head {
+                        station: sid,
+                        stage: HeadStage::Data,
+                        rate,
+                    },
+                );
+            }
+            None => {}
+        }
+    }
+
+    /// The head exchange is over (success or abandoned).
+    pub(crate) fn head_complete(&mut self, sid: StationId, success: bool) {
+        let mac = &mut self.stations[sid.index()].mac;
+        let head = match mac.queue.pop_front() {
+            Some(h) => h,
+            None => return,
+        };
+        mac.reset_cw();
+        mac.phase = MacPhase::Idle;
+        if head.dst.is_unicast() {
+            mac.arf_feedback(head.dst, success);
+        }
+        if head.truth_xid != u64::MAX {
+            if let Some(x) = self.truth.exchanges.get_mut(head.truth_xid as usize) {
+                x.acked = success;
+            }
+        }
+        if !self.stations[sid.index()].mac.queue.is_empty() {
+            // Post-transmission backoff before the next frame.
+            self.mac_enter_backoff(sid);
+        }
+        let _ = head;
+    }
+
+    /// An ACK addressed to us arrived while we were waiting for it.
+    pub(crate) fn on_ack_received(&mut self, sid: StationId) {
+        let mac = &mut self.stations[sid.index()].mac;
+        if mac.phase != MacPhase::WaitAck {
+            return;
+        }
+        mac.bump_ack(); // cancel the timeout
+        self.head_complete(sid, true);
+    }
+
+    /// Physical-carrier bookkeeping when a transmission starts or ends.
+    pub(crate) fn apply_sensing(
+        &mut self,
+        tx_entity: u32,
+        rate: PhyRate,
+        is_noise: bool,
+        starting: bool,
+    ) {
+        let now = self.now;
+        let n = self.audible_stations[tx_entity as usize].len();
+        for k in 0..n {
+            let (sid, power) = self.audible_stations[tx_entity as usize][k];
+            let listener_entity = self.stations[sid.index()].entity;
+            let threshold = self.medium.cs_threshold_ddbm(listener_entity, rate, is_noise);
+            if power < threshold {
+                continue;
+            }
+            let mac = &mut self.stations[sid.index()].mac;
+            if starting {
+                mac.sensed += 1;
+                if mac.sensed == 1 {
+                    // Busy transition: freeze backoff.
+                    mac.bump_backoff();
+                }
+            } else {
+                mac.sensed = mac.sensed.saturating_sub(1);
+                if mac.sensed == 0 {
+                    // Idle transition.
+                    mac.idle_since = now.max(mac.nav_until);
+                    let in_backoff = mac.phase == MacPhase::Backoff && !mac.radio_busy;
+                    let idle_kickable = mac.phase == MacPhase::Idle
+                        && !mac.radio_busy
+                        && !mac.queue.is_empty();
+                    if in_backoff {
+                        let at = mac.idle_since + DIFS_US + SLOT_US;
+                        let gen = mac.bump_backoff();
+                        self.queue.schedule(
+                            at,
+                            EventKind::MacTimer {
+                                station: sid,
+                                gen,
+                                kind: MacTimerKind::BackoffSlot,
+                            },
+                        );
+                    } else if idle_kickable {
+                        self.mac_kick(sid);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,1321 @@
+//! Everything above the MAC: frame-level station behaviour (association,
+//! beacons, ARP, bridging), the wired network, TCP flows, workloads,
+//! the Vernier-style ARP scanner, office broadcasters and microwave noise.
+
+use super::{TxTag, World};
+use crate::event::{EventKind, MacTimerKind};
+use crate::mac::{Mpdu, MpduKind, SifsAction};
+use crate::medium::TxDesc;
+use crate::output::TruthRecord;
+use crate::station::{AssocInfo, AssocPhase};
+use crate::tcp::{TcpEndpoint, TcpOutput};
+use crate::traffic::{self, Activity, Flow, FlowKind};
+use crate::wired::{WiredDirection, WiredDst, WiredPacket, WiredTraceRecord};
+use crate::{HostId, StationId};
+use jigsaw_ieee80211::frame::{DataFrame, Frame, MgmtBody, MgmtHeader};
+use jigsaw_ieee80211::ie;
+use jigsaw_ieee80211::timing::{response_rate, SIFS_US};
+use jigsaw_ieee80211::{MacAddr, Micros, PhyRate};
+use jigsaw_packet::{ArpOp, ArpPacket, Ipv4Packet, Msdu, TcpSegment, UdpDatagram};
+use rand::Rng;
+
+/// Switch forwarding latency for wired broadcast fan-out, µs.
+const SWITCH_LATENCY_US: Micros = 150;
+
+/// Flows older than this get force-closed by the watchdog.
+const FLOW_TIMEOUT_US: Micros = 30_000_000;
+
+impl World {
+    // ------------------------------------------------------------------
+    // Enqueue helpers
+    // ------------------------------------------------------------------
+
+    /// Queues an MSDU-bearing data frame at a station.
+    pub(crate) fn enqueue_msdu(
+        &mut self,
+        sid: StationId,
+        addr1: MacAddr,
+        addr3: MacAddr,
+        to_ds: bool,
+        from_ds: bool,
+        bytes: Vec<u8>,
+    ) {
+        let now = self.now;
+        let sender = self.stations[sid.index()].mac.addr;
+        let xid = if addr1.is_unicast() {
+            self.new_exchange(sender, addr1)
+        } else {
+            u64::MAX
+        };
+        self.mac_enqueue(
+            sid,
+            Mpdu {
+                dst: addr1,
+                kind: MpduKind::Msdu {
+                    bytes,
+                    addr3,
+                    to_ds,
+                    from_ds,
+                },
+                retries: 0,
+                seq: None,
+                enqueued_at: now,
+                truth_xid: xid,
+            },
+        );
+    }
+
+    /// Queues a management frame at a station.
+    pub(crate) fn enqueue_mgmt(&mut self, sid: StationId, dst: MacAddr, body: MgmtBody) {
+        let now = self.now;
+        let sender = self.stations[sid.index()].mac.addr;
+        let xid = if dst.is_unicast() {
+            self.new_exchange(sender, dst)
+        } else {
+            u64::MAX
+        };
+        self.mac_enqueue(
+            sid,
+            Mpdu {
+                dst,
+                kind: MpduKind::Mgmt(body),
+                retries: 0,
+                seq: None,
+                enqueued_at: now,
+                truth_xid: xid,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Frame reception (upper half)
+    // ------------------------------------------------------------------
+
+    /// A station decoded `frame` (FCS-valid) at `rx_power`.
+    pub(crate) fn station_rx_frame(
+        &mut self,
+        sid: StationId,
+        frame: Frame,
+        rx_power: i32,
+        rx_rate: PhyRate,
+    ) {
+        let now = self.now;
+        let my = self.stations[sid.index()].mac.addr;
+        let rcv = frame.receiver();
+
+        // Virtual carrier sense: honour the Duration field of frames not
+        // addressed to us.
+        if rcv != my && frame.duration() > 0 {
+            let mac = &mut self.stations[sid.index()].mac;
+            mac.nav_until = mac.nav_until.max(now + Micros::from(frame.duration()));
+        }
+        if rcv == my {
+            self.stations[sid.index()].rx_frames += 1;
+        }
+
+        match &frame {
+            Frame::Ack { ra, .. } => {
+                if *ra == my {
+                    self.on_ack_received(sid);
+                }
+                return;
+            }
+            Frame::Cts { .. } | Frame::Rts { .. } => return,
+            _ => {}
+        }
+
+        // Unicast data/management to us ⇒ SIFS-spaced ACK.
+        if rcv == my {
+            if let Some(ta) = frame.transmitter() {
+                let mac = &mut self.stations[sid.index()].mac;
+                if mac.sifs_action.is_none() {
+                    mac.sifs_action = Some(SifsAction::SendAck {
+                        to: ta,
+                        rate: response_rate(rx_rate),
+                    });
+                    let gen = mac.bump_resp();
+                    self.queue.schedule(
+                        now + SIFS_US,
+                        EventKind::MacTimer {
+                            station: sid,
+                            gen,
+                            kind: MacTimerKind::SifsAction,
+                        },
+                    );
+                }
+            }
+        }
+
+        let is_ap = self.stations[sid.index()].is_ap();
+        match frame {
+            Frame::Data(d) => {
+                if is_ap {
+                    self.ap_handle_data(sid, d);
+                } else {
+                    self.client_handle_data(sid, d);
+                }
+            }
+            Frame::Mgmt { header, body } => {
+                if is_ap {
+                    self.ap_handle_mgmt(sid, header, body);
+                } else {
+                    self.client_handle_mgmt(sid, header, body, rx_power);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // AP behaviour
+    // ------------------------------------------------------------------
+
+    fn ap_handle_data(&mut self, sid: StationId, d: DataFrame) {
+        let now = self.now;
+        let my = self.stations[sid.index()].mac.addr;
+        if !d.flags.to_ds || d.addr1 != my || d.null {
+            return;
+        }
+        let src = d.addr2;
+        let final_dst = d.addr3;
+
+        // Keep protection alive while associated b-only clients are active.
+        {
+            let st = &mut self.stations[sid.index()];
+            if let Some(ap) = st.role.as_ap_mut() {
+                if ap.clients.get(&src).map(|c| c.b_only).unwrap_or(false) {
+                    ap.saw_b_client(now);
+                    st.mac.protection = true;
+                }
+            }
+        }
+
+        let msdu = match Msdu::parse(&d.body) {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        self.wired_trace.push(WiredTraceRecord {
+            ts: now,
+            src_mac: src,
+            dst_mac: final_dst,
+            ap: Some(sid),
+            direction: WiredDirection::FromWireless,
+            msdu: msdu.clone(),
+        });
+
+        if final_dst.is_multicast() {
+            // Flood to every other internal AP (they rebroadcast on the air)…
+            let ap_ids: Vec<StationId> = self
+                .stations
+                .iter()
+                .filter(|s|
+
+                    matches!(&s.role, crate::station::Role::Ap(a) if !a.external)
+                        && s.id != sid
+                )
+                .map(|s| s.id)
+                .collect();
+            for ap2 in ap_ids {
+                let jitter = self.rng.gen_range(0..200);
+                let h = self.wired.launch(WiredPacket {
+                    src_mac: src,
+                    dst_mac: final_dst,
+                    msdu: msdu.clone(),
+                    dst: WiredDst::Ap(ap2),
+                });
+                self.queue.schedule(
+                    now + SWITCH_LATENCY_US + jitter,
+                    EventKind::WiredArrival { handle: h },
+                );
+            }
+            // …and answer ARP requests aimed at wired hosts.
+            if let Msdu::Arp(a) = &msdu {
+                if a.op == ArpOp::Request {
+                    if let Some(&hid) = self.wired.host_by_ip.get(&a.target_ip) {
+                        self.host_send_arp_reply(hid, *a);
+                    }
+                }
+            }
+        } else if let Some(&hid) = self.wired.host_by_mac.get(&final_dst) {
+            let host = self.wired.host(hid).clone();
+            if self.rng.gen_bool(host.loss_prob.clamp(0.0, 1.0)) {
+                self.stats.wired_losses += 1;
+            } else {
+                let h = self.wired.launch(WiredPacket {
+                    src_mac: src,
+                    dst_mac: final_dst,
+                    msdu,
+                    dst: WiredDst::Host(hid),
+                });
+                self.queue
+                    .schedule(now + host.latency_us, EventKind::WiredArrival { handle: h });
+            }
+        } else if let Some(&ap2) = self.wired.client_ap.get(&final_dst) {
+            let h = self.wired.launch(WiredPacket {
+                src_mac: src,
+                dst_mac: final_dst,
+                msdu,
+                dst: WiredDst::Ap(ap2),
+            });
+            self.queue
+                .schedule(now + SWITCH_LATENCY_US, EventKind::WiredArrival { handle: h });
+        }
+    }
+
+    fn ap_handle_mgmt(&mut self, sid: StationId, header: MgmtHeader, body: MgmtBody) {
+        let now = self.now;
+        let my = self.stations[sid.index()].mac.addr;
+        match body {
+            MgmtBody::ProbeReq { ies } => {
+                // Note 802.11b-only stations in range (protection trigger).
+                let b_only = !ie::rates_include_ofdm(&ies);
+                {
+                    let st = &mut self.stations[sid.index()];
+                    if let Some(ap) = st.role.as_ap_mut() {
+                        if b_only {
+                            ap.saw_b_client(now);
+                            st.mac.protection = true;
+                        }
+                    }
+                }
+                let (ssid, channel, protection) = {
+                    let st = &self.stations[sid.index()];
+                    let ap = st.role.as_ap().expect("ap role");
+                    (
+                        ap.ssid.clone(),
+                        self.medium.entity(st.entity).channel.number(),
+                        ap.protection_on,
+                    )
+                };
+                let resp = crate::frames::probe_resp(
+                    my,
+                    header.sa,
+                    &ssid,
+                    channel,
+                    protection,
+                    now,
+                    jigsaw_ieee80211::SeqNum::new(0),
+                );
+                self.enqueue_mgmt(sid, header.sa, resp);
+            }
+            MgmtBody::Auth { auth_seq: 1, .. } => {
+                if header.da == my {
+                    self.enqueue_mgmt(sid, header.sa, crate::frames::auth(2));
+                }
+            }
+            MgmtBody::AssocReq { ies, .. } | MgmtBody::ReassocReq { ies, .. } => {
+                if header.da != my {
+                    return;
+                }
+                let b_only = !ie::rates_include_ofdm(&ies);
+                let aid = {
+                    let st = &mut self.stations[sid.index()];
+                    let ap = st.role.as_ap_mut().expect("ap role");
+                    let aid = ap.next_aid;
+                    ap.next_aid += 1;
+                    ap.clients.insert(
+                        header.sa,
+                        AssocInfo {
+                            aid,
+                            b_only,
+                            since: now,
+                        },
+                    );
+                    if b_only {
+                        ap.saw_b_client(now);
+                    }
+                    let protection = ap.protection_on;
+                    st.mac.protection = protection;
+                    st.mac.peer_cap.insert(
+                        header.sa,
+                        if b_only { PhyRate::R11 } else { PhyRate::R54 },
+                    );
+                    aid
+                };
+                self.wired.learn_client(header.sa, sid);
+                self.enqueue_mgmt(sid, header.sa, crate::frames::assoc_resp(aid));
+            }
+            MgmtBody::Disassoc { .. } | MgmtBody::Deauth { .. } => {
+                if header.da == my {
+                    let st = &mut self.stations[sid.index()];
+                    if let Some(ap) = st.role.as_ap_mut() {
+                        ap.clients.remove(&header.sa);
+                    }
+                    self.wired.forget_client(header.sa);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client behaviour
+    // ------------------------------------------------------------------
+
+    fn client_handle_data(&mut self, sid: StationId, d: DataFrame) {
+        if !d.flags.from_ds || d.null {
+            return;
+        }
+        let my = self.stations[sid.index()].mac.addr;
+        if d.addr1 != my && !d.addr1.is_multicast() {
+            return;
+        }
+        let msdu = match Msdu::parse(&d.body) {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        match msdu {
+            Msdu::Arp(a) => {
+                let my_ip = self.stations[sid.index()].ip;
+                if a.op == ArpOp::Request && a.target_ip == my_ip {
+                    let reply = ArpPacket::reply_to(&a, *my.bytes());
+                    let bytes = Msdu::Arp(reply).to_bytes();
+                    let ap_addr = self.client_ap_addr(sid);
+                    if let Some(ap_addr) = ap_addr {
+                        self.enqueue_msdu(
+                            sid,
+                            ap_addr,
+                            MacAddr(a.sender_mac),
+                            true,
+                            false,
+                            bytes,
+                        );
+                    }
+                }
+            }
+            Msdu::Ipv4(ip) => {
+                if let jigsaw_packet::ipv4::IpPayload::Tcp(seg) = ip.payload {
+                    self.client_tcp_input(sid, seg);
+                }
+            }
+            Msdu::Other { .. } => {}
+        }
+    }
+
+    /// The serving AP's MAC address, if associated.
+    fn client_ap_addr(&self, sid: StationId) -> Option<MacAddr> {
+        let cs = self.stations[sid.index()].role.as_client()?;
+        if cs.phase != AssocPhase::Associated {
+            return None;
+        }
+        cs.ap.map(|ap| self.stations[ap.index()].mac.addr)
+    }
+
+    fn client_tcp_input(&mut self, sid: StationId, seg: TcpSegment) {
+        let now = self.now;
+        let fid = match self.flow_by_client_port.get(&(sid, seg.dst_port)) {
+            Some(&f) => f,
+            None => return,
+        };
+        let before = self.flows[fid as usize].client_end.rcv_nxt;
+        let out = self.flows[fid as usize].client_end.on_segment(&seg, now);
+        let advanced = self.flows[fid as usize].client_end.rcv_nxt != before;
+        self.route_client_segments(fid, out);
+
+        // Interactive ssh: count a response, schedule the next keystroke.
+        if advanced && self.flows[fid as usize].kind == FlowKind::Ssh {
+            let left = self.flows[fid as usize].exchanges_left;
+            if left > 1 {
+                self.flows[fid as usize].exchanges_left = left - 1;
+                let gap = traffic::ssh_gap(&mut self.rng, &self.params);
+                self.queue
+                    .schedule(now + gap, EventKind::SshKeystroke { flow: fid });
+            } else if left == 1 {
+                self.flows[fid as usize].exchanges_left = 0;
+                let out = self.flows[fid as usize].client_end.shutdown(now);
+                self.route_client_segments(fid, out);
+            }
+        }
+        self.pump_flow(fid);
+    }
+
+    fn client_handle_mgmt(
+        &mut self,
+        sid: StationId,
+        header: MgmtHeader,
+        body: MgmtBody,
+        rx_power: i32,
+    ) {
+        let now = self.now;
+        let my = self.stations[sid.index()].mac.addr;
+        match body {
+            MgmtBody::Beacon { ies, .. } => {
+                let serving = self.client_ap_addr(sid);
+                if serving == Some(header.sa) {
+                    let protection = ie::find_erp(&ies)
+                        .map(|f| f & ie::erp::USE_PROTECTION != 0)
+                        .unwrap_or(false);
+                    let st = &mut self.stations[sid.index()];
+                    let b_only = st.mac.b_only;
+                    if let Some(cs) = st.role.as_client_mut() {
+                        cs.ap_protection = protection;
+                    }
+                    st.mac.protection = protection && !b_only;
+                }
+            }
+            MgmtBody::ProbeResp { .. } => {
+                if header.da != my {
+                    return;
+                }
+                let ap_sid = match self.addr_to_station.get(&header.sa) {
+                    Some(&s) => s,
+                    None => return,
+                };
+                let st = &mut self.stations[sid.index()];
+                if let Some(cs) = st.role.as_client_mut() {
+                    if cs.phase == AssocPhase::Probing {
+                        let better = match cs.best_probe {
+                            Some((_, _, p)) => rx_power > p,
+                            None => true,
+                        };
+                        if better {
+                            cs.best_probe = Some((ap_sid, header.sa, rx_power));
+                        }
+                    }
+                }
+            }
+            MgmtBody::Auth {
+                auth_seq: 2,
+                status: 0,
+                ..
+            } => {
+                if header.da != my {
+                    return;
+                }
+                let target = {
+                    let cs = self.stations[sid.index()].role.as_client().unwrap();
+                    if cs.phase != AssocPhase::Authenticating {
+                        return;
+                    }
+                    cs.best_probe
+                };
+                if let Some((_, ap_addr, _)) = target {
+                    if ap_addr == header.sa {
+                        let b_only = self.stations[sid.index()].mac.b_only;
+                        {
+                            let cs = self.stations[sid.index()].role.as_client_mut().unwrap();
+                            cs.phase = AssocPhase::Associating;
+                            cs.assoc_retries = 0;
+                        }
+                        self.enqueue_mgmt(sid, ap_addr, crate::frames::assoc_req(b_only));
+                        self.schedule_app(sid, 200_000);
+                    }
+                }
+            }
+            MgmtBody::AssocResp { status: 0, .. } => {
+                if header.da != my {
+                    return;
+                }
+                let (ap_sid, ap_addr) = {
+                    let cs = self.stations[sid.index()].role.as_client().unwrap();
+                    if cs.phase != AssocPhase::Associating {
+                        return;
+                    }
+                    match cs.best_probe {
+                        Some((s, a, _)) if a == header.sa => (s, a),
+                        _ => return,
+                    }
+                };
+                {
+                    let st = &mut self.stations[sid.index()];
+                    st.mac.peer_cap.insert(ap_addr, PhyRate::R54);
+                    let cs = st.role.as_client_mut().unwrap();
+                    cs.phase = AssocPhase::Associated;
+                    cs.ap = Some(ap_sid);
+                }
+                // Register with the management server and announce ourselves.
+                let ip = self.stations[sid.index()].ip;
+                if !self.stations[sid.index()].registered_with_vernier {
+                    self.stations[sid.index()].registered_with_vernier = true;
+                    self.vernier_registry.push((ip, my));
+                }
+                let gratuitous = ArpPacket::who_has(*my.bytes(), ip, ip);
+                let bytes = Msdu::Arp(gratuitous).to_bytes();
+                self.enqueue_msdu(sid, ap_addr, MacAddr::BROADCAST, true, false, bytes);
+                self.schedule_app(sid, 50_000);
+                let _ = now;
+            }
+            MgmtBody::Deauth { .. } | MgmtBody::Disassoc { .. } => {
+                if header.da != my {
+                    return;
+                }
+                let active = {
+                    let cs = self.stations[sid.index()].role.as_client_mut().unwrap();
+                    cs.phase = AssocPhase::Dormant;
+                    cs.ap = None;
+                    cs.session_active
+                };
+                if active {
+                    self.begin_scan(sid);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Wired side
+    // ------------------------------------------------------------------
+
+    pub(crate) fn on_wired_arrival(&mut self, handle: u64) {
+        let pkt = self.wired.arrive(handle);
+        match pkt.dst {
+            WiredDst::Host(h) => self.host_rx(h, pkt),
+            WiredDst::Ap(ap_sid) => {
+                let my = self.stations[ap_sid.index()].mac.addr;
+                if pkt.dst_mac.is_multicast() {
+                    let bytes = pkt.msdu.to_bytes();
+                    self.enqueue_msdu(ap_sid, pkt.dst_mac, pkt.src_mac, false, true, bytes);
+                } else {
+                    let in_bss = self.stations[ap_sid.index()]
+                        .role
+                        .as_ap()
+                        .map(|a| a.clients.contains_key(&pkt.dst_mac))
+                        .unwrap_or(false);
+                    if in_bss {
+                        let bytes = pkt.msdu.to_bytes();
+                        self.enqueue_msdu(ap_sid, pkt.dst_mac, pkt.src_mac, false, true, bytes);
+                    }
+                }
+                let _ = my;
+            }
+        }
+    }
+
+    fn host_send_arp_reply(&mut self, hid: HostId, req: ArpPacket) {
+        let now = self.now;
+        let host = self.wired.host(hid).clone();
+        let reply = ArpPacket::reply_to(&req, *MacAddr(host.mac.0).bytes());
+        let requester = MacAddr(req.sender_mac);
+        let ap = match self.wired.client_ap.get(&requester) {
+            Some(&a) => a,
+            None => return,
+        };
+        let msdu = Msdu::Arp(reply);
+        let arrive = now + host.latency_us;
+        self.wired_trace.push(WiredTraceRecord {
+            ts: arrive,
+            src_mac: host.mac,
+            dst_mac: requester,
+            ap: Some(ap),
+            direction: WiredDirection::ToWireless,
+            msdu: msdu.clone(),
+        });
+        let h = self.wired.launch(WiredPacket {
+            src_mac: host.mac,
+            dst_mac: requester,
+            msdu,
+            dst: WiredDst::Ap(ap),
+        });
+        self.queue.schedule(arrive, EventKind::WiredArrival { handle: h });
+    }
+
+    fn host_rx(&mut self, hid: HostId, pkt: WiredPacket) {
+        let now = self.now;
+        match pkt.msdu {
+            Msdu::Ipv4(ip) => {
+                if let jigsaw_packet::ipv4::IpPayload::Tcp(seg) = ip.payload {
+                    let client_sid = match self.ip_to_station.get(&ip.src) {
+                        Some(&s) => s,
+                        None => return,
+                    };
+                    let fid = match self.flow_by_client_port.get(&(client_sid, seg.src_port)) {
+                        Some(&f) => f,
+                        None => return,
+                    };
+                    let before = self.flows[fid as usize].host_end.rcv_nxt;
+                    let out = self.flows[fid as usize].host_end.on_segment(&seg, now);
+                    let advanced = self.flows[fid as usize].host_end.rcv_nxt != before;
+                    self.route_host_segments(fid, out);
+                    if advanced && self.flows[fid as usize].kind == FlowKind::Ssh {
+                        let service = self.rng.gen_range(5_000..20_000);
+                        self.queue.schedule(
+                            now + service,
+                            EventKind::HostApp {
+                                host: hid,
+                                flow: fid,
+                            },
+                        );
+                    }
+                    self.pump_flow(fid);
+                }
+            }
+            Msdu::Arp(a) => {
+                let host_ip = self.wired.host(hid).ip;
+                if a.op == ArpOp::Request && a.target_ip == host_ip {
+                    self.host_send_arp_reply(hid, a);
+                }
+            }
+            Msdu::Other { .. } => {}
+        }
+    }
+
+    pub(crate) fn on_host_app(&mut self, _hid: HostId, fid: u32) {
+        let now = self.now;
+        let f = &mut self.flows[fid as usize];
+        if f.completed || f.kind != FlowKind::Ssh {
+            return;
+        }
+        let resp: u64 = self.rng.gen_range(200..2000);
+        let out = f.host_end.app_write(resp, now);
+        self.route_host_segments(fid, out);
+        self.pump_flow(fid);
+    }
+
+    pub(crate) fn on_ssh_keystroke(&mut self, fid: u32) {
+        let now = self.now;
+        if self.flows[fid as usize].completed {
+            return;
+        }
+        let client = self.flows[fid as usize].client;
+        if self.client_ap_addr(client).is_none() {
+            return;
+        }
+        let bytes: u64 = self.rng.gen_range(50..300);
+        let out = self.flows[fid as usize].client_end.app_write(bytes, now);
+        self.route_client_segments(fid, out);
+        self.pump_flow(fid);
+    }
+
+    // ------------------------------------------------------------------
+    // Segment routing
+    // ------------------------------------------------------------------
+
+    fn route_client_segments(&mut self, fid: u32, out: TcpOutput) {
+        let now = self.now;
+        let (client_sid, host_id) = {
+            let f = &self.flows[fid as usize];
+            (f.client, f.host)
+        };
+        let ap_addr = match self.client_ap_addr(client_sid) {
+            Some(a) => a,
+            None => return, // not associated: segments evaporate
+        };
+        let client_ip = self.stations[client_sid.index()].ip;
+        let host = self.wired.host(host_id).clone();
+        let segments = out.segments;
+        for seg in segments {
+            let ip = Ipv4Packet::tcp(client_ip, host.ip, seg);
+            let bytes = Msdu::Ipv4(ip).to_bytes();
+            self.enqueue_msdu(client_sid, ap_addr, host.mac, true, false, bytes);
+        }
+        if let Some(deadline) = out.arm_timer {
+            let gen = self.flows[fid as usize].client_end.timer_gen;
+            self.queue.schedule(
+                deadline.max(now),
+                EventKind::TcpTimer {
+                    flow: fid * 2,
+                    gen,
+                },
+            );
+        }
+    }
+
+    fn route_host_segments(&mut self, fid: u32, out: TcpOutput) {
+        let now = self.now;
+        let (client_sid, host_id) = {
+            let f = &self.flows[fid as usize];
+            (f.client, f.host)
+        };
+        let client_addr = self.stations[client_sid.index()].mac.addr;
+        let client_ip = self.stations[client_sid.index()].ip;
+        let host = self.wired.host(host_id).clone();
+        for seg in out.segments {
+            if self.rng.gen_bool(host.loss_prob.clamp(0.0, 1.0)) {
+                self.stats.wired_losses += 1;
+                continue;
+            }
+            let ap = match self.wired.client_ap.get(&client_addr) {
+                Some(&a) => a,
+                None => continue,
+            };
+            let ip = Ipv4Packet::tcp(host.ip, client_ip, seg);
+            let msdu = Msdu::Ipv4(ip);
+            let arrive = now + host.latency_us + self.rng.gen_range(0..200);
+            self.wired_trace.push(WiredTraceRecord {
+                ts: arrive,
+                src_mac: host.mac,
+                dst_mac: client_addr,
+                ap: Some(ap),
+                direction: WiredDirection::ToWireless,
+                msdu: msdu.clone(),
+            });
+            let h = self.wired.launch(WiredPacket {
+                src_mac: host.mac,
+                dst_mac: client_addr,
+                msdu,
+                dst: WiredDst::Ap(ap),
+            });
+            self.queue.schedule(arrive, EventKind::WiredArrival { handle: h });
+        }
+        if let Some(deadline) = out.arm_timer {
+            let gen = self.flows[fid as usize].host_end.timer_gen;
+            self.queue.schedule(
+                deadline.max(now),
+                EventKind::TcpTimer {
+                    flow: fid * 2 + 1,
+                    gen,
+                },
+            );
+        }
+    }
+
+    /// Generic close progression + completion accounting for a flow.
+    fn pump_flow(&mut self, fid: u32) {
+        let now = self.now;
+        // Client side follows the peer's FIN.
+        let needs_client_close = {
+            let e = &self.flows[fid as usize].client_end;
+            e.peer_fin_seen && !e.close_when_done && e.app_remaining == 0
+        };
+        if needs_client_close {
+            let out = self.flows[fid as usize].client_end.shutdown(now);
+            self.route_client_segments(fid, out);
+        }
+        let needs_host_close = {
+            let e = &self.flows[fid as usize].host_end;
+            e.peer_fin_seen && !e.close_when_done && e.app_remaining == 0
+        };
+        if needs_host_close {
+            let out = self.flows[fid as usize].host_end.shutdown(now);
+            self.route_host_segments(fid, out);
+        }
+        let done = {
+            let f = &self.flows[fid as usize];
+            !f.completed && f.client_end.is_done() && f.host_end.is_done()
+        };
+        if done {
+            self.complete_flow(fid);
+        }
+    }
+
+    fn complete_flow(&mut self, fid: u32) {
+        let now = self.now;
+        let client = {
+            let f = &mut self.flows[fid as usize];
+            f.completed = true;
+            f.client
+        };
+        let idle = {
+            let st = &mut self.stations[client.index()];
+            if let Some(cs) = st.role.as_client_mut() {
+                cs.active_flows.retain(|&x| x != fid);
+                cs.session_active
+                    && cs.phase == AssocPhase::Associated
+                    && cs.active_flows.is_empty()
+            } else {
+                false
+            }
+        };
+        if idle {
+            let think = traffic::think_time(&mut self.rng, &self.params);
+            self.schedule_app(client, think);
+            let _ = now;
+        }
+    }
+
+    pub(crate) fn on_tcp_timer(&mut self, enc: u32, gen: u32) {
+        let now = self.now;
+        let fid = enc / 2;
+        let client_side = enc % 2 == 0;
+        if self.flows[fid as usize].completed {
+            return;
+        }
+        let valid = {
+            let f = &self.flows[fid as usize];
+            let e = if client_side { &f.client_end } else { &f.host_end };
+            e.timer_gen == gen && !e.is_done()
+        };
+        if !valid {
+            return;
+        }
+        let out = {
+            let f = &mut self.flows[fid as usize];
+            if client_side {
+                f.client_end.on_rto(now)
+            } else {
+                f.host_end.on_rto(now)
+            }
+        };
+        if client_side {
+            self.route_client_segments(fid, out);
+        } else {
+            self.route_host_segments(fid, out);
+        }
+        self.pump_flow(fid);
+    }
+
+    // ------------------------------------------------------------------
+    // Flows & workload
+    // ------------------------------------------------------------------
+
+    fn start_flow(&mut self, client: StationId, kind: FlowKind) {
+        let now = self.now;
+        let (n_lan, n_inet) = (self.cfg.lan_hosts, self.cfg.internet_hosts);
+        let host_idx = match kind {
+            FlowKind::Web | FlowKind::Background => {
+                if n_inet == 0 {
+                    0
+                } else {
+                    n_lan + self.rng.gen_range(0..n_inet)
+                }
+            }
+            FlowKind::Ssh | FlowKind::Scp { .. } => {
+                if n_lan == 0 {
+                    0
+                } else {
+                    self.rng.gen_range(0..n_lan)
+                }
+            }
+        };
+        let host = HostId(host_idx as u16);
+        let cport = self.alloc_port();
+        let hport = match kind {
+            FlowKind::Web => 80,
+            FlowKind::Ssh | FlowKind::Scp { .. } => 22,
+            FlowKind::Background => 8080,
+        };
+        let iss_c: u32 = self.rng.gen();
+        let iss_h: u32 = self.rng.gen();
+        let mut client_end = TcpEndpoint::new(cport, hport, iss_c, 1460);
+        let mut host_end = TcpEndpoint::new(hport, cport, iss_h, 1460);
+        let mut exchanges = 0;
+        match kind {
+            FlowKind::Web => {
+                host_end.app_remaining = traffic::web_size(&mut self.rng, &self.params);
+                host_end.close_when_done = true;
+            }
+            FlowKind::Ssh => {
+                let (lo, hi) = self.params.ssh_exchanges;
+                exchanges = self.rng.gen_range(lo..=hi);
+                client_end.app_remaining = 100;
+            }
+            FlowKind::Scp { upload } => {
+                let size = traffic::scp_size(&mut self.rng, &self.params);
+                if upload {
+                    client_end.app_remaining = size;
+                    client_end.close_when_done = true;
+                } else {
+                    host_end.app_remaining = size;
+                    host_end.close_when_done = true;
+                }
+            }
+            FlowKind::Background => {
+                client_end.app_remaining = self.params.background_bytes;
+                client_end.close_when_done = true;
+            }
+        }
+        let fid = self.flows.len() as u32;
+        let out = client_end.connect(now);
+        self.flows.push(Flow {
+            id: fid,
+            client,
+            host,
+            client_port: cport,
+            host_port: hport,
+            kind,
+            exchanges_left: exchanges,
+            client_end,
+            host_end,
+            completed: false,
+            created_at: now,
+        });
+        self.flow_by_client_port.insert((client, cport), fid);
+        if let Some(cs) = self.stations[client.index()].role.as_client_mut() {
+            cs.active_flows.push(fid);
+        }
+        self.route_client_segments(fid, out);
+    }
+
+    /// (Re)schedules this client's single app timer after `delay`.
+    pub(crate) fn schedule_app(&mut self, sid: StationId, delay: Micros) {
+        let now = self.now;
+        let gen = {
+            let cs = match self.stations[sid.index()].role.as_client_mut() {
+                Some(c) => c,
+                None => return,
+            };
+            cs.app_gen = cs.app_gen.wrapping_add(1);
+            cs.app_gen
+        };
+        self.queue
+            .schedule(now + delay, EventKind::AppTimer { station: sid, gen });
+    }
+
+    pub(crate) fn begin_scan(&mut self, sid: StationId) {
+        let b_only = self.stations[sid.index()].mac.b_only;
+        {
+            let cs = match self.stations[sid.index()].role.as_client_mut() {
+                Some(c) => c,
+                None => return,
+            };
+            cs.phase = AssocPhase::Probing;
+            cs.best_probe = None;
+        }
+        let seq = jigsaw_ieee80211::SeqNum::new(0);
+        let probe = crate::frames::probe_req(self.stations[sid.index()].mac.addr, b_only, seq);
+        if let Frame::Mgmt { body, .. } = probe {
+            self.enqueue_mgmt(sid, MacAddr::BROADCAST, body);
+        }
+        self.schedule_app(sid, 80_000);
+    }
+
+    pub(crate) fn on_app_timer(&mut self, sid: StationId, gen: u32) {
+        let now = self.now;
+        let phase = {
+            let cs = match self.stations[sid.index()].role.as_client() {
+                Some(c) => c,
+                None => return,
+            };
+            if cs.app_gen != gen || !cs.session_active {
+                return;
+            }
+            cs.phase
+        };
+        match phase {
+            AssocPhase::Dormant => {}
+            AssocPhase::Probing => {
+                let best = self.stations[sid.index()]
+                    .role
+                    .as_client()
+                    .unwrap()
+                    .best_probe;
+                match best {
+                    Some((_, ap_addr, _)) => {
+                        {
+                            let cs =
+                                self.stations[sid.index()].role.as_client_mut().unwrap();
+                            cs.phase = AssocPhase::Authenticating;
+                            cs.assoc_retries = 0;
+                        }
+                        self.enqueue_mgmt(sid, ap_addr, crate::frames::auth(1));
+                        self.schedule_app(sid, 200_000);
+                    }
+                    None => {
+                        // Nothing heard: probe again.
+                        self.begin_scan(sid);
+                    }
+                }
+            }
+            AssocPhase::Authenticating | AssocPhase::Associating => {
+                let (retries, target) = {
+                    let cs = self.stations[sid.index()].role.as_client_mut().unwrap();
+                    cs.assoc_retries += 1;
+                    (cs.assoc_retries, cs.best_probe)
+                };
+                if retries > 3 || target.is_none() {
+                    self.begin_scan(sid);
+                } else {
+                    let (_, ap_addr, _) = target.unwrap();
+                    let b_only = self.stations[sid.index()].mac.b_only;
+                    let body = if phase == AssocPhase::Authenticating {
+                        crate::frames::auth(1)
+                    } else {
+                        crate::frames::assoc_req(b_only)
+                    };
+                    self.enqueue_mgmt(sid, ap_addr, body);
+                    self.schedule_app(sid, 200_000);
+                }
+            }
+            AssocPhase::Associated => self.workload_step(sid, now),
+        }
+    }
+
+    fn workload_step(&mut self, sid: StationId, now: Micros) {
+        // Reap stuck flows first.
+        let stale: Vec<u32> = {
+            let cs = self.stations[sid.index()].role.as_client().unwrap();
+            cs.active_flows
+                .iter()
+                .copied()
+                .filter(|&f| {
+                    let fl = &self.flows[f as usize];
+                    now.saturating_sub(fl.created_at) > FLOW_TIMEOUT_US
+                })
+                .collect()
+        };
+        for fid in stale {
+            self.force_complete_flow(fid);
+        }
+        let busy = {
+            let cs = self.stations[sid.index()].role.as_client().unwrap();
+            !cs.active_flows.is_empty()
+        };
+        if busy {
+            // Watchdog re-check.
+            self.schedule_app(sid, 2_000_000);
+            return;
+        }
+        match traffic::pick_activity(&mut self.rng) {
+            Activity::Web { fetches } => {
+                for _ in 0..fetches {
+                    self.start_flow(sid, FlowKind::Web);
+                }
+            }
+            Activity::Ssh => self.start_flow(sid, FlowKind::Ssh),
+            Activity::Scp { upload } => self.start_flow(sid, FlowKind::Scp { upload }),
+            Activity::Think => {
+                let t = traffic::think_time(&mut self.rng, &self.params);
+                self.schedule_app(sid, t);
+            }
+        }
+        // Safety net in case flow completions get lost.
+        let has_flows = {
+            let cs = self.stations[sid.index()].role.as_client().unwrap();
+            !cs.active_flows.is_empty()
+        };
+        if has_flows {
+            self.schedule_app(sid, 5_000_000);
+        }
+    }
+
+    fn force_complete_flow(&mut self, fid: u32) {
+        {
+            let f = &mut self.flows[fid as usize];
+            f.client_end.state = crate::tcp::TcpState::Done;
+            f.host_end.state = crate::tcp::TcpState::Done;
+            // Invalidate timers.
+            f.client_end.timer_gen = f.client_end.timer_gen.wrapping_add(1);
+            f.host_end.timer_gen = f.host_end.timer_gen.wrapping_add(1);
+        }
+        self.pump_flow(fid);
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle, beacons, protection, broadcasters, noise
+    // ------------------------------------------------------------------
+
+    pub(crate) fn on_client_lifecycle(&mut self, sid: StationId, activate: bool) {
+        if activate {
+            {
+                let cs = match self.stations[sid.index()].role.as_client_mut() {
+                    Some(c) => c,
+                    None => return,
+                };
+                cs.session_active = true;
+            }
+            self.begin_scan(sid);
+        } else {
+            let (associated, flows) = {
+                let cs = match self.stations[sid.index()].role.as_client_mut() {
+                    Some(c) => c,
+                    None => return,
+                };
+                cs.session_active = false;
+                let assoc = cs.phase == AssocPhase::Associated;
+                let flows = std::mem::take(&mut cs.active_flows);
+                cs.phase = AssocPhase::Dormant;
+                cs.app_gen = cs.app_gen.wrapping_add(1);
+                (assoc, flows)
+            };
+            for fid in flows {
+                self.force_complete_flow(fid);
+            }
+            if associated {
+                let ap_addr = {
+                    let cs = self.stations[sid.index()].role.as_client().unwrap();
+                    cs.best_probe.map(|(_, a, _)| a)
+                };
+                if let Some(ap_addr) = ap_addr {
+                    self.enqueue_mgmt(sid, ap_addr, MgmtBody::Disassoc { reason: 8 });
+                }
+                let cs = self.stations[sid.index()].role.as_client_mut().unwrap();
+                cs.ap = None;
+            }
+        }
+    }
+
+    pub(crate) fn on_beacon_timer(&mut self, sid: StationId) {
+        let now = self.now;
+        let (ssid, channel, protection, backlog) = {
+            let st = &self.stations[sid.index()];
+            let ap = match st.role.as_ap() {
+                Some(a) => a,
+                None => return,
+            };
+            (
+                ap.ssid.clone(),
+                self.medium.entity(st.entity).channel.number(),
+                ap.protection_on,
+                st.mac.queue.len(),
+            )
+        };
+        if backlog < crate::mac::QUEUE_LIMIT / 2 {
+            let my = self.stations[sid.index()].mac.addr;
+            let f = crate::frames::beacon(
+                my,
+                &ssid,
+                channel,
+                protection,
+                now,
+                jigsaw_ieee80211::SeqNum::new(0),
+            );
+            if let Frame::Mgmt { body, .. } = f {
+                self.enqueue_mgmt(sid, MacAddr::BROADCAST, body);
+            }
+        }
+        self.queue.schedule(
+            now + self.cfg.beacon_interval_us,
+            EventKind::Beacon { station: sid },
+        );
+    }
+
+    pub(crate) fn on_protection_check(&mut self, sid: StationId) {
+        let now = self.now;
+        {
+            let st = &mut self.stations[sid.index()];
+            if let Some(ap) = st.role.as_ap_mut() {
+                ap.maybe_expire_protection(now);
+                st.mac.protection = ap.protection_on;
+            }
+        }
+        self.queue.schedule(
+            now + self.cfg.protection_check_us,
+            EventKind::ProtectionCheck { station: sid },
+        );
+    }
+
+    pub(crate) fn on_vernier_arp(&mut self) {
+        let now = self.now;
+        if let Some(hid) = self.vernier_host {
+            if !self.vernier_registry.is_empty() {
+                let (target_ip, _mac) =
+                    self.vernier_registry[self.vernier_next % self.vernier_registry.len()];
+                self.vernier_next += 1;
+                let host = self.wired.host(hid).clone();
+                let arp = ArpPacket::who_has(*host.mac.bytes(), host.ip, target_ip);
+                let msdu = Msdu::Arp(arp);
+                self.wired_trace.push(WiredTraceRecord {
+                    ts: now,
+                    src_mac: host.mac,
+                    dst_mac: MacAddr::BROADCAST,
+                    ap: None,
+                    direction: WiredDirection::ToWireless,
+                    msdu: msdu.clone(),
+                });
+                let ap_ids: Vec<StationId> = self
+                    .stations
+                    .iter()
+                    .filter(|s| matches!(&s.role, crate::station::Role::Ap(a) if !a.external))
+                    .map(|s| s.id)
+                    .collect();
+                for ap in ap_ids {
+                    let jitter = self.rng.gen_range(0..200);
+                    let h = self.wired.launch(WiredPacket {
+                        src_mac: host.mac,
+                        dst_mac: MacAddr::BROADCAST,
+                        msdu: msdu.clone(),
+                        dst: WiredDst::Ap(ap),
+                    });
+                    self.queue.schedule(
+                        now + SWITCH_LATENCY_US + jitter,
+                        EventKind::WiredArrival { handle: h },
+                    );
+                }
+            }
+        }
+        self.queue
+            .schedule(now + self.cfg.vernier_interval_us, EventKind::VernierArp);
+    }
+
+    pub(crate) fn on_office_broadcast(&mut self, sid: StationId) {
+        let now = self.now;
+        let active = {
+            let cs = match self.stations[sid.index()].role.as_client() {
+                Some(c) => c,
+                None => return,
+            };
+            cs.session_active && cs.phase == AssocPhase::Associated
+        };
+        if active {
+            if let Some(ap_addr) = self.client_ap_addr(sid) {
+                let ip = self.stations[sid.index()].ip;
+                let udp = UdpDatagram::new(2222, 2222, 120);
+                let pkt = Ipv4Packet::udp(ip, std::net::Ipv4Addr::new(255, 255, 255, 255), udp);
+                let bytes = Msdu::Ipv4(pkt).to_bytes();
+                self.enqueue_msdu(sid, ap_addr, MacAddr::BROADCAST, true, false, bytes);
+            }
+        }
+        self.queue.schedule(
+            now + self.cfg.office_broadcast_us,
+            EventKind::OfficeBroadcast { station: sid },
+        );
+    }
+
+    pub(crate) fn on_noise_burst(&mut self, idx: u32) {
+        let now = self.now;
+        let i = idx as usize;
+        if i >= self.interferers.len() {
+            return;
+        }
+        if now < self.interferers[i].session_until {
+            if !self.interferers[i].burst_active {
+                self.start_noise_tx(i);
+            }
+            // Magnetron duty cycle: ~8 ms on per 20 ms.
+            self.queue
+                .schedule(now + 20_000, EventKind::NoiseBurst { entity: idx });
+        } else {
+            // Schedule the next cooking session.
+            let gap = crate::rng::exponential(&mut self.rng, self.cfg.microwave_gap_us as f64)
+                .max(1_000_000.0) as Micros;
+            let duration = self.rng.gen_range(
+                self.cfg.microwave_cook_us / 2..=self.cfg.microwave_cook_us.max(2),
+            );
+            self.interferers[i].session_until = now + gap + duration;
+            self.queue
+                .schedule(now + gap, EventKind::NoiseBurst { entity: idx });
+        }
+    }
+
+    fn start_noise_tx(&mut self, i: usize) {
+        let now = self.now;
+        let entity = self.interferers[i].entity;
+        let channel = self.medium.entity(entity).channel;
+        let end = now + 8_000;
+        let truth_idx = if self.truth_mode == super::TruthMode::Full {
+            self.truth.transmissions.push(TruthRecord {
+                start: now,
+                end,
+                plcp_us: 0,
+                channel: channel.number(),
+                rate: PhyRate::R1,
+                subtype: None,
+                sender: None,
+                receiver: None,
+                seq: None,
+                retry: false,
+                wire_len: 0,
+                is_noise: true,
+                xid: u64::MAX,
+                delivered: None,
+                captures: 0,
+            });
+            self.truth.transmissions.len() - 1
+        } else {
+            usize::MAX
+        };
+        let tx_id = self.medium.start_tx(TxDesc {
+            entity,
+            channel,
+            rate: PhyRate::R1,
+            start: now,
+            end,
+            plcp_us: 0,
+            frame: None,
+            bytes: Vec::new(),
+            is_noise: true,
+            truth_idx,
+        });
+        self.tx_tags.insert(
+            tx_id,
+            TxTag::Noise {
+                interferer: i as u16,
+            },
+        );
+        self.queue.schedule(end, EventKind::TxEnd { tx_id });
+        self.apply_sensing(entity, PhyRate::R1, true, true);
+        self.interferers[i].burst_active = true;
+        self.stats.noise_bursts += 1;
+    }
+}

@@ -1,0 +1,218 @@
+//! Transmission-end processing: releasing carrier sense, resolving which
+//! stations decoded the frame, and generating monitor capture events
+//! (Ok / FCS-error / PHY-error) with per-monitor clock timestamps.
+
+use super::World;
+use crate::medium::{CompletedTx, OverlapInfo};
+use crate::monitor::capture_timestamp;
+use crate::prop::{fading_ddb, frame_error_prob, preamble_success_prob, CAPTURE_FLOOR_DDBM, CS_PREAMBLE_DDBM};
+use jigsaw_ieee80211::Channel;
+use jigsaw_trace::{PhyEvent, PhyStatus};
+use rand::Rng;
+
+impl World {
+    /// Full processing of a completed transmission.
+    pub(crate) fn on_tx_end(&mut self, tx_id: u64) {
+        let tag = self
+            .tx_tags
+            .remove(&tx_id)
+            .expect("transmission without tag");
+        let completed = self.medium.end_tx(tx_id);
+
+        // 1. Release physical carrier sense.
+        self.apply_sensing(
+            completed.desc.entity,
+            completed.desc.rate,
+            completed.desc.is_noise,
+            false,
+        );
+
+        // 2. Deliveries to MAC stations (frames only).
+        if completed.desc.frame.is_some() {
+            self.deliver_to_stations(&completed);
+        }
+
+        // 3. Monitor captures (everything, including noise).
+        self.capture_at_monitors(&completed);
+
+        // 4. Sender-side continuation.
+        self.mac_tx_finished(tag);
+    }
+
+    /// True if receiver `rx_entity` had locked onto an earlier overlapping
+    /// transmission on its channel and therefore never synchronized to this
+    /// one.
+    fn locked_elsewhere(
+        &self,
+        rx_entity: u32,
+        subject_start: u64,
+        subject_entity: u32,
+        rx_channel: Channel,
+        overlaps: &[OverlapInfo],
+    ) -> bool {
+        overlaps.iter().any(|o| {
+            if o.is_noise || o.entity == rx_entity {
+                return false;
+            }
+            if o.channel != rx_channel {
+                return false;
+            }
+            let earlier = o.start < subject_start
+                || (o.start == subject_start && o.entity < subject_entity);
+            earlier && self.medium.rx_power_ddbm(o.entity, rx_entity, o.channel) >= CS_PREAMBLE_DDBM
+        })
+    }
+
+    fn deliver_to_stations(&mut self, completed: &CompletedTx) {
+        let desc = &completed.desc;
+        let n = self.audible_stations[desc.entity as usize].len();
+        for k in 0..n {
+            let (sid, power) = self.audible_stations[desc.entity as usize][k];
+            let rx_entity = self.stations[sid.index()].entity;
+            // Cross-channel frames are never decodable.
+            if self.medium.entity(rx_entity).channel != desc.channel {
+                continue;
+            }
+            // Half duplex: we were transmitting during this frame.
+            if self.medium.rx_was_transmitting(rx_entity, &completed.overlaps) {
+                continue;
+            }
+            if self.locked_elsewhere(
+                rx_entity,
+                desc.start,
+                desc.entity,
+                desc.channel,
+                &completed.overlaps,
+            ) {
+                continue;
+            }
+            let interference = self.medium.interference_ddbm(rx_entity, &completed.overlaps);
+            let power = power + fading_ddb(&mut self.rng);
+            let sinr = power - interference;
+            let fer = frame_error_prob(sinr, desc.rate, desc.bytes.len());
+            if self.rng.gen_bool((1.0 - fer).clamp(0.0, 1.0)) {
+                if desc.truth_idx != usize::MAX {
+                    let addressed = desc
+                        .frame
+                        .as_ref()
+                        .map(|f| f.receiver() == self.stations[sid.index()].mac.addr)
+                        .unwrap_or(false);
+                    if addressed {
+                        if let Some(t) = self.truth.transmissions.get_mut(desc.truth_idx) {
+                            t.delivered = Some(true);
+                        }
+                        let xid = self.truth.transmissions[desc.truth_idx].xid;
+                        if xid != u64::MAX {
+                            if let Some(x) = self.truth.exchanges.get_mut(xid as usize) {
+                                x.delivered = true;
+                            }
+                        }
+                    }
+                }
+                let frame = desc.frame.clone().expect("frame-bearing tx");
+                self.station_rx_frame(sid, frame, power, desc.rate);
+            }
+        }
+    }
+
+    fn capture_at_monitors(&mut self, completed: &CompletedTx) {
+        let desc = &completed.desc;
+        let n = self.audible_radios[desc.entity as usize].len();
+        for k in 0..n {
+            let (rx_entity, power) = self.audible_radios[desc.entity as usize][k];
+            let power = power + fading_ddb(&mut self.rng);
+            if power < CAPTURE_FLOOR_DDBM {
+                continue;
+            }
+            let (mon_idx, slot) = match self.entity_monitor_radio[rx_entity as usize] {
+                Some(x) => x,
+                None => continue,
+            };
+            let rx_channel = self.medium.entity(rx_entity).channel;
+            let interference = self.medium.interference_ddbm(rx_entity, &completed.overlaps);
+            let sinr = power - interference;
+            let rssi_dbm = (power / 10 + self.rng.gen_range(-2..=2)) as i16;
+
+            let status = if desc.is_noise {
+                // Strong noise bursts are logged as PHY errors.
+                if power >= -800 {
+                    Some(PhyStatus::PhyError)
+                } else {
+                    None
+                }
+            } else if rx_channel != desc.channel {
+                // Adjacent-channel bleed: undecodable energy.
+                if power >= -850 {
+                    Some(PhyStatus::PhyError)
+                } else {
+                    None
+                }
+            } else if self.locked_elsewhere(
+                rx_entity,
+                desc.start,
+                desc.entity,
+                desc.channel,
+                &completed.overlaps,
+            ) {
+                // Collision at this vantage point: at most a PHY error.
+                Some(PhyStatus::PhyError)
+            } else if !self.rng.gen_bool(preamble_success_prob(sinr).clamp(0.0, 1.0)) {
+                Some(PhyStatus::PhyError)
+            } else {
+                let fer = frame_error_prob(sinr, desc.rate, desc.bytes.len());
+                if self.rng.gen_bool((1.0 - fer).clamp(0.0, 1.0)) {
+                    Some(PhyStatus::Ok)
+                } else {
+                    Some(PhyStatus::FcsError)
+                }
+            };
+            let Some(status) = status else { continue };
+
+            let snaplen = self.cfg.snaplen as usize;
+            let (bytes, wire_len) = match status {
+                PhyStatus::Ok => {
+                    let cap = desc.bytes.len().min(snaplen);
+                    (desc.bytes[..cap].to_vec(), desc.bytes.len() as u32)
+                }
+                PhyStatus::FcsError => {
+                    // Corrupt a copy: flip a few bytes; sometimes truncate.
+                    let mut b = desc.bytes.clone();
+                    let flips = self.rng.gen_range(1..=4).min(b.len());
+                    for _ in 0..flips {
+                        let i = self.rng.gen_range(0..b.len());
+                        b[i] ^= self.rng.gen_range(1..=255u8);
+                    }
+                    if self.rng.gen_bool(0.3) && b.len() > 4 {
+                        let cut = self.rng.gen_range(2..b.len());
+                        b.truncate(cut);
+                    }
+                    b.truncate(snaplen);
+                    (b, desc.bytes.len() as u32)
+                }
+                PhyStatus::PhyError => (Vec::new(), 0),
+            };
+
+            let radio = self.monitors[usize::from(mon_idx)].radios[usize::from(slot)].radio;
+            let ts_local = capture_timestamp(
+                &mut self.monitors[usize::from(mon_idx)].clock,
+                desc.start,
+                desc.plcp_us,
+            );
+            self.collectors[radio.index()].push(PhyEvent {
+                radio,
+                ts_local,
+                channel: rx_channel,
+                rate: desc.rate,
+                rssi_dbm,
+                status,
+                wire_len,
+                bytes,
+            });
+            if desc.truth_idx != usize::MAX {
+                if let Some(t) = self.truth.transmissions.get_mut(desc.truth_idx) {
+                    t.captures = t.captures.saturating_add(1);
+                }
+            }
+        }
+    }
+}

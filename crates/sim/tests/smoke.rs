@@ -1,0 +1,144 @@
+//! End-to-end simulator smoke tests: does a small world actually produce
+//! associations, TCP traffic, monitor captures, a wired trace and coherent
+//! ground truth?
+
+use jigsaw_ieee80211::Subtype;
+use jigsaw_sim::scenario::ScenarioConfig;
+use jigsaw_trace::PhyStatus;
+
+#[test]
+fn tiny_world_produces_traffic_and_captures() {
+    let out = ScenarioConfig::tiny(11).run();
+
+    // Monitors captured a meaningful number of events.
+    let total = out.total_events();
+    assert!(total > 300, "too few capture events: {total}");
+    // Each radio trace is time-sorted.
+    for t in &out.traces {
+        for w in t.windows(2) {
+            assert!(w[0].ts_local <= w[1].ts_local);
+        }
+    }
+
+    // Ground truth saw beacons, data, and ACKs.
+    let truth = &out.truth;
+    assert!(!truth.transmissions.is_empty());
+    let beacons = truth
+        .transmissions
+        .iter()
+        .filter(|t| t.subtype == Some(Subtype::Beacon))
+        .count();
+    let data = truth
+        .transmissions
+        .iter()
+        .filter(|t| t.subtype == Some(Subtype::Data))
+        .count();
+    let acks = truth
+        .transmissions
+        .iter()
+        .filter(|t| t.subtype == Some(Subtype::Ack))
+        .count();
+    assert!(beacons > 50, "beacons: {beacons}");
+    assert!(data > 50, "data frames: {data}");
+    assert!(acks > 20, "acks: {acks}");
+
+    // TCP flows opened and mostly completed.
+    assert!(out.stats.flows_opened > 0, "no flows opened");
+    assert!(
+        out.stats.flows_completed * 2 >= out.stats.flows_opened,
+        "most flows should complete: {}/{}",
+        out.stats.flows_completed,
+        out.stats.flows_opened
+    );
+
+    // The wired trace saw traffic in both directions.
+    use jigsaw_sim::wired::WiredDirection;
+    let to_wireless = out
+        .wired
+        .iter()
+        .filter(|r| r.direction == WiredDirection::ToWireless)
+        .count();
+    let from_wireless = out
+        .wired
+        .iter()
+        .filter(|r| r.direction == WiredDirection::FromWireless)
+        .count();
+    assert!(to_wireless > 10, "to_wireless: {to_wireless}");
+    assert!(from_wireless > 10, "from_wireless: {from_wireless}");
+}
+
+#[test]
+fn captures_include_errors_and_corruption() {
+    let out = ScenarioConfig::small(5).run();
+    let mut ok = 0u64;
+    let mut fcs = 0u64;
+    let mut phy = 0u64;
+    for t in &out.traces {
+        for e in t {
+            match e.status {
+                PhyStatus::Ok => ok += 1,
+                PhyStatus::FcsError => fcs += 1,
+                PhyStatus::PhyError => phy += 1,
+            }
+        }
+    }
+    assert!(ok > 0 && fcs > 0, "ok {ok} fcs {fcs} phy {phy}");
+    // Corrupted or weak receptions exist but don't dominate valid ones
+    // beyond reason (the paper sees ~47% error events).
+    let total = ok + fcs + phy;
+    assert!(
+        (fcs + phy) * 10 > total,
+        "unrealistically clean capture: {ok}/{fcs}/{phy}"
+    );
+}
+
+#[test]
+fn exchanges_mostly_delivered_and_acked() {
+    let out = ScenarioConfig::tiny(3).run();
+    let x = &out.truth.exchanges;
+    assert!(!x.is_empty());
+    let attempted: Vec<_> = x.iter().filter(|e| e.attempts > 0).collect();
+    assert!(!attempted.is_empty());
+    let delivered = attempted.iter().filter(|e| e.delivered).count();
+    let acked = attempted.iter().filter(|e| e.acked).count();
+    // In a quiet tiny world, most exchanges succeed (multipath fading
+    // keeps a marginal tail even here).
+    assert!(
+        delivered * 10 >= attempted.len() * 7,
+        "delivered {delivered}/{}",
+        attempted.len()
+    );
+    // ACKed implies delivered for every exchange.
+    for e in x.iter() {
+        if e.acked {
+            assert!(e.delivered, "acked but not delivered: {e:?}");
+        }
+    }
+    assert!(acked > 0);
+}
+
+#[test]
+fn same_seed_same_world() {
+    let a = ScenarioConfig::tiny(99).run();
+    let b = ScenarioConfig::tiny(99).run();
+    assert_eq!(a.total_events(), b.total_events());
+    assert_eq!(a.truth.transmissions.len(), b.truth.transmissions.len());
+    assert_eq!(a.wired.len(), b.wired.len());
+    // Event-level determinism on one radio.
+    assert_eq!(a.traces[0].len(), b.traces[0].len());
+    for (x, y) in a.traces[0].iter().zip(b.traces[0].iter()) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn clients_associate_in_truth() {
+    let out = ScenarioConfig::tiny(21).run();
+    let assoc_resp = out
+        .truth
+        .transmissions
+        .iter()
+        .filter(|t| t.subtype == Some(Subtype::AssocResp))
+        .count();
+    assert!(assoc_resp >= 1, "no association seen");
+}

@@ -1,0 +1,307 @@
+//! A small LZ77-family codec — the in-repo stand-in for the LZO pass that
+//! jigdump applies to every 64 KB read (paper §3.3: compression is what keeps
+//! storage and NFS I/O, "the two bottlenecks on our monitor platform", off
+//! the critical path).
+//!
+//! Design: greedy byte-oriented LZ with a 64 KB window and a 4-byte-hash
+//! chain, token format:
+//!
+//! ```text
+//! literal run : 0x00 | uvarint(len) | bytes
+//! match       : 0x01 | uvarint(len-MIN_MATCH) | uvarint(distance)
+//! ```
+//!
+//! This is slower and slightly less tight than LZO but wholly deterministic,
+//! dependency-free, and fast enough to keep trace merging faster than
+//! real time (see the `merge_throughput` bench).
+
+use crate::varint::{get_uvarint, put_uvarint};
+
+/// Minimum match length worth encoding (below this, literals win).
+const MIN_MATCH: usize = 4;
+/// Window size — matches may reach this far back.
+const WINDOW: usize = 64 * 1024;
+/// Number of hash buckets (power of two).
+const HASH_SIZE: usize = 1 << 15;
+/// How many chain links to follow before giving up (bounds worst case).
+const MAX_CHAIN: usize = 16;
+
+/// Errors from [`decompress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompressError {
+    /// Token stream ended unexpectedly.
+    Truncated,
+    /// Unknown token tag.
+    BadToken(u8),
+    /// A match referenced data before the start of output.
+    BadDistance,
+    /// Output exceeded the caller-supplied limit.
+    TooLarge,
+}
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompressError::Truncated => write!(f, "compressed stream truncated"),
+            DecompressError::BadToken(t) => write!(f, "bad token tag {t:#x}"),
+            DecompressError::BadDistance => write!(f, "match distance out of range"),
+            DecompressError::TooLarge => write!(f, "decompressed output exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(2654435761) >> (32 - 15)) as usize & (HASH_SIZE - 1)
+}
+
+/// Compresses `input` into a fresh buffer.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let n = input.len();
+    if n == 0 {
+        return out;
+    }
+
+    // head[h] = most recent position with hash h (+1, 0 = empty);
+    // prev[i % WINDOW] = previous position in the chain for position i.
+    let mut head = vec![0u32; HASH_SIZE];
+    let mut prev = vec![0u32; WINDOW];
+
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+        if to > from {
+            out.push(0x00);
+            put_uvarint(out, (to - from) as u64);
+            out.extend_from_slice(&input[from..to]);
+        }
+    };
+
+    while i + MIN_MATCH <= n {
+        let h = hash4(input, i);
+        // Walk the chain looking for the longest match.
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut cand = head[h] as usize;
+        let mut chain = 0;
+        while cand > 0 && chain < MAX_CHAIN {
+            let pos = cand - 1;
+            if pos >= i || i - pos > WINDOW {
+                break; // stale ring-buffer entry or out of window
+            }
+            let limit = n - i;
+            // Quick reject: a longer match must improve at index best_len.
+            if best_len < limit && input[pos + best_len] == input[i + best_len] {
+                let mut l = 0usize;
+                while l < limit && input[pos + l] == input[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - pos;
+                }
+            }
+            chain += 1;
+            let next = prev[pos % WINDOW] as usize;
+            // Chains must strictly decrease; a wrapped slot breaks the walk.
+            if next >= cand {
+                break;
+            }
+            cand = next;
+        }
+
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, lit_start, i);
+            out.push(0x01);
+            put_uvarint(&mut out, (best_len - MIN_MATCH) as u64);
+            put_uvarint(&mut out, best_dist as u64);
+            // Insert hash entries for every position covered by the match
+            // (cap the work for very long matches).
+            let end = (i + best_len).min(n.saturating_sub(MIN_MATCH - 1));
+            let step_limit = 512.min(end.saturating_sub(i));
+            for j in i..i + step_limit {
+                if j + MIN_MATCH <= n {
+                    let hj = hash4(input, j);
+                    prev[j % WINDOW] = head[hj];
+                    head[hj] = (j + 1) as u32;
+                }
+            }
+            i += best_len;
+            lit_start = i;
+        } else {
+            prev[i % WINDOW] = head[h];
+            head[h] = (i + 1) as u32;
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, lit_start, n);
+    out
+}
+
+/// Decompresses `input`, refusing to produce more than `max_out` bytes.
+pub fn decompress(input: &[u8], max_out: usize) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    let mut i = 0usize;
+    while i < input.len() {
+        let tag = input[i];
+        i += 1;
+        match tag {
+            0x00 => {
+                let (len, n) = get_uvarint(&input[i..]).ok_or(DecompressError::Truncated)?;
+                i += n;
+                let len = len as usize;
+                if input.len() < i + len {
+                    return Err(DecompressError::Truncated);
+                }
+                if out.len() + len > max_out {
+                    return Err(DecompressError::TooLarge);
+                }
+                out.extend_from_slice(&input[i..i + len]);
+                i += len;
+            }
+            0x01 => {
+                let (l, n) = get_uvarint(&input[i..]).ok_or(DecompressError::Truncated)?;
+                i += n;
+                let (dist, n) = get_uvarint(&input[i..]).ok_or(DecompressError::Truncated)?;
+                i += n;
+                let len = l as usize + MIN_MATCH;
+                let dist = dist as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(DecompressError::BadDistance);
+                }
+                if out.len() + len > max_out {
+                    return Err(DecompressError::TooLarge);
+                }
+                // Overlapping copies are the LZ idiom for runs: copy byte-wise.
+                let start = out.len() - dist;
+                for j in 0..len {
+                    let b = out[start + j];
+                    out.push(b);
+                }
+            }
+            bad => return Err(DecompressError::BadToken(bad)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c, data.len().max(1)).unwrap();
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty() {
+        roundtrip(b"");
+    }
+
+    #[test]
+    fn short_literals() {
+        roundtrip(b"abc");
+        roundtrip(b"a");
+    }
+
+    #[test]
+    fn runs_compress_well() {
+        let data = vec![0u8; 10_000];
+        let c = compress(&data);
+        assert!(c.len() < 100, "10k zeros compressed to {} bytes", c.len());
+        assert_eq!(decompress(&c, 10_000).unwrap(), data);
+    }
+
+    #[test]
+    fn repeated_structure_compresses() {
+        // Simulated trace records: repeating 32-byte headers with counters.
+        let mut data = Vec::new();
+        for i in 0u32..1000 {
+            data.extend_from_slice(b"RECORDHDR");
+            data.extend_from_slice(&i.to_le_bytes());
+            data.extend_from_slice(&[0xAB; 19]);
+        }
+        let c = compress(&data);
+        assert!(
+            c.len() < data.len() / 3,
+            "structured data: {} -> {}",
+            data.len(),
+            c.len()
+        );
+        assert_eq!(decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_survives() {
+        // Pseudo-random bytes: expansion must be bounded and roundtrip exact.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + data.len() / 64 + 16);
+        assert_eq!(decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn output_limit_enforced() {
+        let data = vec![7u8; 1000];
+        let c = compress(&data);
+        assert_eq!(decompress(&c, 999), Err(DecompressError::TooLarge));
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        for seed in 0u8..=255 {
+            let garbage: Vec<u8> = (0..64).map(|i| seed.wrapping_mul(31).wrapping_add(i)).collect();
+            let _ = decompress(&garbage, 1 << 16);
+        }
+    }
+
+    #[test]
+    fn bad_distance_detected() {
+        // match of length 4 at distance 9 with only 1 byte of output.
+        let mut c = Vec::new();
+        c.push(0x00);
+        put_uvarint(&mut c, 1);
+        c.push(b'x');
+        c.push(0x01);
+        put_uvarint(&mut c, 0);
+        put_uvarint(&mut c, 9);
+        assert_eq!(decompress(&c, 100), Err(DecompressError::BadDistance));
+    }
+
+    proptest! {
+        #[test]
+        fn proptest_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            roundtrip(&data);
+        }
+
+        #[test]
+        fn proptest_roundtrip_structured(
+            chunk in proptest::collection::vec(any::<u8>(), 1..64),
+            reps in 1usize..100,
+        ) {
+            let data: Vec<u8> = chunk.iter().copied().cycle().take(chunk.len() * reps).collect();
+            roundtrip(&data);
+        }
+
+        #[test]
+        fn proptest_decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = decompress(&data, 1 << 20);
+        }
+    }
+}

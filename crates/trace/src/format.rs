@@ -1,0 +1,484 @@
+//! The jigdump-style binary trace format.
+//!
+//! One trace file holds the events of **one radio**, in local-time order,
+//! grouped into independently decodable compressed blocks (the analogue of
+//! jigdump's 64 KB LZO reads):
+//!
+//! ```text
+//! file   := header block*
+//! header := "JIGT" ver:u8 radio:u16 monitor:u16 channel:u8 snaplen:u32
+//! block  := comp_len:u32 raw_len:u32 count:u32 first_ts:u64 payload
+//! record := dts:uvarint status:u8 rate:uvarint rssi:ivarint
+//!           wire_len:uvarint cap_len:uvarint bytes[cap_len]
+//! ```
+//!
+//! Timestamps are delta-encoded within a block against `first_ts`, so a
+//! block can be skipped (via [`crate::index`]) or decoded in isolation.
+
+use crate::compress::{compress, decompress, DecompressError};
+use crate::index::IndexEntry;
+use crate::varint::{get_ivarint, get_uvarint, put_ivarint, put_uvarint};
+use crate::{MonitorId, PhyEvent, PhyStatus, RadioId, RadioMeta};
+use jigsaw_ieee80211::{Channel, PhyRate};
+use std::io::{self, Read, Write};
+
+/// File magic.
+pub const MAGIC: [u8; 4] = *b"JIGT";
+/// Current format version.
+pub const VERSION: u8 = 1;
+/// Target uncompressed block size (bytes) before a flush.
+pub const BLOCK_TARGET: usize = 256 * 1024;
+/// Hard cap on a block's uncompressed size (decompression bomb guard).
+pub const BLOCK_MAX: usize = 8 * 1024 * 1024;
+
+/// Errors from reading a trace.
+#[derive(Debug)]
+pub enum FormatError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Magic or version mismatch.
+    BadHeader,
+    /// Record fields failed to decode.
+    BadRecord(&'static str),
+    /// Block failed to decompress.
+    Compression(DecompressError),
+    /// Events out of time order within a block (writer bug or corruption).
+    OutOfOrder,
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::Io(e) => write!(f, "i/o error: {e}"),
+            FormatError::BadHeader => write!(f, "bad trace header"),
+            FormatError::BadRecord(what) => write!(f, "bad record field: {what}"),
+            FormatError::Compression(e) => write!(f, "block decompression failed: {e}"),
+            FormatError::OutOfOrder => write!(f, "events out of order in block"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<io::Error> for FormatError {
+    fn from(e: io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+impl From<DecompressError> for FormatError {
+    fn from(e: DecompressError) -> Self {
+        FormatError::Compression(e)
+    }
+}
+
+/// Streaming writer for one radio's trace.
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    meta: RadioMeta,
+    snaplen: u32,
+    raw: Vec<u8>,
+    count: u32,
+    first_ts: u64,
+    last_ts: u64,
+    bytes_written: u64,
+    index: Vec<IndexEntry>,
+    events_total: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer and emits the file header.
+    pub fn create(mut sink: W, meta: RadioMeta, snaplen: u32) -> io::Result<Self> {
+        sink.write_all(&MAGIC)?;
+        sink.write_all(&[VERSION])?;
+        sink.write_all(&meta.radio.0.to_le_bytes())?;
+        sink.write_all(&meta.monitor.0.to_le_bytes())?;
+        sink.write_all(&[meta.channel.number()])?;
+        sink.write_all(&snaplen.to_le_bytes())?;
+        sink.write_all(&meta.anchor_wall_us.to_le_bytes())?;
+        sink.write_all(&meta.anchor_local_us.to_le_bytes())?;
+        Ok(TraceWriter {
+            sink,
+            meta,
+            snaplen,
+            raw: Vec::with_capacity(BLOCK_TARGET + 4096),
+            count: 0,
+            first_ts: 0,
+            last_ts: 0,
+            bytes_written: 30,
+            index: Vec::new(),
+            events_total: 0,
+        })
+    }
+
+    /// Appends one event. Events must arrive in non-decreasing `ts_local`
+    /// order and belong to this writer's radio.
+    pub fn append(&mut self, ev: &PhyEvent) -> Result<(), FormatError> {
+        debug_assert_eq!(ev.radio, self.meta.radio);
+        if self.count == 0 {
+            self.first_ts = ev.ts_local;
+            self.last_ts = ev.ts_local;
+        }
+        if ev.ts_local < self.last_ts {
+            return Err(FormatError::OutOfOrder);
+        }
+        put_uvarint(&mut self.raw, ev.ts_local - self.last_ts);
+        self.last_ts = ev.ts_local;
+        self.raw.push(ev.status.code());
+        put_uvarint(&mut self.raw, u64::from(ev.rate.centi_mbps()));
+        put_ivarint(&mut self.raw, i64::from(ev.rssi_dbm));
+        put_uvarint(&mut self.raw, u64::from(ev.wire_len));
+        let cap = ev.bytes.len().min(self.snaplen as usize);
+        put_uvarint(&mut self.raw, cap as u64);
+        self.raw.extend_from_slice(&ev.bytes[..cap]);
+        self.count += 1;
+        self.events_total += 1;
+        if self.raw.len() >= BLOCK_TARGET {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<(), FormatError> {
+        if self.count == 0 {
+            return Ok(());
+        }
+        let comp = compress(&self.raw);
+        self.index.push(IndexEntry {
+            offset: self.bytes_written,
+            first_ts: self.first_ts,
+            last_ts: self.last_ts,
+            count: self.count,
+        });
+        self.sink.write_all(&(comp.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&(self.raw.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&self.count.to_le_bytes())?;
+        self.sink.write_all(&self.first_ts.to_le_bytes())?;
+        self.sink.write_all(&comp)?;
+        self.bytes_written += 20 + comp.len() as u64;
+        self.raw.clear();
+        self.count = 0;
+        Ok(())
+    }
+
+    /// Flushes the final block and returns `(sink, index, total_events)`.
+    pub fn finish(mut self) -> Result<(W, Vec<IndexEntry>, u64), FormatError> {
+        self.flush_block()?;
+        self.sink.flush()?;
+        Ok((self.sink, self.index, self.events_total))
+    }
+
+    /// Events appended so far.
+    pub fn events_total(&self) -> u64 {
+        self.events_total
+    }
+}
+
+/// Streaming reader for one radio's trace.
+pub struct TraceReader<R: Read> {
+    source: R,
+    meta: RadioMeta,
+    snaplen: u32,
+    block: Vec<u8>,
+    pos: usize,
+    remaining_in_block: u32,
+    ts: u64,
+    eof: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace, validating the header.
+    pub fn open(mut source: R) -> Result<Self, FormatError> {
+        let mut hdr = [0u8; 30];
+        source.read_exact(&mut hdr)?;
+        if hdr[0..4] != MAGIC || hdr[4] != VERSION {
+            return Err(FormatError::BadHeader);
+        }
+        let radio = RadioId(u16::from_le_bytes([hdr[5], hdr[6]]));
+        let monitor = MonitorId(u16::from_le_bytes([hdr[7], hdr[8]]));
+        let channel = Channel::new(hdr[9]).map_err(|_| FormatError::BadHeader)?;
+        let snaplen = u32::from_le_bytes([hdr[10], hdr[11], hdr[12], hdr[13]]);
+        let anchor_wall_us = u64::from_le_bytes(hdr[14..22].try_into().expect("8 bytes"));
+        let anchor_local_us = u64::from_le_bytes(hdr[22..30].try_into().expect("8 bytes"));
+        Ok(TraceReader {
+            source,
+            meta: RadioMeta {
+                radio,
+                monitor,
+                channel,
+                anchor_wall_us,
+                anchor_local_us,
+            },
+            snaplen,
+            block: Vec::new(),
+            pos: 0,
+            remaining_in_block: 0,
+            ts: 0,
+            eof: false,
+        })
+    }
+
+    /// The radio metadata from the header.
+    pub fn meta(&self) -> RadioMeta {
+        self.meta
+    }
+
+    /// The snap length the trace was captured with.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    fn load_block(&mut self) -> Result<bool, FormatError> {
+        let mut lens = [0u8; 20];
+        match self.source.read_exact(&mut lens[..1]) {
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(false),
+            r => r?,
+        }
+        self.source.read_exact(&mut lens[1..])?;
+        let comp_len = u32::from_le_bytes([lens[0], lens[1], lens[2], lens[3]]) as usize;
+        let raw_len = u32::from_le_bytes([lens[4], lens[5], lens[6], lens[7]]) as usize;
+        let count = u32::from_le_bytes([lens[8], lens[9], lens[10], lens[11]]);
+        let first_ts = u64::from_le_bytes(lens[12..20].try_into().expect("8 bytes"));
+        if raw_len > BLOCK_MAX {
+            return Err(FormatError::BadRecord("block too large"));
+        }
+        let mut comp = vec![0u8; comp_len];
+        self.source.read_exact(&mut comp)?;
+        self.block = decompress(&comp, raw_len)?;
+        if self.block.len() != raw_len {
+            return Err(FormatError::BadRecord("raw length mismatch"));
+        }
+        self.pos = 0;
+        self.remaining_in_block = count;
+        self.ts = first_ts;
+        Ok(true)
+    }
+
+    /// Reads the next event, or `None` at end of trace.
+    pub fn next_event(&mut self) -> Result<Option<PhyEvent>, FormatError> {
+        if self.eof {
+            return Ok(None);
+        }
+        while self.remaining_in_block == 0 {
+            if !self.load_block()? {
+                self.eof = true;
+                return Ok(None);
+            }
+        }
+        let buf = &self.block[self.pos..];
+        let mut used = 0usize;
+        let (dts, n) = get_uvarint(&buf[used..]).ok_or(FormatError::BadRecord("dts"))?;
+        used += n;
+        let status = *buf.get(used).ok_or(FormatError::BadRecord("status"))?;
+        used += 1;
+        let status = PhyStatus::from_code(status).ok_or(FormatError::BadRecord("status code"))?;
+        let (rate, n) = get_uvarint(&buf[used..]).ok_or(FormatError::BadRecord("rate"))?;
+        used += n;
+        let rate = PhyRate::from_centi_mbps(rate as u16).ok_or(FormatError::BadRecord("rate code"))?;
+        let (rssi, n) = get_ivarint(&buf[used..]).ok_or(FormatError::BadRecord("rssi"))?;
+        used += n;
+        let (wire_len, n) = get_uvarint(&buf[used..]).ok_or(FormatError::BadRecord("wire_len"))?;
+        used += n;
+        let (cap_len, n) = get_uvarint(&buf[used..]).ok_or(FormatError::BadRecord("cap_len"))?;
+        used += n;
+        let cap_len = cap_len as usize;
+        if buf.len() < used + cap_len {
+            return Err(FormatError::BadRecord("bytes"));
+        }
+        let bytes = buf[used..used + cap_len].to_vec();
+        used += cap_len;
+
+        // The first record of a block carries dts = 0 relative to first_ts;
+        // every later record is a delta from its predecessor.
+        let ts = self.ts + dts;
+        self.ts = ts;
+        self.pos += used;
+        self.remaining_in_block -= 1;
+        Ok(Some(PhyEvent {
+            radio: self.meta.radio,
+            ts_local: ts,
+            channel: self.meta.channel,
+            rate,
+            rssi_dbm: rssi as i16,
+            status,
+            wire_len: wire_len as u32,
+            bytes,
+        }))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<PhyEvent, FormatError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_event().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_ieee80211::Channel;
+    use proptest::prelude::*;
+
+    fn meta() -> RadioMeta {
+        RadioMeta {
+            radio: RadioId(5),
+            monitor: MonitorId(2),
+            channel: Channel::of(6),
+            anchor_wall_us: 1_000_000,
+            anchor_local_us: 777_123_456,
+        }
+    }
+
+    fn ev(ts: u64, body: &[u8]) -> PhyEvent {
+        PhyEvent {
+            radio: RadioId(5),
+            ts_local: ts,
+            channel: Channel::of(6),
+            rate: PhyRate::R11,
+            rssi_dbm: -62,
+            status: PhyStatus::Ok,
+            wire_len: body.len() as u32,
+            bytes: body.to_vec(),
+        }
+    }
+
+    fn write_all(events: &[PhyEvent], snaplen: u32) -> Vec<u8> {
+        let mut w = TraceWriter::create(Vec::new(), meta(), snaplen).unwrap();
+        for e in events {
+            w.append(e).unwrap();
+        }
+        let (buf, index, total) = w.finish().unwrap();
+        assert_eq!(total, events.len() as u64);
+        if !events.is_empty() {
+            assert!(!index.is_empty());
+            assert_eq!(index[0].first_ts, events[0].ts_local);
+        }
+        buf
+    }
+
+    fn read_all(buf: &[u8]) -> Vec<PhyEvent> {
+        let r = TraceReader::open(buf).unwrap();
+        r.map(|e| e.unwrap()).collect()
+    }
+
+    #[test]
+    fn empty_trace() {
+        let buf = write_all(&[], 200);
+        assert!(read_all(&buf).is_empty());
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let events = vec![ev(100, b"hello"), ev(100, b"same-ts"), ev(250, b"later")];
+        let buf = write_all(&events, 200);
+        assert_eq!(read_all(&buf), events);
+    }
+
+    #[test]
+    fn roundtrip_multi_block() {
+        // Enough data to force several blocks.
+        let body = vec![0xCDu8; 180];
+        let events: Vec<PhyEvent> = (0..10_000u64).map(|i| ev(i * 37, &body)).collect();
+        let buf = write_all(&events, 200);
+        assert_eq!(read_all(&buf), events);
+    }
+
+    #[test]
+    fn snaplen_truncates() {
+        let events = vec![ev(1, &[0xAA; 500])];
+        let buf = write_all(&events, 64);
+        let got = read_all(&buf);
+        assert_eq!(got[0].bytes.len(), 64);
+        assert_eq!(got[0].wire_len, 500);
+        assert!(!got[0].is_complete());
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let mut w = TraceWriter::create(Vec::new(), meta(), 200).unwrap();
+        w.append(&ev(100, b"a")).unwrap();
+        assert!(matches!(
+            w.append(&ev(99, b"b")),
+            Err(FormatError::OutOfOrder)
+        ));
+    }
+
+    #[test]
+    fn header_validation() {
+        let buf = write_all(&[ev(1, b"x")], 200);
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            TraceReader::open(&bad[..]),
+            Err(FormatError::BadHeader)
+        ));
+        let mut badver = buf.clone();
+        badver[4] = 99;
+        assert!(matches!(
+            TraceReader::open(&badver[..]),
+            Err(FormatError::BadHeader)
+        ));
+    }
+
+    #[test]
+    fn meta_preserved() {
+        let buf = write_all(&[ev(1, b"x")], 123);
+        let r = TraceReader::open(&buf[..]).unwrap();
+        assert_eq!(r.meta(), meta());
+        assert_eq!(r.snaplen(), 123);
+    }
+
+    #[test]
+    fn truncated_file_is_io_error_not_panic() {
+        let buf = write_all(&[ev(1, b"hello world")], 200);
+        for cut in 31..buf.len() {
+            let r = TraceReader::open(&buf[..cut]);
+            match r {
+                Ok(reader) => {
+                    for item in reader {
+                        if item.is_err() {
+                            break;
+                        }
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn index_entries_cover_all_blocks() {
+        let body = vec![1u8; 100];
+        let events: Vec<PhyEvent> = (0..20_000u64).map(|i| ev(i * 10, &body)).collect();
+        let mut w = TraceWriter::create(Vec::new(), meta(), 200).unwrap();
+        for e in &events {
+            w.append(e).unwrap();
+        }
+        let (_, index, _) = w.finish().unwrap();
+        assert!(index.len() > 1, "expected multiple blocks");
+        let total: u64 = index.iter().map(|e| u64::from(e.count)).sum();
+        assert_eq!(total, events.len() as u64);
+        for w in index.windows(2) {
+            assert!(w[0].last_ts <= w[1].first_ts);
+            assert!(w[0].offset < w[1].offset);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn proptest_roundtrip(
+            deltas in proptest::collection::vec(0u64..100_000, 0..200),
+            sizes in proptest::collection::vec(1usize..256, 0..200),
+        ) {
+            let mut ts = 0u64;
+            let events: Vec<PhyEvent> = deltas.iter().zip(sizes.iter().cycle()).map(|(d, &s)| {
+                ts += d;
+                ev(ts, &vec![(s % 251) as u8; s])
+            }).collect();
+            let buf = write_all(&events, 1024);
+            prop_assert_eq!(read_all(&buf), events);
+        }
+    }
+}

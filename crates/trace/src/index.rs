@@ -1,0 +1,148 @@
+//! The metadata index written alongside each trace file.
+//!
+//! jigdump "generates a metadata index record to facilitate subsequent
+//! accesses" (paper §3.3): one entry per compressed block, giving the block's
+//! byte offset and its time span, so the merger can start reading a day-long
+//! trace at 11 am without decompressing the morning.
+
+use crate::varint::{put_uvarint, read_uvarint};
+use std::io::{self, Read, Write};
+
+/// Magic for index files.
+pub const INDEX_MAGIC: [u8; 4] = *b"JIGX";
+
+/// One index entry describing one compressed block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Byte offset of the block header within the data file.
+    pub offset: u64,
+    /// Local timestamp of the first event in the block.
+    pub first_ts: u64,
+    /// Local timestamp of the last event in the block.
+    pub last_ts: u64,
+    /// Number of events in the block.
+    pub count: u32,
+}
+
+/// Writes an index (delta-encoded varints) to `sink`.
+pub fn write_index<W: Write>(mut sink: W, entries: &[IndexEntry]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(entries.len() * 8 + 16);
+    buf.extend_from_slice(&INDEX_MAGIC);
+    put_uvarint(&mut buf, entries.len() as u64);
+    let (mut po, mut pt) = (0u64, 0u64);
+    for e in entries {
+        put_uvarint(&mut buf, e.offset - po);
+        put_uvarint(&mut buf, e.first_ts - pt);
+        put_uvarint(&mut buf, e.last_ts - e.first_ts);
+        put_uvarint(&mut buf, u64::from(e.count));
+        po = e.offset;
+        pt = e.first_ts;
+    }
+    sink.write_all(&buf)
+}
+
+/// Reads an index written by [`write_index`].
+pub fn read_index<R: Read>(mut source: R) -> io::Result<Vec<IndexEntry>> {
+    let mut magic = [0u8; 4];
+    source.read_exact(&mut magic)?;
+    if magic != INDEX_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index magic"));
+    }
+    let n = read_uvarint(&mut source)?;
+    if n > 100_000_000 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "index too large"));
+    }
+    let mut entries = Vec::with_capacity(n as usize);
+    let (mut po, mut pt) = (0u64, 0u64);
+    for _ in 0..n {
+        let offset = po + read_uvarint(&mut source)?;
+        let first_ts = pt + read_uvarint(&mut source)?;
+        let last_ts = first_ts + read_uvarint(&mut source)?;
+        let count = read_uvarint(&mut source)? as u32;
+        entries.push(IndexEntry {
+            offset,
+            first_ts,
+            last_ts,
+            count,
+        });
+        po = offset;
+        pt = first_ts;
+    }
+    Ok(entries)
+}
+
+/// Finds the first block that may contain events at or after `ts`
+/// (the block to start decoding from), or `None` if `ts` is past the end.
+pub fn find_block(entries: &[IndexEntry], ts: u64) -> Option<usize> {
+    if entries.is_empty() {
+        return None;
+    }
+    // First block whose last_ts >= ts.
+    let idx = entries.partition_point(|e| e.last_ts < ts);
+    if idx == entries.len() {
+        None
+    } else {
+        Some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<IndexEntry> {
+        vec![
+            IndexEntry {
+                offset: 14,
+                first_ts: 0,
+                last_ts: 999,
+                count: 100,
+            },
+            IndexEntry {
+                offset: 5_000,
+                first_ts: 1_000,
+                last_ts: 1_999,
+                count: 120,
+            },
+            IndexEntry {
+                offset: 11_000,
+                first_ts: 2_500,
+                last_ts: 8_000,
+                count: 7,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let entries = sample();
+        let mut buf = Vec::new();
+        write_index(&mut buf, &entries).unwrap();
+        assert_eq!(read_index(&buf[..]).unwrap(), entries);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let mut buf = Vec::new();
+        write_index(&mut buf, &[]).unwrap();
+        assert!(read_index(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic() {
+        assert!(read_index(&b"NOPE"[..]).is_err());
+    }
+
+    #[test]
+    fn find_block_semantics() {
+        let entries = sample();
+        assert_eq!(find_block(&entries, 0), Some(0));
+        assert_eq!(find_block(&entries, 999), Some(0));
+        assert_eq!(find_block(&entries, 1_000), Some(1));
+        // Falls in the gap between block 1 and 2 → block 2 holds later data.
+        assert_eq!(find_block(&entries, 2_200), Some(2));
+        assert_eq!(find_block(&entries, 8_000), Some(2));
+        assert_eq!(find_block(&entries, 8_001), None);
+        assert_eq!(find_block(&[], 0), None);
+    }
+}

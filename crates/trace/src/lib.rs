@@ -1,0 +1,198 @@
+//! # jigsaw-trace
+//!
+//! The capture-side data model of the Jigsaw system: per-radio PHY event
+//! records and the *jigdump*-style storage pipeline (paper §3.3).
+//!
+//! The real system runs a `jigdump` process per radio that pulls PHY event
+//! records from a modified MadWifi driver — **all** events, including
+//! corrupted frames and PHY errors, with 1 µs Atheros timestamps —
+//! compresses them (LZO) and streams them over NFS with a metadata index.
+//! This crate reproduces that contract:
+//!
+//! * [`PhyEvent`] — one reception at one radio: local timestamp, channel,
+//!   PLCP rate, RSSI, FCS/PHY status, true wire length, and captured bytes
+//!   (possibly snap-truncated, like jigdump's ~200-byte window);
+//! * [`mod@format`] — a compact binary trace format: delta/varint encoded
+//!   records in independently decodable compressed blocks;
+//! * [`compress`] — an LZ77-family codec implemented in-repo (stand-in for
+//!   LZO, which is not in the approved dependency set);
+//! * [`index`] — the per-block metadata index jigdump writes alongside data
+//!   files so the merger can seek by time;
+//! * [`stream`] — time-sorted event streams consumed by the merger, from
+//!   memory or from disk;
+//! * [`pcap`] — classic-pcap export (LINKTYPE_IEEE802_11) for interop with
+//!   wireshark/tcpdump tooling.
+
+pub mod compress;
+pub mod format;
+pub mod index;
+pub mod pcap;
+pub mod stream;
+pub mod varint;
+
+use jigsaw_ieee80211::{Channel, Micros, PhyRate};
+
+/// Dense identifier of a single radio (one of the 156 in the full build-out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RadioId(pub u16);
+
+impl RadioId {
+    /// The radio id as a usize index.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl std::fmt::Display for RadioId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Dense identifier of a monitor (a Soekris board driving two radios that
+/// share one local clock — the property §4.1 exploits to bridge channels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MonitorId(pub u16);
+
+impl MonitorId {
+    /// The monitor id as a usize index.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl std::fmt::Display for MonitorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Static description of one radio: who owns it, where it listens, and the
+/// NTP wall-clock anchor of its trace. The merger consumes a table of these
+/// alongside the traces.
+///
+/// The anchor reproduces paper footnote 4: each monitor keeps its *system*
+/// clock within milliseconds via NTP and records it in the trace, giving a
+/// coarse mapping from the free-running radio clock to wall time. Jigsaw
+/// uses it only to delimit the "first second" bootstrap window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RadioMeta {
+    /// The radio.
+    pub radio: RadioId,
+    /// The monitor whose clock timestamps this radio's events.
+    pub monitor: MonitorId,
+    /// The channel the radio is tuned to.
+    pub channel: Channel,
+    /// NTP wall-clock µs at the trace start (±ms NTP error).
+    pub anchor_wall_us: u64,
+    /// The radio's local clock value at the same instant.
+    pub anchor_local_us: u64,
+}
+
+/// Reception quality of a PHY event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhyStatus {
+    /// Frame decoded completely and the FCS verified.
+    Ok,
+    /// Frame decoded (PLCP locked, length known) but the FCS failed —
+    /// contents are partially or wholly corrupt.
+    FcsError,
+    /// The radio saw energy / a preamble but could not decode a frame at
+    /// all (too weak, collision, microwave burst, foreign modulation).
+    PhyError,
+}
+
+impl PhyStatus {
+    /// True when the captured bytes are trustworthy end-to-end.
+    pub fn is_ok(self) -> bool {
+        matches!(self, PhyStatus::Ok)
+    }
+
+    /// Compact code for serialization.
+    pub fn code(self) -> u8 {
+        match self {
+            PhyStatus::Ok => 0,
+            PhyStatus::FcsError => 1,
+            PhyStatus::PhyError => 2,
+        }
+    }
+
+    /// Decodes [`PhyStatus::code`].
+    pub fn from_code(c: u8) -> Option<Self> {
+        match c {
+            0 => Some(PhyStatus::Ok),
+            1 => Some(PhyStatus::FcsError),
+            2 => Some(PhyStatus::PhyError),
+            _ => None,
+        }
+    }
+}
+
+/// One PHY event at one radio — the atom of the entire Jigsaw pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhyEvent {
+    /// Which radio captured this event.
+    pub radio: RadioId,
+    /// Local clock of the owning monitor at reception, µs (1 µs resolution,
+    /// includes that monitor's offset/skew/drift — *not* universal time).
+    pub ts_local: Micros,
+    /// Channel the radio was tuned to.
+    pub channel: Channel,
+    /// PLCP-decoded rate (for [`PhyStatus::PhyError`] this is the radio's
+    /// best guess and carries no information).
+    pub rate: PhyRate,
+    /// Received signal strength, dBm (negative).
+    pub rssi_dbm: i16,
+    /// Decode quality.
+    pub status: PhyStatus,
+    /// True frame length on the air, bytes incl. FCS (from the PLCP header,
+    /// known even when the body is corrupt; 0 for pure PHY errors).
+    pub wire_len: u32,
+    /// Captured bytes (≤ snap length; equal to `wire_len` when complete).
+    pub bytes: Vec<u8>,
+}
+
+impl PhyEvent {
+    /// True if the full frame body was captured (no snap truncation).
+    pub fn is_complete(&self) -> bool {
+        self.bytes.len() as u32 == self.wire_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_roundtrip() {
+        for s in [PhyStatus::Ok, PhyStatus::FcsError, PhyStatus::PhyError] {
+            assert_eq!(PhyStatus::from_code(s.code()), Some(s));
+        }
+        assert_eq!(PhyStatus::from_code(9), None);
+    }
+
+    #[test]
+    fn completeness() {
+        let ev = PhyEvent {
+            radio: RadioId(3),
+            ts_local: 17,
+            channel: Channel::of(6),
+            rate: PhyRate::R11,
+            rssi_dbm: -60,
+            status: PhyStatus::Ok,
+            wire_len: 4,
+            bytes: vec![1, 2, 3, 4],
+        };
+        assert!(ev.is_complete());
+        let mut snapped = ev.clone();
+        snapped.bytes.truncate(2);
+        assert!(!snapped.is_complete());
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(RadioId(15).to_string(), "r15");
+        assert_eq!(MonitorId(7).to_string(), "m7");
+        assert_eq!(RadioId(15).index(), 15);
+    }
+}

@@ -1,0 +1,122 @@
+//! Classic-pcap export (LINKTYPE_IEEE802_11 = 105).
+//!
+//! Jigsaw's merged output is a custom structure, but individual radio traces
+//! and merged frame streams are more useful to operators when they can open
+//! them in wireshark/tcpdump. Only FCS-valid, fully captured frames are
+//! exportable losslessly; corrupt/snapped captures are exported with their
+//! captured length < original length, exactly as pcap's `incl_len < orig_len`
+//! convention intends.
+
+use crate::PhyEvent;
+use std::io::{self, Write};
+
+/// LINKTYPE_IEEE802_11: 802.11 frames without radiotap.
+pub const LINKTYPE_IEEE802_11: u32 = 105;
+
+/// Writes pcap frames with microsecond timestamps.
+pub struct PcapWriter<W: Write> {
+    sink: W,
+    frames: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Creates a writer and emits the global header.
+    pub fn create(mut sink: W) -> io::Result<Self> {
+        sink.write_all(&0xa1b2c3d4u32.to_le_bytes())?; // magic (µs timestamps)
+        sink.write_all(&2u16.to_le_bytes())?; // version major
+        sink.write_all(&4u16.to_le_bytes())?; // version minor
+        sink.write_all(&0i32.to_le_bytes())?; // thiszone
+        sink.write_all(&0u32.to_le_bytes())?; // sigfigs
+        sink.write_all(&65535u32.to_le_bytes())?; // snaplen
+        sink.write_all(&LINKTYPE_IEEE802_11.to_le_bytes())?;
+        Ok(PcapWriter { sink, frames: 0 })
+    }
+
+    /// Writes one raw 802.11 frame with an explicit timestamp (µs since
+    /// an arbitrary epoch) and true on-air length.
+    pub fn write_frame(&mut self, ts_us: u64, bytes: &[u8], orig_len: u32) -> io::Result<()> {
+        let sec = (ts_us / 1_000_000) as u32;
+        let usec = (ts_us % 1_000_000) as u32;
+        self.sink.write_all(&sec.to_le_bytes())?;
+        self.sink.write_all(&usec.to_le_bytes())?;
+        self.sink.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&orig_len.max(bytes.len() as u32).to_le_bytes())?;
+        self.sink.write_all(bytes)?;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Writes a captured PHY event (frame-bearing events only — pure PHY
+    /// errors carry no bytes and are skipped; returns whether written).
+    pub fn write_event(&mut self, ev: &PhyEvent) -> io::Result<bool> {
+        if ev.bytes.is_empty() {
+            return Ok(false);
+        }
+        self.write_frame(ev.ts_local, &ev.bytes, ev.wire_len)?;
+        Ok(true)
+    }
+
+    /// Frames written so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Flushes and returns the sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PhyStatus, RadioId};
+    use jigsaw_ieee80211::{Channel, PhyRate};
+
+    #[test]
+    fn header_and_record_layout() {
+        let mut w = PcapWriter::create(Vec::new()).unwrap();
+        w.write_frame(3_000_007, &[1, 2, 3, 4], 10).unwrap();
+        assert_eq!(w.frames(), 1);
+        let buf = w.finish().unwrap();
+        assert_eq!(buf.len(), 24 + 16 + 4);
+        // magic
+        assert_eq!(&buf[0..4], &0xa1b2c3d4u32.to_le_bytes());
+        // linktype at offset 20
+        assert_eq!(&buf[20..24], &105u32.to_le_bytes());
+        // ts_sec = 3, ts_usec = 7
+        assert_eq!(&buf[24..28], &3u32.to_le_bytes());
+        assert_eq!(&buf[28..32], &7u32.to_le_bytes());
+        // incl_len = 4, orig_len = 10
+        assert_eq!(&buf[32..36], &4u32.to_le_bytes());
+        assert_eq!(&buf[36..40], &10u32.to_le_bytes());
+        assert_eq!(&buf[40..44], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn phy_errors_skipped() {
+        let mut w = PcapWriter::create(Vec::new()).unwrap();
+        let ev = PhyEvent {
+            radio: RadioId(0),
+            ts_local: 5,
+            channel: Channel::of(1),
+            rate: PhyRate::R1,
+            rssi_dbm: -90,
+            status: PhyStatus::PhyError,
+            wire_len: 0,
+            bytes: vec![],
+        };
+        assert!(!w.write_event(&ev).unwrap());
+        assert_eq!(w.frames(), 0);
+    }
+
+    #[test]
+    fn orig_len_never_below_incl_len() {
+        let mut w = PcapWriter::create(Vec::new()).unwrap();
+        // A buggy caller passes orig_len 0; the writer clamps.
+        w.write_frame(0, &[9; 8], 0).unwrap();
+        let buf = w.finish().unwrap();
+        assert_eq!(&buf[36..40], &8u32.to_le_bytes());
+    }
+}

@@ -1,0 +1,185 @@
+//! Time-sorted event streams — the interface between trace storage and the
+//! merger. The bootstrap/unification pipeline consumes one stream per radio
+//! and relies on local-time ordering within each stream (the merger itself
+//! establishes *global* order).
+
+use crate::format::{FormatError, TraceReader};
+use crate::{PhyEvent, RadioMeta};
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+/// A stream of [`PhyEvent`]s in non-decreasing `ts_local` order.
+pub trait EventStream {
+    /// The radio this stream belongs to.
+    fn meta(&self) -> RadioMeta;
+
+    /// Pulls the next event, `Ok(None)` at end of stream.
+    fn next_event(&mut self) -> Result<Option<PhyEvent>, FormatError>;
+}
+
+/// An in-memory stream (tests, synthetic scenarios, online operation).
+pub struct MemoryStream {
+    meta: RadioMeta,
+    events: VecDeque<PhyEvent>,
+}
+
+impl MemoryStream {
+    /// Builds a stream from a vector, verifying time order.
+    ///
+    /// # Panics
+    /// Panics if events are out of `ts_local` order or belong to a different
+    /// radio — these are programmer errors in test/scenario construction.
+    pub fn new(meta: RadioMeta, events: Vec<PhyEvent>) -> Self {
+        for w in events.windows(2) {
+            assert!(
+                w[0].ts_local <= w[1].ts_local,
+                "MemoryStream events must be time-sorted"
+            );
+        }
+        for e in &events {
+            assert_eq!(e.radio, meta.radio, "event radio mismatch");
+        }
+        MemoryStream {
+            meta,
+            events: events.into(),
+        }
+    }
+
+    /// Remaining event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when drained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl EventStream for MemoryStream {
+    fn meta(&self) -> RadioMeta {
+        self.meta
+    }
+
+    fn next_event(&mut self) -> Result<Option<PhyEvent>, FormatError> {
+        Ok(self.events.pop_front())
+    }
+}
+
+/// A stream decoding a jigdump-format trace from any reader.
+pub struct ReaderStream<R: Read> {
+    inner: TraceReader<R>,
+}
+
+impl<R: Read> ReaderStream<R> {
+    /// Wraps a trace reader.
+    pub fn new(inner: TraceReader<R>) -> Self {
+        ReaderStream { inner }
+    }
+}
+
+impl<R: Read> EventStream for ReaderStream<R> {
+    fn meta(&self) -> RadioMeta {
+        self.inner.meta()
+    }
+
+    fn next_event(&mut self) -> Result<Option<PhyEvent>, FormatError> {
+        self.inner.next_event()
+    }
+}
+
+/// Opens a trace file from disk as a buffered stream.
+pub fn open_file(path: &Path) -> Result<ReaderStream<BufReader<File>>, FormatError> {
+    let f = File::open(path)?;
+    Ok(ReaderStream::new(TraceReader::open(BufReader::new(f))?))
+}
+
+/// A boxed stream, letting the pipeline mix sources.
+pub type BoxedStream = Box<dyn EventStream + Send>;
+
+impl EventStream for BoxedStream {
+    fn meta(&self) -> RadioMeta {
+        (**self).meta()
+    }
+
+    fn next_event(&mut self) -> Result<Option<PhyEvent>, FormatError> {
+        (**self).next_event()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceWriter;
+    use crate::{MonitorId, PhyStatus, RadioId};
+    use jigsaw_ieee80211::{Channel, PhyRate};
+
+    fn meta() -> RadioMeta {
+        RadioMeta {
+            radio: RadioId(0),
+            monitor: MonitorId(0),
+            channel: Channel::of(1),
+            anchor_wall_us: 0,
+            anchor_local_us: 0,
+        }
+    }
+
+    fn ev(ts: u64) -> PhyEvent {
+        PhyEvent {
+            radio: RadioId(0),
+            ts_local: ts,
+            channel: Channel::of(1),
+            rate: PhyRate::R2,
+            rssi_dbm: -70,
+            status: PhyStatus::Ok,
+            wire_len: 3,
+            bytes: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn memory_stream_drains_in_order() {
+        let mut s = MemoryStream::new(meta(), vec![ev(1), ev(5), ev(5), ev(9)]);
+        assert_eq!(s.len(), 4);
+        let mut last = 0;
+        while let Some(e) = s.next_event().unwrap() {
+            assert!(e.ts_local >= last);
+            last = e.ts_local;
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-sorted")]
+    fn memory_stream_rejects_unsorted() {
+        MemoryStream::new(meta(), vec![ev(5), ev(1)]);
+    }
+
+    #[test]
+    fn reader_stream_matches_memory() {
+        let events = vec![ev(10), ev(20), ev(30)];
+        let mut w = TraceWriter::create(Vec::new(), meta(), 256).unwrap();
+        for e in &events {
+            w.append(e).unwrap();
+        }
+        let (buf, _, _) = w.finish().unwrap();
+        let mut rs = ReaderStream::new(TraceReader::open(&buf[..]).unwrap());
+        assert_eq!(rs.meta(), meta());
+        let mut got = Vec::new();
+        while let Some(e) = rs.next_event().unwrap() {
+            got.push(e);
+        }
+        assert_eq!(got, events);
+    }
+
+    #[test]
+    fn boxed_stream_works() {
+        let s = MemoryStream::new(meta(), vec![ev(1)]);
+        let mut b: BoxedStream = Box::new(s);
+        assert_eq!(b.meta().radio, RadioId(0));
+        assert!(b.next_event().unwrap().is_some());
+        assert!(b.next_event().unwrap().is_none());
+    }
+}

@@ -1,0 +1,172 @@
+//! LEB128 varints and zigzag signed encoding — the primitive layer of the
+//! trace format.
+
+use std::io::{self, Read};
+
+/// Appends `v` as an unsigned LEB128 varint (1–10 bytes).
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `v` as a zigzag-encoded signed varint.
+pub fn put_ivarint(out: &mut Vec<u8>, v: i64) {
+    put_uvarint(out, zigzag(v));
+}
+
+/// Zigzag encoding: maps small-magnitude signed values to small unsigned.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Reads an unsigned varint from a byte slice, returning `(value, consumed)`.
+pub fn get_uvarint(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &b) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return None; // overflow
+        }
+        let low = u64::from(b & 0x7f);
+        // Guard the final byte against dropping bits off the top.
+        if shift == 63 && low > 1 {
+            return None;
+        }
+        v |= low << shift;
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+    }
+    None // ran out of bytes mid-varint
+}
+
+/// Reads a zigzag signed varint from a byte slice.
+pub fn get_ivarint(buf: &[u8]) -> Option<(i64, usize)> {
+    let (u, n) = get_uvarint(buf)?;
+    Some((unzigzag(u), n))
+}
+
+/// Reads an unsigned varint from an [`io::Read`] (for streaming readers).
+pub fn read_uvarint<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 64 || (shift == 63 && (b & 0x7f) > 1) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflow",
+            ));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_values_one_byte() {
+        for v in 0u64..128 {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+            assert_eq!(get_uvarint(&buf), Some((v, 1)));
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 300);
+        assert_eq!(buf, vec![0xac, 0x02]);
+    }
+
+    #[test]
+    fn max_u64() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+        assert_eq!(get_uvarint(&buf), Some((u64::MAX, 10)));
+    }
+
+    #[test]
+    fn truncated_returns_none() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 1u64 << 40);
+        for cut in 0..buf.len() {
+            assert_eq!(get_uvarint(&buf[..cut]), None);
+        }
+    }
+
+    #[test]
+    fn overlong_rejected() {
+        // 11 continuation bytes is always invalid for u64.
+        let buf = [0xffu8; 11];
+        assert_eq!(get_uvarint(&buf), None);
+    }
+
+    #[test]
+    fn zigzag_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+        assert_eq!(unzigzag(zigzag(i64::MAX)), i64::MAX);
+    }
+
+    #[test]
+    fn reader_interface() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 123456789);
+        put_uvarint(&mut buf, 7);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_uvarint(&mut cursor).unwrap(), 123456789);
+        assert_eq!(read_uvarint(&mut cursor).unwrap(), 7);
+        assert!(read_uvarint(&mut cursor).is_err()); // EOF
+    }
+
+    proptest! {
+        #[test]
+        fn uvarint_roundtrip(v: u64) {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            prop_assert_eq!(get_uvarint(&buf), Some((v, buf.len())));
+        }
+
+        #[test]
+        fn ivarint_roundtrip(v: i64) {
+            let mut buf = Vec::new();
+            put_ivarint(&mut buf, v);
+            prop_assert_eq!(get_ivarint(&buf), Some((v, buf.len())));
+        }
+
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+            let _ = get_uvarint(&bytes);
+            let _ = get_ivarint(&bytes);
+        }
+    }
+}

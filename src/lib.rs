@@ -1,0 +1,40 @@
+//! # jigsaw
+//!
+//! A from-scratch Rust reproduction of **Jigsaw: Solving the Puzzle of
+//! Enterprise 802.11 Analysis** (Cheng, Bellardo, Benkö, Snoeren, Voelker,
+//! Savage — SIGCOMM 2006): building-scale multi-sniffer trace
+//! synchronization, frame unification, and cross-layer reconstruction.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`ieee80211`] — the 802.11b/g frame model (frames, rates, timing, FCS);
+//! * [`packet`] — LLC/SNAP, ARP, IPv4, UDP, TCP carried in data frames;
+//! * [`trace`] — per-radio PHY event records and the jigdump-style format;
+//! * [`sim`] — the discrete-event building simulator standing in for the
+//!   UCSD CSE deployment (39 pods / 156 radios / 44 APs / diurnal clients);
+//! * [`core`] — the paper's contribution: bootstrap synchronization,
+//!   continuous clock management, frame unification, link-layer and
+//!   transport-layer reconstruction, plus baseline mergers;
+//! * [`analysis`] — every table and figure of the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use jigsaw::sim::scenario::ScenarioConfig;
+//! use jigsaw::core::pipeline::{Pipeline, PipelineConfig};
+//!
+//! // Simulate a small building and merge its traces.
+//! let out = ScenarioConfig::tiny(42).run();
+//! let (jframes, exchanges, report) =
+//!     Pipeline::run_collect(out.memory_streams(), &PipelineConfig::default()).unwrap();
+//! assert!(report.merge.jframes_out > 0);
+//! assert!(!jframes.is_empty());
+//! assert!(!exchanges.is_empty());
+//! ```
+
+pub use jigsaw_analysis as analysis;
+pub use jigsaw_core as core;
+pub use jigsaw_ieee80211 as ieee80211;
+pub use jigsaw_packet as packet;
+pub use jigsaw_sim as sim;
+pub use jigsaw_trace as trace;
