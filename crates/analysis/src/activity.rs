@@ -166,10 +166,7 @@ impl ActivityAnalysis {
     pub fn finish(mut self) -> ActivityFigure {
         // Only count as clients things that never beaconed (an AP's FromDS
         // data frames name it in mark_active's AP map already).
-        let n = self
-            .clients_per_bin
-            .len()
-            .max(self.aps_per_bin.len());
+        let n = self.clients_per_bin.len().max(self.aps_per_bin.len());
         self.clients_per_bin.resize_with(n, HashSet::new);
         self.aps_per_bin.resize_with(n, HashSet::new);
         self.fig.active_clients = self
@@ -195,9 +192,8 @@ impl ActivityFigure {
 
     /// Renders the per-bin table.
     pub fn render(&self) -> String {
-        let mut s = String::from(
-            "bin  clients  aps  data_B  mgmt_B  beacon_B  arp_B  bcast_air_frac\n",
-        );
+        let mut s =
+            String::from("bin  clients  aps  data_B  mgmt_B  beacon_B  arp_B  bcast_air_frac\n");
         let bins = self
             .active_clients
             .len()
@@ -251,12 +247,7 @@ mod tests {
         let peak_aps = fig.active_aps.iter().copied().max().unwrap_or(0);
         assert_eq!(peak_aps, 1);
         // Beacons are constant background: every bin has beacon bytes.
-        let beacon_bins = fig
-            .bytes_beacon
-            .bins()
-            .iter()
-            .filter(|&&b| b > 0.0)
-            .count();
+        let beacon_bins = fig.bytes_beacon.bins().iter().filter(|&&b| b > 0.0).count();
         assert!(beacon_bins >= 7, "beacon bins {beacon_bins}");
         // Data flows exist.
         assert!(fig.bytes_data.total() > 0.0);

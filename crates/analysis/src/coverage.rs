@@ -16,8 +16,8 @@
 //!    "visual redundancy" removal.
 
 use crate::stats::Cdf;
-use jigsaw_core::link::exchange::Exchange;
 use jigsaw_core::jframe::JFrame;
+use jigsaw_core::link::exchange::Exchange;
 use jigsaw_ieee80211::fc::FrameControl;
 use jigsaw_ieee80211::{MacAddr, Micros, Subtype};
 use jigsaw_packet::{ipv4::IpPayload, ArpOp, Msdu};
@@ -122,19 +122,12 @@ impl CoverageAnalysis {
             };
             let key = match &rec.msdu {
                 Msdu::Ipv4(ip) => match &ip.payload {
-                    IpPayload::Tcp(t) => PacketKey::Tcp(
-                        ip.src,
-                        t.src_port,
-                        ip.dst,
-                        t.dst_port,
-                        t.seq,
-                        t.payload_len,
-                    ),
+                    IpPayload::Tcp(t) => {
+                        PacketKey::Tcp(ip.src, t.src_port, ip.dst, t.dst_port, t.seq, t.payload_len)
+                    }
                     _ => continue,
                 },
-                Msdu::Arp(a) => {
-                    PacketKey::Arp(a.sender_ip, a.target_ip, a.op == ArpOp::Reply)
-                }
+                Msdu::Arp(a) => PacketKey::Arp(a.sender_ip, a.target_ip, a.op == ArpOp::Reply),
                 Msdu::Other { .. } => continue,
             };
             expected.entry(key).or_default().push(Expected {
@@ -158,8 +151,7 @@ impl CoverageAnalysis {
         if x.subtype != Subtype::Data || x.bytes.len() < 32 {
             return;
         }
-        let Some(fc) = FrameControl::from_u16(u16::from_le_bytes([x.bytes[0], x.bytes[1]]))
-        else {
+        let Some(fc) = FrameControl::from_u16(u16::from_le_bytes([x.bytes[0], x.bytes[1]])) else {
             return;
         };
         if fc.subtype != Subtype::Data {
@@ -175,14 +167,9 @@ impl CoverageAnalysis {
         };
         let key = match &msdu {
             Msdu::Ipv4(ip) => match &ip.payload {
-                IpPayload::Tcp(t) => PacketKey::Tcp(
-                    ip.src,
-                    t.src_port,
-                    ip.dst,
-                    t.dst_port,
-                    t.seq,
-                    t.payload_len,
-                ),
+                IpPayload::Tcp(t) => {
+                    PacketKey::Tcp(ip.src, t.src_port, ip.dst, t.dst_port, t.seq, t.payload_len)
+                }
                 _ => return,
             },
             Msdu::Arp(a) => PacketKey::Arp(a.sender_ip, a.target_ip, a.op == ArpOp::Reply),
@@ -254,7 +241,11 @@ impl CoverageAnalysis {
             client_cdf.add(c.coverage());
         }
         CoverageFigure {
-            overall: if total > 0 { hit as f64 / total as f64 } else { 1.0 },
+            overall: if total > 0 {
+                hit as f64 / total as f64
+            } else {
+                1.0
+            },
             ap_coverage: if ap_total > 0 {
                 ap_hit as f64 / ap_total as f64
             } else {
@@ -303,9 +294,7 @@ pub fn pods_subset(total: usize, keep: usize) -> Vec<usize> {
     if keep == 0 {
         return Vec::new();
     }
-    let mut out: Vec<usize> = (0..keep)
-        .map(|i| i * total / keep)
-        .collect();
+    let mut out: Vec<usize> = (0..keep).map(|i| i * total / keep).collect();
     out.dedup();
     out
 }
@@ -373,7 +362,9 @@ impl OracleCoverage {
         if !jf.valid {
             return;
         }
-        let Some((subtype, ta)) = jf.peek() else { return };
+        let Some((subtype, ta)) = jf.peek() else {
+            return;
+        };
         if subtype == Subtype::Ack {
             // Match the nearest unmatched ACK within the window.
             let mut best: Option<(usize, u64)> = None;

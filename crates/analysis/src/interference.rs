@@ -120,9 +120,10 @@ impl InterferenceAnalysis {
         }
         // Simultaneous transmission: any other transmission overlapping
         // [ts, end_ts] from a different transmitter.
-        let simultaneous = self.recent.iter().any(|&(start, end, tx)| {
-            start < a.end_ts && end > a.ts && tx != Some(s)
-        });
+        let simultaneous = self
+            .recent
+            .iter()
+            .any(|&(start, end, tx)| start < a.end_ts && end > a.ts && tx != Some(s));
         let lost = a.outcome != AttemptOutcome::Acked;
         let c = self.counts.entry((s, r)).or_default();
         c.n += 1;
@@ -180,12 +181,10 @@ impl InterferenceAnalysis {
             x_cdf.add(p.x);
         }
         let total = pairs.len().max(1) as f64;
-        let interfered: Vec<&PairInterference> =
-            pairs.iter().filter(|p| p.pi_raw > 0.0).collect();
+        let interfered: Vec<&PairInterference> = pairs.iter().filter(|p| p.pi_raw > 0.0).collect();
         let frac_with_interference = interfered.len() as f64 / total;
         let frac_truncated = pairs.iter().filter(|p| p.pi_raw < 0.0).count() as f64 / total;
-        let avg_background_loss =
-            pairs.iter().map(|p| p.background_loss).sum::<f64>() / total;
+        let avg_background_loss = pairs.iter().map(|p| p.background_loss).sum::<f64>() / total;
         let ap_senders = interfered
             .iter()
             .filter(|p| self.stations.is_ap(p.sender))

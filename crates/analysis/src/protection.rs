@@ -241,8 +241,7 @@ pub fn throughput_headroom(rate: PhyRate, mss_frame_len: usize) -> f64 {
 impl ProtectionFigure {
     /// Renders the per-bin table.
     pub fn render(&self) -> String {
-        let mut s =
-            String::from("bin  protecting_aps  overprotective  g_on_overprot  g_active\n");
+        let mut s = String::from("bin  protecting_aps  overprotective  g_on_overprot  g_active\n");
         for (b, r) in self.bins.iter().enumerate() {
             s.push_str(&format!(
                 "{b:>4} {:>13} {:>14} {:>13} {:>9}\n",

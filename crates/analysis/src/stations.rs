@@ -49,7 +49,10 @@ impl StationLearner {
 
     /// Inferred capability (Unknown when never classified).
     pub fn capability_of(&self, a: MacAddr) -> Capability {
-        self.capability.get(&a).copied().unwrap_or(Capability::Unknown)
+        self.capability
+            .get(&a)
+            .copied()
+            .unwrap_or(Capability::Unknown)
     }
 
     fn note_rates(&mut self, sta: MacAddr, ies: &[ie::Ie]) {

@@ -149,7 +149,10 @@ impl TraceSummary {
         let mut row = |k: &str, v: String| {
             s.push_str(&format!("{k:<38} {v}\n"));
         };
-        row("Trace duration (s)", format!("{:.1}", self.duration_us as f64 / 1e6));
+        row(
+            "Trace duration (s)",
+            format!("{:.1}", self.duration_us as f64 / 1e6),
+        );
         row("Radios", self.radios.to_string());
         row("Total events", self.events_total.to_string());
         row(
@@ -162,7 +165,10 @@ impl TraceSummary {
         );
         row("Events unified", self.events_unified.to_string());
         row("jframes", self.jframes.to_string());
-        row("Events per valid jframe", format!("{:.2}", self.events_per_jframe));
+        row(
+            "Events per valid jframe",
+            format!("{:.2}", self.events_per_jframe),
+        );
         row("Data frames", self.data_frames.to_string());
         row("Management frames", self.mgmt_frames.to_string());
         row("Control frames", self.ctrl_frames.to_string());

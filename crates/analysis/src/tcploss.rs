@@ -107,8 +107,16 @@ mod tests {
             covered_holes: 0,
             ambiguous_resolved: 0,
             rtt_mean_us: Some(20_000.0),
-            loss_rate: if segs > 0 { losses as f64 / segs as f64 } else { 0.0 },
-            wireless_fraction: if losses > 0 { wl as f64 / losses as f64 } else { 0.0 },
+            loss_rate: if segs > 0 {
+                losses as f64 / segs as f64
+            } else {
+                0.0
+            },
+            wireless_fraction: if losses > 0 {
+                wl as f64 / losses as f64
+            } else {
+                0.0
+            },
         }
     }
 
@@ -138,9 +146,7 @@ mod tests {
 
     #[test]
     fn quantiles_ordered() {
-        let flows: Vec<FlowRecord> = (0..50)
-            .map(|k| flow(true, 100, k % 7, k % 3))
-            .collect();
+        let flows: Vec<FlowRecord> = (0..50).map(|k| flow(true, 100, k % 7, k % 3)).collect();
         let mut fig = tcp_loss_figure(&flows);
         let q50 = fig.loss_cdf.quantile(0.5).unwrap();
         let q90 = fig.loss_cdf.quantile(0.9).unwrap();

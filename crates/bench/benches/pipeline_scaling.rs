@@ -56,8 +56,7 @@ fn bench_trace_io(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("encode", |b| {
         b.iter(|| {
-            let mut w =
-                jigsaw_trace::format::TraceWriter::create(Vec::new(), meta, 260).unwrap();
+            let mut w = jigsaw_trace::format::TraceWriter::create(Vec::new(), meta, 260).unwrap();
             for e in events {
                 w.append(e).unwrap();
             }

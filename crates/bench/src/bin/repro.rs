@@ -1,9 +1,12 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--seed N] [--scale F] [all|table1|fig4|fig6|fig7|fig8|fig9|
+//! repro [--seed N] [--scale F] [all|smoke|table1|fig4|fig6|fig7|fig8|fig9|
 //!        fig10|fig11|link-stats|coverage-oracle|ablations|baselines]
 //! ```
+//!
+//! `smoke` is the CI entry point: a seconds-long `ScenarioConfig::tiny`
+//! run through the full pipeline, failing loudly if anything degenerates.
 //!
 //! Each subcommand simulates the building (or reuses the shared run in
 //! `all` mode), pushes the traces through the Jigsaw pipeline, and prints
@@ -75,8 +78,12 @@ fn simulate(seed: u64, scale: f64) -> SimOutput {
     );
     eprintln!(
         "[sim] queue_drops {} retry_failures {} wired_losses {} frames {} tcp_rto {} tcp_fast {}",
-        out.stats.queue_drops, out.stats.retry_failures, out.stats.wired_losses,
-        out.stats.frames_transmitted, out.stats.tcp_rto_retx, out.stats.tcp_fast_retx
+        out.stats.queue_drops,
+        out.stats.retry_failures,
+        out.stats.wired_losses,
+        out.stats.frames_transmitted,
+        out.stats.tcp_rto_retx,
+        out.stats.tcp_fast_retx
     );
     out
 }
@@ -88,6 +95,7 @@ fn main() {
         "table1" | "fig4" | "fig8" | "fig9" | "fig10" | "fig11" | "fig6" | "link-stats" => {
             run_main_trace(args.seed, args.scale, Some(args.cmd.as_str()))
         }
+        "smoke" => run_smoke(args.seed),
         "fig7" => run_fig7(args.seed, args.scale),
         "coverage-oracle" => run_oracle(args.seed, args.scale),
         "ablations" => run_ablations(args.seed, args.scale),
@@ -120,8 +128,7 @@ fn run_main_trace(seed: u64, scale: f64, only: Option<&str>) {
     // Shared between the jframe and attempt sinks.
     let interference = std::cell::RefCell::new(InterferenceAnalysis::new());
     let mut protection = ProtectionAnalysis::new(0, bin, practical_timeout.max(1));
-    let ap_addrs: Vec<jigsaw_ieee80211::MacAddr> =
-        out.stations.iter().map(|s| s.addr).collect();
+    let ap_addrs: Vec<jigsaw_ieee80211::MacAddr> = out.stations.iter().map(|s| s.addr).collect();
     let ap_lookup = move |sid: u16| ap_addrs[usize::from(sid)];
     let mut coverage = CoverageAnalysis::new(&out.wired, &ap_lookup, 10_000_000);
 
@@ -240,8 +247,7 @@ fn run_main_trace(seed: u64, scale: f64, only: Option<&str>) {
 fn run_fig7(seed: u64, scale: f64) {
     banner("FIGURE 7 — coverage vs number of sensor pods (paper §6)");
     let out = simulate(seed, scale);
-    let ap_addrs: Vec<jigsaw_ieee80211::MacAddr> =
-        out.stations.iter().map(|s| s.addr).collect();
+    let ap_addrs: Vec<jigsaw_ieee80211::MacAddr> = out.stations.iter().map(|s| s.addr).collect();
     println!("pods  radios  bootstrap_components  ap_coverage  client_coverage");
     for keep in [39usize, 30, 20, 10] {
         let pods = pods_subset(39, keep);
@@ -345,13 +351,8 @@ fn run_ablations(seed: u64, scale: f64) {
             ..PipelineConfig::default()
         };
         let mut disp = DispersionAnalysis::new();
-        let report = Pipeline::run(
-            out.memory_streams(),
-            &cfg,
-            |jf| disp.observe(jf),
-            |_| {},
-        )
-        .expect("pipeline");
+        let report = Pipeline::run(out.memory_streams(), &cfg, |jf| disp.observe(jf), |_| {})
+            .expect("pipeline");
         let mut fig = disp.finish();
         println!(
             "{name:<22} {:>9} {:>9.2} {:>8.0} {:>9.0} {:>8}",
@@ -362,6 +363,37 @@ fn run_ablations(seed: u64, scale: f64) {
             report.merge.resyncs,
         );
     }
+}
+
+/// CI smoke: the tiny scenario through the whole sim → merge → analysis
+/// path in a few seconds, with hard failures on degenerate output.
+fn run_smoke(seed: u64) {
+    banner("SMOKE — ScenarioConfig::tiny through the full pipeline");
+    let t0 = Instant::now();
+    let out = jigsaw_sim::scenario::ScenarioConfig::tiny(seed).run();
+    let events = out.total_events();
+    let mut exchanges = 0u64;
+    let report = Pipeline::run(
+        out.memory_streams(),
+        &PipelineConfig::default(),
+        |_| {},
+        |_| exchanges += 1,
+    )
+    .expect("pipeline");
+    println!(
+        "events {events}  jframes {}  exchanges {exchanges}  flows {}  elapsed {:.1?}",
+        report.merge.jframes_out,
+        report.flows.len(),
+        t0.elapsed()
+    );
+    assert!(events > 0, "simulation produced no capture events");
+    assert!(report.merge.jframes_out > 0, "merger produced no jframes");
+    assert!(exchanges > 0, "link layer reconstructed no exchanges");
+    assert_eq!(
+        report.merge.events_in, events,
+        "merger dropped events on the floor"
+    );
+    println!("smoke OK");
 }
 
 /// Baseline mergers vs Jigsaw.
@@ -418,7 +450,9 @@ fn run_baselines(seed: u64, scale: f64) {
         "naive   {events:>8} {:>8} {:>12} {:>12} {naive_t:>9.1?}",
         naive_stats.jframes_out, naive_stats.instances_unified, "n/a",
     );
-    println!("(naive merging cannot unify duplicates across unsynchronized clocks: jframes ≈ events)");
+    println!(
+        "(naive merging cannot unify duplicates across unsynchronized clocks: jframes ≈ events)"
+    );
 }
 
 // (diagnostics appended during bring-up; kept: it prints with fig11)

@@ -50,9 +50,7 @@ pub fn subset_streams(
 ) -> Vec<jigsaw_trace::stream::MemoryStream> {
     radios
         .iter()
-        .map(|&r| {
-            jigsaw_trace::stream::MemoryStream::new(out.radio_meta[r], out.traces[r].clone())
-        })
+        .map(|&r| jigsaw_trace::stream::MemoryStream::new(out.radio_meta[r], out.traces[r].clone()))
         .collect()
 }
 

@@ -138,9 +138,7 @@ pub fn yeo_merge<S: EventStream>(
     let mut prefixes: Vec<Vec<PhyEvent>> = Vec::with_capacity(streams.len());
     for s in streams.iter_mut() {
         let meta = s.meta();
-        let hi = meta
-            .anchor_local_us
-            .saturating_add(bootstrap_cfg.window_us);
+        let hi = meta.anchor_local_us.saturating_add(bootstrap_cfg.window_us);
         let mut prefix = Vec::new();
         while let Some(ev) = s.next_event()? {
             let stop = ev.ts_local > hi;

@@ -218,12 +218,7 @@ impl AttemptAssembler {
 
     /// Common tail for parsed and loosely-recovered data frames.
     #[allow(clippy::too_many_arguments)]
-    fn queue_or_emit(
-        &mut self,
-        attempt: Attempt,
-        duration: u16,
-        out: &mut Vec<Attempt>,
-    ) {
+    fn queue_or_emit(&mut self, attempt: Attempt, duration: u16, out: &mut Vec<Attempt>) {
         if attempt.protected {
             self.stats.protected += 1;
         }
@@ -444,7 +439,11 @@ mod tests {
         let data_end = dj.end_ts();
         asm.push(&dj, &mut out);
         assert!(out.is_empty(), "attempt must wait for the ACK window");
-        let aj = jframe_of(&ack_to(MacAddr::local(3, 7)), data_end + SIFS_US + 5, PhyRate::R2);
+        let aj = jframe_of(
+            &ack_to(MacAddr::local(3, 7)),
+            data_end + SIFS_US + 5,
+            PhyRate::R2,
+        );
         asm.push(&aj, &mut out);
         assert_eq!(out.len(), 1);
         let a = &out[0];
@@ -462,7 +461,11 @@ mod tests {
         let d = data_frame(6, false, PhyRate::R11);
         asm.push(&jframe_of(&d, 10_000, PhyRate::R11), &mut out);
         // A later unrelated frame pushes time past the deadline.
-        let far = jframe_of(&data_frame(1000, false, PhyRate::R11), 200_000, PhyRate::R11);
+        let far = jframe_of(
+            &data_frame(1000, false, PhyRate::R11),
+            200_000,
+            PhyRate::R11,
+        );
         asm.push(&far, &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].outcome, AttemptOutcome::NoAckSeen);
@@ -553,7 +556,11 @@ mod tests {
         let dj = jframe_of(&d, 10_000, PhyRate::R11);
         asm.push(&dj, &mut out);
         // ACK addressed to someone else entirely.
-        let aj = jframe_of(&ack_to(MacAddr::local(5, 5)), dj.end_ts() + SIFS_US, PhyRate::R2);
+        let aj = jframe_of(
+            &ack_to(MacAddr::local(5, 5)),
+            dj.end_ts() + SIFS_US,
+            PhyRate::R2,
+        );
         asm.push(&aj, &mut out);
         // That ACK spawns an inferred attempt; our data is still pending.
         assert_eq!(out.len(), 1);

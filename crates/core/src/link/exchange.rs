@@ -162,7 +162,12 @@ impl ExchangeAssembler {
 
         match self.open.remove(&t) {
             None => {
-                self.open.insert(t, OpenExchange { x: exchange_from(&a, delivery_of(&a)) });
+                self.open.insert(
+                    t,
+                    OpenExchange {
+                        x: exchange_from(&a, delivery_of(&a)),
+                    },
+                );
             }
             Some(mut o) => {
                 let same = match (a.seq, o.x.seq) {
@@ -189,8 +194,12 @@ impl ExchangeAssembler {
                         self.stats.seq_gaps += 1;
                     }
                     self.close(o, out);
-                    self.open
-                        .insert(t, OpenExchange { x: exchange_from(&a, delivery_of(&a)) });
+                    self.open.insert(
+                        t,
+                        OpenExchange {
+                            x: exchange_from(&a, delivery_of(&a)),
+                        },
+                    );
                 }
             }
         }
@@ -260,7 +269,9 @@ fn exchange_from(a: &Attempt, delivery: DeliveryStatus) -> Exchange {
 
 fn merge_attempt(x: &mut Exchange, a: &Attempt) {
     x.attempts = x.attempts.saturating_add(1);
-    x.inferred_attempts = x.inferred_attempts.saturating_add(u8::from(a.inferred_data));
+    x.inferred_attempts = x
+        .inferred_attempts
+        .saturating_add(u8::from(a.inferred_data));
     x.last_end = x.last_end.max(a.end_ts);
     x.last_rate = a.rate;
     x.protected |= a.protected;
@@ -326,7 +337,13 @@ mod tests {
 
     #[test]
     fn single_acked_attempt_single_exchange() {
-        let (out, stats) = run(vec![attempt(1, Some(10), 1_000, AttemptOutcome::Acked, false)]);
+        let (out, stats) = run(vec![attempt(
+            1,
+            Some(10),
+            1_000,
+            AttemptOutcome::Acked,
+            false,
+        )]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].attempts, 1);
         assert_eq!(out[0].delivery, DeliveryStatus::Delivered);

@@ -105,20 +105,13 @@ impl Pipeline {
         let mut prefixes: Vec<Vec<PhyEvent>> = Vec::with_capacity(streams.len());
         for s in streams.iter_mut() {
             let meta = s.meta();
-            let hi = meta
-                .anchor_local_us
-                .saturating_add(cfg.bootstrap.window_us);
+            let hi = meta.anchor_local_us.saturating_add(cfg.bootstrap.window_us);
             let mut prefix = Vec::new();
-            loop {
-                match s.next_event()? {
-                    Some(ev) => {
-                        let stop = ev.ts_local > hi;
-                        prefix.push(ev);
-                        if stop {
-                            break;
-                        }
-                    }
-                    None => break,
+            while let Some(ev) = s.next_event()? {
+                let stop = ev.ts_local > hi;
+                prefix.push(ev);
+                if stop {
+                    break;
                 }
             }
             prefixes.push(prefix);

@@ -118,13 +118,13 @@ pub fn content_key(ev: &PhyEvent) -> u64 {
     h
 }
 
-struct DSU {
+struct Dsu {
     parent: Vec<usize>,
 }
 
-impl DSU {
+impl Dsu {
     fn new(n: usize) -> Self {
-        DSU {
+        Dsu {
             parent: (0..n).collect(),
         }
     }
@@ -191,14 +191,13 @@ pub fn bootstrap(
     //    the largest sets that still merge components (Kruskal-style, which
     //    both maximizes overlap and minimizes the number of distinct
     //    reference frames, as §4.1 prescribes).
-    let mut dsu = DSU::new(n);
+    let mut dsu = Dsu::new(n);
     // adjacency: edges (a, b, delta) with offset_b = offset_a + delta.
     let mut adj: Vec<Vec<(usize, i64)>> = vec![Vec::new(); n];
     let mut by_monitor: HashMap<u16, usize> = HashMap::new();
     for (r, m) in metas.iter().enumerate() {
         if let Some(&other) = by_monitor.get(&m.monitor.0) {
-            let delta =
-                metas[r].anchor_local_us as i64 - metas[other].anchor_local_us as i64;
+            let delta = metas[r].anchor_local_us as i64 - metas[other].anchor_local_us as i64;
             adj[other].push((r, delta));
             adj[r].push((other, -delta));
             dsu.union(other, r);
@@ -217,9 +216,7 @@ pub fn bootstrap(
 
     let mut sets_used = 0usize;
     for set in set_list {
-        let spans_new = set
-            .windows(2)
-            .any(|w| dsu.find(w[0].0) != dsu.find(w[1].0));
+        let spans_new = set.windows(2).any(|w| dsu.find(w[0].0) != dsu.find(w[1].0));
         if !spans_new {
             continue;
         }
@@ -244,17 +241,14 @@ pub fn bootstrap(
             continue;
         }
         components += 1;
-        let root_offset =
-            metas[start].anchor_local_us as i64 - metas[start].anchor_wall_us as i64;
+        let root_offset = metas[start].anchor_local_us as i64 - metas[start].anchor_wall_us as i64;
         let is_coarse_component = components > 1;
         offsets[start] = root_offset;
         assigned[start] = true;
         coarse[start] = is_coarse_component;
         let mut queue = std::collections::VecDeque::from([start]);
         while let Some(u) = queue.pop_front() {
-            // Indexing adj[u] each iteration appeases the borrow checker.
-            for k in 0..adj[u].len() {
-                let (v, delta) = adj[u][k];
+            for &(v, delta) in &adj[u] {
                 if assigned[v] {
                     continue;
                 }
@@ -331,10 +325,7 @@ mod tests {
         // frame arrives.
         let metas = vec![meta(0, 0, 1, 0), meta(1, 1, 1, 5_000)];
         let f = data_frame_bytes(1);
-        let prefixes = vec![
-            vec![ev(0, 100, 1, f.clone())],
-            vec![ev(1, 5_100, 1, f)],
-        ];
+        let prefixes = vec![vec![ev(0, 100, 1, f.clone())], vec![ev(1, 5_100, 1, f)]];
         let rep = bootstrap(&metas, &prefixes, &BootstrapConfig::default()).unwrap();
         assert_eq!(rep.components, 1);
         // universal(0, 100) == universal(1, 5100):
@@ -460,10 +451,7 @@ mod tests {
         let metas = vec![meta(0, 0, 1, 0), meta(1, 1, 1, 0)];
         let f = data_frame_bytes(1);
         // Radio 1's instance is 2 s past its anchor: outside the window.
-        let prefixes = vec![
-            vec![ev(0, 100, 1, f.clone())],
-            vec![ev(1, 2_000_100, 1, f)],
-        ];
+        let prefixes = vec![vec![ev(0, 100, 1, f.clone())], vec![ev(1, 2_000_100, 1, f)]];
         let rep = bootstrap(&metas, &prefixes, &BootstrapConfig::default()).unwrap();
         assert_eq!(rep.components, 2);
     }

@@ -18,9 +18,9 @@
 
 use crate::link::exchange::{DeliveryStatus, Exchange};
 use jigsaw_ieee80211::fc::FrameControl;
-use jigsaw_ieee80211::{Micros, Subtype};
 #[cfg(test)]
 use jigsaw_ieee80211::MacAddr;
+use jigsaw_ieee80211::{Micros, Subtype};
 use jigsaw_packet::{ipv4::IpPayload, Msdu, TcpSegment};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -233,8 +233,7 @@ impl TransportAnalyzer {
         let Some((src_ip, dst_ip, seg)) = Self::tcp_of(x) else {
             return;
         };
-        let (key, forward) =
-            FlowKey::canonical((src_ip, seg.src_port), (dst_ip, seg.dst_port));
+        let (key, forward) = FlowKey::canonical((src_ip, seg.src_port), (dst_ip, seg.dst_port));
         let ts = x.first_ts;
         let st = self.flows.entry(key).or_insert_with(|| {
             self.stats.flows += 1;
@@ -283,10 +282,7 @@ impl TransportAnalyzer {
             if is_retx {
                 // A retransmission of data the cumulative ACK already
                 // covers is spurious — a needless RTO, not a loss.
-                let already_covered = dir
-                    .acked_to
-                    .map(|a| seq_le(seq_end, a))
-                    .unwrap_or(false);
+                let already_covered = dir.acked_to.map(|a| seq_le(seq_end, a)).unwrap_or(false);
                 if already_covered {
                     self.stats.spurious_retransmissions += 1;
                     dir.pending.push(SegRec {
@@ -299,59 +295,59 @@ impl TransportAnalyzer {
                     });
                     // Fall through to ACK processing below.
                 } else {
-                // Loss event: attribute via the original copy if we saw it.
-                let original = dir
-                    .pending
-                    .iter_mut()
-                    .filter(|r| {
-                        !r.retransmitted_copy
-                            && seq_le(r.seq, seg.seq)
-                            && seq_lt(seg.seq, r.seq_end)
-                    })
-                    .last();
-                let cause = match original {
-                    Some(orig) => {
-                        // A covering ACK that already proved delivery also
-                        // rules the wireless hop out.
-                        let proven_delivered = orig.link_delivery == DeliveryStatus::Delivered
-                            || orig.fate == SegmentFate::CoveredByAck;
-                        let cause = if proven_delivered {
-                            self.stats.losses_original_delivered += 1;
+                    // Loss event: attribute via the original copy if we saw it.
+                    let original = dir
+                        .pending
+                        .iter_mut()
+                        .filter(|r| {
+                            !r.retransmitted_copy
+                                && seq_le(r.seq, seg.seq)
+                                && seq_lt(seg.seq, r.seq_end)
+                        })
+                        .last();
+                    let cause = match original {
+                        Some(orig) => {
+                            // A covering ACK that already proved delivery also
+                            // rules the wireless hop out.
+                            let proven_delivered = orig.link_delivery == DeliveryStatus::Delivered
+                                || orig.fate == SegmentFate::CoveredByAck;
+                            let cause = if proven_delivered {
+                                self.stats.losses_original_delivered += 1;
+                                LossCause::Wired
+                            } else {
+                                self.stats.losses_original_ambiguous += 1;
+                                LossCause::Wireless
+                            };
+                            orig.fate = SegmentFate::Lost(cause);
+                            cause
+                        }
+                        // Unreachable with the has_prior gate, kept defensive.
+                        None => {
+                            self.stats.losses_no_original += 1;
                             LossCause::Wired
-                        } else {
-                            self.stats.losses_original_ambiguous += 1;
-                            LossCause::Wireless
-                        };
-                        orig.fate = SegmentFate::Lost(cause);
-                        cause
+                        }
+                    };
+                    match cause {
+                        LossCause::Wireless => {
+                            dir.wireless_losses += 1;
+                            self.stats.wireless_losses += 1;
+                        }
+                        LossCause::Wired => {
+                            dir.wired_losses += 1;
+                            self.stats.wired_losses += 1;
+                        }
                     }
-                    // Unreachable with the has_prior gate, kept defensive.
-                    None => {
-                        self.stats.losses_no_original += 1;
-                        LossCause::Wired
-                    }
-                };
-                match cause {
-                    LossCause::Wireless => {
-                        dir.wireless_losses += 1;
-                        self.stats.wireless_losses += 1;
-                    }
-                    LossCause::Wired => {
-                        dir.wired_losses += 1;
-                        self.stats.wired_losses += 1;
-                    }
-                }
-                dir.pending.push(SegRec {
-                    seq: seg.seq,
-                    seq_end,
-                    ts,
-                    link_delivery: x.delivery,
-                    retransmitted_copy: true,
-                    fate: match x.delivery {
-                        DeliveryStatus::Delivered => SegmentFate::LinkAcked,
-                        _ => SegmentFate::Unresolved,
-                    },
-                });
+                    dir.pending.push(SegRec {
+                        seq: seg.seq,
+                        seq_end,
+                        ts,
+                        link_delivery: x.delivery,
+                        retransmitted_copy: true,
+                        fate: match x.delivery {
+                            DeliveryStatus::Delivered => SegmentFate::LinkAcked,
+                            _ => SegmentFate::Unresolved,
+                        },
+                    });
                 }
             } else {
                 dir.bytes += u64::from(seg.payload_len);
@@ -432,7 +428,7 @@ impl TransportAnalyzer {
     pub fn finish(mut self) -> (Vec<FlowRecord>, TransportStats) {
         let mut out: Vec<FlowRecord> = Vec::with_capacity(self.flows.len());
         for (_, st) in self.flows.drain() {
-            let established = (st.a2b.syn && st.b2a.syn) || (st.a2b.syn && st.b2a.segs > 0);
+            let established = st.a2b.syn && (st.b2a.syn || st.b2a.segs > 0);
             if established {
                 self.stats.established += 1;
             }
@@ -548,7 +544,12 @@ mod tests {
             DeliveryStatus::Delivered,
         ));
         let ack = TcpSegment::pure_ack(5000, 80, 101, 901);
-        analyzer.push(&exchange_with(ack, true, t0 + 20_000, DeliveryStatus::Delivered));
+        analyzer.push(&exchange_with(
+            ack,
+            true,
+            t0 + 20_000,
+            DeliveryStatus::Delivered,
+        ));
     }
 
     #[test]
@@ -559,7 +560,12 @@ mod tests {
         let d1 = TcpSegment::data(5000, 80, 101, 901, 1000);
         a.push(&exchange_with(d1, true, 50_000, DeliveryStatus::Delivered));
         let ack1 = TcpSegment::pure_ack(80, 5000, 901, 1101);
-        a.push(&exchange_with(ack1, false, 80_000, DeliveryStatus::Delivered));
+        a.push(&exchange_with(
+            ack1,
+            false,
+            80_000,
+            DeliveryStatus::Delivered,
+        ));
         let (flows, stats) = a.finish();
         assert_eq!(flows.len(), 1);
         let f = &flows[0];
@@ -578,7 +584,12 @@ mod tests {
         a.push(&exchange_with(d1, true, 50_000, DeliveryStatus::Ambiguous));
         // The TCP ACK covering it proves delivery.
         let ack1 = TcpSegment::pure_ack(80, 5000, 901, 1101);
-        a.push(&exchange_with(ack1, false, 90_000, DeliveryStatus::Delivered));
+        a.push(&exchange_with(
+            ack1,
+            false,
+            90_000,
+            DeliveryStatus::Delivered,
+        ));
         let (flows, stats) = a.finish();
         assert_eq!(stats.ambiguous_resolved, 1);
         assert_eq!(flows[0].wireless_losses, 0);
@@ -594,7 +605,12 @@ mod tests {
         a.push(&exchange_with(d1, true, 50_000, DeliveryStatus::Ambiguous));
         // TCP retransmits the same range → loss, attributed wireless.
         let d1r = TcpSegment::data(5000, 80, 101, 901, 1000);
-        a.push(&exchange_with(d1r, true, 400_000, DeliveryStatus::Delivered));
+        a.push(&exchange_with(
+            d1r,
+            true,
+            400_000,
+            DeliveryStatus::Delivered,
+        ));
         let (flows, stats) = a.finish();
         assert_eq!(stats.wireless_losses, 1);
         assert_eq!(stats.wired_losses, 0);
@@ -611,7 +627,12 @@ mod tests {
         a.push(&exchange_with(d1, true, 50_000, DeliveryStatus::Delivered));
         // …yet TCP retransmits: the drop was beyond the AP.
         let d1r = TcpSegment::data(5000, 80, 101, 901, 1000);
-        a.push(&exchange_with(d1r, true, 400_000, DeliveryStatus::Delivered));
+        a.push(&exchange_with(
+            d1r,
+            true,
+            400_000,
+            DeliveryStatus::Delivered,
+        ));
         let (_, stats) = a.finish();
         assert_eq!(stats.wired_losses, 1);
         assert_eq!(stats.wireless_losses, 0);
@@ -627,7 +648,12 @@ mod tests {
         let d2 = TcpSegment::data(5000, 80, 1101, 901, 1000);
         a.push(&exchange_with(d2, true, 50_000, DeliveryStatus::Delivered));
         let d1r = TcpSegment::data(5000, 80, 101, 901, 1000);
-        a.push(&exchange_with(d1r, true, 300_000, DeliveryStatus::Delivered));
+        a.push(&exchange_with(
+            d1r,
+            true,
+            300_000,
+            DeliveryStatus::Delivered,
+        ));
         let (_, stats) = a.finish();
         assert_eq!(stats.wired_losses, 0);
         assert_eq!(stats.wireless_losses, 0);
@@ -643,7 +669,12 @@ mod tests {
         // Server ACKs *beyond* anything we saw: 2101 — the segment
         // [1101, 2101) flew unobserved and was delivered.
         let ack = TcpSegment::pure_ack(80, 5000, 901, 2101);
-        a.push(&exchange_with(ack, false, 90_000, DeliveryStatus::Delivered));
+        a.push(&exchange_with(
+            ack,
+            false,
+            90_000,
+            DeliveryStatus::Delivered,
+        ));
         let (flows, stats) = a.finish();
         assert_eq!(stats.covered_holes, 1);
         assert_eq!(flows[0].covered_holes, 1);
@@ -654,7 +685,12 @@ mod tests {
     #[test]
     fn non_tcp_exchanges_ignored() {
         let mut a = TransportAnalyzer::new();
-        let mut x = exchange_with(TcpSegment::syn(1, 2, 0, 1460), true, 0, DeliveryStatus::Delivered);
+        let mut x = exchange_with(
+            TcpSegment::syn(1, 2, 0, 1460),
+            true,
+            0,
+            DeliveryStatus::Delivered,
+        );
         x.subtype = Subtype::Beacon;
         a.push(&x);
         let (flows, stats) = a.finish();
@@ -668,11 +704,21 @@ mod tests {
         handshake(&mut a, 0);
         for k in 0..8u32 {
             let d = TcpSegment::data(5000, 80, 101 + k * 1000, 901, 1000);
-            a.push(&exchange_with(d, true, 50_000 + u64::from(k) * 10_000, DeliveryStatus::Delivered));
+            a.push(&exchange_with(
+                d,
+                true,
+                50_000 + u64::from(k) * 10_000,
+                DeliveryStatus::Delivered,
+            ));
         }
         // One wireless loss.
         let lost = TcpSegment::data(5000, 80, 101, 901, 1000);
-        a.push(&exchange_with(lost, true, 300_000, DeliveryStatus::Delivered));
+        a.push(&exchange_with(
+            lost,
+            true,
+            300_000,
+            DeliveryStatus::Delivered,
+        ));
         let (flows, _) = a.finish();
         let f = &flows[0];
         // 3 handshake segs count: syn+synack consume seq space (2 segs) +

@@ -374,8 +374,7 @@ impl<S: EventStream> Merger<S> {
                     }
                     let med = g[g.len() / 2].univ;
                     let dist = med.abs_diff(c.univ);
-                    if dist <= self.cfg.merge_gap_us
-                        && best.map(|(_, d)| dist < d).unwrap_or(true)
+                    if dist <= self.cfg.merge_gap_us && best.map(|(_, d)| dist < d).unwrap_or(true)
                     {
                         best = Some((gi, dist));
                     }
@@ -526,9 +525,8 @@ impl<S: EventStream> Merger<S> {
 }
 
 fn group_transmitter(g: &[Candidate]) -> Option<MacAddr> {
-    g.iter().find_map(|c| {
-        jigsaw_ieee80211::wire::peek_transmitter(&c.ev.bytes).and_then(|(_, ta)| ta)
-    })
+    g.iter()
+        .find_map(|c| jigsaw_ieee80211::wire::peek_transmitter(&c.ev.bytes).and_then(|(_, ta)| ta))
 }
 
 fn singleton_jframe(c: &Candidate) -> JFrame {

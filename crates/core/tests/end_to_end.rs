@@ -60,7 +60,12 @@ fn pipeline_reconstructs_tiny_world() {
     // --- link layer vs ground truth ---
     // Compare reconstructed exchanges against truth exchanges by
     // (transmitter, seq is not stored in truth exchanges — use counts).
-    let truth_acked = out.truth.exchanges.iter().filter(|x| x.acked && x.attempts > 0).count();
+    let truth_acked = out
+        .truth
+        .exchanges
+        .iter()
+        .filter(|x| x.acked && x.attempts > 0)
+        .count();
     let rec_delivered = exchanges
         .iter()
         .filter(|x| x.delivery == DeliveryStatus::Delivered)
@@ -93,10 +98,7 @@ fn retry_exchanges_reconstructed() {
         Pipeline::run_collect(streams, &PipelineConfig::default()).unwrap();
 
     let with_retries = exchanges.iter().filter(|x| x.retries() > 0).count();
-    assert!(
-        with_retries > 0,
-        "no multi-attempt exchanges reconstructed"
-    );
+    assert!(with_retries > 0, "no multi-attempt exchanges reconstructed");
 
     // The paper's §5.1 inference rates are sub-1%: ours should be low too.
     let attempts = report.link.attempts.max(1);
@@ -113,8 +115,7 @@ fn per_station_seq_continuity_in_exchanges() {
     // consecutive sequence numbers (gaps mean the monitors missed MSDUs).
     let out = ScenarioConfig::tiny(29).run();
     let streams = out.memory_streams();
-    let (_, exchanges, _) =
-        Pipeline::run_collect(streams, &PipelineConfig::default()).unwrap();
+    let (_, exchanges, _) = Pipeline::run_collect(streams, &PipelineConfig::default()).unwrap();
 
     let mut per_tx: HashMap<_, Vec<(u64, u16)>> = HashMap::new();
     for x in &exchanges {

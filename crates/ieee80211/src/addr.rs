@@ -114,7 +114,7 @@ impl FromStr for MacAddr {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut out = [0u8; 6];
-        let mut parts = s.split(|c| c == ':' || c == '-');
+        let mut parts = s.split([':', '-']);
         for slot in out.iter_mut() {
             let p = parts.next().ok_or(AddrParseError)?;
             if p.len() != 2 {

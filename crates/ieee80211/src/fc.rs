@@ -302,8 +302,14 @@ mod tests {
         let beacon = FrameControl::new(Subtype::Beacon);
         assert_eq!(beacon.to_u16().to_le_bytes()[0], 0x80);
         // CTS → 0xc4, RTS → 0xb4.
-        assert_eq!(FrameControl::new(Subtype::Cts).to_u16().to_le_bytes()[0], 0xc4);
-        assert_eq!(FrameControl::new(Subtype::Rts).to_u16().to_le_bytes()[0], 0xb4);
+        assert_eq!(
+            FrameControl::new(Subtype::Cts).to_u16().to_le_bytes()[0],
+            0xc4
+        );
+        assert_eq!(
+            FrameControl::new(Subtype::Rts).to_u16().to_le_bytes()[0],
+            0xb4
+        );
     }
 
     #[test]

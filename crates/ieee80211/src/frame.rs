@@ -335,10 +335,7 @@ impl Frame {
             Frame::Data(d) => !d.flags.retry && !d.null && !d.body.is_empty(),
             Frame::Mgmt { header, body } => {
                 !header.retry
-                    && matches!(
-                        body,
-                        MgmtBody::Beacon { .. } | MgmtBody::ProbeResp { .. }
-                    )
+                    && matches!(body, MgmtBody::Beacon { .. } | MgmtBody::ProbeResp { .. })
             }
             _ => false,
         }

@@ -129,18 +129,18 @@ impl PhyRate {
     /// the usual receiver-sensitivity ladder used in 802.11 simulators.
     pub fn snr_threshold_decidb(self) -> i32 {
         match self {
-            PhyRate::R1 => 20,    // 2 dB
-            PhyRate::R2 => 40,    // 4 dB
-            PhyRate::R5_5 => 60,  // 6 dB
-            PhyRate::R11 => 80,   // 8 dB
-            PhyRate::R6 => 70,    // 7 dB
-            PhyRate::R9 => 80,    // 8 dB
-            PhyRate::R12 => 90,   // 9 dB
-            PhyRate::R18 => 110,  // 11 dB
-            PhyRate::R24 => 140,  // 14 dB
-            PhyRate::R36 => 180,  // 18 dB
-            PhyRate::R48 => 220,  // 22 dB
-            PhyRate::R54 => 240,  // 24 dB
+            PhyRate::R1 => 20,   // 2 dB
+            PhyRate::R2 => 40,   // 4 dB
+            PhyRate::R5_5 => 60, // 6 dB
+            PhyRate::R11 => 80,  // 8 dB
+            PhyRate::R6 => 70,   // 7 dB
+            PhyRate::R9 => 80,   // 8 dB
+            PhyRate::R12 => 90,  // 9 dB
+            PhyRate::R18 => 110, // 11 dB
+            PhyRate::R24 => 140, // 14 dB
+            PhyRate::R36 => 180, // 18 dB
+            PhyRate::R48 => 220, // 22 dB
+            PhyRate::R54 => 240, // 24 dB
         }
     }
 
@@ -166,7 +166,7 @@ impl PhyRate {
 impl fmt::Display for PhyRate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let c = self.centi_mbps();
-        if c % 10 == 0 {
+        if c.is_multiple_of(10) {
             write!(f, "{} Mbps", c / 10)
         } else {
             write!(f, "{}.{} Mbps", c / 10, c % 10)

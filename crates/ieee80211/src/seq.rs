@@ -48,6 +48,8 @@ impl SeqNum {
     }
 
     /// Advances by `n` (wrapping).
+    // Not `std::ops::Add`: modular 12-bit advance, not general addition.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, n: u16) -> Self {
         SeqNum((self.0 + (n % MOD)) % MOD)
     }

@@ -124,11 +124,7 @@ pub fn duration_data_ack(data_rate: PhyRate, preamble: Preamble) -> u16 {
 
 /// Duration/ID field for a CTS-to-self protecting a pending data exchange:
 /// SIFS + DATA + SIFS + ACK (the CTS itself is not counted).
-pub fn duration_cts_to_self(
-    data_rate: PhyRate,
-    data_len: usize,
-    preamble: Preamble,
-) -> u16 {
+pub fn duration_cts_to_self(data_rate: PhyRate, data_len: usize, preamble: Preamble) -> u16 {
     let t = SIFS_US
         + airtime_us(data_rate, data_len, preamble)
         + SIFS_US
@@ -206,8 +202,7 @@ mod tests {
         for fam in [&PhyRate::B_RATES[..], &PhyRate::G_RATES[..]] {
             for w in fam.windows(2) {
                 assert!(
-                    airtime_us(w[0], 1000, Preamble::Long)
-                        > airtime_us(w[1], 1000, Preamble::Long)
+                    airtime_us(w[0], 1000, Preamble::Long) > airtime_us(w[1], 1000, Preamble::Long)
                 );
             }
         }
@@ -228,7 +223,9 @@ mod tests {
         // The duration of a CTS-to-self covers strictly more than DATA+ACK.
         let d1 = duration_data_ack(PhyRate::R54, Preamble::Long);
         let d2 = duration_cts_to_self(PhyRate::R54, 1500, Preamble::Long);
-        assert!(u64::from(d2) > u64::from(d1) + airtime_us(PhyRate::R54, 1500, Preamble::Long) - 20);
+        assert!(
+            u64::from(d2) > u64::from(d1) + airtime_us(PhyRate::R54, 1500, Preamble::Long) - 20
+        );
         // RTS covers even more than CTS-to-self (adds the CTS and a SIFS).
         let d3 = duration_rts(PhyRate::R54, 1500, Preamble::Long);
         assert!(d3 > d2);

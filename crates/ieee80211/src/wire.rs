@@ -143,8 +143,18 @@ pub fn serialize_frame(frame: &Frame) -> Vec<u8> {
                     put_addr(&mut out, *current_ap);
                     Ie::write_all(ies, &mut out);
                 }
-                MgmtBody::AssocResp { cap, status, aid, ies }
-                | MgmtBody::ReassocResp { cap, status, aid, ies } => {
+                MgmtBody::AssocResp {
+                    cap,
+                    status,
+                    aid,
+                    ies,
+                }
+                | MgmtBody::ReassocResp {
+                    cap,
+                    status,
+                    aid,
+                    ies,
+                } => {
                     put_u16(&mut out, *cap);
                     put_u16(&mut out, *status);
                     put_u16(&mut out, *aid);
@@ -237,8 +247,8 @@ pub fn parse_frame(bytes: &[u8]) -> Result<Frame, ParseError> {
     let body = &bytes[..bytes.len() - 4]; // strip FCS
     let mut r = Reader::new(body);
     let fc_word = r.u16()?;
-    let fc = FrameControl::from_u16(fc_word)
-        .ok_or(ParseError::ReservedTypeSubtype { fc: fc_word })?;
+    let fc =
+        FrameControl::from_u16(fc_word).ok_or(ParseError::ReservedTypeSubtype { fc: fc_word })?;
 
     match fc.subtype {
         Subtype::Ack => {
@@ -344,9 +354,19 @@ pub fn parse_frame(bytes: &[u8]) -> Result<Frame, ParseError> {
                     let aid = r.u16()?;
                     let ies = Ie::parse_all(r.rest());
                     if mgmt_subtype == Subtype::AssocResp {
-                        MgmtBody::AssocResp { cap, status, aid, ies }
+                        MgmtBody::AssocResp {
+                            cap,
+                            status,
+                            aid,
+                            ies,
+                        }
                     } else {
-                        MgmtBody::ReassocResp { cap, status, aid, ies }
+                        MgmtBody::ReassocResp {
+                            cap,
+                            status,
+                            aid,
+                            ies,
+                        }
                     }
                 }
                 Subtype::Auth => MgmtBody::Auth {
@@ -408,7 +428,10 @@ mod tests {
         let c = MacAddr::local(3, 3);
         vec![
             Frame::Ack { duration: 0, ra: a },
-            Frame::Cts { duration: 312, ra: b },
+            Frame::Cts {
+                duration: 312,
+                ra: b,
+            },
             Frame::Rts {
                 duration: 500,
                 ra: a,

@@ -143,9 +143,7 @@ impl TcpSegment {
 
     /// Sequence space consumed: payload bytes plus one for SYN and FIN.
     pub fn seq_space(&self) -> u32 {
-        u32::from(self.payload_len)
-            + u32::from(self.flags.syn)
-            + u32::from(self.flags.fin)
+        u32::from(self.payload_len) + u32::from(self.flags.syn) + u32::from(self.flags.fin)
     }
 
     /// The sequence number just past this segment.

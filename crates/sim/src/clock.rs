@@ -37,7 +37,12 @@ impl ClockModel {
 
     /// Builds a clock. `drift_steps_ppm[k]` perturbs the skew during second
     /// `k` of true time; an empty vector means a perfectly stable oscillator.
-    pub fn new(offset_us: u64, skew_ppm: f64, drift_steps_ppm: Vec<f64>, ntp_error_us: i64) -> Self {
+    pub fn new(
+        offset_us: u64,
+        skew_ppm: f64,
+        drift_steps_ppm: Vec<f64>,
+        ntp_error_us: i64,
+    ) -> Self {
         ClockModel {
             offset_us,
             skew_ppm,
@@ -54,11 +59,7 @@ impl ClockModel {
     /// The instantaneous skew (ppm) in effect at true time `t`.
     pub fn skew_at(&self, t: Micros) -> f64 {
         let steps = (t / Self::DRIFT_STEP_US) as usize;
-        let walked: f64 = self
-            .drift_steps_ppm
-            .iter()
-            .take(steps)
-            .sum();
+        let walked: f64 = self.drift_steps_ppm.iter().take(steps).sum();
         self.skew_ppm + walked
     }
 
@@ -73,8 +74,7 @@ impl ClockModel {
         while done < t {
             let seg_end = ((done / Self::DRIFT_STEP_US) + 1) * Self::DRIFT_STEP_US;
             let seg = seg_end.min(t) - done;
-            let skew = self.skew_ppm
-                + self.drift_steps_ppm.iter().take(step).sum::<f64>();
+            let skew = self.skew_ppm + self.drift_steps_ppm.iter().take(step).sum::<f64>();
             advance += seg as f64 * skew * 1e-6;
             done += seg;
             step += 1;
@@ -129,8 +129,8 @@ impl ClockCursor {
         }
         // Advance whole segments.
         loop {
-            let seg_end = ((self.seg_start / ClockModel::DRIFT_STEP_US) + 1)
-                * ClockModel::DRIFT_STEP_US;
+            let seg_end =
+                ((self.seg_start / ClockModel::DRIFT_STEP_US) + 1) * ClockModel::DRIFT_STEP_US;
             if t < seg_end {
                 break;
             }
@@ -197,7 +197,9 @@ mod tests {
 
     #[test]
     fn monotonicity() {
-        let steps: Vec<f64> = (0..60).map(|i| if i % 2 == 0 { 0.3 } else { -0.25 }).collect();
+        let steps: Vec<f64> = (0..60)
+            .map(|i| if i % 2 == 0 { 0.3 } else { -0.25 })
+            .collect();
         let c = ClockModel::new(77, 25.0, steps, 0);
         let mut last = 0;
         for t in (0..60_000_000u64).step_by(10_007) {
@@ -209,7 +211,9 @@ mod tests {
 
     #[test]
     fn cursor_matches_model() {
-        let steps: Vec<f64> = (0..30).map(|i| ((i * 7919) % 11) as f64 * 0.01 - 0.05).collect();
+        let steps: Vec<f64> = (0..30)
+            .map(|i| ((i * 7919) % 11) as f64 * 0.01 - 0.05)
+            .collect();
         let m = ClockModel::new(123_456, -12.5, steps, 0);
         let mut cur = ClockCursor::new(m.clone());
         for t in (0..30_000_000u64).step_by(99_991) {

@@ -187,9 +187,24 @@ mod tests {
     #[test]
     fn fifo_within_same_time() {
         let mut q = EventQueue::new();
-        q.schedule(5, EventKind::Beacon { station: StationId(1) });
-        q.schedule(5, EventKind::Beacon { station: StationId(2) });
-        q.schedule(5, EventKind::Beacon { station: StationId(3) });
+        q.schedule(
+            5,
+            EventKind::Beacon {
+                station: StationId(1),
+            },
+        );
+        q.schedule(
+            5,
+            EventKind::Beacon {
+                station: StationId(2),
+            },
+        );
+        q.schedule(
+            5,
+            EventKind::Beacon {
+                station: StationId(3),
+            },
+        );
         let mut ids = Vec::new();
         while let Some((_, EventKind::Beacon { station })) = q.pop() {
             ids.push(station.0);

@@ -164,7 +164,11 @@ mod tests {
         let f = beacon(ap, b"cse", 6, true, 123456, SeqNum::new(7));
         let bytes = serialize_frame(&f);
         let back = parse_frame(&bytes).unwrap();
-        if let Frame::Mgmt { body: MgmtBody::Beacon { ies, .. }, .. } = &back {
+        if let Frame::Mgmt {
+            body: MgmtBody::Beacon { ies, .. },
+            ..
+        } = &back
+        {
             assert_eq!(ie::find_channel(ies), Some(6));
             let flags = ie::find_erp(ies).unwrap();
             assert!(flags & erp::USE_PROTECTION != 0);
@@ -173,7 +177,11 @@ mod tests {
         }
         // Without protection.
         let f2 = beacon(ap, b"cse", 6, false, 1, SeqNum::new(8));
-        if let Frame::Mgmt { body: MgmtBody::Beacon { ies, .. }, .. } = &f2 {
+        if let Frame::Mgmt {
+            body: MgmtBody::Beacon { ies, .. },
+            ..
+        } = &f2
+        {
             assert_eq!(ie::find_erp(ies), Some(0));
         }
     }

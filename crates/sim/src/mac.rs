@@ -256,7 +256,11 @@ impl Mac {
     /// The fastest rate this station may use toward `dst` (own capability
     /// ∧ peer capability; unknown peers get the safe CCK ceiling).
     pub fn rate_cap(&self, dst: MacAddr) -> PhyRate {
-        let own = if self.b_only { PhyRate::R11 } else { PhyRate::R54 };
+        let own = if self.b_only {
+            PhyRate::R11
+        } else {
+            PhyRate::R54
+        };
         let peer = if dst.is_multicast() {
             // Group-addressed frames go at a basic rate everyone decodes.
             PhyRate::R1

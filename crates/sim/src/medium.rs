@@ -8,9 +8,9 @@
 //! snapshot of every transmission that overlapped in time.
 
 use crate::geom::{Building, Point3};
-use crate::prop::{ddbm_to_mw, mw_to_ddbm, PropModel, NOISE_FLOOR_DDBM};
 #[cfg(test)]
 use crate::prop::TX_POWER_DDBM;
+use crate::prop::{ddbm_to_mw, mw_to_ddbm, PropModel, NOISE_FLOOR_DDBM};
 use jigsaw_ieee80211::frame::Frame;
 use jigsaw_ieee80211::{Channel, Micros, PhyRate};
 use std::collections::HashMap;
@@ -386,9 +386,15 @@ mod tests {
         use crate::prop::{CS_ENERGY_DDBM, CS_PREAMBLE_DDBM};
         // entity 1 is b-only.
         assert_eq!(m.cs_threshold_ddbm(1, PhyRate::R54, false), CS_ENERGY_DDBM);
-        assert_eq!(m.cs_threshold_ddbm(1, PhyRate::R11, false), CS_PREAMBLE_DDBM);
+        assert_eq!(
+            m.cs_threshold_ddbm(1, PhyRate::R11, false),
+            CS_PREAMBLE_DDBM
+        );
         // entity 0 is b/g.
-        assert_eq!(m.cs_threshold_ddbm(0, PhyRate::R54, false), CS_PREAMBLE_DDBM);
+        assert_eq!(
+            m.cs_threshold_ddbm(0, PhyRate::R54, false),
+            CS_PREAMBLE_DDBM
+        );
         // noise is always energy-detect.
         assert_eq!(m.cs_threshold_ddbm(0, PhyRate::R1, true), CS_ENERGY_DDBM);
     }

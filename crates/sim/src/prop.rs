@@ -28,8 +28,10 @@ pub const CS_ENERGY_DDBM: i32 = -620;
 /// DSSS preamble correlation has ~10 dB of processing gain, so detection
 /// works below the thermal floor — this is where the paper's huge PHY-error
 /// population ("transmissions observed by distant monitors just beyond
-/// reception range", §7.1) comes from.
-pub const CAPTURE_FLOOR_DDBM: i32 = -1020;
+/// reception range", §7.1) comes from. Preamble decode needs SINR around
+/// 0 dB (≈ −95 dBm); everything between there and this floor is logged as
+/// a PHY error, giving detection a ~12 dB deeper reach than decode.
+pub const CAPTURE_FLOOR_DDBM: i32 = -1070;
 
 /// Transmit power used by APs and clients (15 dBm) in deci-dBm.
 pub const TX_POWER_DDBM: i32 = 150;
@@ -72,7 +74,11 @@ impl PropModel {
     /// pair of endpoint ids drives a pseudo-normal draw, so the link budget
     /// is stable over a run (slow fading) and symmetric.
     pub fn shadowing_ddb(&self, id_a: u32, id_b: u32, seed: u64) -> i32 {
-        let (lo, hi) = if id_a < id_b { (id_a, id_b) } else { (id_b, id_a) };
+        let (lo, hi) = if id_a < id_b {
+            (id_a, id_b)
+        } else {
+            (id_b, id_a)
+        };
         let mut h = seed ^ 0x9e3779b97f4a7c15;
         for v in [u64::from(lo), u64::from(hi)] {
             h ^= v.wrapping_mul(0xff51afd7ed558ccd);
@@ -102,6 +108,9 @@ impl PropModel {
 
     /// Full link gain (negative deci-dB) from tx to rx including antenna
     /// gains and shadowing. `rx_gain_ddb` is the receiver's antenna gain.
+    // Endpoint ids + seed must travel together for symmetric shadowing;
+    // callers pass them straight through from the medium's entity table.
+    #[allow(clippy::too_many_arguments)]
     pub fn link_gain_ddb(
         &self,
         building: &Building,
@@ -162,13 +171,13 @@ pub fn preamble_success_prob(sinr_ddb: i32) -> f64 {
     (1.0 - ber).powf(192.0)
 }
 
-/// Per-reception multipath fading, deci-dB: a zero-mean draw with σ ≈ 4 dB,
-/// clamped to ±15 dB. Applied independently per (transmission, receiver),
+/// Per-reception multipath fading, deci-dB: a zero-mean draw with σ ≈ 5 dB,
+/// clamped to ±18 dB. Applied independently per (transmission, receiver),
 /// it smears the decode boundary — the same link yields clean frames,
 /// FCS errors and PHY errors across receptions, as real traces show.
 pub fn fading_ddb<R: rand::Rng>(rng: &mut R) -> i32 {
-    let draw = crate::rng::normal(rng, 0.0, 40.0);
-    draw.clamp(-150.0, 150.0) as i32
+    let draw = crate::rng::normal(rng, 0.0, 50.0);
+    draw.clamp(-180.0, 180.0) as i32
 }
 
 #[cfg(test)]

@@ -201,10 +201,7 @@ impl ScenarioConfig {
     }
 }
 
-fn client_session_bounds(
-    rng: &mut impl Rng,
-    day_us: Micros,
-) -> (Micros, Micros, bool) {
+fn client_session_bounds(rng: &mut impl Rng, day_us: Micros) -> (Micros, Micros, bool) {
     let (s, e, overnight) = sample_session(rng, day_us);
     // Ensure a non-degenerate session.
     let s = s.min(day_us.saturating_sub(1_000_000));
@@ -354,11 +351,8 @@ fn build_world(cfg: ScenarioConfig) -> World {
         // Per pod: monitor A radios on ch 1 & 6, monitor B on ch 11 and a
         // rotating fourth channel.
         let fourth = Channel::ORTHOGONAL[p % 3];
-        let chans = [
-            [Channel::of(1), Channel::of(6)],
-            [Channel::of(11), fourth],
-        ];
-        for half in 0..2 {
+        let chans = [[Channel::of(1), Channel::of(6)], [Channel::of(11), fourth]];
+        for (half, chan_pair) in chans.iter().enumerate() {
             let mon_id = MonitorId(monitors.len() as u16);
             let offset = clock_rng.gen_range(0..=cfg.clock_offset_max_us);
             let skew = normal(&mut clock_rng, 0.0, cfg.clock_skew_ppm_sigma).clamp(-80.0, 80.0);
@@ -369,7 +363,7 @@ fn build_world(cfg: ScenarioConfig) -> World {
             let ntp_err = clock_rng.gen_range(-cfg.ntp_error_max_us..=cfg.ntp_error_max_us);
             let model = ClockModel::new(offset, skew, drift, ntp_err);
             let mut radios = Vec::with_capacity(2);
-            for (slot, &ch) in chans[half].iter().enumerate() {
+            for (slot, &ch) in chan_pair.iter().enumerate() {
                 let entity = entities.len() as u32;
                 // The two monitors of a pod sit a meter apart.
                 let mut mp = *pos;
@@ -441,7 +435,11 @@ fn build_world(cfg: ScenarioConfig) -> World {
             loss_prob: cfg.internet_loss,
         });
     }
-    let vernier_host = if cfg.lan_hosts > 0 { Some(HostId(0)) } else { None };
+    let vernier_host = if cfg.lan_hosts > 0 {
+        Some(HostId(0))
+    } else {
+        None
+    };
 
     // ---- medium + audibility --------------------------------------------
     let medium = Medium::new(&building, &prop, entities, cfg.seed);
@@ -453,7 +451,10 @@ fn build_world(cfg: ScenarioConfig) -> World {
 
     let mut audible_stations: Vec<Vec<(StationId, i32)>> = vec![Vec::new(); n_entities];
     let mut audible_radios: Vec<Vec<(u32, i32)>> = vec![Vec::new(); n_entities];
-    const AUDIBLE_CUTOFF: i32 = -1040;
+    // Far enough below the capture floor that any link a maximum upward
+    // fade could lift over it stays in the audible lists: CAPTURE_FLOOR
+    // (−1070) minus the ±18 dB fading clamp in `prop::fading_ddb`.
+    const AUDIBLE_CUTOFF: i32 = -1250;
     for tx in 0..n_entities as u32 {
         let can_tx = !matches!(medium.entity(tx).kind, EntityKind::MonitorRadio);
         if !can_tx {
@@ -583,10 +584,10 @@ mod tests {
     #[test]
     fn tiny_world_builds() {
         let w = ScenarioConfig::tiny(1).build();
-        assert_eq!(w.stations.len(), 1 + 0 + 2);
+        assert_eq!(w.stations.len(), 3); // 1 AP + 0 external + 2 clients
         assert_eq!(w.monitors.len(), 4); // 2 pods × 2 monitors
         assert_eq!(w.collectors.len(), 8); // × 2 radios
-        assert!(w.queue.len() > 0);
+        assert!(!w.queue.is_empty());
     }
 
     #[test]
@@ -626,8 +627,16 @@ mod tests {
     fn different_seeds_differ() {
         let w1 = ScenarioConfig::tiny(1).build();
         let w2 = ScenarioConfig::tiny(2).build();
-        let o1: Vec<u64> = w1.monitors.iter().map(|m| m.clock.model().offset_us).collect();
-        let o2: Vec<u64> = w2.monitors.iter().map(|m| m.clock.model().offset_us).collect();
+        let o1: Vec<u64> = w1
+            .monitors
+            .iter()
+            .map(|m| m.clock.model().offset_us)
+            .collect();
+        let o2: Vec<u64> = w2
+            .monitors
+            .iter()
+            .map(|m| m.clock.model().offset_us)
+            .collect();
         assert_ne!(o1, o2);
     }
 

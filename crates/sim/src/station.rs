@@ -217,13 +217,7 @@ pub struct Station {
 
 impl Station {
     /// Creates a station.
-    pub fn new(
-        id: StationId,
-        entity: u32,
-        role: Role,
-        mac: Mac,
-        ip: Ipv4Addr,
-    ) -> Self {
+    pub fn new(id: StationId, entity: u32, role: Role, mac: Mac, ip: Ipv4Addr) -> Self {
         Station {
             id,
             entity,

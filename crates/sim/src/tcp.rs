@@ -172,7 +172,12 @@ impl TcpEndpoint {
         self.rtt_probe = Some((self.snd_nxt, now));
         self.bump_timer();
         TcpOutput {
-            segments: vec![TcpSegment::syn(self.port, self.peer_port, self.iss, self.mss)],
+            segments: vec![TcpSegment::syn(
+                self.port,
+                self.peer_port,
+                self.iss,
+                self.mss,
+            )],
             arm_timer: Some(now + self.rto_us),
         }
     }
@@ -198,7 +203,8 @@ impl TcpEndpoint {
         let mut sent_any = false;
         while self.app_remaining > 0 && self.inflight() + u32::from(self.mss) <= self.cwnd {
             let chunk = u64::from(self.mss).min(self.app_remaining) as u16;
-            let seg = TcpSegment::data(self.port, self.peer_port, self.snd_nxt, self.rcv_nxt, chunk);
+            let seg =
+                TcpSegment::data(self.port, self.peer_port, self.snd_nxt, self.rcv_nxt, chunk);
             self.snd_nxt = self.snd_nxt.wrapping_add(u32::from(chunk));
             self.app_remaining -= u64::from(chunk);
             if self.rtt_probe.is_none() {
@@ -213,7 +219,8 @@ impl TcpEndpoint {
             && self.fin_seq.is_none()
             && self.state == TcpState::Established
         {
-            let mut fin = TcpSegment::data(self.port, self.peer_port, self.snd_nxt, self.rcv_nxt, 0);
+            let mut fin =
+                TcpSegment::data(self.port, self.peer_port, self.snd_nxt, self.rcv_nxt, 0);
             fin.flags.fin = true;
             self.fin_seq = Some(self.snd_nxt);
             self.snd_nxt = self.snd_nxt.wrapping_add(1);
@@ -244,8 +251,12 @@ impl TcpEndpoint {
         self.rto_retransmits += 1;
         match self.state {
             TcpState::SynSent => {
-                out.segments
-                    .push(TcpSegment::syn(self.port, self.peer_port, self.iss, self.mss));
+                out.segments.push(TcpSegment::syn(
+                    self.port,
+                    self.peer_port,
+                    self.iss,
+                    self.mss,
+                ));
             }
             _ => {
                 out.segments.push(self.retransmit_head());
@@ -260,7 +271,8 @@ impl TcpEndpoint {
     /// window beyond the head will be resent as later ACKs force it).
     fn retransmit_head(&mut self) -> TcpSegment {
         if Some(self.snd_una) == self.fin_seq {
-            let mut fin = TcpSegment::data(self.port, self.peer_port, self.snd_una, self.rcv_nxt, 0);
+            let mut fin =
+                TcpSegment::data(self.port, self.peer_port, self.snd_una, self.rcv_nxt, 0);
             fin.flags.fin = true;
             return fin;
         }
@@ -525,7 +537,7 @@ mod tests {
         assert_eq!(a.state, TcpState::Done);
         assert_eq!(b.state, TcpState::Done);
         // SYN, SYN-ACK, ACK, 2×(FIN + ACK) ≈ 7 segments, small slack.
-        assert!(total >= 7 && total <= 10, "total {total}");
+        assert!((7..=10).contains(&total), "total {total}");
     }
 
     #[test]

@@ -89,7 +89,9 @@ impl Wired {
     /// # Panics
     /// Panics on an unknown handle (scheduling bug).
     pub fn arrive(&mut self, handle: u64) -> WiredPacket {
-        self.in_flight.remove(&handle).expect("unknown wired handle")
+        self.in_flight
+            .remove(&handle)
+            .expect("unknown wired handle")
     }
 
     /// Learns / refreshes a client's serving AP (bridge learning).
@@ -181,13 +183,13 @@ mod tests {
     fn bridge_learning() {
         let mut w = Wired::new(vec![host(0)]);
         let c = MacAddr::local(3, 7);
-        assert!(w.client_ap.get(&c).is_none());
+        assert!(!w.client_ap.contains_key(&c));
         w.learn_client(c, StationId(2));
         assert_eq!(w.client_ap[&c], StationId(2));
         w.learn_client(c, StationId(4)); // roamed
         assert_eq!(w.client_ap[&c], StationId(4));
         w.forget_client(c);
-        assert!(w.client_ap.get(&c).is_none());
+        assert!(!w.client_ap.contains_key(&c));
     }
 
     #[test]

@@ -10,8 +10,8 @@ use crate::StationId;
 use jigsaw_ieee80211::frame::{Frame, MgmtBody, MgmtHeader};
 use jigsaw_ieee80211::rate::Modulation;
 use jigsaw_ieee80211::timing::{
-    ack_airtime_us, airtime_us, duration_cts_to_self, duration_data_ack, Preamble,
-    DIFS_US, DSSS_LONG_PLCP_US, DSSS_SHORT_PLCP_US, OFDM_PLCP_US, SIFS_US, SLOT_US,
+    ack_airtime_us, airtime_us, duration_cts_to_self, duration_data_ack, Preamble, DIFS_US,
+    DSSS_LONG_PLCP_US, DSSS_SHORT_PLCP_US, OFDM_PLCP_US, SIFS_US, SLOT_US,
 };
 use jigsaw_ieee80211::wire::serialize_frame;
 use jigsaw_ieee80211::{MacAddr, Micros, PhyRate};
@@ -162,7 +162,10 @@ impl World {
                 // Undo the draw (retries re-use the number).
                 mac.seq_counter = next;
             }
-            (mac.queue.front().unwrap().dst, mac.queue.front().unwrap().retries > 0)
+            (
+                mac.queue.front().unwrap().dst,
+                mac.queue.front().unwrap().retries > 0,
+            )
         };
         let mac = &mut self.stations[sid.index()].mac;
         let head = mac.queue.front().unwrap();
@@ -320,7 +323,9 @@ impl World {
         let plcp = Self::plcp_us(rate, preamble);
         let channel = self.medium.entity(entity).channel;
 
-        let sender = frame.transmitter().or(Some(self.stations[sid.index()].mac.addr));
+        let sender = frame
+            .transmitter()
+            .or(Some(self.stations[sid.index()].mac.addr));
         let receiver = Some(frame.receiver());
         let truth_idx = if self.truth_covers(sender, receiver) {
             let xid = match tag {
@@ -384,7 +389,11 @@ impl World {
     pub(crate) fn mac_tx_finished(&mut self, tag: TxTag) {
         let now = self.now;
         match tag {
-            TxTag::Head { station, stage, rate } => {
+            TxTag::Head {
+                station,
+                stage,
+                rate,
+            } => {
                 let mac = &mut self.stations[station.index()].mac;
                 mac.radio_busy = false;
                 mac.idle_since = now;
@@ -403,11 +412,7 @@ impl World {
                         );
                     }
                     HeadStage::Data => {
-                        let needs_ack = mac
-                            .queue
-                            .front()
-                            .map(|m| m.needs_ack())
-                            .unwrap_or(false);
+                        let needs_ack = mac.queue.front().map(|m| m.needs_ack()).unwrap_or(false);
                         if needs_ack {
                             mac.phase = MacPhase::WaitAck;
                             let preamble = mac.preamble;
@@ -447,10 +452,8 @@ impl World {
                             },
                         );
                     }
-                    MacPhase::Idle => {
-                        if !self.stations[station.index()].mac.queue.is_empty() {
-                            self.mac_kick(station);
-                        }
+                    MacPhase::Idle if !self.stations[station.index()].mac.queue.is_empty() => {
+                        self.mac_kick(station);
                     }
                     _ => {}
                 }
@@ -500,7 +503,10 @@ impl World {
                 if self.stations[sid.index()].mac.radio_busy {
                     return; // shouldn't happen; drop the ACK
                 }
-                let ack = Frame::Ack { duration: 0, ra: to };
+                let ack = Frame::Ack {
+                    duration: 0,
+                    ra: to,
+                };
                 self.start_station_tx(sid, ack, rate, TxTag::Response { station: sid });
             }
             Some(SifsAction::SendProtectedData) => {
@@ -572,7 +578,9 @@ impl World {
         for k in 0..n {
             let (sid, power) = self.audible_stations[tx_entity as usize][k];
             let listener_entity = self.stations[sid.index()].entity;
-            let threshold = self.medium.cs_threshold_ddbm(listener_entity, rate, is_noise);
+            let threshold = self
+                .medium
+                .cs_threshold_ddbm(listener_entity, rate, is_noise);
             if power < threshold {
                 continue;
             }
@@ -589,9 +597,8 @@ impl World {
                     // Idle transition.
                     mac.idle_since = now.max(mac.nav_until);
                     let in_backoff = mac.phase == MacPhase::Backoff && !mac.radio_busy;
-                    let idle_kickable = mac.phase == MacPhase::Idle
-                        && !mac.radio_busy
-                        && !mac.queue.is_empty();
+                    let idle_kickable =
+                        mac.phase == MacPhase::Idle && !mac.radio_busy && !mac.queue.is_empty();
                     if in_backoff {
                         let at = mac.idle_since + DIFS_US + SLOT_US;
                         let gen = mac.bump_backoff();

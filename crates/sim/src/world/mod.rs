@@ -172,11 +172,7 @@ impl World {
     }
 
     /// Allocates a fresh ground-truth exchange id for a unicast MSDU.
-    pub fn new_exchange(
-        &mut self,
-        sender: MacAddr,
-        receiver: MacAddr,
-    ) -> u64 {
+    pub fn new_exchange(&mut self, sender: MacAddr, receiver: MacAddr) -> u64 {
         if !self.truth_covers(Some(sender), Some(receiver)) {
             return u64::MAX;
         }
@@ -250,8 +246,7 @@ impl World {
         self.stats.flows_completed = self.flows.iter().filter(|f| f.completed).count() as u64;
         for f in &self.flows {
             self.stats.tcp_rto_retx += f.client_end.rto_retransmits + f.host_end.rto_retransmits;
-            self.stats.tcp_fast_retx +=
-                f.client_end.fast_retransmits + f.host_end.fast_retransmits;
+            self.stats.tcp_fast_retx += f.client_end.fast_retransmits + f.host_end.fast_retransmits;
         }
 
         let mut traces = Vec::with_capacity(self.collectors.len());
@@ -287,9 +282,7 @@ impl World {
             })
             .collect();
 
-        self.truth
-            .transmissions
-            .sort_by_key(|t| t.start);
+        self.truth.transmissions.sort_by_key(|t| t.start);
         self.wired_trace.sort_by_key(|w| w.ts);
 
         SimOutput {

@@ -208,11 +208,9 @@ impl World {
             let ap_ids: Vec<StationId> = self
                 .stations
                 .iter()
-                .filter(|s|
-
-                    matches!(&s.role, crate::station::Role::Ap(a) if !a.external)
-                        && s.id != sid
-                )
+                .filter(|s| {
+                    matches!(&s.role, crate::station::Role::Ap(a) if !a.external) && s.id != sid
+                })
                 .map(|s| s.id)
                 .collect();
             for ap2 in ap_ids {
@@ -257,8 +255,10 @@ impl World {
                 msdu,
                 dst: WiredDst::Ap(ap2),
             });
-            self.queue
-                .schedule(now + SWITCH_LATENCY_US, EventKind::WiredArrival { handle: h });
+            self.queue.schedule(
+                now + SWITCH_LATENCY_US,
+                EventKind::WiredArrival { handle: h },
+            );
         }
     }
 
@@ -298,10 +298,8 @@ impl World {
                 );
                 self.enqueue_mgmt(sid, header.sa, resp);
             }
-            MgmtBody::Auth { auth_seq: 1, .. } => {
-                if header.da == my {
-                    self.enqueue_mgmt(sid, header.sa, crate::frames::auth(2));
-                }
+            MgmtBody::Auth { auth_seq: 1, .. } if header.da == my => {
+                self.enqueue_mgmt(sid, header.sa, crate::frames::auth(2));
             }
             MgmtBody::AssocReq { ies, .. } | MgmtBody::ReassocReq { ies, .. } => {
                 if header.da != my {
@@ -326,23 +324,20 @@ impl World {
                     }
                     let protection = ap.protection_on;
                     st.mac.protection = protection;
-                    st.mac.peer_cap.insert(
-                        header.sa,
-                        if b_only { PhyRate::R11 } else { PhyRate::R54 },
-                    );
+                    st.mac
+                        .peer_cap
+                        .insert(header.sa, if b_only { PhyRate::R11 } else { PhyRate::R54 });
                     aid
                 };
                 self.wired.learn_client(header.sa, sid);
                 self.enqueue_mgmt(sid, header.sa, crate::frames::assoc_resp(aid));
             }
-            MgmtBody::Disassoc { .. } | MgmtBody::Deauth { .. } => {
-                if header.da == my {
-                    let st = &mut self.stations[sid.index()];
-                    if let Some(ap) = st.role.as_ap_mut() {
-                        ap.clients.remove(&header.sa);
-                    }
-                    self.wired.forget_client(header.sa);
+            MgmtBody::Disassoc { .. } | MgmtBody::Deauth { .. } if header.da == my => {
+                let st = &mut self.stations[sid.index()];
+                if let Some(ap) = st.role.as_ap_mut() {
+                    ap.clients.remove(&header.sa);
                 }
+                self.wired.forget_client(header.sa);
             }
             _ => {}
         }
@@ -372,14 +367,7 @@ impl World {
                     let bytes = Msdu::Arp(reply).to_bytes();
                     let ap_addr = self.client_ap_addr(sid);
                     if let Some(ap_addr) = ap_addr {
-                        self.enqueue_msdu(
-                            sid,
-                            ap_addr,
-                            MacAddr(a.sender_mac),
-                            true,
-                            false,
-                            bytes,
-                        );
+                        self.enqueue_msdu(sid, ap_addr, MacAddr(a.sender_mac), true, false, bytes);
                     }
                 }
             }
@@ -607,7 +595,8 @@ impl World {
             msdu,
             dst: WiredDst::Ap(ap),
         });
-        self.queue.schedule(arrive, EventKind::WiredArrival { handle: h });
+        self.queue
+            .schedule(arrive, EventKind::WiredArrival { handle: h });
     }
 
     fn host_rx(&mut self, hid: HostId, pkt: WiredPacket) {
@@ -703,10 +692,7 @@ impl World {
             let gen = self.flows[fid as usize].client_end.timer_gen;
             self.queue.schedule(
                 deadline.max(now),
-                EventKind::TcpTimer {
-                    flow: fid * 2,
-                    gen,
-                },
+                EventKind::TcpTimer { flow: fid * 2, gen },
             );
         }
     }
@@ -746,7 +732,8 @@ impl World {
                 msdu,
                 dst: WiredDst::Ap(ap),
             });
-            self.queue.schedule(arrive, EventKind::WiredArrival { handle: h });
+            self.queue
+                .schedule(arrive, EventKind::WiredArrival { handle: h });
         }
         if let Some(deadline) = out.arm_timer {
             let gen = self.flows[fid as usize].host_end.timer_gen;
@@ -817,13 +804,17 @@ impl World {
     pub(crate) fn on_tcp_timer(&mut self, enc: u32, gen: u32) {
         let now = self.now;
         let fid = enc / 2;
-        let client_side = enc % 2 == 0;
+        let client_side = enc.is_multiple_of(2);
         if self.flows[fid as usize].completed {
             return;
         }
         let valid = {
             let f = &self.flows[fid as usize];
-            let e = if client_side { &f.client_end } else { &f.host_end };
+            let e = if client_side {
+                &f.client_end
+            } else {
+                &f.host_end
+            };
             e.timer_gen == gen && !e.is_done()
         };
         if !valid {
@@ -983,8 +974,7 @@ impl World {
                 match best {
                     Some((_, ap_addr, _)) => {
                         {
-                            let cs =
-                                self.stations[sid.index()].role.as_client_mut().unwrap();
+                            let cs = self.stations[sid.index()].role.as_client_mut().unwrap();
                             cs.phase = AssocPhase::Authenticating;
                             cs.assoc_retries = 0;
                         }
@@ -1003,10 +993,8 @@ impl World {
                     cs.assoc_retries += 1;
                     (cs.assoc_retries, cs.best_probe)
                 };
-                if retries > 3 || target.is_none() {
-                    self.begin_scan(sid);
-                } else {
-                    let (_, ap_addr, _) = target.unwrap();
+                let target = if retries > 3 { None } else { target };
+                if let Some((_, ap_addr, _)) = target {
                     let b_only = self.stations[sid.index()].mac.b_only;
                     let body = if phase == AssocPhase::Authenticating {
                         crate::frames::auth(1)
@@ -1015,6 +1003,8 @@ impl World {
                     };
                     self.enqueue_mgmt(sid, ap_addr, body);
                     self.schedule_app(sid, 200_000);
+                } else {
+                    self.begin_scan(sid);
                 }
             }
             AssocPhase::Associated => self.workload_step(sid, now),
@@ -1259,9 +1249,9 @@ impl World {
             // Schedule the next cooking session.
             let gap = crate::rng::exponential(&mut self.rng, self.cfg.microwave_gap_us as f64)
                 .max(1_000_000.0) as Micros;
-            let duration = self.rng.gen_range(
-                self.cfg.microwave_cook_us / 2..=self.cfg.microwave_cook_us.max(2),
-            );
+            let duration = self
+                .rng
+                .gen_range(self.cfg.microwave_cook_us / 2..=self.cfg.microwave_cook_us.max(2));
             self.interferers[i].session_until = now + gap + duration;
             self.queue
                 .schedule(now + gap, EventKind::NoiseBurst { entity: idx });

@@ -5,7 +5,9 @@
 use super::World;
 use crate::medium::{CompletedTx, OverlapInfo};
 use crate::monitor::capture_timestamp;
-use crate::prop::{fading_ddb, frame_error_prob, preamble_success_prob, CAPTURE_FLOOR_DDBM, CS_PREAMBLE_DDBM};
+use crate::prop::{
+    fading_ddb, frame_error_prob, preamble_success_prob, CAPTURE_FLOOR_DDBM, CS_PREAMBLE_DDBM,
+};
 use jigsaw_ieee80211::Channel;
 use jigsaw_trace::{PhyEvent, PhyStatus};
 use rand::Rng;
@@ -57,8 +59,8 @@ impl World {
             if o.channel != rx_channel {
                 return false;
             }
-            let earlier = o.start < subject_start
-                || (o.start == subject_start && o.entity < subject_entity);
+            let earlier =
+                o.start < subject_start || (o.start == subject_start && o.entity < subject_entity);
             earlier && self.medium.rx_power_ddbm(o.entity, rx_entity, o.channel) >= CS_PREAMBLE_DDBM
         })
     }
@@ -74,7 +76,10 @@ impl World {
                 continue;
             }
             // Half duplex: we were transmitting during this frame.
-            if self.medium.rx_was_transmitting(rx_entity, &completed.overlaps) {
+            if self
+                .medium
+                .rx_was_transmitting(rx_entity, &completed.overlaps)
+            {
                 continue;
             }
             if self.locked_elsewhere(
@@ -86,7 +91,9 @@ impl World {
             ) {
                 continue;
             }
-            let interference = self.medium.interference_ddbm(rx_entity, &completed.overlaps);
+            let interference = self
+                .medium
+                .interference_ddbm(rx_entity, &completed.overlaps);
             let power = power + fading_ddb(&mut self.rng);
             let sinr = power - interference;
             let fer = frame_error_prob(sinr, desc.rate, desc.bytes.len());
@@ -129,7 +136,9 @@ impl World {
                 None => continue,
             };
             let rx_channel = self.medium.entity(rx_entity).channel;
-            let interference = self.medium.interference_ddbm(rx_entity, &completed.overlaps);
+            let interference = self
+                .medium
+                .interference_ddbm(rx_entity, &completed.overlaps);
             let sinr = power - interference;
             let rssi_dbm = (power / 10 + self.rng.gen_range(-2..=2)) as i16;
 
@@ -156,7 +165,10 @@ impl World {
             ) {
                 // Collision at this vantage point: at most a PHY error.
                 Some(PhyStatus::PhyError)
-            } else if !self.rng.gen_bool(preamble_success_prob(sinr).clamp(0.0, 1.0)) {
+            } else if !self
+                .rng
+                .gen_bool(preamble_success_prob(sinr).clamp(0.0, 1.0))
+            {
                 Some(PhyStatus::PhyError)
             } else {
                 let fer = frame_error_prob(sinr, desc.rate, desc.bytes.len());

@@ -266,7 +266,9 @@ mod tests {
     #[test]
     fn garbage_never_panics() {
         for seed in 0u8..=255 {
-            let garbage: Vec<u8> = (0..64).map(|i| seed.wrapping_mul(31).wrapping_add(i)).collect();
+            let garbage: Vec<u8> = (0..64)
+                .map(|i| seed.wrapping_mul(31).wrapping_add(i))
+                .collect();
             let _ = decompress(&garbage, 1 << 16);
         }
     }

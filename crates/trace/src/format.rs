@@ -151,7 +151,8 @@ impl<W: Write> TraceWriter<W> {
             count: self.count,
         });
         self.sink.write_all(&(comp.len() as u32).to_le_bytes())?;
-        self.sink.write_all(&(self.raw.len() as u32).to_le_bytes())?;
+        self.sink
+            .write_all(&(self.raw.len() as u32).to_le_bytes())?;
         self.sink.write_all(&self.count.to_le_bytes())?;
         self.sink.write_all(&self.first_ts.to_le_bytes())?;
         self.sink.write_all(&comp)?;
@@ -274,7 +275,8 @@ impl<R: Read> TraceReader<R> {
         let status = PhyStatus::from_code(status).ok_or(FormatError::BadRecord("status code"))?;
         let (rate, n) = get_uvarint(&buf[used..]).ok_or(FormatError::BadRecord("rate"))?;
         used += n;
-        let rate = PhyRate::from_centi_mbps(rate as u16).ok_or(FormatError::BadRecord("rate code"))?;
+        let rate =
+            PhyRate::from_centi_mbps(rate as u16).ok_or(FormatError::BadRecord("rate code"))?;
         let (rssi, n) = get_ivarint(&buf[used..]).ok_or(FormatError::BadRecord("rssi"))?;
         used += n;
         let (wire_len, n) = get_uvarint(&buf[used..]).ok_or(FormatError::BadRecord("wire_len"))?;
@@ -434,16 +436,12 @@ mod tests {
     fn truncated_file_is_io_error_not_panic() {
         let buf = write_all(&[ev(1, b"hello world")], 200);
         for cut in 31..buf.len() {
-            let r = TraceReader::open(&buf[..cut]);
-            match r {
-                Ok(reader) => {
-                    for item in reader {
-                        if item.is_err() {
-                            break;
-                        }
+            if let Ok(reader) = TraceReader::open(&buf[..cut]) {
+                for item in reader {
+                    if item.is_err() {
+                        break;
                     }
                 }
-                Err(_) => {}
             }
         }
     }

@@ -46,11 +46,17 @@ pub fn read_index<R: Read>(mut source: R) -> io::Result<Vec<IndexEntry>> {
     let mut magic = [0u8; 4];
     source.read_exact(&mut magic)?;
     if magic != INDEX_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad index magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad index magic",
+        ));
     }
     let n = read_uvarint(&mut source)?;
     if n > 100_000_000 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "index too large"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "index too large",
+        ));
     }
     let mut entries = Vec::with_capacity(n as usize);
     let (mut po, mut pt) = (0u64, 0u64);

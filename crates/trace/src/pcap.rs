@@ -40,7 +40,8 @@ impl<W: Write> PcapWriter<W> {
         self.sink.write_all(&sec.to_le_bytes())?;
         self.sink.write_all(&usec.to_le_bytes())?;
         self.sink.write_all(&(bytes.len() as u32).to_le_bytes())?;
-        self.sink.write_all(&orig_len.max(bytes.len() as u32).to_le_bytes())?;
+        self.sink
+            .write_all(&orig_len.max(bytes.len() as u32).to_le_bytes())?;
         self.sink.write_all(bytes)?;
         self.frames += 1;
         Ok(())

@@ -29,8 +29,7 @@ fn main() {
     // 2. Run the Jigsaw pipeline: bootstrap sync → unification →
     //    link-layer → transport reconstruction, in one streaming pass.
     let (jframes, exchanges, report) =
-        Pipeline::run_collect(out.memory_streams(), &PipelineConfig::default())
-            .expect("pipeline");
+        Pipeline::run_collect(out.memory_streams(), &PipelineConfig::default()).expect("pipeline");
 
     println!("\n-- synchronization --");
     println!(

@@ -34,8 +34,7 @@ fn main() -> std::io::Result<()> {
         let meta = out.radio_meta[r];
         let path = dir.join(format!("radio{r:03}.jigt"));
         let mut w =
-            TraceWriter::create(BufWriter::new(File::create(&path)?), meta, 260)
-                .expect("create");
+            TraceWriter::create(BufWriter::new(File::create(&path)?), meta, 260).expect("create");
         for ev in events {
             raw_bytes += 32 + ev.bytes.len() as u64;
             w.append(ev).expect("append");
@@ -62,8 +61,8 @@ fn main() -> std::io::Result<()> {
         let reader = TraceReader::open(BufReader::new(File::open(&path)?)).expect("open");
         streams.push(ReaderStream::new(reader));
     }
-    let report = Pipeline::run(streams, &PipelineConfig::default(), |_| {}, |_| {})
-        .expect("pipeline");
+    let report =
+        Pipeline::run(streams, &PipelineConfig::default(), |_| {}, |_| {}).expect("pipeline");
     println!(
         "pipeline from disk: {} events -> {} jframes, {} exchanges, {} TCP flows",
         report.merge.events_in,

@@ -52,7 +52,10 @@ fn disk_roundtrip_preserves_pipeline_results() {
     assert_eq!(mem_report.merge.events_in, disk_report.merge.events_in);
     assert_eq!(mem_report.merge.jframes_out, disk_report.merge.jframes_out);
     assert_eq!(mem_report.link.exchanges, disk_report.link.exchanges);
-    assert_eq!(mem_report.transport.segments, disk_report.transport.segments);
+    assert_eq!(
+        mem_report.transport.segments,
+        disk_report.transport.segments
+    );
 }
 
 #[test]
@@ -80,7 +83,11 @@ fn analyses_compose_over_one_pass() {
     assert!(table.events_per_jframe > 1.0);
 
     let fig4 = dispersion.finish();
-    assert!(fig4.frac_below_20us > 0.8, "p<20us {}", fig4.frac_below_20us);
+    assert!(
+        fig4.frac_below_20us > 0.8,
+        "p<20us {}",
+        fig4.frac_below_20us
+    );
     assert!(fig4.cdf.len() > 100);
 
     let fig6 = coverage.finish();
@@ -105,10 +112,7 @@ fn pod_reduction_degrades_client_coverage_monotonically() {
         let streams: Vec<_> = radios
             .iter()
             .map(|&r| {
-                jigsaw::trace::stream::MemoryStream::new(
-                    out.radio_meta[r],
-                    out.traces[r].clone(),
-                )
+                jigsaw::trace::stream::MemoryStream::new(out.radio_meta[r], out.traces[r].clone())
             })
             .collect();
         let ap_addrs = ap_addrs.clone();
