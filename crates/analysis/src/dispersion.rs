@@ -115,6 +115,7 @@ mod tests {
             bytes: vec![],
             wire_len: 0,
             rate: jigsaw_ieee80211::PhyRate::R1,
+            channel: jigsaw_ieee80211::Channel::of(1),
             instances: vec![],
             dispersion: 0,
             valid: false,

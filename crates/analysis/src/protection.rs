@@ -294,6 +294,7 @@ mod tests {
                 bytes,
                 wire_len,
                 rate,
+                channel: jigsaw_ieee80211::Channel::of(1),
                 instances: vec![],
                 dispersion: 0,
                 valid: true,
@@ -359,6 +360,7 @@ mod tests {
                 bytes,
                 wire_len,
                 rate,
+                channel: jigsaw_ieee80211::Channel::of(1),
                 instances: vec![],
                 dispersion: 0,
                 valid: true,

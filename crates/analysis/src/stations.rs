@@ -145,6 +145,7 @@ mod tests {
             bytes,
             wire_len,
             rate,
+            channel: jigsaw_ieee80211::Channel::of(1),
             instances: vec![],
             dispersion: 0,
             valid: true,

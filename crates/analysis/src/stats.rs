@@ -39,12 +39,18 @@ impl Cdf {
     }
 
     /// Value at quantile `q` in [0, 1]. Returns `None` when empty.
+    ///
+    /// Lower-interpolation convention: the sample at index
+    /// `floor((n − 1) · q)`. This keeps `quantile(0.5)` equal to the
+    /// textbook lower median for every `n` (e.g. `[1, 2]` → 1), matching
+    /// the lower-middle median the merger uses for jframe placement —
+    /// nearest-rank rounding disagreed for small even `n`.
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
         if self.samples.is_empty() {
             return None;
         }
         self.ensure_sorted();
-        let idx = ((self.samples.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        let idx = ((self.samples.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).floor() as usize;
         Some(self.samples[idx])
     }
 
@@ -165,6 +171,34 @@ mod tests {
         assert_eq!(c.quantile(1.0), Some(5.0));
         assert_eq!(c.quantile(0.5), Some(3.0));
         assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn cdf_quantile_lower_interpolation_small_n() {
+        // n = 1: every quantile is the single sample.
+        let mut c = Cdf::new();
+        c.add(7.0);
+        assert_eq!(c.quantile(0.0), Some(7.0));
+        assert_eq!(c.quantile(0.5), Some(7.0));
+        assert_eq!(c.quantile(1.0), Some(7.0));
+
+        // n = 2: the median is the LOWER sample (nearest-rank gave 2.0).
+        let mut c = Cdf::new();
+        c.add(2.0);
+        c.add(1.0);
+        assert_eq!(c.quantile(0.5), Some(1.0));
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.quantile(1.0), Some(2.0));
+        assert_eq!(c.quantile(0.99), Some(1.0)); // floor, not round
+
+        // n = 3: odd n has a true middle sample.
+        let mut c = Cdf::new();
+        for v in [3.0, 1.0, 2.0] {
+            c.add(v);
+        }
+        assert_eq!(c.quantile(0.5), Some(2.0));
+        assert_eq!(c.quantile(0.49), Some(1.0));
+        assert_eq!(c.quantile(1.0), Some(3.0));
     }
 
     #[test]

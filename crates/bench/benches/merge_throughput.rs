@@ -2,11 +2,13 @@
 //! requirement — "trace merging should execute faster than real-time").
 //!
 //! Compares the Jigsaw merger against the Yeo-style and naive baselines on
-//! the same synthetic trace set, and reports events/second.
+//! the same synthetic trace set, and reports events/second — plus the
+//! merge stage alone, serial vs channel-sharded (`jigsaw_core::shard`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use jigsaw_core::baseline::{naive_merge, yeo_merge};
 use jigsaw_core::pipeline::{Pipeline, PipelineConfig};
+use jigsaw_core::shard::ShardConfig;
 use jigsaw_core::unify::MergeConfig;
 use jigsaw_sim::output::SimOutput;
 use jigsaw_sim::scenario::{ScenarioConfig, TruthConfig};
@@ -53,5 +55,36 @@ fn bench_mergers(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_mergers);
+/// The merge stage alone (bootstrap + unification, no reconstruction):
+/// serial vs channel-sharded at 1..=3 shard threads. The 1-thread sharded
+/// case measures pure sharding overhead (it degenerates to the serial
+/// merger inline).
+fn bench_sharded_merge(c: &mut Criterion) {
+    let out = small_world();
+    let events = out.total_events();
+    let mut g = c.benchmark_group("merge_stage");
+    g.throughput(Throughput::Elements(events));
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new("serial", events), |b| {
+        b.iter(|| {
+            Pipeline::merge_only(out.memory_streams(), &PipelineConfig::default(), |_| {}).unwrap()
+        })
+    });
+    for threads in [1usize, 2, 3] {
+        let cfg = PipelineConfig {
+            shard: ShardConfig {
+                max_threads: threads,
+                ..ShardConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        g.bench_function(BenchmarkId::new("sharded", threads), |b| {
+            b.iter(|| Pipeline::merge_only_parallel(out.memory_streams(), &cfg, |_| {}).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mergers, bench_sharded_merge);
 criterion_main!(benches);

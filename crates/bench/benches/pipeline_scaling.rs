@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use jigsaw_analysis::coverage::{pods_subset, radios_of_pods};
 use jigsaw_bench::subset_streams;
 use jigsaw_core::pipeline::{Pipeline, PipelineConfig};
+use jigsaw_core::shard::ShardConfig;
 use jigsaw_sim::output::SimOutput;
 use jigsaw_sim::scenario::{ScenarioConfig, TruthConfig};
 
@@ -36,6 +37,38 @@ fn bench_radio_scaling(c: &mut Criterion) {
             })
         });
     }
+    g.finish();
+}
+
+/// Full paper-day pipeline, serial vs channel-sharded merge: the end-to-end
+/// win includes merge/reconstruction overlap, not just merge parallelism.
+fn bench_parallel_pipeline(c: &mut Criterion) {
+    let out = world();
+    let events = out.total_events();
+    let mut g = c.benchmark_group("pipeline_paper_day");
+    g.throughput(Throughput::Elements(events.max(1)));
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("serial", events), |b| {
+        b.iter(|| {
+            Pipeline::run(
+                out.memory_streams(),
+                &PipelineConfig::default(),
+                |_| {},
+                |_| {},
+            )
+            .unwrap()
+        })
+    });
+    let cfg = PipelineConfig {
+        shard: ShardConfig {
+            max_threads: 3,
+            ..ShardConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    g.bench_function(BenchmarkId::new("sharded3", events), |b| {
+        b.iter(|| Pipeline::run_parallel(out.memory_streams(), &cfg, |_| {}, |_| {}).unwrap())
+    });
     g.finish();
 }
 
@@ -77,5 +110,10 @@ fn bench_trace_io(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_radio_scaling, bench_trace_io);
+criterion_group!(
+    benches,
+    bench_radio_scaling,
+    bench_parallel_pipeline,
+    bench_trace_io
+);
 criterion_main!(benches);

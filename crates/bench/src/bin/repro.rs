@@ -1,12 +1,20 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--seed N] [--scale F] [all|smoke|table1|fig4|fig6|fig7|fig8|fig9|
-//!        fig10|fig11|link-stats|coverage-oracle|ablations|baselines]
+//! repro [--seed N] [--scale F] [--parallel] [--threads N]
+//!       [all|smoke|table1|fig4|fig6|fig7|fig8|fig9|fig10|fig11|
+//!        link-stats|coverage-oracle|ablations|baselines|bench-merge]
 //! ```
 //!
 //! `smoke` is the CI entry point: a seconds-long `ScenarioConfig::tiny`
-//! run through the full pipeline, failing loudly if anything degenerates.
+//! run through the full pipeline — once with the serial merger and once
+//! with the channel-sharded parallel merge, asserting both produce the
+//! same jframe stream — failing loudly if anything degenerates.
+//!
+//! `--parallel` switches the single-trace figures onto
+//! `Pipeline::run_parallel_full` (`--threads` caps the shard threads).
+//! `bench-merge` (also part of `all`) times the merge stage serial vs
+//! sharded and writes the comparison to `BENCH_merge.json`.
 //!
 //! Each subcommand simulates the building (or reuses the shared run in
 //! `all` mode), pushes the traces through the Jigsaw pipeline, and prints
@@ -21,9 +29,10 @@ use jigsaw_analysis::interference::InterferenceAnalysis;
 use jigsaw_analysis::protection::ProtectionAnalysis;
 use jigsaw_analysis::summary::SummaryBuilder;
 use jigsaw_analysis::tcploss::tcp_loss_figure;
-use jigsaw_bench::{minute_bin_us, paper_scenario, subset_streams};
+use jigsaw_bench::{minute_bin_us, paper_scenario, subset_streams, MergeBench};
 use jigsaw_core::baseline::{naive_merge, yeo_merge};
 use jigsaw_core::pipeline::{Pipeline, PipelineConfig};
+use jigsaw_core::shard::ShardConfig;
 use jigsaw_core::unify::MergeConfig;
 use jigsaw_sim::output::SimOutput;
 use jigsaw_sim::scenario::TruthConfig;
@@ -32,22 +41,46 @@ use std::time::Instant;
 struct Args {
     seed: u64,
     scale: f64,
+    /// Run single-trace figures through the channel-sharded merge.
+    parallel: bool,
+    /// Shard-thread cap (0 = one per channel, up to the core count).
+    threads: usize,
     cmd: String,
 }
 
 fn parse_args() -> Args {
     let mut seed = 20060124; // the paper's trace date
     let mut scale = 0.25;
+    let mut parallel = false;
+    let mut threads = 0usize;
     let mut cmd = String::from("all");
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
+            "--parallel" => parallel = true,
+            "--threads" => threads = it.next().and_then(|v| v.parse().ok()).unwrap_or(threads),
             other => cmd = other.to_string(),
         }
     }
-    Args { seed, scale, cmd }
+    Args {
+        seed,
+        scale,
+        parallel,
+        threads,
+        cmd,
+    }
+}
+
+fn pipeline_config(args: &Args) -> PipelineConfig {
+    PipelineConfig {
+        shard: ShardConfig {
+            max_threads: args.threads,
+            ..ShardConfig::default()
+        },
+        ..PipelineConfig::default()
+    }
 }
 
 fn banner(title: &str) {
@@ -91,15 +124,16 @@ fn simulate(seed: u64, scale: f64) -> SimOutput {
 fn main() {
     let args = parse_args();
     match args.cmd.as_str() {
-        "all" => run_all(args.seed, args.scale),
+        "all" => run_all(&args),
         "table1" | "fig4" | "fig8" | "fig9" | "fig10" | "fig11" | "fig6" | "link-stats" => {
-            run_main_trace(args.seed, args.scale, Some(args.cmd.as_str()))
+            run_main_trace(&args, Some(args.cmd.as_str()))
         }
-        "smoke" => run_smoke(args.seed),
+        "smoke" => run_smoke(&args),
         "fig7" => run_fig7(args.seed, args.scale),
         "coverage-oracle" => run_oracle(args.seed, args.scale),
         "ablations" => run_ablations(args.seed, args.scale),
         "baselines" => run_baselines(args.seed, args.scale),
+        "bench-merge" => run_bench_merge(&args),
         other => {
             eprintln!("unknown subcommand {other}");
             std::process::exit(2);
@@ -107,16 +141,18 @@ fn main() {
     }
 }
 
-fn run_all(seed: u64, scale: f64) {
-    run_main_trace(seed, scale, None);
-    run_fig7(seed, scale);
-    run_oracle(seed, scale);
-    run_ablations(seed, scale);
-    run_baselines(seed, scale);
+fn run_all(args: &Args) {
+    run_main_trace(args, None);
+    run_fig7(args.seed, args.scale);
+    run_oracle(args.seed, args.scale);
+    run_ablations(args.seed, args.scale);
+    run_baselines(args.seed, args.scale);
+    run_bench_merge(args);
 }
 
 /// One shared simulation + pipeline pass feeding every single-trace figure.
-fn run_main_trace(seed: u64, scale: f64, only: Option<&str>) {
+fn run_main_trace(args: &Args, only: Option<&str>) {
+    let (seed, scale) = (args.seed, args.scale);
     let out = simulate(seed, scale);
     let day = out.duration_us;
     let bin = minute_bin_us(day) * 60; // "hour" bins for readable tables
@@ -132,25 +168,42 @@ fn run_main_trace(seed: u64, scale: f64, only: Option<&str>) {
     let ap_lookup = move |sid: u16| ap_addrs[usize::from(sid)];
     let mut coverage = CoverageAnalysis::new(&out.wired, &ap_lookup, 10_000_000);
 
+    let cfg = pipeline_config(args);
     let t0 = Instant::now();
-    let report = Pipeline::run_full(
-        out.memory_streams(),
-        &PipelineConfig::default(),
-        |jf| {
-            summary.observe(jf);
-            dispersion.observe(jf);
-            activity.observe(jf);
-            interference.borrow_mut().observe_jframe(jf);
-            protection.observe(jf);
-        },
-        |a| interference.borrow_mut().observe_attempt(a),
-        |x| coverage.observe_exchange(x),
-    )
+    let jframe_sink = |jf: &jigsaw_core::JFrame| {
+        summary.observe(jf);
+        dispersion.observe(jf);
+        activity.observe(jf);
+        interference.borrow_mut().observe_jframe(jf);
+        protection.observe(jf);
+    };
+    let report = if args.parallel {
+        Pipeline::run_parallel_full(
+            out.memory_streams(),
+            &cfg,
+            jframe_sink,
+            |a| interference.borrow_mut().observe_attempt(a),
+            |x| coverage.observe_exchange(x),
+        )
+    } else {
+        Pipeline::run_full(
+            out.memory_streams(),
+            &cfg,
+            jframe_sink,
+            |a| interference.borrow_mut().observe_attempt(a),
+            |x| coverage.observe_exchange(x),
+        )
+    }
     .expect("pipeline");
     let elapsed = t0.elapsed();
     let realtime_factor = day as f64 / 1e6 / elapsed.as_secs_f64();
+    let driver = if args.parallel {
+        "sharded merge"
+    } else {
+        "serial merge"
+    };
     eprintln!(
-        "[pipeline] merged {} events into {} jframes in {:.1?} ({realtime_factor:.1}x faster than real time)",
+        "[pipeline] merged {} events into {} jframes in {:.1?} ({realtime_factor:.1}x faster than real time, {driver})",
         report.merge.events_in, report.merge.jframes_out, elapsed
     );
 
@@ -366,22 +419,52 @@ fn run_ablations(seed: u64, scale: f64) {
 }
 
 /// CI smoke: the tiny scenario through the whole sim → merge → analysis
-/// path in a few seconds, with hard failures on degenerate output.
-fn run_smoke(seed: u64) {
-    banner("SMOKE — ScenarioConfig::tiny through the full pipeline");
+/// path in a few seconds, with hard failures on degenerate output — run
+/// once serial and once through the channel-sharded merge, asserting both
+/// drivers produce the identical jframe stream.
+fn run_smoke(args: &Args) {
+    banner("SMOKE — ScenarioConfig::tiny, serial vs channel-sharded");
     let t0 = Instant::now();
-    let out = jigsaw_sim::scenario::ScenarioConfig::tiny(seed).run();
+    let out = jigsaw_sim::scenario::ScenarioConfig::tiny(args.seed).run();
     let events = out.total_events();
+
     let mut exchanges = 0u64;
+    let mut serial_keys: Vec<(u64, u8, u32)> = Vec::new();
+    let ts = Instant::now();
     let report = Pipeline::run(
         out.memory_streams(),
         &PipelineConfig::default(),
-        |_| {},
+        |jf| serial_keys.push((jf.ts, jf.channel.number(), jf.wire_len)),
         |_| exchanges += 1,
     )
     .expect("pipeline");
+    let serial_t = ts.elapsed();
+
+    // Parallel pass: force one shard thread per channel even on small
+    // machines — CI must exercise the threaded path, not the degenerate
+    // single-shard fallback.
+    let channels = jigsaw_trace::stream::distinct_channels(&out.radio_meta).len();
+    let cfg = PipelineConfig {
+        shard: ShardConfig {
+            max_threads: channels.max(1),
+            ..ShardConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let mut par_exchanges = 0u64;
+    let mut par_keys: Vec<(u64, u8, u32)> = Vec::new();
+    let tp = Instant::now();
+    let par_report = Pipeline::run_parallel(
+        out.memory_streams(),
+        &cfg,
+        |jf| par_keys.push((jf.ts, jf.channel.number(), jf.wire_len)),
+        |_| par_exchanges += 1,
+    )
+    .expect("parallel pipeline");
+    let par_t = tp.elapsed();
+
     println!(
-        "events {events}  jframes {}  exchanges {exchanges}  flows {}  elapsed {:.1?}",
+        "events {events}  jframes {}  exchanges {exchanges}  flows {}  serial {serial_t:.1?}  sharded({channels} ch) {par_t:.1?}  total {:.1?}",
         report.merge.jframes_out,
         report.flows.len(),
         t0.elapsed()
@@ -393,7 +476,59 @@ fn run_smoke(seed: u64) {
         report.merge.events_in, events,
         "merger dropped events on the floor"
     );
-    println!("smoke OK");
+    // Sharded ≡ serial: same events, same jframe count, same stream.
+    assert_eq!(
+        par_report.merge.events_in, report.merge.events_in,
+        "sharded merge dropped events"
+    );
+    assert_eq!(
+        par_report.merge.jframes_out, report.merge.jframes_out,
+        "sharded merge jframe count diverged from serial"
+    );
+    assert_eq!(
+        par_keys, serial_keys,
+        "sharded merge jframe stream diverged from serial"
+    );
+    assert_eq!(
+        par_exchanges, exchanges,
+        "downstream reconstruction diverged"
+    );
+    println!(
+        "smoke OK (serial == sharded, {} jframes)",
+        serial_keys.len()
+    );
+}
+
+/// Times the merge stage (bootstrap + unification only) serial vs sharded
+/// on the paper-day scenario and records the comparison in
+/// `BENCH_merge.json`.
+fn run_bench_merge(args: &Args) {
+    banner("BENCH — merge stage, serial vs channel-sharded");
+    let out = simulate(args.seed, args.scale);
+    let bench = MergeBench::run(&out, "paper_day", args.scale, args.threads);
+    println!(
+        "events {}  channels {}  threads {}  cores {}  serial {:.3}s  parallel {:.3}s  speedup {:.2}x",
+        bench.events,
+        bench.channels,
+        bench.threads,
+        bench.cores,
+        bench.serial_s,
+        bench.parallel_s,
+        bench.speedup()
+    );
+    if bench.cores < bench.threads {
+        println!(
+            "(note: {} shard threads on {} core(s) — speedup needs ≥ {} cores to materialize)",
+            bench.threads, bench.cores, bench.threads
+        );
+    }
+    assert_eq!(
+        bench.jframes_serial, bench.jframes_parallel,
+        "sharded merge diverged from serial"
+    );
+    let path = "BENCH_merge.json";
+    std::fs::write(path, bench.to_json()).expect("write BENCH_merge.json");
+    println!("wrote {path}");
 }
 
 /// Baseline mergers vs Jigsaw.

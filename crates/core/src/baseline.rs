@@ -13,11 +13,11 @@
 //!   building scale.
 
 use crate::jframe::JFrame;
-use crate::sync::bootstrap::{bootstrap, BootstrapConfig, BootstrapReport};
+use crate::sync::bootstrap::{BootstrapConfig, BootstrapReport};
 use crate::unify::{MergeConfig, MergeStats, Merger};
 use jigsaw_trace::format::FormatError;
 use jigsaw_trace::stream::EventStream;
-use jigsaw_trace::{PhyEvent, RadioMeta};
+use jigsaw_trace::PhyEvent;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -98,6 +98,7 @@ pub fn naive_merge<S: EventStream>(
                     bytes: rep.bytes.clone(),
                     wire_len: rep.wire_len,
                     rate: rep.rate,
+                    channel: rep.channel,
                     instances,
                     dispersion: max - min,
                     valid: rep.status == jigsaw_trace::PhyStatus::Ok,
@@ -134,28 +135,14 @@ pub fn yeo_merge<S: EventStream>(
     merge_cfg: &MergeConfig,
     sink: impl FnMut(JFrame),
 ) -> Result<(MergeStats, BootstrapReport), crate::pipeline::PipelineError> {
-    let metas: Vec<RadioMeta> = streams.iter().map(|s| s.meta()).collect();
-    let mut prefixes: Vec<Vec<PhyEvent>> = Vec::with_capacity(streams.len());
-    for s in streams.iter_mut() {
-        let meta = s.meta();
-        let hi = meta.anchor_local_us.saturating_add(bootstrap_cfg.window_us);
-        let mut prefix = Vec::new();
-        while let Some(ev) = s.next_event()? {
-            let stop = ev.ts_local > hi;
-            prefix.push(ev);
-            if stop {
-                break;
-            }
-        }
-        prefixes.push(prefix);
-    }
-    let boot = bootstrap(&metas, &prefixes, bootstrap_cfg)?;
+    let prefixes = crate::pipeline::BootstrapPrefixes::read(&mut streams, bootstrap_cfg.window_us)?;
+    let boot = prefixes.bootstrap(bootstrap_cfg)?;
     let cfg = MergeConfig {
         resync_enabled: false,
         ..merge_cfg.clone()
     };
     let mut merger = Merger::new(streams, &boot.offsets, cfg);
-    for (r, prefix) in prefixes.into_iter().enumerate() {
+    for (r, prefix) in prefixes.events.into_iter().enumerate() {
         merger.seed_pending(r, prefix);
     }
     let stats = merger.run(sink)?;

@@ -3,7 +3,7 @@
 
 use jigsaw_ieee80211::frame::Frame;
 use jigsaw_ieee80211::wire::parse_frame;
-use jigsaw_ieee80211::{Micros, PhyRate};
+use jigsaw_ieee80211::{Channel, Micros, PhyRate};
 use jigsaw_trace::{PhyStatus, RadioId};
 
 /// One radio's reception of the transmission.
@@ -36,6 +36,11 @@ pub struct JFrame {
     pub wire_len: u32,
     /// PLCP rate.
     pub rate: PhyRate,
+    /// The channel the transmission was captured on. Every instance comes
+    /// from a radio tuned to this channel: radios on other channels cannot
+    /// hear the same transmission, so unification never crosses channels
+    /// (and the channel-sharded merge exploits exactly that).
+    pub channel: Channel,
     /// Every reception that was unified into this jframe.
     pub instances: Vec<Instance>,
     /// Worst-case time offset between any two instances (µs) — the paper's
@@ -108,6 +113,7 @@ mod tests {
             bytes,
             wire_len,
             rate: PhyRate::R11,
+            channel: Channel::of(1),
             instances: vec![],
             dispersion: 0,
             valid,

@@ -26,8 +26,13 @@
 //! * [`transport`] — **transport reconstruction** (§5.2): TCP flow
 //!   reassembly, covering-ACK delivery oracle, monitor-omission inference,
 //!   and wireless/wired loss attribution;
+//! * [`shard`] — **channel-sharded parallel unification**: radios tuned to
+//!   different channels never share a jframe, so the merge partitions by
+//!   channel, runs one `Merger` per shard on its own thread, and K-way
+//!   merges the results back into the serial emission order;
 //! * [`pipeline`] — the single-pass streaming driver tying it together
-//!   (requirement 3 of §4: faster than real time, one pass);
+//!   (requirement 3 of §4: faster than real time, one pass), with
+//!   [`pipeline::Pipeline::run_parallel`] as the sharded variant;
 //! * [`baseline`] — the comparison mergers the benchmarks run against:
 //!   a `mergecap`-style local-timestamp merge and a Yeo-style
 //!   beacon-reference synchronizer without skew management.
@@ -36,10 +41,12 @@ pub mod baseline;
 pub mod jframe;
 pub mod link;
 pub mod pipeline;
+pub mod shard;
 pub mod sync;
 pub mod transport;
 pub mod unify;
 
 pub use jframe::{Instance, JFrame};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
+pub use shard::ShardConfig;
 pub use unify::{MergeConfig, Merger};

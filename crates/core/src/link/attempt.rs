@@ -401,6 +401,7 @@ mod tests {
             bytes,
             wire_len,
             rate,
+            channel: jigsaw_ieee80211::Channel::of(1),
             instances: vec![],
             dispersion: 0,
             valid: true,
@@ -625,6 +626,7 @@ mod tests {
             bytes: vec![0xff; 10],
             wire_len: 10,
             rate: PhyRate::R1,
+            channel: jigsaw_ieee80211::Channel::of(1),
             instances: vec![],
             dispersion: 0,
             valid: false,

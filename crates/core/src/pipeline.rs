@@ -4,16 +4,27 @@
 //! consumed once, in time order, and every stage streams into the next.
 //! Analyses subscribe via sinks instead of materializing the 500M-jframe
 //! intermediate the paper's hardware had to contend with.
+//!
+//! Two drivers share every stage:
+//! * [`Pipeline::run`] / [`Pipeline::run_full`] — the serial merger;
+//! * [`Pipeline::run_parallel`] / [`Pipeline::run_parallel_full`] — the
+//!   channel-sharded merge ([`crate::shard`]): one merge thread per channel
+//!   shard, with link/transport reconstruction consuming the K-way-merged
+//!   jframe stream on the calling thread (so merging and reconstruction
+//!   overlap). Output is jframe-for-jframe identical to the serial driver.
 
 use crate::jframe::JFrame;
-use crate::link::attempt::AttemptAssembler;
+use crate::link::attempt::{Attempt, AttemptAssembler, AttemptStats};
 use crate::link::exchange::{Exchange, ExchangeAssembler, LinkStats};
+use crate::shard::ShardConfig;
 use crate::sync::bootstrap::{bootstrap, BootstrapConfig, BootstrapError, BootstrapReport};
 use crate::transport::flow::{FlowRecord, TransportAnalyzer, TransportStats};
 use crate::unify::{MergeConfig, MergeStats, Merger};
 use jigsaw_trace::format::FormatError;
 use jigsaw_trace::stream::EventStream;
 use jigsaw_trace::{PhyEvent, RadioMeta};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Default)]
@@ -22,6 +33,8 @@ pub struct PipelineConfig {
     pub bootstrap: BootstrapConfig,
     /// Unification parameters.
     pub merge: MergeConfig,
+    /// Channel-sharding parameters (the parallel drivers only).
+    pub shard: ShardConfig,
 }
 
 /// Everything the pipeline reports at the end of a run.
@@ -32,7 +45,7 @@ pub struct PipelineReport {
     /// Merge statistics.
     pub merge: MergeStats,
     /// Attempt-assembly statistics.
-    pub attempts: crate::link::attempt::AttemptStats,
+    pub attempts: AttemptStats,
     /// Exchange-assembly statistics (the paper's §5.1 inference rates).
     pub link: LinkStats,
     /// Per-flow transport records.
@@ -73,6 +86,167 @@ impl From<FormatError> for PipelineError {
     }
 }
 
+/// The per-radio bootstrap prefix: every event pulled off the stream while
+/// locating the end of the bootstrap window, plus how many of them actually
+/// lie *inside* the window.
+///
+/// Reading stops at the first event past the window, and that event has
+/// already been consumed from the stream — it must be kept for merger
+/// seeding (dropping it would lose an event) but must NOT feed offset
+/// estimation: it is outside the NTP-delimited window `bootstrap()`
+/// contracts for, and one out-of-window reference frame is enough to skew
+/// a synchronization set.
+pub(crate) struct BootstrapPrefixes {
+    /// Radio metadata, one per stream.
+    pub metas: Vec<RadioMeta>,
+    /// All consumed events per radio (seed these into the merger).
+    pub events: Vec<Vec<PhyEvent>>,
+    /// Per radio: how many leading `events` fall within the window.
+    pub in_window: Vec<usize>,
+}
+
+impl BootstrapPrefixes {
+    /// Reads the bootstrap window from every stream.
+    pub fn read<S: EventStream>(streams: &mut [S], window_us: u64) -> Result<Self, FormatError> {
+        let mut metas = Vec::with_capacity(streams.len());
+        let mut events = Vec::with_capacity(streams.len());
+        let mut in_window = Vec::with_capacity(streams.len());
+        for s in streams.iter_mut() {
+            let meta = s.meta();
+            let hi = meta.anchor_local_us.saturating_add(window_us);
+            let mut prefix: Vec<PhyEvent> = Vec::new();
+            while let Some(ev) = s.next_event()? {
+                let past_window = ev.ts_local > hi;
+                prefix.push(ev);
+                if past_window {
+                    break;
+                }
+            }
+            let n = match prefix.last() {
+                Some(last) if last.ts_local > hi => prefix.len() - 1,
+                _ => prefix.len(),
+            };
+            metas.push(meta);
+            events.push(prefix);
+            in_window.push(n);
+        }
+        Ok(BootstrapPrefixes {
+            metas,
+            events,
+            in_window,
+        })
+    }
+
+    /// Runs bootstrap over the in-window slices only.
+    pub fn bootstrap(&self, cfg: &BootstrapConfig) -> Result<BootstrapReport, BootstrapError> {
+        let views: Vec<&[PhyEvent]> = self
+            .events
+            .iter()
+            .zip(&self.in_window)
+            .map(|(evs, &n)| &evs[..n])
+            .collect();
+        bootstrap(&self.metas, &views, cfg)
+    }
+}
+
+/// Everything downstream of unification: attempt assembly → exchange
+/// assembly → transport reconstruction, plus the exchange reordering heap
+/// (exchanges close out of order — a delivered exchange closes at its ACK,
+/// an ambiguous one lingers to the 500 ms timeout — but transport
+/// reconstruction needs transmission-time order, so closed exchanges sit in
+/// a small heap until a 1 s watermark passes them).
+///
+/// Both the serial and the sharded drivers feed this consumer, so parallel
+/// runs reconstruct exactly what serial runs reconstruct.
+struct Downstream<FJ, FA, FX> {
+    attempts: AttemptAssembler,
+    exchanges: ExchangeAssembler,
+    transport: TransportAnalyzer,
+    attempt_buf: Vec<Attempt>,
+    exchange_buf: Vec<Exchange>,
+    reorder: BinaryHeap<Reverse<(u64, u64)>>,
+    reorder_store: HashMap<u64, Exchange>,
+    reorder_seq: u64,
+    jframe_sink: FJ,
+    attempt_sink: FA,
+    exchange_sink: FX,
+}
+
+const REORDER_HORIZON_US: u64 = 1_000_000;
+
+impl<FJ, FA, FX> Downstream<FJ, FA, FX>
+where
+    FJ: FnMut(&JFrame),
+    FA: FnMut(&Attempt),
+    FX: FnMut(&Exchange),
+{
+    fn new(jframe_sink: FJ, attempt_sink: FA, exchange_sink: FX) -> Self {
+        Downstream {
+            attempts: AttemptAssembler::new(),
+            exchanges: ExchangeAssembler::new(),
+            transport: TransportAnalyzer::new(),
+            attempt_buf: Vec::new(),
+            exchange_buf: Vec::new(),
+            reorder: BinaryHeap::new(),
+            reorder_store: HashMap::new(),
+            reorder_seq: 0,
+            jframe_sink,
+            attempt_sink,
+            exchange_sink,
+        }
+    }
+
+    fn enqueue_closed(&mut self) {
+        for x in self.exchange_buf.drain(..) {
+            self.reorder.push(Reverse((x.first_ts, self.reorder_seq)));
+            self.reorder_store.insert(self.reorder_seq, x);
+            self.reorder_seq += 1;
+        }
+    }
+
+    fn observe(&mut self, jf: &JFrame) {
+        (self.jframe_sink)(jf);
+        self.attempts.push(jf, &mut self.attempt_buf);
+        for a in self.attempt_buf.drain(..) {
+            (self.attempt_sink)(&a);
+            self.exchanges.push(a, &mut self.exchange_buf);
+        }
+        self.enqueue_closed();
+        let watermark = jf.ts.saturating_sub(REORDER_HORIZON_US);
+        while let Some(&Reverse((ts, seq))) = self.reorder.peek() {
+            if ts >= watermark {
+                break;
+            }
+            self.reorder.pop();
+            let x = self.reorder_store.remove(&seq).expect("stored exchange");
+            self.transport.push(&x);
+            (self.exchange_sink)(&x);
+        }
+    }
+
+    fn finish(mut self) -> (AttemptStats, LinkStats, Vec<FlowRecord>, TransportStats) {
+        self.attempts.finish(&mut self.attempt_buf);
+        for a in self.attempt_buf.drain(..) {
+            (self.attempt_sink)(&a);
+            self.exchanges.push(a, &mut self.exchange_buf);
+        }
+        self.exchanges.finish(&mut self.exchange_buf);
+        self.enqueue_closed();
+        while let Some(Reverse((_, seq))) = self.reorder.pop() {
+            let x = self.reorder_store.remove(&seq).expect("stored exchange");
+            self.transport.push(&x);
+            (self.exchange_sink)(&x);
+        }
+        let (flows, transport_stats) = self.transport.finish();
+        (
+            self.attempts.stats.clone(),
+            self.exchanges.stats.clone(),
+            flows,
+            transport_stats,
+        )
+    }
+}
+
 /// The pipeline driver.
 pub struct Pipeline;
 
@@ -96,105 +270,120 @@ impl Pipeline {
     pub fn run_full<S: EventStream>(
         mut streams: Vec<S>,
         cfg: &PipelineConfig,
-        mut jframe_sink: impl FnMut(&JFrame),
-        mut attempt_sink: impl FnMut(&crate::link::attempt::Attempt),
-        mut exchange_sink: impl FnMut(&Exchange),
+        jframe_sink: impl FnMut(&JFrame),
+        attempt_sink: impl FnMut(&Attempt),
+        exchange_sink: impl FnMut(&Exchange),
     ) -> Result<PipelineReport, PipelineError> {
-        // --- phase 1: read the bootstrap window from every trace ---
-        let metas: Vec<RadioMeta> = streams.iter().map(|s| s.meta()).collect();
-        let mut prefixes: Vec<Vec<PhyEvent>> = Vec::with_capacity(streams.len());
-        for s in streams.iter_mut() {
-            let meta = s.meta();
-            let hi = meta.anchor_local_us.saturating_add(cfg.bootstrap.window_us);
-            let mut prefix = Vec::new();
-            while let Some(ev) = s.next_event()? {
-                let stop = ev.ts_local > hi;
-                prefix.push(ev);
-                if stop {
-                    break;
-                }
-            }
-            prefixes.push(prefix);
-        }
+        let prefixes = BootstrapPrefixes::read(&mut streams, cfg.bootstrap.window_us)?;
+        let boot = prefixes.bootstrap(&cfg.bootstrap)?;
 
-        // --- phase 2: bootstrap synchronization ---
-        let boot = bootstrap(&metas, &prefixes, &cfg.bootstrap)?;
-
-        // --- phase 3: streaming merge + reconstruction ---
         let mut merger = Merger::new(streams, &boot.offsets, cfg.merge.clone());
-        for (r, prefix) in prefixes.into_iter().enumerate() {
+        for (r, prefix) in prefixes.events.into_iter().enumerate() {
             merger.seed_pending(r, prefix);
         }
-
-        let mut attempts = AttemptAssembler::new();
-        let mut exchanges = ExchangeAssembler::new();
-        let mut transport = TransportAnalyzer::new();
-        let mut attempt_buf = Vec::new();
-        let mut exchange_buf = Vec::new();
-
-        // Exchanges close out of order (a delivered exchange closes at its
-        // ACK; an ambiguous one lingers to the 500 ms timeout). Transport
-        // reconstruction needs them in transmission-time order, so they sit
-        // in a small reordering heap until a 1 s watermark passes them.
-        use std::cmp::Reverse;
-        use std::collections::BinaryHeap;
-        let mut reorder: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
-        let mut reorder_store: std::collections::HashMap<u64, Exchange> =
-            std::collections::HashMap::new();
-        let mut reorder_seq = 0u64;
-        const REORDER_HORIZON_US: u64 = 1_000_000;
-
-        let merge_stats = merger.run(|jf| {
-            jframe_sink(&jf);
-            attempts.push(&jf, &mut attempt_buf);
-            for a in attempt_buf.drain(..) {
-                attempt_sink(&a);
-                exchanges.push(a, &mut exchange_buf);
-            }
-            for x in exchange_buf.drain(..) {
-                let key = (x.first_ts, reorder_seq);
-                reorder.push(Reverse(key));
-                reorder_store.insert(reorder_seq, x);
-                reorder_seq += 1;
-            }
-            let watermark = jf.ts.saturating_sub(REORDER_HORIZON_US);
-            while let Some(&Reverse((ts, seq))) = reorder.peek() {
-                if ts >= watermark {
-                    break;
-                }
-                reorder.pop();
-                let x = reorder_store.remove(&seq).expect("stored exchange");
-                transport.push(&x);
-                exchange_sink(&x);
-            }
-        })?;
-        attempts.finish(&mut attempt_buf);
-        for a in attempt_buf.drain(..) {
-            attempt_sink(&a);
-            exchanges.push(a, &mut exchange_buf);
-        }
-        exchanges.finish(&mut exchange_buf);
-        for x in exchange_buf.drain(..) {
-            let key = (x.first_ts, reorder_seq);
-            reorder.push(Reverse(key));
-            reorder_store.insert(reorder_seq, x);
-            reorder_seq += 1;
-        }
-        while let Some(Reverse((_, seq))) = reorder.pop() {
-            let x = reorder_store.remove(&seq).expect("stored exchange");
-            transport.push(&x);
-            exchange_sink(&x);
-        }
-        let (flows, transport_stats) = transport.finish();
+        let mut ds = Downstream::new(jframe_sink, attempt_sink, exchange_sink);
+        let merge_stats = merger.run(|jf| ds.observe(&jf))?;
+        let (attempts, link, flows, transport) = ds.finish();
 
         Ok(PipelineReport {
             bootstrap: boot,
             merge: merge_stats,
-            attempts: attempts.stats.clone(),
-            link: exchanges.stats.clone(),
+            attempts,
+            link,
             flows,
-            transport: transport_stats,
+            transport,
         })
+    }
+
+    /// [`Pipeline::run`] with the channel-sharded parallel merge
+    /// ([`crate::shard`]): bootstrap is unchanged (it is global — monitor
+    /// clocks bridge channels), the merge fans out one thread per channel
+    /// shard, and reconstruction consumes the re-merged stream here on the
+    /// calling thread. Jframe/exchange output is identical to [`Pipeline::run`].
+    pub fn run_parallel<S>(
+        streams: Vec<S>,
+        cfg: &PipelineConfig,
+        jframe_sink: impl FnMut(&JFrame),
+        exchange_sink: impl FnMut(&Exchange),
+    ) -> Result<PipelineReport, PipelineError>
+    where
+        S: EventStream + Send + 'static,
+    {
+        Self::run_parallel_full(streams, cfg, jframe_sink, |_| {}, exchange_sink)
+    }
+
+    /// [`Pipeline::run_full`] on the channel-sharded merge.
+    pub fn run_parallel_full<S>(
+        mut streams: Vec<S>,
+        cfg: &PipelineConfig,
+        jframe_sink: impl FnMut(&JFrame),
+        attempt_sink: impl FnMut(&Attempt),
+        exchange_sink: impl FnMut(&Exchange),
+    ) -> Result<PipelineReport, PipelineError>
+    where
+        S: EventStream + Send + 'static,
+    {
+        let prefixes = BootstrapPrefixes::read(&mut streams, cfg.bootstrap.window_us)?;
+        let boot = prefixes.bootstrap(&cfg.bootstrap)?;
+
+        let mut ds = Downstream::new(jframe_sink, attempt_sink, exchange_sink);
+        let merge_stats = crate::shard::run_sharded(
+            streams,
+            &boot.offsets,
+            prefixes.events,
+            &cfg.merge,
+            &cfg.shard,
+            |jf| ds.observe(&jf),
+        )?;
+        let (attempts, link, flows, transport) = ds.finish();
+
+        Ok(PipelineReport {
+            bootstrap: boot,
+            merge: merge_stats,
+            attempts,
+            link,
+            flows,
+            transport,
+        })
+    }
+
+    /// Bootstrap + serial merge only — no link/transport reconstruction.
+    /// Benchmarks isolate the merge stage with this.
+    pub fn merge_only<S: EventStream>(
+        mut streams: Vec<S>,
+        cfg: &PipelineConfig,
+        sink: impl FnMut(JFrame),
+    ) -> Result<(BootstrapReport, MergeStats), PipelineError> {
+        let prefixes = BootstrapPrefixes::read(&mut streams, cfg.bootstrap.window_us)?;
+        let boot = prefixes.bootstrap(&cfg.bootstrap)?;
+        let mut merger = Merger::new(streams, &boot.offsets, cfg.merge.clone());
+        for (r, prefix) in prefixes.events.into_iter().enumerate() {
+            merger.seed_pending(r, prefix);
+        }
+        let stats = merger.run(sink)?;
+        Ok((boot, stats))
+    }
+
+    /// Bootstrap + channel-sharded merge only (see [`Pipeline::merge_only`]).
+    pub fn merge_only_parallel<S>(
+        mut streams: Vec<S>,
+        cfg: &PipelineConfig,
+        sink: impl FnMut(JFrame),
+    ) -> Result<(BootstrapReport, MergeStats), PipelineError>
+    where
+        S: EventStream + Send + 'static,
+    {
+        let prefixes = BootstrapPrefixes::read(&mut streams, cfg.bootstrap.window_us)?;
+        let boot = prefixes.bootstrap(&cfg.bootstrap)?;
+        let stats = crate::shard::run_sharded(
+            streams,
+            &boot.offsets,
+            prefixes.events,
+            &cfg.merge,
+            &cfg.shard,
+            sink,
+        )?;
+        Ok((boot, stats))
     }
 
     /// Convenience wrapper that materializes jframes and exchanges
@@ -212,5 +401,166 @@ impl Pipeline {
             |x| xs.push(x.clone()),
         )?;
         Ok((jframes, xs, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_ieee80211::fc::FcFlags;
+    use jigsaw_ieee80211::frame::{DataFrame, Frame};
+    use jigsaw_ieee80211::wire::serialize_frame;
+    use jigsaw_ieee80211::{Channel, MacAddr, PhyRate, SeqNum};
+    use jigsaw_trace::stream::MemoryStream;
+    use jigsaw_trace::{MonitorId, PhyStatus, RadioId};
+
+    fn meta(radio: u16, anchor_local: u64) -> RadioMeta {
+        RadioMeta {
+            radio: RadioId(radio),
+            monitor: MonitorId(radio),
+            channel: Channel::of(1),
+            anchor_wall_us: 0,
+            anchor_local_us: anchor_local,
+        }
+    }
+
+    fn frame_bytes(seq: u16) -> Vec<u8> {
+        serialize_frame(&Frame::Data(DataFrame {
+            duration: 44,
+            addr1: MacAddr::local(1, 1),
+            addr2: MacAddr::local(2, 2),
+            addr3: MacAddr::local(3, 3),
+            seq: SeqNum::new(seq),
+            frag: 0,
+            flags: FcFlags {
+                to_ds: true,
+                ..Default::default()
+            },
+            null: false,
+            body: vec![seq as u8; 40],
+        }))
+    }
+
+    fn ev(radio: u16, ts: u64, bytes: Vec<u8>) -> PhyEvent {
+        let wire_len = bytes.len() as u32;
+        PhyEvent {
+            radio: RadioId(radio),
+            ts_local: ts,
+            channel: Channel::of(1),
+            rate: PhyRate::R11,
+            rssi_dbm: -50,
+            status: PhyStatus::Ok,
+            wire_len,
+            bytes,
+        }
+    }
+
+    /// The bootstrap window boundary: an event at exactly `anchor + window`
+    /// is bootstrap input; the first event past it is kept for merging but
+    /// excluded from bootstrap.
+    #[test]
+    fn bootstrap_prefix_splits_at_window_boundary() {
+        let window = BootstrapConfig::default().window_us; // 1 s
+        let mut streams = vec![
+            MemoryStream::new(
+                meta(0, 0),
+                vec![
+                    ev(0, 100, frame_bytes(1)),
+                    ev(0, window, frame_bytes(2)), // exactly at the edge: in
+                    ev(0, window + 1, frame_bytes(3)), // first past the edge: out
+                    ev(0, window + 50, frame_bytes(4)), // never read as prefix
+                ],
+            ),
+            MemoryStream::new(meta(1, 0), vec![ev(1, 150, frame_bytes(1))]),
+        ];
+        let p = BootstrapPrefixes::read(&mut streams, window).unwrap();
+        // Radio 0: three events consumed (the loop stops after the first
+        // out-of-window event), only two of them bootstrap input.
+        assert_eq!(p.events[0].len(), 3);
+        assert_eq!(p.in_window[0], 2);
+        assert_eq!(p.events[1].len(), 1);
+        assert_eq!(p.in_window[1], 1);
+        // The stream still holds the unread tail.
+        assert_eq!(streams[0].len(), 1);
+
+        // The out-of-window event is NOT a synchronization candidate...
+        let boot = p.bootstrap(&BootstrapConfig::default()).unwrap();
+        assert_eq!(boot.candidates, 3); // r0: seq 1 + seq 2; r1: seq 1
+        assert_eq!(boot.components, 1);
+    }
+
+    /// End-to-end: the consumed out-of-window event still reaches the
+    /// merger (no event is dropped on the floor).
+    #[test]
+    fn out_of_window_prefix_event_still_merged() {
+        let window = BootstrapConfig::default().window_us;
+        let streams = vec![
+            MemoryStream::new(
+                meta(0, 0),
+                vec![
+                    ev(0, 100, frame_bytes(1)),
+                    ev(0, window + 1, frame_bytes(3)),
+                ],
+            ),
+            MemoryStream::new(meta(1, 0), vec![ev(1, 102, frame_bytes(1))]),
+        ];
+        let (jframes, _, report) =
+            Pipeline::run_collect(streams, &PipelineConfig::default()).unwrap();
+        assert_eq!(report.merge.events_in, 3);
+        assert_eq!(jframes.len(), 2);
+        assert!(jframes.iter().any(|j| j.ts == window + 1));
+    }
+
+    /// Serial and parallel drivers agree end to end (jframes, exchanges,
+    /// and the figures derived from them all hang off these sinks).
+    #[test]
+    fn parallel_pipeline_matches_serial() {
+        let mk_streams = || {
+            let chans = [1u8, 6, 11, 1];
+            let mut per_radio: Vec<Vec<PhyEvent>> = vec![Vec::new(); 4];
+            for k in 0..30u64 {
+                for (r, &c) in chans.iter().enumerate() {
+                    let mut e = ev(
+                        r as u16,
+                        1_000 + k * 4_000 + r as u64,
+                        frame_bytes((k % 4000) as u16),
+                    );
+                    e.channel = Channel::of(c);
+                    per_radio[r].push(e);
+                }
+            }
+            per_radio
+                .into_iter()
+                .enumerate()
+                .map(|(r, evs)| {
+                    let m = RadioMeta {
+                        channel: Channel::of(chans[r]),
+                        ..meta(r as u16, 0)
+                    };
+                    MemoryStream::new(m, evs)
+                })
+                .collect::<Vec<_>>()
+        };
+        let cfg = PipelineConfig {
+            shard: ShardConfig {
+                max_threads: 3,
+                ..ShardConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let mut serial = Vec::new();
+        let rs = Pipeline::run(mk_streams(), &cfg, |jf| serial.push(jf.clone()), |_| {}).unwrap();
+        let mut par = Vec::new();
+        let rp =
+            Pipeline::run_parallel(mk_streams(), &cfg, |jf| par.push(jf.clone()), |_| {}).unwrap();
+        assert_eq!(serial.len(), par.len());
+        assert_eq!(rs.merge.events_in, rp.merge.events_in);
+        assert_eq!(rs.merge.jframes_out, rp.merge.jframes_out);
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.ts, b.ts);
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.channel, b.channel);
+            assert_eq!(a.instances, b.instances);
+        }
     }
 }

@@ -14,7 +14,7 @@
 //!   anchors and are flagged *coarse* rather than dropped.
 
 use jigsaw_ieee80211::fc::{FrameControl, FrameType, Subtype};
-use jigsaw_ieee80211::Micros;
+use jigsaw_ieee80211::{Channel, Micros};
 use jigsaw_trace::{PhyEvent, PhyStatus, RadioMeta};
 use std::collections::HashMap;
 
@@ -150,10 +150,13 @@ impl Dsu {
 
 /// Runs bootstrap synchronization over the first-window prefixes of all
 /// radio traces. `prefixes[i]` must contain radio `i`'s events with
-/// `ts_local` within `[anchor_local, anchor_local + window]`.
-pub fn bootstrap(
+/// `ts_local` within `[anchor_local, anchor_local + window]` (events
+/// outside the window are defensively skipped — but callers such as the
+/// pipeline's prefix reader are expected to honor the contract, since they
+/// also know which consumed events must still reach the merger).
+pub fn bootstrap<P: AsRef<[PhyEvent]>>(
     metas: &[RadioMeta],
-    prefixes: &[Vec<PhyEvent>],
+    prefixes: &[P],
     cfg: &BootstrapConfig,
 ) -> Result<BootstrapReport, BootstrapError> {
     let n = metas.len();
@@ -164,13 +167,17 @@ pub fn bootstrap(
         return Err(BootstrapError::LengthMismatch);
     }
 
-    // 1. Collect candidate reference instances keyed by content.
-    let mut sets: HashMap<u64, Vec<(usize, Micros)>> = HashMap::new();
+    // 1. Collect candidate reference instances keyed by channel + content.
+    //    Radios on different channels cannot hear the same transmission, so
+    //    a cross-channel content coincidence must not become a (spurious)
+    //    synchronization set — channels are bridged through shared monitor
+    //    clocks below, never through content.
+    let mut sets: HashMap<(Channel, u64), Vec<(usize, Micros)>> = HashMap::new();
     let mut candidates = 0usize;
     for (r, prefix) in prefixes.iter().enumerate() {
         let lo = metas[r].anchor_local_us;
         let hi = lo.saturating_add(cfg.window_us);
-        for ev in prefix {
+        for ev in prefix.as_ref() {
             if ev.ts_local < lo || ev.ts_local > hi {
                 continue;
             }
@@ -178,7 +185,9 @@ pub fn bootstrap(
                 continue;
             }
             candidates += 1;
-            let key = content_key(ev);
+            // The radio's tuned channel (not the per-event tag) is the
+            // channel identity everywhere in this crate.
+            let key = (metas[r].channel, content_key(ev));
             let entry = sets.entry(key).or_default();
             // At most one instance per radio per set.
             if !entry.iter().any(|&(rr, _)| rr == r) {
@@ -387,6 +396,19 @@ mod tests {
     }
 
     #[test]
+    fn identical_content_across_channels_is_not_a_sync_set() {
+        // r0 (ch1) and r1 (ch6) log byte-identical data frames — a content
+        // coincidence, not a shared reception: radios on disjoint channels
+        // cannot hear the same transmission. No sync set may form.
+        let metas = vec![meta(0, 0, 1, 0), meta(1, 1, 6, 0)];
+        let f = data_frame_bytes(1);
+        let prefixes = vec![vec![ev(0, 100, 1, f.clone())], vec![ev(1, 40_000, 6, f)]];
+        let rep = bootstrap(&metas, &prefixes, &BootstrapConfig::default()).unwrap();
+        assert_eq!(rep.components, 2, "spurious cross-channel sync set");
+        assert_eq!(rep.sets_used, 0);
+    }
+
+    #[test]
     fn partition_falls_back_to_ntp() {
         let mut m0 = meta(0, 0, 1, 1_000_000);
         let mut m1 = meta(1, 1, 1, 9_000_000);
@@ -459,7 +481,7 @@ mod tests {
     #[test]
     fn empty_input_errors() {
         assert_eq!(
-            bootstrap(&[], &[], &BootstrapConfig::default()).unwrap_err(),
+            bootstrap::<Vec<PhyEvent>>(&[], &[], &BootstrapConfig::default()).unwrap_err(),
             BootstrapError::NoRadios
         );
     }

@@ -7,21 +7,35 @@
 //!   radio (cost per jframe is linear in the frame's reception range, not
 //!   in the number of radios);
 //! * instances within a *search window* of the earliest are candidates;
-//!   candidates are grouped by frame content (length/rate short-circuit,
-//!   then bytes), with corrupted instances attached by transmitter address;
+//!   candidates are grouped by capture channel and frame content
+//!   (length/rate short-circuit, then bytes), with corrupted instances
+//!   attached by transmitter address on the same channel;
 //! * identical-content frames transmitted at different times (think: ACKs
 //!   to the same station) are split by a time-gap guard, and no jframe may
-//!   contain two instances from the same radio;
-//! * the jframe timestamp is the median instance timestamp; *group
-//!   dispersion* (max−min) above a threshold triggers resynchronization of
-//!   the involved clocks, with skew/drift tracked by an EWMA predictor;
+//!   contain two instances from the same radio **or span two channels** —
+//!   radios tuned to different channels cannot hear the same transmission,
+//!   so byte-identical captures on different channels are distinct
+//!   transmissions by construction;
+//! * the jframe timestamp is the median instance timestamp (lower-middle
+//!   instance for even-sized groups — the one convention used everywhere,
+//!   including corrupt-attach distances); *group dispersion* (max−min)
+//!   above a threshold triggers resynchronization of the involved clocks,
+//!   with skew/drift tracked by an EWMA predictor;
 //! * groups too close to the window's trailing edge are pushed back so that
-//!   instances still in flight can join them next round.
+//!   instances still in flight can join them next round;
+//! * jframes are emitted in `(ts, channel, emission order)` order — a
+//!   deterministic total order that the channel-sharded parallel merge in
+//!   [`crate::shard`] reproduces exactly, making serial and sharded output
+//!   jframe-for-jframe identical.
+//!
+//! Because unification never crosses channels, the merge decomposes
+//! perfectly by channel; [`crate::shard`] runs one `Merger` per channel
+//! shard on its own thread and K-way-merges the results.
 
 use crate::jframe::{Instance, JFrame};
 use crate::sync::clock::ClockState;
 use jigsaw_ieee80211::fc::{FrameControl, FrameType, Subtype};
-use jigsaw_ieee80211::{MacAddr, Micros};
+use jigsaw_ieee80211::{Channel, MacAddr, Micros};
 use jigsaw_trace::format::FormatError;
 use jigsaw_trace::stream::EventStream;
 use jigsaw_trace::{PhyEvent, PhyStatus};
@@ -75,6 +89,20 @@ pub struct MergeStats {
     pub singleton_errors: u64,
     /// Groups pushed back past the emit guard (re-processed next round).
     pub pushbacks: u64,
+}
+
+impl MergeStats {
+    /// Accumulates another run's counters (used by [`crate::shard`] to sum
+    /// per-shard stats into one report).
+    pub fn absorb(&mut self, o: &MergeStats) {
+        self.events_in += o.events_in;
+        self.jframes_out += o.jframes_out;
+        self.instances_unified += o.instances_unified;
+        self.resyncs += o.resyncs;
+        self.corrupt_attached += o.corrupt_attached;
+        self.singleton_errors += o.singleton_errors;
+        self.pushbacks += o.pushbacks;
+    }
 }
 
 /// Is this event content-unique enough to drive synchronization?
@@ -141,11 +169,14 @@ struct Candidate {
 pub struct Merger<S> {
     cursors: Vec<Cursor<S>>,
     clocks: Vec<ClockState>,
+    channels: Vec<Channel>,
     cfg: MergeConfig,
     stats: MergeStats,
     heap: BinaryHeap<Reverse<(Micros, usize, u64)>>,
     // Output reordering: jframes within 2×window may emerge out of order.
-    out: BinaryHeap<Reverse<(Micros, u64)>>,
+    // Keyed (ts, channel, seq) so emission order is a deterministic total
+    // order that the sharded merge can reproduce shard-by-shard.
+    out: BinaryHeap<Reverse<(Micros, u8, u64)>>,
     out_frames: HashMap<u64, JFrame>,
     out_seq: u64,
 }
@@ -159,6 +190,12 @@ impl<S: EventStream> Merger<S> {
             .iter()
             .map(|&o| ClockState::new(o, cfg.ewma_alpha))
             .collect();
+        // Channel identity comes from the radio's *tuned* channel
+        // (RadioMeta), never from per-event tags: it is what the capture
+        // hardware physically listened on, and it is the key the sharded
+        // merge partitions streams by — using the same source everywhere
+        // makes serial and sharded output identical by construction.
+        let channels: Vec<Channel> = streams.iter().map(|s| s.meta().channel).collect();
         let cursors = streams
             .into_iter()
             .map(|s| Cursor {
@@ -172,6 +209,7 @@ impl<S: EventStream> Merger<S> {
         Merger {
             cursors,
             clocks,
+            channels,
             cfg,
             stats: MergeStats::default(),
             heap: BinaryHeap::new(),
@@ -179,6 +217,11 @@ impl<S: EventStream> Merger<S> {
             out_frames: HashMap::new(),
             out_seq: 0,
         }
+    }
+
+    /// The tuned channel of a radio (by position).
+    fn channel_of(&self, radio: usize) -> Channel {
+        self.channels[radio]
     }
 
     /// Pre-seeds a radio's cursor with already-read events (the bootstrap
@@ -275,13 +318,13 @@ impl<S: EventStream> Merger<S> {
     fn emit(&mut self, jf: JFrame) {
         let seq = self.out_seq;
         self.out_seq += 1;
-        self.out.push(Reverse((jf.ts, seq)));
+        self.out.push(Reverse((jf.ts, jf.channel.number(), seq)));
         self.out_frames.insert(seq, jf);
         self.stats.jframes_out += 1;
     }
 
     fn flush_out(&mut self, horizon: Micros, sink: &mut impl FnMut(JFrame)) {
-        while let Some(&Reverse((ts, seq))) = self.out.peek() {
+        while let Some(&Reverse((ts, _, seq))) = self.out.peek() {
             if ts >= horizon {
                 break;
             }
@@ -321,17 +364,23 @@ impl<S: EventStream> Merger<S> {
             }
         }
 
-        // --- group valid instances by content, split on gaps/duplicates ---
+        // --- group valid instances by channel + content, split on
+        //     gaps/duplicates (byte-identical captures on different
+        //     channels are distinct transmissions: no radio pair on
+        //     disjoint channels can hear the same frame) ---
         let mut groups: Vec<Vec<Candidate>> = Vec::new();
         {
-            let mut by_key: HashMap<u64, Vec<Candidate>> = HashMap::new();
+            let mut by_key: HashMap<(Channel, u64), Vec<Candidate>> = HashMap::new();
             for c in valid {
                 by_key
-                    .entry(crate::sync::bootstrap::content_key(&c.ev))
+                    .entry((
+                        self.channel_of(c.radio),
+                        crate::sync::bootstrap::content_key(&c.ev),
+                    ))
                     .or_default()
                     .push(c);
             }
-            let mut keyed: Vec<(u64, Vec<Candidate>)> = by_key.into_iter().collect();
+            let mut keyed: Vec<((Channel, u64), Vec<Candidate>)> = by_key.into_iter().collect();
             keyed.sort_by_key(|(k, v)| (v.first().map(|c| c.univ).unwrap_or(0), *k));
             for (_, mut cluster) in keyed {
                 cluster.sort_by_key(|c| c.univ);
@@ -365,6 +414,9 @@ impl<S: EventStream> Merger<S> {
                     if g[0].ev.rate != c.ev.rate {
                         continue; // short-circuit: rate first
                     }
+                    if self.channel_of(g[0].radio) != self.channel_of(c.radio) {
+                        continue; // a corrupt capture cannot cross channels
+                    }
                     if g.iter().any(|p| p.radio == c.radio) {
                         continue; // one instance per radio
                     }
@@ -372,7 +424,10 @@ impl<S: EventStream> Merger<S> {
                     if gta != Some(ta) {
                         continue;
                     }
-                    let med = g[g.len() / 2].univ;
+                    // Lower-middle median — the same convention jframe
+                    // placement uses, so attach distance is measured from
+                    // where the jframe will actually sit.
+                    let med = g[(g.len() - 1) / 2].univ;
                     let dist = med.abs_diff(c.univ);
                     if dist <= self.cfg.merge_gap_us && best.map(|(_, d)| dist < d).unwrap_or(true)
                     {
@@ -406,7 +461,7 @@ impl<S: EventStream> Merger<S> {
                 continue;
             }
             self.stats.singleton_errors += 1;
-            let jf = singleton_jframe(&c);
+            let jf = singleton_jframe(&c, self.channel_of(c.radio));
             self.emit(jf);
         }
 
@@ -474,6 +529,7 @@ impl<S: EventStream> Merger<S> {
         let bytes = rep.ev.bytes.clone();
         let wire_len = rep.ev.wire_len;
         let rate = rep.ev.rate;
+        let channel = self.channel_of(rep.radio);
 
         // Resynchronize using this jframe if it qualifies (paper: only
         // unique frames drive synchronization; only when the group
@@ -515,6 +571,7 @@ impl<S: EventStream> Merger<S> {
             bytes,
             wire_len,
             rate,
+            channel,
             instances,
             dispersion,
             valid,
@@ -529,12 +586,13 @@ fn group_transmitter(g: &[Candidate]) -> Option<MacAddr> {
         .find_map(|c| jigsaw_ieee80211::wire::peek_transmitter(&c.ev.bytes).and_then(|(_, ta)| ta))
 }
 
-fn singleton_jframe(c: &Candidate) -> JFrame {
+fn singleton_jframe(c: &Candidate, channel: Channel) -> JFrame {
     JFrame {
         ts: c.univ,
         bytes: c.ev.bytes.clone(),
         wire_len: c.ev.wire_len,
         rate: c.ev.rate,
+        channel,
         instances: vec![Instance {
             radio: c.ev.radio,
             ts_local: c.ev.ts_local,
@@ -586,16 +644,27 @@ mod tests {
     }
 
     fn ev(radio: u16, ts: u64, bytes: Vec<u8>, status: PhyStatus) -> PhyEvent {
+        ev_on(radio, ts, 1, bytes, status)
+    }
+
+    fn ev_on(radio: u16, ts: u64, chan: u8, bytes: Vec<u8>, status: PhyStatus) -> PhyEvent {
         let len = bytes.len() as u32;
         PhyEvent {
             radio: RadioId(radio),
             ts_local: ts,
-            channel: Channel::of(1),
+            channel: Channel::of(chan),
             rate: PhyRate::R11,
             rssi_dbm: -50,
             status,
             wire_len: len,
             bytes,
+        }
+    }
+
+    fn meta_on(radio: u16, chan: u8) -> RadioMeta {
+        RadioMeta {
+            channel: Channel::of(chan),
+            ..meta(radio)
         }
     }
 
@@ -801,6 +870,106 @@ mod tests {
                 j.instances.iter().map(|i| i.radio).collect();
             assert_eq!(radios.len(), j.instance_count());
         }
+    }
+
+    #[test]
+    fn identical_content_on_different_channels_stays_separate() {
+        // Byte-identical captures on channels 1 and 6 at nearly the same
+        // time: physically two transmissions (a radio on channel 6 cannot
+        // hear a channel-1 frame), so they must become two jframes.
+        let f = frame_bytes(9, 44);
+        let s0 = MemoryStream::new(
+            meta_on(0, 1),
+            vec![ev_on(0, 1_000, 1, f.clone(), PhyStatus::Ok)],
+        );
+        let s1 = MemoryStream::new(meta_on(1, 6), vec![ev_on(1, 1_002, 6, f, PhyStatus::Ok)]);
+        let (out, stats) = run_merge(vec![s0, s1], &[0, 0], MergeConfig::default());
+        assert_eq!(out.len(), 2, "cross-channel merge: {out:#?}");
+        assert!(out.iter().all(|j| j.instance_count() == 1));
+        assert_eq!(out[0].channel, Channel::of(1));
+        assert_eq!(out[1].channel, Channel::of(6));
+        assert_eq!(stats.instances_unified, 0);
+    }
+
+    #[test]
+    fn corrupt_instance_on_other_channel_not_attached() {
+        let f = frame_bytes(4, 80);
+        let mut corrupted = f.clone();
+        let n = corrupted.len();
+        corrupted[n - 6] ^= 0xff;
+        let s0 = MemoryStream::new(meta_on(0, 1), vec![ev_on(0, 2_000, 1, f, PhyStatus::Ok)]);
+        let s1 = MemoryStream::new(
+            meta_on(1, 6),
+            vec![ev_on(1, 2_003, 6, corrupted, PhyStatus::FcsError)],
+        );
+        let (out, stats) = run_merge(vec![s0, s1], &[0, 0], MergeConfig::default());
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.corrupt_attached, 0);
+        assert_eq!(stats.singleton_errors, 1);
+    }
+
+    #[test]
+    fn even_group_median_uses_lower_middle() {
+        // Four instances at 1000/1002/1004/1010: the jframe must sit at the
+        // lower-middle instance (1002), never the upper-middle (1004).
+        let f = frame_bytes(7, 50);
+        let streams: Vec<MemoryStream> = [1000u64, 1002, 1004, 1010]
+            .iter()
+            .enumerate()
+            .map(|(r, &t)| {
+                MemoryStream::new(
+                    meta(r as u16),
+                    vec![ev(r as u16, t, f.clone(), PhyStatus::Ok)],
+                )
+            })
+            .collect();
+        let cfg = MergeConfig {
+            resync_enabled: false,
+            ..MergeConfig::default()
+        };
+        let (out, _) = run_merge(streams, &[0, 0, 0, 0], cfg);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].instance_count(), 4);
+        assert_eq!(out[0].ts, 1002);
+        assert_eq!(out[0].dispersion, 10);
+    }
+
+    #[test]
+    fn corrupt_attach_distance_measured_from_lower_middle_median() {
+        // Even-sized valid group at {1000, 1900}: lower-middle median is
+        // 1000. A corrupt copy at 2050 is 1050 µs away — outside the 1000 µs
+        // merge gap — and must NOT attach. (The old upper-middle convention
+        // measured 150 µs from 1900 and attached it, disagreeing with where
+        // the jframe is actually placed.)
+        let f = frame_bytes(8, 80);
+        let mut corrupted = f.clone();
+        let n = corrupted.len();
+        corrupted[n - 6] ^= 0xff;
+        let cfg = MergeConfig {
+            resync_enabled: false,
+            ..MergeConfig::default()
+        };
+        let s0 = MemoryStream::new(meta(0), vec![ev(0, 1_000, f.clone(), PhyStatus::Ok)]);
+        let s1 = MemoryStream::new(meta(1), vec![ev(1, 1_900, f.clone(), PhyStatus::Ok)]);
+        let s2 = MemoryStream::new(
+            meta(2),
+            vec![ev(2, 2_050, corrupted.clone(), PhyStatus::FcsError)],
+        );
+        let (out, stats) = run_merge(vec![s0, s1, s2], &[0, 0, 0], cfg.clone());
+        assert_eq!(stats.corrupt_attached, 0, "attached past the merge gap");
+        assert_eq!(stats.singleton_errors, 1);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].ts, 1_000, "jframe placed at lower-middle median");
+
+        // Same shape, corrupt copy at 1850: 850 µs from the lower-middle
+        // median — inside the gap, attaches.
+        let s0 = MemoryStream::new(meta(0), vec![ev(0, 1_000, f.clone(), PhyStatus::Ok)]);
+        let s1 = MemoryStream::new(meta(1), vec![ev(1, 1_900, f, PhyStatus::Ok)]);
+        let s2 = MemoryStream::new(meta(2), vec![ev(2, 1_850, corrupted, PhyStatus::FcsError)]);
+        let (out, stats) = run_merge(vec![s0, s1, s2], &[0, 0, 0], cfg);
+        assert_eq!(stats.corrupt_attached, 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].instance_count(), 3);
     }
 
     #[test]

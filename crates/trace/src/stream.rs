@@ -5,7 +5,8 @@
 
 use crate::format::{FormatError, TraceReader};
 use crate::{PhyEvent, RadioMeta};
-use std::collections::VecDeque;
+use jigsaw_ieee80211::Channel;
+use std::collections::{BTreeMap, VecDeque};
 use std::fs::File;
 use std::io::{BufReader, Read};
 use std::path::Path;
@@ -96,6 +97,42 @@ pub fn open_file(path: &Path) -> Result<ReaderStream<BufReader<File>>, FormatErr
     Ok(ReaderStream::new(TraceReader::open(BufReader::new(f))?))
 }
 
+/// One channel's slice of a stream set: the tuned channel plus its member
+/// streams, each tagged with its index in the original stream table (so
+/// per-radio side tables — bootstrap offsets, seed prefixes — can follow
+/// the stream into a shard).
+pub struct ChannelGroup<S> {
+    /// The channel every member is tuned to.
+    pub channel: Channel,
+    /// `(original index, stream)` pairs, in original relative order.
+    pub members: Vec<(usize, S)>,
+}
+
+/// Partitions streams by tuned channel ([`RadioMeta::channel`]).
+///
+/// Radios tuned to different channels can never capture the same
+/// transmission, so a merge may process each group independently — the
+/// decomposition behind `jigsaw_core`'s channel-sharded parallel merge.
+/// Groups come back sorted by channel number; within a group, members keep
+/// their relative order from the input (merge output ordering depends on
+/// stream order for equal-timestamp ties, so stability matters).
+pub fn partition_by_channel<S: EventStream>(streams: Vec<S>) -> Vec<ChannelGroup<S>> {
+    let mut by_channel: BTreeMap<Channel, Vec<(usize, S)>> = BTreeMap::new();
+    for (i, s) in streams.into_iter().enumerate() {
+        by_channel.entry(s.meta().channel).or_default().push((i, s));
+    }
+    by_channel
+        .into_iter()
+        .map(|(channel, members)| ChannelGroup { channel, members })
+        .collect()
+}
+
+/// The distinct channels a stream set covers, sorted by channel number.
+pub fn distinct_channels(metas: &[RadioMeta]) -> Vec<Channel> {
+    let set: std::collections::BTreeSet<Channel> = metas.iter().map(|m| m.channel).collect();
+    set.into_iter().collect()
+}
+
 /// A boxed stream, letting the pipeline mix sources.
 pub type BoxedStream = Box<dyn EventStream + Send>;
 
@@ -172,6 +209,54 @@ mod tests {
             got.push(e);
         }
         assert_eq!(got, events);
+    }
+
+    #[test]
+    fn partition_groups_by_channel_preserving_order() {
+        let mk = |radio: u16, chan: u8| {
+            let m = RadioMeta {
+                radio: RadioId(radio),
+                monitor: MonitorId(radio / 2),
+                channel: Channel::of(chan),
+                anchor_wall_us: 0,
+                anchor_local_us: 0,
+            };
+            MemoryStream::new(m, Vec::new())
+        };
+        // Radios interleaved across channels 11 / 1 / 6.
+        let streams = vec![mk(0, 11), mk(1, 1), mk(2, 6), mk(3, 1), mk(4, 11)];
+        let metas: Vec<RadioMeta> = streams.iter().map(|s| s.meta()).collect();
+        assert_eq!(
+            distinct_channels(&metas),
+            vec![Channel::of(1), Channel::of(6), Channel::of(11)]
+        );
+        let groups = partition_by_channel(streams);
+        assert_eq!(groups.len(), 3);
+        // Sorted by channel number.
+        let chans: Vec<u8> = groups.iter().map(|g| g.channel.number()).collect();
+        assert_eq!(chans, vec![1, 6, 11]);
+        // Original indices preserved, relative order kept.
+        assert_eq!(
+            groups[0]
+                .members
+                .iter()
+                .map(|(i, _)| *i)
+                .collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        assert_eq!(
+            groups[2]
+                .members
+                .iter()
+                .map(|(i, _)| *i)
+                .collect::<Vec<_>>(),
+            vec![0, 4]
+        );
+        for g in &groups {
+            for (_, s) in &g.members {
+                assert_eq!(s.meta().channel, g.channel);
+            }
+        }
     }
 
     #[test]

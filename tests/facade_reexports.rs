@@ -43,7 +43,7 @@ fn facade_surface_resolves() {
     let _ = tcp_loss_figure as *const ();
     let _ = throughput_headroom as *const ();
     let _ = write_index::<Vec<u8>> as *const ();
-    let _ = bootstrap as *const ();
+    let _ = bootstrap::<Vec<PhyEvent>> as *const ();
     // `impl Trait` parameters prevent naming these as fn pointers; a dead
     // closure still forces full resolution and type-checking.
     let _ = || {
