@@ -1,26 +1,47 @@
-//! `repro` — regenerates every table and figure of the paper's evaluation.
+//! `repro` — regenerates every table and figure of the paper's evaluation,
+//! and records/re-merges on-disk trace corpora.
 //!
 //! ```text
 //! repro [--seed N] [--scale F] [--parallel] [--threads N]
 //!       [all|smoke|table1|fig4|fig6|fig7|fig8|fig9|fig10|fig11|
-//!        link-stats|coverage-oracle|ablations|baselines|bench-merge]
+//!        link-stats|coverage-oracle|ablations|baselines|
+//!        bench-merge [--out F]|
+//!        record --corpus DIR [--scenario NAME] [--block-bytes N] [--snaplen N]|
+//!        merge --corpus DIR [--verify] [--max-buffered N]|
+//!        bench-stream [--corpus DIR] [--out F]]
 //! ```
 //!
 //! `smoke` is the CI entry point: a seconds-long `ScenarioConfig::tiny`
 //! run through the full pipeline — once with the serial merger and once
-//! with the channel-sharded parallel merge, asserting both produce the
-//! same jframe stream — failing loudly if anything degenerates.
+//! with the channel-sharded parallel merge (`--threads` caps the shards),
+//! asserting both produce the same jframe stream — failing loudly if
+//! anything degenerates.
+//!
+//! The corpus trio reproduces the paper's actual deployment shape, where
+//! day-long jigdump traces lived on disk and the merger streamed them:
+//! * `record` simulates a scenario and writes it as a corpus (one
+//!   compressed, indexed trace per radio + manifest + digest);
+//! * `merge` streams a corpus back through the pipeline with
+//!   window-bounded memory, printing the jframe count and stream digest;
+//!   `--verify` re-simulates from the manifest seed and asserts the
+//!   disk-backed stream is identical to the in-memory serial AND sharded
+//!   runs, and `--max-buffered N` fails the run if peak merger residency
+//!   ever exceeds N events (the CI memory-bound check);
+//! * `bench-stream` times record + streaming merge and writes
+//!   `BENCH_stream.json` (events/s, peak buffered events, disk bytes
+//!   in/out).
 //!
 //! `--parallel` switches the single-trace figures onto
 //! `Pipeline::run_parallel_full` (`--threads` caps the shard threads).
 //! `bench-merge` (also part of `all`) times the merge stage serial vs
-//! sharded and writes the comparison to `BENCH_merge.json`.
+//! sharded and writes the comparison to `BENCH_merge.json` (`--out`
+//! overrides the path).
 //!
-//! Each subcommand simulates the building (or reuses the shared run in
-//! `all` mode), pushes the traces through the Jigsaw pipeline, and prints
-//! the same rows/series the paper reports, with the paper's numbers quoted
-//! alongside for comparison. Absolute numbers differ (the substrate is a
-//! simulator, not the UCSD testbed); the shapes are the claim.
+//! Each figure subcommand simulates the building (or reuses the shared run
+//! in `all` mode), pushes the traces through the Jigsaw pipeline, and
+//! prints the same rows/series the paper reports, with the paper's numbers
+//! quoted alongside for comparison. Absolute numbers differ (the substrate
+//! is a simulator, not the UCSD testbed); the shapes are the claim.
 
 use jigsaw_analysis::activity::ActivityAnalysis;
 use jigsaw_analysis::coverage::{pods_subset, radios_of_pods, CoverageAnalysis, OracleCoverage};
@@ -38,6 +59,7 @@ use jigsaw_sim::output::SimOutput;
 use jigsaw_sim::scenario::TruthConfig;
 use std::time::Instant;
 
+#[derive(Clone)]
 struct Args {
     seed: u64,
     scale: f64,
@@ -45,32 +67,80 @@ struct Args {
     parallel: bool,
     /// Shard-thread cap (0 = one per channel, up to the core count).
     threads: usize,
+    /// Corpus directory (`record` / `merge` / `bench-stream`).
+    corpus: Option<String>,
+    /// Output path override (`bench-merge` / `bench-stream`).
+    out: Option<String>,
+    /// Scenario preset for `record` (tiny | small | paper_day).
+    scenario: String,
+    /// Trace block size in bytes for `record` (0 = format default).
+    block_bytes: usize,
+    /// Snap length for `record` (sim traces are already capture-snapped).
+    snaplen: u32,
+    /// `merge`: re-simulate from the manifest and assert disk ≡ memory.
+    verify: bool,
+    /// `merge`: fail if peak merger residency exceeds this many events
+    /// (0 = no limit).
+    max_buffered: u64,
     cmd: String,
 }
 
 fn parse_args() -> Args {
-    let mut seed = 20060124; // the paper's trace date
-    let mut scale = 0.25;
-    let mut parallel = false;
-    let mut threads = 0usize;
-    let mut cmd = String::from("all");
+    let mut args = Args {
+        seed: 20060124, // the paper's trace date
+        scale: 0.25,
+        parallel: false,
+        threads: 0,
+        corpus: None,
+        out: None,
+        scenario: String::from("paper_day"),
+        block_bytes: 0,
+        snaplen: 65_535,
+        verify: false,
+        max_buffered: 0,
+        cmd: String::from("all"),
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
-            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
-            "--parallel" => parallel = true,
-            "--threads" => threads = it.next().and_then(|v| v.parse().ok()).unwrap_or(threads),
-            other => cmd = other.to_string(),
+            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
+            "--scale" => args.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.scale),
+            "--parallel" => args.parallel = true,
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.threads)
+            }
+            "--corpus" => args.corpus = it.next(),
+            "--out" => args.out = it.next(),
+            "--scenario" => args.scenario = it.next().unwrap_or(args.scenario),
+            "--block-bytes" => {
+                args.block_bytes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.block_bytes)
+            }
+            "--snaplen" => {
+                args.snaplen = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.snaplen)
+            }
+            "--verify" => args.verify = true,
+            "--max-buffered" => {
+                // This flag is a pass/fail gate (CI relies on it): a value
+                // that doesn't parse must not silently mean "no limit".
+                let v = it.next().unwrap_or_default();
+                args.max_buffered = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--max-buffered: expected an event count, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            other => args.cmd = other.to_string(),
         }
     }
-    Args {
-        seed,
-        scale,
-        parallel,
-        threads,
-        cmd,
-    }
+    args
 }
 
 fn pipeline_config(args: &Args) -> PipelineConfig {
@@ -134,6 +204,9 @@ fn main() {
         "ablations" => run_ablations(args.seed, args.scale),
         "baselines" => run_baselines(args.seed, args.scale),
         "bench-merge" => run_bench_merge(&args),
+        "record" => run_record(&args),
+        "merge" => run_corpus_merge(&args),
+        "bench-stream" => run_bench_stream(&args),
         other => {
             eprintln!("unknown subcommand {other}");
             std::process::exit(2);
@@ -148,6 +221,12 @@ fn run_all(args: &Args) {
     run_ablations(args.seed, args.scale);
     run_baselines(args.seed, args.scale);
     run_bench_merge(args);
+    // `--out` names one file; in `all` mode the two bench records would
+    // clobber each other through it, so bench-stream keeps its default.
+    run_bench_stream(&Args {
+        out: None,
+        ..args.clone()
+    });
 }
 
 /// One shared simulation + pipeline pass feeding every single-trace figure.
@@ -440,13 +519,20 @@ fn run_smoke(args: &Args) {
     .expect("pipeline");
     let serial_t = ts.elapsed();
 
-    // Parallel pass: force one shard thread per channel even on small
-    // machines — CI must exercise the threaded path, not the degenerate
-    // single-shard fallback.
+    // Parallel pass: by default force one shard thread per channel even on
+    // small machines — CI must exercise the threaded path, not the
+    // degenerate single-shard fallback. `--threads N` overrides, so the CI
+    // thread matrix (1/2/4) can pin the serial ≡ sharded assertion at
+    // every shard layout, including channels split across fewer shards.
     let channels = jigsaw_trace::stream::distinct_channels(&out.radio_meta).len();
+    let threads = if args.threads == 0 {
+        channels.max(1)
+    } else {
+        args.threads
+    };
     let cfg = PipelineConfig {
         shard: ShardConfig {
-            max_threads: channels.max(1),
+            max_threads: threads,
             ..ShardConfig::default()
         },
         ..PipelineConfig::default()
@@ -464,7 +550,7 @@ fn run_smoke(args: &Args) {
     let par_t = tp.elapsed();
 
     println!(
-        "events {events}  jframes {}  exchanges {exchanges}  flows {}  serial {serial_t:.1?}  sharded({channels} ch) {par_t:.1?}  total {:.1?}",
+        "events {events}  jframes {}  exchanges {exchanges}  flows {}  serial {serial_t:.1?}  sharded({channels} ch, {threads} thr) {par_t:.1?}  total {:.1?}",
         report.merge.jframes_out,
         report.flows.len(),
         t0.elapsed()
@@ -526,8 +612,274 @@ fn run_bench_merge(args: &Args) {
         bench.jframes_serial, bench.jframes_parallel,
         "sharded merge diverged from serial"
     );
-    let path = "BENCH_merge.json";
-    std::fs::write(path, bench.to_json()).expect("write BENCH_merge.json");
+    let path = args.out.as_deref().unwrap_or("BENCH_merge.json");
+    std::fs::write(path, bench.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+/// The corpus directory or a loud exit (the corpus subcommands are useless
+/// without one).
+fn corpus_dir(args: &Args) -> std::path::PathBuf {
+    match &args.corpus {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            eprintln!("{}: --corpus <dir> is required", args.cmd);
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `record`: simulate a scenario and persist it as an on-disk corpus.
+fn run_record(args: &Args) {
+    banner("RECORD — simulate and persist a trace corpus");
+    let dir = corpus_dir(args);
+    let Some(cfg) = jigsaw_bench::scenario_by_name(&args.scenario, args.seed, args.scale) else {
+        eprintln!(
+            "unknown scenario `{}` (expected tiny | small | paper_day)",
+            args.scenario
+        );
+        std::process::exit(2);
+    };
+    let t0 = Instant::now();
+    let out = cfg.run();
+    let sim_t = t0.elapsed();
+    let t0 = Instant::now();
+    let summary = jigsaw_bench::record_corpus(
+        &out,
+        &dir,
+        &args.scenario,
+        args.seed,
+        args.scale,
+        args.snaplen,
+        args.block_bytes,
+    )
+    .expect("record corpus");
+    println!(
+        "recorded {} radios / {} events to {} in {:.1?} (sim {sim_t:.1?}): {:.2} MB on disk, digest {}",
+        summary.radios,
+        summary.events,
+        dir.display(),
+        t0.elapsed(),
+        summary.data_bytes as f64 / 1e6,
+        summary.digest
+    );
+}
+
+/// Opens a corpus and streams it through the merge (serial or sharded),
+/// returning `(events_in, digest, peak_buffered, disk_bytes_in, elapsed)`.
+fn stream_merge_corpus(
+    corpus: &jigsaw_trace::corpus::Corpus,
+    cfg: &PipelineConfig,
+    parallel: bool,
+) -> (
+    u64,
+    jigsaw_bench::JframeStreamDigest,
+    u64,
+    u64,
+    std::time::Duration,
+) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let counter = std::sync::Arc::new(AtomicU64::new(0));
+    let sources =
+        jigsaw_bench::corpus_sources(corpus, std::sync::Arc::clone(&counter)).expect("open corpus");
+    let mut digest = jigsaw_bench::JframeStreamDigest::new();
+    let t0 = Instant::now();
+    let (_, stats) = if parallel {
+        Pipeline::merge_only_parallel(sources, cfg, |jf| digest.observe(&jf)).expect("merge")
+    } else {
+        Pipeline::merge_only(sources, cfg, |jf| digest.observe(&jf)).expect("merge")
+    };
+    (
+        stats.events_in,
+        digest,
+        stats.peak_buffered,
+        counter.load(Ordering::Relaxed),
+        t0.elapsed(),
+    )
+}
+
+/// `merge --corpus`: stream a recorded corpus through the pipeline with
+/// window-bounded memory; `--verify` asserts the disk-backed jframe stream
+/// is identical to in-memory serial AND sharded runs at the manifest seed.
+fn run_corpus_merge(args: &Args) {
+    banner("MERGE — stream an on-disk corpus through unification");
+    let dir = corpus_dir(args);
+    let corpus = jigsaw_trace::corpus::Corpus::open(&dir).expect("open corpus");
+    let m = corpus.manifest();
+    println!(
+        "corpus {}: scenario {} seed {} scale {} — {} radios, {} events, {:.2} MB",
+        dir.display(),
+        m.scenario,
+        m.seed,
+        m.scale,
+        m.radios.len(),
+        corpus.total_events(),
+        corpus.data_bytes().unwrap_or(0) as f64 / 1e6
+    );
+    assert!(
+        corpus.verify_digest().expect("digest check"),
+        "corpus files do not match their recorded digest (corrupt or tampered)"
+    );
+
+    let cfg = pipeline_config(args);
+    let (events, digest, peak, bytes_in, elapsed) =
+        stream_merge_corpus(&corpus, &cfg, args.parallel);
+    let driver = if args.parallel { "sharded" } else { "serial" };
+    println!(
+        "merged {events} events -> {} jframes in {elapsed:.1?} ({driver}, {:.0} events/s)",
+        digest.count(),
+        events as f64 / elapsed.as_secs_f64().max(1e-12)
+    );
+    println!(
+        "stream digest {}  peak buffered {peak} events  disk bytes in {bytes_in}",
+        digest.hex()
+    );
+    assert_eq!(
+        events,
+        corpus.total_events(),
+        "merge dropped events relative to the manifest"
+    );
+    if args.max_buffered > 0 && peak > args.max_buffered {
+        eprintln!(
+            "FAIL: peak buffered {peak} events exceeds --max-buffered {} — \
+             streaming memory is no longer bounded by the window",
+            args.max_buffered
+        );
+        std::process::exit(1);
+    }
+
+    if args.verify {
+        let Some(cfg_sim) = jigsaw_bench::scenario_by_name(&m.scenario, m.seed, m.scale) else {
+            eprintln!("manifest scenario `{}` unknown to this binary", m.scenario);
+            std::process::exit(1);
+        };
+        eprintln!("[verify] re-simulating {} at seed {}…", m.scenario, m.seed);
+        let out = cfg_sim.run();
+
+        let mut mem_serial = jigsaw_bench::JframeStreamDigest::new();
+        Pipeline::merge_only(out.memory_streams(), &cfg, |jf| mem_serial.observe(&jf))
+            .expect("in-memory serial merge");
+        let mut mem_sharded = jigsaw_bench::JframeStreamDigest::new();
+        let par_cfg = PipelineConfig {
+            shard: ShardConfig {
+                max_threads: jigsaw_trace::stream::distinct_channels(&out.radio_meta)
+                    .len()
+                    .max(1),
+                ..ShardConfig::default()
+            },
+            ..cfg.clone()
+        };
+        Pipeline::merge_only_parallel(out.memory_streams(), &par_cfg, |jf| {
+            mem_sharded.observe(&jf)
+        })
+        .expect("in-memory sharded merge");
+
+        let mut ok = true;
+        for (name, mem) in [("serial", &mem_serial), ("sharded", &mem_sharded)] {
+            if mem.count() != digest.count() || mem.hex() != digest.hex() {
+                eprintln!(
+                    "FAIL: disk stream ({} jframes, {}) != in-memory {name} ({} jframes, {})",
+                    digest.count(),
+                    digest.hex(),
+                    mem.count(),
+                    mem.hex()
+                );
+                ok = false;
+            }
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        println!(
+            "verify OK: disk == in-memory serial == in-memory sharded ({} jframes, digest {})",
+            digest.count(),
+            digest.hex()
+        );
+    }
+}
+
+/// `bench-stream`: record a corpus, stream-merge it back, and write the
+/// throughput/memory/IO record to `BENCH_stream.json`.
+fn run_bench_stream(args: &Args) {
+    banner("BENCH — disk-backed streaming: record + merge from corpus");
+    let dir = args
+        .corpus
+        .clone()
+        .unwrap_or_else(|| "target/bench_stream_corpus".into());
+    let dir = std::path::Path::new(&dir);
+    let out = simulate(args.seed, args.scale);
+    let channels = jigsaw_trace::stream::distinct_channels(&out.radio_meta).len();
+
+    let t0 = Instant::now();
+    let summary = jigsaw_bench::record_corpus(
+        &out,
+        dir,
+        "paper_day",
+        args.seed,
+        args.scale,
+        args.snaplen,
+        args.block_bytes,
+    )
+    .expect("record corpus");
+    let record_s = t0.elapsed().as_secs_f64();
+    // The whole point: the merge below must not touch the in-memory world.
+    drop(out);
+
+    let corpus = jigsaw_trace::corpus::Corpus::open(dir).expect("open corpus");
+    // Like bench-merge: with no --threads, force one shard per channel even
+    // on machines with fewer cores, so the recorded layout is the same
+    // everywhere and CI's multi-core runners actually exercise it. The
+    // merge below runs with exactly this shard config — `threads` in the
+    // JSON is the count that really ran.
+    let shard = ShardConfig {
+        max_threads: if args.threads == 0 {
+            channels.max(1)
+        } else {
+            args.threads
+        },
+        ..ShardConfig::default()
+    };
+    let threads = shard.shards_for(channels);
+    let cfg = PipelineConfig {
+        shard,
+        ..PipelineConfig::default()
+    };
+    let (events, digest, peak, bytes_in, elapsed) = stream_merge_corpus(&corpus, &cfg, true);
+    assert_eq!(events, summary.events, "streaming merge dropped events");
+    assert!(digest.count() > 0, "streaming merge produced no jframes");
+
+    let bench = jigsaw_bench::StreamBench {
+        scenario: "paper_day".into(),
+        scale: args.scale,
+        events,
+        jframes: digest.count(),
+        channels,
+        threads,
+        cores: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        record_s,
+        disk_bytes_out: summary.data_bytes,
+        merge_s: elapsed.as_secs_f64(),
+        disk_bytes_in: bytes_in,
+        peak_buffered_events: peak,
+        digest: digest.hex(),
+    };
+    println!(
+        "events {}  jframes {}  record {:.3}s ({:.1} MB/s out)  merge {:.3}s ({:.0} events/s, {:.1} MB/s in)  peak buffered {}  threads {}/{} cores",
+        bench.events,
+        bench.jframes,
+        bench.record_s,
+        bench.write_mb_s(),
+        bench.merge_s,
+        bench.events_per_s(),
+        bench.read_mb_s(),
+        bench.peak_buffered_events,
+        bench.threads,
+        bench.cores,
+    );
+    let path = args.out.as_deref().unwrap_or("BENCH_stream.json");
+    std::fs::write(path, bench.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("wrote {path}");
 }
 

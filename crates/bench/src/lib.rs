@@ -5,11 +5,17 @@
 //! figure of the paper's evaluation. Criterion benchmarks (merge
 //! throughput, scaling, baselines) live under `benches/`.
 
-use jigsaw_core::pipeline::{Pipeline, PipelineConfig, PipelineReport};
+use jigsaw_core::pipeline::{CorpusSource, Pipeline, PipelineConfig, PipelineReport};
 use jigsaw_core::shard::ShardConfig;
 use jigsaw_core::unify::MergeStats;
+use jigsaw_core::JFrame;
 use jigsaw_sim::output::SimOutput;
 use jigsaw_sim::scenario::ScenarioConfig;
+use jigsaw_trace::corpus::{Corpus, CorpusError, CorpusSummary, CorpusWriter};
+use jigsaw_trace::digest::Fnv64;
+use std::path::Path;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The paper-scale scenario at a CPU/RAM scale factor.
@@ -32,6 +38,81 @@ pub fn paper_scenario(seed: u64, scale: f64) -> ScenarioConfig {
 /// minutes regardless of compression.
 pub fn minute_bin_us(day_us: u64) -> u64 {
     (day_us / 1440).max(1)
+}
+
+/// Resolves a scenario by the name recorded in a corpus manifest. `scale`
+/// only applies to `paper_day` (the presets are fixed-size by design).
+pub fn scenario_by_name(name: &str, seed: u64, scale: f64) -> Option<ScenarioConfig> {
+    match name {
+        "tiny" => Some(ScenarioConfig::tiny(seed)),
+        "small" => Some(ScenarioConfig::small(seed)),
+        "paper_day" => Some(paper_scenario(seed, scale)),
+        _ => None,
+    }
+}
+
+/// Records a simulated world as an on-disk corpus (one compressed, indexed
+/// trace per radio plus manifest + digest). `block_bytes = 0` uses the
+/// format's default block size; smaller blocks mean a finer index.
+pub fn record_corpus(
+    out: &SimOutput,
+    dir: &Path,
+    scenario: &str,
+    seed: u64,
+    scale: f64,
+    snaplen: u32,
+    block_bytes: usize,
+) -> Result<CorpusSummary, CorpusError> {
+    let mut w = CorpusWriter::create(dir, scenario, seed, scale, snaplen, block_bytes)?;
+    for (meta, trace) in out.radio_meta.iter().zip(&out.traces) {
+        w.record_radio(*meta, trace.iter())?;
+    }
+    w.finish()
+}
+
+/// Opens every radio of a corpus as a pipeline source, all feeding one
+/// shared disk-bytes counter.
+pub fn corpus_sources(
+    corpus: &Corpus,
+    counter: Arc<AtomicU64>,
+) -> Result<Vec<CorpusSource>, CorpusError> {
+    Ok(corpus
+        .sources(counter)?
+        .into_iter()
+        .map(CorpusSource)
+        .collect())
+}
+
+/// A running digest over a jframe stream: count + order + content. Two
+/// pipeline runs emitted the same stream iff count and digest both match —
+/// what `repro merge --verify` and the golden-corpus CI step compare.
+#[derive(Debug, Clone, Default)]
+pub struct JframeStreamDigest {
+    hasher: Fnv64,
+    count: u64,
+}
+
+impl JframeStreamDigest {
+    /// An empty stream digest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds the next jframe of the stream.
+    pub fn observe(&mut self, jf: &JFrame) {
+        jf.digest_into(&mut self.hasher);
+        self.count += 1;
+    }
+
+    /// Jframes observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The digest as 16-char hex.
+    pub fn hex(&self) -> String {
+        self.hasher.hex()
+    }
 }
 
 /// Runs the full pipeline with no sinks and returns the report
@@ -175,6 +256,104 @@ impl MergeBench {
     }
 }
 
+/// A disk-streaming benchmark record, serialized to `BENCH_stream.json` by
+/// `repro bench-stream`: record throughput (simulate → corpus on disk) and
+/// merge throughput (corpus on disk → jframe stream), with the memory and
+/// I/O numbers that make the bounded-memory claim checkable — peak buffered
+/// events and disk bytes in/out.
+#[derive(Debug, Clone)]
+pub struct StreamBench {
+    /// Scenario label.
+    pub scenario: String,
+    /// Scale factor the scenario ran at.
+    pub scale: f64,
+    /// Capture events recorded and re-merged.
+    pub events: u64,
+    /// Jframes out of the streaming merge.
+    pub jframes: u64,
+    /// Distinct channels (= maximum useful merge shards).
+    pub channels: usize,
+    /// Shard threads the streaming merge ran with (1 = serial).
+    pub threads: usize,
+    /// CPU parallelism available to the process.
+    pub cores: usize,
+    /// Corpus write wall-clock (seconds), excluding simulation.
+    pub record_s: f64,
+    /// Bytes written to disk (compressed data + index files).
+    pub disk_bytes_out: u64,
+    /// Streaming merge wall-clock (seconds), bootstrap included.
+    pub merge_s: f64,
+    /// Bytes read back from disk during the merge (bootstrap-window reads
+    /// included — slightly more than the file sizes because window blocks
+    /// are decoded twice).
+    pub disk_bytes_in: u64,
+    /// Peak events simultaneously buffered across all shard mergers
+    /// (upper bound; see `MergeStats::peak_buffered`).
+    pub peak_buffered_events: u64,
+    /// Digest of the emitted jframe stream (count is `jframes`).
+    pub digest: String,
+}
+
+impl StreamBench {
+    /// Events merged per second of merge wall-clock.
+    pub fn events_per_s(&self) -> f64 {
+        self.events as f64 / self.merge_s.max(1e-12)
+    }
+
+    /// Write throughput in MB/s (compressed bytes hitting disk).
+    pub fn write_mb_s(&self) -> f64 {
+        self.disk_bytes_out as f64 / 1e6 / self.record_s.max(1e-12)
+    }
+
+    /// Read throughput in MB/s during the merge.
+    pub fn read_mb_s(&self) -> f64 {
+        self.disk_bytes_in as f64 / 1e6 / self.merge_s.max(1e-12)
+    }
+
+    /// Renders the record as a JSON object (no serde in the dependency
+    /// set; every field is a number or a plain label).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"scenario\": \"{}\",\n",
+                "  \"scale\": {},\n",
+                "  \"events\": {},\n",
+                "  \"jframes\": {},\n",
+                "  \"channels\": {},\n",
+                "  \"threads\": {},\n",
+                "  \"cores\": {},\n",
+                "  \"record_s\": {:.6},\n",
+                "  \"disk_bytes_out\": {},\n",
+                "  \"write_mb_s\": {:.3},\n",
+                "  \"merge_s\": {:.6},\n",
+                "  \"disk_bytes_in\": {},\n",
+                "  \"read_mb_s\": {:.3},\n",
+                "  \"events_per_s\": {:.0},\n",
+                "  \"peak_buffered_events\": {},\n",
+                "  \"digest\": \"{}\"\n",
+                "}}\n"
+            ),
+            self.scenario,
+            self.scale,
+            self.events,
+            self.jframes,
+            self.channels,
+            self.threads,
+            self.cores,
+            self.record_s,
+            self.disk_bytes_out,
+            self.write_mb_s(),
+            self.merge_s,
+            self.disk_bytes_in,
+            self.read_mb_s(),
+            self.events_per_s(),
+            self.peak_buffered_events,
+            self.digest,
+        )
+    }
+}
+
 /// Builds memory streams for a subset of radios (Figure 7 pod reduction).
 pub fn subset_streams(
     out: &SimOutput,
@@ -207,6 +386,42 @@ mod tests {
     fn minute_bins() {
         assert_eq!(minute_bin_us(720_000_000), 500_000);
         assert_eq!(minute_bin_us(1_440), 1);
+    }
+
+    #[test]
+    fn scenario_names_resolve() {
+        assert!(scenario_by_name("tiny", 1, 1.0).is_some());
+        assert!(scenario_by_name("small", 1, 1.0).is_some());
+        let p = scenario_by_name("paper_day", 1, 0.5).unwrap();
+        assert_eq!(p.day_us, 360_000_000);
+        assert!(scenario_by_name("nope", 1, 1.0).is_none());
+    }
+
+    #[test]
+    fn stream_bench_json_shape() {
+        let b = StreamBench {
+            scenario: "paper_day".into(),
+            scale: 0.25,
+            events: 1_000_000,
+            jframes: 400_000,
+            channels: 3,
+            threads: 3,
+            cores: 4,
+            record_s: 2.0,
+            disk_bytes_out: 50_000_000,
+            merge_s: 4.0,
+            disk_bytes_in: 52_000_000,
+            peak_buffered_events: 12_345,
+            digest: "0123456789abcdef".into(),
+        };
+        assert!((b.events_per_s() - 250_000.0).abs() < 1e-6);
+        assert!((b.write_mb_s() - 25.0).abs() < 1e-6);
+        assert!((b.read_mb_s() - 13.0).abs() < 1e-6);
+        let j = b.to_json();
+        assert!(j.contains("\"events_per_s\": 250000"));
+        assert!(j.contains("\"peak_buffered_events\": 12345"));
+        assert!(j.contains("\"digest\": \"0123456789abcdef\""));
+        assert!(j.trim_end().ends_with('}'));
     }
 
     #[test]

@@ -130,20 +130,21 @@ pub fn naive_merge<S: EventStream>(
 /// Yeo-style merge: bootstrap once (beacon references), then merge with
 /// continuous resynchronization disabled.
 pub fn yeo_merge<S: EventStream>(
-    mut streams: Vec<S>,
+    streams: Vec<S>,
     bootstrap_cfg: &BootstrapConfig,
     merge_cfg: &MergeConfig,
     sink: impl FnMut(JFrame),
 ) -> Result<(MergeStats, BootstrapReport), crate::pipeline::PipelineError> {
-    let prefixes = crate::pipeline::BootstrapPrefixes::read(&mut streams, bootstrap_cfg.window_us)?;
-    let boot = prefixes.bootstrap(bootstrap_cfg)?;
+    let set = crate::pipeline::SourceSet::open(streams, bootstrap_cfg.window_us)?;
+    let boot = set.bootstrap(bootstrap_cfg)?;
     let cfg = MergeConfig {
         resync_enabled: false,
         ..merge_cfg.clone()
     };
+    let (streams, seeds) = set.into_merge_input();
     let mut merger = Merger::new(streams, &boot.offsets, cfg);
-    for (r, prefix) in prefixes.events.into_iter().enumerate() {
-        merger.seed_pending(r, prefix);
+    for (r, seed) in seeds.into_iter().enumerate() {
+        merger.seed_pending(r, seed);
     }
     let stats = merger.run(sink)?;
     Ok((stats, boot))

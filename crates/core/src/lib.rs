@@ -32,7 +32,10 @@
 //!   merges the results back into the serial emission order;
 //! * [`pipeline`] — the single-pass streaming driver tying it together
 //!   (requirement 3 of §4: faster than real time, one pass), with
-//!   [`pipeline::Pipeline::run_parallel`] as the sharded variant;
+//!   [`pipeline::Pipeline::run_parallel`] as the sharded variant; its
+//!   [`pipeline::EventSource`] abstraction feeds the same drivers from
+//!   in-memory streams or from an on-disk trace corpus
+//!   ([`pipeline::CorpusSource`]) with window-bounded memory;
 //! * [`baseline`] — the comparison mergers the benchmarks run against:
 //!   a `mergecap`-style local-timestamp merge and a Yeo-style
 //!   beacon-reference synchronizer without skew management.
@@ -47,6 +50,6 @@ pub mod transport;
 pub mod unify;
 
 pub use jframe::{Instance, JFrame};
-pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
+pub use pipeline::{CorpusSource, EventSource, Pipeline, PipelineConfig, PipelineReport};
 pub use shard::ShardConfig;
 pub use unify::{MergeConfig, Merger};

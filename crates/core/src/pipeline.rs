@@ -5,6 +5,16 @@
 //! Analyses subscribe via sinks instead of materializing the 500M-jframe
 //! intermediate the paper's hardware had to contend with.
 //!
+//! Every driver takes a `Vec` of [`EventSource`]s — one per radio. A source
+//! abstracts *where events come from*: any in-memory or decoded
+//! [`EventStream`] is a source (consumed once, with the bootstrap prefix
+//! re-seeded into the merger), and a disk corpus radio
+//! ([`jigsaw_trace::corpus::RadioTraceSource`]) is a source whose bootstrap
+//! window is served by an index-bounded file read while the merge re-streams
+//! the file from the start — so a day-long corpus is merged with memory
+//! bounded by the search window, never by trace length
+//! ([`MergeStats::peak_buffered`](crate::unify::MergeStats) measures it).
+//!
 //! Two drivers share every stage:
 //! * [`Pipeline::run`] / [`Pipeline::run_full`] — the serial merger;
 //! * [`Pipeline::run_parallel`] / [`Pipeline::run_parallel_full`] — the
@@ -86,66 +96,159 @@ impl From<FormatError> for PipelineError {
     }
 }
 
-/// The per-radio bootstrap prefix: every event pulled off the stream while
-/// locating the end of the bootstrap window, plus how many of them actually
-/// lie *inside* the window.
+/// A per-radio supplier of pipeline input.
 ///
-/// Reading stops at the first event past the window, and that event has
-/// already been consumed from the stream — it must be kept for merger
-/// seeding (dropping it would lose an event) but must NOT feed offset
-/// estimation: it is outside the NTP-delimited window `bootstrap()`
-/// contracts for, and one out-of-window reference frame is enough to skew
-/// a synchronization set.
-pub(crate) struct BootstrapPrefixes {
-    /// Radio metadata, one per stream.
-    pub metas: Vec<RadioMeta>,
-    /// All consumed events per radio (seed these into the merger).
-    pub events: Vec<Vec<PhyEvent>>,
-    /// Per radio: how many leading `events` fall within the window.
-    pub in_window: Vec<usize>,
+/// Opening a source splits it into the *bootstrap window* (the NTP-anchored
+/// first second, input to offset estimation) and the *merge stream*. The
+/// two flavors differ in what happens to window events:
+///
+/// * any [`EventStream`] is a source (blanket impl): streams are
+///   consumed-once, so window events — plus the one past-window event the
+///   split necessarily reads — are handed back for re-seeding into the
+///   merger;
+/// * a rewindable disk source (e.g.
+///   [`jigsaw_trace::corpus::RadioTraceSource`]) reads the window in a
+///   separate index-bounded pass and lets the merge stream replay the file
+///   from the start, so nothing is buffered across stages.
+pub trait EventSource {
+    /// The merge stream this source opens into.
+    type Stream: EventStream;
+
+    /// Opens the source, splitting off the bootstrap window.
+    fn open(self, window_us: u64) -> Result<OpenedRadio<Self::Stream>, FormatError>;
 }
 
-impl BootstrapPrefixes {
-    /// Reads the bootstrap window from every stream.
-    pub fn read<S: EventStream>(streams: &mut [S], window_us: u64) -> Result<Self, FormatError> {
-        let mut metas = Vec::with_capacity(streams.len());
-        let mut events = Vec::with_capacity(streams.len());
-        let mut in_window = Vec::with_capacity(streams.len());
-        for s in streams.iter_mut() {
-            let meta = s.meta();
-            let hi = meta.anchor_local_us.saturating_add(window_us);
-            let mut prefix: Vec<PhyEvent> = Vec::new();
-            while let Some(ev) = s.next_event()? {
-                let past_window = ev.ts_local > hi;
-                prefix.push(ev);
-                if past_window {
-                    break;
-                }
+/// One opened [`EventSource`].
+pub struct OpenedRadio<S> {
+    /// Radio metadata.
+    pub meta: RadioMeta,
+    /// Events inside the bootstrap window (`ts_local ≤ anchor + window`) —
+    /// the input to offset estimation, and nothing else: one out-of-window
+    /// reference frame is enough to skew a synchronization set.
+    pub window: Vec<PhyEvent>,
+    /// Events consumed from the stream beyond the window (at most one for
+    /// the stream impl). They must reach the merger ahead of `stream` —
+    /// dropping them would lose events.
+    pub carry: Vec<PhyEvent>,
+    /// True when `stream` itself replays the window events (rewindable
+    /// sources): the merger then must *not* be seeded with them.
+    pub replay: bool,
+    /// The merge stream.
+    pub stream: S,
+}
+
+impl<S: EventStream> EventSource for S {
+    type Stream = S;
+
+    fn open(mut self, window_us: u64) -> Result<OpenedRadio<S>, FormatError> {
+        let meta = self.meta();
+        let hi = meta.anchor_local_us.saturating_add(window_us);
+        let mut window = Vec::new();
+        let mut carry = Vec::new();
+        while let Some(ev) = self.next_event()? {
+            if ev.ts_local > hi {
+                carry.push(ev);
+                break;
             }
-            let n = match prefix.last() {
-                Some(last) if last.ts_local > hi => prefix.len() - 1,
-                _ => prefix.len(),
-            };
-            metas.push(meta);
-            events.push(prefix);
-            in_window.push(n);
+            window.push(ev);
         }
-        Ok(BootstrapPrefixes {
-            metas,
-            events,
-            in_window,
+        Ok(OpenedRadio {
+            meta,
+            window,
+            carry,
+            replay: false,
+            stream: self,
         })
     }
+}
 
-    /// Runs bootstrap over the in-window slices only.
+/// A disk-corpus radio as a pipeline source (newtype, because the blanket
+/// stream impl above forbids implementing [`EventSource`] directly for the
+/// foreign [`RadioTraceSource`](jigsaw_trace::corpus::RadioTraceSource)
+/// type): the bootstrap window comes from an index-bounded file read, the
+/// merge stream replays the file from the start, and nothing is buffered
+/// between the two stages.
+pub struct CorpusSource(pub jigsaw_trace::corpus::RadioTraceSource);
+
+impl EventSource for CorpusSource {
+    type Stream = jigsaw_trace::corpus::CorpusStream;
+
+    fn open(self, window_us: u64) -> Result<OpenedRadio<Self::Stream>, FormatError> {
+        let meta = self.0.meta();
+        // Index-bounded prefix read (`index::find_block` delimits the
+        // blocks overlapping the window); the merge stream re-reads the
+        // file from the start, so nothing needs seeding.
+        let window = self.0.read_bootstrap_window(window_us)?;
+        let stream = self.0.open_stream()?;
+        Ok(OpenedRadio {
+            meta,
+            window,
+            carry: Vec::new(),
+            replay: true,
+            stream,
+        })
+    }
+}
+
+/// Every radio's opened source, ready for bootstrap + merge.
+pub(crate) struct SourceSet<S> {
+    pub metas: Vec<RadioMeta>,
+    pub windows: Vec<Vec<PhyEvent>>,
+    pub carries: Vec<Vec<PhyEvent>>,
+    pub replays: Vec<bool>,
+    pub streams: Vec<S>,
+}
+
+impl<S: EventStream> SourceSet<S> {
+    /// Opens all sources, preserving radio order.
+    pub fn open<I>(sources: Vec<I>, window_us: u64) -> Result<Self, FormatError>
+    where
+        I: EventSource<Stream = S>,
+    {
+        let n = sources.len();
+        let mut set = SourceSet {
+            metas: Vec::with_capacity(n),
+            windows: Vec::with_capacity(n),
+            carries: Vec::with_capacity(n),
+            replays: Vec::with_capacity(n),
+            streams: Vec::with_capacity(n),
+        };
+        for src in sources {
+            let opened = src.open(window_us)?;
+            set.metas.push(opened.meta);
+            set.windows.push(opened.window);
+            set.carries.push(opened.carry);
+            set.replays.push(opened.replay);
+            set.streams.push(opened.stream);
+        }
+        Ok(set)
+    }
+
+    /// Runs bootstrap over the in-window events only.
     pub fn bootstrap(&self, cfg: &BootstrapConfig) -> Result<BootstrapReport, BootstrapError> {
-        let views: Vec<&[PhyEvent]> = self
-            .events
-            .iter()
-            .zip(&self.in_window)
-            .map(|(evs, &n)| &evs[..n])
-            .collect();
+        let views: Vec<&[PhyEvent]> = self.windows.iter().map(|w| w.as_slice()).collect();
         bootstrap(&self.metas, &views, cfg)
+    }
+
+    /// Splits into merge input: the streams plus, per radio, the events to
+    /// seed ahead of them (empty for replaying sources).
+    pub fn into_merge_input(self) -> (Vec<S>, Vec<Vec<PhyEvent>>) {
+        let seeds = self
+            .windows
+            .into_iter()
+            .zip(self.carries)
+            .zip(self.replays)
+            .map(|((mut window, carry), replay)| {
+                if replay {
+                    debug_assert!(carry.is_empty(), "replay sources never carry");
+                    Vec::new()
+                } else {
+                    window.extend(carry);
+                    window
+                }
+            })
+            .collect();
+        (self.streams, seeds)
     }
 }
 
@@ -251,35 +354,37 @@ where
 pub struct Pipeline;
 
 impl Pipeline {
-    /// Runs the full pipeline over per-radio streams.
+    /// Runs the full pipeline over per-radio sources (streams or disk
+    /// corpus radios).
     ///
     /// `jframe_sink` observes every unified frame; `exchange_sink` observes
     /// every reconstructed frame exchange. Both may be no-ops.
-    pub fn run<S: EventStream>(
-        streams: Vec<S>,
+    pub fn run<I: EventSource>(
+        sources: Vec<I>,
         cfg: &PipelineConfig,
         jframe_sink: impl FnMut(&JFrame),
         exchange_sink: impl FnMut(&Exchange),
     ) -> Result<PipelineReport, PipelineError> {
-        Self::run_full(streams, cfg, jframe_sink, |_| {}, exchange_sink)
+        Self::run_full(sources, cfg, jframe_sink, |_| {}, exchange_sink)
     }
 
     /// Like [`Pipeline::run`], with an additional sink observing every
     /// *transmission attempt* (the paper's interference analysis operates
     /// on attempts, which are distinct from frame exchanges, §7.2).
-    pub fn run_full<S: EventStream>(
-        mut streams: Vec<S>,
+    pub fn run_full<I: EventSource>(
+        sources: Vec<I>,
         cfg: &PipelineConfig,
         jframe_sink: impl FnMut(&JFrame),
         attempt_sink: impl FnMut(&Attempt),
         exchange_sink: impl FnMut(&Exchange),
     ) -> Result<PipelineReport, PipelineError> {
-        let prefixes = BootstrapPrefixes::read(&mut streams, cfg.bootstrap.window_us)?;
-        let boot = prefixes.bootstrap(&cfg.bootstrap)?;
+        let set = SourceSet::open(sources, cfg.bootstrap.window_us)?;
+        let boot = set.bootstrap(&cfg.bootstrap)?;
 
+        let (streams, seeds) = set.into_merge_input();
         let mut merger = Merger::new(streams, &boot.offsets, cfg.merge.clone());
-        for (r, prefix) in prefixes.events.into_iter().enumerate() {
-            merger.seed_pending(r, prefix);
+        for (r, seed) in seeds.into_iter().enumerate() {
+            merger.seed_pending(r, seed);
         }
         let mut ds = Downstream::new(jframe_sink, attempt_sink, exchange_sink);
         let merge_stats = merger.run(|jf| ds.observe(&jf))?;
@@ -300,37 +405,40 @@ impl Pipeline {
     /// clocks bridge channels), the merge fans out one thread per channel
     /// shard, and reconstruction consumes the re-merged stream here on the
     /// calling thread. Jframe/exchange output is identical to [`Pipeline::run`].
-    pub fn run_parallel<S>(
-        streams: Vec<S>,
+    pub fn run_parallel<I>(
+        sources: Vec<I>,
         cfg: &PipelineConfig,
         jframe_sink: impl FnMut(&JFrame),
         exchange_sink: impl FnMut(&Exchange),
     ) -> Result<PipelineReport, PipelineError>
     where
-        S: EventStream + Send + 'static,
+        I: EventSource,
+        I::Stream: Send + 'static,
     {
-        Self::run_parallel_full(streams, cfg, jframe_sink, |_| {}, exchange_sink)
+        Self::run_parallel_full(sources, cfg, jframe_sink, |_| {}, exchange_sink)
     }
 
     /// [`Pipeline::run_full`] on the channel-sharded merge.
-    pub fn run_parallel_full<S>(
-        mut streams: Vec<S>,
+    pub fn run_parallel_full<I>(
+        sources: Vec<I>,
         cfg: &PipelineConfig,
         jframe_sink: impl FnMut(&JFrame),
         attempt_sink: impl FnMut(&Attempt),
         exchange_sink: impl FnMut(&Exchange),
     ) -> Result<PipelineReport, PipelineError>
     where
-        S: EventStream + Send + 'static,
+        I: EventSource,
+        I::Stream: Send + 'static,
     {
-        let prefixes = BootstrapPrefixes::read(&mut streams, cfg.bootstrap.window_us)?;
-        let boot = prefixes.bootstrap(&cfg.bootstrap)?;
+        let set = SourceSet::open(sources, cfg.bootstrap.window_us)?;
+        let boot = set.bootstrap(&cfg.bootstrap)?;
 
+        let (streams, seeds) = set.into_merge_input();
         let mut ds = Downstream::new(jframe_sink, attempt_sink, exchange_sink);
         let merge_stats = crate::shard::run_sharded(
             streams,
             &boot.offsets,
-            prefixes.events,
+            seeds,
             &cfg.merge,
             &cfg.shard,
             |jf| ds.observe(&jf),
@@ -348,54 +456,52 @@ impl Pipeline {
     }
 
     /// Bootstrap + serial merge only — no link/transport reconstruction.
-    /// Benchmarks isolate the merge stage with this.
-    pub fn merge_only<S: EventStream>(
-        mut streams: Vec<S>,
+    /// Benchmarks isolate the merge stage with this; `repro merge --corpus`
+    /// streams jframes off disk through it.
+    pub fn merge_only<I: EventSource>(
+        sources: Vec<I>,
         cfg: &PipelineConfig,
         sink: impl FnMut(JFrame),
     ) -> Result<(BootstrapReport, MergeStats), PipelineError> {
-        let prefixes = BootstrapPrefixes::read(&mut streams, cfg.bootstrap.window_us)?;
-        let boot = prefixes.bootstrap(&cfg.bootstrap)?;
+        let set = SourceSet::open(sources, cfg.bootstrap.window_us)?;
+        let boot = set.bootstrap(&cfg.bootstrap)?;
+        let (streams, seeds) = set.into_merge_input();
         let mut merger = Merger::new(streams, &boot.offsets, cfg.merge.clone());
-        for (r, prefix) in prefixes.events.into_iter().enumerate() {
-            merger.seed_pending(r, prefix);
+        for (r, seed) in seeds.into_iter().enumerate() {
+            merger.seed_pending(r, seed);
         }
         let stats = merger.run(sink)?;
         Ok((boot, stats))
     }
 
     /// Bootstrap + channel-sharded merge only (see [`Pipeline::merge_only`]).
-    pub fn merge_only_parallel<S>(
-        mut streams: Vec<S>,
+    pub fn merge_only_parallel<I>(
+        sources: Vec<I>,
         cfg: &PipelineConfig,
         sink: impl FnMut(JFrame),
     ) -> Result<(BootstrapReport, MergeStats), PipelineError>
     where
-        S: EventStream + Send + 'static,
+        I: EventSource,
+        I::Stream: Send + 'static,
     {
-        let prefixes = BootstrapPrefixes::read(&mut streams, cfg.bootstrap.window_us)?;
-        let boot = prefixes.bootstrap(&cfg.bootstrap)?;
-        let stats = crate::shard::run_sharded(
-            streams,
-            &boot.offsets,
-            prefixes.events,
-            &cfg.merge,
-            &cfg.shard,
-            sink,
-        )?;
+        let set = SourceSet::open(sources, cfg.bootstrap.window_us)?;
+        let boot = set.bootstrap(&cfg.bootstrap)?;
+        let (streams, seeds) = set.into_merge_input();
+        let stats =
+            crate::shard::run_sharded(streams, &boot.offsets, seeds, &cfg.merge, &cfg.shard, sink)?;
         Ok((boot, stats))
     }
 
     /// Convenience wrapper that materializes jframes and exchanges
     /// (small runs and tests only).
-    pub fn run_collect<S: EventStream>(
-        streams: Vec<S>,
+    pub fn run_collect<I: EventSource>(
+        sources: Vec<I>,
         cfg: &PipelineConfig,
     ) -> Result<(Vec<JFrame>, Vec<Exchange>, PipelineReport), PipelineError> {
         let mut jframes = Vec::new();
         let mut xs = Vec::new();
         let report = Self::run(
-            streams,
+            sources,
             cfg,
             |jf| jframes.push(jf.clone()),
             |x| xs.push(x.clone()),
@@ -459,9 +565,9 @@ mod tests {
     /// is bootstrap input; the first event past it is kept for merging but
     /// excluded from bootstrap.
     #[test]
-    fn bootstrap_prefix_splits_at_window_boundary() {
+    fn bootstrap_window_splits_at_boundary() {
         let window = BootstrapConfig::default().window_us; // 1 s
-        let mut streams = vec![
+        let streams = vec![
             MemoryStream::new(
                 meta(0, 0),
                 vec![
@@ -473,20 +579,94 @@ mod tests {
             ),
             MemoryStream::new(meta(1, 0), vec![ev(1, 150, frame_bytes(1))]),
         ];
-        let p = BootstrapPrefixes::read(&mut streams, window).unwrap();
+        let set = SourceSet::open(streams, window).unwrap();
         // Radio 0: three events consumed (the loop stops after the first
         // out-of-window event), only two of them bootstrap input.
-        assert_eq!(p.events[0].len(), 3);
-        assert_eq!(p.in_window[0], 2);
-        assert_eq!(p.events[1].len(), 1);
-        assert_eq!(p.in_window[1], 1);
+        assert_eq!(set.windows[0].len(), 2);
+        assert_eq!(set.carries[0].len(), 1);
+        assert_eq!(set.windows[1].len(), 1);
+        assert!(set.carries[1].is_empty());
+        assert!(set.replays.iter().all(|&r| !r), "streams are consumed-once");
         // The stream still holds the unread tail.
-        assert_eq!(streams[0].len(), 1);
+        assert_eq!(set.streams[0].len(), 1);
 
         // The out-of-window event is NOT a synchronization candidate...
-        let boot = p.bootstrap(&BootstrapConfig::default()).unwrap();
+        let boot = set.bootstrap(&BootstrapConfig::default()).unwrap();
         assert_eq!(boot.candidates, 3); // r0: seq 1 + seq 2; r1: seq 1
         assert_eq!(boot.components, 1);
+
+        // ...but it IS merge input, seeded ahead of the stream.
+        let (streams, seeds) = set.into_merge_input();
+        assert_eq!(seeds[0].len(), 3);
+        assert_eq!(seeds[0][2].ts_local, window + 1);
+        assert_eq!(seeds[1].len(), 1);
+        assert_eq!(streams[0].len(), 1);
+    }
+
+    /// A rewindable test double: the window is served out-of-band and the
+    /// stream replays everything — the disk-corpus shape of a source.
+    struct ReplaySource {
+        meta: RadioMeta,
+        events: Vec<PhyEvent>,
+    }
+
+    impl EventSource for ReplaySource {
+        type Stream = MemoryStream;
+
+        fn open(self, window_us: u64) -> Result<OpenedRadio<MemoryStream>, FormatError> {
+            let hi = self.meta.anchor_local_us.saturating_add(window_us);
+            let window = self
+                .events
+                .iter()
+                .filter(|e| e.ts_local <= hi)
+                .cloned()
+                .collect();
+            Ok(OpenedRadio {
+                meta: self.meta,
+                window,
+                carry: Vec::new(),
+                replay: true,
+                stream: MemoryStream::new(self.meta, self.events),
+            })
+        }
+    }
+
+    /// Replaying sources and consumed-once streams must produce identical
+    /// pipelines: same bootstrap input, same merged stream, nothing seeded
+    /// twice and nothing dropped.
+    #[test]
+    fn replay_source_matches_stream_source() {
+        let window = BootstrapConfig::default().window_us;
+        let mk_events = |r: u16| {
+            vec![
+                ev(r, 100 + u64::from(r), frame_bytes(1)),
+                ev(r, window + 1 + u64::from(r), frame_bytes(3)),
+                ev(r, window + 40_000 + u64::from(r), frame_bytes(7)),
+            ]
+        };
+        let streams: Vec<MemoryStream> = (0..2)
+            .map(|r| MemoryStream::new(meta(r, 0), mk_events(r)))
+            .collect();
+        let (jf_stream, _, rs) =
+            Pipeline::run_collect(streams, &PipelineConfig::default()).unwrap();
+
+        let replays: Vec<ReplaySource> = (0..2)
+            .map(|r| ReplaySource {
+                meta: meta(r, 0),
+                events: mk_events(r),
+            })
+            .collect();
+        let (jf_replay, _, rr) =
+            Pipeline::run_collect(replays, &PipelineConfig::default()).unwrap();
+
+        assert_eq!(rs.merge.events_in, rr.merge.events_in);
+        assert_eq!(rs.bootstrap.candidates, rr.bootstrap.candidates);
+        assert_eq!(jf_stream.len(), jf_replay.len());
+        for (a, b) in jf_stream.iter().zip(&jf_replay) {
+            assert_eq!(a.ts, b.ts);
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.instances, b.instances);
+        }
     }
 
     /// End-to-end: the consumed out-of-window event still reaches the

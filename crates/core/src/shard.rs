@@ -1,6 +1,6 @@
 //! Channel-sharded parallel unification.
 //!
-//! The serial [`Merger`](crate::unify::Merger) is the pipeline's bottleneck
+//! The serial [`Merger`] is the pipeline's bottleneck
 //! by construction: one priority queue serializes every radio, even though
 //! radios tuned to different channels can never capture the same
 //! transmission and therefore never contribute instances to the same
@@ -8,7 +8,7 @@
 //! 1/6/11 (the paper's pods do exactly this), so the merge decomposes
 //! perfectly by channel:
 //!
-//! 1. **Partition** the per-radio streams by [`RadioMeta::channel`]
+//! 1. **Partition** the per-radio streams by [`jigsaw_trace::RadioMeta::channel`]
 //!    (`jigsaw_trace::stream::partition_by_channel`), carrying each radio's
 //!    bootstrap offset and seed prefix along with its stream.
 //! 2. **Merge per shard**: each shard — one or more whole channels — runs
@@ -24,7 +24,7 @@
 //! # Equivalence with the serial merger
 //!
 //! Unification never crosses channels (grouping is keyed by the radio's
-//! tuned [`RadioMeta::channel`] — the very key `partition_by_channel`
+//! tuned [`jigsaw_trace::RadioMeta::channel`] — the very key `partition_by_channel`
 //! shards by, so the two layers can never disagree; see [`crate::unify`]),
 //! clock corrections only ever touch radios inside the
 //! group that triggered them, and each shard keeps its radios in the same
@@ -70,6 +70,12 @@ pub struct ShardConfig {
     /// adding meaningful latency (jframes are merged, not displayed).
     pub batch: usize,
     /// Bounded queue depth per shard, in batches — the backpressure window.
+    /// Together with `batch` this is the knob bounding cross-thread
+    /// buffering: at most `batch × (queue_batches + 2)` jframes per shard
+    /// are in flight (queue + one being filled + one being drained),
+    /// independent of how long the input traces are. Per-shard *merger*
+    /// residency is tracked separately in
+    /// [`MergeStats::peak_buffered`](crate::unify::MergeStats).
     pub queue_batches: usize,
 }
 
@@ -375,6 +381,7 @@ mod tests {
             .unwrap();
             assert_eq!(stats.jframes_out, serial.len() as u64, "threads={threads}");
             assert_eq!(keys(&out), keys(&serial), "threads={threads}");
+            assert!(stats.peak_buffered > 0, "shard peaks must be absorbed");
         }
     }
 

@@ -89,6 +89,13 @@ pub struct MergeStats {
     pub singleton_errors: u64,
     /// Groups pushed back past the emit guard (re-processed next round).
     pub pushbacks: u64,
+    /// Peak number of events simultaneously buffered inside the merger:
+    /// cursor queues (seeded prefixes + heads), the in-flight candidate
+    /// batch, and instances parked in the output reorder buffer. Bounded by
+    /// the search window × traffic rate (plus any seeded prefix), *not* by
+    /// trace length — the number that makes larger-than-RAM corpora safe to
+    /// merge.
+    pub peak_buffered: u64,
 }
 
 impl MergeStats {
@@ -102,6 +109,10 @@ impl MergeStats {
         self.corrupt_attached += o.corrupt_attached;
         self.singleton_errors += o.singleton_errors;
         self.pushbacks += o.pushbacks;
+        // Shard peaks need not coincide in time, so the sum is an upper
+        // bound on true simultaneous residency — the conservative direction
+        // for a memory bound.
+        self.peak_buffered += o.peak_buffered;
     }
 }
 
@@ -135,26 +146,32 @@ struct Cursor<S> {
 }
 
 impl<S: EventStream> Cursor<S> {
-    fn refill(&mut self) -> Result<(), FormatError> {
+    /// Fills the head slot; `Ok(true)` when a *new* event was pulled off
+    /// the underlying stream (as opposed to the pending queue), so the
+    /// caller can track resident-event counts.
+    fn refill(&mut self) -> Result<bool, FormatError> {
         if self.head.is_some() {
-            return Ok(());
+            return Ok(false);
         }
         if let Some(ev) = self.pending.pop_front() {
             self.head = Some(ev);
             self.gen += 1;
-            return Ok(());
+            return Ok(false);
         }
         if self.exhausted {
-            return Ok(());
+            return Ok(false);
         }
         match self.stream.next_event()? {
             Some(ev) => {
                 self.head = Some(ev);
                 self.gen += 1;
+                Ok(true)
             }
-            None => self.exhausted = true,
+            None => {
+                self.exhausted = true;
+                Ok(false)
+            }
         }
-        Ok(())
     }
 }
 
@@ -179,6 +196,10 @@ pub struct Merger<S> {
     out: BinaryHeap<Reverse<(Micros, u8, u64)>>,
     out_frames: HashMap<u64, JFrame>,
     out_seq: u64,
+    // Events currently resident in the merger (cursor queues + heads +
+    // reorder-buffer instances); its running maximum is
+    // `MergeStats::peak_buffered`.
+    resident: usize,
 }
 
 impl<S: EventStream> Merger<S> {
@@ -216,6 +237,7 @@ impl<S: EventStream> Merger<S> {
             out: BinaryHeap::new(),
             out_frames: HashMap::new(),
             out_seq: 0,
+            resident: 0,
         }
     }
 
@@ -227,6 +249,7 @@ impl<S: EventStream> Merger<S> {
     /// Pre-seeds a radio's cursor with already-read events (the bootstrap
     /// prefix). Must be called before [`Merger::run`].
     pub fn seed_pending(&mut self, radio: usize, events: Vec<PhyEvent>) {
+        self.resident += events.len();
         self.cursors[radio].pending.extend(events);
     }
 
@@ -245,7 +268,9 @@ impl<S: EventStream> Merger<S> {
     }
 
     fn push_head(&mut self, radio: usize) -> Result<(), FormatError> {
-        self.cursors[radio].refill()?;
+        if self.cursors[radio].refill()? {
+            self.resident += 1;
+        }
         if let Some(ev) = &self.cursors[radio].head {
             let ts = self.clocks[radio].to_universal(ev.ts_local);
             let gen = self.cursors[radio].gen;
@@ -258,6 +283,7 @@ impl<S: EventStream> Merger<S> {
         let ev = self.cursors[radio].head.take().expect("head present");
         let univ = self.univ_of(radio, ev.ts_local);
         self.stats.events_in += 1;
+        self.resident -= 1;
         Candidate { radio, ev, univ }
     }
 
@@ -306,6 +332,10 @@ impl<S: EventStream> Merger<S> {
             }
             let drained = self.heap.is_empty()
                 && self.cursors.iter().all(|c| c.head.is_none() && c.exhausted);
+            // Residency peaks here: every candidate of the round is in
+            // flight on top of whatever the cursors and reorder buffer hold.
+            let buffered = (self.resident + candidates.len()) as u64;
+            self.stats.peak_buffered = self.stats.peak_buffered.max(buffered);
             self.process_candidates(candidates, t0, drained, &mut sink);
             // Flush reordered output older than the safety horizon.
             let horizon = t0.saturating_sub(2 * self.cfg.search_window_us);
@@ -318,6 +348,7 @@ impl<S: EventStream> Merger<S> {
     fn emit(&mut self, jf: JFrame) {
         let seq = self.out_seq;
         self.out_seq += 1;
+        self.resident += jf.instances.len();
         self.out.push(Reverse((jf.ts, jf.channel.number(), seq)));
         self.out_frames.insert(seq, jf);
         self.stats.jframes_out += 1;
@@ -330,6 +361,7 @@ impl<S: EventStream> Merger<S> {
             }
             self.out.pop();
             let jf = self.out_frames.remove(&seq).expect("frame stored");
+            self.resident -= jf.instances.len();
             sink(jf);
         }
     }
@@ -471,6 +503,7 @@ impl<S: EventStream> Merger<S> {
             let mut per_radio: HashMap<usize, Vec<PhyEvent>> = HashMap::new();
             for c in pushback {
                 self.stats.events_in -= 1; // they will be counted again
+                self.resident += 1; // back into a cursor queue
                 per_radio.entry(c.radio).or_default().push(c.ev);
             }
             for (r, evs) in per_radio {
@@ -970,6 +1003,49 @@ mod tests {
         assert_eq!(stats.corrupt_attached, 1);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].instance_count(), 3);
+    }
+
+    #[test]
+    fn peak_buffered_tracks_window_not_trace_length() {
+        // 100 well-separated rounds across 3 radios: residency must stay a
+        // small window's worth of events no matter how long the trace runs.
+        let mut streams = Vec::new();
+        for r in 0..3u16 {
+            let mut evs = Vec::new();
+            for k in 0..100u64 {
+                let f = frame_bytes((k as u16) % 4000, 32);
+                evs.push(ev(r, 1_000 + k * 20_000 + u64::from(r), f, PhyStatus::Ok));
+            }
+            streams.push(MemoryStream::new(meta(r), evs));
+        }
+        let (out, stats) = run_merge(streams, &[0, 0, 0], MergeConfig::default());
+        assert_eq!(out.len(), 100);
+        assert_eq!(stats.events_in, 300);
+        assert!(stats.peak_buffered > 0);
+        assert!(
+            stats.peak_buffered <= 30,
+            "peak residency {} should be window-bounded, not trace-bounded",
+            stats.peak_buffered
+        );
+    }
+
+    #[test]
+    fn peak_buffered_counts_seeded_prefixes() {
+        // A seeded prefix is resident until consumed: the peak must see it.
+        let f = frame_bytes(1, 40);
+        let seed: Vec<PhyEvent> = (0..50u64)
+            .map(|k| ev(0, 1_000 + k, f.clone(), PhyStatus::Ok))
+            .collect();
+        let s0 = MemoryStream::new(meta(0), vec![ev(0, 500_000, f, PhyStatus::Ok)]);
+        let mut merger = Merger::new(vec![s0], &[0], MergeConfig::default());
+        merger.seed_pending(0, seed);
+        let stats = merger.run(|_| {}).unwrap();
+        assert_eq!(stats.events_in, 51);
+        assert!(
+            stats.peak_buffered >= 50,
+            "peak {} must cover the seeded prefix",
+            stats.peak_buffered
+        );
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Content digests for traces and corpora.
+//!
+//! The golden-corpus CI check and the disk-vs-memory equivalence assertions
+//! both need a digest that is (a) deterministic across runs and platforms,
+//! (b) dependency-free, and (c) cheap enough to fold over every byte a
+//! recorder writes. FNV-1a (64-bit) fits: it is not cryptographic — it
+//! detects drift and corruption, not adversaries.
+
+use std::io::{self, Write};
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming 64-bit FNV-1a hasher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.state = h;
+    }
+
+    /// Folds a `u64` (little-endian) into the digest — used for field-wise
+    /// hashing so that e.g. `(1, 23)` and `(12, 3)` cannot collide the way
+    /// naive string concatenation would.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The digest as the 16-char lowercase hex string used in digest files.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+/// A [`Write`] adapter that digests everything flowing through it, so a
+/// recorder can hash exactly the bytes it writes without a second pass over
+/// the file.
+pub struct HashingWriter<W: Write> {
+    inner: W,
+    hasher: Fnv64,
+    bytes: u64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    /// Wraps a sink.
+    pub fn new(inner: W) -> Self {
+        HashingWriter {
+            inner,
+            hasher: Fnv64::new(),
+            bytes: 0,
+        }
+    }
+
+    /// Unwraps, returning `(sink, digest, bytes_written)`.
+    pub fn finish(self) -> (W, u64, u64) {
+        (self.inner, self.hasher.finish(), self.bytes)
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hasher.update(&buf[..n]);
+        self.bytes += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        let mut h = Fnv64::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        h.update(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.update(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut a = Fnv64::new();
+        a.update(b"hello ");
+        a.update(b"world");
+        let mut b = Fnv64::new();
+        b.update(b"hello world");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn field_framing_disambiguates() {
+        let mut a = Fnv64::new();
+        a.update_u64(1);
+        a.update_u64(23);
+        let mut b = Fnv64::new();
+        b.update_u64(12);
+        b.update_u64(3);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hashing_writer_matches_direct() {
+        let mut w = HashingWriter::new(Vec::new());
+        w.write_all(b"some trace bytes").unwrap();
+        w.write_all(b", more").unwrap();
+        let (buf, digest, bytes) = w.finish();
+        assert_eq!(bytes, buf.len() as u64);
+        let mut h = Fnv64::new();
+        h.update(&buf);
+        assert_eq!(h.finish(), digest);
+    }
+
+    #[test]
+    fn hex_is_16_lower_chars() {
+        let h = Fnv64::new();
+        let s = h.hex();
+        assert_eq!(s.len(), 16);
+        assert_eq!(s, s.to_lowercase());
+    }
+}

@@ -139,6 +139,67 @@ mod tests {
         assert!(read_index(&b"NOPE"[..]).is_err());
     }
 
+    /// Behavior exactly at block boundaries, pinned: `find_block(ts)`
+    /// returns the *first* block whose `last_ts >= ts`, so a query at a
+    /// block's `last_ts` lands on that block, a query one past it moves to
+    /// the next, and a timestamp shared across a block seam (equal-ts events
+    /// split by a flush) resolves to the earlier block — whose tail events
+    /// at that timestamp would otherwise be skipped.
+    #[test]
+    fn find_block_at_block_boundaries() {
+        // Blocks 0 and 1 share the boundary timestamp 500 (an equal-ts run
+        // was split by a block flush); blocks 1 and 2 are back-to-back with
+        // no gap (first_ts of 2 = last_ts of 1 + 1).
+        let entries = vec![
+            IndexEntry {
+                offset: 30,
+                first_ts: 100,
+                last_ts: 500,
+                count: 10,
+            },
+            IndexEntry {
+                offset: 800,
+                first_ts: 500,
+                last_ts: 900,
+                count: 10,
+            },
+            IndexEntry {
+                offset: 1_600,
+                first_ts: 901,
+                last_ts: 901,
+                count: 1,
+            },
+        ];
+        // Exactly at block 0's last_ts — which block 1 also starts at: the
+        // earlier block wins (its tail holds events at 500 too).
+        assert_eq!(find_block(&entries, 500), Some(0));
+        // One past the seam: block 0 can no longer contain it.
+        assert_eq!(find_block(&entries, 501), Some(1));
+        // Exactly at a block's first_ts when the previous block ends
+        // earlier.
+        assert_eq!(find_block(&entries, 901), Some(2));
+        // Exactly at the final block's last_ts vs one past the end.
+        assert_eq!(find_block(&entries, 902), None);
+        // Before the first block: block 0 is still where later data lives.
+        assert_eq!(find_block(&entries, 0), Some(0));
+        assert_eq!(find_block(&entries, 99), Some(0));
+        assert_eq!(find_block(&entries, 100), Some(0));
+    }
+
+    /// A single-event trace: every boundary case on a one-block index.
+    #[test]
+    fn find_block_single_block_boundaries() {
+        let entries = vec![IndexEntry {
+            offset: 30,
+            first_ts: 777,
+            last_ts: 777,
+            count: 1,
+        }];
+        assert_eq!(find_block(&entries, 776), Some(0));
+        assert_eq!(find_block(&entries, 777), Some(0));
+        assert_eq!(find_block(&entries, 778), None);
+    }
+
     #[test]
     fn find_block_semantics() {
         let entries = sample();

@@ -20,10 +20,39 @@
 //!   files so the merger can seek by time;
 //! * [`stream`] — time-sorted event streams consumed by the merger, from
 //!   memory or from disk;
+//! * [`corpus`] — a recorded deployment on disk: one compressed, indexed
+//!   trace file per radio plus a manifest and digest (see below);
+//! * [`digest`] — FNV-1a content digests backing the golden-corpus CI check;
 //! * [`pcap`] — classic-pcap export (LINKTYPE_IEEE802_11) for interop with
 //!   wireshark/tcpdump tooling.
+//!
+//! ## The disk corpus and the record/merge workflow
+//!
+//! A *corpus* is a directory with one trace file (`rNNN.jigt`) and one
+//! block-index file (`rNNN.jigx`) per radio, a line-oriented `MANIFEST`
+//! (scenario, seed, scale, snaplen, per-radio table), and a `corpus.digest`
+//! FNV-1a fingerprint of everything — the unit of replayable, CI-checkable
+//! merge input. The `repro` binary drives the whole cycle:
+//!
+//! ```text
+//! repro record --corpus DIR [--scenario tiny|small|paper_day] [--seed N]
+//!              [--scale F] [--block-bytes N]     # simulate → write corpus
+//! repro merge  --corpus DIR [--parallel --threads N] [--verify]
+//!              [--max-buffered N]                # stream corpus → jframes
+//! repro bench-stream [--corpus DIR] [--out F]    # record+merge, BENCH_stream.json
+//! ```
+//!
+//! `merge` never materializes the corpus in memory: each radio's bootstrap
+//! window is read through the block index ([`index::find_block`] bounds the
+//! decode), the merge then re-streams every file from the start, and peak
+//! resident events stay bounded by the search window and the shard queues —
+//! not by corpus size. `--verify` re-simulates from the manifest's seed and
+//! asserts the disk-backed jframe stream is identical (count, order, and
+//! digest) to the in-memory serial and channel-sharded runs.
 
 pub mod compress;
+pub mod corpus;
+pub mod digest;
 pub mod format;
 pub mod index;
 pub mod pcap;

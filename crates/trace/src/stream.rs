@@ -8,8 +8,10 @@ use crate::{PhyEvent, RadioMeta};
 use jigsaw_ieee80211::Channel;
 use std::collections::{BTreeMap, VecDeque};
 use std::fs::File;
-use std::io::{BufReader, Read};
+use std::io::{BufReader, Read, Seek, SeekFrom};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A stream of [`PhyEvent`]s in non-decreasing `ts_local` order.
 pub trait EventStream {
@@ -95,6 +97,36 @@ impl<R: Read> EventStream for ReaderStream<R> {
 pub fn open_file(path: &Path) -> Result<ReaderStream<BufReader<File>>, FormatError> {
     let f = File::open(path)?;
     Ok(ReaderStream::new(TraceReader::open(BufReader::new(f))?))
+}
+
+/// A [`Read`] adapter counting the bytes flowing through it into a shared
+/// counter — how the corpus merge path reports disk bytes actually read
+/// (which, with index-guided seeks, can be far less than the file size).
+pub struct CountingReader<R> {
+    inner: R,
+    count: Arc<AtomicU64>,
+}
+
+impl<R> CountingReader<R> {
+    /// Wraps a reader; reads accumulate into `count`.
+    pub fn new(inner: R, count: Arc<AtomicU64>) -> Self {
+        CountingReader { inner, count }
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.count.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+impl<R: Seek> Seek for CountingReader<R> {
+    // Seeks reposition without reading; they do not touch the counter.
+    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+        self.inner.seek(pos)
+    }
 }
 
 /// One channel's slice of a stream set: the tuned channel plus its member
@@ -257,6 +289,20 @@ mod tests {
                 assert_eq!(s.meta().channel, g.channel);
             }
         }
+    }
+
+    #[test]
+    fn counting_reader_counts_reads_not_seeks() {
+        let data = vec![7u8; 1000];
+        let count = Arc::new(AtomicU64::new(0));
+        let mut r = CountingReader::new(std::io::Cursor::new(&data), Arc::clone(&count));
+        let mut buf = [0u8; 300];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 300);
+        r.seek(SeekFrom::Start(900)).unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 300);
+        let n = std::io::Read::read(&mut r, &mut buf).unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 300 + n as u64);
     }
 
     #[test]

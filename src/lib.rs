@@ -9,7 +9,10 @@
 //!
 //! * [`ieee80211`] — the 802.11b/g frame model (frames, rates, timing, FCS);
 //! * [`packet`] — LLC/SNAP, ARP, IPv4, UDP, TCP carried in data frames;
-//! * [`trace`] — per-radio PHY event records and the jigdump-style format;
+//! * [`trace`] — per-radio PHY event records, the jigdump-style format,
+//!   and the on-disk trace corpus (`trace::corpus`): one compressed,
+//!   indexed trace per radio plus a manifest and digest, written by
+//!   `repro record` and re-merged by `repro merge --corpus`;
 //! * [`sim`] — the discrete-event building simulator standing in for the
 //!   UCSD CSE deployment (39 pods / 156 radios / 44 APs / diurnal clients);
 //! * [`core`] — the paper's contribution: bootstrap synchronization,
@@ -30,6 +33,35 @@
 //! assert!(report.merge.jframes_out > 0);
 //! assert!(!jframes.is_empty());
 //! assert!(!exchanges.is_empty());
+//! ```
+//!
+//! The same pipeline runs from disk with window-bounded memory — record a
+//! corpus (one compressed, indexed trace per radio) and stream it back:
+//!
+//! ```no_run
+//! use jigsaw::core::pipeline::{CorpusSource, Pipeline, PipelineConfig};
+//! use jigsaw::trace::corpus::{Corpus, CorpusWriter};
+//! use std::sync::{atomic::AtomicU64, Arc};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let out = jigsaw::sim::scenario::ScenarioConfig::tiny(42).run();
+//! let dir = std::path::Path::new("target/my_corpus");
+//! let mut w = CorpusWriter::create(dir, "tiny", 42, 1.0, 65_535, 0)?;
+//! for (meta, trace) in out.radio_meta.iter().zip(&out.traces) {
+//!     w.record_radio(*meta, trace.iter())?;
+//! }
+//! println!("corpus digest {}", w.finish()?.digest);
+//!
+//! let corpus = Corpus::open(dir)?;
+//! let sources: Vec<CorpusSource> = corpus
+//!     .sources(Arc::new(AtomicU64::new(0)))?
+//!     .into_iter()
+//!     .map(CorpusSource)
+//!     .collect();
+//! let (_, stats) = Pipeline::merge_only(sources, &PipelineConfig::default(), |_jf| {})?;
+//! assert_eq!(stats.events_in, corpus.total_events());
+//! # Ok(())
+//! # }
 //! ```
 
 pub use jigsaw_analysis as analysis;
