@@ -11,7 +11,9 @@
 
 use crate::stations::StationLearner;
 use crate::stats::TimeSeries;
+use crate::suite::{frac, Analyzer, Figure};
 use jigsaw_core::jframe::JFrame;
+use jigsaw_core::observer::PipelineObserver;
 use jigsaw_ieee80211::frame::{Frame, MgmtBody};
 use jigsaw_ieee80211::timing::{airtime_us, Preamble};
 use jigsaw_ieee80211::{MacAddr, Micros};
@@ -179,6 +181,22 @@ impl ActivityAnalysis {
     }
 }
 
+impl PipelineObserver for ActivityAnalysis {
+    fn on_jframe(&mut self, jf: &JFrame) {
+        self.observe(jf);
+    }
+}
+
+impl Analyzer for ActivityAnalysis {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn into_figure(self: Box<Self>) -> Box<dyn Figure> {
+        Box::new((*self).finish())
+    }
+}
+
 impl ActivityFigure {
     /// Broadcast share of airtime over the whole trace (paper: ~10%).
     pub fn broadcast_airtime_fraction(&self) -> f64 {
@@ -221,6 +239,41 @@ impl ActivityFigure {
     }
 }
 
+impl Figure for ActivityFigure {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn title(&self) -> &'static str {
+        "FIGURE 8 — diurnal activity time series (paper §7.1)"
+    }
+
+    fn render(&self) -> String {
+        ActivityFigure::render(self)
+    }
+
+    fn records(&self) -> Vec<(String, String)> {
+        let peak_clients = self.active_clients.iter().copied().max().unwrap_or(0);
+        let peak_aps = self.active_aps.iter().copied().max().unwrap_or(0);
+        // Byte totals are whole numbers accumulated as f64 — emit them as
+        // integers, matching table1's byte records.
+        let bytes = |t: &TimeSeries| format!("{:.0}", t.total());
+        vec![
+            ("bins".into(), self.active_clients.len().to_string()),
+            ("peak_clients".into(), peak_clients.to_string()),
+            ("peak_aps".into(), peak_aps.to_string()),
+            ("data_bytes".into(), bytes(&self.bytes_data)),
+            ("mgmt_bytes".into(), bytes(&self.bytes_mgmt)),
+            ("beacon_bytes".into(), bytes(&self.bytes_beacon)),
+            ("arp_bytes".into(), bytes(&self.bytes_arp)),
+            (
+                "broadcast_airtime_fraction".into(),
+                frac(self.broadcast_airtime_fraction()),
+            ),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,13 +286,7 @@ mod tests {
         let day = out.duration_us;
         let bin = day / 8;
         let mut a = ActivityAnalysis::new(0, bin);
-        Pipeline::run(
-            out.memory_streams(),
-            &PipelineConfig::default(),
-            |jf| a.observe(jf),
-            |_| {},
-        )
-        .unwrap();
+        Pipeline::run(out.memory_streams(), &PipelineConfig::default(), &mut a).unwrap();
         let fig = a.finish();
         // Both clients become active at some point.
         let peak_clients = fig.active_clients.iter().copied().max().unwrap_or(0);

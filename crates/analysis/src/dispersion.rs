@@ -6,8 +6,10 @@
 //! dispersion values (multi-instance jframes only — a singleton has no
 //! dispersion by definition).
 
-use crate::stats::Cdf;
+use crate::stats::{Cdf, SealedCdf};
+use crate::suite::{frac, Analyzer, Figure};
 use jigsaw_core::jframe::JFrame;
+use jigsaw_core::observer::PipelineObserver;
 
 /// Streaming Figure-4 builder.
 #[derive(Debug, Default)]
@@ -20,7 +22,7 @@ pub struct DispersionAnalysis {
 #[derive(Debug)]
 pub struct DispersionFigure {
     /// The CDF of group dispersion (µs) over multi-instance jframes.
-    pub cdf: Cdf,
+    pub cdf: SealedCdf,
     /// jframes with a single instance (excluded from the CDF).
     pub singletons: u64,
     /// Fraction of jframes with dispersion < 10 µs (paper: 0.90).
@@ -45,11 +47,12 @@ impl DispersionAnalysis {
     }
 
     /// Finalizes the figure.
-    pub fn finish(mut self) -> DispersionFigure {
-        let frac_below_10us = self.cdf.fraction_below(10.0);
-        let frac_below_20us = self.cdf.fraction_below(20.0);
+    pub fn finish(self) -> DispersionFigure {
+        let cdf = self.cdf.seal();
+        let frac_below_10us = cdf.fraction_below(10.0);
+        let frac_below_20us = cdf.fraction_below(20.0);
         DispersionFigure {
-            cdf: self.cdf,
+            cdf,
             singletons: self.singletons,
             frac_below_10us,
             frac_below_20us,
@@ -57,9 +60,25 @@ impl DispersionAnalysis {
     }
 }
 
+impl PipelineObserver for DispersionAnalysis {
+    fn on_jframe(&mut self, jf: &JFrame) {
+        self.observe(jf);
+    }
+}
+
+impl Analyzer for DispersionAnalysis {
+    fn name(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn into_figure(self: Box<Self>) -> Box<dyn Figure> {
+        Box::new((*self).finish())
+    }
+}
+
 impl DispersionFigure {
     /// Prints the CDF series the way the paper's Figure 4 plots it.
-    pub fn render(&mut self, points: usize) -> String {
+    pub fn render(&self, points: usize) -> String {
         let mut s = String::from("dispersion_us  cumulative_fraction\n");
         for (v, f) in self.cdf.points(points) {
             s.push_str(&format!("{v:>10.1}    {f:.4}\n"));
@@ -69,6 +88,34 @@ impl DispersionFigure {
             self.frac_below_10us, self.frac_below_20us
         ));
         s
+    }
+}
+
+impl Figure for DispersionFigure {
+    fn name(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn title(&self) -> &'static str {
+        "FIGURE 4 — CDF of group dispersion (paper §4.2)"
+    }
+
+    fn render(&self) -> String {
+        DispersionFigure::render(self, 20)
+    }
+
+    fn records(&self) -> Vec<(String, String)> {
+        vec![
+            ("samples".into(), self.cdf.len().to_string()),
+            ("singletons".into(), self.singletons.to_string()),
+            ("frac_below_10us".into(), frac(self.frac_below_10us)),
+            ("frac_below_20us".into(), frac(self.frac_below_20us)),
+            ("p50_us".into(), frac(self.cdf.quantile(0.5).unwrap_or(0.0))),
+            (
+                "p99_us".into(),
+                frac(self.cdf.quantile(0.99).unwrap_or(0.0)),
+            ),
+        ]
     }
 }
 
@@ -82,14 +129,8 @@ mod tests {
     fn tiny_world_matches_paper_shape() {
         let out = ScenarioConfig::tiny(17).run();
         let mut d = DispersionAnalysis::new();
-        Pipeline::run(
-            out.memory_streams(),
-            &PipelineConfig::default(),
-            |jf| d.observe(jf),
-            |_| {},
-        )
-        .unwrap();
-        let mut fig = d.finish();
+        Pipeline::run(out.memory_streams(), &PipelineConfig::default(), &mut d).unwrap();
+        let fig = d.finish();
         assert!(fig.cdf.len() > 50, "too few multi-instance jframes");
         // The paper's headline: 90% < 10 µs, 99% < 20 µs. Our synthetic
         // clocks should meet or beat that.
@@ -105,6 +146,8 @@ mod tests {
         );
         let text = fig.render(20);
         assert!(text.contains("cumulative_fraction"));
+        // The trait render is the same series at 20 points.
+        assert_eq!(Figure::render(&fig), text);
     }
 
     #[test]
@@ -125,5 +168,9 @@ mod tests {
         let fig = d.finish();
         assert_eq!(fig.singletons, 1);
         assert_eq!(fig.cdf.len(), 0);
+        assert_eq!(
+            Figure::records(&fig)[1],
+            ("singletons".to_string(), "1".to_string())
+        );
     }
 }

@@ -15,9 +15,11 @@
 //! with no observed ACK.
 
 use crate::stations::StationLearner;
-use crate::stats::Cdf;
+use crate::stats::{Cdf, SealedCdf};
+use crate::suite::{frac, Analyzer, Figure};
 use jigsaw_core::jframe::JFrame;
 use jigsaw_core::link::attempt::{Attempt, AttemptOutcome};
+use jigsaw_core::observer::PipelineObserver;
 use jigsaw_ieee80211::{MacAddr, Micros, Subtype};
 use std::collections::{HashMap, VecDeque};
 
@@ -54,7 +56,7 @@ pub struct InterferenceFigure {
     /// Per-pair results (pairs with ≥ `min_packets` transmissions).
     pub pairs: Vec<PairInterference>,
     /// CDF of X across pairs.
-    pub x_cdf: Cdf,
+    pub x_cdf: SealedCdf,
     /// Fraction of qualifying pairs with positive interference loss
     /// (paper: 88%).
     pub frac_with_interference: f64,
@@ -196,7 +198,7 @@ impl InterferenceAnalysis {
         };
         InterferenceFigure {
             pairs,
-            x_cdf,
+            x_cdf: x_cdf.seal(),
             frac_with_interference,
             frac_truncated,
             avg_background_loss,
@@ -212,9 +214,29 @@ impl Default for InterferenceAnalysis {
     }
 }
 
+impl PipelineObserver for InterferenceAnalysis {
+    fn on_jframe(&mut self, jf: &JFrame) {
+        self.observe_jframe(jf);
+    }
+
+    fn on_attempt(&mut self, a: &Attempt) {
+        self.observe_attempt(a);
+    }
+}
+
+impl Analyzer for InterferenceAnalysis {
+    fn name(&self) -> &'static str {
+        "fig9"
+    }
+
+    fn into_figure(self: Box<Self>) -> Box<dyn Figure> {
+        Box::new((*self).finish())
+    }
+}
+
 impl InterferenceFigure {
     /// Renders the CDF plus the paper's headline statistics.
-    pub fn render(&mut self) -> String {
+    pub fn render(&self) -> String {
         let mut s = String::from("interference_loss_rate_X  cumulative_fraction\n");
         for (v, f) in self.x_cdf.points(25) {
             s.push_str(&format!("{v:>12.4}    {f:.3}\n"));
@@ -229,6 +251,42 @@ impl InterferenceFigure {
             self.ap_sender_fraction,
         ));
         s
+    }
+}
+
+impl Figure for InterferenceFigure {
+    fn name(&self) -> &'static str {
+        "fig9"
+    }
+
+    fn title(&self) -> &'static str {
+        "FIGURE 9 — interference loss rate CDF (paper §7.2)"
+    }
+
+    fn render(&self) -> String {
+        InterferenceFigure::render(self)
+    }
+
+    fn records(&self) -> Vec<(String, String)> {
+        vec![
+            ("pairs".into(), self.pairs.len().to_string()),
+            ("pairs_excluded".into(), self.pairs_excluded.to_string()),
+            (
+                "frac_with_interference".into(),
+                frac(self.frac_with_interference),
+            ),
+            ("frac_truncated".into(), frac(self.frac_truncated)),
+            ("avg_background_loss".into(), frac(self.avg_background_loss)),
+            ("ap_sender_fraction".into(), frac(self.ap_sender_fraction)),
+            (
+                "median_x".into(),
+                frac(self.x_cdf.quantile(0.5).unwrap_or(0.0)),
+            ),
+            (
+                "frac_x_ge_0_1".into(),
+                frac(self.x_cdf.fraction_at_least(0.1)),
+            ),
+        ]
     }
 }
 

@@ -4,20 +4,33 @@
 //! *Jigsaw: Solving the Puzzle of Enterprise 802.11 Analysis* (SIGCOMM 2006)
 //! implemented as a streaming consumer of the pipeline's outputs.
 //!
-//! | paper artifact | module |
-//! |---|---|
-//! | Table 1 — trace summary | [`summary`] |
-//! | Figure 4 — CDF of group dispersion | [`dispersion`] |
-//! | §6 oracle + Figures 6 & 7 — coverage | [`coverage`] |
-//! | Figure 8 — diurnal activity time series | [`activity`] |
-//! | Figure 9 — interference loss rate CDF | [`interference`] |
-//! | Figure 10 — overprotective APs | [`protection`] |
-//! | Figure 11 — TCP loss rate, wireless vs wired | [`tcploss`] |
+//! Every analysis speaks one uniform API ([`suite`]): it is a
+//! [`jigsaw_core::observer::PipelineObserver`] (subscribing, via
+//! default-no-op hooks, to exactly the streams it needs — jframes,
+//! attempts, exchanges, or the end-of-run flow records) and an
+//! [`suite::Analyzer`] finishing into a [`suite::Figure`] with an
+//! immutable `render(&self)` and machine-readable key/value records. A
+//! [`suite::Suite`] fans one pipeline pass out to every registered
+//! analysis — including straight off an on-disk corpus
+//! (`repro analyze --corpus`), single-pass and bounded-memory, with no
+//! `Vec<JFrame>` ever materialized.
 //!
-//! Shared machinery lives in [`stats`] (CDFs, time series) and
-//! [`stations`] (learning which addresses are APs/clients and their
-//! b/g capabilities purely from observed frames — the analyses never peek
-//! at simulator ground truth).
+//! | paper artifact | module | analyzer (figure name) | streams |
+//! |---|---|---|---|
+//! | Table 1 — trace summary | [`summary`] | `SummaryBuilder` (`table1`) | jframes + flows |
+//! | Figure 4 — CDF of group dispersion | [`dispersion`] | `DispersionAnalysis` (`fig4`) | jframes |
+//! | §6 oracle + Figures 6 & 7 — coverage | [`coverage`] | `CoverageAnalysis` (`fig6`), `OracleCoverage` (`oracle`) | exchanges / jframes |
+//! | Figure 8 — diurnal activity time series | [`activity`] | `ActivityAnalysis` (`fig8`) | jframes |
+//! | Figure 9 — interference loss rate CDF | [`interference`] | `InterferenceAnalysis` (`fig9`) | jframes + attempts |
+//! | Figure 10 — overprotective APs | [`protection`] | `ProtectionAnalysis` (`fig10`) | jframes |
+//! | Figure 11 — TCP loss rate, wireless vs wired | [`tcploss`] | `TcpLossAnalysis` (`fig11`) | flows |
+//! | station census | [`stations`] | `StationsAnalysis` (`stations`) | jframes |
+//!
+//! Shared machinery lives in [`stats`] (write-side [`Cdf`] sealing into a
+//! read-only [`SealedCdf`], binned time series) and [`stations`]
+//! (learning which addresses are APs/clients and their b/g capabilities
+//! purely from observed frames — the analyses never peek at simulator
+//! ground truth).
 
 pub mod activity;
 pub mod coverage;
@@ -26,7 +39,9 @@ pub mod interference;
 pub mod protection;
 pub mod stations;
 pub mod stats;
+pub mod suite;
 pub mod summary;
 pub mod tcploss;
 
-pub use stats::{Cdf, TimeSeries};
+pub use stats::{Cdf, SealedCdf, TimeSeries};
+pub use suite::{Analyzer, Figure, PaperParams, Suite};

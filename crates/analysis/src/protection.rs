@@ -15,7 +15,9 @@
 //! with a ≈2× throughput headroom (footnote 7).
 
 use crate::stations::{Capability, StationLearner};
+use crate::suite::{frac, Analyzer, Figure};
 use jigsaw_core::jframe::JFrame;
+use jigsaw_core::observer::PipelineObserver;
 use jigsaw_ieee80211::frame::Frame;
 use jigsaw_ieee80211::timing::{
     ack_airtime_us, airtime_us, mean_backoff_us, Preamble, CW_MIN_B, CW_MIN_G, SIFS_US,
@@ -226,6 +228,22 @@ impl ProtectionAnalysis {
     }
 }
 
+impl PipelineObserver for ProtectionAnalysis {
+    fn on_jframe(&mut self, jf: &JFrame) {
+        self.observe(jf);
+    }
+}
+
+impl Analyzer for ProtectionAnalysis {
+    fn name(&self) -> &'static str {
+        "fig10"
+    }
+
+    fn into_figure(self: Box<Self>) -> Box<dyn Figure> {
+        Box::new((*self).finish())
+    }
+}
+
 /// The paper's footnote-7 estimate: protected vs unprotected airtime for a
 /// large frame at `rate`, using a 2 Mbps long-preamble CTS.
 pub fn throughput_headroom(rate: PhyRate, mss_frame_len: usize) -> f64 {
@@ -256,6 +274,39 @@ impl ProtectionFigure {
             self.throughput_headroom
         ));
         s
+    }
+}
+
+impl Figure for ProtectionFigure {
+    fn name(&self) -> &'static str {
+        "fig10"
+    }
+
+    fn title(&self) -> &'static str {
+        "FIGURE 10 — overprotective APs (paper §7.3)"
+    }
+
+    fn render(&self) -> String {
+        ProtectionFigure::render(self)
+    }
+
+    fn records(&self) -> Vec<(String, String)> {
+        let peak =
+            |f: fn(&ProtectionBin) -> usize| self.bins.iter().map(f).max().unwrap_or(0).to_string();
+        vec![
+            ("bins".into(), self.bins.len().to_string()),
+            ("peak_protecting_aps".into(), peak(|b| b.protecting_aps)),
+            (
+                "peak_overprotective_aps".into(),
+                peak(|b| b.overprotective_aps),
+            ),
+            ("peak_g_clients".into(), peak(|b| b.active_g_clients)),
+            (
+                "peak_g_on_overprotective".into(),
+                peak(|b| b.g_clients_on_overprotective),
+            ),
+            ("throughput_headroom".into(), frac(self.throughput_headroom)),
+        ]
     }
 }
 

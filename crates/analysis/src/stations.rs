@@ -4,7 +4,9 @@
 //! send ToDS data; b-only clients are those whose rate-set IEs carry no
 //! ERP-OFDM rates (and that never transmit OFDM).
 
+use crate::suite::{Analyzer, Figure};
 use jigsaw_core::jframe::JFrame;
+use jigsaw_core::observer::PipelineObserver;
 use jigsaw_ieee80211::frame::{Frame, MgmtBody};
 use jigsaw_ieee80211::{ie, MacAddr, Micros};
 use std::collections::{HashMap, HashSet};
@@ -126,6 +128,111 @@ impl StationLearner {
             .values()
             .filter(|&&t| t >= t0 && t < t1)
             .count()
+    }
+}
+
+/// The station census as a figure of its own: who is on the air, learned
+/// purely from observed frames (the paper's Table-1 AP/client counts plus
+/// the b/g capability split that drives §7.3).
+#[derive(Debug, Default)]
+pub struct StationsAnalysis {
+    learner: StationLearner,
+}
+
+impl StationsAnalysis {
+    /// Empty census.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one jframe.
+    pub fn observe(&mut self, jf: &JFrame) {
+        self.learner.observe(jf);
+    }
+
+    /// Finalizes the census.
+    pub fn finish(self) -> StationsFigure {
+        let l = &self.learner;
+        let cap = |want: Capability| {
+            l.clients
+                .iter()
+                .filter(|c| l.capability_of(**c) == want)
+                .count()
+        };
+        StationsFigure {
+            aps: l.aps.len(),
+            clients: l.clients.len(),
+            g_clients: cap(Capability::G),
+            b_only_clients: cap(Capability::BOnly),
+            unknown_clients: cap(Capability::Unknown),
+            associations: l.assoc.len(),
+        }
+    }
+}
+
+impl PipelineObserver for StationsAnalysis {
+    fn on_jframe(&mut self, jf: &JFrame) {
+        self.observe(jf);
+    }
+}
+
+impl Analyzer for StationsAnalysis {
+    fn name(&self) -> &'static str {
+        "stations"
+    }
+
+    fn into_figure(self: Box<Self>) -> Box<dyn Figure> {
+        Box::new((*self).finish())
+    }
+}
+
+/// The finished station census.
+#[derive(Debug, Clone)]
+pub struct StationsFigure {
+    /// Addresses seen beaconing (or sourcing FromDS data).
+    pub aps: usize,
+    /// Distinct client addresses.
+    pub clients: usize,
+    /// Clients with 802.11g evidence.
+    pub g_clients: usize,
+    /// Clients that only ever advertised/used CCK/DSSS rates.
+    pub b_only_clients: usize,
+    /// Clients never decisively classified.
+    pub unknown_clients: usize,
+    /// Client→AP bindings still standing at the end of the trace.
+    pub associations: usize,
+}
+
+impl Figure for StationsFigure {
+    fn name(&self) -> &'static str {
+        "stations"
+    }
+
+    fn title(&self) -> &'static str {
+        "STATION CENSUS — APs, clients, and b/g capabilities"
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "aps={}  clients={} (g={}, b-only={}, unknown={})  associations={}\n",
+            self.aps,
+            self.clients,
+            self.g_clients,
+            self.b_only_clients,
+            self.unknown_clients,
+            self.associations
+        )
+    }
+
+    fn records(&self) -> Vec<(String, String)> {
+        vec![
+            ("aps".into(), self.aps.to_string()),
+            ("clients".into(), self.clients.to_string()),
+            ("g_clients".into(), self.g_clients.to_string()),
+            ("b_only_clients".into(), self.b_only_clients.to_string()),
+            ("unknown_clients".into(), self.unknown_clients.to_string()),
+            ("associations".into(), self.associations.to_string()),
+        ]
     }
 }
 

@@ -1,11 +1,16 @@
 //! Statistics helpers shared by all analyses: streaming CDFs and binned
 //! time series.
+//!
+//! [`Cdf`] is the write side — a plain sample accumulator. Sealing it
+//! ([`Cdf::seal`]) sorts once and yields a [`SealedCdf`], on which every
+//! read (quantiles, fractions, plot points) takes `&self` — so a finished
+//! figure renders without mutation, which is what lets the uniform
+//! `Figure::render(&self)` interface exist.
 
-/// A simple empirical CDF accumulator over `f64` samples.
+/// A simple empirical CDF accumulator over `f64` samples (write side).
 #[derive(Debug, Clone, Default)]
 pub struct Cdf {
     samples: Vec<f64>,
-    sorted: bool,
 }
 
 impl Cdf {
@@ -17,7 +22,6 @@ impl Cdf {
     /// Adds a sample.
     pub fn add(&mut self, v: f64) {
         self.samples.push(v);
-        self.sorted = false;
     }
 
     /// Number of samples.
@@ -30,48 +34,40 @@ impl Cdf {
         self.samples.is_empty()
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
-            self.sorted = true;
+    /// Mean of the samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
         }
     }
 
-    /// Value at quantile `q` in [0, 1]. Returns `None` when empty.
-    ///
-    /// Lower-interpolation convention: the sample at index
-    /// `floor((n − 1) · q)`. This keeps `quantile(0.5)` equal to the
-    /// textbook lower median for every `n` (e.g. `[1, 2]` → 1), matching
-    /// the lower-middle median the merger uses for jframe placement —
-    /// nearest-rank rounding disagreed for small even `n`.
-    pub fn quantile(&mut self, q: f64) -> Option<f64> {
-        if self.samples.is_empty() {
-            return None;
+    /// Sorts once and seals: every read on the result takes `&self`.
+    pub fn seal(mut self) -> SealedCdf {
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        SealedCdf {
+            samples: self.samples,
         }
-        self.ensure_sorted();
-        let idx = ((self.samples.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).floor() as usize;
-        Some(self.samples[idx])
+    }
+}
+
+/// A sealed (sorted) empirical CDF: the read side. Built by [`Cdf::seal`].
+#[derive(Debug, Clone, Default)]
+pub struct SealedCdf {
+    samples: Vec<f64>,
+}
+
+impl SealedCdf {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
     }
 
-    /// Fraction of samples ≤ `v`.
-    pub fn fraction_below(&mut self, v: f64) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.ensure_sorted();
-        let n = self.samples.partition_point(|&x| x <= v);
-        n as f64 / self.samples.len() as f64
-    }
-
-    /// Fraction of samples ≥ `v`.
-    pub fn fraction_at_least(&mut self, v: f64) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.ensure_sorted();
-        let below = self.samples.partition_point(|&x| x < v);
-        (self.samples.len() - below) as f64 / self.samples.len() as f64
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
     }
 
     /// Mean of the samples.
@@ -83,13 +79,45 @@ impl Cdf {
         }
     }
 
+    /// Value at quantile `q` in [0, 1]. Returns `None` when empty.
+    ///
+    /// Lower-interpolation convention: the sample at index
+    /// `floor((n − 1) · q)`. This keeps `quantile(0.5)` equal to the
+    /// textbook lower median for every `n` (e.g. `[1, 2]` → 1), matching
+    /// the lower-middle median the merger uses for jframe placement —
+    /// nearest-rank rounding disagreed for small even `n`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let idx = ((self.samples.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).floor() as usize;
+        Some(self.samples[idx])
+    }
+
+    /// Fraction of samples ≤ `v`.
+    pub fn fraction_below(&self, v: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let n = self.samples.partition_point(|&x| x <= v);
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// Fraction of samples ≥ `v`.
+    pub fn fraction_at_least(&self, v: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let below = self.samples.partition_point(|&x| x < v);
+        (self.samples.len() - below) as f64 / self.samples.len() as f64
+    }
+
     /// `(value, cumulative fraction)` points for plotting/printing,
     /// down-sampled to at most `max_points`.
-    pub fn points(&mut self, max_points: usize) -> Vec<(f64, f64)> {
+    pub fn points(&self, max_points: usize) -> Vec<(f64, f64)> {
         if self.samples.is_empty() || max_points == 0 {
             return Vec::new();
         }
-        self.ensure_sorted();
         let n = self.samples.len();
         let step = (n / max_points).max(1);
         let mut out = Vec::with_capacity(n.div_ceil(step));
@@ -167,6 +195,7 @@ mod tests {
         for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
             c.add(v);
         }
+        let c = c.seal();
         assert_eq!(c.quantile(0.0), Some(1.0));
         assert_eq!(c.quantile(1.0), Some(5.0));
         assert_eq!(c.quantile(0.5), Some(3.0));
@@ -178,6 +207,7 @@ mod tests {
         // n = 1: every quantile is the single sample.
         let mut c = Cdf::new();
         c.add(7.0);
+        let c = c.seal();
         assert_eq!(c.quantile(0.0), Some(7.0));
         assert_eq!(c.quantile(0.5), Some(7.0));
         assert_eq!(c.quantile(1.0), Some(7.0));
@@ -186,6 +216,7 @@ mod tests {
         let mut c = Cdf::new();
         c.add(2.0);
         c.add(1.0);
+        let c = c.seal();
         assert_eq!(c.quantile(0.5), Some(1.0));
         assert_eq!(c.quantile(0.0), Some(1.0));
         assert_eq!(c.quantile(1.0), Some(2.0));
@@ -196,6 +227,7 @@ mod tests {
         for v in [3.0, 1.0, 2.0] {
             c.add(v);
         }
+        let c = c.seal();
         assert_eq!(c.quantile(0.5), Some(2.0));
         assert_eq!(c.quantile(0.49), Some(1.0));
         assert_eq!(c.quantile(1.0), Some(3.0));
@@ -207,6 +239,7 @@ mod tests {
         for v in 1..=10 {
             c.add(f64::from(v));
         }
+        let c = c.seal();
         assert!((c.fraction_below(5.0) - 0.5).abs() < 1e-9);
         assert!((c.fraction_at_least(9.0) - 0.2).abs() < 1e-9);
         assert!((c.fraction_below(0.0)).abs() < 1e-9);
@@ -215,7 +248,9 @@ mod tests {
 
     #[test]
     fn cdf_empty() {
-        let mut c = Cdf::new();
+        let c = Cdf::new();
+        assert_eq!(c.mean(), None);
+        let c = c.seal();
         assert_eq!(c.quantile(0.5), None);
         assert_eq!(c.mean(), None);
         assert!(c.points(10).is_empty());
@@ -227,6 +262,7 @@ mod tests {
         for v in 0..1000 {
             c.add(f64::from(v));
         }
+        let c = c.seal();
         let pts = c.points(10);
         assert!(pts.len() <= 11);
         assert_eq!(pts.last().unwrap().1, 1.0);
@@ -234,6 +270,20 @@ mod tests {
             assert!(w[0].0 <= w[1].0);
             assert!(w[0].1 <= w[1].1);
         }
+    }
+
+    #[test]
+    fn sealing_preserves_mean_and_len() {
+        let mut c = Cdf::new();
+        for v in [4.0, 2.0, 6.0] {
+            c.add(v);
+        }
+        let mean = c.mean();
+        let len = c.len();
+        let sealed = c.seal();
+        assert_eq!(sealed.mean(), mean);
+        assert_eq!(sealed.len(), len);
+        assert!(!sealed.is_empty());
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! The uniform analysis API: [`Analyzer`] (streaming observation →
+//! [`Figure`]) and [`Suite`] (a registry fanning one pipeline pass out to
+//! every registered analysis).
+//!
+//! Every paper figure used to be a bespoke struct with its own
+//! `observe`/`finish`/`render` shape; the trait pair makes them uniform:
+//!
+//! * an [`Analyzer`] is a [`PipelineObserver`] — it
+//!   subscribes to exactly the pipeline streams it needs (jframes,
+//!   attempts, exchanges, flows) via default-no-op hooks — plus a name
+//!   and a way to finish into a figure;
+//! * a [`Figure`] renders (`&self`, immutably — CDFs are sealed at finish
+//!   time) and exposes machine-readable key/value [`Figure::records`],
+//!   which is what the equivalence tests and CI summaries compare;
+//! * a [`Suite`] owns boxed analyzers and implements `PipelineObserver`
+//!   itself, so `Pipeline::run(sources, &cfg, &mut suite)` streams every
+//!   registered analysis in a single pass — including straight off a
+//!   disk corpus, with no `Vec<JFrame>` ever materialized.
+//!
+//! ```
+//! use jigsaw_analysis::dispersion::DispersionAnalysis;
+//! use jigsaw_analysis::suite::Suite;
+//! use jigsaw_core::pipeline::{Pipeline, PipelineConfig};
+//!
+//! let out = jigsaw_sim::scenario::ScenarioConfig::tiny(1).run();
+//! let mut suite = Suite::new().register(DispersionAnalysis::new());
+//! Pipeline::run(out.memory_streams(), &PipelineConfig::default(), &mut suite).unwrap();
+//! for fig in suite.finish() {
+//!     println!("{}", fig.title());
+//!     for (k, v) in fig.records() {
+//!         println!("  {k} = {v}");
+//!     }
+//! }
+//! ```
+
+use jigsaw_core::jframe::JFrame;
+use jigsaw_core::link::attempt::Attempt;
+use jigsaw_core::link::exchange::Exchange;
+use jigsaw_core::observer::PipelineObserver;
+use jigsaw_core::transport::flow::FlowRecord;
+use jigsaw_ieee80211::Micros;
+
+/// A finished, immutable analysis product: one table or figure of the
+/// paper's evaluation.
+pub trait Figure {
+    /// Short stable key (`"table1"`, `"fig4"`, …) — used in machine
+    /// records and the `repro` CLI.
+    fn name(&self) -> &'static str;
+
+    /// Human banner title (defaults to [`Figure::name`]).
+    fn title(&self) -> &'static str {
+        self.name()
+    }
+
+    /// Renders the figure the way the paper prints it. Takes `&self`:
+    /// figures are sealed at finish time and never mutate to render.
+    fn render(&self) -> String;
+
+    /// Machine-readable `(key, value)` records — the stable, comparable
+    /// summary of the figure. Two runs produced the same figure iff their
+    /// records (and render) match.
+    fn records(&self) -> Vec<(String, String)>;
+}
+
+/// A streaming analysis: subscribes to pipeline streams (via its
+/// [`PipelineObserver`] supertrait) and finishes into a [`Figure`].
+pub trait Analyzer: PipelineObserver {
+    /// The name of the figure this analysis produces.
+    fn name(&self) -> &'static str;
+
+    /// Consumes the analysis and produces its figure.
+    fn into_figure(self: Box<Self>) -> Box<dyn Figure>;
+}
+
+/// Formats a fraction/ratio record value (stable 4-decimal form;
+/// negative zero normalizes to zero).
+pub fn frac(v: f64) -> String {
+    let v = if v == 0.0 { 0.0 } else { v };
+    format!("{v:.4}")
+}
+
+/// A registry of analyzers sharing one streaming pass.
+///
+/// `Suite` implements [`PipelineObserver`], fanning every hook out to
+/// each registered analyzer in registration order — hand `&mut suite` to
+/// any pipeline driver (serial, channel-sharded, in-memory, or disk
+/// corpus) and call [`Suite::finish`] afterwards.
+#[derive(Default)]
+pub struct Suite {
+    analyzers: Vec<Box<dyn Analyzer>>,
+}
+
+impl Suite {
+    /// An empty suite.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an analyzer (builder style).
+    pub fn register(mut self, a: impl Analyzer + 'static) -> Self {
+        self.analyzers.push(Box::new(a));
+        self
+    }
+
+    /// Registered analyzer count.
+    pub fn len(&self) -> usize {
+        self.analyzers.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.analyzers.is_empty()
+    }
+
+    /// Names of the registered analyzers, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.analyzers.iter().map(|a| a.name()).collect()
+    }
+
+    /// Finishes every analyzer into its figure, in registration order.
+    pub fn finish(self) -> Vec<Box<dyn Figure>> {
+        self.analyzers
+            .into_iter()
+            .map(|a| a.into_figure())
+            .collect()
+    }
+
+    /// The paper's single-trace figure suite: Table 1, Figure 4
+    /// (dispersion), Figure 8 (activity), Figure 9 (interference),
+    /// Figure 10 (protection), the station census, and Figure 11 (TCP
+    /// loss, via `on_flows`). Figure 6 (coverage) additionally needs the
+    /// wired distribution-network trace — register a
+    /// [`CoverageAnalysis`](crate::coverage::CoverageAnalysis) on top
+    /// when one is available.
+    pub fn paper(p: &PaperParams) -> Self {
+        Suite::new()
+            .register(crate::summary::SummaryBuilder::new(p.radios))
+            .register(crate::dispersion::DispersionAnalysis::new())
+            .register(crate::activity::ActivityAnalysis::new(p.origin, p.bin_us))
+            .register(crate::interference::InterferenceAnalysis::new())
+            .register(crate::protection::ProtectionAnalysis::new(
+                p.origin,
+                p.bin_us,
+                p.practical_timeout_us.max(1),
+            ))
+            .register(crate::stations::StationsAnalysis::new())
+            .register(crate::tcploss::TcpLossAnalysis::new())
+    }
+}
+
+/// Parameters for [`Suite::paper`].
+#[derive(Debug, Clone)]
+pub struct PaperParams {
+    /// Radios contributing to the trace (Table 1 reports it).
+    pub radios: usize,
+    /// Universal-clock origin of the binned time series (µs).
+    pub origin: Micros,
+    /// Bin width for the diurnal series (µs).
+    pub bin_us: Micros,
+    /// The "practical" b-client sighting timeout for Figure 10 (the
+    /// paper's one minute, scaled to the scenario's day compression).
+    pub practical_timeout_us: Micros,
+}
+
+impl PipelineObserver for Suite {
+    fn on_jframe(&mut self, jf: &JFrame) {
+        for a in &mut self.analyzers {
+            a.on_jframe(jf);
+        }
+    }
+
+    fn on_attempt(&mut self, at: &Attempt) {
+        for a in &mut self.analyzers {
+            a.on_attempt(at);
+        }
+    }
+
+    fn on_exchange(&mut self, x: &Exchange) {
+        for a in &mut self.analyzers {
+            a.on_exchange(x);
+        }
+    }
+
+    fn on_flows(&mut self, flows: &[FlowRecord]) {
+        for a in &mut self.analyzers {
+            a.on_flows(flows);
+        }
+    }
+}
+
+/// Renders every figure's machine records as stable
+/// `record <name>.<key> <value>` lines (what CI echoes into the step
+/// summary and the equivalence tests compare).
+pub fn record_lines(figures: &[Box<dyn Figure>]) -> String {
+    let mut s = String::new();
+    for f in figures {
+        for (k, v) in f.records() {
+            s.push_str(&format!("record {}.{k} {v}\n", Figure::name(&**f)));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_core::pipeline::{Pipeline, PipelineConfig};
+    use jigsaw_sim::scenario::ScenarioConfig;
+
+    #[test]
+    fn paper_suite_streams_every_figure_in_one_pass() {
+        let out = ScenarioConfig::tiny(3).run();
+        let day = out.duration_us;
+        let params = PaperParams {
+            radios: out.radio_meta.len(),
+            origin: 0,
+            bin_us: (day / 8).max(1),
+            practical_timeout_us: day,
+        };
+        let mut suite = Suite::paper(&params);
+        assert_eq!(suite.len(), 7);
+        assert_eq!(
+            suite.names(),
+            vec!["table1", "fig4", "fig8", "fig9", "fig10", "stations", "fig11"]
+        );
+        Pipeline::run(out.memory_streams(), &PipelineConfig::default(), &mut suite).unwrap();
+        let figs = suite.finish();
+        assert_eq!(figs.len(), 7);
+        for f in &figs {
+            assert!(!f.render().is_empty(), "{} rendered empty", f.name());
+            assert!(!f.records().is_empty(), "{} has no records", f.name());
+        }
+        let lines = record_lines(&figs);
+        assert!(lines.contains("record table1.jframes "));
+        assert!(lines.contains("record fig11.flows "));
+        // Every record line is well-formed: `record <name>.<key> <value>`.
+        for line in lines.lines() {
+            let mut parts = line.splitn(3, ' ');
+            assert_eq!(parts.next(), Some("record"));
+            assert!(parts.next().unwrap().contains('.'));
+            assert!(parts.next().is_some());
+        }
+    }
+
+    #[test]
+    fn suite_runs_identical_to_hand_wiring() {
+        // The suite is pure fan-out: a figure produced through the suite
+        // must equal the same analysis hand-wired as the only observer.
+        let out = ScenarioConfig::tiny(11).run();
+        let mut solo = crate::dispersion::DispersionAnalysis::new();
+        Pipeline::run(out.memory_streams(), &PipelineConfig::default(), &mut solo).unwrap();
+        let solo_fig = solo.finish();
+
+        let mut suite = Suite::new().register(crate::dispersion::DispersionAnalysis::new());
+        Pipeline::run(out.memory_streams(), &PipelineConfig::default(), &mut suite).unwrap();
+        let figs = suite.finish();
+        assert_eq!(figs.len(), 1);
+        assert_eq!(figs[0].render(), Figure::render(&solo_fig));
+        assert_eq!(figs[0].records(), Figure::records(&solo_fig));
+    }
+}

@@ -7,14 +7,19 @@
 //! pipeline's outputs.
 
 use crate::stations::StationLearner;
+use crate::suite::{frac, Analyzer, Figure};
 use jigsaw_core::jframe::JFrame;
-use jigsaw_core::pipeline::PipelineReport;
+use jigsaw_core::observer::PipelineObserver;
+use jigsaw_core::transport::flow::FlowRecord;
 use jigsaw_ieee80211::{FrameType, Micros};
 use jigsaw_trace::PhyStatus;
 
-/// Accumulates Table-1 statistics from the jframe stream.
+/// Accumulates Table-1 statistics from the jframe stream (flow counts
+/// arrive through `on_flows`, so the builder is a self-contained
+/// [`Analyzer`]).
 #[derive(Debug, Default)]
 pub struct SummaryBuilder {
+    radios: usize,
     stations: StationLearner,
     events_total: u64,
     events_phy_err: u64,
@@ -28,6 +33,8 @@ pub struct SummaryBuilder {
     bytes_on_air: u64,
     first_ts: Option<Micros>,
     last_ts: Micros,
+    flows: u64,
+    flows_established: u64,
 }
 
 /// The finished table.
@@ -73,9 +80,12 @@ pub struct TraceSummary {
 }
 
 impl SummaryBuilder {
-    /// Empty builder.
-    pub fn new() -> Self {
-        Self::default()
+    /// Empty builder for a trace captured by `radios` radios.
+    pub fn new(radios: usize) -> Self {
+        SummaryBuilder {
+            radios,
+            ..Self::default()
+        }
     }
 
     /// Feeds one jframe.
@@ -108,12 +118,18 @@ impl SummaryBuilder {
         self.stations.observe(jf);
     }
 
-    /// Finalizes the table using the pipeline report for flow counts.
-    pub fn finish(self, report: &PipelineReport, radios: usize) -> TraceSummary {
+    /// Feeds the finished flow records (fires once, at the end of a run).
+    pub fn observe_flows(&mut self, flows: &[FlowRecord]) {
+        self.flows = flows.len() as u64;
+        self.flows_established = flows.iter().filter(|f| f.established).count() as u64;
+    }
+
+    /// Finalizes the table.
+    pub fn finish(self) -> TraceSummary {
         let err = self.events_phy_err + self.events_fcs_err;
         TraceSummary {
             duration_us: self.last_ts.saturating_sub(self.first_ts.unwrap_or(0)),
-            radios,
+            radios: self.radios,
             events_total: self.events_total,
             events_phy_err: self.events_phy_err,
             events_fcs_err: self.events_fcs_err,
@@ -136,9 +152,29 @@ impl SummaryBuilder {
             bytes_on_air: self.bytes_on_air,
             aps_observed: self.stations.aps.len(),
             clients_observed: self.stations.clients.len(),
-            flows: report.transport.flows,
-            flows_established: report.transport.established,
+            flows: self.flows,
+            flows_established: self.flows_established,
         }
+    }
+}
+
+impl PipelineObserver for SummaryBuilder {
+    fn on_jframe(&mut self, jf: &JFrame) {
+        self.observe(jf);
+    }
+
+    fn on_flows(&mut self, flows: &[FlowRecord]) {
+        self.observe_flows(flows);
+    }
+}
+
+impl Analyzer for SummaryBuilder {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+
+    fn into_figure(self: Box<Self>) -> Box<dyn Figure> {
+        Box::new((*self).finish())
     }
 }
 
@@ -183,6 +219,46 @@ impl TraceSummary {
     }
 }
 
+impl Figure for TraceSummary {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+
+    fn title(&self) -> &'static str {
+        "TABLE 1 — trace summary (paper §7.1)"
+    }
+
+    fn render(&self) -> String {
+        TraceSummary::render(self)
+    }
+
+    fn records(&self) -> Vec<(String, String)> {
+        vec![
+            ("duration_us".into(), self.duration_us.to_string()),
+            ("radios".into(), self.radios.to_string()),
+            ("events_total".into(), self.events_total.to_string()),
+            ("events_phy_err".into(), self.events_phy_err.to_string()),
+            ("events_fcs_err".into(), self.events_fcs_err.to_string()),
+            ("error_fraction".into(), frac(self.error_fraction)),
+            ("events_unified".into(), self.events_unified.to_string()),
+            ("jframes".into(), self.jframes.to_string()),
+            ("valid_jframes".into(), self.valid_jframes.to_string()),
+            ("events_per_jframe".into(), frac(self.events_per_jframe)),
+            ("data_frames".into(), self.data_frames.to_string()),
+            ("mgmt_frames".into(), self.mgmt_frames.to_string()),
+            ("ctrl_frames".into(), self.ctrl_frames.to_string()),
+            ("bytes_on_air".into(), self.bytes_on_air.to_string()),
+            ("aps_observed".into(), self.aps_observed.to_string()),
+            ("clients_observed".into(), self.clients_observed.to_string()),
+            ("flows".into(), self.flows.to_string()),
+            (
+                "flows_established".into(),
+                self.flows_established.to_string(),
+            ),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,15 +268,13 @@ mod tests {
     #[test]
     fn summary_from_tiny_world() {
         let out = ScenarioConfig::tiny(3).run();
-        let mut b = SummaryBuilder::new();
-        let report = Pipeline::run(
-            out.memory_streams(),
-            &PipelineConfig::default(),
-            |jf| b.observe(jf),
-            |_| {},
-        )
-        .unwrap();
-        let t = b.finish(&report, out.radio_meta.len());
+        let mut b = SummaryBuilder::new(out.radio_meta.len());
+        let report =
+            Pipeline::run(out.memory_streams(), &PipelineConfig::default(), &mut b).unwrap();
+        let t = b.finish();
+        assert_eq!(t.radios, report.bootstrap.offsets.len());
+        assert_eq!(t.flows, report.transport.flows);
+        assert_eq!(t.flows_established, report.transport.established);
         assert_eq!(t.events_total, out.total_events());
         assert!(t.jframes > 0);
         assert!(t.events_per_jframe > 1.0, "epj {}", t.events_per_jframe);

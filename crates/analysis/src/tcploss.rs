@@ -1,21 +1,27 @@
 //! Figure 11 — TCP loss rate, split into its wireless and wired components.
 //!
 //! Operates on the transport layer's per-flow records (handshake-complete
-//! flows only, as the paper filters). The finding being reproduced: the
-//! wireless hop dominates TCP loss in an enterprise WLAN.
+//! flows only, as the paper filters), delivered through the observer's
+//! `on_flows` hook — so the one analysis that used to be post-hoc
+//! (consuming `report.flows` after the run) now rides the same
+//! [`Analyzer`] interface as every jframe-streaming figure. The finding
+//! being reproduced: the wireless hop dominates TCP loss in an
+//! enterprise WLAN.
 
-use crate::stats::Cdf;
+use crate::stats::{Cdf, SealedCdf};
+use crate::suite::{frac, Analyzer, Figure};
+use jigsaw_core::observer::PipelineObserver;
 use jigsaw_core::transport::flow::FlowRecord;
 
 /// The finished Figure 11.
 #[derive(Debug)]
 pub struct TcpLossFigure {
     /// CDF of per-flow total TCP loss rate.
-    pub loss_cdf: Cdf,
+    pub loss_cdf: SealedCdf,
     /// CDF of per-flow *wireless* loss rate.
-    pub wireless_cdf: Cdf,
+    pub wireless_cdf: SealedCdf,
     /// CDF of per-flow *wired* loss rate.
-    pub wired_cdf: Cdf,
+    pub wired_cdf: SealedCdf,
     /// Handshake-complete flows analyzed.
     pub flows: usize,
     /// Flows excluded (no handshake — port scans, failures).
@@ -49,9 +55,9 @@ pub fn tcp_loss_figure(flows: &[FlowRecord]) -> TcpLossFigure {
     }
     let total = wireless + wired;
     TcpLossFigure {
-        loss_cdf,
-        wireless_cdf,
-        wired_cdf,
+        loss_cdf: loss_cdf.seal(),
+        wireless_cdf: wireless_cdf.seal(),
+        wired_cdf: wired_cdf.seal(),
         flows: kept,
         flows_excluded: excluded,
         wireless_share: if total > 0 {
@@ -63,9 +69,44 @@ pub fn tcp_loss_figure(flows: &[FlowRecord]) -> TcpLossFigure {
     }
 }
 
+/// Streaming Figure-11 builder: captures the flow records the pipeline
+/// delivers once at the end of the run.
+#[derive(Debug, Default)]
+pub struct TcpLossAnalysis {
+    fig: Option<TcpLossFigure>,
+}
+
+impl TcpLossAnalysis {
+    /// Empty analysis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finalizes Figure 11 (empty if no flow records ever arrived).
+    pub fn finish(self) -> TcpLossFigure {
+        self.fig.unwrap_or_else(|| tcp_loss_figure(&[]))
+    }
+}
+
+impl PipelineObserver for TcpLossAnalysis {
+    fn on_flows(&mut self, flows: &[FlowRecord]) {
+        self.fig = Some(tcp_loss_figure(flows));
+    }
+}
+
+impl Analyzer for TcpLossAnalysis {
+    fn name(&self) -> &'static str {
+        "fig11"
+    }
+
+    fn into_figure(self: Box<Self>) -> Box<dyn Figure> {
+        Box::new((*self).finish())
+    }
+}
+
 impl TcpLossFigure {
     /// Renders the three CDFs side by side.
-    pub fn render(&mut self) -> String {
+    pub fn render(&self) -> String {
         let mut s = String::from("loss_rate  total_cdf  wireless_cdf  wired_cdf\n");
         for q in [0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99] {
             s.push_str(&format!(
@@ -81,6 +122,37 @@ impl TcpLossFigure {
             self.flows, self.flows_excluded, self.loss_events, self.wireless_share
         ));
         s
+    }
+}
+
+impl Figure for TcpLossFigure {
+    fn name(&self) -> &'static str {
+        "fig11"
+    }
+
+    fn title(&self) -> &'static str {
+        "FIGURE 11 — TCP loss rate, wireless vs wired (paper §7.4)"
+    }
+
+    fn render(&self) -> String {
+        TcpLossFigure::render(self)
+    }
+
+    fn records(&self) -> Vec<(String, String)> {
+        vec![
+            ("flows".into(), self.flows.to_string()),
+            ("flows_excluded".into(), self.flows_excluded.to_string()),
+            ("loss_events".into(), self.loss_events.to_string()),
+            ("wireless_share".into(), frac(self.wireless_share)),
+            (
+                "p50_loss_rate".into(),
+                frac(self.loss_cdf.quantile(0.5).unwrap_or(0.0)),
+            ),
+            (
+                "p90_loss_rate".into(),
+                frac(self.loss_cdf.quantile(0.9).unwrap_or(0.0)),
+            ),
+        ]
     }
 }
 
@@ -128,13 +200,27 @@ mod tests {
             flow(true, 50, 0, 0),
             flow(false, 10, 5, 5), // excluded: no handshake
         ];
-        let mut fig = tcp_loss_figure(&flows);
+        let fig = tcp_loss_figure(&flows);
         assert_eq!(fig.flows, 3);
         assert_eq!(fig.flows_excluded, 1);
         assert_eq!(fig.loss_events, 21);
         assert!(fig.wireless_share > 0.8, "share {}", fig.wireless_share);
         let text = fig.render();
         assert!(text.contains("wireless-share"));
+    }
+
+    #[test]
+    fn analyzer_on_flows_matches_post_hoc() {
+        let flows = vec![flow(true, 100, 8, 2), flow(false, 10, 5, 5)];
+        let mut a = TcpLossAnalysis::new();
+        a.on_flows(&flows);
+        let via_trait = a.finish();
+        let post_hoc = tcp_loss_figure(&flows);
+        assert_eq!(Figure::render(&via_trait), Figure::render(&post_hoc));
+        assert_eq!(Figure::records(&via_trait), Figure::records(&post_hoc));
+        // Never fed → the empty figure.
+        let empty = TcpLossAnalysis::new().finish();
+        assert_eq!(empty.flows, 0);
     }
 
     #[test]
@@ -147,7 +233,7 @@ mod tests {
     #[test]
     fn quantiles_ordered() {
         let flows: Vec<FlowRecord> = (0..50).map(|k| flow(true, 100, k % 7, k % 3)).collect();
-        let mut fig = tcp_loss_figure(&flows);
+        let fig = tcp_loss_figure(&flows);
         let q50 = fig.loss_cdf.quantile(0.5).unwrap();
         let q90 = fig.loss_cdf.quantile(0.9).unwrap();
         assert!(q50 <= q90);

@@ -28,15 +28,7 @@ fn bench_mergers(c: &mut Criterion) {
     g.sample_size(10);
 
     g.bench_function(BenchmarkId::new("jigsaw_full_pipeline", events), |b| {
-        b.iter(|| {
-            Pipeline::run(
-                out.memory_streams(),
-                &PipelineConfig::default(),
-                |_| {},
-                |_| {},
-            )
-            .unwrap()
-        })
+        b.iter(|| Pipeline::run(out.memory_streams(), &PipelineConfig::default(), ()).unwrap())
     });
     g.bench_function(BenchmarkId::new("yeo_no_resync", events), |b| {
         b.iter(|| {
@@ -68,7 +60,7 @@ fn bench_sharded_merge(c: &mut Criterion) {
 
     g.bench_function(BenchmarkId::new("serial", events), |b| {
         b.iter(|| {
-            Pipeline::merge_only(out.memory_streams(), &PipelineConfig::default(), |_| {}).unwrap()
+            Pipeline::merge_only(out.memory_streams(), &PipelineConfig::default(), ()).unwrap()
         })
     });
     for threads in [1usize, 2, 3] {
@@ -80,7 +72,7 @@ fn bench_sharded_merge(c: &mut Criterion) {
             ..PipelineConfig::default()
         };
         g.bench_function(BenchmarkId::new("sharded", threads), |b| {
-            b.iter(|| Pipeline::merge_only_parallel(out.memory_streams(), &cfg, |_| {}).unwrap())
+            b.iter(|| Pipeline::merge_only_parallel(out.memory_streams(), &cfg, ()).unwrap())
         });
     }
     g.finish();

@@ -30,8 +30,7 @@ fn bench_radio_scaling(c: &mut Criterion) {
                 Pipeline::run(
                     subset_streams(&out, &radios),
                     &PipelineConfig::default(),
-                    |_| {},
-                    |_| {},
+                    (),
                 )
                 .unwrap()
             })
@@ -49,15 +48,7 @@ fn bench_parallel_pipeline(c: &mut Criterion) {
     g.throughput(Throughput::Elements(events.max(1)));
     g.sample_size(10);
     g.bench_function(BenchmarkId::new("serial", events), |b| {
-        b.iter(|| {
-            Pipeline::run(
-                out.memory_streams(),
-                &PipelineConfig::default(),
-                |_| {},
-                |_| {},
-            )
-            .unwrap()
-        })
+        b.iter(|| Pipeline::run(out.memory_streams(), &PipelineConfig::default(), ()).unwrap())
     });
     let cfg = PipelineConfig {
         shard: ShardConfig {
@@ -67,7 +58,7 @@ fn bench_parallel_pipeline(c: &mut Criterion) {
         ..PipelineConfig::default()
     };
     g.bench_function(BenchmarkId::new("sharded3", events), |b| {
-        b.iter(|| Pipeline::run_parallel(out.memory_streams(), &cfg, |_| {}, |_| {}).unwrap())
+        b.iter(|| Pipeline::run_parallel(out.memory_streams(), &cfg, ()).unwrap())
     });
     g.finish();
 }

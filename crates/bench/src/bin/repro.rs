@@ -8,6 +8,7 @@
 //!        bench-merge [--out F]|
 //!        record --corpus DIR [--scenario NAME] [--block-bytes N] [--snaplen N]|
 //!        merge --corpus DIR [--verify] [--max-buffered N]|
+//!        analyze --corpus DIR|
 //!        bench-stream [--corpus DIR] [--out F]]
 //! ```
 //!
@@ -29,10 +30,19 @@
 //!   ever exceeds N events (the CI memory-bound check);
 //! * `bench-stream` times record + streaming merge and writes
 //!   `BENCH_stream.json` (events/s, peak buffered events, disk bytes
-//!   in/out).
+//!   in/out);
+//! * `analyze` streams the **entire figure suite** off a recorded corpus
+//!   through the full pipeline (serial or, with `--parallel`, the
+//!   channel-sharded merge) in one bounded-memory pass — no `Vec<JFrame>`
+//!   is ever materialized. Every figure renders, followed by stable
+//!   machine-readable `record <figure>.<key> <value>` lines. The wired
+//!   distribution-network trace Figure 6 compares against is a separate
+//!   dataset the corpus does not store, so it is re-derived by
+//!   re-simulating the manifest scenario (the radio traces themselves
+//!   stream from disk).
 //!
 //! `--parallel` switches the single-trace figures onto
-//! `Pipeline::run_parallel_full` (`--threads` caps the shard threads).
+//! `Pipeline::run_parallel` (`--threads` caps the shard threads).
 //! `bench-merge` (also part of `all`) times the merge stage serial vs
 //! sharded and writes the comparison to `BENCH_merge.json` (`--out`
 //! overrides the path).
@@ -48,13 +58,18 @@ use jigsaw_analysis::coverage::{pods_subset, radios_of_pods, CoverageAnalysis, O
 use jigsaw_analysis::dispersion::DispersionAnalysis;
 use jigsaw_analysis::interference::InterferenceAnalysis;
 use jigsaw_analysis::protection::ProtectionAnalysis;
+use jigsaw_analysis::suite::{record_lines, Figure};
 use jigsaw_analysis::summary::SummaryBuilder;
-use jigsaw_analysis::tcploss::tcp_loss_figure;
-use jigsaw_bench::{minute_bin_us, paper_scenario, subset_streams, MergeBench};
+use jigsaw_analysis::tcploss::TcpLossAnalysis;
+use jigsaw_bench::{
+    figure_suite, minute_bin_us, paper_scenario, practical_minute_us, subset_streams, MergeBench,
+};
 use jigsaw_core::baseline::{naive_merge, yeo_merge};
+use jigsaw_core::observer::{OnExchange, OnJFrame};
 use jigsaw_core::pipeline::{Pipeline, PipelineConfig};
 use jigsaw_core::shard::ShardConfig;
 use jigsaw_core::unify::MergeConfig;
+use jigsaw_core::JFrame;
 use jigsaw_sim::output::SimOutput;
 use jigsaw_sim::scenario::TruthConfig;
 use std::time::Instant;
@@ -206,6 +221,7 @@ fn main() {
         "bench-merge" => run_bench_merge(&args),
         "record" => run_record(&args),
         "merge" => run_corpus_merge(&args),
+        "analyze" => run_analyze(&args),
         "bench-stream" => run_bench_stream(&args),
         other => {
             eprintln!("unknown subcommand {other}");
@@ -235,43 +251,36 @@ fn run_main_trace(args: &Args, only: Option<&str>) {
     let out = simulate(seed, scale);
     let day = out.duration_us;
     let bin = minute_bin_us(day) * 60; // "hour" bins for readable tables
-    let practical_timeout = (60_000_000.0 / (86_400_000_000.0 / day as f64)) as u64; // 1 min of the day
+    let practical_timeout = practical_minute_us(day);
 
-    let mut summary = SummaryBuilder::new();
+    let mut summary = SummaryBuilder::new(out.radio_meta.len());
     let mut dispersion = DispersionAnalysis::new();
     let mut activity = ActivityAnalysis::new(0, bin);
-    // Shared between the jframe and attempt sinks.
-    let interference = std::cell::RefCell::new(InterferenceAnalysis::new());
-    let mut protection = ProtectionAnalysis::new(0, bin, practical_timeout.max(1));
+    let mut interference = InterferenceAnalysis::new();
+    let mut protection = ProtectionAnalysis::new(0, bin, practical_timeout);
     let ap_addrs: Vec<jigsaw_ieee80211::MacAddr> = out.stations.iter().map(|s| s.addr).collect();
     let ap_lookup = move |sid: u16| ap_addrs[usize::from(sid)];
     let mut coverage = CoverageAnalysis::new(&out.wired, &ap_lookup, 10_000_000);
+    let mut tcploss = TcpLossAnalysis::new();
 
     let cfg = pipeline_config(args);
     let t0 = Instant::now();
-    let jframe_sink = |jf: &jigsaw_core::JFrame| {
-        summary.observe(jf);
-        dispersion.observe(jf);
-        activity.observe(jf);
-        interference.borrow_mut().observe_jframe(jf);
-        protection.observe(jf);
-    };
+    // One observer tuple wires every analysis into the single pass —
+    // multi-hook analyses (interference consumes jframes AND attempts)
+    // just implement both hooks, so nothing needs interior mutability.
+    let obs = (
+        &mut summary,
+        &mut dispersion,
+        &mut activity,
+        &mut interference,
+        &mut protection,
+        &mut coverage,
+        &mut tcploss,
+    );
     let report = if args.parallel {
-        Pipeline::run_parallel_full(
-            out.memory_streams(),
-            &cfg,
-            jframe_sink,
-            |a| interference.borrow_mut().observe_attempt(a),
-            |x| coverage.observe_exchange(x),
-        )
+        Pipeline::run_parallel(out.memory_streams(), &cfg, obs)
     } else {
-        Pipeline::run_full(
-            out.memory_streams(),
-            &cfg,
-            jframe_sink,
-            |a| interference.borrow_mut().observe_attempt(a),
-            |x| coverage.observe_exchange(x),
-        )
+        Pipeline::run(out.memory_streams(), &cfg, obs)
     }
     .expect("pipeline");
     let elapsed = t0.elapsed();
@@ -289,26 +298,26 @@ fn run_main_trace(args: &Args, only: Option<&str>) {
     let run = |name: &str| only.is_none() || only == Some(name);
 
     if run("table1") {
-        banner("TABLE 1 — trace summary (paper §7.1)");
-        let t = summary.finish(&report, out.radio_meta.len());
-        print!("{}", t.render());
+        let t = summary.finish();
+        banner(Figure::title(&t));
+        print!("{}", Figure::render(&t));
         println!(
             "(paper, full scale: 2.7B events, 47% errors, 1.58B unified, 530M jframes, 2.97 events/jframe, 1026 clients)"
         );
     }
     if run("fig4") {
-        banner("FIGURE 4 — CDF of group dispersion (paper §4.2)");
-        let mut fig = dispersion.finish();
+        let fig = dispersion.finish();
+        banner(Figure::title(&fig));
         print!("{}", fig.render(20));
     }
     if run("fig6") {
-        banner("FIGURE 6 — coverage vs wired trace (paper §6)");
         let fig = coverage.finish();
+        banner(Figure::title(&fig));
         print!("{}", fig.render());
     }
     if run("fig8") {
-        banner("FIGURE 8 — diurnal activity time series (paper §7.1)");
         let fig = activity.finish();
+        banner(Figure::title(&fig));
         print!("{}", fig.render());
         println!(
             "broadcast airtime share: {:.3} (paper: ~0.10 'as seen by any given monitor')",
@@ -316,8 +325,8 @@ fn run_main_trace(args: &Args, only: Option<&str>) {
         );
     }
     if run("fig9") {
-        banner("FIGURE 9 — interference loss rate CDF (paper §7.2)");
-        let mut fig = interference.into_inner().finish();
+        let fig = interference.finish();
+        banner(Figure::title(&fig));
         print!("{}", fig.render());
         println!(
             "paper: 88% of (s,r) pairs interfered; median X ≤ 0.025; 10% ≥ 0.1; 5% ≥ 0.2; 11% truncated; background loss 0.12; AP senders 56%"
@@ -330,13 +339,13 @@ fn run_main_trace(args: &Args, only: Option<&str>) {
         );
     }
     if run("fig10") {
-        banner("FIGURE 10 — overprotective APs (paper §7.3)");
         let fig = protection.finish();
+        banner(Figure::title(&fig));
         print!("{}", fig.render());
     }
     if run("fig11") {
-        banner("FIGURE 11 — TCP loss rate, wireless vs wired (paper §7.4)");
-        let mut fig = tcp_loss_figure(&report.flows);
+        let fig = tcploss.finish();
+        banner(Figure::title(&fig));
         print!("{}", fig.render());
         println!(
             "loss provenance: original-delivered {} / original-ambiguous {} / unobserved {}",
@@ -388,13 +397,8 @@ fn run_fig7(seed: u64, scale: f64) {
         let ap_addrs = ap_addrs.clone();
         let ap_lookup = move |sid: u16| ap_addrs[usize::from(sid)];
         let mut coverage = CoverageAnalysis::new(&out.wired, &ap_lookup, 10_000_000);
-        let report = Pipeline::run(
-            streams,
-            &PipelineConfig::default(),
-            |_| {},
-            |x| coverage.observe_exchange(x),
-        )
-        .expect("pipeline");
+        let report =
+            Pipeline::run(streams, &PipelineConfig::default(), &mut coverage).expect("pipeline");
         let fig = coverage.finish();
         println!(
             "{keep:>4} {:>7} {:>20} {:>12.3} {:>16.3}",
@@ -423,14 +427,13 @@ fn run_oracle(seed: u64, scale: f64) {
     Pipeline::run(
         out.memory_streams(),
         &PipelineConfig::default(),
-        |jf| oracle.observe(jf),
-        |_| {},
+        &mut oracle,
     )
     .expect("pipeline");
-    let (expected, observed, cov) = oracle.finish();
+    let fig = oracle.finish();
     println!(
-        "oracle client {oracle_addr}: {observed}/{expected} link events captured = {:.3} (paper: 0.95; prior work 0.80-0.97)",
-        cov
+        "oracle client {oracle_addr}: {}/{} link events captured = {:.3} (paper: 0.95; prior work 0.80-0.97)",
+        fig.observed, fig.expected, fig.coverage
     );
 }
 
@@ -483,9 +486,8 @@ fn run_ablations(seed: u64, scale: f64) {
             ..PipelineConfig::default()
         };
         let mut disp = DispersionAnalysis::new();
-        let report = Pipeline::run(out.memory_streams(), &cfg, |jf| disp.observe(jf), |_| {})
-            .expect("pipeline");
-        let mut fig = disp.finish();
+        let report = Pipeline::run(out.memory_streams(), &cfg, &mut disp).expect("pipeline");
+        let fig = disp.finish();
         println!(
             "{name:<22} {:>9} {:>9.2} {:>8.0} {:>9.0} {:>8}",
             report.merge.jframes_out,
@@ -513,8 +515,10 @@ fn run_smoke(args: &Args) {
     let report = Pipeline::run(
         out.memory_streams(),
         &PipelineConfig::default(),
-        |jf| serial_keys.push((jf.ts, jf.channel.number(), jf.wire_len)),
-        |_| exchanges += 1,
+        (
+            OnJFrame(|jf: &JFrame| serial_keys.push((jf.ts, jf.channel.number(), jf.wire_len))),
+            OnExchange(|_: &jigsaw_core::link::exchange::Exchange| exchanges += 1),
+        ),
     )
     .expect("pipeline");
     let serial_t = ts.elapsed();
@@ -543,8 +547,10 @@ fn run_smoke(args: &Args) {
     let par_report = Pipeline::run_parallel(
         out.memory_streams(),
         &cfg,
-        |jf| par_keys.push((jf.ts, jf.channel.number(), jf.wire_len)),
-        |_| par_exchanges += 1,
+        (
+            OnJFrame(|jf: &JFrame| par_keys.push((jf.ts, jf.channel.number(), jf.wire_len))),
+            OnExchange(|_: &jigsaw_core::link::exchange::Exchange| par_exchanges += 1),
+        ),
     )
     .expect("parallel pipeline");
     let par_t = tp.elapsed();
@@ -685,9 +691,11 @@ fn stream_merge_corpus(
     let mut digest = jigsaw_bench::JframeStreamDigest::new();
     let t0 = Instant::now();
     let (_, stats) = if parallel {
-        Pipeline::merge_only_parallel(sources, cfg, |jf| digest.observe(&jf)).expect("merge")
+        Pipeline::merge_only_parallel(sources, cfg, OnJFrame(|jf: &JFrame| digest.observe(jf)))
+            .expect("merge")
     } else {
-        Pipeline::merge_only(sources, cfg, |jf| digest.observe(&jf)).expect("merge")
+        Pipeline::merge_only(sources, cfg, OnJFrame(|jf: &JFrame| digest.observe(jf)))
+            .expect("merge")
     };
     (
         stats.events_in,
@@ -757,8 +765,12 @@ fn run_corpus_merge(args: &Args) {
         let out = cfg_sim.run();
 
         let mut mem_serial = jigsaw_bench::JframeStreamDigest::new();
-        Pipeline::merge_only(out.memory_streams(), &cfg, |jf| mem_serial.observe(&jf))
-            .expect("in-memory serial merge");
+        Pipeline::merge_only(
+            out.memory_streams(),
+            &cfg,
+            OnJFrame(|jf: &JFrame| mem_serial.observe(jf)),
+        )
+        .expect("in-memory serial merge");
         let mut mem_sharded = jigsaw_bench::JframeStreamDigest::new();
         let par_cfg = PipelineConfig {
             shard: ShardConfig {
@@ -769,9 +781,11 @@ fn run_corpus_merge(args: &Args) {
             },
             ..cfg.clone()
         };
-        Pipeline::merge_only_parallel(out.memory_streams(), &par_cfg, |jf| {
-            mem_sharded.observe(&jf)
-        })
+        Pipeline::merge_only_parallel(
+            out.memory_streams(),
+            &par_cfg,
+            OnJFrame(|jf: &JFrame| mem_sharded.observe(jf)),
+        )
         .expect("in-memory sharded merge");
 
         let mut ok = true;
@@ -796,6 +810,91 @@ fn run_corpus_merge(args: &Args) {
             digest.hex()
         );
     }
+}
+
+/// `analyze --corpus`: stream the entire figure suite off a recorded
+/// corpus through the full pipeline — merge (serial or, with
+/// `--parallel`, channel-sharded), link and transport reconstruction, and
+/// every registered analysis — in one bounded-memory pass. No
+/// `Vec<JFrame>` (nor attempt/exchange vector) is ever materialized: the
+/// `Suite` observes the streams as the merge emits them.
+///
+/// The wired distribution-network trace Figure 6 compares against is a
+/// separate dataset (the paper captured it at the building's uplink); our
+/// corpus stores only the radio traces, so the wired side is re-derived by
+/// re-simulating the manifest scenario. The simulation is dropped before
+/// the merge starts — the jframe path runs entirely from disk.
+fn run_analyze(args: &Args) {
+    banner("ANALYZE — stream the figure suite off a recorded corpus");
+    let dir = corpus_dir(args);
+    let corpus = jigsaw_trace::corpus::Corpus::open(&dir).expect("open corpus");
+    let m = corpus.manifest();
+    println!(
+        "corpus {}: scenario {} seed {} scale {} — {} radios, {} events, {:.2} MB",
+        dir.display(),
+        m.scenario,
+        m.seed,
+        m.scale,
+        m.radios.len(),
+        corpus.total_events(),
+        corpus.data_bytes().unwrap_or(0) as f64 / 1e6
+    );
+    assert!(
+        corpus.verify_digest().expect("digest check"),
+        "corpus files do not match their recorded digest (corrupt or tampered)"
+    );
+
+    let Some(cfg_sim) = jigsaw_bench::scenario_by_name(&m.scenario, m.seed, m.scale) else {
+        eprintln!(
+            "manifest scenario `{}` unknown to this binary — cannot derive the wired trace",
+            m.scenario
+        );
+        std::process::exit(2);
+    };
+    eprintln!(
+        "[analyze] re-simulating {} at seed {} for the wired side-channel…",
+        m.scenario, m.seed
+    );
+    let out = cfg_sim.run();
+    let mut suite = figure_suite(&out);
+    // From here on the pipeline runs from disk only.
+    drop(out);
+
+    let cfg = pipeline_config(args);
+    let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let sources = jigsaw_bench::corpus_sources(&corpus, std::sync::Arc::clone(&counter))
+        .expect("open corpus sources");
+    let t0 = Instant::now();
+    let report = if args.parallel {
+        Pipeline::run_parallel(sources, &cfg, &mut suite)
+    } else {
+        Pipeline::run(sources, &cfg, &mut suite)
+    }
+    .expect("pipeline");
+    let elapsed = t0.elapsed();
+    let driver = if args.parallel { "sharded" } else { "serial" };
+    assert_eq!(
+        report.merge.events_in,
+        corpus.total_events(),
+        "analyze dropped events relative to the manifest"
+    );
+    println!(
+        "analyzed {} events -> {} jframes, {} exchanges, {} flows in {elapsed:.1?} ({driver}, peak buffered {} events, disk bytes in {})",
+        report.merge.events_in,
+        report.merge.jframes_out,
+        report.link.exchanges,
+        report.transport.flows,
+        report.merge.peak_buffered,
+        counter.load(std::sync::atomic::Ordering::Relaxed)
+    );
+
+    let figures = suite.finish();
+    for fig in &figures {
+        banner(fig.title());
+        print!("{}", fig.render());
+    }
+    banner("MACHINE RECORDS — figure key/value summary");
+    print!("{}", record_lines(&figures));
 }
 
 /// `bench-stream`: record a corpus, stream-merge it back, and write the
@@ -892,15 +991,10 @@ fn run_baselines(seed: u64, scale: f64) {
     // Jigsaw.
     let mut disp = DispersionAnalysis::new();
     let t0 = Instant::now();
-    let report = Pipeline::run(
-        out.memory_streams(),
-        &PipelineConfig::default(),
-        |jf| disp.observe(jf),
-        |_| {},
-    )
-    .expect("pipeline");
+    let report = Pipeline::run(out.memory_streams(), &PipelineConfig::default(), &mut disp)
+        .expect("pipeline");
     let jig_t = t0.elapsed();
-    let mut jig_fig = disp.finish();
+    let jig_fig = disp.finish();
 
     // Yeo-style: bootstrap once, never resync.
     let mut yeo_disp = DispersionAnalysis::new();
@@ -913,7 +1007,7 @@ fn run_baselines(seed: u64, scale: f64) {
     )
     .expect("yeo");
     let yeo_t = t0.elapsed();
-    let mut yeo_fig = yeo_disp.finish();
+    let yeo_fig = yeo_disp.finish();
 
     // Naive: no synchronization at all.
     let t0 = Instant::now();

@@ -40,6 +40,36 @@ pub fn minute_bin_us(day_us: u64) -> u64 {
     (day_us / 1440).max(1)
 }
 
+/// One represented minute of wall time in scenario µs (the paper's
+/// "practical" one-minute b-client timeout, scaled to the scenario's day
+/// compression). Always ≥ 1.
+pub fn practical_minute_us(day_us: u64) -> u64 {
+    ((60_000_000.0 / (86_400_000_000.0 / day_us as f64)) as u64).max(1)
+}
+
+/// The full paper figure [`Suite`](jigsaw_analysis::Suite) for a simulated
+/// world, coverage included: Table 1, Figures 4/6/8/9/10/11, and the
+/// station census, all parameterized exactly the way `repro` wires them
+/// ("hour" bins of the represented day, one-minute practical timeout).
+///
+/// The suite holds no borrow of `out` — the coverage expectation index is
+/// built here from the wired trace — so callers may drop the simulation
+/// and stream the pipeline from an on-disk corpus instead.
+pub fn figure_suite(out: &SimOutput) -> jigsaw_analysis::Suite {
+    let day = out.duration_us;
+    let params = jigsaw_analysis::PaperParams {
+        radios: out.radio_meta.len(),
+        origin: 0,
+        bin_us: minute_bin_us(day) * 60,
+        practical_timeout_us: practical_minute_us(day),
+    };
+    let ap_addrs: Vec<jigsaw_ieee80211::MacAddr> = out.stations.iter().map(|s| s.addr).collect();
+    let ap_lookup = move |sid: u16| ap_addrs[usize::from(sid)];
+    let coverage =
+        jigsaw_analysis::coverage::CoverageAnalysis::new(&out.wired, &ap_lookup, 10_000_000);
+    jigsaw_analysis::Suite::paper(&params).register(coverage)
+}
+
 /// Resolves a scenario by the name recorded in a corpus manifest. `scale`
 /// only applies to `paper_day` (the presets are fixed-size by design).
 pub fn scenario_by_name(name: &str, seed: u64, scale: f64) -> Option<ScenarioConfig> {
@@ -115,16 +145,10 @@ impl JframeStreamDigest {
     }
 }
 
-/// Runs the full pipeline with no sinks and returns the report
-/// (benchmarks; figure runners attach their own sinks).
+/// Runs the full pipeline unobserved and returns the report
+/// (benchmarks; figure runners attach their own observers).
 pub fn run_pipeline_plain(out: &SimOutput) -> PipelineReport {
-    Pipeline::run(
-        out.memory_streams(),
-        &PipelineConfig::default(),
-        |_| {},
-        |_| {},
-    )
-    .expect("pipeline")
+    Pipeline::run(out.memory_streams(), &PipelineConfig::default(), ()).expect("pipeline")
 }
 
 /// Wall-clocks the merge stage alone (bootstrap + unification, no-op sink):
@@ -145,9 +169,9 @@ pub fn merge_wallclock(out: &SimOutput, threads: Option<usize>) -> (Duration, Me
     let streams = out.memory_streams();
     let t0 = Instant::now();
     let (_, stats) = if threads == Some(1) {
-        Pipeline::merge_only(streams, &cfg, |_| {}).expect("merge")
+        Pipeline::merge_only(streams, &cfg, ()).expect("merge")
     } else {
-        Pipeline::merge_only_parallel(streams, &cfg, |_| {}).expect("merge")
+        Pipeline::merge_only_parallel(streams, &cfg, ()).expect("merge")
     };
     (t0.elapsed(), stats)
 }
@@ -386,6 +410,24 @@ mod tests {
     fn minute_bins() {
         assert_eq!(minute_bin_us(720_000_000), 500_000);
         assert_eq!(minute_bin_us(1_440), 1);
+    }
+
+    #[test]
+    fn practical_minute_scales_with_compression() {
+        // A 720 s day represents 86400 s: one represented minute = 500 ms.
+        assert_eq!(practical_minute_us(720_000_000), 500_000);
+        // Never zero, however compressed the day.
+        assert!(practical_minute_us(1) >= 1);
+    }
+
+    #[test]
+    fn figure_suite_registers_every_paper_figure() {
+        let out = ScenarioConfig::tiny(1).run();
+        let suite = figure_suite(&out);
+        assert_eq!(
+            suite.names(),
+            vec!["table1", "fig4", "fig8", "fig9", "fig10", "stations", "fig11", "fig6"]
+        );
     }
 
     #[test]

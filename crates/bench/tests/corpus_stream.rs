@@ -5,8 +5,10 @@
 //! by the window rather than the corpus size.
 
 use jigsaw_bench::{corpus_sources, record_corpus, JframeStreamDigest};
+use jigsaw_core::observer::OnJFrame;
 use jigsaw_core::pipeline::{Pipeline, PipelineConfig};
 use jigsaw_core::shard::ShardConfig;
+use jigsaw_core::JFrame;
 use jigsaw_sim::scenario::ScenarioConfig;
 use jigsaw_trace::corpus::Corpus;
 use std::path::PathBuf;
@@ -37,8 +39,12 @@ fn disk_corpus_merge_matches_memory_serial_and_sharded() {
 
     // In-memory references: serial and channel-sharded.
     let mut mem_serial = JframeStreamDigest::new();
-    let (_, mem_stats) =
-        Pipeline::merge_only(out.memory_streams(), &cfg, |jf| mem_serial.observe(&jf)).unwrap();
+    let (_, mem_stats) = Pipeline::merge_only(
+        out.memory_streams(),
+        &cfg,
+        OnJFrame(|jf: &JFrame| mem_serial.observe(jf)),
+    )
+    .unwrap();
     let par_cfg = PipelineConfig {
         shard: ShardConfig {
             max_threads: jigsaw_trace::stream::distinct_channels(&out.radio_meta)
@@ -49,9 +55,11 @@ fn disk_corpus_merge_matches_memory_serial_and_sharded() {
         ..PipelineConfig::default()
     };
     let mut mem_sharded = JframeStreamDigest::new();
-    Pipeline::merge_only_parallel(out.memory_streams(), &par_cfg, |jf| {
-        mem_sharded.observe(&jf)
-    })
+    Pipeline::merge_only_parallel(
+        out.memory_streams(),
+        &par_cfg,
+        OnJFrame(|jf: &JFrame| mem_sharded.observe(jf)),
+    )
     .unwrap();
     drop(out);
 
@@ -63,9 +71,10 @@ fn disk_corpus_merge_matches_memory_serial_and_sharded() {
         let sources = corpus_sources(&corpus, Arc::clone(&counter)).unwrap();
         let mut digest = JframeStreamDigest::new();
         let (_, stats) = if parallel {
-            Pipeline::merge_only_parallel(sources, cfg, |jf| digest.observe(&jf)).unwrap()
+            Pipeline::merge_only_parallel(sources, cfg, OnJFrame(|jf: &JFrame| digest.observe(jf)))
+                .unwrap()
         } else {
-            Pipeline::merge_only(sources, cfg, |jf| digest.observe(&jf)).unwrap()
+            Pipeline::merge_only(sources, cfg, OnJFrame(|jf: &JFrame| digest.observe(jf))).unwrap()
         };
         (digest, stats, counter.load(Ordering::Relaxed))
     };

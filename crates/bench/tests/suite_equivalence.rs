@@ -1,0 +1,146 @@
+//! The PR's acceptance test: the figure `Suite` streamed off a recorded
+//! disk corpus must produce figure-for-figure identical output — rendered
+//! text AND machine records — to the in-memory, hand-wired serial run, on
+//! both the serial and the channel-sharded merge drivers. This is what
+//! lets `repro analyze --corpus` stand in for the hand-wired evaluation.
+
+use jigsaw_analysis::activity::ActivityAnalysis;
+use jigsaw_analysis::coverage::CoverageAnalysis;
+use jigsaw_analysis::dispersion::DispersionAnalysis;
+use jigsaw_analysis::interference::InterferenceAnalysis;
+use jigsaw_analysis::protection::ProtectionAnalysis;
+use jigsaw_analysis::stations::StationsAnalysis;
+use jigsaw_analysis::suite::Figure;
+use jigsaw_analysis::summary::SummaryBuilder;
+use jigsaw_analysis::tcploss::TcpLossAnalysis;
+use jigsaw_bench::{
+    corpus_sources, figure_suite, minute_bin_us, practical_minute_us, record_corpus,
+};
+use jigsaw_core::pipeline::{Pipeline, PipelineConfig};
+use jigsaw_core::shard::ShardConfig;
+use jigsaw_sim::scenario::ScenarioConfig;
+use jigsaw_trace::corpus::Corpus;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("jigsaw-suite-equiv-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A figure reduced to its comparable identity.
+type FigureOutput = (String, String, Vec<(String, String)>);
+
+fn output_of(f: &dyn Figure) -> FigureOutput {
+    (f.name().to_string(), f.render(), f.records())
+}
+
+#[test]
+fn suite_over_corpus_matches_hand_wired_memory_run() {
+    let seed = 20060124;
+    let out = ScenarioConfig::tiny(seed).run();
+    let events = out.total_events();
+    let dir = tmpdir("figs");
+    record_corpus(&out, &dir, "tiny", seed, 1.0, 65_535, 4096).unwrap();
+
+    // --- Reference: hand-wired analyses over the in-memory serial run,
+    // with exactly the parameters `figure_suite` uses. ---
+    let day = out.duration_us;
+    let bin = minute_bin_us(day) * 60;
+    let mut summary = SummaryBuilder::new(out.radio_meta.len());
+    let mut dispersion = DispersionAnalysis::new();
+    let mut activity = ActivityAnalysis::new(0, bin);
+    let mut interference = InterferenceAnalysis::new();
+    let mut protection = ProtectionAnalysis::new(0, bin, practical_minute_us(day));
+    let mut stations = StationsAnalysis::new();
+    let mut tcploss = TcpLossAnalysis::new();
+    let ap_addrs: Vec<_> = out.stations.iter().map(|s| s.addr).collect();
+    let ap_lookup = move |sid: u16| ap_addrs[usize::from(sid)];
+    let mut coverage = CoverageAnalysis::new(&out.wired, &ap_lookup, 10_000_000);
+    Pipeline::run(
+        out.memory_streams(),
+        &PipelineConfig::default(),
+        (
+            &mut summary,
+            &mut dispersion,
+            &mut activity,
+            &mut interference,
+            &mut protection,
+            &mut stations,
+            &mut tcploss,
+            &mut coverage,
+        ),
+    )
+    .unwrap();
+    // In `figure_suite` registration order: paper suite, then coverage.
+    let reference: Vec<FigureOutput> = vec![
+        output_of(&summary.finish()),
+        output_of(&dispersion.finish()),
+        output_of(&activity.finish()),
+        output_of(&interference.finish()),
+        output_of(&protection.finish()),
+        output_of(&stations.finish()),
+        output_of(&tcploss.finish()),
+        output_of(&coverage.finish()),
+    ];
+
+    // --- Suite runs streaming off the disk corpus, both drivers. ---
+    let corpus = Corpus::open(&dir).unwrap();
+    let par_cfg = PipelineConfig {
+        shard: ShardConfig {
+            max_threads: jigsaw_trace::stream::distinct_channels(&out.radio_meta)
+                .len()
+                .max(1),
+            ..ShardConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let run_disk = |parallel: bool| -> Vec<FigureOutput> {
+        let sources = corpus_sources(&corpus, Arc::new(AtomicU64::new(0))).unwrap();
+        let mut suite = figure_suite(&out);
+        let report = if parallel {
+            Pipeline::run_parallel(sources, &par_cfg, &mut suite)
+        } else {
+            Pipeline::run(sources, &PipelineConfig::default(), &mut suite)
+        }
+        .unwrap();
+        // The figures streamed: nothing was materialized — residency stays
+        // window-bounded, far below the corpus event count.
+        assert_eq!(report.merge.events_in, events);
+        assert!(
+            report.merge.peak_buffered < events / 2,
+            "peak residency {} vs {events} events: not streaming",
+            report.merge.peak_buffered
+        );
+        suite
+            .finish()
+            .iter()
+            .map(|f| output_of(f.as_ref()))
+            .collect()
+    };
+    let disk_serial = run_disk(false);
+    let disk_sharded = run_disk(true);
+
+    assert_eq!(reference.len(), disk_serial.len());
+    for ((r, s), p) in reference.iter().zip(&disk_serial).zip(&disk_sharded) {
+        assert_eq!(r.0, s.0, "figure order diverged");
+        assert_eq!(r.1, s.1, "{}: disk-serial render diverged", r.0);
+        assert_eq!(r.2, s.2, "{}: disk-serial records diverged", r.0);
+        assert_eq!(s.1, p.1, "{}: sharded render diverged from serial", s.0);
+        assert_eq!(s.2, p.2, "{}: sharded records diverged from serial", s.0);
+    }
+    // The comparison had substance: real frames, real figures.
+    let table1 = &reference[0];
+    assert!(
+        table1
+            .2
+            .iter()
+            .any(|(k, v)| k == "jframes" && v.parse::<u64>().unwrap() > 100),
+        "table1 saw no jframes: {:?}",
+        table1.2
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

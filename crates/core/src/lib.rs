@@ -36,6 +36,10 @@
 //!   [`pipeline::EventSource`] abstraction feeds the same drivers from
 //!   in-memory streams or from an on-disk trace corpus
 //!   ([`pipeline::CorpusSource`]) with window-bounded memory;
+//! * [`observer`] — the pipeline→analysis boundary: every driver takes
+//!   one [`observer::PipelineObserver`] with default-no-op hooks for
+//!   jframes, attempts, exchanges, and flows; closures lift in via the
+//!   `On*` adapters and tuples fan one pass out to several analyses;
 //! * [`baseline`] — the comparison mergers the benchmarks run against:
 //!   a `mergecap`-style local-timestamp merge and a Yeo-style
 //!   beacon-reference synchronizer without skew management.
@@ -43,6 +47,7 @@
 pub mod baseline;
 pub mod jframe;
 pub mod link;
+pub mod observer;
 pub mod pipeline;
 pub mod shard;
 pub mod sync;
@@ -50,6 +55,7 @@ pub mod transport;
 pub mod unify;
 
 pub use jframe::{Instance, JFrame};
+pub use observer::{OnAttempt, OnExchange, OnFlows, OnJFrame, PipelineObserver};
 pub use pipeline::{CorpusSource, EventSource, Pipeline, PipelineConfig, PipelineReport};
 pub use shard::ShardConfig;
 pub use unify::{MergeConfig, Merger};

@@ -2,8 +2,13 @@
 //!
 //! Mirrors the paper's online design (§4, requirement 3): traces are
 //! consumed once, in time order, and every stage streams into the next.
-//! Analyses subscribe via sinks instead of materializing the 500M-jframe
-//! intermediate the paper's hardware had to contend with.
+//! Analyses subscribe via a single [`PipelineObserver`] instead of
+//! materializing the 500M-jframe intermediate the paper's hardware had to
+//! contend with: one observer receives every unified jframe, every
+//! transmission attempt, every closed exchange, and (once, at the end)
+//! the reconstructed flow records. Closures stay ergonomic through the
+//! [`crate::observer`] adapters, and tuples fan one pass out to several
+//! analyses.
 //!
 //! Every driver takes a `Vec` of [`EventSource`]s — one per radio. A source
 //! abstracts *where events come from*: any in-memory or decoded
@@ -16,16 +21,17 @@
 //! ([`MergeStats::peak_buffered`](crate::unify::MergeStats) measures it).
 //!
 //! Two drivers share every stage:
-//! * [`Pipeline::run`] / [`Pipeline::run_full`] — the serial merger;
-//! * [`Pipeline::run_parallel`] / [`Pipeline::run_parallel_full`] — the
-//!   channel-sharded merge ([`crate::shard`]): one merge thread per channel
-//!   shard, with link/transport reconstruction consuming the K-way-merged
-//!   jframe stream on the calling thread (so merging and reconstruction
+//! * [`Pipeline::run`] — the serial merger;
+//! * [`Pipeline::run_parallel`] — the channel-sharded merge
+//!   ([`crate::shard`]): one merge thread per channel shard, with
+//!   link/transport reconstruction consuming the K-way-merged jframe
+//!   stream on the calling thread (so merging and reconstruction
 //!   overlap). Output is jframe-for-jframe identical to the serial driver.
 
 use crate::jframe::JFrame;
 use crate::link::attempt::{Attempt, AttemptAssembler, AttemptStats};
 use crate::link::exchange::{Exchange, ExchangeAssembler, LinkStats};
+use crate::observer::{OnExchange, OnJFrame, PipelineObserver};
 use crate::shard::ShardConfig;
 use crate::sync::bootstrap::{bootstrap, BootstrapConfig, BootstrapError, BootstrapReport};
 use crate::transport::flow::{FlowRecord, TransportAnalyzer, TransportStats};
@@ -261,7 +267,7 @@ impl<S: EventStream> SourceSet<S> {
 ///
 /// Both the serial and the sharded drivers feed this consumer, so parallel
 /// runs reconstruct exactly what serial runs reconstruct.
-struct Downstream<FJ, FA, FX> {
+struct Downstream<O> {
     attempts: AttemptAssembler,
     exchanges: ExchangeAssembler,
     transport: TransportAnalyzer,
@@ -270,20 +276,13 @@ struct Downstream<FJ, FA, FX> {
     reorder: BinaryHeap<Reverse<(u64, u64)>>,
     reorder_store: HashMap<u64, Exchange>,
     reorder_seq: u64,
-    jframe_sink: FJ,
-    attempt_sink: FA,
-    exchange_sink: FX,
+    obs: O,
 }
 
 const REORDER_HORIZON_US: u64 = 1_000_000;
 
-impl<FJ, FA, FX> Downstream<FJ, FA, FX>
-where
-    FJ: FnMut(&JFrame),
-    FA: FnMut(&Attempt),
-    FX: FnMut(&Exchange),
-{
-    fn new(jframe_sink: FJ, attempt_sink: FA, exchange_sink: FX) -> Self {
+impl<O: PipelineObserver> Downstream<O> {
+    fn new(obs: O) -> Self {
         Downstream {
             attempts: AttemptAssembler::new(),
             exchanges: ExchangeAssembler::new(),
@@ -293,9 +292,7 @@ where
             reorder: BinaryHeap::new(),
             reorder_store: HashMap::new(),
             reorder_seq: 0,
-            jframe_sink,
-            attempt_sink,
-            exchange_sink,
+            obs,
         }
     }
 
@@ -308,10 +305,10 @@ where
     }
 
     fn observe(&mut self, jf: &JFrame) {
-        (self.jframe_sink)(jf);
+        self.obs.on_jframe(jf);
         self.attempts.push(jf, &mut self.attempt_buf);
         for a in self.attempt_buf.drain(..) {
-            (self.attempt_sink)(&a);
+            self.obs.on_attempt(&a);
             self.exchanges.push(a, &mut self.exchange_buf);
         }
         self.enqueue_closed();
@@ -323,14 +320,14 @@ where
             self.reorder.pop();
             let x = self.reorder_store.remove(&seq).expect("stored exchange");
             self.transport.push(&x);
-            (self.exchange_sink)(&x);
+            self.obs.on_exchange(&x);
         }
     }
 
     fn finish(mut self) -> (AttemptStats, LinkStats, Vec<FlowRecord>, TransportStats) {
         self.attempts.finish(&mut self.attempt_buf);
         for a in self.attempt_buf.drain(..) {
-            (self.attempt_sink)(&a);
+            self.obs.on_attempt(&a);
             self.exchanges.push(a, &mut self.exchange_buf);
         }
         self.exchanges.finish(&mut self.exchange_buf);
@@ -338,9 +335,10 @@ where
         while let Some(Reverse((_, seq))) = self.reorder.pop() {
             let x = self.reorder_store.remove(&seq).expect("stored exchange");
             self.transport.push(&x);
-            (self.exchange_sink)(&x);
+            self.obs.on_exchange(&x);
         }
         let (flows, transport_stats) = self.transport.finish();
+        self.obs.on_flows(&flows);
         (
             self.attempts.stats.clone(),
             self.exchanges.stats.clone(),
@@ -355,28 +353,19 @@ pub struct Pipeline;
 
 impl Pipeline {
     /// Runs the full pipeline over per-radio sources (streams or disk
-    /// corpus radios).
+    /// corpus radios), delivering every output stream to `obs`.
     ///
-    /// `jframe_sink` observes every unified frame; `exchange_sink` observes
-    /// every reconstructed frame exchange. Both may be no-ops.
+    /// The observer receives every unified jframe, every transmission
+    /// attempt (the paper's §7.2 interference analysis operates on
+    /// attempts, which are distinct from frame exchanges), every closed
+    /// exchange, and — once, at the end — the reconstructed flow records.
+    /// Pass `()` for no observation, a closure adapter such as
+    /// [`OnJFrame`] for one stream, a tuple to fan out to several
+    /// analyses, or `&mut analysis` to keep the analysis afterwards.
     pub fn run<I: EventSource>(
         sources: Vec<I>,
         cfg: &PipelineConfig,
-        jframe_sink: impl FnMut(&JFrame),
-        exchange_sink: impl FnMut(&Exchange),
-    ) -> Result<PipelineReport, PipelineError> {
-        Self::run_full(sources, cfg, jframe_sink, |_| {}, exchange_sink)
-    }
-
-    /// Like [`Pipeline::run`], with an additional sink observing every
-    /// *transmission attempt* (the paper's interference analysis operates
-    /// on attempts, which are distinct from frame exchanges, §7.2).
-    pub fn run_full<I: EventSource>(
-        sources: Vec<I>,
-        cfg: &PipelineConfig,
-        jframe_sink: impl FnMut(&JFrame),
-        attempt_sink: impl FnMut(&Attempt),
-        exchange_sink: impl FnMut(&Exchange),
+        obs: impl PipelineObserver,
     ) -> Result<PipelineReport, PipelineError> {
         let set = SourceSet::open(sources, cfg.bootstrap.window_us)?;
         let boot = set.bootstrap(&cfg.bootstrap)?;
@@ -386,7 +375,7 @@ impl Pipeline {
         for (r, seed) in seeds.into_iter().enumerate() {
             merger.seed_pending(r, seed);
         }
-        let mut ds = Downstream::new(jframe_sink, attempt_sink, exchange_sink);
+        let mut ds = Downstream::new(obs);
         let merge_stats = merger.run(|jf| ds.observe(&jf))?;
         let (attempts, link, flows, transport) = ds.finish();
 
@@ -404,27 +393,12 @@ impl Pipeline {
     /// ([`crate::shard`]): bootstrap is unchanged (it is global — monitor
     /// clocks bridge channels), the merge fans out one thread per channel
     /// shard, and reconstruction consumes the re-merged stream here on the
-    /// calling thread. Jframe/exchange output is identical to [`Pipeline::run`].
+    /// calling thread — so the observer needs no `Send` bound and sees
+    /// exactly what [`Pipeline::run`] would deliver.
     pub fn run_parallel<I>(
         sources: Vec<I>,
         cfg: &PipelineConfig,
-        jframe_sink: impl FnMut(&JFrame),
-        exchange_sink: impl FnMut(&Exchange),
-    ) -> Result<PipelineReport, PipelineError>
-    where
-        I: EventSource,
-        I::Stream: Send + 'static,
-    {
-        Self::run_parallel_full(sources, cfg, jframe_sink, |_| {}, exchange_sink)
-    }
-
-    /// [`Pipeline::run_full`] on the channel-sharded merge.
-    pub fn run_parallel_full<I>(
-        sources: Vec<I>,
-        cfg: &PipelineConfig,
-        jframe_sink: impl FnMut(&JFrame),
-        attempt_sink: impl FnMut(&Attempt),
-        exchange_sink: impl FnMut(&Exchange),
+        obs: impl PipelineObserver,
     ) -> Result<PipelineReport, PipelineError>
     where
         I: EventSource,
@@ -434,7 +408,7 @@ impl Pipeline {
         let boot = set.bootstrap(&cfg.bootstrap)?;
 
         let (streams, seeds) = set.into_merge_input();
-        let mut ds = Downstream::new(jframe_sink, attempt_sink, exchange_sink);
+        let mut ds = Downstream::new(obs);
         let merge_stats = crate::shard::run_sharded(
             streams,
             &boot.offsets,
@@ -455,13 +429,14 @@ impl Pipeline {
         })
     }
 
-    /// Bootstrap + serial merge only — no link/transport reconstruction.
-    /// Benchmarks isolate the merge stage with this; `repro merge --corpus`
-    /// streams jframes off disk through it.
+    /// Bootstrap + serial merge only — no link/transport reconstruction,
+    /// so only [`PipelineObserver::on_jframe`] fires. Benchmarks isolate
+    /// the merge stage with this; `repro merge --corpus` streams jframes
+    /// off disk through it.
     pub fn merge_only<I: EventSource>(
         sources: Vec<I>,
         cfg: &PipelineConfig,
-        sink: impl FnMut(JFrame),
+        mut obs: impl PipelineObserver,
     ) -> Result<(BootstrapReport, MergeStats), PipelineError> {
         let set = SourceSet::open(sources, cfg.bootstrap.window_us)?;
         let boot = set.bootstrap(&cfg.bootstrap)?;
@@ -470,7 +445,7 @@ impl Pipeline {
         for (r, seed) in seeds.into_iter().enumerate() {
             merger.seed_pending(r, seed);
         }
-        let stats = merger.run(sink)?;
+        let stats = merger.run(|jf| obs.on_jframe(&jf))?;
         Ok((boot, stats))
     }
 
@@ -478,7 +453,7 @@ impl Pipeline {
     pub fn merge_only_parallel<I>(
         sources: Vec<I>,
         cfg: &PipelineConfig,
-        sink: impl FnMut(JFrame),
+        mut obs: impl PipelineObserver,
     ) -> Result<(BootstrapReport, MergeStats), PipelineError>
     where
         I: EventSource,
@@ -487,8 +462,14 @@ impl Pipeline {
         let set = SourceSet::open(sources, cfg.bootstrap.window_us)?;
         let boot = set.bootstrap(&cfg.bootstrap)?;
         let (streams, seeds) = set.into_merge_input();
-        let stats =
-            crate::shard::run_sharded(streams, &boot.offsets, seeds, &cfg.merge, &cfg.shard, sink)?;
+        let stats = crate::shard::run_sharded(
+            streams,
+            &boot.offsets,
+            seeds,
+            &cfg.merge,
+            &cfg.shard,
+            |jf| obs.on_jframe(&jf),
+        )?;
         Ok((boot, stats))
     }
 
@@ -503,8 +484,10 @@ impl Pipeline {
         let report = Self::run(
             sources,
             cfg,
-            |jf| jframes.push(jf.clone()),
-            |x| xs.push(x.clone()),
+            (
+                OnJFrame(|jf: &JFrame| jframes.push(jf.clone())),
+                OnExchange(|x: &Exchange| xs.push(x.clone())),
+            ),
         )?;
         Ok((jframes, xs, report))
     }
@@ -691,6 +674,57 @@ mod tests {
         assert!(jframes.iter().any(|j| j.ts == window + 1));
     }
 
+    /// One observer sees every stream the pipeline emits, with `on_flows`
+    /// firing exactly once at the end — the contract every analysis (and
+    /// the analysis `Suite`) builds on.
+    #[test]
+    fn observer_sees_every_stream_once() {
+        #[derive(Default)]
+        struct Probe {
+            jframes: u64,
+            attempts: u64,
+            exchanges: u64,
+            flows_calls: u64,
+            flows_after_streams: bool,
+        }
+        impl crate::observer::PipelineObserver for Probe {
+            fn on_jframe(&mut self, _jf: &JFrame) {
+                self.jframes += 1;
+            }
+            fn on_attempt(&mut self, _a: &Attempt) {
+                self.attempts += 1;
+            }
+            fn on_exchange(&mut self, _x: &Exchange) {
+                self.exchanges += 1;
+            }
+            fn on_flows(&mut self, _flows: &[crate::transport::flow::FlowRecord]) {
+                self.flows_calls += 1;
+                self.flows_after_streams = self.jframes > 0;
+            }
+        }
+
+        let streams = vec![
+            MemoryStream::new(
+                meta(0, 0),
+                (0..40u64)
+                    .map(|k| ev(0, 1_000 + k * 2_000, frame_bytes(k as u16)))
+                    .collect(),
+            ),
+            MemoryStream::new(meta(1, 0), vec![ev(1, 1_002, frame_bytes(0))]),
+        ];
+        let mut probe = Probe::default();
+        let report = Pipeline::run(streams, &PipelineConfig::default(), &mut probe).unwrap();
+        assert_eq!(probe.jframes, report.merge.jframes_out);
+        assert_eq!(probe.attempts, report.link.attempts);
+        assert_eq!(probe.exchanges, report.link.exchanges);
+        assert_eq!(probe.flows_calls, 1, "on_flows must fire exactly once");
+        assert!(
+            probe.flows_after_streams,
+            "on_flows fires after the streams"
+        );
+        assert!(probe.jframes > 0 && probe.attempts > 0 && probe.exchanges > 0);
+    }
+
     /// Serial and parallel drivers agree end to end (jframes, exchanges,
     /// and the figures derived from them all hang off these sinks).
     #[test]
@@ -729,10 +763,19 @@ mod tests {
             ..PipelineConfig::default()
         };
         let mut serial = Vec::new();
-        let rs = Pipeline::run(mk_streams(), &cfg, |jf| serial.push(jf.clone()), |_| {}).unwrap();
+        let rs = Pipeline::run(
+            mk_streams(),
+            &cfg,
+            OnJFrame(|jf: &JFrame| serial.push(jf.clone())),
+        )
+        .unwrap();
         let mut par = Vec::new();
-        let rp =
-            Pipeline::run_parallel(mk_streams(), &cfg, |jf| par.push(jf.clone()), |_| {}).unwrap();
+        let rp = Pipeline::run_parallel(
+            mk_streams(),
+            &cfg,
+            OnJFrame(|jf: &JFrame| par.push(jf.clone())),
+        )
+        .unwrap();
         assert_eq!(serial.len(), par.len());
         assert_eq!(rs.merge.events_in, rp.merge.events_in);
         assert_eq!(rs.merge.jframes_out, rp.merge.jframes_out);

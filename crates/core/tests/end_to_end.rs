@@ -175,12 +175,11 @@ fn jframe_stream_is_time_ordered() {
     Pipeline::run(
         out.memory_streams(),
         &PipelineConfig::default(),
-        |jf| {
+        jigsaw_core::observer::OnJFrame(|jf: &jigsaw_core::JFrame| {
             assert!(jf.ts >= last, "jframe stream out of order");
             last = jf.ts;
             count += 1;
-        },
-        |_| {},
+        }),
     )
     .unwrap();
     assert!(count > 100);

@@ -9,7 +9,6 @@
 use jigsaw::analysis::interference::InterferenceAnalysis;
 use jigsaw::core::pipeline::{Pipeline, PipelineConfig};
 use jigsaw::sim::scenario::ScenarioConfig;
-use std::cell::RefCell;
 
 fn main() {
     let seed = std::env::args()
@@ -31,18 +30,19 @@ fn main() {
         out.stats.noise_bursts
     );
 
-    let analysis = RefCell::new(InterferenceAnalysis::new());
-    analysis.borrow_mut().min_packets = 50; // smaller trace, smaller bar
-    Pipeline::run_full(
+    // The analysis subscribes to both the jframe and the attempt stream
+    // through its PipelineObserver hooks — one borrowed observer, no
+    // interior mutability.
+    let mut analysis = InterferenceAnalysis::new();
+    analysis.min_packets = 50; // smaller trace, smaller bar
+    Pipeline::run(
         out.memory_streams(),
         &PipelineConfig::default(),
-        |jf| analysis.borrow_mut().observe_jframe(jf),
-        |a| analysis.borrow_mut().observe_attempt(a),
-        |_| {},
+        &mut analysis,
     )
     .expect("pipeline");
 
-    let mut fig = analysis.into_inner().finish();
+    let fig = analysis.finish();
     println!("\n{}", fig.render());
     println!("top interfered pairs:");
     for p in fig.pairs.iter().rev().take(8) {

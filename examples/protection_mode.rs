@@ -33,8 +33,7 @@ fn main() {
     Pipeline::run(
         out.memory_streams(),
         &PipelineConfig::default(),
-        |jf| analysis.observe(jf),
-        |_| {},
+        &mut analysis,
     )
     .expect("pipeline");
     let fig = analysis.finish();

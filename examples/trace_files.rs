@@ -61,8 +61,7 @@ fn main() -> std::io::Result<()> {
         let reader = TraceReader::open(BufReader::new(File::open(&path)?)).expect("open");
         streams.push(ReaderStream::new(reader));
     }
-    let report =
-        Pipeline::run(streams, &PipelineConfig::default(), |_| {}, |_| {}).expect("pipeline");
+    let report = Pipeline::run(streams, &PipelineConfig::default(), ()).expect("pipeline");
     println!(
         "pipeline from disk: {} events -> {} jframes, {} exchanges, {} TCP flows",
         report.merge.events_in,

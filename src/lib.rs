@@ -17,8 +17,12 @@
 //!   UCSD CSE deployment (39 pods / 156 radios / 44 APs / diurnal clients);
 //! * [`core`] — the paper's contribution: bootstrap synchronization,
 //!   continuous clock management, frame unification, link-layer and
-//!   transport-layer reconstruction, plus baseline mergers;
-//! * [`analysis`] — every table and figure of the paper's evaluation.
+//!   transport-layer reconstruction, plus baseline mergers; every driver
+//!   takes one [`core::observer::PipelineObserver`] with default-no-op
+//!   hooks for jframes, attempts, exchanges, and flows;
+//! * [`analysis`] — every table and figure of the paper's evaluation,
+//!   each an [`analysis::Analyzer`] (observer → [`analysis::Figure`]),
+//!   with [`analysis::Suite`] fanning one streaming pass to all of them.
 //!
 //! ## Quickstart
 //!
@@ -35,8 +39,29 @@
 //! assert!(!exchanges.is_empty());
 //! ```
 //!
+//! Analyses subscribe to the pipeline's streams through one observer —
+//! several at once via a tuple, or a whole registered [`analysis::Suite`]:
+//!
+//! ```
+//! use jigsaw::analysis::dispersion::DispersionAnalysis;
+//! use jigsaw::analysis::suite::Suite;
+//! use jigsaw::core::pipeline::{Pipeline, PipelineConfig};
+//!
+//! let out = jigsaw::sim::scenario::ScenarioConfig::tiny(42).run();
+//! let mut suite = Suite::new().register(DispersionAnalysis::new());
+//! Pipeline::run(out.memory_streams(), &PipelineConfig::default(), &mut suite).unwrap();
+//! for figure in suite.finish() {
+//!     println!("{}\n{}", figure.title(), figure.render());
+//!     for (key, value) in figure.records() {
+//!         println!("record {}.{key} {value}", figure.name());
+//!     }
+//! }
+//! ```
+//!
 //! The same pipeline runs from disk with window-bounded memory — record a
-//! corpus (one compressed, indexed trace per radio) and stream it back:
+//! corpus (one compressed, indexed trace per radio), stream it back, and
+//! feed any observer (`repro analyze --corpus <dir>` streams the entire
+//! figure suite this way, with no `Vec<JFrame>` ever materialized):
 //!
 //! ```no_run
 //! use jigsaw::core::pipeline::{CorpusSource, Pipeline, PipelineConfig};
@@ -58,8 +83,11 @@
 //!     .into_iter()
 //!     .map(CorpusSource)
 //!     .collect();
-//! let (_, stats) = Pipeline::merge_only(sources, &PipelineConfig::default(), |_jf| {})?;
-//! assert_eq!(stats.events_in, corpus.total_events());
+//! // Any observer plugs in here — a Suite streams every paper figure.
+//! let mut suite = jigsaw::analysis::Suite::new()
+//!     .register(jigsaw::analysis::dispersion::DispersionAnalysis::new());
+//! let report = Pipeline::run(sources, &PipelineConfig::default(), &mut suite)?;
+//! assert_eq!(report.merge.events_in, corpus.total_events());
 //! # Ok(())
 //! # }
 //! ```

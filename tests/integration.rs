@@ -5,7 +5,7 @@
 use jigsaw::analysis::coverage::{pods_subset, radios_of_pods, CoverageAnalysis};
 use jigsaw::analysis::dispersion::DispersionAnalysis;
 use jigsaw::analysis::summary::SummaryBuilder;
-use jigsaw::analysis::tcploss::tcp_loss_figure;
+use jigsaw::analysis::tcploss::TcpLossAnalysis;
 use jigsaw::core::pipeline::{Pipeline, PipelineConfig};
 use jigsaw::sim::scenario::ScenarioConfig;
 use jigsaw::trace::format::{TraceReader, TraceWriter};
@@ -27,13 +27,7 @@ fn disk_roundtrip_preserves_pipeline_results() {
     // memory or from jigdump-format bytes.
     let out = ScenarioConfig::tiny(5).run();
 
-    let mem_report = Pipeline::run(
-        out.memory_streams(),
-        &PipelineConfig::default(),
-        |_| {},
-        |_| {},
-    )
-    .unwrap();
+    let mem_report = Pipeline::run(out.memory_streams(), &PipelineConfig::default(), ()).unwrap();
 
     let mut disk_streams = Vec::new();
     for (r, events) in out.traces.iter().enumerate() {
@@ -46,8 +40,7 @@ fn disk_roundtrip_preserves_pipeline_results() {
             TraceReader::open(std::io::Cursor::new(bytes)).unwrap(),
         ));
     }
-    let disk_report =
-        Pipeline::run(disk_streams, &PipelineConfig::default(), |_| {}, |_| {}).unwrap();
+    let disk_report = Pipeline::run(disk_streams, &PipelineConfig::default(), ()).unwrap();
 
     assert_eq!(mem_report.merge.events_in, disk_report.merge.events_in);
     assert_eq!(mem_report.merge.jframes_out, disk_report.merge.jframes_out);
@@ -61,24 +54,22 @@ fn disk_roundtrip_preserves_pipeline_results() {
 #[test]
 fn analyses_compose_over_one_pass() {
     let out = ScenarioConfig::small(9).run();
-    let mut summary = SummaryBuilder::new();
+    let mut summary = SummaryBuilder::new(out.radio_meta.len());
     let mut dispersion = DispersionAnalysis::new();
     let ap_addrs: Vec<_> = out.stations.iter().map(|s| s.addr).collect();
     let lookup = move |sid: u16| ap_addrs[usize::from(sid)];
     let mut coverage = CoverageAnalysis::new(&out.wired, &lookup, 10_000_000);
+    let mut tcploss = TcpLossAnalysis::new();
 
-    let report = Pipeline::run(
+    // One observer tuple, one streaming pass, four analyses.
+    Pipeline::run(
         out.memory_streams(),
         &PipelineConfig::default(),
-        |jf| {
-            summary.observe(jf);
-            dispersion.observe(jf);
-        },
-        |x| coverage.observe_exchange(x),
+        (&mut summary, &mut dispersion, &mut coverage, &mut tcploss),
     )
     .unwrap();
 
-    let table = summary.finish(&report, out.radio_meta.len());
+    let table = summary.finish();
     assert_eq!(table.events_total, out.total_events());
     assert!(table.events_per_jframe > 1.0);
 
@@ -94,7 +85,7 @@ fn analyses_compose_over_one_pass() {
     assert!(fig6.packets > 100);
     assert!(fig6.overall > 0.8, "coverage {}", fig6.overall);
 
-    let mut fig11 = tcp_loss_figure(&report.flows);
+    let fig11 = tcploss.finish();
     assert!(fig11.flows > 0);
     assert!(fig11.loss_cdf.quantile(0.5).unwrap_or(1.0) < 0.2);
 }
@@ -118,13 +109,7 @@ fn pod_reduction_degrades_client_coverage_monotonically() {
         let ap_addrs = ap_addrs.clone();
         let lookup = move |sid: u16| ap_addrs[usize::from(sid)];
         let mut coverage = CoverageAnalysis::new(&out.wired, &lookup, 10_000_000);
-        Pipeline::run(
-            streams,
-            &PipelineConfig::default(),
-            |_| {},
-            |x| coverage.observe_exchange(x),
-        )
-        .unwrap();
+        Pipeline::run(streams, &PipelineConfig::default(), &mut coverage).unwrap();
         coverages.push(coverage.finish().client_coverage);
     }
     // The paper's Figure 7: fewer pods, less client coverage.
@@ -147,13 +132,7 @@ fn merge_runs_faster_than_real_time() {
     cfg.day_us = 20_000_000;
     let out = cfg.run();
     let t0 = std::time::Instant::now();
-    let report = Pipeline::run(
-        out.memory_streams(),
-        &PipelineConfig::default(),
-        |_| {},
-        |_| {},
-    )
-    .unwrap();
+    let report = Pipeline::run(out.memory_streams(), &PipelineConfig::default(), ()).unwrap();
     let elapsed = t0.elapsed().as_secs_f64();
     let simulated = out.duration_us as f64 / 1e6;
     assert!(report.merge.jframes_out > 0);
