@@ -7,9 +7,9 @@
 //!        link-stats|coverage-oracle|ablations|baselines|
 //!        bench-merge [--out F]|
 //!        record --corpus DIR [--scenario NAME] [--block-bytes N] [--snaplen N]|
-//!        merge --corpus DIR [--verify] [--max-buffered N]|
-//!        analyze --corpus DIR|
-//!        bench-stream [--corpus DIR] [--out F]]
+//!        merge --corpus DIR [--from US --to US] [--verify] [--max-buffered N]|
+//!        analyze --corpus DIR [--from US --to US]|
+//!        bench-stream [--corpus DIR] [--from US --to US] [--out F]]
 //! ```
 //!
 //! `smoke` is the CI entry point: a seconds-long `ScenarioConfig::tiny`
@@ -36,10 +36,22 @@
 //!   channel-sharded merge) in one bounded-memory pass — no `Vec<JFrame>`
 //!   is ever materialized. Every figure renders, followed by stable
 //!   machine-readable `record <figure>.<key> <value>` lines. The wired
-//!   distribution-network trace Figure 6 compares against is a separate
-//!   dataset the corpus does not store, so it is re-derived by
-//!   re-simulating the manifest scenario (the radio traces themselves
-//!   stream from disk).
+//!   distribution-network trace Figure 6 compares against is stored in the
+//!   corpus (`wired.jigw`), so nothing is re-simulated — the whole suite
+//!   runs from disk alone.
+//!
+//! `merge`, `analyze`, and `bench-stream` accept a **replay window**:
+//! `--from US --to US` (anchor-universal µs, half-open `[from, to)`)
+//! restricts the run to that interval of the corpus — reads index-seek to
+//! the window, the clock bootstrap re-anchors at its warm-up start, and
+//! disk bytes scale with the window, not the corpus (the paper's "start at
+//! 11 am without decompressing the morning"). `repro` rejects `--from ≥
+//! --to` and windows that miss the corpus's recorded span outright. A
+//! windowed `merge --verify` replays the *full* corpus clipped to the same
+//! window and asserts both runs unified identically (per-channel
+//! count + clock-invariant digest — merged timestamps agree only to the
+//! documented re-anchor tolerance, so the byte-exact comparison is on
+//! capture-side fields).
 //!
 //! `--parallel` switches the single-trace figures onto
 //! `Pipeline::run_parallel` (`--threads` caps the shard threads).
@@ -62,7 +74,7 @@ use jigsaw_analysis::suite::{record_lines, Figure};
 use jigsaw_analysis::summary::SummaryBuilder;
 use jigsaw_analysis::tcploss::TcpLossAnalysis;
 use jigsaw_bench::{
-    figure_suite, minute_bin_us, paper_scenario, practical_minute_us, subset_streams, MergeBench,
+    minute_bin_us, paper_scenario, practical_minute_us, subset_streams, MergeBench,
 };
 use jigsaw_core::baseline::{naive_merge, yeo_merge};
 use jigsaw_core::observer::{OnExchange, OnJFrame};
@@ -72,6 +84,7 @@ use jigsaw_core::unify::MergeConfig;
 use jigsaw_core::JFrame;
 use jigsaw_sim::output::SimOutput;
 use jigsaw_sim::scenario::TruthConfig;
+use jigsaw_trace::TimeWindow;
 use std::time::Instant;
 
 #[derive(Clone)]
@@ -97,6 +110,11 @@ struct Args {
     /// `merge`: fail if peak merger residency exceeds this many events
     /// (0 = no limit).
     max_buffered: u64,
+    /// Replay window start, anchor-universal µs (`merge`/`analyze`/
+    /// `bench-stream`).
+    from: Option<u64>,
+    /// Replay window end (exclusive), anchor-universal µs.
+    to: Option<u64>,
     cmd: String,
 }
 
@@ -113,6 +131,8 @@ fn parse_args() -> Args {
         snaplen: 65_535,
         verify: false,
         max_buffered: 0,
+        from: None,
+        to: None,
         cmd: String::from("all"),
     };
     let mut it = std::env::args().skip(1);
@@ -143,6 +163,20 @@ fn parse_args() -> Args {
                     .unwrap_or(args.snaplen)
             }
             "--verify" => args.verify = true,
+            "--from" | "--to" => {
+                // Window bounds gate correctness checks in CI: a value that
+                // doesn't parse must not silently mean "no bound".
+                let v = it.next().unwrap_or_default();
+                let parsed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("{a}: expected a timestamp in universal µs, got `{v}`");
+                    std::process::exit(2);
+                });
+                if a == "--from" {
+                    args.from = Some(parsed);
+                } else {
+                    args.to = Some(parsed);
+                }
+            }
             "--max-buffered" => {
                 // This flag is a pass/fail gate (CI relies on it): a value
                 // that doesn't parse must not silently mean "no limit".
@@ -635,6 +669,42 @@ fn corpus_dir(args: &Args) -> std::path::PathBuf {
     }
 }
 
+/// The validated replay window, or `None` when no `--from`/`--to` was
+/// given. Rejects half-specified windows, `from ≥ to`, and windows that
+/// miss the corpus's recorded span — every one of these would otherwise be
+/// an empty run that *looks* like a clean result.
+fn replay_window(args: &Args, corpus: &jigsaw_trace::corpus::Corpus) -> Option<TimeWindow> {
+    let window = match (args.from, args.to) {
+        (None, None) => return None,
+        (Some(from), Some(to)) => TimeWindow::new(from, to).unwrap_or_else(|| {
+            eprintln!(
+                "{}: --from {from} must be strictly below --to {to}",
+                args.cmd
+            );
+            std::process::exit(2);
+        }),
+        _ => {
+            eprintln!("{}: --from and --to must be given together", args.cmd);
+            std::process::exit(2);
+        }
+    };
+    let span = corpus.universal_span().expect("read corpus indexes");
+    match span {
+        Some((lo, hi)) if window.overlaps(lo, hi) => Some(window),
+        Some((lo, hi)) => {
+            eprintln!(
+                "{}: window {window} lies outside the corpus span [{lo}, {hi}] (universal µs)",
+                args.cmd
+            );
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("{}: corpus records no events, nothing to window", args.cmd);
+            std::process::exit(2);
+        }
+    }
+}
+
 /// `record`: simulate a scenario and persist it as an on-disk corpus.
 fn run_record(args: &Args) {
     banner("RECORD — simulate and persist a trace corpus");
@@ -706,9 +776,52 @@ fn stream_merge_corpus(
     )
 }
 
+/// Streams a corpus through the merge restricted to a replay window:
+/// index-seeked windowed sources, mid-trace clock bootstrap, emission
+/// clipped to `[from, to)`. The window comes from `cfg.window` — the one
+/// place it lives, so sources and emission clipping cannot disagree.
+/// Returns `(events_in, digest, peak_buffered, disk_bytes_in, elapsed)`.
+fn stream_merge_corpus_windowed(
+    corpus: &jigsaw_trace::corpus::Corpus,
+    cfg: &PipelineConfig,
+    parallel: bool,
+) -> (
+    u64,
+    jigsaw_bench::WindowedStreamDigest,
+    u64,
+    u64,
+    std::time::Duration,
+) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let window = cfg.window.expect("windowed merge requires cfg.window");
+    let counter = std::sync::Arc::new(AtomicU64::new(0));
+    let sources =
+        jigsaw_bench::corpus_sources_windowed(corpus, std::sync::Arc::clone(&counter), window)
+            .expect("open corpus");
+    let mut digest = jigsaw_bench::WindowedStreamDigest::new();
+    let t0 = Instant::now();
+    let (_, stats) = if parallel {
+        Pipeline::merge_only_parallel(sources, cfg, OnJFrame(|jf: &JFrame| digest.observe(jf)))
+            .expect("merge")
+    } else {
+        Pipeline::merge_only(sources, cfg, OnJFrame(|jf: &JFrame| digest.observe(jf)))
+            .expect("merge")
+    };
+    (
+        stats.events_in,
+        digest,
+        stats.peak_buffered,
+        counter.load(Ordering::Relaxed),
+        t0.elapsed(),
+    )
+}
+
 /// `merge --corpus`: stream a recorded corpus through the pipeline with
 /// window-bounded memory; `--verify` asserts the disk-backed jframe stream
 /// is identical to in-memory serial AND sharded runs at the manifest seed.
+/// With `--from/--to` the merge is a windowed replay, and `--verify`
+/// instead asserts it unified exactly what the full replay clipped to the
+/// same window unifies (per-channel count + clock-invariant digest).
 fn run_corpus_merge(args: &Args) {
     banner("MERGE — stream an on-disk corpus through unification");
     let dir = corpus_dir(args);
@@ -728,6 +841,9 @@ fn run_corpus_merge(args: &Args) {
         corpus.verify_digest().expect("digest check"),
         "corpus files do not match their recorded digest (corrupt or tampered)"
     );
+    if let Some(window) = replay_window(args, &corpus) {
+        return run_windowed_merge(args, &corpus, window);
+    }
 
     let cfg = pipeline_config(args);
     let (events, digest, peak, bytes_in, elapsed) =
@@ -812,6 +928,78 @@ fn run_corpus_merge(args: &Args) {
     }
 }
 
+/// The windowed leg of `merge --corpus --from --to`: seek-bounded replay of
+/// `[from, to)`, with `--verify` comparing against the full corpus replay
+/// clipped to the same window.
+fn run_windowed_merge(args: &Args, corpus: &jigsaw_trace::corpus::Corpus, window: TimeWindow) {
+    let mut cfg = pipeline_config(args);
+    cfg.window = Some(window);
+    let (events, digest, peak, bytes_in, elapsed) =
+        stream_merge_corpus_windowed(corpus, &cfg, args.parallel);
+    let driver = if args.parallel { "sharded" } else { "serial" };
+    let total_bytes = corpus.data_bytes().unwrap_or(0);
+    println!(
+        "window {window}: merged {events} events -> {} in-window jframes in {elapsed:.1?} ({driver}, {:.0} events/s)",
+        digest.count(),
+        events as f64 / elapsed.as_secs_f64().max(1e-12)
+    );
+    println!(
+        "window digest {}  peak buffered {peak} events  disk bytes in {bytes_in} (corpus holds {total_bytes})",
+        digest.hex()
+    );
+    assert!(
+        events <= corpus.total_events(),
+        "windowed merge read more events than the corpus holds"
+    );
+    if args.max_buffered > 0 && peak > args.max_buffered {
+        eprintln!(
+            "FAIL: peak buffered {peak} events exceeds --max-buffered {} — \
+             streaming memory is no longer bounded by the window",
+            args.max_buffered
+        );
+        std::process::exit(1);
+    }
+
+    if args.verify {
+        // The reference: the FULL corpus replayed from t = 0, with only
+        // emission clipped to the window. Equality is on the per-channel
+        // clock-invariant digest — the windowed-replay contract (merged
+        // timestamps agree only to the re-anchor tolerance; unification
+        // must agree exactly).
+        eprintln!("[verify] full replay clipped to {window}…");
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let sources = jigsaw_bench::corpus_sources(corpus, std::sync::Arc::clone(&counter))
+            .expect("open corpus");
+        let mut full = jigsaw_bench::WindowedStreamDigest::new();
+        Pipeline::merge_only(sources, &cfg, OnJFrame(|jf: &JFrame| full.observe(jf)))
+            .expect("clipped-full merge");
+        let full_bytes = counter.load(std::sync::atomic::Ordering::Relaxed);
+        if full.count() != digest.count() || full.hex() != digest.hex() {
+            eprintln!(
+                "FAIL: windowed replay ({} jframes, {}) != clipped-full replay ({} jframes, {})",
+                digest.count(),
+                digest.hex(),
+                full.count(),
+                full.hex()
+            );
+            std::process::exit(1);
+        }
+        if bytes_in >= full_bytes {
+            // Not fatal (a window covering the whole span legitimately
+            // reads everything), but worth shouting about in CI logs.
+            eprintln!(
+                "WARNING: windowed replay read {bytes_in} disk bytes, the full scan {full_bytes} — \
+                 the index seek saved nothing"
+            );
+        }
+        println!(
+            "verify OK: windowed == clipped-full ({} jframes, digest {}); disk bytes {bytes_in} vs full scan {full_bytes}",
+            digest.count(),
+            digest.hex()
+        );
+    }
+}
+
 /// `analyze --corpus`: stream the entire figure suite off a recorded
 /// corpus through the full pipeline — merge (serial or, with
 /// `--parallel`, channel-sharded), link and transport reconstruction, and
@@ -819,11 +1007,11 @@ fn run_corpus_merge(args: &Args) {
 /// `Vec<JFrame>` (nor attempt/exchange vector) is ever materialized: the
 /// `Suite` observes the streams as the merge emits them.
 ///
-/// The wired distribution-network trace Figure 6 compares against is a
-/// separate dataset (the paper captured it at the building's uplink); our
-/// corpus stores only the radio traces, so the wired side is re-derived by
-/// re-simulating the manifest scenario. The simulation is dropped before
-/// the merge starts — the jframe path runs entirely from disk.
+/// Everything comes from the corpus: the radio traces stream from disk,
+/// and the wired distribution-network trace Figure 6 compares against is
+/// the corpus's `wired.jigw` member — nothing is re-simulated. With
+/// `--from/--to` the whole suite runs over a windowed replay (the wired
+/// trace clips to the same `[from, to)`).
 fn run_analyze(args: &Args) {
     banner("ANALYZE — stream the figure suite off a recorded corpus");
     let dir = corpus_dir(args);
@@ -843,41 +1031,57 @@ fn run_analyze(args: &Args) {
         corpus.verify_digest().expect("digest check"),
         "corpus files do not match their recorded digest (corrupt or tampered)"
     );
+    let window = replay_window(args, &corpus);
 
-    let Some(cfg_sim) = jigsaw_bench::scenario_by_name(&m.scenario, m.seed, m.scale) else {
-        eprintln!(
-            "manifest scenario `{}` unknown to this binary — cannot derive the wired trace",
-            m.scenario
-        );
+    let (wired, ap_table) = jigsaw_bench::corpus_wired(&corpus).unwrap_or_else(|e| {
+        eprintln!("analyze: {e}");
         std::process::exit(2);
+    });
+    // A windowed analyze clips the wired side-channel to the same window
+    // (wired timestamps are wall-clock, the same timeline the window is
+    // phrased in, up to the documented NTP tolerance).
+    let wired: Vec<jigsaw_sim::wired::WiredTraceRecord> = match window {
+        Some(w) => wired.into_iter().filter(|r| w.contains(r.ts)).collect(),
+        None => wired,
     };
-    eprintln!(
-        "[analyze] re-simulating {} at seed {} for the wired side-channel…",
-        m.scenario, m.seed
-    );
-    let out = cfg_sim.run();
-    let mut suite = figure_suite(&out);
-    // From here on the pipeline runs from disk only.
-    drop(out);
+    let ap_lookup = move |sid: u16| ap_table[&sid];
+    let mut suite =
+        jigsaw_bench::figure_suite_parts(m.radios.len(), m.duration_us, &wired, &ap_lookup);
+    drop(wired);
 
-    let cfg = pipeline_config(args);
+    let mut cfg = pipeline_config(args);
+    cfg.window = window;
     let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
-    let sources = jigsaw_bench::corpus_sources(&corpus, std::sync::Arc::clone(&counter))
-        .expect("open corpus sources");
     let t0 = Instant::now();
-    let report = if args.parallel {
-        Pipeline::run_parallel(sources, &cfg, &mut suite)
+    let report = if let Some(w) = window {
+        let sources =
+            jigsaw_bench::corpus_sources_windowed(&corpus, std::sync::Arc::clone(&counter), w)
+                .expect("open corpus sources");
+        if args.parallel {
+            Pipeline::run_parallel(sources, &cfg, &mut suite)
+        } else {
+            Pipeline::run(sources, &cfg, &mut suite)
+        }
     } else {
-        Pipeline::run(sources, &cfg, &mut suite)
+        let sources = jigsaw_bench::corpus_sources(&corpus, std::sync::Arc::clone(&counter))
+            .expect("open corpus sources");
+        if args.parallel {
+            Pipeline::run_parallel(sources, &cfg, &mut suite)
+        } else {
+            Pipeline::run(sources, &cfg, &mut suite)
+        }
     }
     .expect("pipeline");
     let elapsed = t0.elapsed();
     let driver = if args.parallel { "sharded" } else { "serial" };
-    assert_eq!(
-        report.merge.events_in,
-        corpus.total_events(),
-        "analyze dropped events relative to the manifest"
-    );
+    match window {
+        Some(w) => println!("window {w}: replay restricted to the requested interval"),
+        None => assert_eq!(
+            report.merge.events_in,
+            corpus.total_events(),
+            "analyze dropped events relative to the manifest"
+        ),
+    }
     println!(
         "analyzed {} events -> {} jframes, {} exchanges, {} flows in {elapsed:.1?} ({driver}, peak buffered {} events, disk bytes in {})",
         report.merge.events_in,
@@ -947,6 +1151,23 @@ fn run_bench_stream(args: &Args) {
     assert_eq!(events, summary.events, "streaming merge dropped events");
     assert!(digest.count() > 0, "streaming merge produced no jframes");
 
+    // The seek-bounded leg: replay only [--from, --to) and record how much
+    // cheaper it is than the full scan above.
+    let window_bench = replay_window(args, &corpus).map(|w| {
+        let mut wcfg = cfg.clone();
+        wcfg.window = Some(w);
+        let (w_events, w_digest, _, w_bytes, w_elapsed) =
+            stream_merge_corpus_windowed(&corpus, &wcfg, true);
+        jigsaw_bench::WindowBench {
+            from: w.from,
+            to: w.to,
+            events: w_events,
+            jframes: w_digest.count(),
+            merge_s: w_elapsed.as_secs_f64(),
+            disk_bytes_in: w_bytes,
+        }
+    });
+
     let bench = jigsaw_bench::StreamBench {
         scenario: "paper_day".into(),
         scale: args.scale,
@@ -963,6 +1184,7 @@ fn run_bench_stream(args: &Args) {
         disk_bytes_in: bytes_in,
         peak_buffered_events: peak,
         digest: digest.hex(),
+        window: window_bench,
     };
     println!(
         "events {}  jframes {}  record {:.3}s ({:.1} MB/s out)  merge {:.3}s ({:.0} events/s, {:.1} MB/s in)  peak buffered {}  threads {}/{} cores",
@@ -977,6 +1199,19 @@ fn run_bench_stream(args: &Args) {
         bench.threads,
         bench.cores,
     );
+    if let Some(w) = &bench.window {
+        println!(
+            "window [{}, {}): {} events -> {} jframes in {:.3}s — {:.2}x faster than the full scan, {} of {} disk bytes read",
+            w.from,
+            w.to,
+            w.events,
+            w.jframes,
+            w.merge_s,
+            bench.seek_speedup(),
+            w.disk_bytes_in,
+            bench.disk_bytes_in,
+        );
+    }
     let path = args.out.as_deref().unwrap_or("BENCH_stream.json");
     std::fs::write(path, bench.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("wrote {path}");

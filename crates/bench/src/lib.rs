@@ -5,14 +5,20 @@
 //! figure of the paper's evaluation. Criterion benchmarks (merge
 //! throughput, scaling, baselines) live under `benches/`.
 
-use jigsaw_core::pipeline::{CorpusSource, Pipeline, PipelineConfig, PipelineReport};
+use jigsaw_core::pipeline::{
+    CorpusSource, Pipeline, PipelineConfig, PipelineReport, WindowedCorpusSource,
+};
 use jigsaw_core::shard::ShardConfig;
 use jigsaw_core::unify::MergeStats;
 use jigsaw_core::JFrame;
+use jigsaw_ieee80211::MacAddr;
 use jigsaw_sim::output::SimOutput;
 use jigsaw_sim::scenario::ScenarioConfig;
+use jigsaw_sim::wired::WiredTraceRecord;
 use jigsaw_trace::corpus::{Corpus, CorpusError, CorpusSummary, CorpusWriter};
 use jigsaw_trace::digest::Fnv64;
+use jigsaw_trace::TimeWindow;
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
@@ -56,17 +62,32 @@ pub fn practical_minute_us(day_us: u64) -> u64 {
 /// built here from the wired trace — so callers may drop the simulation
 /// and stream the pipeline from an on-disk corpus instead.
 pub fn figure_suite(out: &SimOutput) -> jigsaw_analysis::Suite {
-    let day = out.duration_us;
-    let params = jigsaw_analysis::PaperParams {
-        radios: out.radio_meta.len(),
-        origin: 0,
-        bin_us: minute_bin_us(day) * 60,
-        practical_timeout_us: practical_minute_us(day),
-    };
-    let ap_addrs: Vec<jigsaw_ieee80211::MacAddr> = out.stations.iter().map(|s| s.addr).collect();
+    let ap_addrs: Vec<MacAddr> = out.stations.iter().map(|s| s.addr).collect();
     let ap_lookup = move |sid: u16| ap_addrs[usize::from(sid)];
-    let coverage =
-        jigsaw_analysis::coverage::CoverageAnalysis::new(&out.wired, &ap_lookup, 10_000_000);
+    figure_suite_parts(
+        out.radio_meta.len(),
+        out.duration_us,
+        &out.wired,
+        &ap_lookup,
+    )
+}
+
+/// [`figure_suite`] from its raw ingredients — what `repro analyze` builds
+/// when everything (radio count, duration, wired trace, AP table) comes
+/// from a recorded corpus instead of a live simulation.
+pub fn figure_suite_parts(
+    radios: usize,
+    duration_us: u64,
+    wired: &[WiredTraceRecord],
+    ap_addr_of: &dyn Fn(u16) -> MacAddr,
+) -> jigsaw_analysis::Suite {
+    let params = jigsaw_analysis::PaperParams {
+        radios,
+        origin: 0,
+        bin_us: minute_bin_us(duration_us) * 60,
+        practical_timeout_us: practical_minute_us(duration_us),
+    };
+    let coverage = jigsaw_analysis::coverage::CoverageAnalysis::new(wired, ap_addr_of, 10_000_000);
     jigsaw_analysis::Suite::paper(&params).register(coverage)
 }
 
@@ -82,8 +103,9 @@ pub fn scenario_by_name(name: &str, seed: u64, scale: f64) -> Option<ScenarioCon
 }
 
 /// Records a simulated world as an on-disk corpus (one compressed, indexed
-/// trace per radio plus manifest + digest). `block_bytes = 0` uses the
-/// format's default block size; smaller blocks mean a finer index.
+/// trace per radio plus the wired distribution-network member, manifest,
+/// and digest). `block_bytes = 0` uses the format's default block size;
+/// smaller blocks mean a finer index.
 pub fn record_corpus(
     out: &SimOutput,
     dir: &Path,
@@ -93,11 +115,44 @@ pub fn record_corpus(
     snaplen: u32,
     block_bytes: usize,
 ) -> Result<CorpusSummary, CorpusError> {
-    let mut w = CorpusWriter::create(dir, scenario, seed, scale, snaplen, block_bytes)?;
+    let mut w = CorpusWriter::create(
+        dir,
+        scenario,
+        seed,
+        scale,
+        snaplen,
+        out.duration_us,
+        block_bytes,
+    )?;
     for (meta, trace) in out.radio_meta.iter().zip(&out.traces) {
         w.record_radio(*meta, trace.iter())?;
     }
+    // The wired side-channel rides along so `analyze --corpus` runs the
+    // Figure 6 coverage comparison without re-simulating the scenario.
+    let ap_addrs: Vec<MacAddr> = out.stations.iter().map(|s| s.addr).collect();
+    let payload =
+        jigsaw_sim::wired::encode_wired_trace(&out.wired, &|sid| ap_addrs[usize::from(sid)]);
+    w.record_wired(out.wired.len() as u64, &payload)?;
     w.finish()
+}
+
+/// Decodes a corpus's wired member into records plus the AP id → MAC table
+/// (the Figure 6 inputs). Errors when the corpus has none — corpora
+/// recorded before the wired member existed must be re-recorded.
+pub fn corpus_wired(
+    corpus: &Corpus,
+) -> Result<
+    (
+        Vec<WiredTraceRecord>,
+        std::collections::HashMap<u16, MacAddr>,
+    ),
+    String,
+> {
+    let payload = corpus
+        .wired_payload()
+        .map_err(|e| e.to_string())?
+        .ok_or("corpus has no wired member (re-record it)")?;
+    jigsaw_sim::wired::decode_wired_trace(&payload)
 }
 
 /// Opens every radio of a corpus as a pipeline source, all feeding one
@@ -110,6 +165,23 @@ pub fn corpus_sources(
         .sources(counter)?
         .into_iter()
         .map(CorpusSource)
+        .collect())
+}
+
+/// Opens every radio of a corpus as a **windowed** pipeline source: reads
+/// index-seek to `window` (clock bootstrap re-anchored at its warm-up
+/// start), so disk bytes and merge work scale with the window, not the
+/// corpus. Pair with `PipelineConfig::window = Some(window)` so emission
+/// is clipped to `[from, to)` as well.
+pub fn corpus_sources_windowed(
+    corpus: &Corpus,
+    counter: Arc<AtomicU64>,
+    window: TimeWindow,
+) -> Result<Vec<WindowedCorpusSource>, CorpusError> {
+    Ok(corpus
+        .sources(counter)?
+        .into_iter()
+        .map(|s| WindowedCorpusSource::new(s, window))
         .collect())
 }
 
@@ -142,6 +214,55 @@ impl JframeStreamDigest {
     /// The digest as 16-char hex.
     pub fn hex(&self) -> String {
         self.hasher.hex()
+    }
+}
+
+/// A clock-invariant digest over a *windowed* jframe stream, per channel:
+/// each jframe folds in as its [`JFrame::stable_digest`] (capture-side
+/// fields only), accumulated commutatively within its channel.
+///
+/// This is the comparison object of the windowed-replay contract. A replay
+/// re-anchored mid-trace reproduces the full replay's *unification* exactly
+/// — same groups, same instances, same per-channel streams — but its
+/// universal timeline is re-derived from the NTP anchors at the window, so
+/// merged timestamps (and with them the cross-channel emission interleaving)
+/// agree only to the re-anchor tolerance. Hence the comparison that is
+/// exact, and therefore pinnable in CI: per channel, the *multiset* of
+/// clock-invariant jframe identities, plus the count. Equal hex means the
+/// windowed replay unified byte-for-byte what the clipped full replay
+/// unified.
+#[derive(Debug, Clone, Default)]
+pub struct WindowedStreamDigest {
+    channels: BTreeMap<u8, (u64, u64)>, // channel → (count, commutative sum)
+}
+
+impl WindowedStreamDigest {
+    /// An empty digest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds the next jframe of the stream.
+    pub fn observe(&mut self, jf: &JFrame) {
+        let e = self.channels.entry(jf.channel.number()).or_insert((0, 0));
+        e.0 += 1;
+        e.1 = e.1.wrapping_add(jf.stable_digest());
+    }
+
+    /// Jframes observed across all channels.
+    pub fn count(&self) -> u64 {
+        self.channels.values().map(|&(c, _)| c).sum()
+    }
+
+    /// The digest as 16-char hex (channels folded in channel order).
+    pub fn hex(&self) -> String {
+        let mut h = Fnv64::new();
+        for (chan, &(count, sum)) in &self.channels {
+            h.update(&[*chan]);
+            h.update_u64(count);
+            h.update_u64(sum);
+        }
+        h.hex()
     }
 }
 
@@ -316,6 +437,30 @@ pub struct StreamBench {
     pub peak_buffered_events: u64,
     /// Digest of the emitted jframe stream (count is `jframes`).
     pub digest: String,
+    /// The seek-bounded windowed replay of the same corpus, when
+    /// `bench-stream --from/--to` ran one.
+    pub window: Option<WindowBench>,
+}
+
+/// The windowed leg of a `bench-stream` run: the same corpus replayed
+/// through index-seeked, `[from, to)`-clipped sources, recording how much
+/// cheaper the seek-bounded replay is than the full scan.
+#[derive(Debug, Clone)]
+pub struct WindowBench {
+    /// Window start, anchor-universal µs.
+    pub from: u64,
+    /// Window end (exclusive), anchor-universal µs.
+    pub to: u64,
+    /// Events merged inside the read window (warm-up + slack included).
+    pub events: u64,
+    /// In-window jframes emitted.
+    pub jframes: u64,
+    /// Windowed merge wall-clock (seconds), mid-trace bootstrap included.
+    pub merge_s: f64,
+    /// Disk bytes read by the windowed replay — bounded by the window's
+    /// blocks, the number that makes "cost proportional to the window"
+    /// checkable.
+    pub disk_bytes_in: u64,
 }
 
 impl StreamBench {
@@ -334,9 +479,39 @@ impl StreamBench {
         self.disk_bytes_in as f64 / 1e6 / self.merge_s.max(1e-12)
     }
 
+    /// Full-scan merge time / windowed merge time — the payoff of the
+    /// index-seeked replay (1.0 when no windowed leg ran).
+    pub fn seek_speedup(&self) -> f64 {
+        match &self.window {
+            Some(w) => self.merge_s / w.merge_s.max(1e-12),
+            None => 1.0,
+        }
+    }
+
     /// Renders the record as a JSON object (no serde in the dependency
     /// set; every field is a number or a plain label).
     pub fn to_json(&self) -> String {
+        let window = match &self.window {
+            None => String::new(),
+            Some(w) => format!(
+                concat!(
+                    "  \"window_from\": {},\n",
+                    "  \"window_to\": {},\n",
+                    "  \"window_events\": {},\n",
+                    "  \"window_jframes\": {},\n",
+                    "  \"window_merge_s\": {:.6},\n",
+                    "  \"window_disk_bytes_in\": {},\n",
+                    "  \"seek_speedup\": {:.3},\n",
+                ),
+                w.from,
+                w.to,
+                w.events,
+                w.jframes,
+                w.merge_s,
+                w.disk_bytes_in,
+                self.seek_speedup(),
+            ),
+        };
         format!(
             concat!(
                 "{{\n",
@@ -354,6 +529,7 @@ impl StreamBench {
                 "  \"disk_bytes_in\": {},\n",
                 "  \"read_mb_s\": {:.3},\n",
                 "  \"events_per_s\": {:.0},\n",
+                "{}",
                 "  \"peak_buffered_events\": {},\n",
                 "  \"digest\": \"{}\"\n",
                 "}}\n"
@@ -372,6 +548,7 @@ impl StreamBench {
             self.disk_bytes_in,
             self.read_mb_s(),
             self.events_per_s(),
+            window,
             self.peak_buffered_events,
             self.digest,
         )
@@ -441,7 +618,7 @@ mod tests {
 
     #[test]
     fn stream_bench_json_shape() {
-        let b = StreamBench {
+        let mut b = StreamBench {
             scenario: "paper_day".into(),
             scale: 0.25,
             events: 1_000_000,
@@ -455,15 +632,87 @@ mod tests {
             disk_bytes_in: 52_000_000,
             peak_buffered_events: 12_345,
             digest: "0123456789abcdef".into(),
+            window: None,
         };
         assert!((b.events_per_s() - 250_000.0).abs() < 1e-6);
         assert!((b.write_mb_s() - 25.0).abs() < 1e-6);
         assert!((b.read_mb_s() - 13.0).abs() < 1e-6);
+        assert!((b.seek_speedup() - 1.0).abs() < 1e-9);
         let j = b.to_json();
         assert!(j.contains("\"events_per_s\": 250000"));
         assert!(j.contains("\"peak_buffered_events\": 12345"));
         assert!(j.contains("\"digest\": \"0123456789abcdef\""));
+        assert!(!j.contains("window_from"), "no window leg, no window keys");
         assert!(j.trim_end().ends_with('}'));
+
+        b.window = Some(WindowBench {
+            from: 10_000_000,
+            to: 20_000_000,
+            events: 120_000,
+            jframes: 48_000,
+            merge_s: 0.5,
+            disk_bytes_in: 6_500_000,
+        });
+        assert!((b.seek_speedup() - 8.0).abs() < 1e-9);
+        let j = b.to_json();
+        assert!(j.contains("\"window_from\": 10000000"));
+        assert!(j.contains("\"window_disk_bytes_in\": 6500000"));
+        assert!(j.contains("\"seek_speedup\": 8.000"));
+        assert!(j.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn windowed_stream_digest_is_order_insensitive_within_channel() {
+        use jigsaw_core::jframe::{Instance, JFrame};
+        use jigsaw_ieee80211::{Channel, PhyRate};
+        use jigsaw_trace::{PhyStatus, RadioId};
+        let jf = |ts: u64, chan: u8, fill: u8| JFrame {
+            ts,
+            bytes: vec![fill; 20],
+            wire_len: 20,
+            rate: PhyRate::R11,
+            channel: Channel::of(chan),
+            instances: vec![Instance {
+                radio: RadioId(0),
+                ts_local: ts + 7,
+                ts_universal: ts,
+                rssi_dbm: -50,
+                status: PhyStatus::Ok,
+            }],
+            dispersion: 0,
+            valid: true,
+            unique: true,
+        };
+        let frames = [jf(1, 1, 1), jf(2, 6, 2), jf(3, 1, 3)];
+        let mut fwd = WindowedStreamDigest::new();
+        frames.iter().for_each(|f| fwd.observe(f));
+        // Same multiset, different interleaving: equal digests.
+        let mut rev = WindowedStreamDigest::new();
+        frames.iter().rev().for_each(|f| rev.observe(f));
+        assert_eq!(fwd.count(), 3);
+        assert_eq!(fwd.hex(), rev.hex());
+        // Clock-derived fields do not move it...
+        let mut shifted = WindowedStreamDigest::new();
+        for f in &frames {
+            let mut f = f.clone();
+            f.ts += 1_000;
+            f.instances[0].ts_universal += 1_000;
+            shifted.observe(&f);
+        }
+        assert_eq!(fwd.hex(), shifted.hex());
+        // ...but content, channel, and count do.
+        let mut dropped = WindowedStreamDigest::new();
+        frames.iter().take(2).for_each(|f| dropped.observe(f));
+        assert_ne!(fwd.hex(), dropped.hex());
+        let mut moved = WindowedStreamDigest::new();
+        for (i, f) in frames.iter().enumerate() {
+            let mut f = f.clone();
+            if i == 0 {
+                f.channel = Channel::of(11);
+            }
+            moved.observe(&f);
+        }
+        assert_ne!(fwd.hex(), moved.hex());
     }
 
     #[test]

@@ -14,7 +14,8 @@ use jigsaw_analysis::suite::Figure;
 use jigsaw_analysis::summary::SummaryBuilder;
 use jigsaw_analysis::tcploss::TcpLossAnalysis;
 use jigsaw_bench::{
-    corpus_sources, figure_suite, minute_bin_us, practical_minute_us, record_corpus,
+    corpus_sources, corpus_wired, figure_suite_parts, minute_bin_us, practical_minute_us,
+    record_corpus,
 };
 use jigsaw_core::pipeline::{Pipeline, PipelineConfig};
 use jigsaw_core::shard::ShardConfig;
@@ -86,8 +87,16 @@ fn suite_over_corpus_matches_hand_wired_memory_run() {
         output_of(&coverage.finish()),
     ];
 
-    // --- Suite runs streaming off the disk corpus, both drivers. ---
+    // --- Suite runs streaming off the disk corpus, both drivers. The
+    // suite itself is built from the corpus alone (duration from the
+    // manifest, wired trace + AP table decoded from `wired.jigw`), exactly
+    // as `repro analyze` builds it — so this also pins the wired member's
+    // roundtrip fidelity: Figure 6 must come out identical whether the
+    // wired trace was held in memory or read back from the corpus. ---
     let corpus = Corpus::open(&dir).unwrap();
+    assert_eq!(corpus.manifest().duration_us, out.duration_us);
+    let (disk_wired, ap_table) = corpus_wired(&corpus).unwrap();
+    assert_eq!(disk_wired.len(), out.wired.len());
     let par_cfg = PipelineConfig {
         shard: ShardConfig {
             max_threads: jigsaw_trace::stream::distinct_channels(&out.radio_meta)
@@ -99,7 +108,13 @@ fn suite_over_corpus_matches_hand_wired_memory_run() {
     };
     let run_disk = |parallel: bool| -> Vec<FigureOutput> {
         let sources = corpus_sources(&corpus, Arc::new(AtomicU64::new(0))).unwrap();
-        let mut suite = figure_suite(&out);
+        let disk_ap_lookup = |sid: u16| ap_table[&sid];
+        let mut suite = figure_suite_parts(
+            corpus.manifest().radios.len(),
+            corpus.manifest().duration_us,
+            &disk_wired,
+            &disk_ap_lookup,
+        );
         let report = if parallel {
             Pipeline::run_parallel(sources, &par_cfg, &mut suite)
         } else {

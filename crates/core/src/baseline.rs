@@ -141,8 +141,8 @@ pub fn yeo_merge<S: EventStream>(
         resync_enabled: false,
         ..merge_cfg.clone()
     };
-    let (streams, seeds) = set.into_merge_input();
-    let mut merger = Merger::new(streams, &boot.offsets, cfg);
+    let (streams, seeds, refs) = set.into_merge_input();
+    let mut merger = Merger::new_at(streams, &boot.offsets, &refs, cfg);
     for (r, seed) in seeds.into_iter().enumerate() {
         merger.seed_pending(r, seed);
     }

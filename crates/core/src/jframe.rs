@@ -121,6 +121,43 @@ impl JFrame {
             h.update(&[i.status.code()]);
         }
     }
+
+    /// The jframe's *clock-invariant* identity: a digest over everything
+    /// the capture hardware recorded — channel, contents, wire length,
+    /// rate, validity, and each instance's (radio, local timestamp, RSSI,
+    /// status) — and nothing derived from merge-time clock state (`ts`,
+    /// `ts_universal`, `dispersion` are all excluded).
+    ///
+    /// This is the identity the windowed-replay contract compares on: a
+    /// replay re-anchored mid-trace reconstructs the same *groupings* as a
+    /// full replay, but its universal timeline is re-derived from the NTP
+    /// anchors at the window and so agrees with the full run's only to the
+    /// re-anchor tolerance (NTP error + drift). Equal `stable_digest`
+    /// multisets mean the two replays unified identically.
+    ///
+    /// Instances fold in canonical `(radio, ts_local)` order, not vector
+    /// order: within a jframe, instances sit in merged-universal-time
+    /// order, and two instances a microsecond apart can legitimately swap
+    /// when the timeline is re-derived.
+    pub fn stable_digest(&self) -> u64 {
+        let mut h = jigsaw_trace::digest::Fnv64::new();
+        h.update(&[self.channel.number(), self.valid as u8, self.unique as u8]);
+        h.update_u64(u64::from(self.wire_len));
+        h.update_u64(u64::from(self.rate.centi_mbps()));
+        h.update_u64(self.bytes.len() as u64);
+        h.update(&self.bytes);
+        h.update_u64(self.instances.len() as u64);
+        let mut order: Vec<usize> = (0..self.instances.len()).collect();
+        order.sort_by_key(|&k| (self.instances[k].radio, self.instances[k].ts_local));
+        for k in order {
+            let i = &self.instances[k];
+            h.update_u64(u64::from(i.radio.0));
+            h.update_u64(i.ts_local);
+            h.update_u64(i.rssi_dbm as u64);
+            h.update(&[i.status.code()]);
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +239,48 @@ mod tests {
         ts.digest_into(&mut ba);
         base.digest_into(&mut ba);
         assert_ne!(ab.finish(), ba.finish());
+    }
+
+    #[test]
+    fn stable_digest_ignores_clock_state_only() {
+        let mut base = jf(vec![1, 2, 3], 3, true);
+        base.instances.push(Instance {
+            radio: RadioId(4),
+            ts_local: 9,
+            ts_universal: 1001,
+            rssi_dbm: -40,
+            status: PhyStatus::Ok,
+        });
+        let d = base.stable_digest();
+        // Clock-derived fields do not move the stable digest...
+        let mut clocky = base.clone();
+        clocky.ts += 5;
+        clocky.dispersion += 2;
+        clocky.instances[0].ts_universal += 5;
+        assert_eq!(d, clocky.stable_digest());
+        // ...nor does in-frame instance order (it is universal-time order,
+        // which a re-derived timeline may legitimately permute).
+        let mut second = base.clone();
+        second.instances.push(Instance {
+            radio: RadioId(2),
+            ts_local: 8,
+            ts_universal: 1000,
+            rssi_dbm: -45,
+            status: PhyStatus::Ok,
+        });
+        let mut swapped = second.clone();
+        swapped.instances.swap(0, 1);
+        assert_eq!(second.stable_digest(), swapped.stable_digest());
+        // ...but every capture-side field does.
+        let mut content = base.clone();
+        content.bytes[0] ^= 1;
+        assert_ne!(d, content.stable_digest());
+        let mut local = base.clone();
+        local.instances[0].ts_local += 1;
+        assert_ne!(d, local.stable_digest());
+        let mut chan = base.clone();
+        chan.channel = Channel::of(6);
+        assert_ne!(d, chan.stable_digest());
     }
 
     #[test]

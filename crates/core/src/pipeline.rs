@@ -20,6 +20,15 @@
 //! bounded by the search window, never by trace length
 //! ([`MergeStats::peak_buffered`](crate::unify::MergeStats) measures it).
 //!
+//! Replays need not start at t = 0: a [`WindowedCorpusSource`] re-anchors
+//! the clock bootstrap at any corpus timestamp (index-seeked reads, coarse
+//! NTP-anchor seed, [`bootstrap_at`] refinement) and
+//! [`PipelineConfig::window`] clips emission to the requested `[from, to)`
+//! — the paper's "start at 11 am" replay, with I/O and merge cost
+//! proportional to the window. [`WindowClipper`] documents the
+//! clock-invariant membership rule and the equivalence contract a windowed
+//! replay is pinned against.
+//!
 //! Two drivers share every stage:
 //! * [`Pipeline::run`] — the serial merger;
 //! * [`Pipeline::run_parallel`] — the channel-sharded merge
@@ -33,12 +42,13 @@ use crate::link::attempt::{Attempt, AttemptAssembler, AttemptStats};
 use crate::link::exchange::{Exchange, ExchangeAssembler, LinkStats};
 use crate::observer::{OnExchange, OnJFrame, PipelineObserver};
 use crate::shard::ShardConfig;
-use crate::sync::bootstrap::{bootstrap, BootstrapConfig, BootstrapError, BootstrapReport};
+use crate::sync::bootstrap::{bootstrap_at, BootstrapConfig, BootstrapError, BootstrapReport};
 use crate::transport::flow::{FlowRecord, TransportAnalyzer, TransportStats};
 use crate::unify::{MergeConfig, MergeStats, Merger};
+use jigsaw_ieee80211::Micros;
 use jigsaw_trace::format::FormatError;
 use jigsaw_trace::stream::EventStream;
-use jigsaw_trace::{PhyEvent, RadioMeta};
+use jigsaw_trace::{PhyEvent, RadioMeta, TimeWindow};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -51,6 +61,13 @@ pub struct PipelineConfig {
     pub merge: MergeConfig,
     /// Channel-sharding parameters (the parallel drivers only).
     pub shard: ShardConfig,
+    /// Replay window: when set, only jframes whose anchor-time key falls
+    /// in `[from, to)` reach the observer (see [`WindowClipper`] for the
+    /// clock-invariant membership rule and the equivalence contract).
+    /// Pair it with windowed sources ([`WindowedCorpusSource`]) so reads
+    /// are window-bounded too; with ordinary sources it clips a full
+    /// replay — the reference side of the windowed-equivalence check.
+    pub window: Option<TimeWindow>,
 }
 
 /// Everything the pipeline reports at the end of a run.
@@ -128,9 +145,10 @@ pub trait EventSource {
 pub struct OpenedRadio<S> {
     /// Radio metadata.
     pub meta: RadioMeta,
-    /// Events inside the bootstrap window (`ts_local ≤ anchor + window`) —
-    /// the input to offset estimation, and nothing else: one out-of-window
-    /// reference frame is enough to skew a synchronization set.
+    /// Events inside the bootstrap window
+    /// (`window_lo ≤ ts_local ≤ window_lo + window`) — the input to offset
+    /// estimation, and nothing else: one out-of-window reference frame is
+    /// enough to skew a synchronization set.
     pub window: Vec<PhyEvent>,
     /// Events consumed from the stream beyond the window (at most one for
     /// the stream impl). They must reach the merger ahead of `stream` —
@@ -139,6 +157,11 @@ pub struct OpenedRadio<S> {
     /// True when `stream` itself replays the window events (rewindable
     /// sources): the merger then must *not* be seeded with them.
     pub replay: bool,
+    /// Local time the bootstrap window starts at: the NTP anchor for a
+    /// from-the-start source, or the coarse-local image of the replay
+    /// window's read start for a windowed one. Offset estimation windows
+    /// at it, and the merger's clock EWMA references it.
+    pub window_lo: Micros,
     /// The merge stream.
     pub stream: S,
 }
@@ -163,6 +186,7 @@ impl<S: EventStream> EventSource for S {
             window,
             carry,
             replay: false,
+            window_lo: meta.anchor_local_us,
             stream: self,
         })
     }
@@ -191,8 +215,145 @@ impl EventSource for CorpusSource {
             window,
             carry: Vec::new(),
             replay: true,
+            window_lo: meta.anchor_local_us,
             stream,
         })
+    }
+}
+
+/// Left-edge warm-up: how far before `window.from` a windowed replay
+/// starts reading and merging (µs). The first [`BootstrapConfig::window_us`]
+/// of it feeds the mid-trace offset bootstrap; the rest gives continuous
+/// resynchronization time to converge onto the full-replay clock state
+/// before the first in-window jframe is emitted.
+pub const WINDOW_WARMUP_US: Micros = 2_000_000;
+
+/// Right-edge read slack (µs): how far past `window.to` each radio keeps
+/// reading, so a jframe whose earliest instance sits just inside the
+/// window still collects instances from radios whose NTP anchors disagree
+/// by milliseconds. Generous — it costs at most a couple of extra blocks
+/// per radio.
+pub const WINDOW_READ_SLACK_US: Micros = 100_000;
+
+/// A disk-corpus radio opened for a **time-windowed replay**: reads are
+/// index-seeked to the window, the mid-trace bootstrap window comes from a
+/// block-bounded read at the warm-up start, and the merge stream is
+/// clipped so nothing past the window (plus slack) is ever decoded — disk
+/// bytes are proportional to the window's blocks, not the corpus.
+///
+/// The window is phrased in anchor-universal time; each radio locates it
+/// on its own local clock through [`RadioMeta::coarse_local`] (the NTP
+/// anchor pair as the coarse seed), and [`bootstrap_at`] then refines the
+/// offsets from sync-quality frames found right there.
+pub struct WindowedCorpusSource {
+    source: jigsaw_trace::corpus::RadioTraceSource,
+    window: TimeWindow,
+    warmup_us: Micros,
+    slack_us: Micros,
+}
+
+impl WindowedCorpusSource {
+    /// Wraps a corpus radio for a `[from, to)` replay with the default
+    /// warm-up and read slack.
+    pub fn new(source: jigsaw_trace::corpus::RadioTraceSource, window: TimeWindow) -> Self {
+        Self::with_margins(source, window, WINDOW_WARMUP_US, WINDOW_READ_SLACK_US)
+    }
+
+    /// [`WindowedCorpusSource::new`] with explicit margins (tests pin edge
+    /// behavior with tight ones).
+    pub fn with_margins(
+        source: jigsaw_trace::corpus::RadioTraceSource,
+        window: TimeWindow,
+        warmup_us: Micros,
+        slack_us: Micros,
+    ) -> Self {
+        WindowedCorpusSource {
+            source,
+            window,
+            warmup_us,
+            slack_us,
+        }
+    }
+}
+
+impl EventSource for WindowedCorpusSource {
+    type Stream = jigsaw_trace::corpus::WindowedCorpusStream;
+
+    fn open(self, window_us: u64) -> Result<OpenedRadio<Self::Stream>, FormatError> {
+        let meta = self.source.meta();
+        let lo = meta.coarse_local(self.window.from.saturating_sub(self.warmup_us));
+        let hi = meta
+            .coarse_local(self.window.to)
+            .saturating_add(self.slack_us);
+        // Mid-trace bootstrap window: one `window_us` of events starting at
+        // the warm-up start, read through the block index.
+        let window = self
+            .source
+            .read_window(lo, lo.saturating_add(window_us).min(hi))?;
+        // The merge stream replays the same range from disk (bootstrap
+        // events included — `replay` tells the driver not to seed them).
+        let stream = self.source.open_stream_range(lo, hi)?;
+        Ok(OpenedRadio {
+            meta,
+            window,
+            carry: Vec::new(),
+            replay: true,
+            window_lo: lo,
+            stream,
+        })
+    }
+}
+
+/// Decides which jframes belong to a replay window.
+///
+/// Membership is keyed on **anchor time**, not merged universal time: a
+/// jframe's window key is the minimum over its instances of
+/// [`RadioMeta::anchor_universal`]`(ts_local)` — a value derived purely
+/// from captured timestamps and manifest anchors. Merged universal
+/// timestamps depend on clock state (a mid-trace bootstrap re-derives the
+/// timeline, so windowed and full replays agree on `ts` only to the
+/// re-anchor tolerance); the anchor key is identical in both, which is
+/// what makes "windowed ≡ full-clipped-to-window" an exact, pinnable
+/// equivalence on [`JFrame::stable_digest`] multisets.
+pub struct WindowClipper {
+    window: TimeWindow,
+    coarse: HashMap<u16, i64>,
+}
+
+impl WindowClipper {
+    /// Builds a clipper for `window` over the given radio set.
+    pub fn new(metas: &[RadioMeta], window: TimeWindow) -> Self {
+        WindowClipper {
+            window,
+            coarse: metas
+                .iter()
+                .map(|m| (m.radio.0, m.coarse_offset_us()))
+                .collect(),
+        }
+    }
+
+    /// The window being clipped to.
+    pub fn window(&self) -> TimeWindow {
+        self.window
+    }
+
+    /// The jframe's clock-invariant window key: the earliest instance in
+    /// anchor time (falls back to the merged `ts` for an instance-less
+    /// jframe, which the merger never emits).
+    pub fn anchor_ts(&self, jf: &JFrame) -> Micros {
+        jf.instances
+            .iter()
+            .map(|i| {
+                let off = self.coarse.get(&i.radio.0).copied().unwrap_or(0);
+                (i.ts_local as i64 - off).max(0) as Micros
+            })
+            .min()
+            .unwrap_or(jf.ts)
+    }
+
+    /// True when the jframe belongs to the window.
+    pub fn admits(&self, jf: &JFrame) -> bool {
+        self.window.contains(self.anchor_ts(jf))
     }
 }
 
@@ -202,6 +363,7 @@ pub(crate) struct SourceSet<S> {
     pub windows: Vec<Vec<PhyEvent>>,
     pub carries: Vec<Vec<PhyEvent>>,
     pub replays: Vec<bool>,
+    pub window_los: Vec<Micros>,
     pub streams: Vec<S>,
 }
 
@@ -217,6 +379,7 @@ impl<S: EventStream> SourceSet<S> {
             windows: Vec::with_capacity(n),
             carries: Vec::with_capacity(n),
             replays: Vec::with_capacity(n),
+            window_los: Vec::with_capacity(n),
             streams: Vec::with_capacity(n),
         };
         for src in sources {
@@ -225,20 +388,28 @@ impl<S: EventStream> SourceSet<S> {
             set.windows.push(opened.window);
             set.carries.push(opened.carry);
             set.replays.push(opened.replay);
+            set.window_los.push(opened.window_lo);
             set.streams.push(opened.stream);
         }
         Ok(set)
     }
 
-    /// Runs bootstrap over the in-window events only.
+    /// Runs bootstrap over the in-window events only, windowed at each
+    /// source's declared window start.
     pub fn bootstrap(&self, cfg: &BootstrapConfig) -> Result<BootstrapReport, BootstrapError> {
         let views: Vec<&[PhyEvent]> = self.windows.iter().map(|w| w.as_slice()).collect();
-        bootstrap(&self.metas, &views, cfg)
+        bootstrap_at(&self.metas, &views, &self.window_los, cfg)
     }
 
-    /// Splits into merge input: the streams plus, per radio, the events to
-    /// seed ahead of them (empty for replaying sources).
-    pub fn into_merge_input(self) -> (Vec<S>, Vec<Vec<PhyEvent>>) {
+    /// The window clipper for this radio set, when the config asks for one.
+    pub fn clipper(&self, cfg: &PipelineConfig) -> Option<WindowClipper> {
+        cfg.window.map(|w| WindowClipper::new(&self.metas, w))
+    }
+
+    /// Splits into merge input: the streams, plus per radio the events to
+    /// seed ahead of them (empty for replaying sources) and the local time
+    /// to reference the clock EWMA at.
+    pub fn into_merge_input(self) -> (Vec<S>, Vec<Vec<PhyEvent>>, Vec<Micros>) {
         let seeds = self
             .windows
             .into_iter()
@@ -254,7 +425,7 @@ impl<S: EventStream> SourceSet<S> {
                 }
             })
             .collect();
-        (self.streams, seeds)
+        (self.streams, seeds, self.window_los)
     }
 }
 
@@ -369,14 +540,19 @@ impl Pipeline {
     ) -> Result<PipelineReport, PipelineError> {
         let set = SourceSet::open(sources, cfg.bootstrap.window_us)?;
         let boot = set.bootstrap(&cfg.bootstrap)?;
+        let clip = set.clipper(cfg);
 
-        let (streams, seeds) = set.into_merge_input();
-        let mut merger = Merger::new(streams, &boot.offsets, cfg.merge.clone());
+        let (streams, seeds, refs) = set.into_merge_input();
+        let mut merger = Merger::new_at(streams, &boot.offsets, &refs, cfg.merge.clone());
         for (r, seed) in seeds.into_iter().enumerate() {
             merger.seed_pending(r, seed);
         }
         let mut ds = Downstream::new(obs);
-        let merge_stats = merger.run(|jf| ds.observe(&jf))?;
+        let merge_stats = merger.run(|jf| {
+            if clip.as_ref().is_none_or(|c| c.admits(&jf)) {
+                ds.observe(&jf);
+            }
+        })?;
         let (attempts, link, flows, transport) = ds.finish();
 
         Ok(PipelineReport {
@@ -406,16 +582,22 @@ impl Pipeline {
     {
         let set = SourceSet::open(sources, cfg.bootstrap.window_us)?;
         let boot = set.bootstrap(&cfg.bootstrap)?;
+        let clip = set.clipper(cfg);
 
-        let (streams, seeds) = set.into_merge_input();
+        let (streams, seeds, refs) = set.into_merge_input();
         let mut ds = Downstream::new(obs);
         let merge_stats = crate::shard::run_sharded(
             streams,
             &boot.offsets,
             seeds,
+            &refs,
             &cfg.merge,
             &cfg.shard,
-            |jf| ds.observe(&jf),
+            |jf| {
+                if clip.as_ref().is_none_or(|c| c.admits(&jf)) {
+                    ds.observe(&jf);
+                }
+            },
         )?;
         let (attempts, link, flows, transport) = ds.finish();
 
@@ -440,12 +622,17 @@ impl Pipeline {
     ) -> Result<(BootstrapReport, MergeStats), PipelineError> {
         let set = SourceSet::open(sources, cfg.bootstrap.window_us)?;
         let boot = set.bootstrap(&cfg.bootstrap)?;
-        let (streams, seeds) = set.into_merge_input();
-        let mut merger = Merger::new(streams, &boot.offsets, cfg.merge.clone());
+        let clip = set.clipper(cfg);
+        let (streams, seeds, refs) = set.into_merge_input();
+        let mut merger = Merger::new_at(streams, &boot.offsets, &refs, cfg.merge.clone());
         for (r, seed) in seeds.into_iter().enumerate() {
             merger.seed_pending(r, seed);
         }
-        let stats = merger.run(|jf| obs.on_jframe(&jf))?;
+        let stats = merger.run(|jf| {
+            if clip.as_ref().is_none_or(|c| c.admits(&jf)) {
+                obs.on_jframe(&jf);
+            }
+        })?;
         Ok((boot, stats))
     }
 
@@ -461,14 +648,20 @@ impl Pipeline {
     {
         let set = SourceSet::open(sources, cfg.bootstrap.window_us)?;
         let boot = set.bootstrap(&cfg.bootstrap)?;
-        let (streams, seeds) = set.into_merge_input();
+        let clip = set.clipper(cfg);
+        let (streams, seeds, refs) = set.into_merge_input();
         let stats = crate::shard::run_sharded(
             streams,
             &boot.offsets,
             seeds,
+            &refs,
             &cfg.merge,
             &cfg.shard,
-            |jf| obs.on_jframe(&jf),
+            |jf| {
+                if clip.as_ref().is_none_or(|c| c.admits(&jf)) {
+                    obs.on_jframe(&jf);
+                }
+            },
         )?;
         Ok((boot, stats))
     }
@@ -579,11 +772,13 @@ mod tests {
         assert_eq!(boot.components, 1);
 
         // ...but it IS merge input, seeded ahead of the stream.
-        let (streams, seeds) = set.into_merge_input();
+        let (streams, seeds, refs) = set.into_merge_input();
         assert_eq!(seeds[0].len(), 3);
         assert_eq!(seeds[0][2].ts_local, window + 1);
         assert_eq!(seeds[1].len(), 1);
         assert_eq!(streams[0].len(), 1);
+        // Stream sources reference their clocks at the NTP anchor.
+        assert_eq!(refs, vec![0, 0]);
     }
 
     /// A rewindable test double: the window is served out-of-band and the
@@ -609,6 +804,7 @@ mod tests {
                 window,
                 carry: Vec::new(),
                 replay: true,
+                window_lo: self.meta.anchor_local_us,
                 stream: MemoryStream::new(self.meta, self.events),
             })
         }

@@ -106,14 +106,16 @@ impl ShardConfig {
 /// Runs the channel-sharded merge to completion, streaming the globally
 /// ordered jframes to `sink` on the calling thread.
 ///
-/// `offsets[i]` and `seeds[i]` belong to `streams[i]` (the same contract as
-/// [`Merger::new`] + [`Merger::seed_pending`]); pass an empty `seeds` when
-/// no bootstrap prefix needs re-injecting. Returns the summed
-/// [`MergeStats`] of every shard.
+/// `offsets[i]`, `seeds[i]` and `clock_refs[i]` belong to `streams[i]`
+/// (the same contract as [`Merger::new_at`] + [`Merger::seed_pending`]);
+/// pass an empty `seeds` when no bootstrap prefix needs re-injecting and
+/// an empty `clock_refs` for clocks referenced at local time 0. Returns
+/// the summed [`MergeStats`] of every shard.
 pub fn run_sharded<S>(
     streams: Vec<S>,
     offsets: &[i64],
     mut seeds: Vec<Vec<PhyEvent>>,
+    clock_refs: &[u64],
     merge_cfg: &MergeConfig,
     cfg: &ShardConfig,
     mut sink: impl FnMut(JFrame),
@@ -126,6 +128,10 @@ where
         seeds = streams.iter().map(|_| Vec::new()).collect();
     }
     assert_eq!(streams.len(), seeds.len(), "one seed prefix per stream");
+    assert!(
+        clock_refs.is_empty() || clock_refs.len() == streams.len(),
+        "one clock reference per stream (or none)"
+    );
     if streams.is_empty() {
         return Ok(MergeStats::default());
     }
@@ -140,11 +146,19 @@ where
         shards[gi % n_shards].extend(g.members);
     }
 
+    let ref_of = |i: usize| clock_refs.get(i).copied().unwrap_or(0);
+
     if n_shards == 1 {
         // Degenerate path: one shard ≡ the serial merger, run inline.
         let (idx, shard_streams): (Vec<usize>, Vec<S>) = shards.pop().unwrap().into_iter().unzip();
         let shard_offsets: Vec<i64> = idx.iter().map(|&i| offsets[i]).collect();
-        let mut merger = Merger::new(shard_streams, &shard_offsets, merge_cfg.clone());
+        let shard_refs: Vec<u64> = idx.iter().map(|&i| ref_of(i)).collect();
+        let mut merger = Merger::new_at(
+            shard_streams,
+            &shard_offsets,
+            &shard_refs,
+            merge_cfg.clone(),
+        );
         for (r, &i) in idx.iter().enumerate() {
             merger.seed_pending(r, std::mem::take(&mut seeds[i]));
         }
@@ -161,13 +175,14 @@ where
     for members in shards {
         let (idx, shard_streams): (Vec<usize>, Vec<S>) = members.into_iter().unzip();
         let shard_offsets: Vec<i64> = idx.iter().map(|&i| offsets[i]).collect();
+        let shard_refs: Vec<u64> = idx.iter().map(|&i| ref_of(i)).collect();
         let shard_seeds: Vec<Vec<PhyEvent>> =
             idx.iter().map(|&i| std::mem::take(&mut seeds[i])).collect();
         let merge_cfg = merge_cfg.clone();
         let (tx, rx) = mpsc::sync_channel::<Vec<JFrame>>(cfg.queue_batches.max(1));
         let poison = Arc::clone(&poison);
         let handle = std::thread::spawn(move || -> Result<MergeStats, FormatError> {
-            let mut merger = Merger::new(shard_streams, &shard_offsets, merge_cfg);
+            let mut merger = Merger::new_at(shard_streams, &shard_offsets, &shard_refs, merge_cfg);
             for (r, seed) in shard_seeds.into_iter().enumerate() {
                 merger.seed_pending(r, seed);
             }
@@ -374,6 +389,7 @@ mod tests {
                 three_channel_streams(),
                 &[0; 6],
                 Vec::new(),
+                &[],
                 &MergeConfig::default(),
                 &cfg,
                 |jf| out.push(jf),
@@ -397,6 +413,7 @@ mod tests {
             vec![s0, s1],
             &[0, 0],
             seeds,
+            &[],
             &MergeConfig::default(),
             &ShardConfig {
                 max_threads: 2,
@@ -439,6 +456,7 @@ mod tests {
             build(),
             &[0, 0],
             Vec::new(),
+            &[],
             &MergeConfig::default(),
             &ShardConfig {
                 max_threads: 2,
@@ -500,6 +518,7 @@ mod tests {
             vec![bad, good],
             &[0, 0],
             Vec::new(),
+            &[],
             &MergeConfig::default(),
             &ShardConfig {
                 max_threads: 2,
@@ -518,6 +537,7 @@ mod tests {
             Vec::<MemoryStream>::new(),
             &[],
             Vec::new(),
+            &[],
             &MergeConfig::default(),
             &ShardConfig::default(),
             |_| {},

@@ -1,10 +1,23 @@
-//! Bootstrap synchronization (paper §4.1).
+//! Bootstrap synchronization (paper §4.1), re-anchorable at any trace
+//! position.
 //!
-//! Examines the first (NTP-delimited) second of every radio's trace, finds
-//! content-unique frames heard by multiple radios (synchronization sets
-//! `Ek`), assembles a connected synchronization graph `G` from as few large
-//! sets as possible, and BFS-assigns each radio an offset `Tᵢ` such that
-//! `universal = local − Tᵢ` agrees across radios to microseconds.
+//! Examines one NTP-delimited second of every radio's trace — the first
+//! second for a from-the-start replay ([`bootstrap`]), or a second starting
+//! at any per-radio window position for a mid-trace replay
+//! ([`bootstrap_at`]) — finds content-unique frames heard by multiple
+//! radios (synchronization sets `Ek`), assembles a connected
+//! synchronization graph `G` from as few large sets as possible, and
+//! BFS-assigns each radio an offset `Tᵢ` such that `universal = local − Tᵢ`
+//! agrees across radios to microseconds.
+//!
+//! The anchor-based coarse offset (`anchor_local − anchor_wall`, see
+//! [`RadioMeta::coarse_offset_us`]) plays two roles: it roots each
+//! connected component (so universal time stays near wall time wherever
+//! the window sits), and it is the coarse seed that locates a mid-trace
+//! window in each radio's local clock in the first place. It is accurate
+//! to the NTP error (ms) plus oscillator drift since the anchor — the sync
+//! sets then refine the *relative* offsets to microseconds, exactly as at
+//! t = 0.
 //!
 //! Two deliberate fidelity points:
 //! * radios on disjoint channels are bridged through monitors whose two
@@ -149,21 +162,41 @@ impl Dsu {
 }
 
 /// Runs bootstrap synchronization over the first-window prefixes of all
-/// radio traces. `prefixes[i]` must contain radio `i`'s events with
-/// `ts_local` within `[anchor_local, anchor_local + window]` (events
-/// outside the window are defensively skipped — but callers such as the
-/// pipeline's prefix reader are expected to honor the contract, since they
-/// also know which consumed events must still reach the merger).
+/// radio traces — the t = 0 case of [`bootstrap_at`], with every radio's
+/// window starting at its NTP anchor. `prefixes[i]` must contain radio
+/// `i`'s events with `ts_local` within `[anchor_local, anchor_local +
+/// window]` (events outside the window are defensively skipped — but
+/// callers such as the pipeline's prefix reader are expected to honor the
+/// contract, since they also know which consumed events must still reach
+/// the merger).
 pub fn bootstrap<P: AsRef<[PhyEvent]>>(
     metas: &[RadioMeta],
     prefixes: &[P],
+    cfg: &BootstrapConfig,
+) -> Result<BootstrapReport, BootstrapError> {
+    let window_lo: Vec<Micros> = metas.iter().map(|m| m.anchor_local_us).collect();
+    bootstrap_at(metas, prefixes, &window_lo, cfg)
+}
+
+/// Runs bootstrap synchronization over an arbitrary window of every
+/// radio's trace: `prefixes[i]` holds radio `i`'s events with `ts_local`
+/// within `[window_lo[i], window_lo[i] + window]`. For a mid-trace replay,
+/// `window_lo[i]` is the radio's coarse-local image of the requested
+/// universal start ([`RadioMeta::coarse_local`]); offsets come out exactly
+/// as at t = 0 — sync sets pin the relative offsets to microseconds,
+/// components root at the anchor-based coarse offset — so the merger can
+/// be (re-)seeded at any corpus timestamp.
+pub fn bootstrap_at<P: AsRef<[PhyEvent]>>(
+    metas: &[RadioMeta],
+    prefixes: &[P],
+    window_lo: &[Micros],
     cfg: &BootstrapConfig,
 ) -> Result<BootstrapReport, BootstrapError> {
     let n = metas.len();
     if n == 0 {
         return Err(BootstrapError::NoRadios);
     }
-    if prefixes.len() != n {
+    if prefixes.len() != n || window_lo.len() != n {
         return Err(BootstrapError::LengthMismatch);
     }
 
@@ -175,7 +208,7 @@ pub fn bootstrap<P: AsRef<[PhyEvent]>>(
     let mut sets: HashMap<(Channel, u64), Vec<(usize, Micros)>> = HashMap::new();
     let mut candidates = 0usize;
     for (r, prefix) in prefixes.iter().enumerate() {
-        let lo = metas[r].anchor_local_us;
+        let lo = window_lo[r];
         let hi = lo.saturating_add(cfg.window_us);
         for ev in prefix.as_ref() {
             if ev.ts_local < lo || ev.ts_local > hi {
@@ -484,5 +517,44 @@ mod tests {
             bootstrap::<Vec<PhyEvent>>(&[], &[], &BootstrapConfig::default()).unwrap_err(),
             BootstrapError::NoRadios
         );
+        assert_eq!(
+            bootstrap_at(
+                &[meta(0, 0, 1, 0)],
+                &[vec![ev(0, 1, 1, data_frame_bytes(1))]],
+                &[],
+                &BootstrapConfig::default()
+            )
+            .unwrap_err(),
+            BootstrapError::LengthMismatch
+        );
+    }
+
+    /// Mid-trace re-anchoring: the same sync-set machinery runs over a
+    /// window hours into the trace, with the window located per radio and
+    /// the offsets reflecting the clocks *at that time* (radio 1 has
+    /// drifted +300 µs since t = 0 — a from-the-start bootstrap could not
+    /// know that).
+    #[test]
+    fn bootstrap_at_mid_trace_window() {
+        let hour = 3_600_000_000u64;
+        let metas = vec![meta(0, 0, 1, 0), meta(1, 1, 1, 5_000)];
+        let f = data_frame_bytes(1);
+        let drift = 300u64; // radio 1 gained 300 µs by the window
+        let prefixes = vec![
+            vec![ev(0, hour + 100, 1, f.clone())],
+            vec![ev(1, hour + 5_000 + drift + 100, 1, f)],
+        ];
+        let window_lo = vec![hour, hour + 5_000 + drift];
+        let rep = bootstrap_at(&metas, &prefixes, &window_lo, &BootstrapConfig::default()).unwrap();
+        assert_eq!(rep.components, 1);
+        let u0 = (hour + 100) as i64 - rep.offsets[0];
+        let u1 = (hour + 5_000 + drift + 100) as i64 - rep.offsets[1];
+        assert_eq!(u0, u1, "mid-trace offsets must absorb the drift");
+
+        // The same events are invisible to a t=0 bootstrap: its window
+        // closed an hour ago.
+        let rep0 = bootstrap(&metas, &prefixes, &BootstrapConfig::default()).unwrap();
+        assert_eq!(rep0.candidates, 0);
+        assert_eq!(rep0.components, 2);
     }
 }

@@ -30,11 +30,20 @@ pub struct ClockState {
 }
 
 impl ClockState {
-    /// Creates clock state from the bootstrap offset (µs).
+    /// Creates clock state from the bootstrap offset (µs), referenced at
+    /// local time 0.
     pub fn new(offset_us: i64, alpha: f64) -> Self {
+        Self::new_at(offset_us, alpha, 0)
+    }
+
+    /// Creates clock state from a bootstrap offset estimated at local time
+    /// `ref_local` — the seed a windowed replay uses, so that the first
+    /// correction's skew measurement spans "time since the window's
+    /// bootstrap", not "time since an arbitrary local epoch".
+    pub fn new_at(offset_us: i64, alpha: f64, ref_local: Micros) -> Self {
         ClockState {
             offset: offset_us as f64,
-            ref_local: 0.0,
+            ref_local: ref_local as f64,
             skew_ppm: 0.0,
             alpha,
             corrections: 0,

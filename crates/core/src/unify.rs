@@ -204,12 +204,34 @@ pub struct Merger<S> {
 
 impl<S: EventStream> Merger<S> {
     /// Creates a merger from per-radio streams (indexed by position) and
-    /// bootstrap offsets.
+    /// bootstrap offsets, with clocks referenced at local time 0.
     pub fn new(streams: Vec<S>, offsets: &[i64], cfg: MergeConfig) -> Self {
+        Self::new_at(streams, offsets, &[], cfg)
+    }
+
+    /// [`Merger::new`] with each clock's skew-extrapolation reference seeded
+    /// at the local time its bootstrap offset was estimated (`clock_refs`,
+    /// one per stream; empty means local time 0 everywhere). Windowed
+    /// replays pass the per-radio window start so the EWMA's first skew
+    /// sample measures time since the mid-trace bootstrap, not since the
+    /// radio's arbitrary local epoch.
+    pub fn new_at(
+        streams: Vec<S>,
+        offsets: &[i64],
+        clock_refs: &[Micros],
+        cfg: MergeConfig,
+    ) -> Self {
         assert_eq!(streams.len(), offsets.len(), "one offset per stream");
+        assert!(
+            clock_refs.is_empty() || clock_refs.len() == streams.len(),
+            "one clock reference per stream (or none)"
+        );
         let clocks = offsets
             .iter()
-            .map(|&o| ClockState::new(o, cfg.ewma_alpha))
+            .enumerate()
+            .map(|(r, &o)| {
+                ClockState::new_at(o, cfg.ewma_alpha, clock_refs.get(r).copied().unwrap_or(0))
+            })
             .collect();
         // Channel identity comes from the radio's *tuned* channel
         // (RadioMeta), never from per-event tags: it is what the capture

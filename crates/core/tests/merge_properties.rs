@@ -232,6 +232,7 @@ proptest! {
             build(),
             &offs,
             Vec::new(),
+            &[],
             &MergeConfig::default(),
             &cfg,
             |jf| sharded.push(jf),

@@ -39,6 +39,25 @@ pub enum WiredDirection {
     ToWireless,
 }
 
+impl WiredDirection {
+    /// Compact code for serialization.
+    pub fn code(self) -> u8 {
+        match self {
+            WiredDirection::FromWireless => 0,
+            WiredDirection::ToWireless => 1,
+        }
+    }
+
+    /// Decodes [`WiredDirection::code`].
+    pub fn from_code(c: u8) -> Option<Self> {
+        match c {
+            0 => Some(WiredDirection::FromWireless),
+            1 => Some(WiredDirection::ToWireless),
+            _ => None,
+        }
+    }
+}
+
 /// The wired side of the world: hosts, switch learning table, in-flight
 /// packet storage.
 #[derive(Debug, Default)]
@@ -108,7 +127,7 @@ impl Wired {
 /// One record of the wired distribution-network trace. This is the exact
 /// analogue of the "second trace of the same traffic captured on the wired
 /// distribution network" the paper compares coverage against (§6).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WiredTraceRecord {
     /// True time the packet crossed the building switch, µs.
     pub ts: Micros,
@@ -122,6 +141,130 @@ pub struct WiredTraceRecord {
     pub direction: WiredDirection,
     /// Decoded payload (headers only are meaningful).
     pub msdu: Msdu,
+}
+
+/// Magic prefixing an encoded wired trace ([`encode_wired_trace`]).
+pub const WIRED_TRACE_MAGIC: [u8; 4] = *b"JIGW";
+/// Format version of the wired-trace encoding.
+pub const WIRED_TRACE_VERSION: u8 = 1;
+
+/// Encodes a wired trace (plus the AP id → MAC table the coverage analysis
+/// needs to attribute `ToWireless` packets) into the corpus's `wired.jigw`
+/// member. Records are delta/varint packed; MSDUs serialize through their
+/// LLC/SNAP wire form ([`Msdu::to_bytes`]), so the exact header fields the
+/// Figure 6 comparison keys on survive the roundtrip. `ap_addr_of` maps a
+/// station id to its MAC (only ids appearing in the records are consulted).
+pub fn encode_wired_trace(
+    records: &[WiredTraceRecord],
+    ap_addr_of: &dyn Fn(u16) -> MacAddr,
+) -> Vec<u8> {
+    use jigsaw_trace::varint::put_uvarint;
+    let mut out = Vec::with_capacity(32 + records.len() * 48);
+    out.extend_from_slice(&WIRED_TRACE_MAGIC);
+    out.push(WIRED_TRACE_VERSION);
+    // AP table: every station id referenced by a record, in id order.
+    let mut ap_ids: Vec<u16> = records.iter().filter_map(|r| r.ap.map(|s| s.0)).collect();
+    ap_ids.sort_unstable();
+    ap_ids.dedup();
+    put_uvarint(&mut out, ap_ids.len() as u64);
+    for id in ap_ids {
+        put_uvarint(&mut out, u64::from(id));
+        out.extend_from_slice(ap_addr_of(id).bytes());
+    }
+    put_uvarint(&mut out, records.len() as u64);
+    let mut prev_ts = 0u64;
+    for r in records {
+        put_uvarint(&mut out, r.ts.saturating_sub(prev_ts));
+        prev_ts = r.ts;
+        out.extend_from_slice(r.src_mac.bytes());
+        out.extend_from_slice(r.dst_mac.bytes());
+        put_uvarint(&mut out, r.ap.map(|s| u64::from(s.0) + 1).unwrap_or(0));
+        out.push(r.direction.code());
+        let msdu = r.msdu.to_bytes();
+        put_uvarint(&mut out, msdu.len() as u64);
+        out.extend_from_slice(&msdu);
+    }
+    out
+}
+
+/// Decodes [`encode_wired_trace`]'s output back into records plus the AP
+/// id → MAC table.
+pub fn decode_wired_trace(
+    bytes: &[u8],
+) -> Result<(Vec<WiredTraceRecord>, HashMap<u16, MacAddr>), String> {
+    use jigsaw_trace::varint::get_uvarint;
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+        let s = bytes
+            .get(*pos..*pos + n)
+            .ok_or_else(|| format!("wired trace truncated at byte {pos}", pos = *pos))?;
+        *pos += n;
+        Ok(s)
+    };
+    let varint = |pos: &mut usize| -> Result<u64, String> {
+        let (v, n) = get_uvarint(&bytes[*pos..])
+            .ok_or_else(|| format!("bad varint at byte {pos}", pos = *pos))?;
+        *pos += n;
+        Ok(v)
+    };
+    if take(&mut pos, 4)? != WIRED_TRACE_MAGIC {
+        return Err("bad wired-trace magic".into());
+    }
+    if take(&mut pos, 1)? != [WIRED_TRACE_VERSION] {
+        return Err("unsupported wired-trace version".into());
+    }
+    let mac6 = |pos: &mut usize| -> Result<MacAddr, String> {
+        let b = take(pos, 6)?;
+        Ok(MacAddr::new([b[0], b[1], b[2], b[3], b[4], b[5]]))
+    };
+
+    let station_id = |v: u64| -> Result<u16, String> {
+        u16::try_from(v).map_err(|_| format!("station id {v} out of range"))
+    };
+    let n_aps = varint(&mut pos)?;
+    if n_aps > 1_000_000 {
+        return Err("AP table implausibly large".into());
+    }
+    let mut aps = HashMap::with_capacity(n_aps as usize);
+    for _ in 0..n_aps {
+        let id = station_id(varint(&mut pos)?)?;
+        aps.insert(id, mac6(&mut pos)?);
+    }
+
+    let n = varint(&mut pos)?;
+    if n > 1_000_000_000 {
+        return Err("record count implausibly large".into());
+    }
+    let mut records = Vec::with_capacity(n as usize);
+    let mut ts = 0u64;
+    for _ in 0..n {
+        ts += varint(&mut pos)?;
+        let src_mac = mac6(&mut pos)?;
+        let dst_mac = mac6(&mut pos)?;
+        let ap = match varint(&mut pos)? {
+            0 => None,
+            id => Some(StationId(station_id(id - 1)?)),
+        };
+        let direction = WiredDirection::from_code(take(&mut pos, 1)?[0])
+            .ok_or("bad wired-trace direction code")?;
+        let len = varint(&mut pos)? as usize;
+        let msdu = Msdu::parse(take(&mut pos, len)?).map_err(|e| format!("bad MSDU: {e}"))?;
+        records.push(WiredTraceRecord {
+            ts,
+            src_mac,
+            dst_mac,
+            ap,
+            direction,
+            msdu,
+        });
+    }
+    if pos != bytes.len() {
+        return Err(format!(
+            "{} trailing bytes after wired trace",
+            bytes.len() - pos
+        ));
+    }
+    Ok((records, aps))
 }
 
 #[cfg(test)]
@@ -190,6 +333,60 @@ mod tests {
         assert_eq!(w.client_ap[&c], StationId(4));
         w.forget_client(c);
         assert!(!w.client_ap.contains_key(&c));
+    }
+
+    #[test]
+    fn wired_trace_roundtrips_through_encoding() {
+        let rec = |ts: u64, ap: Option<u16>, dir: WiredDirection, msdu: Msdu| WiredTraceRecord {
+            ts,
+            src_mac: MacAddr::local(9, ts as u32),
+            dst_mac: MacAddr::local(3, 7),
+            ap: ap.map(StationId),
+            direction: dir,
+            msdu,
+        };
+        let records = vec![
+            rec(1_000, Some(2), WiredDirection::ToWireless, arp_msdu()),
+            rec(1_000, None, WiredDirection::FromWireless, arp_msdu()),
+            rec(
+                5_500,
+                Some(0),
+                WiredDirection::ToWireless,
+                Msdu::Other {
+                    ethertype: 0x86dd,
+                    payload: vec![1, 2, 3, 4, 5],
+                },
+            ),
+        ];
+        let ap_addr = |sid: u16| MacAddr::local(1, u32::from(sid));
+        let bytes = encode_wired_trace(&records, &ap_addr);
+        let (got, aps) = decode_wired_trace(&bytes).unwrap();
+        assert_eq!(got, records);
+        // AP table covers exactly the referenced ids.
+        assert_eq!(aps.len(), 2);
+        assert_eq!(aps[&0], ap_addr(0));
+        assert_eq!(aps[&2], ap_addr(2));
+
+        // Encoding is deterministic, and corruption is detected.
+        assert_eq!(bytes, encode_wired_trace(&records, &ap_addr));
+        assert!(decode_wired_trace(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(decode_wired_trace(&bad).is_err());
+        // Station ids past u16 are an error, never a silent wraparound.
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&WIRED_TRACE_MAGIC);
+        oversized.push(WIRED_TRACE_VERSION);
+        jigsaw_trace::varint::put_uvarint(&mut oversized, 1); // one AP entry
+        jigsaw_trace::varint::put_uvarint(&mut oversized, 70_000); // id > u16
+        oversized.extend_from_slice(ap_addr(0).bytes());
+        jigsaw_trace::varint::put_uvarint(&mut oversized, 0); // no records
+        assert!(decode_wired_trace(&oversized)
+            .unwrap_err()
+            .contains("out of range"));
+        // Empty trace is fine.
+        let (none, table) = decode_wired_trace(&encode_wired_trace(&[], &ap_addr)).unwrap();
+        assert!(none.is_empty() && table.is_empty());
     }
 
     #[test]

@@ -8,33 +8,59 @@
 //!
 //! ```text
 //! corpus/
-//!   MANIFEST         scenario, seed, scale, snaplen, per-radio table
+//!   MANIFEST         scenario, seed, scale, snaplen, duration,
+//!                    per-radio table, wired member entry
 //!   corpus.digest    16-hex FNV-1a digest of the whole corpus + newline
 //!   r000.jigt        radio 0 trace (jigdump format, crate::format)
 //!   r000.jigx        radio 0 block index (crate::index)
 //!   r001.jigt        ...
+//!   wired.jigw       wired distribution-network trace (opaque payload)
 //! ```
 //!
-//! The manifest is a line-oriented text file (`JIGC 1` magic) so corpora
+//! The manifest is a line-oriented text file (`JIGC 2` magic) so corpora
 //! stay inspectable with `cat` and diffable in CI. The digest chains each
 //! file's FNV-1a digest with its name, then the manifest text — any bit
 //! flip anywhere in the corpus changes it, which is what the golden-corpus
 //! determinism check in CI compares against a checked-in value.
 //!
+//! Besides the radio traces a corpus may hold one **wired member**
+//! (`wired.jigw` by convention): the distribution-network packet trace the
+//! paper's §6 coverage analysis compares the merged wireless view against.
+//! Its payload is opaque to this crate (the simulator owns the encoding);
+//! the manifest records its record count and file name and the digest
+//! chains it like any trace file, so `repro analyze --corpus` runs
+//! Figure 6 straight off the corpus without re-simulating the scenario.
+//!
+//! ## Anchor time and windowed reads
+//!
+//! Every radio's manifest row carries its NTP anchor pair
+//! (`anchor_wall`/`anchor_local`). Those anchors define *anchor time* — a
+//! universal, wall-clock-anchored timeline derived purely from the
+//! manifest: [`RadioMeta::anchor_universal`] maps a local timestamp onto
+//! it and [`RadioMeta::coarse_local`] maps back, both accurate to the NTP
+//! error (ms) plus oscillator drift since the anchor. Anchor time is what
+//! time-windowed replay speaks: a `[from, to)` request in anchor-universal
+//! µs becomes, per radio, a local-clock range via `coarse_local`, and
+//! [`RadioTraceSource::read_window`] / [`RadioTraceSource::open_stream_range`]
+//! serve exactly that range through the block index ([`find_block`] seeks
+//! to the first overlapping block; decoding stops inside the first block
+//! past the range) — the paper's "start at 11 am without decompressing the
+//! morning", with I/O proportional to the window rather than the corpus.
+//!
 //! Reading back, [`Corpus::sources`] hands the pipeline one
 //! [`RadioTraceSource`] per radio. Unlike an in-memory stream, a trace file
 //! can be read twice, so the bootstrap window is served by a *separate*,
-//! index-bounded read ([`RadioTraceSource::read_bootstrap_window`], which
-//! uses [`find_block`] to bound decoding to the blocks overlapping the
-//! window) and the merge stream then replays the file from the start —
-//! no prefix ever needs to be buffered across pipeline stages. Peak memory
-//! is one decompressed block per radio plus the merger's search-window
-//! state, independent of corpus size.
+//! index-bounded read ([`RadioTraceSource::read_bootstrap_window`] for the
+//! NTP-anchored first second, or `read_window` at any mid-trace anchor
+//! timestamp) and the merge stream then replays the file from wherever the
+//! index says the replay starts — no prefix ever needs to be buffered
+//! across pipeline stages. Peak memory is one decompressed block per radio
+//! plus the merger's search-window state, independent of corpus size.
 
 use crate::digest::{Fnv64, HashingWriter};
 use crate::format::{FormatError, TraceReader, TraceWriter};
 use crate::index::{find_block, read_index, write_index, IndexEntry};
-use crate::stream::{CountingReader, ReaderStream};
+use crate::stream::{CountingReader, ReaderStream, WindowedStream};
 use crate::{PhyEvent, RadioMeta};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Write};
@@ -47,7 +73,9 @@ pub const MANIFEST_NAME: &str = "MANIFEST";
 /// Digest file name inside a corpus directory.
 pub const DIGEST_NAME: &str = "corpus.digest";
 /// First line of every manifest.
-pub const MANIFEST_MAGIC: &str = "JIGC 1";
+pub const MANIFEST_MAGIC: &str = "JIGC 2";
+/// Conventional file name of the wired distribution-network member.
+pub const WIRED_NAME: &str = "wired.jigw";
 
 /// Errors from corpus operations.
 #[derive(Debug)]
@@ -97,6 +125,15 @@ pub struct ManifestRadio {
     pub index: String,
 }
 
+/// The corpus's wired distribution-network member, if recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestWired {
+    /// Wired-trace records in the member.
+    pub records: u64,
+    /// File name, relative to the corpus directory.
+    pub file: String,
+}
+
 /// The corpus manifest: provenance plus the per-radio file table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Manifest {
@@ -108,8 +145,13 @@ pub struct Manifest {
     pub scale: f64,
     /// Snap length the traces were captured with.
     pub snaplen: u32,
+    /// Recorded duration in µs (the scenario's represented day — analyses
+    /// derive their bin widths from this without re-simulating).
+    pub duration_us: u64,
     /// One entry per radio, in radio order.
     pub radios: Vec<ManifestRadio>,
+    /// The wired distribution-network member, when recorded.
+    pub wired: Option<ManifestWired>,
 }
 
 impl Manifest {
@@ -122,6 +164,7 @@ impl Manifest {
         s.push_str(&format!("seed {}\n", self.seed));
         s.push_str(&format!("scale {}\n", self.scale));
         s.push_str(&format!("snaplen {}\n", self.snaplen));
+        s.push_str(&format!("duration {}\n", self.duration_us));
         s.push_str(&format!("radios {}\n", self.radios.len()));
         for r in &self.radios {
             s.push_str(&format!(
@@ -135,6 +178,9 @@ impl Manifest {
                 r.data,
                 r.index,
             ));
+        }
+        if let Some(w) = &self.wired {
+            s.push_str(&format!("wired {} {}\n", w.records, w.file));
         }
         s
     }
@@ -168,6 +214,7 @@ impl Manifest {
         let seed = num(field(lines.next().unwrap_or(""), "seed")?, "seed")?;
         let scale = num(field(lines.next().unwrap_or(""), "scale")?, "scale")?;
         let snaplen = num(field(lines.next().unwrap_or(""), "snaplen")?, "snaplen")?;
+        let duration_us = num(field(lines.next().unwrap_or(""), "duration")?, "duration")?;
         let n: usize = num(field(lines.next().unwrap_or(""), "radios")?, "radios")?;
         if n > 100_000 {
             return Err(bad("radio count implausibly large"));
@@ -204,12 +251,30 @@ impl Manifest {
                 index: file_name(t[15], "index")?,
             });
         }
+        let wired = match lines.next() {
+            None => None,
+            Some(line) => {
+                let t: Vec<&str> = line.split_whitespace().collect();
+                if t.len() != 3 || t[0] != "wired" {
+                    return Err(bad(format!("bad wired line `{line}`")));
+                }
+                Some(ManifestWired {
+                    records: num(t[1], "wired records")?,
+                    file: file_name(t[2], "wired")?,
+                })
+            }
+        };
+        if let Some(extra) = lines.next() {
+            return Err(bad(format!("trailing manifest line `{extra}`")));
+        }
         Ok(Manifest {
             scenario,
             seed,
             scale,
             snaplen,
+            duration_us,
             radios,
+            wired,
         })
     }
 }
@@ -228,9 +293,11 @@ pub struct CorpusSummary {
 }
 
 /// Streaming corpus recorder: one [`record_radio`](CorpusWriter::record_radio)
-/// call per radio (in radio order), then [`finish`](CorpusWriter::finish).
-/// Each radio is written through a [`TraceWriter`] and hashed as it goes —
-/// memory stays bounded by one compression block regardless of trace length.
+/// call per radio (in radio order), optionally
+/// [`record_wired`](CorpusWriter::record_wired) after the last radio, then
+/// [`finish`](CorpusWriter::finish). Each radio is written through a
+/// [`TraceWriter`] and hashed as it goes — memory stays bounded by one
+/// compression block regardless of trace length.
 pub struct CorpusWriter {
     dir: PathBuf,
     manifest: Manifest,
@@ -242,13 +309,14 @@ pub struct CorpusWriter {
 impl CorpusWriter {
     /// Creates the corpus directory (and parents) and an empty manifest.
     /// `scenario` must be whitespace-free; `block_target` of 0 means the
-    /// format default.
+    /// format default; `duration_us` is the recorded scenario length.
     pub fn create(
         dir: &Path,
         scenario: &str,
         seed: u64,
         scale: f64,
         snaplen: u32,
+        duration_us: u64,
         block_target: usize,
     ) -> Result<Self, CorpusError> {
         if scenario.is_empty() || scenario.contains(char::is_whitespace) {
@@ -264,7 +332,9 @@ impl CorpusWriter {
                 seed,
                 scale,
                 snaplen,
+                duration_us,
                 radios: Vec::new(),
+                wired: None,
             },
             block_target: if block_target == 0 {
                 crate::format::BLOCK_TARGET
@@ -277,12 +347,19 @@ impl CorpusWriter {
     }
 
     /// Records one radio's trace (events must be in `ts_local` order).
-    /// Returns the number of events written.
+    /// Returns the number of events written. Must precede
+    /// [`record_wired`](CorpusWriter::record_wired) — the digest chain runs
+    /// radios first, wired member last.
     pub fn record_radio<'a>(
         &mut self,
         meta: RadioMeta,
         events: impl IntoIterator<Item = &'a PhyEvent>,
     ) -> Result<u64, CorpusError> {
+        if self.manifest.wired.is_some() {
+            return Err(CorpusError::Manifest(
+                "record_radio after record_wired: radios must come first".into(),
+            ));
+        }
         let i = self.manifest.radios.len();
         let data = format!("r{i:03}.jigt");
         let index = format!("r{i:03}.jigx");
@@ -322,6 +399,29 @@ impl CorpusWriter {
         Ok(total)
     }
 
+    /// Records the wired distribution-network member ([`WIRED_NAME`]) from
+    /// an already-encoded payload (the encoding belongs to the layer that
+    /// owns the record type — this crate stores and digests opaque bytes).
+    /// Call at most once, after every radio.
+    pub fn record_wired(&mut self, records: u64, payload: &[u8]) -> Result<(), CorpusError> {
+        if self.manifest.wired.is_some() {
+            return Err(CorpusError::Manifest(
+                "wired member already recorded".into(),
+            ));
+        }
+        std::fs::write(self.dir.join(WIRED_NAME), payload)?;
+        let mut h = Fnv64::new();
+        h.update(payload);
+        self.digest.update(WIRED_NAME.as_bytes());
+        self.digest.update_u64(h.finish());
+        self.data_bytes += payload.len() as u64;
+        self.manifest.wired = Some(ManifestWired {
+            records,
+            file: WIRED_NAME.to_string(),
+        });
+        Ok(())
+    }
+
     /// Writes the manifest and digest files and returns the summary.
     pub fn finish(mut self) -> Result<CorpusSummary, CorpusError> {
         let text = self.manifest.render();
@@ -341,6 +441,10 @@ impl CorpusWriter {
 /// The merge stream type corpus sources hand out: a jigdump decode of a
 /// buffered file read, with every byte counted.
 pub type CorpusStream = ReaderStream<CountingReader<BufReader<File>>>;
+
+/// A corpus stream clipped to a local-time range — what windowed replay
+/// merges from ([`RadioTraceSource::open_stream_range`]).
+pub type WindowedCorpusStream = WindowedStream<CorpusStream>;
 
 /// One radio of an opened corpus: its trace file, its block index, and a
 /// shared disk-bytes counter. This is the disk-backed event source the
@@ -371,37 +475,80 @@ impl RadioTraceSource {
         ))
     }
 
-    /// Reads the bootstrap window — every event with
-    /// `ts_local ≤ anchor_local + window_us` — decoding only the blocks that
-    /// overlap it. [`find_block`] bounds the read: decoding stops inside the
-    /// first block holding a past-window event, and when the index shows the
-    /// whole trace starts past the window the file is not opened at all.
-    pub fn read_bootstrap_window(&self, window_us: u64) -> Result<Vec<PhyEvent>, FormatError> {
-        let hi = self.meta.anchor_local_us.saturating_add(window_us);
-        if self.index.is_empty() || self.index[0].first_ts > hi {
-            return Ok(Vec::new());
+    /// Reads every event with `ts_local` in `[lo, hi]`, decoding only the
+    /// blocks that overlap the range. [`find_block`] bounds the read on
+    /// both sides: the reader seeks straight to the first overlapping
+    /// block, decoding stops inside the first block holding a past-range
+    /// event, and when the index shows no block can overlap the range the
+    /// file is not opened at all. This is the windowed bootstrap read —
+    /// `lo` is typically [`RadioMeta::coarse_local`] of the replay window's
+    /// start, and `hi` one bootstrap window later.
+    pub fn read_window(&self, lo: u64, hi: u64) -> Result<Vec<PhyEvent>, FormatError> {
+        let Some(start) = find_block(&self.index, lo) else {
+            return Ok(Vec::new()); // whole trace ends before `lo`
+        };
+        if self.index[start].first_ts > hi {
+            return Ok(Vec::new()); // whole trace (from `lo` on) starts past `hi`
         }
-        // The first block that may hold events past the window; every block
-        // before it is entirely in-window, which also caps the allocation.
+        // The first block that may hold events past the range; every block
+        // between `start` and it overlaps the range, which also caps the
+        // allocation.
         let stop = find_block(&self.index, hi.saturating_add(1));
         let cap: u64 = match stop {
-            Some(b) => self.index[..=b].iter().map(|e| u64::from(e.count)).sum(),
-            None => self.index.iter().map(|e| u64::from(e.count)).sum(),
+            Some(b) => self.index[start..=b]
+                .iter()
+                .map(|e| u64::from(e.count))
+                .sum(),
+            None => self.index[start..].iter().map(|e| u64::from(e.count)).sum(),
         };
         let mut out = Vec::with_capacity(cap as usize);
         let mut reader = self.open_counted()?;
+        reader.seek_to_block(self.index[start].offset)?;
         while let Some(ev) = reader.next_event()? {
             if ev.ts_local > hi {
                 break; // still inside block `stop`: later blocks never load
             }
-            out.push(ev);
+            if ev.ts_local >= lo {
+                out.push(ev);
+            }
         }
         Ok(out)
+    }
+
+    /// Reads the bootstrap window — every event with
+    /// `ts_local ≤ anchor_local + window_us` — via [`read_window`]
+    /// (the t=0 case of the windowed read; see
+    /// [`RadioTraceSource::read_window`] for the bounding guarantees).
+    ///
+    /// [`read_window`]: RadioTraceSource::read_window
+    pub fn read_bootstrap_window(&self, window_us: u64) -> Result<Vec<PhyEvent>, FormatError> {
+        // `lo = 0`, not the anchor: the t=0 bootstrap read historically
+        // included any (pathological) pre-anchor events, and the merger
+        // must see them regardless.
+        self.read_window(0, self.meta.anchor_local_us.saturating_add(window_us))
     }
 
     /// Opens the full merge stream (from the first event).
     pub fn open_stream(&self) -> Result<CorpusStream, FormatError> {
         Ok(ReaderStream::new(self.open_counted()?))
+    }
+
+    /// Opens a merge stream clipped to `ts_local ∈ [lo, hi]`: the reader
+    /// index-seeks to the first block that may overlap the range, events
+    /// before `lo` in that block are skipped, and decoding stops inside the
+    /// first block past `hi` — disk bytes read are bounded by the window's
+    /// blocks, not the trace. A range past the end of the trace yields an
+    /// empty (but valid) stream.
+    pub fn open_stream_range(&self, lo: u64, hi: u64) -> Result<WindowedCorpusStream, FormatError> {
+        let inner = match find_block(&self.index, lo) {
+            Some(b) if self.index[b].first_ts <= hi => {
+                let mut reader = self.open_counted()?;
+                reader.seek_to_block(self.index[b].offset)?;
+                Some(ReaderStream::new(reader))
+            }
+            _ => None, // no block overlaps [lo, hi]: open nothing
+        };
+        Ok(WindowedStream::new(self.meta, inner, lo, hi))
     }
 
     /// Opens a stream positioned at the first *block* that may contain
@@ -454,14 +601,50 @@ impl Corpus {
         self.manifest.radios.iter().map(|r| r.events).sum()
     }
 
-    /// Total on-disk bytes of the data + index files.
+    /// Total on-disk bytes of the data + index files (wired member
+    /// included, when present).
     pub fn data_bytes(&self) -> io::Result<u64> {
         let mut total = 0;
         for r in &self.manifest.radios {
             total += std::fs::metadata(self.dir.join(&r.data))?.len();
             total += std::fs::metadata(self.dir.join(&r.index))?.len();
         }
+        if let Some(w) = &self.manifest.wired {
+            total += std::fs::metadata(self.dir.join(&w.file))?.len();
+        }
         Ok(total)
+    }
+
+    /// Reads the wired member's raw payload (`None` when the corpus has no
+    /// wired trace). Decoding belongs to the layer that recorded it.
+    pub fn wired_payload(&self) -> Result<Option<Vec<u8>>, CorpusError> {
+        match &self.manifest.wired {
+            None => Ok(None),
+            Some(w) => Ok(Some(std::fs::read(self.dir.join(&w.file))?)),
+        }
+    }
+
+    /// The corpus's span on the anchor-universal timeline: the earliest and
+    /// latest event timestamps across all radios, each mapped through its
+    /// radio's NTP anchor ([`RadioMeta::anchor_universal`]). Derived from
+    /// the block indexes — no trace data is decoded. `None` for a corpus
+    /// with no events. This is what `repro` validates `--from`/`--to`
+    /// requests against.
+    pub fn universal_span(&self) -> Result<Option<(u64, u64)>, CorpusError> {
+        let mut span: Option<(u64, u64)> = None;
+        for r in &self.manifest.radios {
+            let index = read_index(BufReader::new(File::open(self.dir.join(&r.index))?))?;
+            let (Some(first), Some(last)) = (index.first(), index.last()) else {
+                continue;
+            };
+            let lo = r.meta.anchor_universal(first.first_ts);
+            let hi = r.meta.anchor_universal(last.last_ts);
+            span = Some(match span {
+                None => (lo, hi),
+                Some((a, b)) => (a.min(lo), b.max(hi)),
+            });
+        }
+        Ok(span)
     }
 
     /// Opens one radio as a disk-backed event source. Reads through the
@@ -525,6 +708,10 @@ impl Corpus {
                 digest.update_u64(hash_file(&self.dir.join(name))?);
             }
         }
+        if let Some(w) = &self.manifest.wired {
+            digest.update(w.file.as_bytes());
+            digest.update_u64(hash_file(&self.dir.join(&w.file))?);
+        }
         let text = std::fs::read_to_string(self.dir.join(MANIFEST_NAME))?;
         digest.update(text.as_bytes());
         Ok(digest.hex())
@@ -586,7 +773,7 @@ mod tests {
                 .map(|k| ev(1, 2_000 + k * 700, 6, k as u8))
                 .collect(),
         ];
-        let mut w = CorpusWriter::create(dir, "sample", 7, 0.5, 200, 2048).unwrap();
+        let mut w = CorpusWriter::create(dir, "sample", 7, 0.5, 200, 250_000, 2048).unwrap();
         w.record_radio(meta(0, 1, 1_000), traces[0].iter()).unwrap();
         w.record_radio(meta(1, 6, 2_000), traces[1].iter()).unwrap();
         let summary = w.finish().unwrap();
@@ -604,39 +791,58 @@ mod tests {
 
     #[test]
     fn manifest_roundtrip() {
-        let m = Manifest {
+        let mut m = Manifest {
             scenario: "paper_day".into(),
             seed: 20060124,
             scale: 0.25,
             snaplen: 260,
+            duration_us: 720_000_000,
             radios: vec![ManifestRadio {
                 meta: meta(3, 11, 777),
                 events: 123_456,
                 data: "r003.jigt".into(),
                 index: "r003.jigx".into(),
             }],
+            wired: None,
         };
+        assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
+        m.wired = Some(ManifestWired {
+            records: 42,
+            file: WIRED_NAME.into(),
+        });
         assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
     }
 
     #[test]
     fn manifest_rejects_garbage() {
         assert!(Manifest::parse("").is_err());
-        assert!(Manifest::parse("JIGC 2\n").is_err());
+        assert!(Manifest::parse("JIGC 1\n").is_err());
         let m = Manifest {
             scenario: "x".into(),
             seed: 1,
             scale: 1.0,
             snaplen: 100,
+            duration_us: 1_000,
             radios: vec![],
+            wired: None,
         };
         let good = m.render();
         // Truncated radio table.
         let bad = good.replace("radios 0", "radios 3");
         assert!(Manifest::parse(&bad).is_err());
+        // A manifest missing the duration line (the old JIGC 1 shape).
+        let old = good.replace("duration 1000\n", "");
+        assert!(Manifest::parse(&old).is_err());
+        // Garbage trailing line where the wired entry would sit.
+        assert!(Manifest::parse(&format!("{good}wires 1 w\n")).is_err());
+        // A valid wired entry parses — but nothing may follow it.
+        let with_wired = format!("{good}wired 1 w.jigw\n");
+        assert!(Manifest::parse(&with_wired).is_ok());
+        assert!(Manifest::parse(&format!("{with_wired}junk\n")).is_err());
+        assert!(Manifest::parse(&format!("{with_wired}wired 2 x.jigw\n")).is_err());
         // Path traversal in a file name.
         assert!(Manifest::parse(
-            "JIGC 1\nscenario x\nseed 1\nscale 1\nsnaplen 100\nradios 1\n\
+            "JIGC 2\nscenario x\nseed 1\nscale 1\nsnaplen 100\nduration 5\nradios 1\n\
              radio 0 monitor 0 channel 1 anchor_wall 0 anchor_local 0 events 1 data ../evil index r.jigx\n"
         )
         .is_err());
@@ -645,8 +851,8 @@ mod tests {
     #[test]
     fn scenario_name_must_be_clean() {
         let dir = tmpdir("badname");
-        assert!(CorpusWriter::create(&dir, "two words", 1, 1.0, 100, 0).is_err());
-        assert!(CorpusWriter::create(&dir, "", 1, 1.0, 100, 0).is_err());
+        assert!(CorpusWriter::create(&dir, "two words", 1, 1.0, 100, 1, 0).is_err());
+        assert!(CorpusWriter::create(&dir, "", 1, 1.0, 100, 1, 0).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -777,6 +983,154 @@ mod tests {
 
         // Past the end → None.
         assert!(src.open_stream_at(u64::MAX).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_window_seeks_and_is_exact() {
+        let dir = tmpdir("readwin");
+        let (traces, _) = write_sample(&dir);
+        let c = Corpus::open(&dir).unwrap();
+        let counter = Arc::new(AtomicU64::new(0));
+        let src = c.source(0, Arc::clone(&counter)).unwrap();
+
+        // A mid-trace window: exact contents, inclusive on both bounds.
+        let (lo, hi) = (traces[0][250].ts_local, traces[0][280].ts_local);
+        let got = src.read_window(lo, hi).unwrap();
+        let expect: Vec<&PhyEvent> = traces[0]
+            .iter()
+            .filter(|e| e.ts_local >= lo && e.ts_local <= hi)
+            .collect();
+        assert_eq!(got.iter().collect::<Vec<_>>(), expect);
+        assert_eq!(got.first().unwrap().ts_local, lo);
+        assert_eq!(got.last().unwrap().ts_local, hi);
+        // The read seeked past the morning and stopped before the evening.
+        let file_len = std::fs::metadata(dir.join(&c.manifest().radios[0].data))
+            .unwrap()
+            .len();
+        assert!(
+            counter.load(Ordering::Relaxed) < file_len / 2,
+            "windowed read consumed {} of {file_len} bytes",
+            counter.load(Ordering::Relaxed)
+        );
+
+        // A window entirely before the first event: nothing, and since the
+        // seek target is block 0 the bounded decode stops inside it.
+        assert!(src
+            .read_window(0, traces[0][0].ts_local - 1)
+            .unwrap()
+            .is_empty());
+        // A window past the end of the trace: nothing is even opened.
+        let before = counter.load(Ordering::Relaxed);
+        assert!(src.read_window(u64::MAX - 1, u64::MAX).unwrap().is_empty());
+        assert_eq!(counter.load(Ordering::Relaxed), before, "no bytes read");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_stream_range_clips_both_ends() {
+        let dir = tmpdir("range");
+        let (traces, _) = write_sample(&dir);
+        let c = Corpus::open(&dir).unwrap();
+        let counter = Arc::new(AtomicU64::new(0));
+        let src = c.source(0, Arc::clone(&counter)).unwrap();
+
+        let (lo, hi) = (traces[0][100].ts_local, traces[0][320].ts_local);
+        let mut s = src.open_stream_range(lo, hi).unwrap();
+        let mut got = Vec::new();
+        {
+            use crate::stream::EventStream;
+            assert_eq!(s.meta(), src.meta());
+            while let Some(e) = s.next_event().unwrap() {
+                got.push(e);
+            }
+        }
+        let expect: Vec<PhyEvent> = traces[0]
+            .iter()
+            .filter(|e| e.ts_local >= lo && e.ts_local <= hi)
+            .cloned()
+            .collect();
+        assert_eq!(got, expect);
+        // Bounded I/O on both sides.
+        let file_len = std::fs::metadata(dir.join(&c.manifest().radios[0].data))
+            .unwrap()
+            .len();
+        assert!(
+            counter.load(Ordering::Relaxed) < file_len,
+            "read everything"
+        );
+
+        // A range past the end yields a valid, empty stream with no I/O.
+        let before = counter.load(Ordering::Relaxed);
+        let mut empty = src.open_stream_range(u64::MAX - 1, u64::MAX).unwrap();
+        {
+            use crate::stream::EventStream;
+            assert!(empty.next_event().unwrap().is_none());
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn universal_span_from_indexes_only() {
+        let dir = tmpdir("span");
+        let (traces, _) = write_sample(&dir);
+        let c = Corpus::open(&dir).unwrap();
+        // Expected: each radio's [first, last] local ts mapped through its
+        // anchor pair, merged across radios.
+        let expect_lo = (0..2)
+            .map(|r| {
+                c.manifest().radios[r]
+                    .meta
+                    .anchor_universal(traces[r][0].ts_local)
+            })
+            .min()
+            .unwrap();
+        let expect_hi = (0..2)
+            .map(|r| {
+                c.manifest().radios[r]
+                    .meta
+                    .anchor_universal(traces[r].last().unwrap().ts_local)
+            })
+            .max()
+            .unwrap();
+        assert_eq!(c.universal_span().unwrap(), Some((expect_lo, expect_hi)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wired_member_is_stored_and_digest_chained() {
+        let dir = tmpdir("wired");
+        let payload = b"JIGW-opaque-payload".to_vec();
+        let mut w = CorpusWriter::create(&dir, "sample", 7, 0.5, 200, 9_000, 2048).unwrap();
+        let trace: Vec<PhyEvent> = (0..50)
+            .map(|k| ev(0, 1_000 + k * 500, 1, k as u8))
+            .collect();
+        w.record_radio(meta(0, 1, 1_000), trace.iter()).unwrap();
+        w.record_wired(3, &payload).unwrap();
+        // Ordering is enforced: wired closes the member chain.
+        assert!(w.record_wired(3, &payload).is_err());
+        assert!(w.record_radio(meta(1, 6, 2_000), trace.iter()).is_err());
+        let summary = w.finish().unwrap();
+
+        let c = Corpus::open(&dir).unwrap();
+        assert_eq!(
+            c.manifest().wired,
+            Some(ManifestWired {
+                records: 3,
+                file: WIRED_NAME.into()
+            })
+        );
+        assert_eq!(c.manifest().duration_us, 9_000);
+        assert_eq!(c.wired_payload().unwrap().unwrap(), payload);
+        assert_eq!(c.data_bytes().unwrap(), summary.data_bytes);
+        assert!(c.verify_digest().unwrap());
+
+        // Tampering with the wired member breaks the corpus digest.
+        let mut bytes = std::fs::read(dir.join(WIRED_NAME)).unwrap();
+        bytes[2] ^= 0x10;
+        std::fs::write(dir.join(WIRED_NAME), bytes).unwrap();
+        assert!(!c.verify_digest().unwrap());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

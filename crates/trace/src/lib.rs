@@ -30,16 +30,18 @@
 //!
 //! A *corpus* is a directory with one trace file (`rNNN.jigt`) and one
 //! block-index file (`rNNN.jigx`) per radio, a line-oriented `MANIFEST`
-//! (scenario, seed, scale, snaplen, per-radio table), and a `corpus.digest`
-//! FNV-1a fingerprint of everything — the unit of replayable, CI-checkable
-//! merge input. The `repro` binary drives the whole cycle:
+//! (scenario, seed, scale, snaplen, duration, per-radio table, wired
+//! member), the wired distribution-network trace (`wired.jigw`), and a
+//! `corpus.digest` FNV-1a fingerprint of everything — the unit of
+//! replayable, CI-checkable merge input. The `repro` binary drives the
+//! whole cycle:
 //!
 //! ```text
 //! repro record --corpus DIR [--scenario tiny|small|paper_day] [--seed N]
 //!              [--scale F] [--block-bytes N]     # simulate → write corpus
 //! repro merge  --corpus DIR [--parallel --threads N] [--verify]
-//!              [--max-buffered N]                # stream corpus → jframes
-//! repro bench-stream [--corpus DIR] [--out F]    # record+merge, BENCH_stream.json
+//!              [--from US --to US] [--max-buffered N]  # corpus → jframes
+//! repro bench-stream [--corpus DIR] [--from US --to US] [--out F]
 //! ```
 //!
 //! `merge` never materializes the corpus in memory: each radio's bootstrap
@@ -49,6 +51,14 @@
 //! not by corpus size. `--verify` re-simulates from the manifest's seed and
 //! asserts the disk-backed jframe stream is identical (count, order, and
 //! digest) to the in-memory serial and channel-sharded runs.
+//!
+//! With `--from/--to` the replay is **time-windowed**: reads index-seek to
+//! the window ([`TimeWindow`], phrased in the anchor-universal time of
+//! [`RadioMeta::anchor_universal`]), the clock bootstrap re-anchors
+//! mid-trace, and disk bytes scale with the window's blocks rather than
+//! the corpus — the paper's "start at 11 am without decompressing the
+//! morning". A windowed `--verify` pins the run against the full replay
+//! clipped to the same window.
 
 pub mod compress;
 pub mod corpus;
@@ -103,7 +113,11 @@ impl std::fmt::Display for MonitorId {
 /// The anchor reproduces paper footnote 4: each monitor keeps its *system*
 /// clock within milliseconds via NTP and records it in the trace, giving a
 /// coarse mapping from the free-running radio clock to wall time. Jigsaw
-/// uses it only to delimit the "first second" bootstrap window.
+/// uses it to delimit the bootstrap window — originally the trace's first
+/// second, and since time-windowed replay landed, a one-second window at
+/// *any* requested timestamp: [`RadioMeta::coarse_local`] maps a universal
+/// (wall-anchored) timestamp to this radio's local clock to millisecond
+/// accuracy, which is exactly good enough to seed a fresh bootstrap there.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RadioMeta {
     /// The radio.
@@ -116,6 +130,74 @@ pub struct RadioMeta {
     pub anchor_wall_us: u64,
     /// The radio's local clock value at the same instant.
     pub anchor_local_us: u64,
+}
+
+impl RadioMeta {
+    /// The coarse clock offset implied by the NTP anchor pair:
+    /// `local ≈ universal + coarse_offset_us` (signed µs). Accurate to the
+    /// NTP error (milliseconds) plus whatever the oscillator has drifted
+    /// since the anchor was taken (ppm × elapsed time).
+    pub fn coarse_offset_us(&self) -> i64 {
+        self.anchor_local_us as i64 - self.anchor_wall_us as i64
+    }
+
+    /// Maps a universal (wall-anchored) timestamp to this radio's local
+    /// clock through the anchor pair — the coarse seed a mid-trace replay
+    /// uses to know *where in the local-time trace* a wall-clock window
+    /// starts, before the fine-grained bootstrap takes over.
+    pub fn coarse_local(&self, universal: Micros) -> Micros {
+        (universal as i64 + self.coarse_offset_us()).max(0) as Micros
+    }
+
+    /// Maps a local timestamp to *anchor time* — the NTP-anchored universal
+    /// timeline defined purely by the manifest anchors, independent of any
+    /// merge-time clock state. Windowed replay clips by this key so a
+    /// windowed run and a full run agree exactly on window membership.
+    pub fn anchor_universal(&self, local: Micros) -> Micros {
+        (local as i64 - self.coarse_offset_us()).max(0) as Micros
+    }
+}
+
+/// A half-open `[from, to)` interval on the universal (wall-anchored)
+/// timeline, in µs — the "start at 11 am" window a time-windowed replay
+/// merges and analyzes. Construct with [`TimeWindow::new`], which enforces
+/// `from < to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeWindow {
+    /// Inclusive start, universal µs.
+    pub from: Micros,
+    /// Exclusive end, universal µs.
+    pub to: Micros,
+}
+
+impl TimeWindow {
+    /// Builds a window; `None` unless `from < to` (an empty or inverted
+    /// window is always a caller error worth surfacing, never a silent
+    /// no-op run).
+    pub fn new(from: Micros, to: Micros) -> Option<Self> {
+        (from < to).then_some(TimeWindow { from, to })
+    }
+
+    /// True when `ts` falls inside `[from, to)`.
+    pub fn contains(&self, ts: Micros) -> bool {
+        ts >= self.from && ts < self.to
+    }
+
+    /// True when the window intersects the span `[lo, hi]`.
+    pub fn overlaps(&self, lo: Micros, hi: Micros) -> bool {
+        self.from <= hi && self.to > lo
+    }
+
+    /// Window length in µs.
+    pub fn len_us(&self) -> Micros {
+        self.to - self.from
+    }
+}
+
+impl std::fmt::Display for TimeWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.from, self.to)
+    }
 }
 
 /// Reception quality of a PHY event.
@@ -223,5 +305,40 @@ mod tests {
         assert_eq!(RadioId(15).to_string(), "r15");
         assert_eq!(MonitorId(7).to_string(), "m7");
         assert_eq!(RadioId(15).index(), 15);
+    }
+
+    #[test]
+    fn anchor_mapping_roundtrips() {
+        let m = RadioMeta {
+            radio: RadioId(0),
+            monitor: MonitorId(0),
+            channel: Channel::of(1),
+            anchor_wall_us: 2_000,
+            anchor_local_us: 5_000_000,
+        };
+        assert_eq!(m.coarse_offset_us(), 4_998_000);
+        assert_eq!(m.coarse_local(10_000), 5_008_000);
+        assert_eq!(m.anchor_universal(5_008_000), 10_000);
+        // Local clocks far behind wall time clamp at 0, never wrap.
+        let behind = RadioMeta {
+            anchor_wall_us: 9_000_000,
+            anchor_local_us: 1_000,
+            ..m
+        };
+        assert_eq!(behind.coarse_offset_us(), -8_999_000);
+        assert_eq!(behind.coarse_local(1_000_000), 0);
+    }
+
+    #[test]
+    fn time_window_semantics() {
+        assert!(TimeWindow::new(5, 5).is_none());
+        assert!(TimeWindow::new(6, 5).is_none());
+        let w = TimeWindow::new(100, 200).unwrap();
+        assert!(w.contains(100) && w.contains(199));
+        assert!(!w.contains(99) && !w.contains(200));
+        assert_eq!(w.len_us(), 100);
+        assert!(w.overlaps(0, 100) && w.overlaps(199, 300) && w.overlaps(150, 160));
+        assert!(!w.overlaps(0, 99) && !w.overlaps(200, 300));
+        assert_eq!(w.to_string(), "[100, 200)");
     }
 }

@@ -129,6 +129,62 @@ impl<R: Seek> Seek for CountingReader<R> {
     }
 }
 
+/// A stream restricted to events with `ts_local` in `[lo, hi]`: events
+/// before `lo` are skipped, and the first event past `hi` ends the stream
+/// (the underlying reader is dropped, so nothing past the window is ever
+/// decoded — with an index-seeked inner stream this is what makes a
+/// windowed replay's I/O proportional to the window, not the trace).
+pub struct WindowedStream<S> {
+    meta: RadioMeta,
+    inner: Option<S>,
+    lo: u64,
+    hi: u64,
+}
+
+impl<S: EventStream> WindowedStream<S> {
+    /// Wraps `inner` (or nothing, for a window past the end of the trace —
+    /// the stream is then immediately exhausted).
+    pub fn new(meta: RadioMeta, inner: Option<S>, lo: u64, hi: u64) -> Self {
+        WindowedStream {
+            meta,
+            inner,
+            lo,
+            hi,
+        }
+    }
+
+    /// The local-time bounds `(lo, hi)` this stream clips to.
+    pub fn bounds(&self) -> (u64, u64) {
+        (self.lo, self.hi)
+    }
+}
+
+impl<S: EventStream> EventStream for WindowedStream<S> {
+    fn meta(&self) -> RadioMeta {
+        self.meta
+    }
+
+    fn next_event(&mut self) -> Result<Option<PhyEvent>, FormatError> {
+        let Some(inner) = self.inner.as_mut() else {
+            return Ok(None);
+        };
+        loop {
+            match inner.next_event()? {
+                None => {
+                    self.inner = None;
+                    return Ok(None);
+                }
+                Some(ev) if ev.ts_local < self.lo => continue,
+                Some(ev) if ev.ts_local > self.hi => {
+                    self.inner = None; // stop decoding: the tail never loads
+                    return Ok(None);
+                }
+                Some(ev) => return Ok(Some(ev)),
+            }
+        }
+    }
+}
+
 /// One channel's slice of a stream set: the tuned channel plus its member
 /// streams, each tagged with its index in the original stream table (so
 /// per-radio side tables — bootstrap offsets, seed prefixes — can follow
@@ -303,6 +359,27 @@ mod tests {
         assert_eq!(count.load(Ordering::Relaxed), 300);
         let n = std::io::Read::read(&mut r, &mut buf).unwrap();
         assert_eq!(count.load(Ordering::Relaxed), 300 + n as u64);
+    }
+
+    #[test]
+    fn windowed_stream_clips_and_stops() {
+        let events: Vec<PhyEvent> = [10u64, 20, 30, 40, 50].iter().map(|&t| ev(t)).collect();
+        let inner = MemoryStream::new(meta(), events);
+        let mut w = WindowedStream::new(meta(), Some(inner), 20, 40);
+        assert_eq!(w.bounds(), (20, 40));
+        let mut got = Vec::new();
+        while let Some(e) = w.next_event().unwrap() {
+            got.push(e.ts_local);
+        }
+        // Inclusive on both local bounds; 10 skipped, 50 never surfaced.
+        assert_eq!(got, vec![20, 30, 40]);
+        // Exhausted stays exhausted.
+        assert!(w.next_event().unwrap().is_none());
+
+        // A window past the trace: no inner stream, immediately empty.
+        let mut empty = WindowedStream::<MemoryStream>::new(meta(), None, 0, 100);
+        assert_eq!(empty.meta().radio, RadioId(0));
+        assert!(empty.next_event().unwrap().is_none());
     }
 
     #[test]

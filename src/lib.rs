@@ -71,7 +71,7 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let out = jigsaw::sim::scenario::ScenarioConfig::tiny(42).run();
 //! let dir = std::path::Path::new("target/my_corpus");
-//! let mut w = CorpusWriter::create(dir, "tiny", 42, 1.0, 65_535, 0)?;
+//! let mut w = CorpusWriter::create(dir, "tiny", 42, 1.0, 65_535, out.duration_us, 0)?;
 //! for (meta, trace) in out.radio_meta.iter().zip(&out.traces) {
 //!     w.record_radio(*meta, trace.iter())?;
 //! }
@@ -88,6 +88,37 @@
 //!     .register(jigsaw::analysis::dispersion::DispersionAnalysis::new());
 //! let report = Pipeline::run(sources, &PipelineConfig::default(), &mut suite)?;
 //! assert_eq!(report.merge.events_in, corpus.total_events());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Replays need not start at t = 0. A **time-windowed replay** opens each
+//! radio at any `[from, to)` interval of the corpus (anchor-universal µs):
+//! reads index-seek to the window, the clock bootstrap re-anchors there
+//! through the manifest's NTP anchors, and only in-window jframes reach
+//! the observer — cost proportional to the window, not the corpus (the
+//! CLI spelling is `repro analyze --corpus <dir> --from 3000000 --to
+//! 6000000 [--parallel]`, and `repro merge --from/--to --verify` pins the
+//! windowed run against the full replay clipped to the same window):
+//!
+//! ```no_run
+//! use jigsaw::core::pipeline::{Pipeline, PipelineConfig, WindowedCorpusSource};
+//! use jigsaw::trace::corpus::Corpus;
+//! use jigsaw::trace::TimeWindow;
+//! use std::sync::{atomic::AtomicU64, Arc};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let corpus = Corpus::open(std::path::Path::new("target/my_corpus"))?;
+//! let window = TimeWindow::new(3_000_000, 6_000_000).expect("from < to");
+//! let sources: Vec<WindowedCorpusSource> = corpus
+//!     .sources(Arc::new(AtomicU64::new(0)))?
+//!     .into_iter()
+//!     .map(|s| WindowedCorpusSource::new(s, window))
+//!     .collect();
+//! let cfg = PipelineConfig { window: Some(window), ..PipelineConfig::default() };
+//! let mut suite = jigsaw::analysis::Suite::new()
+//!     .register(jigsaw::analysis::dispersion::DispersionAnalysis::new());
+//! Pipeline::run(sources, &cfg, &mut suite)?; // only [from, to) is analyzed
 //! # Ok(())
 //! # }
 //! ```
