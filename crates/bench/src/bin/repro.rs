@@ -9,8 +9,14 @@
 //!        record --corpus DIR [--scenario NAME] [--block-bytes N] [--snaplen N]|
 //!        merge --corpus DIR [--from US --to US] [--verify] [--max-buffered N]|
 //!        analyze --corpus DIR [--from US --to US]|
-//!        bench-stream [--corpus DIR] [--from US --to US] [--out F]]
+//!        bench-stream [--corpus DIR] [--from US --to US] [--out F]|
+//!        sweep [--scenario NAME] [--golden DIR] [--corpus DIR] [--bless]]
 //! ```
+//!
+//! Usage errors — an unknown flag or subcommand, a flag value that does
+//! not parse, a missing required flag, or a second subcommand — exit 2
+//! with a one-line message. Correctness failures (verify divergence,
+//! `--max-buffered` exceeded, golden mismatch) exit 1.
 //!
 //! `smoke` is the CI entry point: a seconds-long `ScenarioConfig::tiny`
 //! run through the full pipeline — once with the serial merger and once
@@ -39,6 +45,17 @@
 //!   distribution-network trace Figure 6 compares against is stored in the
 //!   corpus (`wired.jigw`), so nothing is re-simulated — the whole suite
 //!   runs from disk alone.
+//!
+//! `sweep` is the standing golden-record harness: every scenario of the
+//! adversarial sweep matrix (`jigsaw_sim::spec::ScenarioSpec::sweep_matrix`
+//! — roaming, hidden terminals, co-channel re-allocation, protection-mode
+//! coexistence, QoS mixes, error stress) runs end-to-end — record to a
+//! disk corpus, full merges on both drivers from memory and disk, the
+//! figure suite's machine records serial vs sharded, and a windowed
+//! replay — and the surviving digests + `record` lines are diffed line by
+//! line against per-scenario golden files under `.github/golden/sweep/`.
+//! `--bless` rewrites the goldens from the current run; `--scenario`
+//! restricts to one matrix entry.
 //!
 //! `merge`, `analyze`, and `bench-stream` accept a **replay window**:
 //! `--from US --to US` (anchor-universal µs, half-open `[from, to)`)
@@ -99,8 +116,13 @@ struct Args {
     corpus: Option<String>,
     /// Output path override (`bench-merge` / `bench-stream`).
     out: Option<String>,
-    /// Scenario preset for `record` (tiny | small | paper_day).
-    scenario: String,
+    /// Scenario name: a preset (tiny | small | paper_day) or a sweep-matrix
+    /// entry for `record`; a matrix filter for `sweep`.
+    scenario: Option<String>,
+    /// Golden directory for `sweep`.
+    golden: String,
+    /// `sweep`: rewrite the golden files from this run.
+    bless: bool,
     /// Trace block size in bytes for `record` (0 = format default).
     block_bytes: usize,
     /// Snap length for `record` (sim traces are already capture-snapped).
@@ -118,6 +140,35 @@ struct Args {
     cmd: String,
 }
 
+/// Exits 2 with a one-line message — the usage-error contract every
+/// subcommand shares (correctness failures exit 1 instead).
+fn usage_error(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+/// The next argument as a flag's value, or a usage error.
+fn flag_value(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    match it.next() {
+        Some(v) => v,
+        None => usage_error(&format!("{flag} requires a value")),
+    }
+}
+
+/// The next argument parsed as `T`, or a usage error naming what was
+/// expected. Every valued flag goes through here: a value that doesn't
+/// parse must never silently fall back to the default — CI passes these
+/// flags as pass/fail gates.
+fn flag_parsed<T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = String>,
+    flag: &str,
+    what: &str,
+) -> T {
+    let v = flag_value(it, flag);
+    v.parse()
+        .unwrap_or_else(|_| usage_error(&format!("{flag}: expected {what}, got `{v}`")))
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
         seed: 20060124, // the paper's trace date
@@ -126,7 +177,9 @@ fn parse_args() -> Args {
         threads: 0,
         corpus: None,
         out: None,
-        scenario: String::from("paper_day"),
+        scenario: None,
+        golden: String::from(jigsaw_bench::sweep::GOLDEN_DIR),
+        bless: false,
         block_bytes: 0,
         snaplen: 65_535,
         verify: false,
@@ -135,59 +188,46 @@ fn parse_args() -> Args {
         to: None,
         cmd: String::from("all"),
     };
+    let mut cmd: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
-            "--scale" => args.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.scale),
+            "--seed" => args.seed = flag_parsed(&mut it, "--seed", "an integer seed"),
+            "--scale" => args.scale = flag_parsed(&mut it, "--scale", "a scale factor"),
             "--parallel" => args.parallel = true,
-            "--threads" => {
-                args.threads = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(args.threads)
-            }
-            "--corpus" => args.corpus = it.next(),
-            "--out" => args.out = it.next(),
-            "--scenario" => args.scenario = it.next().unwrap_or(args.scenario),
+            "--threads" => args.threads = flag_parsed(&mut it, "--threads", "a thread count"),
+            "--corpus" => args.corpus = Some(flag_value(&mut it, "--corpus")),
+            "--out" => args.out = Some(flag_value(&mut it, "--out")),
+            "--scenario" => args.scenario = Some(flag_value(&mut it, "--scenario")),
+            "--golden" => args.golden = flag_value(&mut it, "--golden"),
+            "--bless" => args.bless = true,
             "--block-bytes" => {
-                args.block_bytes = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(args.block_bytes)
+                args.block_bytes = flag_parsed(&mut it, "--block-bytes", "a block size in bytes")
             }
-            "--snaplen" => {
-                args.snaplen = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(args.snaplen)
-            }
+            "--snaplen" => args.snaplen = flag_parsed(&mut it, "--snaplen", "a snap length"),
             "--verify" => args.verify = true,
-            "--from" | "--to" => {
-                // Window bounds gate correctness checks in CI: a value that
-                // doesn't parse must not silently mean "no bound".
-                let v = it.next().unwrap_or_default();
-                let parsed = v.parse().unwrap_or_else(|_| {
-                    eprintln!("{a}: expected a timestamp in universal µs, got `{v}`");
-                    std::process::exit(2);
-                });
-                if a == "--from" {
-                    args.from = Some(parsed);
-                } else {
-                    args.to = Some(parsed);
-                }
+            "--from" => {
+                args.from = Some(flag_parsed(
+                    &mut it,
+                    "--from",
+                    "a timestamp in universal µs",
+                ))
             }
+            "--to" => args.to = Some(flag_parsed(&mut it, "--to", "a timestamp in universal µs")),
             "--max-buffered" => {
-                // This flag is a pass/fail gate (CI relies on it): a value
-                // that doesn't parse must not silently mean "no limit".
-                let v = it.next().unwrap_or_default();
-                args.max_buffered = v.parse().unwrap_or_else(|_| {
-                    eprintln!("--max-buffered: expected an event count, got `{v}`");
-                    std::process::exit(2);
-                });
+                args.max_buffered = flag_parsed(&mut it, "--max-buffered", "an event count")
             }
-            other => args.cmd = other.to_string(),
+            other if other.starts_with('-') => usage_error(&format!("unknown flag `{other}`")),
+            other => match &cmd {
+                None => cmd = Some(other.to_string()),
+                Some(first) => usage_error(&format!(
+                    "unexpected argument `{other}` (subcommand `{first}` already given)"
+                )),
+            },
         }
+    }
+    if let Some(c) = cmd {
+        args.cmd = c;
     }
     args
 }
@@ -257,10 +297,8 @@ fn main() {
         "merge" => run_corpus_merge(&args),
         "analyze" => run_analyze(&args),
         "bench-stream" => run_bench_stream(&args),
-        other => {
-            eprintln!("unknown subcommand {other}");
-            std::process::exit(2);
-        }
+        "sweep" => run_sweep(&args),
+        other => usage_error(&format!("unknown subcommand `{other}`")),
     }
 }
 
@@ -631,7 +669,7 @@ fn run_smoke(args: &Args) {
 fn run_bench_merge(args: &Args) {
     banner("BENCH — merge stage, serial vs channel-sharded");
     let out = simulate(args.seed, args.scale);
-    let bench = MergeBench::run(&out, "paper_day", args.scale, args.threads);
+    let bench = MergeBench::run(&out, "paper_day", args.seed, args.scale, args.threads);
     println!(
         "events {}  channels {}  threads {}  cores {}  serial {:.3}s  parallel {:.3}s  speedup {:.2}x",
         bench.events,
@@ -709,12 +747,11 @@ fn replay_window(args: &Args, corpus: &jigsaw_trace::corpus::Corpus) -> Option<T
 fn run_record(args: &Args) {
     banner("RECORD — simulate and persist a trace corpus");
     let dir = corpus_dir(args);
-    let Some(cfg) = jigsaw_bench::scenario_by_name(&args.scenario, args.seed, args.scale) else {
-        eprintln!(
-            "unknown scenario `{}` (expected tiny | small | paper_day)",
-            args.scenario
-        );
-        std::process::exit(2);
+    let scenario = args.scenario.as_deref().unwrap_or("paper_day");
+    let Some(cfg) = jigsaw_bench::scenario_by_name(scenario, args.seed, args.scale) else {
+        usage_error(&format!(
+            "unknown scenario `{scenario}` (expected tiny | small | paper_day, or a sweep-matrix name)"
+        ));
     };
     let t0 = Instant::now();
     let out = cfg.run();
@@ -723,7 +760,7 @@ fn run_record(args: &Args) {
     let summary = jigsaw_bench::record_corpus(
         &out,
         &dir,
-        &args.scenario,
+        scenario,
         args.seed,
         args.scale,
         args.snaplen,
@@ -1170,6 +1207,8 @@ fn run_bench_stream(args: &Args) {
 
     let bench = jigsaw_bench::StreamBench {
         scenario: "paper_day".into(),
+        seed: args.seed,
+        git_sha: jigsaw_bench::git_sha(),
         scale: args.scale,
         events,
         jframes: digest.count(),
@@ -1215,6 +1254,97 @@ fn run_bench_stream(args: &Args) {
     let path = args.out.as_deref().unwrap_or("BENCH_stream.json");
     std::fs::write(path, bench.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("wrote {path}");
+}
+
+/// `sweep`: the standing golden-record matrix over adversarial traffic
+/// shapes. Every scenario runs end-to-end (record → both merge drivers
+/// from memory and disk → figure-suite records serial vs sharded → a
+/// windowed replay), and the surviving digests + record lines diff
+/// line-by-line against `.github/golden/sweep/<name>.golden`. Any
+/// cross-check divergence or golden drift exits 1; `--bless` rewrites the
+/// goldens instead of comparing.
+fn run_sweep(args: &Args) {
+    use jigsaw_bench::sweep::{self, GoldenStatus};
+    banner("SWEEP — golden-record scenario matrix");
+    let golden_dir = std::path::PathBuf::from(&args.golden);
+    let out_root = std::path::PathBuf::from(args.corpus.as_deref().unwrap_or("target/sweep"));
+    let matrix = jigsaw_sim::spec::ScenarioSpec::sweep_matrix();
+    let specs = match &args.scenario {
+        None => matrix,
+        Some(name) => match jigsaw_sim::spec::ScenarioSpec::by_name(name) {
+            Some(s) => vec![s],
+            None => {
+                let names: Vec<&str> = matrix.iter().map(|s| s.name.as_str()).collect();
+                usage_error(&format!(
+                    "unknown sweep scenario `{name}` (the matrix: {names:?})"
+                ));
+            }
+        },
+    };
+    // Fail fast on matrix ↔ golden drift before burning CPU on simulations.
+    // Skipped when blessing (which creates the files) or filtering to one
+    // scenario (a partial run cannot judge the whole set).
+    if !args.bless && args.scenario.is_none() {
+        if let Err(e) = sweep::check_matrix_coverage(&golden_dir) {
+            eprintln!("FAIL: golden set and sweep matrix drifted apart:\n{e}");
+            std::process::exit(1);
+        }
+    }
+    let mut failures = 0usize;
+    for spec in &specs {
+        let t0 = Instant::now();
+        let run = match sweep::run_scenario(spec, args.seed, &out_root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                println!("sweep {}: FAIL ({:.1?})", spec.name, t0.elapsed());
+                failures += 1;
+                continue;
+            }
+        };
+        let status = sweep::check_golden(&run, &golden_dir, args.bless);
+        // One stable stdout line per scenario — what CI greps into the
+        // step summary.
+        println!(
+            "sweep {}: events {} jframes {} digest {} window_jframes {} golden {} ({:.1?})",
+            run.name,
+            run.events,
+            run.jframes,
+            run.stream_digest,
+            run.window_jframes,
+            status.label(),
+            t0.elapsed()
+        );
+        match &status {
+            GoldenStatus::Mismatch(diff) => eprintln!(
+                "FAIL: `{}` drifted from {}:\n{diff}(intentional change? re-bless with `repro sweep --bless`)",
+                run.name,
+                sweep::golden_path(&golden_dir, &run.name).display()
+            ),
+            GoldenStatus::Missing(path) => eprintln!(
+                "FAIL: `{}` has no golden at {} (bless with `repro sweep --bless`)",
+                run.name,
+                path.display()
+            ),
+            _ => {}
+        }
+        if status.is_failure() {
+            failures += 1;
+        }
+    }
+    // A full bless must leave a self-consistent set behind (stale goldens
+    // for retired scenarios still fail).
+    if args.bless && args.scenario.is_none() {
+        if let Err(e) = sweep::check_matrix_coverage(&golden_dir) {
+            eprintln!("FAIL: {e}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("sweep: {failures} scenario(s) failed");
+        std::process::exit(1);
+    }
+    println!("sweep OK: {} scenario(s)", specs.len());
 }
 
 /// Baseline mergers vs Jigsaw.

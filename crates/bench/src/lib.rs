@@ -14,6 +14,7 @@ use jigsaw_core::JFrame;
 use jigsaw_ieee80211::MacAddr;
 use jigsaw_sim::output::SimOutput;
 use jigsaw_sim::scenario::ScenarioConfig;
+use jigsaw_sim::spec::ScenarioSpec;
 use jigsaw_sim::wired::WiredTraceRecord;
 use jigsaw_trace::corpus::{Corpus, CorpusError, CorpusSummary, CorpusWriter};
 use jigsaw_trace::digest::Fnv64;
@@ -23,6 +24,8 @@ use std::path::Path;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+pub mod sweep;
 
 /// The paper-scale scenario at a CPU/RAM scale factor.
 ///
@@ -91,15 +94,68 @@ pub fn figure_suite_parts(
     jigsaw_analysis::Suite::paper(&params).register(coverage)
 }
 
-/// Resolves a scenario by the name recorded in a corpus manifest. `scale`
-/// only applies to `paper_day` (the presets are fixed-size by design).
-pub fn scenario_by_name(name: &str, seed: u64, scale: f64) -> Option<ScenarioConfig> {
-    match name {
-        "tiny" => Some(ScenarioConfig::tiny(seed)),
-        "small" => Some(ScenarioConfig::small(seed)),
-        "paper_day" => Some(paper_scenario(seed, scale)),
-        _ => None,
+/// A scenario resolved from a manifest (or CLI) name: either one of the
+/// classic fixed presets, or a named [`ScenarioSpec`] from the sweep
+/// matrix, carrying the seed it will run under.
+#[derive(Debug, Clone)]
+pub enum NamedScenario {
+    /// `tiny` | `small` | `paper_day`.
+    Preset(ScenarioConfig),
+    /// A sweep-matrix spec (`roaming`, `hidden_terminal`, …) plus the run
+    /// seed.
+    Spec(ScenarioSpec, u64),
+}
+
+impl NamedScenario {
+    /// Simulated duration in µs.
+    pub fn day_us(&self) -> u64 {
+        match self {
+            NamedScenario::Preset(c) => c.day_us,
+            NamedScenario::Spec(s, _) => s.base.day_us,
+        }
     }
+
+    /// Simulates the scenario to completion.
+    pub fn run(&self) -> SimOutput {
+        match self {
+            NamedScenario::Preset(c) => c.clone().run(),
+            NamedScenario::Spec(s, seed) => s.run(*seed),
+        }
+    }
+}
+
+/// Resolves a scenario by the name recorded in a corpus manifest. `scale`
+/// only applies to `paper_day` (the presets are fixed-size by design);
+/// names not among the classic presets fall through to the sweep matrix
+/// ([`ScenarioSpec::by_name`]), so a corpus recorded by `repro sweep`
+/// re-verifies with plain `repro merge --verify`.
+pub fn scenario_by_name(name: &str, seed: u64, scale: f64) -> Option<NamedScenario> {
+    match name {
+        "tiny" => Some(NamedScenario::Preset(ScenarioConfig::tiny(seed))),
+        "small" => Some(NamedScenario::Preset(ScenarioConfig::small(seed))),
+        "paper_day" => Some(NamedScenario::Preset(paper_scenario(seed, scale))),
+        _ => ScenarioSpec::by_name(name).map(|s| NamedScenario::Spec(s, seed)),
+    }
+}
+
+/// The source revision a bench record was produced at: `GITHUB_SHA` when
+/// CI exports one, else the working tree's `git rev-parse`, else
+/// `"unknown"` — never an error, so bench runs work from a bare export.
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        let sha = sha.trim().to_string();
+        if !sha.is_empty() {
+            return sha.chars().take(12).collect();
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
 }
 
 /// Records a simulated world as an on-disk corpus (one compressed, indexed
@@ -304,6 +360,10 @@ pub fn merge_wallclock(out: &SimOutput, threads: Option<usize>) -> (Duration, Me
 pub struct MergeBench {
     /// Scenario label.
     pub scenario: String,
+    /// Simulation seed the scenario ran at.
+    pub seed: u64,
+    /// Source revision the record was produced at (see [`git_sha`]).
+    pub git_sha: String,
     /// Scale factor the scenario ran at.
     pub scale: f64,
     /// Capture events merged.
@@ -330,7 +390,7 @@ pub struct MergeBench {
 
 impl MergeBench {
     /// Runs both mergers over the same simulated world.
-    pub fn run(out: &SimOutput, scenario: &str, scale: f64, threads: usize) -> Self {
+    pub fn run(out: &SimOutput, scenario: &str, seed: u64, scale: f64, threads: usize) -> Self {
         let channels = jigsaw_trace::stream::distinct_channels(&out.radio_meta).len();
         // Untimed warmup pass: fault in every event buffer and warm the
         // allocator so the first timed run is not charged for cold caches
@@ -348,6 +408,8 @@ impl MergeBench {
         let (par_t, par_stats) = merge_wallclock(out, Some(want));
         MergeBench {
             scenario: scenario.to_string(),
+            seed,
+            git_sha: git_sha(),
             scale,
             events: serial_stats.events_in,
             channels,
@@ -374,6 +436,8 @@ impl MergeBench {
             concat!(
                 "{{\n",
                 "  \"scenario\": \"{}\",\n",
+                "  \"seed\": {},\n",
+                "  \"git_sha\": \"{}\",\n",
                 "  \"scale\": {},\n",
                 "  \"events\": {},\n",
                 "  \"channels\": {},\n",
@@ -387,6 +451,8 @@ impl MergeBench {
                 "}}\n"
             ),
             self.scenario,
+            self.seed,
+            self.git_sha,
             self.scale,
             self.events,
             self.channels,
@@ -410,6 +476,10 @@ impl MergeBench {
 pub struct StreamBench {
     /// Scenario label.
     pub scenario: String,
+    /// Simulation seed the scenario ran at.
+    pub seed: u64,
+    /// Source revision the record was produced at (see [`git_sha`]).
+    pub git_sha: String,
     /// Scale factor the scenario ran at.
     pub scale: f64,
     /// Capture events recorded and re-merged.
@@ -516,6 +586,8 @@ impl StreamBench {
             concat!(
                 "{{\n",
                 "  \"scenario\": \"{}\",\n",
+                "  \"seed\": {},\n",
+                "  \"git_sha\": \"{}\",\n",
                 "  \"scale\": {},\n",
                 "  \"events\": {},\n",
                 "  \"jframes\": {},\n",
@@ -535,6 +607,8 @@ impl StreamBench {
                 "}}\n"
             ),
             self.scenario,
+            self.seed,
+            self.git_sha,
             self.scale,
             self.events,
             self.jframes,
@@ -612,14 +686,26 @@ mod tests {
         assert!(scenario_by_name("tiny", 1, 1.0).is_some());
         assert!(scenario_by_name("small", 1, 1.0).is_some());
         let p = scenario_by_name("paper_day", 1, 0.5).unwrap();
-        assert_eq!(p.day_us, 360_000_000);
+        assert_eq!(p.day_us(), 360_000_000);
+        // Non-preset names fall through to the sweep matrix.
+        let s = scenario_by_name("roaming", 7, 1.0).unwrap();
+        assert!(matches!(s, NamedScenario::Spec(_, 7)));
         assert!(scenario_by_name("nope", 1, 1.0).is_none());
+    }
+
+    #[test]
+    fn git_sha_is_short_and_nonempty() {
+        let sha = git_sha();
+        assert!(!sha.is_empty());
+        assert!(sha.len() <= 12);
     }
 
     #[test]
     fn stream_bench_json_shape() {
         let mut b = StreamBench {
             scenario: "paper_day".into(),
+            seed: 20060124,
+            git_sha: "abc123def456".into(),
             scale: 0.25,
             events: 1_000_000,
             jframes: 400_000,
@@ -640,6 +726,8 @@ mod tests {
         assert!((b.seek_speedup() - 1.0).abs() < 1e-9);
         let j = b.to_json();
         assert!(j.contains("\"events_per_s\": 250000"));
+        assert!(j.contains("\"seed\": 20060124"));
+        assert!(j.contains("\"git_sha\": \"abc123def456\""));
         assert!(j.contains("\"peak_buffered_events\": 12345"));
         assert!(j.contains("\"digest\": \"0123456789abcdef\""));
         assert!(!j.contains("window_from"), "no window leg, no window keys");
@@ -719,6 +807,8 @@ mod tests {
     fn merge_bench_json_shape() {
         let b = MergeBench {
             scenario: "paper_day".into(),
+            seed: 20060124,
+            git_sha: "abc123def456".into(),
             scale: 0.25,
             events: 1000,
             channels: 3,
@@ -733,6 +823,8 @@ mod tests {
         let j = b.to_json();
         assert!(j.contains("\"speedup\": 2.000"));
         assert!(j.contains("\"scenario\": \"paper_day\""));
+        assert!(j.contains("\"seed\": 20060124"));
+        assert!(j.contains("\"git_sha\": \"abc123def456\""));
         assert!(j.trim_end().ends_with('}'));
     }
 }

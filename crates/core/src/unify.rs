@@ -6,7 +6,9 @@
 //! * a single priority queue holds the earliest pending instance of each
 //!   radio (cost per jframe is linear in the frame's reception range, not
 //!   in the number of radios);
-//! * instances within a *search window* of the earliest are candidates;
+//! * instances within a **channel-local** *search window* of the channel's
+//!   earliest pending instance are candidates (see [`Merger::run`]: window
+//!   boundaries are a pure function of each channel's own event sequence);
 //!   candidates are grouped by capture channel and frame content
 //!   (length/rate short-circuit, then bytes), with corrupted instances
 //!   attached by transmitter address on the same channel;
@@ -328,40 +330,135 @@ impl<S: EventStream> Merger<S> {
         None
     }
 
+    /// No more events can ever arrive for this channel: every one of its
+    /// radios has an empty cursor and an exhausted stream.
+    fn channel_exhausted(&self, ch: Channel) -> bool {
+        self.cursors.iter().enumerate().all(|(r, c)| {
+            self.channels[r] != ch || (c.head.is_none() && c.pending.is_empty() && c.exhausted)
+        })
+    }
+
+    /// Re-keys the heap entries of every radio on `ch` with the *current*
+    /// clock translation. Called right after a channel's window is
+    /// processed: corrections may have moved its clocks, and decisions
+    /// (window membership, close triggers) must see fresh keys — lazy
+    /// re-keying would let another channel's event close a window while a
+    /// stale-keyed event that belongs in it still sits deep in the heap,
+    /// making the outcome depend on which channels share this merger.
+    fn refresh_channel_keys(&mut self, ch: Channel) {
+        for r in 0..self.cursors.len() {
+            if self.channels[r] != ch {
+                continue;
+            }
+            let ts_local = match &self.cursors[r].head {
+                Some(ev) => ev.ts_local,
+                None => continue,
+            };
+            self.cursors[r].gen += 1;
+            let gen = self.cursors[r].gen;
+            let ts = self.univ_of(r, ts_local);
+            self.heap.push(Reverse((ts, r, gen)));
+        }
+    }
+
     /// Runs the merge to completion, streaming jframes to `sink`.
+    ///
+    /// Batching is **channel-local**: each channel accumulates candidates
+    /// into its own search window `[t0, t0 + search_window_us]`, and a
+    /// window is processed only once an event beyond its end has been
+    /// popped (events pop in universal-time order, so by then the window
+    /// can gain no instance) or the channel's streams are exhausted.
+    /// Unification never crosses channels, so channel-local windows make
+    /// the merge a pure function of each channel's own event sequence —
+    /// the per-channel batch boundaries, group order, and clock-correction
+    /// interleaving come out identical no matter which other channels
+    /// share this merger. That invariance is what lets the channel-sharded
+    /// driver ([`crate::shard`]) reproduce the serial output exactly.
     pub fn run(mut self, mut sink: impl FnMut(JFrame)) -> Result<MergeStats, FormatError> {
         for r in 0..self.cursors.len() {
             self.push_head(r)?;
         }
-        while let Some((t0, r0)) = self.pop_valid() {
-            let mut candidates = vec![self.take_head(r0)];
-            self.push_head(r0)?;
-            let window_end = t0.saturating_add(self.cfg.search_window_us);
-            loop {
-                match self.pop_valid() {
-                    Some((ts, r)) if ts <= window_end => {
-                        candidates.push(self.take_head(r));
-                        self.push_head(r)?;
-                    }
-                    Some((ts, r)) => {
-                        // Past the window: restore for the next round.
+        let window = self.cfg.search_window_us;
+        let chans: Vec<Channel> = {
+            let mut v = self.channels.clone();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        // Per-channel open window: (t0, candidates pulled so far).
+        let mut pend: Vec<Option<(Micros, Vec<Candidate>)>> = vec![None; chans.len()];
+        loop {
+            match self.pop_valid() {
+                Some((ts, r)) => {
+                    // Close every window that ended before this event.
+                    let to_close: Vec<usize> = (0..chans.len())
+                        .filter(|&ci| {
+                            matches!(&pend[ci], Some((t0, _))
+                                if t0.saturating_add(window) < ts)
+                        })
+                        .collect();
+                    if !to_close.is_empty() {
+                        // Restore this event's key first: processing may
+                        // move clocks (or push events back) under it, and
+                        // the refresh below re-keys it if needed.
                         let gen = self.cursors[r].gen;
                         self.heap.push(Reverse((ts, r, gen)));
+                        for ci in to_close {
+                            let (t0, batch) = pend[ci].take().expect("checked above");
+                            let drained = self.channel_exhausted(chans[ci]);
+                            self.process_candidates(batch, t0, drained, &mut sink);
+                            self.refresh_channel_keys(chans[ci]);
+                        }
+                        // Flush reordered output below the safety horizon.
+                        // Future jframes can only come from open windows or
+                        // from events still in the heap — which includes
+                        // everything the closes above pushed back, possibly
+                        // *below* this round's trigger.
+                        let heap_min = self
+                            .heap
+                            .peek()
+                            .map(|&Reverse((t, _, _))| t)
+                            .unwrap_or(Micros::MAX);
+                        let open_min = pend
+                            .iter()
+                            .flatten()
+                            .map(|(t0, _)| *t0)
+                            .min()
+                            .unwrap_or(Micros::MAX);
+                        let horizon = heap_min.min(open_min).saturating_sub(2 * window);
+                        self.flush_out(horizon, &mut sink);
+                        continue;
+                    }
+                    let c = self.take_head(r);
+                    self.push_head(r)?;
+                    let ci = chans
+                        .binary_search(&self.channel_of(c.radio))
+                        .expect("known channel");
+                    let slot = pend[ci].get_or_insert_with(|| (c.univ, Vec::new()));
+                    slot.1.push(c);
+                    // Residency peaks here: every in-flight candidate on
+                    // top of whatever the cursors and reorder buffer hold.
+                    let in_flight: usize = pend.iter().flatten().map(|(_, b)| b.len()).sum();
+                    let buffered = (self.resident + in_flight) as u64;
+                    self.stats.peak_buffered = self.stats.peak_buffered.max(buffered);
+                }
+                None => {
+                    // Cursors are dry: close whatever windows remain. Their
+                    // pushbacks (if any) refill the heap, so loop again.
+                    let mut any = false;
+                    for ci in 0..chans.len() {
+                        if let Some((t0, batch)) = pend[ci].take() {
+                            let drained = self.channel_exhausted(chans[ci]);
+                            self.process_candidates(batch, t0, drained, &mut sink);
+                            self.refresh_channel_keys(chans[ci]);
+                            any = true;
+                        }
+                    }
+                    if !any {
                         break;
                     }
-                    None => break,
                 }
             }
-            let drained = self.heap.is_empty()
-                && self.cursors.iter().all(|c| c.head.is_none() && c.exhausted);
-            // Residency peaks here: every candidate of the round is in
-            // flight on top of whatever the cursors and reorder buffer hold.
-            let buffered = (self.resident + candidates.len()) as u64;
-            self.stats.peak_buffered = self.stats.peak_buffered.max(buffered);
-            self.process_candidates(candidates, t0, drained, &mut sink);
-            // Flush reordered output older than the safety horizon.
-            let horizon = t0.saturating_sub(2 * self.cfg.search_window_us);
-            self.flush_out(horizon, &mut sink);
         }
         self.flush_out(Micros::MAX, &mut sink);
         Ok(self.stats)
@@ -395,7 +492,13 @@ impl<S: EventStream> Merger<S> {
         drained: bool,
         _sink: &mut impl FnMut(JFrame),
     ) {
-        candidates.sort_by_key(|c| c.univ);
+        // Ties on translated time are broken by the capture's (radio,
+        // ts_local) — driver-invariant keys — never by arrival order,
+        // which differs between the serial merge (all channels
+        // interleaved) and the channel-sharded merge (per-shard order).
+        // The median-instance resync reference below reads a positional
+        // element, so an order-dependent tie would fork the clock state.
+        candidates.sort_by_key(|c| (c.univ, c.ev.radio, c.ev.ts_local));
         // Emit guard: a group whose earliest instance is in the first half
         // of the window cannot gain new instances (they would have been
         // within the window); later groups wait for the next round unless
@@ -435,9 +538,13 @@ impl<S: EventStream> Merger<S> {
                     .push(c);
             }
             let mut keyed: Vec<((Channel, u64), Vec<Candidate>)> = by_key.into_iter().collect();
-            keyed.sort_by_key(|(k, v)| (v.first().map(|c| c.univ).unwrap_or(0), *k));
+            // Order clusters by their *earliest* instance, not the first to
+            // arrive: arrival order is driver-dependent, and cluster order
+            // decides resync order (clock corrections from one group reach
+            // the next group's re-translation).
+            keyed.sort_by_key(|(k, v)| (v.iter().map(|c| c.univ).min().unwrap_or(0), *k));
             for (_, mut cluster) in keyed {
-                cluster.sort_by_key(|c| c.univ);
+                cluster.sort_by_key(|c| (c.univ, c.ev.radio, c.ev.ts_local));
                 let mut cur: Vec<Candidate> = Vec::new();
                 for c in cluster {
                     let gap_split = cur
@@ -455,6 +562,14 @@ impl<S: EventStream> Merger<S> {
                 }
             }
         }
+        // Finish groups in universal-time order, not cluster order: the
+        // clock corrections applied while finishing one group reach the
+        // next group's re-translation, so the finish sequence must not
+        // depend on how this batch's candidates clustered (which varies
+        // with batch composition between the serial and sharded drivers).
+        // A group's lead candidate is a canonical key: each candidate
+        // belongs to exactly one group.
+        groups.sort_by_key(|g| (g[0].univ, g[0].ev.radio, g[0].ev.ts_local));
 
         // --- attach corrupted instances by transmitter address ---
         let mut leftover_corrupt: Vec<Candidate> = Vec::new();
@@ -500,7 +615,7 @@ impl<S: EventStream> Merger<S> {
         // --- build jframes, respecting the emit guard ---
         let mut pushback: Vec<Candidate> = Vec::new();
         for mut g in groups {
-            g.sort_by_key(|c| c.univ);
+            g.sort_by_key(|c| (c.univ, c.ev.radio, c.ev.ts_local));
             let min_ts = g.iter().map(|c| c.univ).min().unwrap_or(0);
             if min_ts >= emit_before {
                 self.stats.pushbacks += 1;
@@ -552,7 +667,7 @@ impl<S: EventStream> Merger<S> {
         for c in group.iter_mut() {
             c.univ = self.clocks[c.radio].to_universal(c.ev.ts_local);
         }
-        group.sort_by_key(|c| c.univ);
+        group.sort_by_key(|c| (c.univ, c.ev.radio, c.ev.ts_local));
         let n = group.len();
         // Median and dispersion are computed over the FCS-valid instances:
         // corrupt attachments come from radios whose clocks nothing ever

@@ -96,6 +96,29 @@ pub enum EventKind {
         /// The client.
         station: StationId,
     },
+    /// A roaming client walks to (near) its next AP, retunes and rescans.
+    ClientRoam {
+        /// The client.
+        station: StationId,
+        /// How long it stays before roaming again (the event reschedules
+        /// itself with the same dwell).
+        dwell_us: Micros,
+    },
+    /// An AP is re-allocated to a new channel mid-run (site survey /
+    /// interference mitigation), dropping its associations.
+    ChannelRealloc {
+        /// The AP.
+        station: StationId,
+        /// New channel number.
+        channel: u8,
+    },
+    /// A client follows its AP's channel re-allocation: retune + rescan.
+    ClientRetune {
+        /// The client.
+        station: StationId,
+        /// New channel number.
+        channel: u8,
+    },
 }
 
 #[derive(Debug)]

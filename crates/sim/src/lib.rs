@@ -54,6 +54,7 @@ pub mod output;
 pub mod prop;
 pub mod rng;
 pub mod scenario;
+pub mod spec;
 pub mod station;
 pub mod tcp;
 pub mod traffic;
@@ -62,6 +63,7 @@ pub mod world;
 
 pub use output::{GroundTruth, SimOutput, TruthRecord, WiredRecord};
 pub use scenario::ScenarioConfig;
+pub use spec::ScenarioSpec;
 pub use world::World;
 
 /// Index of a MAC-bearing station (AP or client) in the world.

@@ -105,11 +105,14 @@ pub struct Medium {
     active: HashMap<u64, ActiveTx>,
     next_id: u64,
     noise_mw: f64,
+    /// Kept for gain recomputation when an entity moves mid-scenario.
+    building: Building,
+    prop: PropModel,
+    seed: u64,
 }
 
 impl Medium {
-    /// Builds the medium, precomputing the full pairwise gain matrix
-    /// (entities are static for the life of a scenario).
+    /// Builds the medium, precomputing the full pairwise gain matrix.
     pub fn new(building: &Building, prop: &PropModel, entities: Vec<Entity>, seed: u64) -> Self {
         let n = entities.len();
         let mut gains = vec![0i32; n * n];
@@ -135,12 +138,60 @@ impl Medium {
             active: HashMap::new(),
             next_id: 0,
             noise_mw: ddbm_to_mw(NOISE_FLOOR_DDBM),
+            building: building.clone(),
+            prop: prop.clone(),
+            seed,
         }
     }
 
     /// Entity table access.
     pub fn entity(&self, id: u32) -> &Entity {
         &self.entities[id as usize]
+    }
+
+    /// The building geometry this medium was built for.
+    pub fn building(&self) -> &Building {
+        &self.building
+    }
+
+    /// Re-tunes an entity to a new channel. Link gains are
+    /// channel-independent, so only the entity table changes; callers own
+    /// any audibility-list refresh.
+    pub fn retune(&mut self, id: u32, channel: Channel) {
+        self.entities[id as usize].channel = channel;
+    }
+
+    /// Moves an entity, recomputing its row and column of the gain matrix.
+    /// Deterministic: per-link shadowing depends only on the (unordered)
+    /// entity-id pair and the scenario seed, so a relocation is exactly
+    /// reproducible across runs.
+    pub fn relocate(&mut self, id: u32, pos: Point3) {
+        let i = id as usize;
+        self.entities[i].pos = pos;
+        let n = self.entities.len();
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            self.gains[i * n + j] = self.prop.link_gain_ddb(
+                &self.building,
+                &self.entities[i].pos,
+                &self.entities[j].pos,
+                id,
+                j as u32,
+                self.entities[j].ant_gain_ddb,
+                self.seed,
+            );
+            self.gains[j * n + i] = self.prop.link_gain_ddb(
+                &self.building,
+                &self.entities[j].pos,
+                &self.entities[i].pos,
+                j as u32,
+                id,
+                self.entities[i].ant_gain_ddb,
+                self.seed,
+            );
+        }
     }
 
     /// Number of entities.

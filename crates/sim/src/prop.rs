@@ -33,6 +33,12 @@ pub const CS_ENERGY_DDBM: i32 = -620;
 /// a PHY error, giving detection a ~12 dB deeper reach than decode.
 pub const CAPTURE_FLOOR_DDBM: i32 = -1070;
 
+/// Links weaker than this are dropped from the precomputed audibility
+/// lists: far enough below [`CAPTURE_FLOOR_DDBM`] that any link a maximum
+/// upward fade (±18 dB clamp in [`fading_ddb`]) could lift over the floor
+/// stays listed.
+pub const AUDIBLE_CUTOFF_DDBM: i32 = -1250;
+
 /// Transmit power used by APs and clients (15 dBm) in deci-dBm.
 pub const TX_POWER_DDBM: i32 = 150;
 

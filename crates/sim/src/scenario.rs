@@ -43,7 +43,7 @@ pub enum TruthConfig {
 }
 
 /// All scenario parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
     /// Master seed — everything is deterministic in it.
     pub seed: u64,
@@ -451,10 +451,7 @@ fn build_world(cfg: ScenarioConfig) -> World {
 
     let mut audible_stations: Vec<Vec<(StationId, i32)>> = vec![Vec::new(); n_entities];
     let mut audible_radios: Vec<Vec<(u32, i32)>> = vec![Vec::new(); n_entities];
-    // Far enough below the capture floor that any link a maximum upward
-    // fade could lift over it stays in the audible lists: CAPTURE_FLOOR
-    // (−1070) minus the ±18 dB fading clamp in `prop::fading_ddb`.
-    const AUDIBLE_CUTOFF: i32 = -1250;
+    use crate::prop::AUDIBLE_CUTOFF_DDBM as AUDIBLE_CUTOFF;
     for tx in 0..n_entities as u32 {
         let can_tx = !matches!(medium.entity(tx).kind, EntityKind::MonitorRadio);
         if !can_tx {
@@ -519,6 +516,7 @@ fn build_world(cfg: ScenarioConfig) -> World {
         audible_stations,
         audible_radios,
         tx_tags: HashMap::new(),
+        sensing_holds: HashMap::new(),
         next_xid: 0,
         next_port: 10_000,
         interferers,

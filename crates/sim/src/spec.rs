@@ -1,0 +1,505 @@
+//! Parameterized adversarial scenarios: composable, seed-deterministic
+//! traffic shapes layered on top of a base [`ScenarioConfig`].
+//!
+//! The base presets (`tiny`/`small`/`paper_day`) exercise one happy-path
+//! office shape. A [`ScenarioSpec`] perturbs that shape along the axes the
+//! related measurement literature stresses — roaming clients, hidden
+//! terminals, co-channel interference with mid-run channel re-allocation,
+//! b/g protection-mode coexistence, QoS/fairness traffic mixes, and
+//! error-rate stress — each independently composable and exactly
+//! reproducible from `(spec, seed)`.
+//!
+//! [`ScenarioSpec::sweep_matrix`] is the named matrix `repro sweep` runs as
+//! a standing golden-record harness: every merge-equivalence contract must
+//! hold over every shape here, not just the happy path.
+
+use crate::event::EventKind;
+use crate::output::SimOutput;
+use crate::prop::CS_PREAMBLE_DDBM;
+use crate::scenario::{ScenarioConfig, TruthConfig};
+use crate::traffic::WorkloadClass;
+use crate::world::World;
+use crate::StationId;
+use jigsaw_ieee80211::{Channel, Micros};
+
+/// A subset of clients periodically walks to the next AP mid-session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Roaming {
+    /// How many clients roam (the first `roamers` clients).
+    pub roamers: usize,
+    /// Dwell time at each AP before moving on.
+    pub dwell_us: Micros,
+}
+
+/// Client pairs placed on opposite sides of an AP, mutually below the
+/// carrier-sense threshold but both decodable at the AP — the classic
+/// hidden-terminal collision generator. Both clients run bulk transfers to
+/// maximize airtime overlap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HiddenTerminals {
+    /// Number of hidden pairs (pair `k` straddles AP `k % n_aps`).
+    pub pairs: usize,
+}
+
+/// Every internal AP (and client) starts co-channel; optionally a mid-run
+/// re-allocation spreads the APs back over the orthogonal channels, with
+/// clients following via staggered retunes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoChannel {
+    /// The shared starting channel.
+    pub channel: u8,
+    /// When set, APs are re-allocated (staggered) starting at this time.
+    pub realloc_at_us: Option<Micros>,
+}
+
+/// Mid-run session churn: every client goes away and comes back, forcing
+/// disassociation floods and re-association bursts (drives protection-mode
+/// transitions when b-only clients are present).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionChurn {
+    /// When clients start dropping (staggered per client).
+    pub off_at_us: Micros,
+    /// When they start coming back (staggered per client).
+    pub on_at_us: Micros,
+}
+
+/// Per-class client allocation for QoS/fairness mixes: the first `bulk`
+/// clients run bulk scp (alternating up/down), the next `interactive` run
+/// ssh-dominated sessions, the rest keep the paper's default mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosMix {
+    /// Bulk-class clients.
+    pub bulk: usize,
+    /// Interactive-class clients.
+    pub interactive: usize,
+}
+
+/// A composable, seed-deterministic adversarial scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Stable name (golden files and the sweep matrix key off it).
+    pub name: String,
+    /// Base world shape; its `seed` field is overridden at build time.
+    pub base: ScenarioConfig,
+    /// Roaming clients.
+    pub roaming: Option<Roaming>,
+    /// Hidden-terminal pairs.
+    pub hidden: Option<HiddenTerminals>,
+    /// Co-channel start and optional mid-run re-allocation.
+    pub cochannel: Option<CoChannel>,
+    /// Mid-run session churn.
+    pub churn: Option<SessionChurn>,
+    /// QoS traffic-class allocation.
+    pub qos: Option<QosMix>,
+}
+
+impl ScenarioSpec {
+    /// A plain spec with no perturbations.
+    pub fn plain(name: &str, base: ScenarioConfig) -> Self {
+        ScenarioSpec {
+            name: name.to_string(),
+            base,
+            roaming: None,
+            hidden: None,
+            cochannel: None,
+            churn: None,
+            qos: None,
+        }
+    }
+
+    /// Builds the world for this spec under `seed`, applying every
+    /// configured perturbation in a fixed order.
+    pub fn build(&self, seed: u64) -> World {
+        let mut cfg = self.base.clone();
+        cfg.seed = seed;
+        let mut world = cfg.build();
+        if let Some(q) = &self.qos {
+            apply_qos(&mut world, q);
+        }
+        if let Some(h) = &self.hidden {
+            apply_hidden(&mut world, h);
+        }
+        if let Some(c) = &self.cochannel {
+            apply_cochannel(&mut world, c);
+        }
+        if let Some(r) = &self.roaming {
+            apply_roaming(&mut world, r);
+        }
+        if let Some(s) = &self.churn {
+            apply_churn(&mut world, s);
+        }
+        world
+    }
+
+    /// Convenience: build and run for the base's configured day.
+    pub fn run(&self, seed: u64) -> SimOutput {
+        let day = self.base.day_us;
+        self.build(seed).run(day)
+    }
+
+    // ---- the named sweep matrix -----------------------------------------
+
+    /// Clients walk between three APs mid-session, silently abandoning
+    /// associations (stale AP state, cross-channel retries, re-scans).
+    pub fn roaming() -> Self {
+        let base = ScenarioConfig {
+            day_us: 12_000_000,
+            n_aps: 3,
+            n_clients: 4,
+            ..sweep_base()
+        };
+        ScenarioSpec {
+            roaming: Some(Roaming {
+                roamers: 3,
+                dwell_us: 2_200_000,
+            }),
+            ..Self::plain("roaming", base)
+        }
+    }
+
+    /// Two hidden pairs hammering one AP with bulk transfers: collisions
+    /// the transmitters cannot carrier-sense away.
+    pub fn hidden_terminal() -> Self {
+        let base = ScenarioConfig {
+            day_us: 10_000_000,
+            n_aps: 1,
+            n_clients: 4,
+            ..sweep_base()
+        };
+        ScenarioSpec {
+            hidden: Some(HiddenTerminals { pairs: 2 }),
+            ..Self::plain("hidden_terminal", base)
+        }
+    }
+
+    /// Three APs (and their clients) jammed onto channel 6, then spread
+    /// back over 1/6/11 by a staggered mid-run re-allocation.
+    pub fn cochannel_realloc() -> Self {
+        let base = ScenarioConfig {
+            day_us: 12_000_000,
+            n_aps: 3,
+            n_clients: 3,
+            ..sweep_base()
+        };
+        ScenarioSpec {
+            cochannel: Some(CoChannel {
+                channel: 6,
+                realloc_at_us: Some(6_000_000),
+            }),
+            ..Self::plain("cochannel_realloc", base)
+        }
+    }
+
+    /// Half the clients are b-only with a short protection timeout and
+    /// mid-run churn: protection mode flaps on and off as legacy clients
+    /// come and go.
+    pub fn protection_mix() -> Self {
+        let base = ScenarioConfig {
+            day_us: 12_000_000,
+            n_aps: 2,
+            n_clients: 6,
+            b_only_fraction: 0.5,
+            protection_timeout_us: 1_500_000,
+            protection_check_us: 400_000,
+            ..sweep_base()
+        };
+        ScenarioSpec {
+            churn: Some(SessionChurn {
+                off_at_us: 4_500_000,
+                on_at_us: 7_000_000,
+            }),
+            ..Self::plain("protection_mix", base)
+        }
+    }
+
+    /// Bulk uploads competing with interactive ssh under two APs — the
+    /// QoS/fairness mix the 802.11b MAC analyses measure.
+    pub fn qos_mix() -> Self {
+        let base = ScenarioConfig {
+            day_us: 10_000_000,
+            n_aps: 2,
+            n_clients: 6,
+            office_broadcasters: 2,
+            ..sweep_base()
+        };
+        ScenarioSpec {
+            qos: Some(QosMix {
+                bulk: 3,
+                interactive: 2,
+            }),
+            ..Self::plain("qos_mix", base)
+        }
+    }
+
+    /// Error-rate stress: three microwaves with short duty cycles, lossy
+    /// Internet paths, and a b-only minority forcing protection overhead.
+    pub fn error_stress() -> Self {
+        let base = ScenarioConfig {
+            day_us: 10_000_000,
+            n_aps: 2,
+            n_clients: 4,
+            b_only_fraction: 0.25,
+            internet_hosts: 2,
+            internet_loss: 0.08,
+            microwaves: 3,
+            microwave_gap_us: 2_000_000,
+            microwave_cook_us: 1_600_000,
+            ..sweep_base()
+        };
+        Self::plain("error_stress", base)
+    }
+
+    /// The canonical sweep matrix, in golden-file order.
+    pub fn sweep_matrix() -> Vec<ScenarioSpec> {
+        vec![
+            Self::roaming(),
+            Self::hidden_terminal(),
+            Self::cochannel_realloc(),
+            Self::protection_mix(),
+            Self::qos_mix(),
+            Self::error_stress(),
+        ]
+    }
+
+    /// Looks a matrix scenario up by name.
+    pub fn by_name(name: &str) -> Option<ScenarioSpec> {
+        Self::sweep_matrix().into_iter().find(|s| s.name == name)
+    }
+}
+
+/// The shared base for sweep scenarios: tiny-scale (CI-budget sims of
+/// 10–12 s), always-on clients, no truth recording.
+fn sweep_base() -> ScenarioConfig {
+    ScenarioConfig {
+        n_pods: 2,
+        truth: TruthConfig::Off,
+        ..ScenarioConfig::tiny(0)
+    }
+}
+
+fn first_client(world: &World) -> usize {
+    world.cfg.n_aps + world.cfg.n_external_aps
+}
+
+fn client_sid(world: &World, k: usize) -> Option<StationId> {
+    let idx = first_client(world) + k;
+    (idx < world.stations.len()).then_some(StationId(idx as u16))
+}
+
+fn apply_qos(world: &mut World, q: &QosMix) {
+    for k in 0..world.cfg.n_clients {
+        let Some(sid) = client_sid(world, k) else {
+            break;
+        };
+        let class = if k < q.bulk {
+            WorkloadClass::Bulk { upload: k % 2 == 0 }
+        } else if k < q.bulk + q.interactive {
+            WorkloadClass::Interactive
+        } else {
+            WorkloadClass::Mixed
+        };
+        if let Some(cs) = world.stations[sid.index()].role.as_client_mut() {
+            cs.workload = class;
+        }
+    }
+}
+
+fn apply_hidden(world: &mut World, h: &HiddenTerminals) {
+    let n_aps = world.cfg.n_aps.max(1);
+    for pair in 0..h.pairs {
+        let (Some(c1), Some(c2)) = (client_sid(world, 2 * pair), client_sid(world, 2 * pair + 1))
+        else {
+            break;
+        };
+        let ap_entity = world.stations[pair % n_aps].entity;
+        let (ap_pos, ap_chan) = {
+            let e = world.medium.entity(ap_entity);
+            (e.pos, e.channel)
+        };
+        let (width, floor) = {
+            let b = world.medium.building();
+            (b.width_m, b.floor_of(&ap_pos))
+        };
+        let e1 = world.stations[c1.index()].entity;
+        let e2 = world.stations[c2.index()].entity;
+        // Walk the pair outward along the corridor until they can no longer
+        // carrier-sense each other but both still decode at the AP.
+        // Shadowing is deterministic per (pair, seed), so so is the search.
+        for sep in [16.0, 22.0, 28.0, 34.0, 42.0, 52.0, 64.0] {
+            let place = |off: f64| {
+                let b = world.medium.building();
+                b.at(floor, (ap_pos.x + off).clamp(1.0, width - 1.0), ap_pos.y)
+            };
+            let (p1, p2) = (place(-sep / 2.0), place(sep / 2.0));
+            world.move_station(c1, p1, Some(ap_chan));
+            world.move_station(c2, p2, Some(ap_chan));
+            let mutual = world
+                .medium
+                .rx_power_ddbm(e1, e2, ap_chan)
+                .max(world.medium.rx_power_ddbm(e2, e1, ap_chan));
+            let uplink = world
+                .medium
+                .rx_power_ddbm(e1, ap_entity, ap_chan)
+                .min(world.medium.rx_power_ddbm(e2, ap_entity, ap_chan));
+            if mutual < CS_PREAMBLE_DDBM && uplink >= CS_PREAMBLE_DDBM + 40 {
+                break;
+            }
+        }
+        // Saturate the pair so their transmissions actually overlap.
+        for (k, sid) in [(0usize, c1), (1usize, c2)] {
+            if let Some(cs) = world.stations[sid.index()].role.as_client_mut() {
+                cs.workload = WorkloadClass::Bulk { upload: k == 0 };
+            }
+        }
+    }
+}
+
+fn apply_cochannel(world: &mut World, c: &CoChannel) {
+    let ch = Channel::of(c.channel);
+    for i in 0..world.cfg.n_aps {
+        world.retune_station(StationId(i as u16), ch);
+    }
+    for k in 0..world.cfg.n_clients {
+        if let Some(sid) = client_sid(world, k) {
+            world.retune_station(sid, ch);
+        }
+    }
+    if let Some(at) = c.realloc_at_us {
+        for i in 0..world.cfg.n_aps {
+            world.queue.schedule(
+                at + 11_000 * i as u64,
+                EventKind::ChannelRealloc {
+                    station: StationId(i as u16),
+                    channel: Channel::ORTHOGONAL[i % 3].number(),
+                },
+            );
+        }
+    }
+}
+
+fn apply_roaming(world: &mut World, r: &Roaming) {
+    for k in 0..r.roamers {
+        let Some(sid) = client_sid(world, k) else {
+            break;
+        };
+        let first = r.dwell_us / 2 + k as u64 * (r.dwell_us / 5 + 13_000);
+        world.queue.schedule(
+            first,
+            EventKind::ClientRoam {
+                station: sid,
+                dwell_us: r.dwell_us,
+            },
+        );
+    }
+}
+
+fn apply_churn(world: &mut World, s: &SessionChurn) {
+    for k in 0..world.cfg.n_clients {
+        let Some(sid) = client_sid(world, k) else {
+            break;
+        };
+        world.queue.schedule(
+            s.off_at_us + 40_000 * k as u64,
+            EventKind::ClientLifecycle {
+                station: sid,
+                activate: false,
+            },
+        );
+        world.queue.schedule(
+            s.on_at_us + 40_000 * k as u64,
+            EventKind::ClientLifecycle {
+                station: sid,
+                activate: true,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_six_distinct_named_scenarios() {
+        let m = ScenarioSpec::sweep_matrix();
+        assert_eq!(m.len(), 6);
+        let names: std::collections::HashSet<_> = m.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), 6);
+        for s in &m {
+            assert_eq!(ScenarioSpec::by_name(&s.name), Some(s.clone()));
+        }
+        assert!(ScenarioSpec::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        for spec in ScenarioSpec::sweep_matrix() {
+            let w1 = spec.build(77);
+            let w2 = spec.build(77);
+            assert_eq!(w1.stations.len(), w2.stations.len(), "{}", spec.name);
+            for (a, b) in w1.stations.iter().zip(w2.stations.iter()) {
+                assert_eq!(a.mac.addr, b.mac.addr);
+                let (ea, eb) = (w1.medium.entity(a.entity), w2.medium.entity(b.entity));
+                assert_eq!(ea.pos, eb.pos, "{}", spec.name);
+                assert_eq!(ea.channel, eb.channel, "{}", spec.name);
+            }
+            assert_eq!(w1.queue.len(), w2.queue.len(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn hidden_pairs_are_hidden_but_decodable() {
+        let w = ScenarioSpec::hidden_terminal().build(11);
+        let ap_entity = w.stations[0].entity;
+        let ch = w.medium.entity(ap_entity).channel;
+        let first = w.cfg.n_aps + w.cfg.n_external_aps;
+        for pair in 0..2 {
+            let e1 = w.stations[first + 2 * pair].entity;
+            let e2 = w.stations[first + 2 * pair + 1].entity;
+            let mutual = w
+                .medium
+                .rx_power_ddbm(e1, e2, ch)
+                .max(w.medium.rx_power_ddbm(e2, e1, ch));
+            assert!(
+                mutual < CS_PREAMBLE_DDBM,
+                "pair {pair} can carrier-sense: {mutual}"
+            );
+            let uplink = w
+                .medium
+                .rx_power_ddbm(e1, ap_entity, ch)
+                .min(w.medium.rx_power_ddbm(e2, ap_entity, ch));
+            assert!(uplink >= CS_PREAMBLE_DDBM, "pair {pair} too far: {uplink}");
+        }
+    }
+
+    #[test]
+    fn cochannel_start_shares_one_channel() {
+        let w = ScenarioSpec::cochannel_realloc().build(3);
+        for i in 0..w.cfg.n_aps {
+            assert_eq!(w.medium.entity(w.stations[i].entity).channel.number(), 6);
+        }
+    }
+
+    #[test]
+    fn qos_mix_assigns_classes() {
+        let w = ScenarioSpec::qos_mix().build(3);
+        let first = w.cfg.n_aps + w.cfg.n_external_aps;
+        let class = |k: usize| w.stations[first + k].role.as_client().unwrap().workload;
+        assert!(matches!(class(0), WorkloadClass::Bulk { .. }));
+        assert!(matches!(class(3), WorkloadClass::Interactive));
+        assert_eq!(class(5), WorkloadClass::Mixed);
+    }
+
+    #[test]
+    fn every_matrix_scenario_runs_and_captures() {
+        for spec in ScenarioSpec::sweep_matrix() {
+            let out = spec.run(20060124);
+            let events: usize = out.traces.iter().map(|t| t.len()).sum();
+            assert!(
+                events > 500,
+                "{} produced only {events} capture events",
+                spec.name
+            );
+        }
+    }
+}

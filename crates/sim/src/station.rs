@@ -127,6 +127,10 @@ pub struct ClientState {
     pub active_flows: Vec<u32>,
     /// Generation guard for this client's app timer.
     pub app_gen: u32,
+    /// Traffic class driving activity selection (QoS-mix scenarios).
+    pub workload: crate::traffic::WorkloadClass,
+    /// How many times this client has roamed (picks the next AP).
+    pub roam_count: u32,
 }
 
 impl ClientState {
@@ -146,6 +150,8 @@ impl ClientState {
             assoc_retries: 0,
             active_flows: Vec::new(),
             app_gen: 0,
+            workload: crate::traffic::WorkloadClass::Mixed,
+            roam_count: 0,
         }
     }
 }

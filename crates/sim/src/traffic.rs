@@ -114,6 +114,52 @@ impl WorkloadParams {
     }
 }
 
+/// Per-client traffic class for QoS/fairness scenarios. The default,
+/// [`WorkloadClass::Mixed`], reproduces the paper's global activity mix;
+/// the others skew one client toward a single service class so fairness
+/// between competing classes can be measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkloadClass {
+    /// The paper's default web/ssh/scp/think mix.
+    #[default]
+    Mixed,
+    /// Interactive-dominated: mostly ssh, small web fetches, few thinks.
+    Interactive,
+    /// Bulk-transfer-dominated: back-to-back scp in one direction.
+    Bulk {
+        /// True when the client uploads.
+        upload: bool,
+    },
+}
+
+/// Samples the next activity for an active user of the given class.
+/// `Mixed` delegates to [`pick_activity`] and consumes the exact same RNG
+/// draws, so default-class clients behave bit-identically to before this
+/// knob existed.
+pub fn pick_activity_for<R: Rng>(rng: &mut R, class: WorkloadClass) -> Activity {
+    match class {
+        WorkloadClass::Mixed => pick_activity(rng),
+        WorkloadClass::Interactive => {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            if x < 0.75 {
+                Activity::Ssh
+            } else if x < 0.90 {
+                Activity::Web { fetches: 1 }
+            } else {
+                Activity::Think
+            }
+        }
+        WorkloadClass::Bulk { upload } => {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            if x < 0.80 {
+                Activity::Scp { upload }
+            } else {
+                Activity::Think
+            }
+        }
+    }
+}
+
 /// Samples the next activity for an active user.
 pub fn pick_activity<R: Rng>(rng: &mut R) -> Activity {
     let x: f64 = rng.gen_range(0.0..1.0);

@@ -1,0 +1,375 @@
+//! Mid-run world dynamics: client roaming, AP channel re-allocation, and
+//! the audibility-list maintenance they require.
+//!
+//! The static world precomputes, per transmitter, the list of stations and
+//! monitor radios that could possibly hear it (`World::audible_stations`,
+//! `World::audible_radios`). Roaming and re-allocation invalidate those
+//! lists, so every mutation funnels through [`World::refresh_audibility`],
+//! which rebuilds exactly the affected rows while preserving the canonical
+//! ascending-entity ordering the rest of the simulator (and its RNG-draw
+//! sequence) depends on.
+
+use super::World;
+use crate::event::EventKind;
+use crate::geom::Point3;
+use crate::medium::EntityKind;
+use crate::prop::AUDIBLE_CUTOFF_DDBM;
+use crate::station::AssocPhase;
+use crate::StationId;
+use jigsaw_ieee80211::{Channel, Micros};
+
+impl World {
+    /// Rebuilds every audibility-list row touched by a change to `entity`
+    /// (position or channel): its own transmit lists, and its entry in every
+    /// other transmitter's list. Entries stay sorted by receiver entity id —
+    /// the same order the initial build produces — so capture and delivery
+    /// iteration order (and therefore RNG consumption) is canonical.
+    pub fn refresh_audibility(&mut self, entity: u32) {
+        let n = self.medium.entity_count() as u32;
+        let subject_kind = self.medium.entity(entity).kind;
+
+        // 1. `entity` as transmitter: rebuild its own lists.
+        let mut st: Vec<(StationId, i32)> = Vec::new();
+        let mut rad: Vec<(u32, i32)> = Vec::new();
+        if !matches!(subject_kind, EntityKind::MonitorRadio) {
+            let tx_chan = self.medium.entity(entity).channel;
+            for rx in 0..n {
+                if rx == entity {
+                    continue;
+                }
+                let p = self.medium.rx_power_ddbm(entity, rx, tx_chan);
+                if p < AUDIBLE_CUTOFF_DDBM {
+                    continue;
+                }
+                match self.medium.entity(rx).kind {
+                    EntityKind::Station { .. } => {
+                        if let Some(sid) = self.entity_station[rx as usize] {
+                            st.push((sid, p));
+                        }
+                    }
+                    EntityKind::MonitorRadio => rad.push((rx, p)),
+                    EntityKind::Interferer => {}
+                }
+            }
+        }
+        self.audible_stations[entity as usize] = st;
+        self.audible_radios[entity as usize] = rad;
+
+        // 2. `entity` as receiver: update its entry in every other
+        // transmitter's list. Station entities precede monitors and
+        // interferers, so ascending entity order equals ascending StationId
+        // order within `audible_stations`.
+        let as_station = self.entity_station[entity as usize];
+        let as_radio = matches!(subject_kind, EntityKind::MonitorRadio);
+        for tx in 0..n {
+            if tx == entity || matches!(self.medium.entity(tx).kind, EntityKind::MonitorRadio) {
+                continue;
+            }
+            let tx_chan = self.medium.entity(tx).channel;
+            let p = self.medium.rx_power_ddbm(tx, entity, tx_chan);
+            let keep = p >= AUDIBLE_CUTOFF_DDBM;
+            if let Some(sid) = as_station {
+                let list = &mut self.audible_stations[tx as usize];
+                match list.binary_search_by_key(&sid, |&(s, _)| s) {
+                    Ok(k) if keep => list[k].1 = p,
+                    Ok(k) => {
+                        list.remove(k);
+                    }
+                    Err(k) if keep => list.insert(k, (sid, p)),
+                    Err(_) => {}
+                }
+            } else if as_radio {
+                let list = &mut self.audible_radios[tx as usize];
+                match list.binary_search_by_key(&entity, |&(e, _)| e) {
+                    Ok(k) if keep => list[k].1 = p,
+                    Ok(k) => {
+                        list.remove(k);
+                    }
+                    Err(k) if keep => list.insert(k, (entity, p)),
+                    Err(_) => {}
+                }
+            }
+        }
+    }
+
+    /// Re-tunes a station's radio and refreshes audibility.
+    pub fn retune_station(&mut self, sid: StationId, channel: Channel) {
+        let entity = self.stations[sid.index()].entity;
+        self.medium.retune(entity, channel);
+        self.refresh_audibility(entity);
+    }
+
+    /// Moves a station (optionally retuning it in the same step) and
+    /// refreshes audibility once.
+    pub fn move_station(&mut self, sid: StationId, pos: Point3, channel: Option<Channel>) {
+        let entity = self.stations[sid.index()].entity;
+        self.medium.relocate(entity, pos);
+        if let Some(ch) = channel {
+            self.medium.retune(entity, ch);
+        }
+        self.refresh_audibility(entity);
+    }
+
+    /// A roaming client walks to (near) its next internal AP, retunes to
+    /// that AP's channel, and rescans. Reschedules itself every `dwell_us`.
+    pub(crate) fn on_client_roam(&mut self, sid: StationId, dwell_us: Micros) {
+        let now = self.now;
+        // A radio cannot retune mid-frame; try again shortly.
+        if self.stations[sid.index()].mac.radio_busy {
+            self.queue.schedule(
+                now + 2_000,
+                EventKind::ClientRoam {
+                    station: sid,
+                    dwell_us,
+                },
+            );
+            return;
+        }
+        let n_aps = self.cfg.n_aps;
+        if n_aps == 0 {
+            return;
+        }
+        let target = {
+            let cs = match self.stations[sid.index()].role.as_client_mut() {
+                Some(c) => c,
+                None => return,
+            };
+            cs.roam_count += 1;
+            let cur = cs.ap.map(|a| a.index()).unwrap_or(usize::MAX);
+            let mut t = (sid.index() + cs.roam_count as usize) % n_aps;
+            if n_aps > 1 && t == cur {
+                t = (t + 1) % n_aps;
+            }
+            // Silent leave: no disassoc on the air, the old AP keeps a stale
+            // association — exactly the mid-session mobility the merge has
+            // to survive.
+            cs.phase = AssocPhase::Dormant;
+            cs.ap = None;
+            cs.best_probe = None;
+            cs.assoc_retries = 0;
+            t
+        };
+        let ap_entity = self.stations[target].entity;
+        let (ap_pos, ap_chan) = {
+            let e = self.medium.entity(ap_entity);
+            (e.pos, e.channel)
+        };
+        let b = self.medium.building();
+        let mut pos = ap_pos;
+        pos.x = (pos.x + 2.0 + f64::from(sid.0 % 4) * 1.5).clamp(1.0, b.width_m - 1.0);
+        pos.y = (pos.y + 1.5).clamp(1.0, b.depth_m - 1.0);
+        self.move_station(sid, pos, Some(ap_chan));
+        let active = self.stations[sid.index()]
+            .role
+            .as_client()
+            .map(|c| c.session_active)
+            .unwrap_or(false);
+        if active {
+            self.begin_scan(sid);
+        }
+        self.queue.schedule(
+            now + dwell_us.max(50_000),
+            EventKind::ClientRoam {
+                station: sid,
+                dwell_us,
+            },
+        );
+    }
+
+    /// An AP is re-allocated to `channel`: it drops every association and
+    /// retunes; its (former) clients are told to follow with staggered
+    /// [`EventKind::ClientRetune`] events, after which they rescan.
+    pub(crate) fn on_channel_realloc(&mut self, sid: StationId, channel: u8) {
+        let now = self.now;
+        if self.stations[sid.index()].mac.radio_busy {
+            self.queue.schedule(
+                now + 1_500,
+                EventKind::ChannelRealloc {
+                    station: sid,
+                    channel,
+                },
+            );
+            return;
+        }
+        let members = {
+            let ap = match self.stations[sid.index()].role.as_ap_mut() {
+                Some(a) => a,
+                None => return,
+            };
+            let mut m: Vec<_> = ap.clients.keys().copied().collect();
+            // HashMap order is not deterministic; the stagger below must be.
+            m.sort_by_key(|a| *a.bytes());
+            ap.clients.clear();
+            m
+        };
+        self.retune_station(sid, Channel::of(channel));
+        for (k, addr) in members.into_iter().enumerate() {
+            self.wired.forget_client(addr);
+            if let Some(&csid) = self.addr_to_station.get(&addr) {
+                self.queue.schedule(
+                    now + 5_000 + 7_000 * k as u64,
+                    EventKind::ClientRetune {
+                        station: csid,
+                        channel,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A client follows its AP's channel re-allocation.
+    pub(crate) fn on_client_retune(&mut self, sid: StationId, channel: u8) {
+        let now = self.now;
+        if self.stations[sid.index()].mac.radio_busy {
+            self.queue.schedule(
+                now + 2_000,
+                EventKind::ClientRetune {
+                    station: sid,
+                    channel,
+                },
+            );
+            return;
+        }
+        let active = {
+            let cs = match self.stations[sid.index()].role.as_client_mut() {
+                Some(c) => c,
+                None => return,
+            };
+            cs.phase = AssocPhase::Dormant;
+            cs.ap = None;
+            cs.best_probe = None;
+            cs.assoc_retries = 0;
+            cs.session_active
+        };
+        self.retune_station(sid, Channel::of(channel));
+        if active {
+            self.begin_scan(sid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::scenario::ScenarioConfig;
+    use crate::station::AssocPhase;
+    use crate::StationId;
+    use jigsaw_ieee80211::Channel;
+
+    #[test]
+    fn retune_updates_medium_and_audibility() {
+        let mut w = ScenarioConfig::tiny(5).build();
+        let client = StationId(1);
+        let entity = w.stations[client.index()].entity;
+        let before = w.medium.entity(entity).channel;
+        let target = Channel::of(if before.number() == 11 { 1 } else { 11 });
+        w.retune_station(client, target);
+        assert_eq!(w.medium.entity(entity).channel, target);
+        // The client's own transmit list was rebuilt on the new channel:
+        // stored powers must match a fresh medium query.
+        for &(rx, p) in &w.audible_radios[entity as usize] {
+            assert_eq!(p, w.medium.rx_power_ddbm(entity, rx, target));
+        }
+    }
+
+    #[test]
+    fn relocate_is_deterministic() {
+        let probe = |seed: u64| {
+            let mut w = ScenarioConfig::tiny(seed).build();
+            let sid = StationId(1);
+            let entity = w.stations[sid.index()].entity;
+            let b = w.medium.building();
+            let pos = b.at(1, b.width_m / 2.0, b.depth_m / 2.0);
+            w.move_station(sid, pos, None);
+            (0..w.medium.entity_count() as u32)
+                .filter(|&j| j != entity)
+                .map(|j| w.medium.gain_ddb(entity, j))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(probe(9), probe(9));
+    }
+
+    #[test]
+    fn refresh_keeps_lists_sorted() {
+        let mut w = ScenarioConfig::small(2).build();
+        let sid = StationId((w.cfg.n_aps + w.cfg.n_external_aps) as u16);
+        let b = w.medium.building();
+        let pos = b.at(3, 5.0, 5.0);
+        w.move_station(sid, pos, Some(Channel::of(11)));
+        for list in &w.audible_stations {
+            assert!(list.windows(2).all(|p| p[0].0 < p[1].0), "unsorted sids");
+        }
+        for list in &w.audible_radios {
+            assert!(list.windows(2).all(|p| p[0].0 < p[1].0), "unsorted radios");
+        }
+    }
+
+    #[test]
+    fn roam_event_moves_client_and_rescans() {
+        let mut w = ScenarioConfig::tiny(3).build();
+        let client = StationId(1);
+        // Activate the session directly, then roam.
+        w.stations[client.index()]
+            .role
+            .as_client_mut()
+            .unwrap()
+            .session_active = true;
+        let before = w.medium.entity(w.stations[client.index()].entity).pos;
+        w.on_client_roam(client, 1_000_000);
+        let st = &w.stations[client.index()];
+        let after = w.medium.entity(st.entity).pos;
+        assert!(before.distance(&after) > 0.1, "client did not move");
+        let cs = st.role.as_client().unwrap();
+        assert_eq!(cs.phase, AssocPhase::Probing);
+        assert_eq!(cs.roam_count, 1);
+    }
+
+    #[test]
+    fn realloc_retunes_ap_and_clears_clients() {
+        let mut w = ScenarioConfig::tiny(4).build();
+        let ap = StationId(0);
+        w.on_channel_realloc(ap, 11);
+        assert_eq!(
+            w.medium.entity(w.stations[ap.index()].entity).channel,
+            Channel::of(11)
+        );
+        assert!(w.stations[ap.index()]
+            .role
+            .as_ap()
+            .unwrap()
+            .clients
+            .is_empty());
+    }
+
+    #[test]
+    fn sensing_balanced_across_mid_flight_retune() {
+        // Run a busy scenario with a mid-run retune of every client and
+        // check no station is left stuck "sensing" at the end.
+        let mut w = ScenarioConfig::tiny(6).build();
+        let horizon = w.cfg.day_us;
+        use crate::event::EventKind;
+        let n_stations = w.stations.len();
+        for i in 0..n_stations {
+            if w.stations[i].role.as_client().is_some() {
+                w.queue.schedule(
+                    horizon / 2 + 10_000 * i as u64,
+                    EventKind::ClientRetune {
+                        station: StationId(i as u16),
+                        channel: 6,
+                    },
+                );
+            }
+        }
+        // Drain the queue manually so we can inspect final MAC state.
+        while let Some((t, ev)) = w.queue.pop() {
+            if t > horizon {
+                break;
+            }
+            w.now = t;
+            w.dispatch(ev);
+        }
+        assert_eq!(w.medium.active_count(), 0, "transmissions left in flight");
+        for s in &w.stations {
+            assert_eq!(s.mac.sensed, 0, "station {:?} stuck busy", s.id);
+        }
+    }
+}

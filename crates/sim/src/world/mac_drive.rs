@@ -380,7 +380,7 @@ impl World {
         });
         self.tx_tags.insert(tx_id, tag);
         self.queue.schedule(now + air, EventKind::TxEnd { tx_id });
-        self.apply_sensing(entity, rate, false, true);
+        self.apply_sensing_start(tx_id, entity, rate, false);
         self.stations[sid.index()].mac.radio_busy = true;
         self.stations[sid.index()].tx_frames += 1;
     }
@@ -565,16 +565,20 @@ impl World {
         self.head_complete(sid, true);
     }
 
-    /// Physical-carrier bookkeeping when a transmission starts or ends.
-    pub(crate) fn apply_sensing(
+    /// Physical-carrier acquisition when transmission `tx_id` starts: every
+    /// audible station above its carrier-sense threshold marks the medium
+    /// busy. The exact set of stations incremented is recorded against
+    /// `tx_id`, so the release in [`Self::apply_sensing_end`] stays balanced
+    /// even if audibility lists mutate mid-flight (roaming, re-allocation).
+    pub(crate) fn apply_sensing_start(
         &mut self,
+        tx_id: u64,
         tx_entity: u32,
         rate: PhyRate,
         is_noise: bool,
-        starting: bool,
     ) {
-        let now = self.now;
         let n = self.audible_stations[tx_entity as usize].len();
+        let mut held = Vec::new();
         for k in 0..n {
             let (sid, power) = self.audible_stations[tx_entity as usize][k];
             let listener_entity = self.stations[sid.index()].entity;
@@ -585,34 +589,48 @@ impl World {
                 continue;
             }
             let mac = &mut self.stations[sid.index()].mac;
-            if starting {
-                mac.sensed += 1;
-                if mac.sensed == 1 {
-                    // Busy transition: freeze backoff.
-                    mac.bump_backoff();
-                }
-            } else {
-                mac.sensed = mac.sensed.saturating_sub(1);
-                if mac.sensed == 0 {
-                    // Idle transition.
-                    mac.idle_since = now.max(mac.nav_until);
-                    let in_backoff = mac.phase == MacPhase::Backoff && !mac.radio_busy;
-                    let idle_kickable =
-                        mac.phase == MacPhase::Idle && !mac.radio_busy && !mac.queue.is_empty();
-                    if in_backoff {
-                        let at = mac.idle_since + DIFS_US + SLOT_US;
-                        let gen = mac.bump_backoff();
-                        self.queue.schedule(
-                            at,
-                            EventKind::MacTimer {
-                                station: sid,
-                                gen,
-                                kind: MacTimerKind::BackoffSlot,
-                            },
-                        );
-                    } else if idle_kickable {
-                        self.mac_kick(sid);
-                    }
+            mac.sensed += 1;
+            if mac.sensed == 1 {
+                // Busy transition: freeze backoff.
+                mac.bump_backoff();
+            }
+            held.push(sid);
+        }
+        if !held.is_empty() {
+            self.sensing_holds.insert(tx_id, held);
+        }
+    }
+
+    /// Physical-carrier release when transmission `tx_id` ends: decrements
+    /// exactly the stations recorded at start.
+    pub(crate) fn apply_sensing_end(&mut self, tx_id: u64) {
+        let now = self.now;
+        let held = match self.sensing_holds.remove(&tx_id) {
+            Some(h) => h,
+            None => return,
+        };
+        for sid in held {
+            let mac = &mut self.stations[sid.index()].mac;
+            mac.sensed = mac.sensed.saturating_sub(1);
+            if mac.sensed == 0 {
+                // Idle transition.
+                mac.idle_since = now.max(mac.nav_until);
+                let in_backoff = mac.phase == MacPhase::Backoff && !mac.radio_busy;
+                let idle_kickable =
+                    mac.phase == MacPhase::Idle && !mac.radio_busy && !mac.queue.is_empty();
+                if in_backoff {
+                    let at = mac.idle_since + DIFS_US + SLOT_US;
+                    let gen = mac.bump_backoff();
+                    self.queue.schedule(
+                        at,
+                        EventKind::MacTimer {
+                            station: sid,
+                            gen,
+                            kind: MacTimerKind::BackoffSlot,
+                        },
+                    );
+                } else if idle_kickable {
+                    self.mac_kick(sid);
                 }
             }
         }

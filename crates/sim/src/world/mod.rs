@@ -9,6 +9,7 @@
 //! * `net` — everything above the MAC: association, bridging, ARP, TCP,
 //!   wired arrivals, workloads, interferers.
 
+mod dynamics;
 mod mac_drive;
 mod net;
 mod rx;
@@ -135,6 +136,10 @@ pub struct World {
 
     /// In-flight transmission routing.
     pub tx_tags: HashMap<u64, TxTag>,
+    /// Per in-flight transmission: exactly the stations whose carrier-sense
+    /// counter it incremented (released verbatim at `TxEnd`, keeping the
+    /// counters balanced across mid-flight audibility changes).
+    pub sensing_holds: HashMap<u64, Vec<StationId>>,
     /// Next ground-truth exchange id.
     pub next_xid: u64,
     /// Next ephemeral port to hand out.
@@ -215,7 +220,7 @@ impl World {
         self.finalize(horizon)
     }
 
-    fn dispatch(&mut self, ev: EventKind) {
+    pub(crate) fn dispatch(&mut self, ev: EventKind) {
         match ev {
             EventKind::TxEnd { tx_id } => self.on_tx_end(tx_id),
             EventKind::MacTimer { station, gen, kind } => self.on_mac_timer(station, gen, kind),
@@ -232,6 +237,11 @@ impl World {
             }
             EventKind::SshKeystroke { flow } => self.on_ssh_keystroke(flow),
             EventKind::OfficeBroadcast { station } => self.on_office_broadcast(station),
+            EventKind::ClientRoam { station, dwell_us } => self.on_client_roam(station, dwell_us),
+            EventKind::ChannelRealloc { station, channel } => {
+                self.on_channel_realloc(station, channel)
+            }
+            EventKind::ClientRetune { station, channel } => self.on_client_retune(station, channel),
         }
     }
 

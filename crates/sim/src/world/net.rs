@@ -1027,16 +1027,16 @@ impl World {
         for fid in stale {
             self.force_complete_flow(fid);
         }
-        let busy = {
+        let (busy, class) = {
             let cs = self.stations[sid.index()].role.as_client().unwrap();
-            !cs.active_flows.is_empty()
+            (!cs.active_flows.is_empty(), cs.workload)
         };
         if busy {
             // Watchdog re-check.
             self.schedule_app(sid, 2_000_000);
             return;
         }
-        match traffic::pick_activity(&mut self.rng) {
+        match traffic::pick_activity_for(&mut self.rng, class) {
             Activity::Web { fetches } => {
                 for _ in 0..fetches {
                     self.start_flow(sid, FlowKind::Web);
@@ -1304,7 +1304,7 @@ impl World {
             },
         );
         self.queue.schedule(end, EventKind::TxEnd { tx_id });
-        self.apply_sensing(entity, PhyRate::R1, true, true);
+        self.apply_sensing_start(tx_id, entity, PhyRate::R1, true);
         self.interferers[i].burst_active = true;
         self.stats.noise_bursts += 1;
     }

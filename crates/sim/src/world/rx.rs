@@ -21,13 +21,10 @@ impl World {
             .expect("transmission without tag");
         let completed = self.medium.end_tx(tx_id);
 
-        // 1. Release physical carrier sense.
-        self.apply_sensing(
-            completed.desc.entity,
-            completed.desc.rate,
-            completed.desc.is_noise,
-            false,
-        );
+        // 1. Release physical carrier sense (exactly the set acquired at
+        // start — audibility may have changed while the frame was in the
+        // air).
+        self.apply_sensing_end(tx_id);
 
         // 2. Deliveries to MAC stations (frames only).
         if completed.desc.frame.is_some() {

@@ -122,6 +122,39 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Adversarial scenarios and the golden sweep
+//!
+//! [`sim::spec::ScenarioSpec`] composes a base [`sim::scenario::ScenarioConfig`]
+//! with orthogonal perturbations — roaming, hidden terminals, co-channel
+//! interference with mid-run re-allocation, session churn, QoS mixes —
+//! into a world that is a pure function of (spec, seed):
+//!
+//! ```
+//! use jigsaw::sim::spec::{Roaming, ScenarioSpec};
+//! use jigsaw::sim::scenario::{ScenarioConfig, TruthConfig};
+//!
+//! let base = ScenarioConfig {
+//!     day_us: 2_000_000,
+//!     truth: TruthConfig::Off,
+//!     ..ScenarioConfig::tiny(0)
+//! };
+//! let spec = ScenarioSpec {
+//!     roaming: Some(Roaming { roamers: 2, dwell_us: 600_000 }),
+//!     ..ScenarioSpec::plain("my_roaming", base)
+//! };
+//! let out = spec.run(7); // same spec + same seed ⇒ byte-identical traces
+//! assert!(out.total_events() > 0);
+//! ```
+//!
+//! `ScenarioSpec::sweep_matrix()` names six shipped adversarial shapes
+//! (`roaming`, `hidden_terminal`, `cochannel_realloc`, `protection_mix`,
+//! `qos_mix`, `error_stress`). `repro sweep` runs each end-to-end —
+//! record to disk, full merges on both drivers from memory and disk, the
+//! figure suite serial vs sharded, a windowed replay — and diffs the
+//! surviving digests + `record` lines against per-scenario golden files
+//! under `.github/golden/sweep/` (re-bless intentional changes with
+//! `repro sweep --bless`; see `.github/golden/README.md`).
 
 pub use jigsaw_analysis as analysis;
 pub use jigsaw_core as core;
