@@ -18,6 +18,7 @@ use jigsaw_ieee80211::frame::{Frame, MgmtBody};
 use jigsaw_ieee80211::timing::{airtime_us, Preamble};
 use jigsaw_ieee80211::{MacAddr, Micros};
 use jigsaw_packet::Msdu;
+// tidy:allow-file(hash-order): sets answer membership/cardinality queries only; every per-bin output is a count, never an iteration order
 use std::collections::HashSet;
 
 /// Traffic categories of Figure 8(b).

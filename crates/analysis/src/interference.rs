@@ -21,6 +21,7 @@ use jigsaw_core::jframe::JFrame;
 use jigsaw_core::link::attempt::{Attempt, AttemptOutcome};
 use jigsaw_core::observer::PipelineObserver;
 use jigsaw_ieee80211::{MacAddr, Micros, Subtype};
+// tidy:allow-file(hash-order): the pair map is drained into a Vec and sorted before emission; in-map access is keyed lookup
 use std::collections::{HashMap, VecDeque};
 
 #[derive(Debug, Default, Clone)]

@@ -23,6 +23,7 @@ use jigsaw_ieee80211::timing::{
     ack_airtime_us, airtime_us, mean_backoff_us, Preamble, CW_MIN_B, CW_MIN_G, SIFS_US,
 };
 use jigsaw_ieee80211::{MacAddr, Micros, PhyRate};
+// tidy:allow-file(hash-order): maps feed order-independent counts (len/filter-count); bin rows are emitted in Vec index order
 use std::collections::{HashMap, HashSet};
 
 /// Per-bin row of Figure 10.

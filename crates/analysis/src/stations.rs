@@ -9,6 +9,7 @@ use jigsaw_core::jframe::JFrame;
 use jigsaw_core::observer::PipelineObserver;
 use jigsaw_ieee80211::frame::{Frame, MgmtBody};
 use jigsaw_ieee80211::{ie, MacAddr, Micros};
+// tidy:allow-file(hash-order): maps and sets feed membership and count queries only; no iteration order reaches records
 use std::collections::{HashMap, HashSet};
 
 /// Capability of a client as inferred from the air.

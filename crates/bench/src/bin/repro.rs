@@ -82,6 +82,8 @@
 //! quoted alongside for comparison. Absolute numbers differ (the substrate
 //! is a simulator, not the UCSD testbed); the shapes are the claim.
 
+// The repro CLI's output *is* stdout; the workspace denial targets library code.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 use jigsaw_analysis::activity::ActivityAnalysis;
 use jigsaw_analysis::coverage::{pods_subset, radios_of_pods, CoverageAnalysis, OracleCoverage};
 use jigsaw_analysis::dispersion::DispersionAnalysis;

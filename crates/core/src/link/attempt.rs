@@ -14,6 +14,7 @@ use crate::jframe::JFrame;
 use jigsaw_ieee80211::frame::Frame;
 use jigsaw_ieee80211::timing::{ack_airtime_us, SIFS_US, SLOT_US};
 use jigsaw_ieee80211::{MacAddr, Micros, PhyRate, SeqNum, Subtype};
+// tidy:allow-file(hash-order): the pending map is keyed lookup; expirations are collected and sorted by (ts, key) before emission
 use std::collections::HashMap;
 
 /// Outcome of a transmission attempt at the link layer.

@@ -20,6 +20,7 @@
 
 use crate::link::attempt::{Attempt, AttemptOutcome};
 use jigsaw_ieee80211::{MacAddr, Micros, PhyRate, SeqNum, Subtype};
+// tidy:allow-file(hash-order): the open-exchange map is keyed lookup; stale entries are sorted by (first_ts, key) before emission
 use std::collections::HashMap;
 
 /// Delivery status of an exchange as seen from the link layer alone.

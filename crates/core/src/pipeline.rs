@@ -50,6 +50,7 @@ use jigsaw_trace::format::FormatError;
 use jigsaw_trace::stream::EventStream;
 use jigsaw_trace::{PhyEvent, RadioMeta, TimeWindow};
 use std::cmp::Reverse;
+// tidy:allow-file(hash-order): coarse-offset and reorder maps are keyed lookup only; emission order comes from the replay heap
 use std::collections::{BinaryHeap, HashMap};
 
 /// Pipeline configuration.

@@ -29,6 +29,7 @@
 use jigsaw_ieee80211::fc::{FrameControl, FrameType, Subtype};
 use jigsaw_ieee80211::{Channel, Micros};
 use jigsaw_trace::{PhyEvent, PhyStatus, RadioMeta};
+// tidy:allow-file(hash-order): anchor sets are sorted by (Reverse(len), first element) before the sync graph is built
 use std::collections::HashMap;
 
 /// Bootstrap parameters.

@@ -22,6 +22,7 @@ use jigsaw_ieee80211::fc::FrameControl;
 use jigsaw_ieee80211::MacAddr;
 use jigsaw_ieee80211::{Micros, Subtype};
 use jigsaw_packet::{ipv4::IpPayload, Msdu, TcpSegment};
+// tidy:allow-file(hash-order): the flow map is drained then sorted by (first_ts, key) before finish() emits
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 

@@ -42,6 +42,7 @@ use jigsaw_trace::format::FormatError;
 use jigsaw_trace::stream::EventStream;
 use jigsaw_trace::{PhyEvent, PhyStatus};
 use std::cmp::Reverse;
+// tidy:allow-file(hash-order): frame/cursor maps are keyed lookup; emission order comes from the min-heap and explicit sorts on (univ, key)
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Unification parameters.
@@ -198,6 +199,10 @@ pub struct Merger<S> {
     out: BinaryHeap<Reverse<(Micros, u8, u64)>>,
     out_frames: HashMap<u64, JFrame>,
     out_seq: u64,
+    // Universal timestamp of the last emitted jframe — backs the
+    // debug_assert that emission leaves in nondecreasing order (the PR 6
+    // invariant, otherwise pinned only end-to-end by the sweep goldens).
+    last_emitted: Micros,
     // Events currently resident in the merger (cursor queues + heads +
     // reorder-buffer instances); its running maximum is
     // `MergeStats::peak_buffered`.
@@ -261,6 +266,7 @@ impl<S: EventStream> Merger<S> {
             out: BinaryHeap::new(),
             out_frames: HashMap::new(),
             out_seq: 0,
+            last_emitted: 0,
             resident: 0,
         }
     }
@@ -480,6 +486,13 @@ impl<S: EventStream> Merger<S> {
             }
             self.out.pop();
             let jf = self.out_frames.remove(&seq).expect("frame stored");
+            debug_assert!(
+                jf.ts >= self.last_emitted,
+                "jframe emission went backwards: {} after {}",
+                jf.ts,
+                self.last_emitted
+            );
+            self.last_emitted = jf.ts;
             self.resident -= jf.instances.len();
             sink(jf);
         }

@@ -6,6 +6,7 @@ use crate::station::WiredHost;
 use crate::{HostId, StationId};
 use jigsaw_ieee80211::{MacAddr, Micros};
 use jigsaw_packet::Msdu;
+// tidy:allow-file(hash-order): host maps are lookup-only; AP/record lists are collected into Vecs and sorted before use
 use std::collections::HashMap;
 
 /// Destination of a packet in flight on the wired side.

@@ -1,0 +1,309 @@
+//! The tidy engine: walks a tree, runs every rule in scope, applies
+//! waivers, and renders the census report.
+//!
+//! The engine is deliberately deterministic end to end — files are visited
+//! in sorted path order, violations are reported in `(file, line, rule)`
+//! order, and the census table lists rules in registry order — so two runs
+//! on the same tree produce byte-identical output (the same contract the
+//! pipeline itself is held to).
+
+use crate::consistency;
+use crate::lexer::{lex, strip_cfg_test, Lexed, Tok};
+use crate::rules::{self, Violation};
+use crate::waiver::{parse_waivers, BadWaiver, Waiver};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One lexed and waiver-parsed source file.
+pub struct SourceFile {
+    /// Path relative to the tree root, forward slashes.
+    pub rel: String,
+    /// Full lex result (tokens + comments).
+    pub lexed: Lexed,
+    /// Tokens with `#[cfg(test)]` items removed — what rules run on.
+    pub stripped: Vec<Tok>,
+    /// Parsed waivers from this file's comments.
+    pub waivers: Vec<Waiver>,
+    /// Malformed waiver comments (become `waiver-hygiene` violations).
+    pub bad_waivers: Vec<BadWaiver>,
+}
+
+/// The outcome of a tree check.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Unwaived violations, sorted by `(file, line, rule)`.
+    pub violations: Vec<Violation>,
+    /// Per-rule count of violations suppressed by a waiver.
+    pub waived: BTreeMap<String, usize>,
+}
+
+/// Directories never descended into. `fixtures` keeps the rule-test
+/// snippets (which violate rules on purpose) out of the repo self-scan.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(rd) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for e in rd.flatten() {
+            let path = e.path();
+            let name = e.file_name().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn analyze(rel: String, src: &str) -> SourceFile {
+    let lexed = lex(src);
+    let stripped = strip_cfg_test(&lexed.tokens);
+    let (waivers, bad_waivers) = parse_waivers(&lexed.comments);
+    SourceFile {
+        rel,
+        lexed,
+        stripped,
+        waivers,
+        bad_waivers,
+    }
+}
+
+/// Dispatches the source-rule family by path scope.
+fn source_rules(rel: &str, toks: &[Tok]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if rules::DECODE_PATH_FILES.contains(&rel) {
+        out.extend(rules::decode_no_panic(rel, toks));
+    }
+    if rules::hash_order_scope(rel) {
+        out.extend(rules::hash_order(rel, toks));
+    }
+    if !rel.starts_with("crates/bench/") {
+        out.extend(rules::wall_clock(rel, toks));
+    }
+    out.extend(rules::no_unsafe(rel, toks));
+    if rules::no_refcell_scope(rel) {
+        out.extend(rules::no_refcell(rel, toks));
+    }
+    out
+}
+
+/// Applies a file's waivers to its raw violations. Returns the surviving
+/// violations (including any `waiver-hygiene` ones the waivers themselves
+/// earn) and the per-rule count of suppressions.
+fn apply_waivers(f: &SourceFile, raw: Vec<Violation>) -> (Vec<Violation>, BTreeMap<String, usize>) {
+    let mut used = vec![false; f.waivers.len()];
+    let mut kept = Vec::new();
+    let mut waived: BTreeMap<String, usize> = BTreeMap::new();
+
+    for v in raw {
+        let mut hit = false;
+        for (wi, w) in f.waivers.iter().enumerate() {
+            // An inline waiver covers its own line and the line below it,
+            // so both trailing and line-above placement work.
+            if w.rule == v.rule && (w.file_scope || w.line == v.line || w.line + 1 == v.line) {
+                used[wi] = true;
+                hit = true;
+            }
+        }
+        if hit {
+            *waived.entry(v.rule.to_string()).or_default() += 1;
+        } else {
+            kept.push(v);
+        }
+    }
+
+    let hygiene = |line: u32, message: String| Violation {
+        file: f.rel.clone(),
+        line,
+        rule: "waiver-hygiene",
+        message,
+    };
+    for b in &f.bad_waivers {
+        kept.push(hygiene(b.line, b.what.clone()));
+    }
+    for (w, was_used) in f.waivers.iter().zip(used) {
+        if !crate::RULES.iter().any(|r| r.name == w.rule) {
+            kept.push(hygiene(
+                w.line,
+                format!("waiver names unknown rule `{}`", w.rule),
+            ));
+        } else if !was_used {
+            kept.push(hygiene(
+                w.line,
+                format!(
+                    "waiver for `{}` suppresses nothing on this line or the next; \
+                     a stale waiver must be deleted",
+                    w.rule
+                ),
+            ));
+        }
+    }
+    (kept, waived)
+}
+
+/// Checks one in-memory source file under a virtual path. This is the
+/// fixture-test entry point: the path decides which rules are in scope,
+/// waivers apply exactly as in a tree scan, but cross-artifact rules
+/// (which need a real tree) do not run.
+pub fn check_source(rel: &str, src: &str) -> Vec<Violation> {
+    let f = analyze(rel.to_string(), src);
+    let raw = source_rules(&f.rel, &f.stripped);
+    let (mut kept, _) = apply_waivers(&f, raw);
+    kept.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    kept
+}
+
+/// Checks a whole tree: every `.rs` file under `root` (minus the
+/// skipped `target`/`vendor`/`.git`/`fixtures` dirs) plus the
+/// cross-artifact invariants.
+pub fn check_tree(root: &Path) -> Report {
+    let mut files = Vec::new();
+    for path in collect_rs_files(root) {
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(analyze(rel, &src));
+    }
+
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+
+    let mut raw: Vec<Vec<Violation>> = files
+        .iter()
+        .map(|f| source_rules(&f.rel, &f.stripped))
+        .collect();
+    for v in consistency::check(root, &files) {
+        match files.iter().position(|f| f.rel == v.file) {
+            // Attributed to a source file: eligible for an inline waiver
+            // there (e.g. a conditionally-registered figure).
+            Some(i) => raw[i].push(v),
+            // Attributed to a non-source artifact (golden dir, ci.yml):
+            // nothing to hang a waiver on, so it always surfaces.
+            None => report.violations.push(v),
+        }
+    }
+
+    for (f, raw_v) in files.iter().zip(raw) {
+        let (kept, waived) = apply_waivers(f, raw_v);
+        report.violations.extend(kept);
+        for (rule, n) in waived {
+            *report.waived.entry(rule).or_default() += n;
+        }
+    }
+    report
+        .violations
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    report
+}
+
+impl Report {
+    /// True when the tree passed.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the census table and any violations. Plain text, stable
+    /// order, suitable for both terminals and `$GITHUB_STEP_SUMMARY`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "jigsaw-tidy: scanned {} files", self.files_scanned);
+        let mut active: BTreeMap<&str, usize> = BTreeMap::new();
+        for v in &self.violations {
+            *active.entry(v.rule).or_default() += 1;
+        }
+        for r in crate::RULES {
+            let _ = writeln!(
+                s,
+                "  rule {:<18} violations: {:<3} waived: {}",
+                r.name,
+                active.get(r.name).copied().unwrap_or(0),
+                self.waived.get(r.name).copied().unwrap_or(0),
+            );
+        }
+        for v in &self.violations {
+            let _ = writeln!(s, "{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+        let waiver_total: usize = self.waived.values().sum();
+        if self.is_clean() {
+            let _ = writeln!(
+                s,
+                "result: clean ({} rules, {} waivers in effect)",
+                crate::RULES.len(),
+                waiver_total
+            );
+        } else {
+            let _ = writeln!(
+                s,
+                "result: {} violation(s) ({} waivers in effect)",
+                self.violations.len(),
+                waiver_total
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_waiver_covers_own_and_next_line() {
+        let src = "// tidy:allow(decode-no-panic): header length checked above\n\
+                   let x = buf[0];\n\
+                   let y = buf[1];\n";
+        let vs = check_source("crates/trace/src/format.rs", src);
+        // Line 2 is waived; line 3 is not.
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].line, 3);
+    }
+
+    #[test]
+    fn file_waiver_covers_everything_and_stale_waiver_fires() {
+        let clean = "// tidy:allow-file(hash-order): sorted before emission\n\
+                     use std::collections::HashMap;\nfn f(m: &HashMap<u8, u8>) {}\n";
+        assert!(check_source("crates/core/src/x.rs", clean).is_empty());
+
+        let stale = "// tidy:allow(hash-order): nothing here\nfn f() {}\n";
+        let vs = check_source("crates/core/src/x.rs", stale);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, "waiver-hygiene");
+    }
+
+    #[test]
+    fn unknown_rule_waiver_is_hygiene() {
+        let vs = check_source(
+            "crates/core/src/x.rs",
+            "// tidy:allow(no-such-rule): because\nfn f() {}\n",
+        );
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn scope_dispatch_by_path() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(check_source("crates/trace/src/varint.rs", src).len(), 1);
+        // Same code outside the decode path: no decode-no-panic scope.
+        assert!(check_source("crates/core/src/unify.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,510 @@
+//! A lightweight, token-level Rust lexer — just enough syntax awareness to
+//! enforce source-level rules without a compiler dependency.
+//!
+//! The lexer distinguishes identifiers (keywords included), punctuation,
+//! string/char/number literals, lifetimes, and comments. It handles the
+//! constructs that would otherwise produce false positives in a plain text
+//! grep: nested block comments, raw strings (`r#"…"#`), byte strings,
+//! raw identifiers (`r#type`), and the lifetime-vs-char-literal ambiguity
+//! (`'a` vs `'a'`). It deliberately does **not** parse: rules operate on
+//! token patterns, which is the same trade rust-lang/rust's `tidy` makes.
+
+/// What kind of token a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `HashMap`, …).
+    Ident,
+    /// Single punctuation character (`[`, `!`, `:`, …).
+    Punct,
+    /// String literal of any flavor; `text` holds the *inner* content.
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (integer or float, suffixes included).
+    Num,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text — for [`TokKind::Str`], the content between the quotes.
+    pub text: String,
+}
+
+/// One comment (line or block, doc or plain) with its starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// A lexed source file: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Unterminated constructs (string, block comment) consume the
+/// rest of the file rather than erroring — tidy rules prefer over-scanning
+/// to aborting on a file rustc itself would reject.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let is_ident_start = |c: u8| c.is_ascii_alphabetic() || c == b'_';
+    let is_ident_cont = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                });
+            }
+            b'"' => {
+                let start_line = line;
+                let (content, ni, nl) = scan_cooked_string(b, i + 1, line);
+                i = ni;
+                line = nl;
+                out.tokens.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Str,
+                    text: content,
+                });
+            }
+            b'\'' => {
+                // Lifetime vs char literal: after `'`, an identifier run not
+                // closed by another `'` is a lifetime.
+                let mut j = i + 1;
+                if j < b.len() && is_ident_start(b[j]) {
+                    let id_start = j;
+                    while j < b.len() && is_ident_cont(b[j]) {
+                        j += 1;
+                    }
+                    if b.get(j) != Some(&b'\'') {
+                        out.tokens.push(Tok {
+                            line,
+                            kind: TokKind::Lifetime,
+                            text: String::from_utf8_lossy(&b[id_start..j]).into_owned(),
+                        });
+                        i = j;
+                        continue;
+                    }
+                }
+                // Char literal: consume to the closing quote, honoring `\`.
+                let start_line = line;
+                let mut j = i + 1;
+                let mut text = String::new();
+                while j < b.len() {
+                    match b[j] {
+                        b'\\' => {
+                            text.push_str(&String::from_utf8_lossy(&b[j..(j + 2).min(b.len())]));
+                            j += 2;
+                        }
+                        b'\'' => {
+                            j += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            text.push('\n');
+                            j += 1;
+                        }
+                        other => {
+                            text.push(other as char);
+                            j += 1;
+                        }
+                    }
+                }
+                i = j;
+                out.tokens.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Char,
+                    text,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() && (is_ident_cont(b[i]) || b[i] == b'.') {
+                    if b[i] == b'.' {
+                        // `0..n` is a range, not a float: only consume the
+                        // dot when a digit follows it.
+                        if b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                            i += 2;
+                        } else {
+                            break;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Tok {
+                    line,
+                    kind: TokKind::Num,
+                    text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                let text = String::from_utf8_lossy(&b[start..i]).into_owned();
+                // String-literal prefixes and raw identifiers.
+                match (text.as_str(), b.get(i)) {
+                    ("r" | "br", Some(&b'"' | &b'#')) => {
+                        // Raw string r"…", r#"…"# — or raw ident r#name.
+                        if text == "r"
+                            && b.get(i) == Some(&b'#')
+                            && b.get(i + 1).copied().is_some_and(is_ident_start)
+                        {
+                            let start = i + 1;
+                            i += 1;
+                            while i < b.len() && is_ident_cont(b[i]) {
+                                i += 1;
+                            }
+                            out.tokens.push(Tok {
+                                line,
+                                kind: TokKind::Ident,
+                                text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                            });
+                            continue;
+                        }
+                        let start_line = line;
+                        let (content, ni, nl) = scan_raw_string(b, i, line);
+                        i = ni;
+                        line = nl;
+                        out.tokens.push(Tok {
+                            line: start_line,
+                            kind: TokKind::Str,
+                            text: content,
+                        });
+                    }
+                    ("b", Some(&b'"')) => {
+                        let start_line = line;
+                        let (content, ni, nl) = scan_cooked_string(b, i + 1, line);
+                        i = ni;
+                        line = nl;
+                        out.tokens.push(Tok {
+                            line: start_line,
+                            kind: TokKind::Str,
+                            text: content,
+                        });
+                    }
+                    ("b", Some(&b'\'')) => {
+                        // Byte literal b'x'.
+                        let start_line = line;
+                        let mut j = i + 1;
+                        let mut text = String::new();
+                        while j < b.len() {
+                            match b[j] {
+                                b'\\' => {
+                                    text.push_str(&String::from_utf8_lossy(
+                                        &b[j..(j + 2).min(b.len())],
+                                    ));
+                                    j += 2;
+                                }
+                                b'\'' => {
+                                    j += 1;
+                                    break;
+                                }
+                                other => {
+                                    text.push(other as char);
+                                    j += 1;
+                                }
+                            }
+                        }
+                        i = j;
+                        out.tokens.push(Tok {
+                            line: start_line,
+                            kind: TokKind::Char,
+                            text,
+                        });
+                    }
+                    _ => out.tokens.push(Tok {
+                        line,
+                        kind: TokKind::Ident,
+                        text,
+                    }),
+                }
+            }
+            other => {
+                out.tokens.push(Tok {
+                    line,
+                    kind: TokKind::Punct,
+                    text: (other as char).to_string(),
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans a cooked (escape-honoring) string body starting just past the
+/// opening quote. Returns `(content, next_index, next_line)`.
+fn scan_cooked_string(b: &[u8], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let mut content = String::new();
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                content.push_str(&String::from_utf8_lossy(&b[i..(i + 2).min(b.len())]));
+                i += 2;
+            }
+            b'"' => {
+                i += 1;
+                break;
+            }
+            b'\n' => {
+                line += 1;
+                content.push('\n');
+                i += 1;
+            }
+            other => {
+                content.push(other as char);
+                i += 1;
+            }
+        }
+    }
+    (content, i, line)
+}
+
+/// Scans a raw string starting at the first `#` or `"` after the `r`/`br`
+/// prefix. Returns `(content, next_index, next_line)`.
+fn scan_raw_string(b: &[u8], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        // `r#foo` raw ident slipped through (caller guards); treat as empty.
+        return (String::new(), i, line);
+    }
+    i += 1;
+    let start = i;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"' {
+            let tail = &b[i + 1..];
+            if tail.len() >= hashes && tail.iter().take(hashes).all(|&c| c == b'#') {
+                let content = String::from_utf8_lossy(&b[start..i]).into_owned();
+                return (content, i + 1 + hashes, line);
+            }
+        }
+        i += 1;
+    }
+    (String::from_utf8_lossy(&b[start..]).into_owned(), i, line)
+}
+
+/// Strips every item annotated `#[cfg(test)]` (attribute plus the item it
+/// covers, brace-balanced) from a token stream. Rules about production
+/// hygiene — panics, hash iteration — deliberately do not fire inside unit
+/// test modules, where `unwrap()` is the idiom.
+pub fn strip_cfg_test(tokens: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Skip the attribute itself: `#` `[` … matching `]`.
+            i = skip_balanced(tokens, i + 1, "[", "]");
+            // Skip any further attributes on the same item.
+            while tokens.get(i).is_some_and(|t| t.text == "#")
+                && tokens.get(i + 1).is_some_and(|t| t.text == "[")
+            {
+                i = skip_balanced(tokens, i + 1, "[", "]");
+            }
+            // Skip the item: through the first `;` or brace-balanced block.
+            while i < tokens.len() {
+                match tokens[i].text.as_str() {
+                    ";" => {
+                        i += 1;
+                        break;
+                    }
+                    "{" => {
+                        i = skip_balanced(tokens, i, "{", "}");
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// True when `tokens[i..]` starts `#[cfg(test)]` or `#[cfg(all(test, …))]`
+/// (any attribute that names `test` inside a `cfg`).
+fn is_cfg_test_attr(tokens: &[Tok], i: usize) -> bool {
+    if tokens.get(i).map(|t| t.text.as_str()) != Some("#")
+        || tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[")
+        || tokens.get(i + 2).map(|t| t.text.as_str()) != Some("cfg")
+    {
+        return false;
+    }
+    let end = skip_balanced(tokens, i + 1, "[", "]");
+    tokens[i + 3..end.min(tokens.len())]
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "test")
+}
+
+/// Given `tokens[open]` == `open_sym`, returns the index just past its
+/// matching `close_sym` (or the end of the stream).
+pub fn skip_balanced(tokens: &[Tok], open: usize, open_sym: &str, close_sym: &str) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].kind == TokKind::Punct {
+            if tokens[i].text == open_sym {
+                depth += 1;
+            } else if tokens[i].text == close_sym {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // Forbidden words inside literals must not surface as identifiers.
+        let src = r##"let s = "unwrap inside"; let r = r#"panic! here"#; s.len();"##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "unwrap" || t == "panic"));
+        assert!(ids.iter().any(|t| t == "len"));
+    }
+
+    #[test]
+    fn comments_are_separated() {
+        let src = "// a comment with unwrap()\n/* block /* nested */ end */ code();";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(idents(src).contains(&"code".to_string()));
+        assert!(!idents(src).contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "x");
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n\"two\nline\"\nc";
+        let lexed = lex(src);
+        let c = lexed.tokens.last().unwrap();
+        assert_eq!((c.text.as_str(), c.line), ("c", 5));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_stripped() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\nfn after() {}";
+        let lexed = lex(src);
+        let stripped = strip_cfg_test(&lexed.tokens);
+        let ids: Vec<_> = stripped
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ids.contains(&"real") && ids.contains(&"after"));
+        assert!(!ids.contains(&"unwrap"));
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let src = "for i in 0..10 { a[i]; } let f = 1.5e3;";
+        let nums: Vec<String> = lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e3"]);
+    }
+}

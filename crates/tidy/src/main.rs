@@ -1,0 +1,57 @@
+//! The `jigsaw_tidy` CLI. Exit codes follow the repro convention:
+//! 0 clean, 1 violations found, 2 usage error.
+
+// A lint CLI's whole job is printing; the workspace-wide print denial is
+// for library and pipeline code.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: jigsaw_tidy [--root DIR] [--list-rules]";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("jigsaw_tidy: --root needs a directory; {USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for r in jigsaw_tidy::RULES {
+                    println!("{:<18} {}", r.name, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("jigsaw_tidy: unknown argument `{other}`; {USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if !root.is_dir() {
+        eprintln!(
+            "jigsaw_tidy: `{}` is not a directory; {USAGE}",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let report = jigsaw_tidy::check_tree(&root);
+    print!("{}", report.render());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,134 @@
+//! Inline waivers: the escape hatch that keeps rules enforceable.
+//!
+//! A rule violation may be waived — never silently. Two forms:
+//!
+//! * `// tidy:allow(rule-name): reason` — covers the comment's own line and
+//!   the line directly below it (so both trailing and line-above placement
+//!   work).
+//! * `// tidy:allow-file(rule-name): reason` — covers the whole file. Meant
+//!   for rules like `hash-order` where one justified design decision (an
+//!   explicit sort before emission) covers every use in the file.
+//!
+//! Every waiver must name a registered rule and carry a non-empty reason,
+//! and must actually suppress at least one violation — a stale waiver is
+//! itself a violation (`waiver-hygiene`), so waivers cannot rot.
+
+use crate::lexer::Comment;
+
+/// One parsed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// 1-based line of the comment carrying the waiver.
+    pub line: u32,
+    /// Rule name the waiver targets.
+    pub rule: String,
+    /// Human reason (non-empty by construction).
+    pub reason: String,
+    /// True for `tidy:allow-file` (whole-file scope).
+    pub file_scope: bool,
+}
+
+/// A malformed waiver comment (reported under `waiver-hygiene`).
+#[derive(Debug, Clone)]
+pub struct BadWaiver {
+    /// 1-based line of the offending comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub what: String,
+}
+
+/// Extracts waivers from a file's comments.
+pub fn parse_waivers(comments: &[Comment]) -> (Vec<Waiver>, Vec<BadWaiver>) {
+    let mut waivers = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // A waiver is the comment's entire point, so the marker must open
+        // it (right after the `//`/`/*` and doc sigils). Prose that merely
+        // *mentions* `tidy:allow(…)` — this crate's own rustdoc — never
+        // starts with the bare marker.
+        let body = c.text.trim_start_matches(['/', '!', '*', ' ', '\t']);
+        if !body.starts_with("tidy:allow") {
+            continue;
+        }
+        let rest = &body["tidy:allow".len()..];
+        let (file_scope, rest) = match rest.strip_prefix("-file") {
+            Some(r) => (true, r),
+            None => (false, rest),
+        };
+        let Some(rest) = rest.strip_prefix('(') else {
+            bad.push(BadWaiver {
+                line: c.line,
+                what: "expected `tidy:allow(rule-name): reason`".into(),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad.push(BadWaiver {
+                line: c.line,
+                what: "unclosed `(` in waiver".into(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = &rest[close + 1..];
+        let reason = after
+            .strip_prefix(':')
+            .map(|r| r.trim_end_matches("*/").trim().to_string())
+            .unwrap_or_default();
+        if rule.is_empty() || reason.is_empty() {
+            bad.push(BadWaiver {
+                line: c.line,
+                what: "waiver needs a rule name and a non-empty `: reason`".into(),
+            });
+            continue;
+        }
+        waivers.push(Waiver {
+            line: c.line,
+            rule,
+            reason,
+            file_scope,
+        });
+    }
+    (waivers, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(text: &str) -> Comment {
+        Comment {
+            line: 7,
+            text: text.into(),
+        }
+    }
+
+    #[test]
+    fn parses_inline_and_file_forms() {
+        let (ws, bad) = parse_waivers(&[
+            comment("// tidy:allow(decode-no-panic): compressor input is trusted"),
+            comment("/* tidy:allow-file(hash-order): sorted before emission */"),
+        ]);
+        assert!(bad.is_empty());
+        assert_eq!(ws.len(), 2);
+        assert!(!ws[0].file_scope && ws[0].rule == "decode-no-panic");
+        assert!(ws[1].file_scope && ws[1].reason == "sorted before emission");
+    }
+
+    #[test]
+    fn rejects_missing_reason_and_malformed() {
+        let (ws, bad) = parse_waivers(&[
+            comment("// tidy:allow(no-unsafe)"),
+            comment("// tidy:allow no-parens: reason"),
+            comment("// tidy:allow(no-unsafe):   "),
+        ]);
+        assert!(ws.is_empty());
+        assert_eq!(bad.len(), 3);
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let (ws, bad) = parse_waivers(&[comment("// nothing to see here")]);
+        assert!(ws.is_empty() && bad.is_empty());
+    }
+}

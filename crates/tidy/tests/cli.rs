@@ -1,0 +1,72 @@
+//! CLI contract tests: exit code 0 on a clean tree, 1 on unwaived
+//! violations, 2 on a malformed invocation — the same convention `repro`
+//! uses, so CI can distinguish "found problems" from "broke".
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tidy() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_jigsaw_tidy"))
+}
+
+fn fixtures() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let out = tidy()
+        .args(["--root"])
+        .arg(fixtures().join("tree_clean"))
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("result: clean"), "{stdout}");
+}
+
+#[test]
+fn unwaived_violation_exits_one() {
+    let out = tidy()
+        .args(["--root"])
+        .arg(fixtures().join("tree_fires"))
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("violation"), "{stdout}");
+    assert!(stdout.contains("[sweep-coverage]"), "{stdout}");
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    let out = tidy().arg("--frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn root_without_value_exits_two() {
+    let out = tidy().arg("--root").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn nonexistent_root_exits_two() {
+    let out = tidy()
+        .args(["--root", "/no/such/dir/anywhere"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn list_rules_names_the_whole_registry() {
+    let out = tidy().arg("--list-rules").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for r in jigsaw_tidy::RULES {
+        assert!(stdout.contains(r.name), "missing {} in:\n{stdout}", r.name);
+    }
+}

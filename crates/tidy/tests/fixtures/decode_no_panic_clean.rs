@@ -1,0 +1,11 @@
+//! Clean fixture: the decode-path idioms the rule steers toward — slice
+//! patterns behind `.get()`, `checked_add`, `debug_assert`, errors out.
+
+pub fn parse(buf: &[u8]) -> Result<u32, &'static str> {
+    let Some(&[hi, lo]) = buf.first_chunk::<2>() else {
+        return Err("truncated header");
+    };
+    debug_assert!(buf.len() >= 2);
+    let word = (u32::from(hi) << 8) | u32::from(lo);
+    word.checked_add(1).ok_or("counter overflow")
+}

@@ -1,0 +1,11 @@
+//! Firing fixture: every panic avenue `decode-no-panic` bans.
+
+pub fn parse(buf: &[u8]) -> u32 {
+    let hi = buf[0];
+    let lo = buf.first().copied().unwrap();
+    assert!(buf.len() > 2);
+    if buf.len() > 9 {
+        panic!("too long");
+    }
+    (u32::from(hi) << 8) | u32::from(lo)
+}

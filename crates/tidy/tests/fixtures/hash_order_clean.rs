@@ -1,0 +1,8 @@
+//! Clean fixture: `BTreeMap` needs no waiver — its iteration order is the
+//! type's contract.
+
+use std::collections::BTreeMap;
+
+pub fn emit(counts: &BTreeMap<u16, u64>) -> Vec<(u16, u64)> {
+    counts.iter().map(|(k, v)| (*k, *v)).collect()
+}

@@ -1,0 +1,8 @@
+//! Firing fixture: a `HashMap` drained straight into emitted records —
+//! iteration order would decide output order.
+
+use std::collections::HashMap;
+
+pub fn emit(counts: &HashMap<u16, u64>) -> Vec<(u16, u64)> {
+    counts.iter().map(|(k, v)| (*k, *v)).collect()
+}

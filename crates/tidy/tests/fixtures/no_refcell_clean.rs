@@ -1,0 +1,11 @@
+//! Clean fixture: observers take `&mut self`, so plain fields suffice.
+
+pub struct Shared {
+    pub hits: u64,
+}
+
+impl Shared {
+    pub fn bump(&mut self) {
+        self.hits += 1;
+    }
+}

@@ -1,0 +1,7 @@
+//! Firing fixture: `RefCell` shared-mutability shim in driver code.
+
+use std::cell::RefCell;
+
+pub struct Shared {
+    pub hits: RefCell<u64>,
+}

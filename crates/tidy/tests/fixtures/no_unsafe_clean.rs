@@ -1,0 +1,5 @@
+//! Clean fixture: the safe spelling of the same read.
+
+pub fn peek(v: &[u8]) -> u8 {
+    v.first().copied().unwrap_or(0)
+}

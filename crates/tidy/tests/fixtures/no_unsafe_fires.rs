@@ -1,0 +1,5 @@
+//! Firing fixture: `unsafe` anywhere outside the (empty) allowlist.
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,9 @@
+//! Fixture figure: the `fn name()` shape `figure-golden` parses.
+
+pub struct Fig1;
+
+impl Fig1 {
+    pub fn name(&self) -> &'static str {
+        "fig1"
+    }
+}

@@ -1,0 +1,3 @@
+//! Fixture corpus store. The manifest's first line is `JIGC 1`.
+
+pub const MANIFEST_MAGIC: &str = "JIGC 1";

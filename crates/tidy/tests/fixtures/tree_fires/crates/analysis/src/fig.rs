@@ -1,0 +1,18 @@
+//! Fixture figures — `fig2` has no `record fig2.…` line in any golden, so
+//! `figure-golden` must flag it once per golden file.
+
+pub struct Fig1;
+
+impl Fig1 {
+    pub fn name(&self) -> &'static str {
+        "fig1"
+    }
+}
+
+pub struct Fig2;
+
+impl Fig2 {
+    pub fn name(&self) -> &'static str {
+        "fig2"
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture scenario specs — tree_fires drops `beta` from ci.yml only, so
+//! `sweep-coverage` must flag it from both the matrix and the goldens.
+
+pub struct ScenarioSpec {
+    pub name: &'static str,
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    fn plain(name: &'static str, seed: u64) -> Self {
+        ScenarioSpec { name, seed }
+    }
+
+    fn alpha() -> Self {
+        Self::plain("alpha", 1)
+    }
+
+    fn beta() -> Self {
+        Self::plain("beta", 2)
+    }
+
+    pub fn sweep_matrix() -> Vec<Self> {
+        vec![Self::alpha(), Self::beta()]
+    }
+}

@@ -1,0 +1,7 @@
+//! Clean fixture: a waiver that suppresses a real violation and carries a
+//! written reason — tidy's one sanctioned escape hatch.
+
+pub fn header(buf: &[u8; 4]) -> u8 {
+    // tidy:allow(decode-no-panic): fixed-size array, index 0 cannot be out of bounds
+    buf[0]
+}

@@ -1,0 +1,11 @@
+//! Firing fixture: stale, malformed, and unknown-rule waivers — each one
+//! is itself a violation, so waivers cannot rot.
+
+// tidy:allow(hash-order): nothing on the next line uses a hash map
+pub fn stale() {}
+
+// tidy:allow(no-unsafe)
+pub fn missing_reason() {}
+
+// tidy:allow(no-such-rule): the registry has no rule by this name
+pub fn unknown_rule() {}

@@ -1,0 +1,16 @@
+//! Clean fixture: time comes from the trace cursor and randomness from the
+//! scenario seed — a method named `now` on our own types is fine.
+
+pub struct ReplayClock {
+    pub cursor_us: u64,
+}
+
+impl ReplayClock {
+    pub fn now(&self) -> u64 {
+        self.cursor_us
+    }
+}
+
+pub fn stamp(clock: &ReplayClock) -> u64 {
+    clock.now()
+}

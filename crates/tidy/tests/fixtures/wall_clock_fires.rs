@@ -1,0 +1,13 @@
+//! Firing fixture: every host-clock and host-entropy path `wall-clock`
+//! bans outside crates/bench.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,105 @@
+//! Fixture tests: every rule has a firing snippet and a clean snippet
+//! under `tests/fixtures/`, checked through the same entry points the
+//! binary uses. Source rules go through `check_source` with a virtual
+//! in-scope path; cross-artifact rules go through `check_tree` on the
+//! `tree_fires`/`tree_clean` mini trees.
+
+use jigsaw_tidy::{check_source, check_tree};
+use std::path::PathBuf;
+
+fn fixtures() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture(name: &str) -> String {
+    let path = fixtures().join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The firing fixture must produce exactly `count` violations, all of them
+/// from the expected rule — a stray second rule firing would mean the
+/// fixture (or a scope) drifted.
+fn assert_fires(rel: &str, name: &str, rule: &str, count: usize) {
+    let vs = check_source(rel, &fixture(name));
+    assert_eq!(vs.len(), count, "{name} under {rel}: {vs:#?}");
+    assert!(vs.iter().all(|v| v.rule == rule), "{name}: {vs:#?}");
+}
+
+fn assert_clean(rel: &str, name: &str) {
+    let vs = check_source(rel, &fixture(name));
+    assert!(vs.is_empty(), "{name} under {rel} should be clean: {vs:#?}");
+}
+
+#[test]
+fn decode_no_panic_fixtures() {
+    let rel = "crates/trace/src/varint.rs";
+    assert_fires(rel, "decode_no_panic_fires.rs", "decode-no-panic", 4);
+    assert_clean(rel, "decode_no_panic_clean.rs");
+}
+
+#[test]
+fn hash_order_fixtures() {
+    let rel = "crates/core/src/fixture.rs";
+    assert_fires(rel, "hash_order_fires.rs", "hash-order", 2);
+    assert_clean(rel, "hash_order_clean.rs");
+}
+
+#[test]
+fn wall_clock_fixtures() {
+    let rel = "crates/sim/src/fixture.rs";
+    assert_fires(rel, "wall_clock_fires.rs", "wall-clock", 3);
+    assert_clean(rel, "wall_clock_clean.rs");
+}
+
+#[test]
+fn wall_clock_exempts_bench() {
+    // The same firing snippet inside crates/bench is the harness's
+    // legitimate business.
+    assert_clean("crates/bench/src/fixture.rs", "wall_clock_fires.rs");
+}
+
+#[test]
+fn no_unsafe_fixtures() {
+    let rel = "crates/packet/src/fixture.rs";
+    assert_fires(rel, "no_unsafe_fires.rs", "no-unsafe", 1);
+    assert_clean(rel, "no_unsafe_clean.rs");
+}
+
+#[test]
+fn no_refcell_fixtures() {
+    let rel = "examples/fixture.rs";
+    assert_fires(rel, "no_refcell_fires.rs", "no-refcell", 2);
+    assert_clean(rel, "no_refcell_clean.rs");
+    // Outside the repro/examples scope, RefCell is not tidy's concern.
+    assert_clean("crates/core/src/fixture.rs", "no_refcell_fires.rs");
+}
+
+#[test]
+fn waiver_hygiene_fixtures() {
+    let rel = "crates/core/src/fixture.rs";
+    assert_fires(rel, "waiver_hygiene_fires.rs", "waiver-hygiene", 3);
+    // The clean snippet carries a *used* waiver over a real violation on
+    // the decode path: both the violation and the hygiene check stay quiet.
+    assert_clean("crates/trace/src/format.rs", "waiver_hygiene_clean.rs");
+}
+
+#[test]
+fn cross_rules_fire_on_drifted_tree() {
+    let report = check_tree(&fixtures().join("tree_fires"));
+    let count = |rule: &str| report.violations.iter().filter(|v| v.rule == rule).count();
+    // `beta` is in sweep_matrix() and the goldens but not ci.yml: one
+    // violation per missing direction.
+    assert_eq!(count("sweep-coverage"), 2, "{}", report.render());
+    // `fig2` is absent from both goldens.
+    assert_eq!(count("figure-golden"), 2, "{}", report.render());
+    // Module docs say `JIGC 0`, the constant says `JIGC 1`.
+    assert_eq!(count("manifest-version"), 1, "{}", report.render());
+    assert_eq!(report.violations.len(), 5, "{}", report.render());
+}
+
+#[test]
+fn cross_rules_clean_tree_passes() {
+    let report = check_tree(&fixtures().join("tree_clean"));
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.files_scanned, 3);
+}

@@ -1,0 +1,17 @@
+//! The gate that makes tidy part of tier-1: the repository's own tree must
+//! pass every rule. A violation anywhere in the workspace fails `cargo
+//! test` before CI ever reaches the dedicated tidy job.
+
+use std::path::PathBuf;
+
+#[test]
+fn repository_tree_is_tidy_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = jigsaw_tidy::check_tree(&root);
+    assert!(
+        report.files_scanned > 50,
+        "only {} files scanned — wrong root?",
+        report.files_scanned
+    );
+    assert!(report.is_clean(), "\n{}", report.render());
+}

@@ -54,6 +54,7 @@ impl std::error::Error for DecompressError {}
 
 #[inline]
 fn hash4(data: &[u8], i: usize) -> usize {
+    // tidy:allow(decode-no-panic): compressor side — callers guarantee i + 4 <= data.len()
     let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
     (v.wrapping_mul(2654435761) >> (32 - 15)) as usize & (HASH_SIZE - 1)
 }
@@ -78,6 +79,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
         if to > from {
             out.push(0x00);
             put_uvarint(out, (to - from) as u64);
+            // tidy:allow(decode-no-panic): compressor side — from/to track our own cursor, never past n
             out.extend_from_slice(&input[from..to]);
         }
     };
@@ -87,6 +89,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
         // Walk the chain looking for the longest match.
         let mut best_len = 0usize;
         let mut best_dist = 0usize;
+        // tidy:allow(decode-no-panic): compressor side — h < HASH_SIZE by construction
         let mut cand = head[h] as usize;
         let mut chain = 0;
         while cand > 0 && chain < MAX_CHAIN {
@@ -96,8 +99,10 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
             }
             let limit = n - i;
             // Quick reject: a longer match must improve at index best_len.
+            // tidy:allow(decode-no-panic): compressor side — pos < i and offsets stay < limit = n - i
             if best_len < limit && input[pos + best_len] == input[i + best_len] {
                 let mut l = 0usize;
+                // tidy:allow(decode-no-panic): compressor side — pos < i and l < limit = n - i
                 while l < limit && input[pos + l] == input[i + l] {
                     l += 1;
                 }
@@ -107,6 +112,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
                 }
             }
             chain += 1;
+            // tidy:allow(decode-no-panic): compressor side — index is taken mod WINDOW
             let next = prev[pos % WINDOW] as usize;
             // Chains must strictly decrease; a wrapped slot breaks the walk.
             if next >= cand {
@@ -127,15 +133,17 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
             for j in i..i + step_limit {
                 if j + MIN_MATCH <= n {
                     let hj = hash4(input, j);
+                    // tidy:allow(decode-no-panic): compressor side — mod WINDOW and hj < HASH_SIZE
                     prev[j % WINDOW] = head[hj];
-                    head[hj] = (j + 1) as u32;
+                    head[hj] = (j + 1) as u32; // tidy:allow(decode-no-panic): hj < HASH_SIZE
                 }
             }
             i += best_len;
             lit_start = i;
         } else {
+            // tidy:allow(decode-no-panic): compressor side — mod WINDOW and h < HASH_SIZE
             prev[i % WINDOW] = head[h];
-            head[h] = (i + 1) as u32;
+            head[h] = (i + 1) as u32; // tidy:allow(decode-no-panic): h < HASH_SIZE
             i += 1;
         }
     }
@@ -144,43 +152,62 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 }
 
 /// Decompresses `input`, refusing to produce more than `max_out` bytes.
+///
+/// This is the untrusted half of the codec: `input` may be truncated or
+/// corrupt, so every access goes through `get` and every length through
+/// `checked_add` (tidy: `decode-no-panic`) — corruption decodes to `Err`,
+/// never a panic.
 pub fn decompress(input: &[u8], max_out: usize) -> Result<Vec<u8>, DecompressError> {
     let mut out = Vec::with_capacity(input.len() * 2);
     let mut i = 0usize;
-    while i < input.len() {
-        let tag = input[i];
+    while let Some(&tag) = input.get(i) {
         i += 1;
         match tag {
             0x00 => {
-                let (len, n) = get_uvarint(&input[i..]).ok_or(DecompressError::Truncated)?;
+                let rest = input.get(i..).ok_or(DecompressError::Truncated)?;
+                let (len, n) = get_uvarint(rest).ok_or(DecompressError::Truncated)?;
                 i += n;
-                let len = len as usize;
-                if input.len() < i + len {
-                    return Err(DecompressError::Truncated);
-                }
-                if out.len() + len > max_out {
+                let len = usize::try_from(len).map_err(|_| DecompressError::TooLarge)?;
+                let end = i.checked_add(len).ok_or(DecompressError::Truncated)?;
+                let lits = input.get(i..end).ok_or(DecompressError::Truncated)?;
+                if out
+                    .len()
+                    .checked_add(len)
+                    .ok_or(DecompressError::TooLarge)?
+                    > max_out
+                {
                     return Err(DecompressError::TooLarge);
                 }
-                out.extend_from_slice(&input[i..i + len]);
-                i += len;
+                out.extend_from_slice(lits);
+                i = end;
             }
             0x01 => {
-                let (l, n) = get_uvarint(&input[i..]).ok_or(DecompressError::Truncated)?;
+                let rest = input.get(i..).ok_or(DecompressError::Truncated)?;
+                let (l, n) = get_uvarint(rest).ok_or(DecompressError::Truncated)?;
                 i += n;
-                let (dist, n) = get_uvarint(&input[i..]).ok_or(DecompressError::Truncated)?;
+                let rest = input.get(i..).ok_or(DecompressError::Truncated)?;
+                let (dist, n) = get_uvarint(rest).ok_or(DecompressError::Truncated)?;
                 i += n;
-                let len = l as usize + MIN_MATCH;
-                let dist = dist as usize;
+                let len = usize::try_from(l)
+                    .ok()
+                    .and_then(|l| l.checked_add(MIN_MATCH))
+                    .ok_or(DecompressError::TooLarge)?;
+                let dist = usize::try_from(dist).map_err(|_| DecompressError::BadDistance)?;
                 if dist == 0 || dist > out.len() {
                     return Err(DecompressError::BadDistance);
                 }
-                if out.len() + len > max_out {
+                if out
+                    .len()
+                    .checked_add(len)
+                    .ok_or(DecompressError::TooLarge)?
+                    > max_out
+                {
                     return Err(DecompressError::TooLarge);
                 }
                 // Overlapping copies are the LZ idiom for runs: copy byte-wise.
                 let start = out.len() - dist;
                 for j in 0..len {
-                    let b = out[start + j];
+                    let b = *out.get(start + j).ok_or(DecompressError::BadDistance)?;
                     out.push(b);
                 }
             }

@@ -223,44 +223,56 @@ impl Manifest {
         for _ in 0..n {
             let line = lines.next().ok_or_else(|| bad("truncated radio table"))?;
             let t: Vec<&str> = line.split_whitespace().collect();
-            let keys = [
-                "radio",
-                "monitor",
-                "channel",
-                "anchor_wall",
-                "anchor_local",
-                "events",
-                "data",
-                "index",
+            // Manifest lines are untrusted input (tidy: `decode-no-panic`):
+            // a slice pattern rejects a wrong-arity line up front, so no
+            // field access below can be out of bounds.
+            let [kr, radio, km, monitor, kc, channel, kw, anchor_wall, kl, anchor_local, ke, events, kd, data, ki, index] =
+                t.as_slice()
+            else {
+                return Err(bad(format!("bad radio line `{line}`")));
+            };
+            let keys = [kr, km, kc, kw, kl, ke, kd, ki];
+            let expect = [
+                &"radio",
+                &"monitor",
+                &"channel",
+                &"anchor_wall",
+                &"anchor_local",
+                &"events",
+                &"data",
+                &"index",
             ];
-            if t.len() != 16 || keys.iter().enumerate().any(|(i, k)| t[2 * i] != *k) {
+            if keys != expect {
                 return Err(bad(format!("bad radio line `{line}`")));
             }
-            let channel = jigsaw_ieee80211::Channel::new(num(t[5], "channel")?)
+            let channel = jigsaw_ieee80211::Channel::new(num(channel, "channel")?)
                 .map_err(|_| bad(format!("bad channel in `{line}`")))?;
             radios.push(ManifestRadio {
                 meta: RadioMeta {
-                    radio: crate::RadioId(num(t[1], "radio")?),
-                    monitor: crate::MonitorId(num(t[3], "monitor")?),
+                    radio: crate::RadioId(num(radio, "radio")?),
+                    monitor: crate::MonitorId(num(monitor, "monitor")?),
                     channel,
-                    anchor_wall_us: num(t[7], "anchor_wall")?,
-                    anchor_local_us: num(t[9], "anchor_local")?,
+                    anchor_wall_us: num(anchor_wall, "anchor_wall")?,
+                    anchor_local_us: num(anchor_local, "anchor_local")?,
                 },
-                events: num(t[11], "events")?,
-                data: file_name(t[13], "data")?,
-                index: file_name(t[15], "index")?,
+                events: num(events, "events")?,
+                data: file_name(data, "data")?,
+                index: file_name(index, "index")?,
             });
         }
         let wired = match lines.next() {
             None => None,
             Some(line) => {
                 let t: Vec<&str> = line.split_whitespace().collect();
-                if t.len() != 3 || t[0] != "wired" {
+                let [kw, records, file] = t.as_slice() else {
+                    return Err(bad(format!("bad wired line `{line}`")));
+                };
+                if *kw != "wired" {
                     return Err(bad(format!("bad wired line `{line}`")));
                 }
                 Some(ManifestWired {
-                    records: num(t[1], "wired records")?,
-                    file: file_name(t[2], "wired")?,
+                    records: num(records, "wired records")?,
+                    file: file_name(file, "wired")?,
                 })
             }
         };
@@ -484,10 +496,14 @@ impl RadioTraceSource {
     /// `lo` is typically [`RadioMeta::coarse_local`] of the replay window's
     /// start, and `hi` one bootstrap window later.
     pub fn read_window(&self, lo: u64, hi: u64) -> Result<Vec<PhyEvent>, FormatError> {
-        let Some(start) = find_block(&self.index, lo) else {
+        // `find_block` returns in-bounds positions, but the index came off
+        // disk, so this path stays `get`-based (tidy: `decode-no-panic`).
+        let Some((start, first)) =
+            find_block(&self.index, lo).and_then(|b| Some((b, self.index.get(b)?)))
+        else {
             return Ok(Vec::new()); // whole trace ends before `lo`
         };
-        if self.index[start].first_ts > hi {
+        if first.first_ts > hi {
             return Ok(Vec::new()); // whole trace (from `lo` on) starts past `hi`
         }
         // The first block that may hold events past the range; every block
@@ -495,15 +511,16 @@ impl RadioTraceSource {
         // allocation.
         let stop = find_block(&self.index, hi.saturating_add(1));
         let cap: u64 = match stop {
-            Some(b) => self.index[start..=b]
-                .iter()
-                .map(|e| u64::from(e.count))
-                .sum(),
-            None => self.index[start..].iter().map(|e| u64::from(e.count)).sum(),
-        };
+            Some(b) => self.index.get(start..=b),
+            None => self.index.get(start..),
+        }
+        .into_iter()
+        .flatten()
+        .map(|e| u64::from(e.count))
+        .sum();
         let mut out = Vec::with_capacity(cap as usize);
         let mut reader = self.open_counted()?;
-        reader.seek_to_block(self.index[start].offset)?;
+        reader.seek_to_block(first.offset)?;
         while let Some(ev) = reader.next_event()? {
             if ev.ts_local > hi {
                 break; // still inside block `stop`: later blocks never load
@@ -540,10 +557,10 @@ impl RadioTraceSource {
     /// blocks, not the trace. A range past the end of the trace yields an
     /// empty (but valid) stream.
     pub fn open_stream_range(&self, lo: u64, hi: u64) -> Result<WindowedCorpusStream, FormatError> {
-        let inner = match find_block(&self.index, lo) {
-            Some(b) if self.index[b].first_ts <= hi => {
+        let inner = match find_block(&self.index, lo).and_then(|b| self.index.get(b)) {
+            Some(entry) if entry.first_ts <= hi => {
                 let mut reader = self.open_counted()?;
-                reader.seek_to_block(self.index[b].offset)?;
+                reader.seek_to_block(entry.offset)?;
                 Some(ReaderStream::new(reader))
             }
             _ => None, // no block overlaps [lo, hi]: open nothing
@@ -556,11 +573,11 @@ impl RadioTraceSource {
     /// Events earlier in that block still appear; callers filter. Returns
     /// `None` when `ts` is past the end of the trace.
     pub fn open_stream_at(&self, ts: u64) -> Result<Option<CorpusStream>, FormatError> {
-        let Some(b) = find_block(&self.index, ts) else {
+        let Some(entry) = find_block(&self.index, ts).and_then(|b| self.index.get(b)) else {
             return Ok(None);
         };
         let mut reader = self.open_counted()?;
-        reader.seek_to_block(self.index[b].offset)?;
+        reader.seek_to_block(entry.offset)?;
         Ok(Some(ReaderStream::new(reader)))
     }
 }
@@ -698,6 +715,7 @@ impl Corpus {
                 if n == 0 {
                     return Ok(h.finish());
                 }
+                // tidy:allow(decode-no-panic): the Read contract guarantees n <= buf.len()
                 h.update(&buf[..n]);
             }
         }

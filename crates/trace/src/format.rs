@@ -146,6 +146,7 @@ impl<W: Write> TraceWriter<W> {
         put_uvarint(&mut self.raw, u64::from(ev.wire_len));
         let cap = ev.bytes.len().min(self.snaplen as usize);
         put_uvarint(&mut self.raw, cap as u64);
+        // tidy:allow(decode-no-panic): writer side — cap is min'ed against bytes.len() above
         self.raw.extend_from_slice(&ev.bytes[..cap]);
         self.count += 1;
         self.events_total += 1;
@@ -204,19 +205,24 @@ pub struct TraceReader<R: Read> {
 }
 
 impl<R: Read> TraceReader<R> {
-    /// Opens a trace, validating the header.
+    /// Opens a trace, validating the header. Corrupt or truncated input
+    /// surfaces as `Err` — this path must never panic (tidy:
+    /// `decode-no-panic`), so the fixed-size header is taken apart with an
+    /// infallible array pattern instead of slice indexing.
     pub fn open(mut source: R) -> Result<Self, FormatError> {
         let mut hdr = [0u8; 30];
         source.read_exact(&mut hdr)?;
-        if hdr[0..4] != MAGIC || hdr[4] != VERSION {
+        let [m0, m1, m2, m3, ver, r0, r1, n0, n1, ch, s0, s1, s2, s3, w0, w1, w2, w3, w4, w5, w6, w7, l0, l1, l2, l3, l4, l5, l6, l7] =
+            hdr;
+        if [m0, m1, m2, m3] != MAGIC || ver != VERSION {
             return Err(FormatError::BadHeader);
         }
-        let radio = RadioId(u16::from_le_bytes([hdr[5], hdr[6]]));
-        let monitor = MonitorId(u16::from_le_bytes([hdr[7], hdr[8]]));
-        let channel = Channel::new(hdr[9]).map_err(|_| FormatError::BadHeader)?;
-        let snaplen = u32::from_le_bytes([hdr[10], hdr[11], hdr[12], hdr[13]]);
-        let anchor_wall_us = u64::from_le_bytes(hdr[14..22].try_into().expect("8 bytes"));
-        let anchor_local_us = u64::from_le_bytes(hdr[22..30].try_into().expect("8 bytes"));
+        let radio = RadioId(u16::from_le_bytes([r0, r1]));
+        let monitor = MonitorId(u16::from_le_bytes([n0, n1]));
+        let channel = Channel::new(ch).map_err(|_| FormatError::BadHeader)?;
+        let snaplen = u32::from_le_bytes([s0, s1, s2, s3]);
+        let anchor_wall_us = u64::from_le_bytes([w0, w1, w2, w3, w4, w5, w6, w7]);
+        let anchor_local_us = u64::from_le_bytes([l0, l1, l2, l3, l4, l5, l6, l7]);
         Ok(TraceReader {
             source,
             meta: RadioMeta {
@@ -246,17 +252,21 @@ impl<R: Read> TraceReader<R> {
     }
 
     fn load_block(&mut self) -> Result<bool, FormatError> {
+        // A clean EOF exactly between blocks ends the trace; EOF anywhere
+        // inside the 20-byte block header is truncation, hence an error.
         let mut lens = [0u8; 20];
-        match self.source.read_exact(&mut lens[..1]) {
+        let (first, rest) = lens.split_at_mut(1);
+        match self.source.read_exact(first) {
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(false),
             r => r?,
         }
-        self.source.read_exact(&mut lens[1..])?;
-        let comp_len = u32::from_le_bytes([lens[0], lens[1], lens[2], lens[3]]) as usize;
-        let raw_len = u32::from_le_bytes([lens[4], lens[5], lens[6], lens[7]]) as usize;
-        let count = u32::from_le_bytes([lens[8], lens[9], lens[10], lens[11]]);
-        let first_ts = u64::from_le_bytes(lens[12..20].try_into().expect("8 bytes"));
-        if raw_len > BLOCK_MAX {
+        self.source.read_exact(rest)?;
+        let [c0, c1, c2, c3, r0, r1, r2, r3, k0, k1, k2, k3, f0, f1, f2, f3, f4, f5, f6, f7] = lens;
+        let comp_len = u32::from_le_bytes([c0, c1, c2, c3]) as usize;
+        let raw_len = u32::from_le_bytes([r0, r1, r2, r3]) as usize;
+        let count = u32::from_le_bytes([k0, k1, k2, k3]);
+        let first_ts = u64::from_le_bytes([f0, f1, f2, f3, f4, f5, f6, f7]);
+        if raw_len > BLOCK_MAX || comp_len > BLOCK_MAX {
             return Err(FormatError::BadRecord("block too large"));
         }
         let mut comp = vec![0u8; comp_len];
@@ -282,33 +292,48 @@ impl<R: Read> TraceReader<R> {
                 return Ok(None);
             }
         }
-        let buf = &self.block[self.pos..];
+        // Every offset below derives from untrusted varint fields, so each
+        // access goes through `get` and each advance through `checked_add`:
+        // a corrupt block decodes to `Err`, never a panic or a wraparound.
+        let buf = self
+            .block
+            .get(self.pos..)
+            .ok_or(FormatError::BadRecord("block cursor"))?;
         let mut used = 0usize;
-        let (dts, n) = get_uvarint(&buf[used..]).ok_or(FormatError::BadRecord("dts"))?;
+        let at = |used: usize| -> Result<&[u8], FormatError> {
+            buf.get(used..).ok_or(FormatError::BadRecord("truncated"))
+        };
+        let (dts, n) = get_uvarint(at(used)?).ok_or(FormatError::BadRecord("dts"))?;
         used += n;
         let status = *buf.get(used).ok_or(FormatError::BadRecord("status"))?;
         used += 1;
         let status = PhyStatus::from_code(status).ok_or(FormatError::BadRecord("status code"))?;
-        let (rate, n) = get_uvarint(&buf[used..]).ok_or(FormatError::BadRecord("rate"))?;
+        let (rate, n) = get_uvarint(at(used)?).ok_or(FormatError::BadRecord("rate"))?;
         used += n;
         let rate =
             PhyRate::from_centi_mbps(rate as u16).ok_or(FormatError::BadRecord("rate code"))?;
-        let (rssi, n) = get_ivarint(&buf[used..]).ok_or(FormatError::BadRecord("rssi"))?;
+        let (rssi, n) = get_ivarint(at(used)?).ok_or(FormatError::BadRecord("rssi"))?;
         used += n;
-        let (wire_len, n) = get_uvarint(&buf[used..]).ok_or(FormatError::BadRecord("wire_len"))?;
+        let (wire_len, n) = get_uvarint(at(used)?).ok_or(FormatError::BadRecord("wire_len"))?;
         used += n;
-        let (cap_len, n) = get_uvarint(&buf[used..]).ok_or(FormatError::BadRecord("cap_len"))?;
+        let (cap_len, n) = get_uvarint(at(used)?).ok_or(FormatError::BadRecord("cap_len"))?;
         used += n;
-        let cap_len = cap_len as usize;
-        if buf.len() < used + cap_len {
-            return Err(FormatError::BadRecord("bytes"));
-        }
-        let bytes = buf[used..used + cap_len].to_vec();
-        used += cap_len;
+        let end = usize::try_from(cap_len)
+            .ok()
+            .and_then(|c| used.checked_add(c))
+            .ok_or(FormatError::BadRecord("bytes"))?;
+        let bytes = buf
+            .get(used..end)
+            .ok_or(FormatError::BadRecord("bytes"))?
+            .to_vec();
+        used = end;
 
         // The first record of a block carries dts = 0 relative to first_ts;
         // every later record is a delta from its predecessor.
-        let ts = self.ts + dts;
+        let ts = self
+            .ts
+            .checked_add(dts)
+            .ok_or(FormatError::BadRecord("timestamp overflow"))?;
         self.ts = ts;
         self.pos += used;
         self.remaining_in_block -= 1;

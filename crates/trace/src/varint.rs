@@ -66,7 +66,7 @@ pub fn read_uvarint<R: Read>(r: &mut R) -> io::Result<u64> {
     loop {
         let mut byte = [0u8; 1];
         r.read_exact(&mut byte)?;
-        let b = byte[0];
+        let [b] = byte;
         if shift >= 64 || (shift == 63 && (b & 0x7f) > 1) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,

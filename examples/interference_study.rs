@@ -6,6 +6,8 @@
 //! cargo run --release --example interference_study [-- <seed>]
 //! ```
 
+// An example's output *is* stdout; the workspace denial targets library code.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 use jigsaw::analysis::interference::InterferenceAnalysis;
 use jigsaw::core::pipeline::{Pipeline, PipelineConfig};
 use jigsaw::sim::scenario::ScenarioConfig;

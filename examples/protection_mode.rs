@@ -6,6 +6,8 @@
 //! cargo run --release --example protection_mode [-- <seed>]
 //! ```
 
+// An example's output *is* stdout; the workspace denial targets library code.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 use jigsaw::analysis::protection::{throughput_headroom, ProtectionAnalysis};
 use jigsaw::core::pipeline::{Pipeline, PipelineConfig};
 use jigsaw::ieee80211::PhyRate;

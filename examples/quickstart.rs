@@ -5,6 +5,8 @@
 //! cargo run --release --example quickstart [-- <seed>]
 //! ```
 
+// An example's output *is* stdout; the workspace denial targets library code.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 use jigsaw::core::pipeline::{Pipeline, PipelineConfig};
 use jigsaw::sim::scenario::ScenarioConfig;
 

@@ -7,6 +7,8 @@
 //! cargo run --release --example trace_files [-- <output-dir>]
 //! ```
 
+// An example's output *is* stdout; the workspace denial targets library code.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 use jigsaw::core::pipeline::{Pipeline, PipelineConfig};
 use jigsaw::sim::scenario::ScenarioConfig;
 use jigsaw::trace::format::{TraceReader, TraceWriter};

@@ -131,6 +131,7 @@ fn merge_runs_faster_than_real_time() {
     let mut cfg = ScenarioConfig::small(31);
     cfg.day_us = 20_000_000;
     let out = cfg.run();
+    // tidy:allow(wall-clock): measuring wall-clock merge throughput is this test's point
     let t0 = std::time::Instant::now();
     let report = Pipeline::run(out.memory_streams(), &PipelineConfig::default(), ()).unwrap();
     let elapsed = t0.elapsed().as_secs_f64();
