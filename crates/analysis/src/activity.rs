@@ -11,7 +11,7 @@
 
 use crate::stations::StationLearner;
 use crate::stats::TimeSeries;
-use crate::suite::{frac, Analyzer, Figure};
+use crate::suite::{Analyzer, Figure, Record};
 use jigsaw_core::jframe::JFrame;
 use jigsaw_core::observer::PipelineObserver;
 use jigsaw_ieee80211::frame::{Frame, MgmtBody};
@@ -253,23 +253,24 @@ impl Figure for ActivityFigure {
         ActivityFigure::render(self)
     }
 
-    fn records(&self) -> Vec<(String, String)> {
+    fn records(&self) -> Vec<Record> {
         let peak_clients = self.active_clients.iter().copied().max().unwrap_or(0);
         let peak_aps = self.active_aps.iter().copied().max().unwrap_or(0);
-        // Byte totals are whole numbers accumulated as f64 — emit them as
-        // integers, matching table1's byte records.
-        let bytes = |t: &TimeSeries| format!("{:.0}", t.total());
+        // Byte totals are whole numbers accumulated as f64 — type them as
+        // integers, matching table1's byte records (rounding guards
+        // against any accumulated representation error).
+        let bytes = |t: &TimeSeries| t.total().round() as u64;
         vec![
-            ("bins".into(), self.active_clients.len().to_string()),
-            ("peak_clients".into(), peak_clients.to_string()),
-            ("peak_aps".into(), peak_aps.to_string()),
-            ("data_bytes".into(), bytes(&self.bytes_data)),
-            ("mgmt_bytes".into(), bytes(&self.bytes_mgmt)),
-            ("beacon_bytes".into(), bytes(&self.bytes_beacon)),
-            ("arp_bytes".into(), bytes(&self.bytes_arp)),
-            (
-                "broadcast_airtime_fraction".into(),
-                frac(self.broadcast_airtime_fraction()),
+            Record::u64("bins", self.active_clients.len() as u64),
+            Record::u64("peak_clients", peak_clients as u64),
+            Record::u64("peak_aps", peak_aps as u64),
+            Record::u64("data_bytes", bytes(&self.bytes_data)),
+            Record::u64("mgmt_bytes", bytes(&self.bytes_mgmt)),
+            Record::u64("beacon_bytes", bytes(&self.bytes_beacon)),
+            Record::u64("arp_bytes", bytes(&self.bytes_arp)),
+            Record::f64(
+                "broadcast_airtime_fraction",
+                self.broadcast_airtime_fraction(),
             ),
         ]
     }

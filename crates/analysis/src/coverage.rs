@@ -16,7 +16,7 @@
 //!    "visual redundancy" removal.
 
 use crate::stats::{Cdf, SealedCdf};
-use crate::suite::{frac, Analyzer, Figure};
+use crate::suite::{Analyzer, Figure, Record};
 use jigsaw_core::jframe::JFrame;
 use jigsaw_core::link::exchange::Exchange;
 use jigsaw_core::observer::PipelineObserver;
@@ -316,16 +316,16 @@ impl Figure for CoverageFigure {
         CoverageFigure::render(self)
     }
 
-    fn records(&self) -> Vec<(String, String)> {
+    fn records(&self) -> Vec<Record> {
         vec![
-            ("packets".into(), self.packets.to_string()),
-            ("stations".into(), self.stations.len().to_string()),
-            ("overall".into(), frac(self.overall)),
-            ("ap_coverage".into(), frac(self.ap_coverage)),
-            ("client_coverage".into(), frac(self.client_coverage)),
-            ("clients_full".into(), frac(self.clients_full)),
-            ("clients_95".into(), frac(self.clients_95)),
-            ("aps_95".into(), frac(self.aps_95)),
+            Record::u64("packets", self.packets),
+            Record::u64("stations", self.stations.len() as u64),
+            Record::f64("overall", self.overall),
+            Record::f64("ap_coverage", self.ap_coverage),
+            Record::f64("client_coverage", self.client_coverage),
+            Record::f64("clients_full", self.clients_full),
+            Record::f64("clients_95", self.clients_95),
+            Record::f64("aps_95", self.aps_95),
         ]
     }
 }
@@ -522,11 +522,11 @@ impl Figure for OracleFigure {
         )
     }
 
-    fn records(&self) -> Vec<(String, String)> {
+    fn records(&self) -> Vec<Record> {
         vec![
-            ("expected".into(), self.expected.to_string()),
-            ("observed".into(), self.observed.to_string()),
-            ("coverage".into(), frac(self.coverage)),
+            Record::u64("expected", self.expected),
+            Record::u64("observed", self.observed),
+            Record::f64("coverage", self.coverage),
         ]
     }
 }

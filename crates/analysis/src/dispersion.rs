@@ -7,7 +7,7 @@
 //! dispersion by definition).
 
 use crate::stats::{Cdf, SealedCdf};
-use crate::suite::{frac, Analyzer, Figure};
+use crate::suite::{Analyzer, Figure, Record};
 use jigsaw_core::jframe::JFrame;
 use jigsaw_core::observer::PipelineObserver;
 
@@ -104,17 +104,14 @@ impl Figure for DispersionFigure {
         DispersionFigure::render(self, 20)
     }
 
-    fn records(&self) -> Vec<(String, String)> {
+    fn records(&self) -> Vec<Record> {
         vec![
-            ("samples".into(), self.cdf.len().to_string()),
-            ("singletons".into(), self.singletons.to_string()),
-            ("frac_below_10us".into(), frac(self.frac_below_10us)),
-            ("frac_below_20us".into(), frac(self.frac_below_20us)),
-            ("p50_us".into(), frac(self.cdf.quantile(0.5).unwrap_or(0.0))),
-            (
-                "p99_us".into(),
-                frac(self.cdf.quantile(0.99).unwrap_or(0.0)),
-            ),
+            Record::u64("samples", self.cdf.len() as u64),
+            Record::u64("singletons", self.singletons),
+            Record::f64("frac_below_10us", self.frac_below_10us),
+            Record::f64("frac_below_20us", self.frac_below_20us),
+            Record::f64("p50_us", self.cdf.quantile(0.5).unwrap_or(0.0)),
+            Record::f64("p99_us", self.cdf.quantile(0.99).unwrap_or(0.0)),
         ]
     }
 }
@@ -168,9 +165,6 @@ mod tests {
         let fig = d.finish();
         assert_eq!(fig.singletons, 1);
         assert_eq!(fig.cdf.len(), 0);
-        assert_eq!(
-            Figure::records(&fig)[1],
-            ("singletons".to_string(), "1".to_string())
-        );
+        assert_eq!(Figure::records(&fig)[1], Record::u64("singletons", 1));
     }
 }

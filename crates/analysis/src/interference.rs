@@ -16,7 +16,7 @@
 
 use crate::stations::StationLearner;
 use crate::stats::{Cdf, SealedCdf};
-use crate::suite::{frac, Analyzer, Figure};
+use crate::suite::{Analyzer, Figure, Record};
 use jigsaw_core::jframe::JFrame;
 use jigsaw_core::link::attempt::{Attempt, AttemptOutcome};
 use jigsaw_core::observer::PipelineObserver;
@@ -268,25 +268,16 @@ impl Figure for InterferenceFigure {
         InterferenceFigure::render(self)
     }
 
-    fn records(&self) -> Vec<(String, String)> {
+    fn records(&self) -> Vec<Record> {
         vec![
-            ("pairs".into(), self.pairs.len().to_string()),
-            ("pairs_excluded".into(), self.pairs_excluded.to_string()),
-            (
-                "frac_with_interference".into(),
-                frac(self.frac_with_interference),
-            ),
-            ("frac_truncated".into(), frac(self.frac_truncated)),
-            ("avg_background_loss".into(), frac(self.avg_background_loss)),
-            ("ap_sender_fraction".into(), frac(self.ap_sender_fraction)),
-            (
-                "median_x".into(),
-                frac(self.x_cdf.quantile(0.5).unwrap_or(0.0)),
-            ),
-            (
-                "frac_x_ge_0_1".into(),
-                frac(self.x_cdf.fraction_at_least(0.1)),
-            ),
+            Record::u64("pairs", self.pairs.len() as u64),
+            Record::u64("pairs_excluded", self.pairs_excluded as u64),
+            Record::f64("frac_with_interference", self.frac_with_interference),
+            Record::f64("frac_truncated", self.frac_truncated),
+            Record::f64("avg_background_loss", self.avg_background_loss),
+            Record::f64("ap_sender_fraction", self.ap_sender_fraction),
+            Record::f64("median_x", self.x_cdf.quantile(0.5).unwrap_or(0.0)),
+            Record::f64("frac_x_ge_0_1", self.x_cdf.fraction_at_least(0.1)),
         ]
     }
 }

@@ -44,4 +44,4 @@ pub mod summary;
 pub mod tcploss;
 
 pub use stats::{Cdf, SealedCdf, TimeSeries};
-pub use suite::{Analyzer, Figure, PaperParams, Suite};
+pub use suite::{Analyzer, Figure, PaperParams, Record, RecordKey, RecordValue, Suite};

@@ -15,7 +15,7 @@
 //! with a ≈2× throughput headroom (footnote 7).
 
 use crate::stations::{Capability, StationLearner};
-use crate::suite::{frac, Analyzer, Figure};
+use crate::suite::{Analyzer, Figure, Record};
 use jigsaw_core::jframe::JFrame;
 use jigsaw_core::observer::PipelineObserver;
 use jigsaw_ieee80211::frame::Frame;
@@ -291,22 +291,19 @@ impl Figure for ProtectionFigure {
         ProtectionFigure::render(self)
     }
 
-    fn records(&self) -> Vec<(String, String)> {
+    fn records(&self) -> Vec<Record> {
         let peak =
-            |f: fn(&ProtectionBin) -> usize| self.bins.iter().map(f).max().unwrap_or(0).to_string();
+            |f: fn(&ProtectionBin) -> usize| self.bins.iter().map(f).max().unwrap_or(0) as u64;
         vec![
-            ("bins".into(), self.bins.len().to_string()),
-            ("peak_protecting_aps".into(), peak(|b| b.protecting_aps)),
-            (
-                "peak_overprotective_aps".into(),
-                peak(|b| b.overprotective_aps),
-            ),
-            ("peak_g_clients".into(), peak(|b| b.active_g_clients)),
-            (
-                "peak_g_on_overprotective".into(),
+            Record::u64("bins", self.bins.len() as u64),
+            Record::u64("peak_protecting_aps", peak(|b| b.protecting_aps)),
+            Record::u64("peak_overprotective_aps", peak(|b| b.overprotective_aps)),
+            Record::u64("peak_g_clients", peak(|b| b.active_g_clients)),
+            Record::u64(
+                "peak_g_on_overprotective",
                 peak(|b| b.g_clients_on_overprotective),
             ),
-            ("throughput_headroom".into(), frac(self.throughput_headroom)),
+            Record::f64("throughput_headroom", self.throughput_headroom),
         ]
     }
 }

@@ -4,7 +4,7 @@
 //! send ToDS data; b-only clients are those whose rate-set IEs carry no
 //! ERP-OFDM rates (and that never transmit OFDM).
 
-use crate::suite::{Analyzer, Figure};
+use crate::suite::{Analyzer, Figure, Record};
 use jigsaw_core::jframe::JFrame;
 use jigsaw_core::observer::PipelineObserver;
 use jigsaw_ieee80211::frame::{Frame, MgmtBody};
@@ -225,14 +225,14 @@ impl Figure for StationsFigure {
         )
     }
 
-    fn records(&self) -> Vec<(String, String)> {
+    fn records(&self) -> Vec<Record> {
         vec![
-            ("aps".into(), self.aps.to_string()),
-            ("clients".into(), self.clients.to_string()),
-            ("g_clients".into(), self.g_clients.to_string()),
-            ("b_only_clients".into(), self.b_only_clients.to_string()),
-            ("unknown_clients".into(), self.unknown_clients.to_string()),
-            ("associations".into(), self.associations.to_string()),
+            Record::u64("aps", self.aps as u64),
+            Record::u64("clients", self.clients as u64),
+            Record::u64("g_clients", self.g_clients as u64),
+            Record::u64("b_only_clients", self.b_only_clients as u64),
+            Record::u64("unknown_clients", self.unknown_clients as u64),
+            Record::u64("associations", self.associations as u64),
         ]
     }
 }

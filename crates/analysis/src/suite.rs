@@ -17,6 +17,13 @@
 //!   registered analysis in a single pass — including straight off a
 //!   disk corpus, with no `Vec<JFrame>` ever materialized.
 //!
+//! Records are **typed**: a [`Record`] pairs a [`RecordKey`] with a
+//! [`RecordValue`] (`U64`/`F64`/`Text`), so downstream consumers — the
+//! diagnosis detectors above all — threshold real numbers instead of
+//! reparsing strings. Rendering is centralized in the `Display` impls
+//! (one canonical formatting per value class), so every record line in a
+//! golden file is byte-stable by construction.
+//!
 //! ```
 //! use jigsaw_analysis::dispersion::DispersionAnalysis;
 //! use jigsaw_analysis::suite::Suite;
@@ -27,8 +34,8 @@
 //! Pipeline::run(out.memory_streams(), &PipelineConfig::default(), &mut suite).unwrap();
 //! for fig in suite.finish() {
 //!     println!("{}", fig.title());
-//!     for (k, v) in fig.records() {
-//!         println!("  {k} = {v}");
+//!     for r in fig.records() {
+//!         println!("  {} = {}", r.key, r.value);
 //!     }
 //! }
 //! ```
@@ -39,6 +46,141 @@ use jigsaw_core::link::exchange::Exchange;
 use jigsaw_core::observer::PipelineObserver;
 use jigsaw_core::transport::flow::FlowRecord;
 use jigsaw_ieee80211::Micros;
+
+/// The key of one machine record: a short stable identifier
+/// (`"jframes"`, `"p99_us"`, …), scoped by the figure name when the
+/// record renders as a `record <figure>.<key> <value>` line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordKey(String);
+
+impl RecordKey {
+    /// Wraps a key string.
+    pub fn new(key: impl Into<String>) -> Self {
+        Self(key.into())
+    }
+
+    /// The key as a plain string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for RecordKey {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for RecordKey {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl std::fmt::Display for RecordKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A typed record value with exactly one canonical rendering per class —
+/// the `Display` impl below is the **only** place record formatting
+/// lives, so no figure can drift to `{:.3}` vs `{}` on its own.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordValue {
+    /// Counts and whole-number totals; renders as a plain integer.
+    U64(u64),
+    /// Fractions, ratios, and quantiles; renders in the stable 4-decimal
+    /// form with negative zero normalized to zero.
+    F64(f64),
+    /// Free-form text (labels, classifications).
+    Text(String),
+}
+
+impl RecordValue {
+    /// The integer value, if this is a `U64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            RecordValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` — numeric for both `U64` and `F64`, `None`
+    /// for text. What detectors threshold against.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            RecordValue::U64(v) => Some(*v as f64),
+            RecordValue::F64(v) => Some(*v),
+            RecordValue::Text(_) => None,
+        }
+    }
+
+    /// The text, if this is a `Text` value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            RecordValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RecordValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordValue::U64(v) => write!(f, "{v}"),
+            RecordValue::F64(v) => {
+                // Negative zero would render as `-0.0000` and flip golden
+                // bytes depending on summation order; normalize it away.
+                let v = if *v == 0.0 { 0.0 } else { *v };
+                write!(f, "{v:.4}")
+            }
+            RecordValue::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+/// One machine-readable fact a figure (or a diagnosis detector) reports:
+/// a typed value under a stable key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Stable key, unique within the figure.
+    pub key: RecordKey,
+    /// Typed value; renders canonically via `Display`.
+    pub value: RecordValue,
+}
+
+impl Record {
+    /// A count/total record.
+    pub fn u64(key: impl Into<RecordKey>, value: u64) -> Self {
+        Self {
+            key: key.into(),
+            value: RecordValue::U64(value),
+        }
+    }
+
+    /// A fraction/ratio/quantile record.
+    pub fn f64(key: impl Into<RecordKey>, value: f64) -> Self {
+        Self {
+            key: key.into(),
+            value: RecordValue::F64(value),
+        }
+    }
+
+    /// A free-form text record.
+    pub fn text(key: impl Into<RecordKey>, value: impl Into<String>) -> Self {
+        Self {
+            key: key.into(),
+            value: RecordValue::Text(value.into()),
+        }
+    }
+}
+
+impl std::fmt::Display for Record {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.key, self.value)
+    }
+}
 
 /// A finished, immutable analysis product: one table or figure of the
 /// paper's evaluation.
@@ -56,10 +198,10 @@ pub trait Figure {
     /// figures are sealed at finish time and never mutate to render.
     fn render(&self) -> String;
 
-    /// Machine-readable `(key, value)` records — the stable, comparable
+    /// Machine-readable typed [`Record`]s — the stable, comparable
     /// summary of the figure. Two runs produced the same figure iff their
     /// records (and render) match.
-    fn records(&self) -> Vec<(String, String)>;
+    fn records(&self) -> Vec<Record>;
 }
 
 /// A streaming analysis: subscribes to pipeline streams (via its
@@ -70,13 +212,6 @@ pub trait Analyzer: PipelineObserver {
 
     /// Consumes the analysis and produces its figure.
     fn into_figure(self: Box<Self>) -> Box<dyn Figure>;
-}
-
-/// Formats a fraction/ratio record value (stable 4-decimal form;
-/// negative zero normalizes to zero).
-pub fn frac(v: f64) -> String {
-    let v = if v == 0.0 { 0.0 } else { v };
-    format!("{v:.4}")
 }
 
 /// A registry of analyzers sharing one streaming pass.
@@ -194,8 +329,8 @@ impl PipelineObserver for Suite {
 pub fn record_lines(figures: &[Box<dyn Figure>]) -> String {
     let mut s = String::new();
     for f in figures {
-        for (k, v) in f.records() {
-            s.push_str(&format!("record {}.{k} {v}\n", Figure::name(&**f)));
+        for r in f.records() {
+            s.push_str(&format!("record {}.{r}\n", Figure::name(&**f)));
         }
     }
     s
@@ -240,6 +375,31 @@ mod tests {
             assert!(parts.next().unwrap().contains('.'));
             assert!(parts.next().is_some());
         }
+        // Typed access: counts come back as numbers without reparsing.
+        let table1 = &figs[0];
+        let jframes = table1
+            .records()
+            .into_iter()
+            .find(|r| r.key.as_str() == "jframes")
+            .expect("table1 reports jframes");
+        assert!(jframes.value.as_u64().is_some());
+        assert_eq!(
+            jframes.value.as_u64().map(|v| v as f64),
+            jframes.value.as_f64()
+        );
+    }
+
+    #[test]
+    fn record_value_display_is_canonical() {
+        // The one formatting authority: integers plain, fractions {:.4}
+        // with negative zero normalized, text verbatim.
+        assert_eq!(RecordValue::U64(9613).to_string(), "9613");
+        assert_eq!(RecordValue::F64(0.031_04).to_string(), "0.0310");
+        assert_eq!(RecordValue::F64(-0.0).to_string(), "0.0000");
+        assert_eq!(RecordValue::F64(2.762).to_string(), "2.7620");
+        assert_eq!(RecordValue::Text("wireless".into()).to_string(), "wireless");
+        assert_eq!(Record::u64("jframes", 7).to_string(), "jframes 7");
+        assert_eq!(RecordValue::Text("x".into()).as_f64(), None);
     }
 
     #[test]

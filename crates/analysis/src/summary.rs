@@ -7,7 +7,7 @@
 //! pipeline's outputs.
 
 use crate::stations::StationLearner;
-use crate::suite::{frac, Analyzer, Figure};
+use crate::suite::{Analyzer, Figure, Record};
 use jigsaw_core::jframe::JFrame;
 use jigsaw_core::observer::PipelineObserver;
 use jigsaw_core::transport::flow::FlowRecord;
@@ -232,29 +232,26 @@ impl Figure for TraceSummary {
         TraceSummary::render(self)
     }
 
-    fn records(&self) -> Vec<(String, String)> {
+    fn records(&self) -> Vec<Record> {
         vec![
-            ("duration_us".into(), self.duration_us.to_string()),
-            ("radios".into(), self.radios.to_string()),
-            ("events_total".into(), self.events_total.to_string()),
-            ("events_phy_err".into(), self.events_phy_err.to_string()),
-            ("events_fcs_err".into(), self.events_fcs_err.to_string()),
-            ("error_fraction".into(), frac(self.error_fraction)),
-            ("events_unified".into(), self.events_unified.to_string()),
-            ("jframes".into(), self.jframes.to_string()),
-            ("valid_jframes".into(), self.valid_jframes.to_string()),
-            ("events_per_jframe".into(), frac(self.events_per_jframe)),
-            ("data_frames".into(), self.data_frames.to_string()),
-            ("mgmt_frames".into(), self.mgmt_frames.to_string()),
-            ("ctrl_frames".into(), self.ctrl_frames.to_string()),
-            ("bytes_on_air".into(), self.bytes_on_air.to_string()),
-            ("aps_observed".into(), self.aps_observed.to_string()),
-            ("clients_observed".into(), self.clients_observed.to_string()),
-            ("flows".into(), self.flows.to_string()),
-            (
-                "flows_established".into(),
-                self.flows_established.to_string(),
-            ),
+            Record::u64("duration_us", self.duration_us),
+            Record::u64("radios", self.radios as u64),
+            Record::u64("events_total", self.events_total),
+            Record::u64("events_phy_err", self.events_phy_err),
+            Record::u64("events_fcs_err", self.events_fcs_err),
+            Record::f64("error_fraction", self.error_fraction),
+            Record::u64("events_unified", self.events_unified),
+            Record::u64("jframes", self.jframes),
+            Record::u64("valid_jframes", self.valid_jframes),
+            Record::f64("events_per_jframe", self.events_per_jframe),
+            Record::u64("data_frames", self.data_frames),
+            Record::u64("mgmt_frames", self.mgmt_frames),
+            Record::u64("ctrl_frames", self.ctrl_frames),
+            Record::u64("bytes_on_air", self.bytes_on_air),
+            Record::u64("aps_observed", self.aps_observed as u64),
+            Record::u64("clients_observed", self.clients_observed as u64),
+            Record::u64("flows", self.flows),
+            Record::u64("flows_established", self.flows_established),
         ]
     }
 }

@@ -9,7 +9,7 @@
 //! enterprise WLAN.
 
 use crate::stats::{Cdf, SealedCdf};
-use crate::suite::{frac, Analyzer, Figure};
+use crate::suite::{Analyzer, Figure, Record};
 use jigsaw_core::observer::PipelineObserver;
 use jigsaw_core::transport::flow::FlowRecord;
 
@@ -138,20 +138,14 @@ impl Figure for TcpLossFigure {
         TcpLossFigure::render(self)
     }
 
-    fn records(&self) -> Vec<(String, String)> {
+    fn records(&self) -> Vec<Record> {
         vec![
-            ("flows".into(), self.flows.to_string()),
-            ("flows_excluded".into(), self.flows_excluded.to_string()),
-            ("loss_events".into(), self.loss_events.to_string()),
-            ("wireless_share".into(), frac(self.wireless_share)),
-            (
-                "p50_loss_rate".into(),
-                frac(self.loss_cdf.quantile(0.5).unwrap_or(0.0)),
-            ),
-            (
-                "p90_loss_rate".into(),
-                frac(self.loss_cdf.quantile(0.9).unwrap_or(0.0)),
-            ),
+            Record::u64("flows", self.flows as u64),
+            Record::u64("flows_excluded", self.flows_excluded as u64),
+            Record::u64("loss_events", self.loss_events),
+            Record::f64("wireless_share", self.wireless_share),
+            Record::f64("p50_loss_rate", self.loss_cdf.quantile(0.5).unwrap_or(0.0)),
+            Record::f64("p90_loss_rate", self.loss_cdf.quantile(0.9).unwrap_or(0.0)),
         ]
     }
 }

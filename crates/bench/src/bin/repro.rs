@@ -9,6 +9,7 @@
 //!        record --corpus DIR [--scenario NAME] [--block-bytes N] [--snaplen N]|
 //!        merge --corpus DIR [--from US --to US] [--verify] [--max-buffered N]|
 //!        analyze --corpus DIR [--from US --to US]|
+//!        diagnose --corpus DIR [--from US --to US] [--golden FILE] [--bless]|
 //!        bench-stream [--corpus DIR] [--from US --to US] [--out F]|
 //!        sweep [--scenario NAME] [--golden DIR] [--corpus DIR] [--bless]]
 //! ```
@@ -92,6 +93,7 @@ use jigsaw_analysis::protection::ProtectionAnalysis;
 use jigsaw_analysis::suite::{record_lines, Figure};
 use jigsaw_analysis::summary::SummaryBuilder;
 use jigsaw_analysis::tcploss::TcpLossAnalysis;
+use jigsaw_bench::cli::{self, ArgSpec};
 use jigsaw_bench::{
     minute_bin_us, paper_scenario, practical_minute_us, subset_streams, MergeBench,
 };
@@ -121,9 +123,11 @@ struct Args {
     /// Scenario name: a preset (tiny | small | paper_day) or a sweep-matrix
     /// entry for `record`; a matrix filter for `sweep`.
     scenario: Option<String>,
-    /// Golden directory for `sweep`.
-    golden: String,
-    /// `sweep`: rewrite the golden files from this run.
+    /// Golden override: a directory for `sweep` (default
+    /// `.github/golden/sweep`), a golden *file* for `diagnose` (no
+    /// default — without it, diagnose prints but never compares).
+    golden: Option<String>,
+    /// `sweep`/`diagnose`: rewrite the golden from this run.
     bless: bool,
     /// Trace block size in bytes for `record` (0 = format default).
     block_bytes: usize,
@@ -145,31 +149,47 @@ struct Args {
 /// Exits 2 with a one-line message — the usage-error contract every
 /// subcommand shares (correctness failures exit 1 instead).
 fn usage_error(msg: &str) -> ! {
-    eprintln!("repro: {msg}");
-    std::process::exit(2);
+    cli::usage_error("repro", msg)
 }
 
-/// The next argument as a flag's value, or a usage error.
-fn flag_value(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
-    match it.next() {
-        Some(v) => v,
-        None => usage_error(&format!("{flag} requires a value")),
-    }
-}
-
-/// The next argument parsed as `T`, or a usage error naming what was
-/// expected. Every valued flag goes through here: a value that doesn't
-/// parse must never silently fall back to the default — CI passes these
-/// flags as pass/fail gates.
-fn flag_parsed<T: std::str::FromStr>(
-    it: &mut impl Iterator<Item = String>,
-    flag: &str,
-    what: &str,
-) -> T {
-    let v = flag_value(it, flag);
-    v.parse()
-        .unwrap_or_else(|_| usage_error(&format!("{flag}: expected {what}, got `{v}`")))
-}
+/// Every flag `repro` accepts, as one declarative table (see
+/// [`jigsaw_bench::cli`]). Valued flags validate eagerly — a value that
+/// doesn't parse must never silently fall back to the default, even for
+/// subcommands that ignore the flag, because CI passes these flags as
+/// pass/fail gates.
+static FLAGS: &[ArgSpec<Args>] = &[
+    ArgSpec::parsed("--seed", "an integer seed", |a, v| {
+        cli::assign(&mut a.seed, v)
+    }),
+    ArgSpec::parsed("--scale", "a scale factor", |a, v| {
+        cli::assign(&mut a.scale, v)
+    }),
+    ArgSpec::switch("--parallel", |a| a.parallel = true),
+    ArgSpec::parsed("--threads", "a thread count", |a, v| {
+        cli::assign(&mut a.threads, v)
+    }),
+    ArgSpec::text("--corpus", |a, v| a.corpus = Some(v)),
+    ArgSpec::text("--out", |a, v| a.out = Some(v)),
+    ArgSpec::text("--scenario", |a, v| a.scenario = Some(v)),
+    ArgSpec::text("--golden", |a, v| a.golden = Some(v)),
+    ArgSpec::switch("--bless", |a| a.bless = true),
+    ArgSpec::parsed("--block-bytes", "a block size in bytes", |a, v| {
+        cli::assign(&mut a.block_bytes, v)
+    }),
+    ArgSpec::parsed("--snaplen", "a snap length", |a, v| {
+        cli::assign(&mut a.snaplen, v)
+    }),
+    ArgSpec::switch("--verify", |a| a.verify = true),
+    ArgSpec::parsed("--from", "a timestamp in universal µs", |a, v| {
+        cli::assign_some(&mut a.from, v)
+    }),
+    ArgSpec::parsed("--to", "a timestamp in universal µs", |a, v| {
+        cli::assign_some(&mut a.to, v)
+    }),
+    ArgSpec::parsed("--max-buffered", "an event count", |a, v| {
+        cli::assign(&mut a.max_buffered, v)
+    }),
+];
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -180,7 +200,7 @@ fn parse_args() -> Args {
         corpus: None,
         out: None,
         scenario: None,
-        golden: String::from(jigsaw_bench::sweep::GOLDEN_DIR),
+        golden: None,
         bless: false,
         block_bytes: 0,
         snaplen: 65_535,
@@ -190,46 +210,12 @@ fn parse_args() -> Args {
         to: None,
         cmd: String::from("all"),
     };
-    let mut cmd: Option<String> = None;
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--seed" => args.seed = flag_parsed(&mut it, "--seed", "an integer seed"),
-            "--scale" => args.scale = flag_parsed(&mut it, "--scale", "a scale factor"),
-            "--parallel" => args.parallel = true,
-            "--threads" => args.threads = flag_parsed(&mut it, "--threads", "a thread count"),
-            "--corpus" => args.corpus = Some(flag_value(&mut it, "--corpus")),
-            "--out" => args.out = Some(flag_value(&mut it, "--out")),
-            "--scenario" => args.scenario = Some(flag_value(&mut it, "--scenario")),
-            "--golden" => args.golden = flag_value(&mut it, "--golden"),
-            "--bless" => args.bless = true,
-            "--block-bytes" => {
-                args.block_bytes = flag_parsed(&mut it, "--block-bytes", "a block size in bytes")
-            }
-            "--snaplen" => args.snaplen = flag_parsed(&mut it, "--snaplen", "a snap length"),
-            "--verify" => args.verify = true,
-            "--from" => {
-                args.from = Some(flag_parsed(
-                    &mut it,
-                    "--from",
-                    "a timestamp in universal µs",
-                ))
-            }
-            "--to" => args.to = Some(flag_parsed(&mut it, "--to", "a timestamp in universal µs")),
-            "--max-buffered" => {
-                args.max_buffered = flag_parsed(&mut it, "--max-buffered", "an event count")
-            }
-            other if other.starts_with('-') => usage_error(&format!("unknown flag `{other}`")),
-            other => match &cmd {
-                None => cmd = Some(other.to_string()),
-                Some(first) => usage_error(&format!(
-                    "unexpected argument `{other}` (subcommand `{first}` already given)"
-                )),
-            },
-        }
-    }
-    if let Some(c) = cmd {
-        args.cmd = c;
+    let parser = cli::Parser {
+        program: "repro",
+        flags: FLAGS,
+    };
+    if let Some(cmd) = parser.parse(std::env::args().skip(1), &mut args) {
+        args.cmd = cmd;
     }
     args
 }
@@ -298,6 +284,7 @@ fn main() {
         "record" => run_record(&args),
         "merge" => run_corpus_merge(&args),
         "analyze" => run_analyze(&args),
+        "diagnose" => run_diagnose(&args),
         "bench-stream" => run_bench_stream(&args),
         "sweep" => run_sweep(&args),
         other => usage_error(&format!("unknown subcommand `{other}`")),
@@ -1140,6 +1127,181 @@ fn run_analyze(args: &Args) {
     print!("{}", record_lines(&figures));
 }
 
+/// `diagnose`: evidence-grounded triage off a recorded corpus. One
+/// coarse figure-suite pass feeds the detector catalogue
+/// (`jigsaw_diagnosis::standard_detectors`); each triggered detector's
+/// suspect windows are re-analyzed through the windowed-replay
+/// machinery (index-seek, re-anchored clocks — cost proportional to the
+/// window) and confirmed incidents print with their severity,
+/// reliability, and quoted record evidence. `--from/--to` restrict the
+/// diagnosed span; `--golden FILE` compares the machine records against
+/// a blessed golden (exit 1 on drift), `--bless` rewrites it.
+fn run_diagnose(args: &Args) {
+    use jigsaw_diagnosis::{run_diagnosis, standard_detectors, RecordSet, Thresholds};
+    banner("DIAGNOSE — evidence-grounded triage over the figure suite");
+    let dir = corpus_dir(args);
+    let corpus = jigsaw_trace::corpus::Corpus::open(&dir).expect("open corpus");
+    let m = corpus.manifest();
+    println!(
+        "corpus {}: scenario {} seed {} scale {} — {} radios, {} events",
+        dir.display(),
+        m.scenario,
+        m.seed,
+        m.scale,
+        m.radios.len(),
+        corpus.total_events()
+    );
+    assert!(
+        corpus.verify_digest().expect("digest check"),
+        "corpus files do not match their recorded digest (corrupt or tampered)"
+    );
+    let restrict = replay_window(args, &corpus);
+    let span = match corpus.universal_span().expect("read corpus indexes") {
+        Some((lo, hi)) => match restrict {
+            // Diagnose only the requested interval (already validated
+            // to overlap the span).
+            Some(w) => (w.from.max(lo), w.to.saturating_sub(1).min(hi)),
+            None => (lo, hi),
+        },
+        None => {
+            eprintln!("diagnose: corpus records no events, nothing to diagnose");
+            std::process::exit(2);
+        }
+    };
+
+    let (wired, ap_table) = jigsaw_bench::corpus_wired(&corpus).unwrap_or_else(|e| {
+        eprintln!("diagnose: {e}");
+        std::process::exit(2);
+    });
+    // One figure-suite pass over a window (or, for the coarse pass, the
+    // whole span) — the same streaming path `analyze` runs, reduced to
+    // its typed records.
+    let analyze_span = |w: Option<TimeWindow>| -> Result<RecordSet, String> {
+        let wired_clipped: Vec<jigsaw_sim::wired::WiredTraceRecord> = match w {
+            Some(win) => wired
+                .iter()
+                .filter(|r| win.contains(r.ts))
+                .cloned()
+                .collect(),
+            None => wired.clone(),
+        };
+        let ap_lookup = |sid: u16| ap_table[&sid];
+        let mut suite = jigsaw_bench::figure_suite_parts(
+            m.radios.len(),
+            m.duration_us,
+            &wired_clipped,
+            &ap_lookup,
+        );
+        let mut cfg = pipeline_config(args);
+        cfg.window = w;
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        match w {
+            Some(win) => {
+                let sources = jigsaw_bench::corpus_sources_windowed(
+                    &corpus,
+                    std::sync::Arc::clone(&counter),
+                    win,
+                )
+                .map_err(|e| format!("open corpus sources: {e}"))?;
+                if args.parallel {
+                    Pipeline::run_parallel(sources, &cfg, &mut suite)
+                } else {
+                    Pipeline::run(sources, &cfg, &mut suite)
+                }
+            }
+            None => {
+                let sources =
+                    jigsaw_bench::corpus_sources(&corpus, std::sync::Arc::clone(&counter))
+                        .map_err(|e| format!("open corpus sources: {e}"))?;
+                if args.parallel {
+                    Pipeline::run_parallel(sources, &cfg, &mut suite)
+                } else {
+                    Pipeline::run(sources, &cfg, &mut suite)
+                }
+            }
+        }
+        .map_err(|e| format!("pipeline: {e}"))?;
+        Ok(RecordSet::from_figures(&suite.finish()))
+    };
+
+    let t0 = Instant::now();
+    let coarse = analyze_span(restrict).unwrap_or_else(|e| {
+        eprintln!("diagnose: coarse pass failed: {e}");
+        std::process::exit(1);
+    });
+    let mut deep = |w: TimeWindow| analyze_span(Some(w));
+    let report = run_diagnosis(
+        &standard_detectors(),
+        &coarse,
+        span,
+        &Thresholds::default(),
+        &mut deep,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("diagnose: windowed re-analysis failed: {e}");
+        std::process::exit(1);
+    });
+    let triggered = report.detectors.iter().filter(|d| d.triggered).count();
+    // One stable stdout line — what CI greps into the step summary.
+    println!(
+        "diagnose {}: span {} {} detectors {} triggered {} windows_analyzed {} incidents {} ({:.1?})",
+        m.scenario,
+        report.span.0,
+        report.span.1,
+        report.detectors.len(),
+        triggered,
+        report.windows_analyzed,
+        report.incidents.len(),
+        t0.elapsed()
+    );
+    for inc in &report.incidents {
+        println!(
+            "  {} in {}: severity {:.2} reliability {:.2}",
+            inc.detector, inc.window, inc.severity, inc.reliability
+        );
+    }
+    banner("MACHINE RECORDS — diagnosis");
+    let lines = report.record_lines();
+    print!("{lines}");
+
+    // Golden comparison is opt-in: the golden pins one specific corpus
+    // (CI's tiny golden corpus), so arbitrary-corpus runs only print.
+    if let Some(golden) = &args.golden {
+        let path = std::path::Path::new(golden);
+        let body = format!(
+            "# jigsaw diagnose golden — scenario {} seed {}\n{lines}",
+            m.scenario, m.seed
+        );
+        if args.bless {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent).expect("create golden dir");
+            }
+            std::fs::write(path, &body).unwrap_or_else(|e| panic!("write {golden}: {e}"));
+            println!("diagnose golden BLESSED: {golden}");
+        } else {
+            match std::fs::read_to_string(path) {
+                Ok(expected) => match jigsaw_bench::sweep::diff_lines(&expected, &body) {
+                    None => println!("diagnose golden MATCHED: {golden}"),
+                    Some(diff) => {
+                        eprintln!(
+                            "FAIL: diagnosis drifted from {golden}:\n{diff}(intentional change? re-bless with `repro diagnose --corpus {} --golden {golden} --bless`)",
+                            dir.display()
+                        );
+                        std::process::exit(1);
+                    }
+                },
+                Err(_) => {
+                    eprintln!(
+                        "FAIL: no diagnosis golden at {golden} (bless with `repro diagnose --corpus {} --golden {golden} --bless`)",
+                        dir.display()
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
 /// `bench-stream`: record a corpus, stream-merge it back, and write the
 /// throughput/memory/IO record to `BENCH_stream.json`.
 fn run_bench_stream(args: &Args) {
@@ -1268,7 +1430,7 @@ fn run_bench_stream(args: &Args) {
 fn run_sweep(args: &Args) {
     use jigsaw_bench::sweep::{self, GoldenStatus};
     banner("SWEEP — golden-record scenario matrix");
-    let golden_dir = std::path::PathBuf::from(&args.golden);
+    let golden_dir = std::path::PathBuf::from(args.golden.as_deref().unwrap_or(sweep::GOLDEN_DIR));
     let out_root = std::path::PathBuf::from(args.corpus.as_deref().unwrap_or("target/sweep"));
     let matrix = jigsaw_sim::spec::ScenarioSpec::sweep_matrix();
     let specs = match &args.scenario {

@@ -25,6 +25,7 @@ use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub mod cli;
 pub mod sweep;
 
 /// The paper-scale scenario at a CPU/RAM scale factor.

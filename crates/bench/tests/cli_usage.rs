@@ -61,6 +61,17 @@ fn missing_required_corpus_exits_2() {
     assert_usage_error(&["merge"]);
     assert_usage_error(&["analyze"]);
     assert_usage_error(&["record"]);
+    assert_usage_error(&["diagnose"]);
+}
+
+#[test]
+fn diagnose_shares_the_usage_contract() {
+    // The same flag table drives every subcommand: window timestamps
+    // validate eagerly even though diagnose would fail later anyway,
+    // and the one-subcommand rule holds.
+    assert_usage_error(&["--from", "late", "diagnose"]);
+    assert_usage_error(&["--to", "never", "diagnose"]);
+    assert_usage_error(&["diagnose", "extra-subcommand"]);
 }
 
 #[test]

@@ -14,8 +14,8 @@ use jigsaw_analysis::suite::Figure;
 use jigsaw_analysis::summary::SummaryBuilder;
 use jigsaw_analysis::tcploss::TcpLossAnalysis;
 use jigsaw_bench::{
-    corpus_sources, corpus_wired, figure_suite_parts, minute_bin_us, practical_minute_us,
-    record_corpus,
+    corpus_sources, corpus_sources_windowed, corpus_wired, figure_suite_parts, minute_bin_us,
+    practical_minute_us, record_corpus,
 };
 use jigsaw_core::pipeline::{Pipeline, PipelineConfig};
 use jigsaw_core::shard::ShardConfig;
@@ -32,7 +32,7 @@ fn tmpdir(tag: &str) -> PathBuf {
 }
 
 /// A figure reduced to its comparable identity.
-type FigureOutput = (String, String, Vec<(String, String)>);
+type FigureOutput = (String, String, Vec<jigsaw_analysis::Record>);
 
 fn output_of(f: &dyn Figure) -> FigureOutput {
     (f.name().to_string(), f.render(), f.records())
@@ -152,10 +152,119 @@ fn suite_over_corpus_matches_hand_wired_memory_run() {
         table1
             .2
             .iter()
-            .any(|(k, v)| k == "jframes" && v.parse::<u64>().unwrap() > 100),
+            .any(|r| r.key.as_str() == "jframes" && r.value.as_u64().unwrap() > 100),
         "table1 saw no jframes: {:?}",
         table1.2
     );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The diagnosis layer inherits the suite's determinism: `repro
+/// diagnose` — coarse pass plus every windowed deep dive — must produce
+/// byte-identical machine records whether the merges under it ran the
+/// serial or the channel-sharded driver.
+#[test]
+fn diagnosis_over_corpus_identical_serial_vs_sharded() {
+    use jigsaw_diagnosis::{run_diagnosis, standard_detectors, RecordSet, Thresholds};
+    use jigsaw_trace::TimeWindow;
+
+    let seed = 20060124;
+    let out = ScenarioConfig::tiny(seed).run();
+    let dir = tmpdir("diag");
+    record_corpus(&out, &dir, "tiny", seed, 1.0, 65_535, 4096).unwrap();
+    let par_cfg = PipelineConfig {
+        shard: ShardConfig {
+            max_threads: jigsaw_trace::stream::distinct_channels(&out.radio_meta)
+                .len()
+                .max(1),
+            ..ShardConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    drop(out);
+    let corpus = Corpus::open(&dir).unwrap();
+    let (wired, ap_table) = corpus_wired(&corpus).unwrap();
+    let span = corpus
+        .universal_span()
+        .unwrap()
+        .expect("tiny corpus has events");
+
+    // The same per-window analysis `repro diagnose` wires up, on either
+    // driver.
+    let analyze = |parallel: bool, w: Option<TimeWindow>| -> RecordSet {
+        let clipped: Vec<_> = match w {
+            Some(win) => wired
+                .iter()
+                .filter(|r| win.contains(r.ts))
+                .cloned()
+                .collect(),
+            None => wired.clone(),
+        };
+        let ap_lookup = |sid: u16| ap_table[&sid];
+        let mut suite = figure_suite_parts(
+            corpus.manifest().radios.len(),
+            corpus.manifest().duration_us,
+            &clipped,
+            &ap_lookup,
+        );
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut cfg = if parallel {
+            par_cfg.clone()
+        } else {
+            PipelineConfig::default()
+        };
+        cfg.window = w;
+        match w {
+            Some(win) => {
+                let sources = corpus_sources_windowed(&corpus, counter, win).unwrap();
+                if parallel {
+                    Pipeline::run_parallel(sources, &cfg, &mut suite)
+                } else {
+                    Pipeline::run(sources, &cfg, &mut suite)
+                }
+            }
+            None => {
+                let sources = corpus_sources(&corpus, counter).unwrap();
+                if parallel {
+                    Pipeline::run_parallel(sources, &cfg, &mut suite)
+                } else {
+                    Pipeline::run(sources, &cfg, &mut suite)
+                }
+            }
+        }
+        .unwrap();
+        RecordSet::from_figures(&suite.finish())
+    };
+    let diagnose = |parallel: bool| {
+        let coarse = analyze(parallel, None);
+        let mut deep = |w: TimeWindow| Ok(analyze(parallel, Some(w)));
+        run_diagnosis(
+            &standard_detectors(),
+            &coarse,
+            span,
+            &Thresholds::default(),
+            &mut deep,
+        )
+        .unwrap()
+    };
+
+    let serial = diagnose(false);
+    let sharded = diagnose(true);
+    assert_eq!(serial, sharded, "diagnosis reports diverged across drivers");
+    assert_eq!(
+        serial.record_lines(),
+        sharded.record_lines(),
+        "diagnosis record lines diverged across drivers"
+    );
+    // The comparison had substance: the tiny corpus confirms at least
+    // one incident, with quoted evidence.
+    assert!(
+        !serial.incidents.is_empty(),
+        "tiny corpus produced no incidents: {}",
+        serial.record_lines()
+    );
+    assert!(serial.incidents.iter().all(|i| !i.evidence.is_empty()));
 
     let _ = std::fs::remove_dir_all(&dir);
 }

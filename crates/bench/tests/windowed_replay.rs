@@ -34,7 +34,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A figure reduced to its comparable identity: (name, render, records).
-type FigureOutput = (String, String, Vec<(String, String)>);
+type FigureOutput = (String, String, Vec<jigsaw_analysis::Record>);
 
 fn tmpdir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("jigsaw-windowed-{tag}-{}", std::process::id()));

@@ -1,0 +1,358 @@
+//! The shipped detector catalogue — see the crate docs for the table
+//! of gates, evidence keys, and the scoring formulae. Each detector is
+//! a zero-sized rule: all state lives in the [`RecordSet`]s it reads.
+
+use crate::{
+    quote_evidence, reliability, severity_deficit, severity_exceed, Detector, Incident, RecordSet,
+    Thresholds,
+};
+use jigsaw_analysis::Record;
+use jigsaw_trace::TimeWindow;
+
+/// `retry-storm` — a burst of interference-driven retransmission:
+/// Figure 9's background loss rate or interfering-pair fraction crosses
+/// its gate. Reliability population: `fig9.pairs` (K = 20).
+pub struct RetryStorm;
+
+impl Detector for RetryStorm {
+    fn name(&self) -> &'static str {
+        "retry-storm"
+    }
+
+    fn scan(&self, coarse: &RecordSet, t: &Thresholds) -> Option<Vec<Record>> {
+        let loss = coarse.num("fig9.avg_background_loss")?;
+        let interference = coarse.num("fig9.frac_with_interference")?;
+        (loss >= t.retry_loss || interference >= t.retry_interference).then(|| {
+            quote_evidence(
+                coarse,
+                &[
+                    "fig9.avg_background_loss",
+                    "fig9.frac_with_interference",
+                    "fig9.pairs",
+                ],
+            )
+        })
+    }
+
+    fn diagnose(&self, window: TimeWindow, w: &RecordSet, t: &Thresholds) -> Option<Incident> {
+        let loss = w.num("fig9.avg_background_loss")?;
+        let interference = w.num("fig9.frac_with_interference")?;
+        if loss < t.retry_loss && interference < t.retry_interference {
+            return None;
+        }
+        let pairs = w.count("fig9.pairs").unwrap_or(0);
+        Some(Incident {
+            detector: self.name(),
+            window,
+            severity: severity_exceed(loss, t.retry_loss)
+                .max(severity_exceed(interference, t.retry_interference)),
+            reliability: reliability(pairs, 20.0),
+            evidence: quote_evidence(
+                w,
+                &[
+                    "fig9.avg_background_loss",
+                    "fig9.frac_with_interference",
+                    "fig9.median_x",
+                    "fig9.pairs",
+                ],
+            ),
+        })
+    }
+}
+
+/// `coverage-hole` — the sniffer fabric misses client traffic the wired
+/// oracle proves existed: Figure 6's client-side coverage drops below
+/// the floor. Reliability population: `fig6.stations` (K = 8).
+pub struct CoverageHole;
+
+impl Detector for CoverageHole {
+    fn name(&self) -> &'static str {
+        "coverage-hole"
+    }
+
+    fn scan(&self, coarse: &RecordSet, t: &Thresholds) -> Option<Vec<Record>> {
+        let coverage = coarse.num("fig6.client_coverage")?;
+        (coverage < t.coverage_floor).then(|| {
+            quote_evidence(
+                coarse,
+                &["fig6.client_coverage", "fig6.overall", "fig6.stations"],
+            )
+        })
+    }
+
+    fn diagnose(&self, window: TimeWindow, w: &RecordSet, t: &Thresholds) -> Option<Incident> {
+        let coverage = w.num("fig6.client_coverage")?;
+        if coverage >= t.coverage_floor {
+            return None;
+        }
+        let stations = w.count("fig6.stations").unwrap_or(0);
+        Some(Incident {
+            detector: self.name(),
+            window,
+            severity: severity_deficit(coverage, t.coverage_floor),
+            reliability: reliability(stations, 8.0),
+            evidence: quote_evidence(
+                w,
+                &[
+                    "fig6.client_coverage",
+                    "fig6.ap_coverage",
+                    "fig6.overall",
+                    "fig6.clients_95",
+                    "fig6.stations",
+                ],
+            ),
+        })
+    }
+}
+
+/// `sync-degradation` — the clock fabric loosens: Figure 4's p99 group
+/// dispersion exceeds the paper's 20 µs envelope, or the sub-20 µs
+/// fraction falls below its floor. Reliability population:
+/// `fig4.samples` (K = 50).
+pub struct SyncDegradation;
+
+impl Detector for SyncDegradation {
+    fn name(&self) -> &'static str {
+        "sync-degradation"
+    }
+
+    fn scan(&self, coarse: &RecordSet, t: &Thresholds) -> Option<Vec<Record>> {
+        let p99 = coarse.num("fig4.p99_us")?;
+        let frac20 = coarse.num("fig4.frac_below_20us")?;
+        (p99 > t.sync_p99_us || frac20 < t.sync_frac_20us).then(|| {
+            quote_evidence(
+                coarse,
+                &["fig4.p99_us", "fig4.frac_below_20us", "fig4.samples"],
+            )
+        })
+    }
+
+    fn diagnose(&self, window: TimeWindow, w: &RecordSet, t: &Thresholds) -> Option<Incident> {
+        let p99 = w.num("fig4.p99_us")?;
+        let frac20 = w.num("fig4.frac_below_20us")?;
+        if p99 <= t.sync_p99_us && frac20 >= t.sync_frac_20us {
+            return None;
+        }
+        let samples = w.count("fig4.samples").unwrap_or(0);
+        Some(Incident {
+            detector: self.name(),
+            window,
+            severity: severity_exceed(p99, t.sync_p99_us)
+                .max(severity_deficit(frac20, t.sync_frac_20us)),
+            reliability: reliability(samples, 50.0),
+            evidence: quote_evidence(
+                w,
+                &[
+                    "fig4.p99_us",
+                    "fig4.frac_below_10us",
+                    "fig4.frac_below_20us",
+                    "fig4.samples",
+                    "fig4.singletons",
+                ],
+            ),
+        })
+    }
+}
+
+/// `protection-mode-inefficiency` — APs hold RTS/CTS protection on
+/// with no 802.11b station in sight while g clients pay the overhead:
+/// Figure 10 sees overprotective APs with g clients on them.
+/// Reliability population: `fig10.bins` (K = 6).
+pub struct ProtectionInefficiency;
+
+impl Detector for ProtectionInefficiency {
+    fn name(&self) -> &'static str {
+        "protection-mode-inefficiency"
+    }
+
+    fn scan(&self, coarse: &RecordSet, _t: &Thresholds) -> Option<Vec<Record>> {
+        let over = coarse.count("fig10.peak_overprotective_aps")?;
+        let g_on = coarse.count("fig10.peak_g_on_overprotective")?;
+        (over >= 1 && g_on >= 1).then(|| {
+            quote_evidence(
+                coarse,
+                &[
+                    "fig10.peak_overprotective_aps",
+                    "fig10.peak_g_on_overprotective",
+                    "fig10.throughput_headroom",
+                ],
+            )
+        })
+    }
+
+    fn diagnose(&self, window: TimeWindow, w: &RecordSet, _t: &Thresholds) -> Option<Incident> {
+        let over = w.count("fig10.peak_overprotective_aps")?;
+        let g_on = w.count("fig10.peak_g_on_overprotective")?;
+        if over < 1 || g_on < 1 {
+            return None;
+        }
+        let g_clients = w.count("fig10.peak_g_clients").unwrap_or(0).max(g_on);
+        let bins = w.count("fig10.bins").unwrap_or(0);
+        Some(Incident {
+            detector: self.name(),
+            window,
+            // Fraction of the window's peak g population stuck behind
+            // an overprotective AP — already a natural [0, 1] score.
+            severity: g_on as f64 / g_clients as f64,
+            reliability: reliability(bins, 6.0),
+            evidence: quote_evidence(
+                w,
+                &[
+                    "fig10.peak_overprotective_aps",
+                    "fig10.peak_g_on_overprotective",
+                    "fig10.peak_g_clients",
+                    "fig10.throughput_headroom",
+                ],
+            ),
+        })
+    }
+}
+
+/// `tcp-loss-localization` — where did the drops happen? Figure 11's
+/// cross-layer attribution splits TCP loss events into wireless-hop vs
+/// wired-path; the incident's `fig11.locus` evidence record carries the
+/// verdict. Reliability population: `fig11.flows` (K = 10).
+pub struct TcpLossLocalization;
+
+impl Detector for TcpLossLocalization {
+    fn name(&self) -> &'static str {
+        "tcp-loss-localization"
+    }
+
+    fn scan(&self, coarse: &RecordSet, t: &Thresholds) -> Option<Vec<Record>> {
+        let losses = coarse.count("fig11.loss_events")?;
+        (losses >= t.tcp_min_loss_events).then(|| {
+            quote_evidence(
+                coarse,
+                &["fig11.loss_events", "fig11.wireless_share", "fig11.flows"],
+            )
+        })
+    }
+
+    fn diagnose(&self, window: TimeWindow, w: &RecordSet, t: &Thresholds) -> Option<Incident> {
+        let losses = w.count("fig11.loss_events")?;
+        if losses == 0 {
+            return None;
+        }
+        let share = w.num("fig11.wireless_share").unwrap_or(0.0);
+        let p90 = w.num("fig11.p90_loss_rate").unwrap_or(0.0);
+        let flows = w.count("fig11.flows").unwrap_or(0);
+        let locus = if share >= 0.5 { "wireless" } else { "wired" };
+        let mut evidence = vec![Record::text("fig11.locus", locus)];
+        evidence.extend(quote_evidence(
+            w,
+            &[
+                "fig11.wireless_share",
+                "fig11.p90_loss_rate",
+                "fig11.loss_events",
+                "fig11.flows",
+            ],
+        ));
+        Some(Incident {
+            detector: self.name(),
+            window,
+            severity: severity_exceed(p90, t.tcp_loss_rate),
+            reliability: reliability(flows, 10.0),
+            evidence,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecordValue;
+
+    fn set(pairs: &[(&str, RecordValue)]) -> RecordSet {
+        let mut s = RecordSet::new();
+        for (path, v) in pairs {
+            let (fig, key) = path.split_once('.').unwrap();
+            s.insert(
+                fig,
+                &Record {
+                    key: key.into(),
+                    value: v.clone(),
+                },
+            );
+        }
+        s
+    }
+
+    fn window() -> TimeWindow {
+        TimeWindow::new(0, 1_000).unwrap()
+    }
+
+    #[test]
+    fn coverage_hole_fires_below_floor_only() {
+        let t = Thresholds::default();
+        let healthy = set(&[
+            ("fig6.client_coverage", RecordValue::F64(0.96)),
+            ("fig6.stations", RecordValue::U64(12)),
+        ]);
+        assert!(CoverageHole.scan(&healthy, &t).is_none());
+        let holed = set(&[
+            ("fig6.client_coverage", RecordValue::F64(0.60)),
+            ("fig6.ap_coverage", RecordValue::F64(0.99)),
+            ("fig6.overall", RecordValue::F64(0.80)),
+            ("fig6.stations", RecordValue::U64(12)),
+        ]);
+        assert!(CoverageHole.scan(&holed, &t).is_some());
+        let inc = CoverageHole.diagnose(window(), &holed, &t).unwrap();
+        assert!(inc.severity > 0.9, "33% shortfall saturates severity");
+        assert!((inc.reliability - 0.6).abs() < 1e-12, "12/(12+8)");
+        assert!(inc
+            .evidence
+            .iter()
+            .any(|r| r.key.as_str() == "fig6.ap_coverage"));
+    }
+
+    #[test]
+    fn missing_figures_disarm_detectors() {
+        let t = Thresholds::default();
+        let empty = RecordSet::new();
+        assert!(RetryStorm.scan(&empty, &t).is_none());
+        assert!(CoverageHole.scan(&empty, &t).is_none());
+        assert!(SyncDegradation.scan(&empty, &t).is_none());
+        assert!(ProtectionInefficiency.scan(&empty, &t).is_none());
+        assert!(TcpLossLocalization.scan(&empty, &t).is_none());
+    }
+
+    #[test]
+    fn tcp_loss_locus_verdict() {
+        let t = Thresholds::default();
+        let wireless = set(&[
+            ("fig11.loss_events", RecordValue::U64(8)),
+            ("fig11.wireless_share", RecordValue::F64(0.9)),
+            ("fig11.p90_loss_rate", RecordValue::F64(0.03)),
+            ("fig11.flows", RecordValue::U64(30)),
+        ]);
+        let inc = TcpLossLocalization
+            .diagnose(window(), &wireless, &t)
+            .unwrap();
+        assert_eq!(inc.evidence[0], Record::text("fig11.locus", "wireless"));
+        assert_eq!(inc.severity, 0.75, "0.03 / (4 * 0.01)");
+        let wired = set(&[
+            ("fig11.loss_events", RecordValue::U64(2)),
+            ("fig11.wireless_share", RecordValue::F64(0.1)),
+            ("fig11.flows", RecordValue::U64(5)),
+        ]);
+        let inc = TcpLossLocalization.diagnose(window(), &wired, &t).unwrap();
+        assert_eq!(inc.evidence[0], Record::text("fig11.locus", "wired"));
+    }
+
+    #[test]
+    fn protection_severity_is_g_fraction() {
+        let t = Thresholds::default();
+        let w = set(&[
+            ("fig10.bins", RecordValue::U64(24)),
+            ("fig10.peak_overprotective_aps", RecordValue::U64(2)),
+            ("fig10.peak_g_clients", RecordValue::U64(10)),
+            ("fig10.peak_g_on_overprotective", RecordValue::U64(4)),
+            ("fig10.throughput_headroom", RecordValue::F64(1.8)),
+        ]);
+        assert!(ProtectionInefficiency.scan(&w, &t).is_some());
+        let inc = ProtectionInefficiency.diagnose(window(), &w, &t).unwrap();
+        assert!((inc.severity - 0.4).abs() < 1e-12);
+        assert_eq!(inc.reliability, 0.8, "24/(24+6)");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property test: a diagnosis is a pure function of (corpus records,
+//! thresholds). Two runs over the same inputs — including the windowed
+//! re-analysis, modeled as a deterministic function of the window —
+//! must produce identical reports and byte-identical record lines,
+//! whatever the metric values, span geometry, or window count.
+
+use jigsaw_diagnosis::{
+    run_diagnosis, standard_detectors, Record, RecordSet, RecordValue, Thresholds,
+};
+use jigsaw_trace::TimeWindow;
+use proptest::prelude::*;
+
+fn set(pairs: &[(&str, RecordValue)]) -> RecordSet {
+    let mut s = RecordSet::new();
+    for (path, v) in pairs {
+        let (fig, key) = path.split_once('.').unwrap();
+        s.insert(
+            fig,
+            &Record {
+                key: (*key).into(),
+                value: v.clone(),
+            },
+        );
+    }
+    s
+}
+
+/// The windowed re-analysis stand-in: every metric perturbed by a
+/// deterministic function of the window bounds, so distinct windows
+/// disagree but reruns don't.
+fn windowed_from(coarse: &RecordSet, w: TimeWindow) -> RecordSet {
+    let wobble = ((w.from % 13) as f64 + 1.0) / 7.0;
+    let mut out = RecordSet::new();
+    for (path, v) in coarse.iter() {
+        let (fig, key) = path.split_once('.').unwrap();
+        let value = match v {
+            RecordValue::F64(x) => RecordValue::F64(x * wobble),
+            RecordValue::U64(n) => RecordValue::U64(n.wrapping_add(w.to % 5)),
+            RecordValue::Text(s) => RecordValue::Text(s.clone()),
+        };
+        out.insert(
+            fig,
+            &Record {
+                key: key.into(),
+                value,
+            },
+        );
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn diagnosis_is_a_pure_function_of_records_and_thresholds(
+        loss in 0.0f64..0.2,
+        interference in 0.0f64..1.0,
+        pairs in 0u64..200,
+        coverage in 0.0f64..1.0,
+        stations in 0u64..50,
+        p99 in 0.0f64..100.0,
+        frac20 in 0.0f64..1.0,
+        samples in 0u64..500,
+        over_aps in 0u64..4,
+        g_on in 0u64..8,
+        losses in 0u64..30,
+        share in 0.0f64..1.0,
+        windows in 1u32..9,
+        span_lo in 0u64..5_000,
+        span_len in 0u64..200_000,
+    ) {
+        let coarse = set(&[
+            ("fig9.avg_background_loss", RecordValue::F64(loss)),
+            ("fig9.frac_with_interference", RecordValue::F64(interference)),
+            ("fig9.median_x", RecordValue::F64(loss * 2.0)),
+            ("fig9.pairs", RecordValue::U64(pairs)),
+            ("fig6.client_coverage", RecordValue::F64(coverage)),
+            ("fig6.ap_coverage", RecordValue::F64(1.0 - coverage / 2.0)),
+            ("fig6.overall", RecordValue::F64(coverage)),
+            ("fig6.clients_95", RecordValue::F64(coverage)),
+            ("fig6.stations", RecordValue::U64(stations)),
+            ("fig4.p99_us", RecordValue::F64(p99)),
+            ("fig4.frac_below_10us", RecordValue::F64(frac20 / 2.0)),
+            ("fig4.frac_below_20us", RecordValue::F64(frac20)),
+            ("fig4.samples", RecordValue::U64(samples)),
+            ("fig4.singletons", RecordValue::U64(samples / 10)),
+            ("fig10.bins", RecordValue::U64(24)),
+            ("fig10.peak_overprotective_aps", RecordValue::U64(over_aps)),
+            ("fig10.peak_g_clients", RecordValue::U64(g_on * 2)),
+            ("fig10.peak_g_on_overprotective", RecordValue::U64(g_on)),
+            ("fig10.throughput_headroom", RecordValue::F64(1.0 + share)),
+            ("fig11.loss_events", RecordValue::U64(losses)),
+            ("fig11.wireless_share", RecordValue::F64(share)),
+            ("fig11.p90_loss_rate", RecordValue::F64(loss / 2.0)),
+            ("fig11.flows", RecordValue::U64(pairs / 2)),
+        ]);
+        let thresholds = Thresholds { windows, ..Thresholds::default() };
+        let span = (span_lo, span_lo + span_len);
+        let run = || {
+            let mut analyzer =
+                |w: TimeWindow| -> Result<RecordSet, String> { Ok(windowed_from(&coarse, w)) };
+            run_diagnosis(&standard_detectors(), &coarse, span, &thresholds, &mut analyzer)
+                .expect("deterministic analyzer never fails")
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b, "identical inputs must reproduce the report");
+        prop_assert_eq!(a.record_lines(), b.record_lines());
+        // Structural invariants, whatever fired: every registered
+        // detector is reported, scores stay in [0, 1], and incidents
+        // only come from triggered detectors.
+        prop_assert_eq!(a.detectors.len(), 5);
+        for inc in &a.incidents {
+            prop_assert!((0.0..=1.0).contains(&inc.severity), "severity {}", inc.severity);
+            prop_assert!((0.0..=1.0).contains(&inc.reliability), "reliability {}", inc.reliability);
+            prop_assert!(!inc.evidence.is_empty(), "incidents must carry evidence");
+            let owner = a.detectors.iter().find(|d| d.name == inc.detector).unwrap();
+            prop_assert!(owner.triggered);
+        }
+        for d in &a.detectors {
+            let n = a.incidents.iter().filter(|i| i.detector == d.name).count();
+            prop_assert_eq!(d.incidents, n);
+        }
+    }
+}

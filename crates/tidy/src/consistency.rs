@@ -13,6 +13,14 @@
 //!   sweep golden, so a figure silently dropped from the suite (or renamed
 //!   without re-blessing) fails statically. Conditionally registered
 //!   figures carry an inline waiver at their `fn name()`.
+//! * `detector-golden` — the detector names returned by `fn name()` in
+//!   `crates/diagnose/src` and the `detector <name> …` outcome lines in
+//!   the blessed diagnosis golden
+//!   (`.github/golden/diagnose_tiny.golden`) must agree in both
+//!   directions: a detector added without re-blessing fails, and so does
+//!   a golden line for a detector that no longer exists. (The report
+//!   prints one outcome line per registered detector even when nothing
+//!   fired, which is what makes the golden a complete census.)
 //! * `manifest-version` — the `MANIFEST_MAGIC` constant in
 //!   `crates/trace/src/corpus.rs` and every `` `JIGC N` `` mention in that
 //!   file's module docs must agree, so a format bump cannot leave the docs
@@ -33,6 +41,7 @@ pub fn check(root: &Path, files: &[SourceFile]) -> Vec<Violation> {
     let mut out = Vec::new();
     sweep_coverage(root, files, &mut out);
     figure_golden(root, files, &mut out);
+    detector_golden(root, files, &mut out);
     manifest_version(files, &mut out);
     out
 }
@@ -280,6 +289,105 @@ fn figure_golden(root: &Path, files: &[SourceFile], out: &mut Vec<Violation>) {
                         "figure `{name}` has no `record {name}.…` line in {gname}; \
                          if it is registered in Suite::paper, re-bless the goldens — \
                          if it is conditional, waive at its `fn name()`"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The relative path of the blessed diagnosis golden the `detector-golden`
+/// rule cross-checks (CI's diagnose job compares and blesses it).
+const DIAGNOSE_GOLDEN: &str = ".github/golden/diagnose_tiny.golden";
+
+fn detector_golden(root: &Path, files: &[SourceFile], out: &mut Vec<Violation>) {
+    let diagnose: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| f.rel.starts_with("crates/diagnose/src/"))
+        .collect();
+    if diagnose.is_empty() {
+        return; // not a jigsaw tree (fixture roots): family does not apply
+    }
+
+    // Detector names: the string literal a `fn name(…)` body returns,
+    // exactly as figure-golden reads figure names.
+    let mut names: Vec<(String, String, u32)> = Vec::new(); // (name, file, line)
+    for f in &diagnose {
+        let toks = &f.stripped;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == TokKind::Ident
+                && t.text == "fn"
+                && toks.get(i + 1).is_some_and(|n| n.text == "name")
+            {
+                if let Some(lit) = toks[i + 2..toks.len().min(i + 14)]
+                    .iter()
+                    .find(|t| t.kind == TokKind::Str)
+                {
+                    names.push((lit.text.clone(), f.rel.clone(), toks[i + 1].line));
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup_by(|a, b| a.0 == b.0);
+
+    let Ok(text) = std::fs::read_to_string(root.join(DIAGNOSE_GOLDEN)) else {
+        if !names.is_empty() {
+            out.push(violation(
+                DIAGNOSE_GOLDEN,
+                1,
+                "detector-golden",
+                format!(
+                    "crates/diagnose defines {} detector(s) but no diagnosis golden exists; \
+                     bless one with `repro diagnose --corpus … --golden {DIAGNOSE_GOLDEN} --bless`",
+                    names.len()
+                ),
+            ));
+        }
+        return;
+    };
+    // Outcome lines: `detector <name> triggered …` — present for every
+    // registered detector even when nothing fired.
+    let golden_names: BTreeSet<&str> = text
+        .lines()
+        .filter_map(|l| l.strip_prefix("detector "))
+        .filter_map(|rest| rest.split_whitespace().next())
+        .collect();
+
+    // Source → golden: a detector not in the golden means the catalogue
+    // grew (or a name changed) without re-blessing. Attributed to the
+    // source file, so an intentionally unregistered detector can carry a
+    // waiver at its `fn name()`.
+    for (name, file, line) in &names {
+        if !golden_names.contains(name.as_str()) {
+            out.push(violation(
+                file,
+                *line,
+                "detector-golden",
+                format!(
+                    "detector `{name}` has no `detector {name} …` outcome line in \
+                     {DIAGNOSE_GOLDEN}; if it is in `standard_detectors()`, re-bless the \
+                     golden — if it is intentionally unregistered, waive at its `fn name()`"
+                ),
+            ));
+        }
+    }
+    // Golden → source: a stale outcome line names a detector that no
+    // longer exists. Attributed to the artifact (never waiver-eligible).
+    let source_names: BTreeSet<&str> = names.iter().map(|(n, _, _)| n.as_str()).collect();
+    for (lineno, l) in text.lines().enumerate() {
+        if let Some(name) = l
+            .strip_prefix("detector ")
+            .and_then(|rest| rest.split_whitespace().next())
+        {
+            if !source_names.contains(name) {
+                out.push(violation(
+                    DIAGNOSE_GOLDEN,
+                    lineno as u32 + 1,
+                    "detector-golden",
+                    format!(
+                        "golden names detector `{name}` but no `fn name()` in \
+                         crates/diagnose/src returns it; re-bless the golden"
                     ),
                 ));
             }

@@ -49,6 +49,11 @@
 //!   appears as `record <name>.…` lines in every sweep golden;
 //!   conditionally-registered figures carry a waiver at their
 //!   `fn name()`.
+//! * `detector-golden` — every detector name defined in
+//!   `crates/diagnose` appears as a `detector <name> …` outcome line in
+//!   the blessed diagnosis golden, and every outcome line names a
+//!   detector that still exists — both directions, so growing the
+//!   catalogue and retiring a detector each force a re-bless.
 //! * `manifest-version` — the `MANIFEST_MAGIC` constant and the
 //!   `` `JIGC N` `` mentions in `corpus.rs` module docs agree.
 //!
@@ -116,6 +121,10 @@ pub const RULES: &[Rule] = &[
     Rule {
         name: "figure-golden",
         summary: "every figure name appears in every sweep golden's record lines",
+    },
+    Rule {
+        name: "detector-golden",
+        summary: "detector names and the diagnosis golden's outcome lines agree both ways",
     },
     Rule {
         name: "manifest-version",

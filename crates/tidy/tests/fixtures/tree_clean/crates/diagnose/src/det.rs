@@ -1,0 +1,17 @@
+//! Fixture detectors: the `fn name()` shape `detector-golden` parses.
+
+pub struct DetA;
+
+impl DetA {
+    pub fn name(&self) -> &'static str {
+        "det-a"
+    }
+}
+
+pub struct DetB;
+
+impl DetB {
+    pub fn name(&self) -> &'static str {
+        "det-b"
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture detectors — `det-missing` has no outcome line in the diagnosis
+//! golden, and the golden names a stale `det-stale`: `detector-golden`
+//! must flag one violation per direction.
+
+pub struct DetA;
+
+impl DetA {
+    pub fn name(&self) -> &'static str {
+        "det-a"
+    }
+}
+
+pub struct DetMissing;
+
+impl DetMissing {
+    pub fn name(&self) -> &'static str {
+        "det-missing"
+    }
+}

@@ -92,14 +92,17 @@ fn cross_rules_fire_on_drifted_tree() {
     assert_eq!(count("sweep-coverage"), 2, "{}", report.render());
     // `fig2` is absent from both goldens.
     assert_eq!(count("figure-golden"), 2, "{}", report.render());
+    // `det-missing` has no outcome line; the golden's `det-stale` names
+    // no surviving detector — one violation per direction.
+    assert_eq!(count("detector-golden"), 2, "{}", report.render());
     // Module docs say `JIGC 0`, the constant says `JIGC 1`.
     assert_eq!(count("manifest-version"), 1, "{}", report.render());
-    assert_eq!(report.violations.len(), 5, "{}", report.render());
+    assert_eq!(report.violations.len(), 7, "{}", report.render());
 }
 
 #[test]
 fn cross_rules_clean_tree_passes() {
     let report = check_tree(&fixtures().join("tree_clean"));
     assert!(report.is_clean(), "{}", report.render());
-    assert_eq!(report.files_scanned, 3);
+    assert_eq!(report.files_scanned, 4);
 }

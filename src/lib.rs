@@ -52,8 +52,8 @@
 //! Pipeline::run(out.memory_streams(), &PipelineConfig::default(), &mut suite).unwrap();
 //! for figure in suite.finish() {
 //!     println!("{}\n{}", figure.title(), figure.render());
-//!     for (key, value) in figure.records() {
-//!         println!("record {}.{key} {value}", figure.name());
+//!     for record in figure.records() {
+//!         println!("record {}.{record}", figure.name());
 //!     }
 //! }
 //! ```
@@ -158,6 +158,7 @@
 
 pub use jigsaw_analysis as analysis;
 pub use jigsaw_core as core;
+pub use jigsaw_diagnosis as diagnosis;
 pub use jigsaw_ieee80211 as ieee80211;
 pub use jigsaw_packet as packet;
 pub use jigsaw_sim as sim;
