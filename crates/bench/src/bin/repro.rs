@@ -9,8 +9,10 @@
 //!        record --corpus DIR [--scenario NAME] [--block-bytes N] [--snaplen N]|
 //!        merge --corpus DIR [--from US --to US] [--verify] [--max-buffered N]|
 //!        analyze --corpus DIR [--from US --to US]|
+//!        tail --corpus DIR [--chunk-bytes N] [--max-lag-us N] [--verify]|
 //!        diagnose --corpus DIR [--from US --to US] [--golden FILE] [--bless]|
 //!        bench-stream [--corpus DIR] [--from US --to US] [--out F]|
+//!        bench-live [--corpus DIR] [--chunk-bytes N] [--out F]|
 //!        sweep [--scenario NAME] [--golden DIR] [--corpus DIR] [--bless]]
 //! ```
 //!
@@ -45,7 +47,20 @@
 //!   machine-readable `record <figure>.<key> <value>` lines. The wired
 //!   distribution-network trace Figure 6 compares against is stored in the
 //!   corpus (`wired.jigw`), so nothing is re-simulated — the whole suite
-//!   runs from disk alone.
+//!   runs from disk alone;
+//! * `tail` replays a recorded corpus through the **live ingest service**
+//!   (`jigsaw_live`): each radio trace is tailed in `--chunk-bytes`-sized
+//!   chunks, exactly the byte stream a still-growing file would deliver,
+//!   and the always-on merger emits jframes continuously under the
+//!   bounded-lag contract, then renders the same figure suite and `record`
+//!   lines as `analyze` — CI diffs them byte for byte. `--parallel` drives
+//!   the same tailed sources through the channel-sharded batch merge
+//!   instead; `--verify` re-merges the corpus in batch mode and asserts
+//!   the live jframe stream is identical (count + digest) — the
+//!   chunking-invariance gate, pinned at several chunk sizes;
+//! * `bench-live` records a corpus and times the chunk-fed live merge,
+//!   writing `BENCH_live.json` (events/s, p50/p99/max emission lag, peak
+//!   buffered events, scenario/seed/git_sha provenance).
 //!
 //! `sweep` is the standing golden-record harness: every scenario of the
 //! adversarial sweep matrix (`jigsaw_sim::spec::ScenarioSpec::sweep_matrix`
@@ -99,10 +114,11 @@ use jigsaw_bench::{
 };
 use jigsaw_core::baseline::{naive_merge, yeo_merge};
 use jigsaw_core::observer::{OnExchange, OnJFrame};
-use jigsaw_core::pipeline::{Pipeline, PipelineConfig};
+use jigsaw_core::pipeline::{Pipeline, PipelineConfig, Reconstruction};
 use jigsaw_core::shard::ShardConfig;
 use jigsaw_core::unify::MergeConfig;
 use jigsaw_core::JFrame;
+use jigsaw_live::{ChunkedFileTail, LiveConfig, LiveMerger, ManualClock, TailStream};
 use jigsaw_sim::output::SimOutput;
 use jigsaw_sim::scenario::TruthConfig;
 use jigsaw_trace::TimeWindow;
@@ -143,6 +159,10 @@ struct Args {
     from: Option<u64>,
     /// Replay window end (exclusive), anchor-universal µs.
     to: Option<u64>,
+    /// `tail`/`bench-live`: chunk size each trace tail is fed in, bytes.
+    chunk_bytes: usize,
+    /// `tail`: wall-clock silence before a radio is declared lagging, µs.
+    max_lag_us: u64,
     cmd: String,
 }
 
@@ -189,6 +209,12 @@ static FLAGS: &[ArgSpec<Args>] = &[
     ArgSpec::parsed("--max-buffered", "an event count", |a, v| {
         cli::assign(&mut a.max_buffered, v)
     }),
+    ArgSpec::parsed("--chunk-bytes", "a chunk size in bytes", |a, v| {
+        cli::assign(&mut a.chunk_bytes, v)
+    }),
+    ArgSpec::parsed("--max-lag-us", "a lag bound in µs", |a, v| {
+        cli::assign(&mut a.max_lag_us, v)
+    }),
 ];
 
 fn parse_args() -> Args {
@@ -208,6 +234,8 @@ fn parse_args() -> Args {
         max_buffered: 0,
         from: None,
         to: None,
+        chunk_bytes: 64 * 1024,
+        max_lag_us: 2_000_000,
         cmd: String::from("all"),
     };
     let parser = cli::Parser {
@@ -284,8 +312,10 @@ fn main() {
         "record" => run_record(&args),
         "merge" => run_corpus_merge(&args),
         "analyze" => run_analyze(&args),
+        "tail" => run_tail(&args),
         "diagnose" => run_diagnose(&args),
         "bench-stream" => run_bench_stream(&args),
+        "bench-live" => run_bench_live(&args),
         "sweep" => run_sweep(&args),
         other => usage_error(&format!("unknown subcommand `{other}`")),
     }
@@ -1127,6 +1157,191 @@ fn run_analyze(args: &Args) {
     print!("{}", record_lines(&figures));
 }
 
+/// Opens every radio of a corpus as a chunk-fed file tail, in manifest
+/// (radio) order — the byte stream each tail delivers is identical to what
+/// a still-growing trace file would, for any chunk size.
+fn corpus_tails(corpus: &jigsaw_trace::corpus::Corpus, chunk: usize) -> Vec<ChunkedFileTail> {
+    corpus
+        .manifest()
+        .radios
+        .iter()
+        .map(|r| {
+            let path = corpus.dir().join(&r.data);
+            ChunkedFileTail::open(&path, chunk)
+                .unwrap_or_else(|e| panic!("open trace tail {}: {e}", path.display()))
+        })
+        .collect()
+}
+
+/// `tail --corpus`: replay a recorded corpus through the live ingest
+/// service (`jigsaw_live`) as if the traces were still being written.
+/// Each radio trace is tailed in `--chunk-bytes`-sized chunks; the
+/// always-on merger bootstraps, streams jframes under the bounded-lag
+/// contract, and the same figure suite as `analyze` observes the stream —
+/// the `record` lines must match `analyze` byte for byte, which is what
+/// CI's live job diffs. Replaying a finished file never starves, so the
+/// `ManualClock` stays at zero and the `--max-lag-us` policy is
+/// configured but never provoked (the lag state machine is exercised by
+/// the crate's channel-source tests instead).
+///
+/// `--parallel` drives the same tailed sources through the channel-sharded
+/// batch merge (`TailStream` adapts a live source back into a pull-mode
+/// stream). `--verify` re-merges the corpus through the batch disk path
+/// and asserts the live jframe stream is identical — count and stream
+/// digest — exiting 1 on divergence: the chunking-invariance contract,
+/// checkable at any `--chunk-bytes`.
+fn run_tail(args: &Args) {
+    banner("TAIL — live streaming ingest from a recorded corpus");
+    let dir = corpus_dir(args);
+    let corpus = jigsaw_trace::corpus::Corpus::open(&dir).expect("open corpus");
+    let m = corpus.manifest();
+    let chunk = args.chunk_bytes.max(1);
+    println!(
+        "corpus {}: scenario {} seed {} scale {} — {} radios, {} events, {:.2} MB (chunk {} B)",
+        dir.display(),
+        m.scenario,
+        m.seed,
+        m.scale,
+        m.radios.len(),
+        corpus.total_events(),
+        corpus.data_bytes().unwrap_or(0) as f64 / 1e6,
+        chunk,
+    );
+    assert!(
+        corpus.verify_digest().expect("digest check"),
+        "corpus files do not match their recorded digest (corrupt or tampered)"
+    );
+
+    let (wired, ap_table) = jigsaw_bench::corpus_wired(&corpus).unwrap_or_else(|e| {
+        eprintln!("tail: {e}");
+        std::process::exit(2);
+    });
+    let ap_lookup = move |sid: u16| ap_table[&sid];
+    let mut suite =
+        jigsaw_bench::figure_suite_parts(m.radios.len(), m.duration_us, &wired, &ap_lookup);
+    drop(wired);
+
+    let mut digest = jigsaw_bench::JframeStreamDigest::new();
+    let t0 = Instant::now();
+    let (events_in, jframes, peak, exchanges, flows, live_report) = if args.parallel {
+        let cfg = pipeline_config(args);
+        let sources: Vec<TailStream<ChunkedFileTail>> = corpus_tails(&corpus, chunk)
+            .into_iter()
+            .map(|t| TailStream::open(t).expect("read trace header"))
+            .collect();
+        let obs = (&mut suite, OnJFrame(|jf: &JFrame| digest.observe(jf)));
+        let report = Pipeline::run_parallel(sources, &cfg, obs).expect("pipeline");
+        (
+            report.merge.events_in,
+            report.merge.jframes_out,
+            report.merge.peak_buffered,
+            report.link.exchanges,
+            report.transport.flows,
+            None,
+        )
+    } else {
+        let lcfg = LiveConfig {
+            max_lag_us: args.max_lag_us,
+            ..LiveConfig::default()
+        };
+        let mut lm = LiveMerger::new(lcfg, ManualClock::new());
+        for tail in corpus_tails(&corpus, chunk) {
+            lm.add_source(tail);
+        }
+        let mut rec = Reconstruction::new(&mut suite);
+        let report = lm
+            .run(|jf| {
+                digest.observe(&jf);
+                rec.push(&jf);
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("FAIL: live merge: {e}");
+                std::process::exit(1);
+            });
+        let (_, link, _, transport) = rec.finish();
+        (
+            report.merge.events_in,
+            report.merge.jframes_out,
+            report.merge.peak_buffered,
+            link.exchanges,
+            transport.flows,
+            Some(report),
+        )
+    };
+    let elapsed = t0.elapsed();
+    assert_eq!(
+        events_in,
+        corpus.total_events(),
+        "tail dropped events relative to the manifest"
+    );
+    let driver = if args.parallel {
+        "sharded-tail"
+    } else {
+        "live"
+    };
+    println!(
+        "tailed {events_in} events -> {jframes} jframes, {exchanges} exchanges, {flows} flows in {elapsed:.1?} ({driver}, peak buffered {peak} events)"
+    );
+    if let Some(rep) = &live_report {
+        println!(
+            "emission lag p50 {} µs  p99 {} µs  max {} µs (trace time behind the safe horizon)",
+            rep.lag_quantile(0.5),
+            rep.lag_quantile(0.99),
+            rep.lag_max(),
+        );
+        for (k, s) in rep.sources.iter().enumerate() {
+            let radio = match s.radio {
+                Some(r) => format!("{r:?}"),
+                None => "unknown".into(),
+            };
+            println!(
+                "source {k}: {radio}  events {}  late_dropped {}  status {:?}{}",
+                s.events,
+                s.late_dropped,
+                s.status,
+                if s.lagged { " (lagged)" } else { "" },
+            );
+        }
+        if rep.reanchors + rep.reanchors_skipped > 0 {
+            println!(
+                "reanchors: {} applied, {} skipped",
+                rep.reanchors, rep.reanchors_skipped
+            );
+        }
+    }
+
+    if args.verify {
+        let cfg = pipeline_config(args);
+        let (b_events, b_digest, _, _, _) = stream_merge_corpus(&corpus, &cfg, args.parallel);
+        if b_events != events_in
+            || b_digest.count() != digest.count()
+            || b_digest.hex() != digest.hex()
+        {
+            eprintln!(
+                "FAIL: live stream diverges from the batch merge: live {} jframes digest {}, batch {} jframes digest {}",
+                digest.count(),
+                digest.hex(),
+                b_digest.count(),
+                b_digest.hex(),
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "verify OK: live ≡ batch — {} jframes, digest {}",
+            digest.count(),
+            digest.hex()
+        );
+    }
+
+    let figures = suite.finish();
+    for fig in &figures {
+        banner(fig.title());
+        print!("{}", fig.render());
+    }
+    banner("MACHINE RECORDS — figure key/value summary");
+    print!("{}", record_lines(&figures));
+}
+
 /// `diagnose`: evidence-grounded triage off a recorded corpus. One
 /// coarse figure-suite pass feeds the detector catalogue
 /// (`jigsaw_diagnosis::standard_detectors`); each triggered detector's
@@ -1416,6 +1631,88 @@ fn run_bench_stream(args: &Args) {
         );
     }
     let path = args.out.as_deref().unwrap_or("BENCH_stream.json");
+    std::fs::write(path, bench.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+/// `bench-live`: record a corpus (at `--corpus`, default
+/// `target/bench_live_corpus`) and time the chunk-fed live merge over it,
+/// writing `BENCH_live.json` — events/s through the always-on service,
+/// the emission-lag quantiles the bounded-lag contract caps, and peak
+/// buffered events, with scenario/seed/git_sha provenance.
+fn run_bench_live(args: &Args) {
+    banner("BENCH — live ingest: chunk-fed tail merge from corpus");
+    let dir = args
+        .corpus
+        .clone()
+        .unwrap_or_else(|| "target/bench_live_corpus".into());
+    let dir = std::path::Path::new(&dir);
+    let out = simulate(args.seed, args.scale);
+    let t0 = Instant::now();
+    let summary = jigsaw_bench::record_corpus(
+        &out,
+        dir,
+        "paper_day",
+        args.seed,
+        args.scale,
+        args.snaplen,
+        args.block_bytes,
+    )
+    .expect("record corpus");
+    let record_s = t0.elapsed().as_secs_f64();
+    // Like bench-stream: the merge below must not touch the in-memory world.
+    drop(out);
+
+    let corpus = jigsaw_trace::corpus::Corpus::open(dir).expect("open corpus");
+    let chunk = args.chunk_bytes.max(1);
+    let lcfg = LiveConfig {
+        max_lag_us: args.max_lag_us,
+        ..LiveConfig::default()
+    };
+    let mut lm = LiveMerger::new(lcfg, ManualClock::new());
+    for tail in corpus_tails(&corpus, chunk) {
+        lm.add_source(tail);
+    }
+    let mut digest = jigsaw_bench::JframeStreamDigest::new();
+    let t0 = Instant::now();
+    let report = lm.run(|jf| digest.observe(&jf)).expect("live merge");
+    let merge_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        report.merge.events_in, summary.events,
+        "live merge dropped events"
+    );
+    assert!(digest.count() > 0, "live merge produced no jframes");
+
+    let bench = jigsaw_bench::LiveBench {
+        scenario: "paper_day".into(),
+        seed: args.seed,
+        git_sha: jigsaw_bench::git_sha(),
+        scale: args.scale,
+        events: report.merge.events_in,
+        jframes: digest.count(),
+        sources: corpus.manifest().radios.len(),
+        chunk_bytes: chunk,
+        record_s,
+        merge_s,
+        lag_p50_us: report.lag_quantile(0.5),
+        lag_p99_us: report.lag_quantile(0.99),
+        lag_max_us: report.lag_max(),
+        peak_buffered_events: report.merge.peak_buffered,
+        digest: digest.hex(),
+    };
+    println!(
+        "events {}  jframes {}  record {:.3}s  live merge {:.3}s ({:.0} events/s)  lag p50/p99/max {}/{}/{} µs  peak buffered {}",
+        bench.events,
+        bench.jframes,
+        bench.record_s,
+        bench.merge_s,
+        bench.events_per_s(),
+        bench.lag_p50_us,
+        bench.lag_p99_us,
+        bench.lag_max_us,
+        bench.peak_buffered_events,
+    );
+    let path = args.out.as_deref().unwrap_or("BENCH_live.json");
     std::fs::write(path, bench.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("wrote {path}");
 }

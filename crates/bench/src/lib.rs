@@ -630,6 +630,97 @@ impl StreamBench {
     }
 }
 
+/// A live-ingest benchmark record, serialized to `BENCH_live.json` by
+/// `repro bench-live`: throughput of the chunk-fed live merge (corpus on
+/// disk → tailed sources → jframe stream) plus the numbers the bounded-lag
+/// contract makes checkable — emission-lag quantiles and peak buffered
+/// events.
+#[derive(Debug, Clone)]
+pub struct LiveBench {
+    /// Scenario label.
+    pub scenario: String,
+    /// Simulation seed the scenario ran at.
+    pub seed: u64,
+    /// Source revision the record was produced at (see [`git_sha`]).
+    pub git_sha: String,
+    /// Scale factor the scenario ran at.
+    pub scale: f64,
+    /// Capture events recorded and live-merged.
+    pub events: u64,
+    /// Jframes out of the live merge.
+    pub jframes: u64,
+    /// Live sources (one tailed trace per radio).
+    pub sources: usize,
+    /// Chunk size each tail was fed in, bytes.
+    pub chunk_bytes: usize,
+    /// Corpus write wall-clock (seconds), excluding simulation.
+    pub record_s: f64,
+    /// Live merge wall-clock (seconds), bootstrap included.
+    pub merge_s: f64,
+    /// Median emission lag: jframe timestamp behind the safe horizon at
+    /// emission, trace µs.
+    pub lag_p50_us: u64,
+    /// 99th-percentile emission lag, trace µs.
+    pub lag_p99_us: u64,
+    /// Worst emission lag observed, trace µs (the bounded-lag contract
+    /// caps this at `2×search_window` plus one batch of slack).
+    pub lag_max_us: u64,
+    /// Peak events simultaneously buffered in the live merger.
+    pub peak_buffered_events: u64,
+    /// Digest of the emitted jframe stream (count is `jframes`).
+    pub digest: String,
+}
+
+impl LiveBench {
+    /// Events merged per second of live-merge wall-clock.
+    pub fn events_per_s(&self) -> f64 {
+        self.events as f64 / self.merge_s.max(1e-12)
+    }
+
+    /// Renders the record as a JSON object (no serde in the dependency
+    /// set; every field is a number or a plain label).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"scenario\": \"{}\",\n",
+                "  \"seed\": {},\n",
+                "  \"git_sha\": \"{}\",\n",
+                "  \"scale\": {},\n",
+                "  \"events\": {},\n",
+                "  \"jframes\": {},\n",
+                "  \"sources\": {},\n",
+                "  \"chunk_bytes\": {},\n",
+                "  \"record_s\": {:.6},\n",
+                "  \"merge_s\": {:.6},\n",
+                "  \"events_per_s\": {:.0},\n",
+                "  \"lag_p50_us\": {},\n",
+                "  \"lag_p99_us\": {},\n",
+                "  \"lag_max_us\": {},\n",
+                "  \"peak_buffered_events\": {},\n",
+                "  \"digest\": \"{}\"\n",
+                "}}\n"
+            ),
+            self.scenario,
+            self.seed,
+            self.git_sha,
+            self.scale,
+            self.events,
+            self.jframes,
+            self.sources,
+            self.chunk_bytes,
+            self.record_s,
+            self.merge_s,
+            self.events_per_s(),
+            self.lag_p50_us,
+            self.lag_p99_us,
+            self.lag_max_us,
+            self.peak_buffered_events,
+            self.digest,
+        )
+    }
+}
+
 /// Builds memory streams for a subset of radios (Figure 7 pod reduction).
 pub fn subset_streams(
     out: &SimOutput,
@@ -747,6 +838,38 @@ mod tests {
         assert!(j.contains("\"window_from\": 10000000"));
         assert!(j.contains("\"window_disk_bytes_in\": 6500000"));
         assert!(j.contains("\"seek_speedup\": 8.000"));
+        assert!(j.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn live_bench_json_shape() {
+        let b = LiveBench {
+            scenario: "paper_day".into(),
+            seed: 20060124,
+            git_sha: "abc123def456".into(),
+            scale: 0.05,
+            events: 500_000,
+            jframes: 200_000,
+            sources: 8,
+            chunk_bytes: 65_536,
+            record_s: 1.0,
+            merge_s: 2.0,
+            lag_p50_us: 9_000,
+            lag_p99_us: 19_500,
+            lag_max_us: 20_000,
+            peak_buffered_events: 4_321,
+            digest: "0123456789abcdef".into(),
+        };
+        assert!((b.events_per_s() - 250_000.0).abs() < 1e-6);
+        let j = b.to_json();
+        assert!(j.contains("\"scenario\": \"paper_day\""));
+        assert!(j.contains("\"events_per_s\": 250000"));
+        assert!(j.contains("\"chunk_bytes\": 65536"));
+        assert!(j.contains("\"lag_p50_us\": 9000"));
+        assert!(j.contains("\"lag_p99_us\": 19500"));
+        assert!(j.contains("\"lag_max_us\": 20000"));
+        assert!(j.contains("\"peak_buffered_events\": 4321"));
+        assert!(j.contains("\"git_sha\": \"abc123def456\""));
         assert!(j.trim_end().ends_with('}'));
     }
 

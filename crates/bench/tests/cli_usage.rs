@@ -62,6 +62,23 @@ fn missing_required_corpus_exits_2() {
     assert_usage_error(&["analyze"]);
     assert_usage_error(&["record"]);
     assert_usage_error(&["diagnose"]);
+    assert_usage_error(&["tail"]);
+}
+
+#[test]
+fn tail_shares_the_usage_contract() {
+    // The live subcommands ride the same declarative flag table: values
+    // validate eagerly, missing values and unknown flags die identically,
+    // and the one-subcommand rule holds.
+    assert_usage_error(&["--chunk-bytes", "big", "tail"]);
+    assert_usage_error(&["--chunk-bytes", "-1", "tail"]);
+    assert_usage_error(&["--chunk-bytes"]);
+    assert_usage_error(&["--max-lag-us", "forever", "tail"]);
+    assert_usage_error(&["--max-lag-us"]);
+    assert_usage_error(&["tail", "extra-subcommand"]);
+    assert_usage_error(&["--chunk-bytes", "soon", "bench-live"]);
+    assert_usage_error(&["--seed", "notanumber", "bench-live"]);
+    assert_usage_error(&["bench-live", "extra-subcommand"]);
 }
 
 #[test]

@@ -56,6 +56,8 @@ pub mod unify;
 
 pub use jframe::{Instance, JFrame};
 pub use observer::{OnAttempt, OnExchange, OnFlows, OnJFrame, PipelineObserver};
-pub use pipeline::{CorpusSource, EventSource, Pipeline, PipelineConfig, PipelineReport};
+pub use pipeline::{
+    CorpusSource, EventSource, Pipeline, PipelineConfig, PipelineReport, Reconstruction,
+};
 pub use shard::ShardConfig;
 pub use unify::{MergeConfig, Merger};

@@ -520,6 +520,40 @@ impl<O: PipelineObserver> Downstream<O> {
     }
 }
 
+/// Public handle over the post-unification reconstruction chain (attempt
+/// assembly → exchange assembly → transport reconstruction, with the same
+/// exchange reordering [`Pipeline::run`] applies) for drivers that produce
+/// jframes *outside* [`Pipeline`] — the live tail driver chief among them.
+///
+/// Push unified jframes in emission order via [`Reconstruction::push`], then
+/// call [`Reconstruction::finish`] exactly once. An observer fed this way
+/// sees the identical callback stream it would see from a batch
+/// [`Pipeline::run`] over the same jframes.
+pub struct Reconstruction<O> {
+    inner: Downstream<O>,
+}
+
+impl<O: PipelineObserver> Reconstruction<O> {
+    /// Wraps an observer; see [`Pipeline::run`] for the observer contract.
+    pub fn new(obs: O) -> Self {
+        Reconstruction {
+            inner: Downstream::new(obs),
+        }
+    }
+
+    /// Feeds one unified jframe (must arrive in emission order).
+    pub fn push(&mut self, jf: &JFrame) {
+        self.inner.observe(jf);
+    }
+
+    /// Flushes every assembler and delivers the flow records, returning
+    /// `(attempts, link, flows, transport)` — the same aggregates
+    /// [`PipelineReport`] carries.
+    pub fn finish(self) -> (AttemptStats, LinkStats, Vec<FlowRecord>, TransportStats) {
+        self.inner.finish()
+    }
+}
+
 /// The pipeline driver.
 pub struct Pipeline;
 

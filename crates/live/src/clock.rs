@@ -1,0 +1,96 @@
+//! The liveness clock — the **only** place in the merge-side tree allowed
+//! to consult real time.
+//!
+//! Everything the live merger *emits* is a pure function of the trace
+//! bytes; wall time decides only *liveness policy*: whether a silent radio
+//! has stalled long enough (`max_lag_us`) to be declared lagging. Hiding
+//! that one decision behind [`LiveClock`] keeps the determinism contract
+//! enforceable — tidy's `wall-clock` rule forbids `SystemTime::now` /
+//! `Instant::now` everywhere outside `crates/bench` except this file, and
+//! tests drive the policy with the deterministic [`ManualClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic µs clock consulted by the live merger's lag policy.
+pub trait LiveClock {
+    /// Microseconds since an arbitrary fixed origin; must be monotonic.
+    fn now_us(&self) -> u64;
+}
+
+/// Deterministic test clock: time advances only when the owner says so.
+/// Cloning shares the underlying time, so a test can hold one handle and
+/// hand the other to the merger.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock(Arc<AtomicU64>);
+
+impl ManualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances time by `us`.
+    pub fn advance(&self, us: u64) {
+        self.0.fetch_add(us, Ordering::SeqCst);
+    }
+
+    /// Sets the absolute time (must not go backwards).
+    pub fn set(&self, us: u64) {
+        self.0.store(us, Ordering::SeqCst);
+    }
+}
+
+impl LiveClock for ManualClock {
+    fn now_us(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// The real clock, for actual live deployments.
+#[derive(Debug, Clone)]
+pub struct SystemClock(Instant);
+
+impl SystemClock {
+    /// A clock rooted at "now".
+    pub fn new() -> Self {
+        SystemClock(Instant::now())
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LiveClock for SystemClock {
+    fn now_us(&self) -> u64 {
+        self.0.elapsed().as_micros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_shared_and_monotonic() {
+        let c = ManualClock::new();
+        let peer = c.clone();
+        assert_eq!(c.now_us(), 0);
+        c.advance(250);
+        assert_eq!(peer.now_us(), 250);
+        peer.set(1_000);
+        assert_eq!(c.now_us(), 1_000);
+    }
+
+    #[test]
+    fn system_clock_does_not_go_backwards() {
+        let c = SystemClock::new();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+}

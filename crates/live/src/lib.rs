@@ -1,0 +1,81 @@
+//! # jigsaw-live
+//!
+//! Online ingest for the Jigsaw unification pipeline: per-radio event
+//! streams that **arrive incrementally** — growing trace files, in-process
+//! channels — merged into a continuous jframe stream by an always-on
+//! service with bounded lag. The batch pipeline (`jigsaw_core`) answers
+//! "what happened in this recorded corpus?"; this crate answers the same
+//! question *while the corpus is still being written*.
+//!
+//! ## The watermark / lag contract
+//!
+//! Per-radio delivery is time-ordered, so once a radio has delivered an
+//! event at local time `t`, nothing earlier can ever arrive from it. Its
+//! **watermark** is the universal image of its last delivered timestamp;
+//! the **safe horizon** is the minimum watermark over all radios that are
+//! *live and not lagging*. The live merger guarantees:
+//!
+//! 1. **Bounded lag** — every jframe whose timestamp is older than
+//!    `safe − 2×search_window` has been emitted; nothing older stays
+//!    buffered. The `2×` covers a full search window of grouping slack plus
+//!    a window of reorder slack between channels.
+//! 2. **Stall eviction** — a radio that delivers nothing for
+//!    [`LiveConfig::max_lag_us`] of wall-clock time is declared *lagging*:
+//!    it stops holding the safe horizon back, but its channel stays open.
+//!    This is the only decision in the crate that consults real time, and
+//!    it does so through the [`LiveClock`] trait ([`SystemClock`] in
+//!    production, [`ManualClock`] in tests) — everything *emitted* remains
+//!    a pure function of the trace bytes.
+//! 3. **Re-admission** — a lagging radio that catches up rejoins the
+//!    horizon. Catch-up events that fall below what has already been
+//!    emitted are counted (`late_dropped`) and discarded; emission order is
+//!    never violated.
+//! 4. **Re-anchoring** — every [`LiveConfig::reanchor_interval_us`] of
+//!    horizon progress, the offset bootstrap re-runs over each radio's
+//!    recent events and re-anchors clocks that drifted past
+//!    [`LiveConfig::reanchor_drift_us`] (shifts of `2×search_window` or
+//!    more are rejected as glitches) — recovery for drift that continuous
+//!    resynchronization missed.
+//! 5. **Chunking invariance** — when nothing lags and no re-anchor fires,
+//!    the emitted jframe sequence (count, order,
+//!    [`jigsaw_core::JFrame::stable_digest`]) is identical to a batch merge
+//!    of the same events, for *every* chunking of the input bytes. This is
+//!    the equivalence `repro tail --verify` and the chunk-invariance
+//!    proptests pin in CI.
+//!
+//! ## Layout
+//!
+//! * [`source`] — the [`LiveSource`] trait and its implementations:
+//!   [`ChunkedFileTail`] (tail a growing trace file in arbitrary-size
+//!   chunks, resuming decode at block boundaries) and [`ChannelSource`]
+//!   (in-process mpsc); [`TailStream`] adapts any live source back into a
+//!   pull-mode `EventStream` for the batch drivers;
+//! * [`merger`] — [`LiveMerger`], the bootstrap → stream → lag → re-anchor
+//!   driver, and its [`LiveReport`];
+//! * [`clock`] — [`LiveClock`] and friends: the wall-clock boundary.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use jigsaw_live::{ChunkedFileTail, LiveConfig, LiveMerger, SystemClock};
+//! use std::path::Path;
+//!
+//! let mut lm = LiveMerger::new(LiveConfig::default(), SystemClock::new());
+//! for name in ["r000.jigt", "r001.jigt"] {
+//!     lm.add_source(ChunkedFileTail::open(Path::new(name), 64 * 1024)?);
+//! }
+//! let report = lm.run(|jframe| {
+//!     // Each unified jframe arrives here, in timestamp order, no later
+//!     // than 2×search_window behind the slowest live radio.
+//!     let _ = jframe.ts;
+//! })?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod clock;
+pub mod merger;
+pub mod source;
+
+pub use clock::{LiveClock, ManualClock, SystemClock};
+pub use merger::{LiveConfig, LiveError, LiveMerger, LiveReport, SourceReport, SourceStatus};
+pub use source::{ChannelSource, ChunkedFileTail, LiveSender, LiveSource, SourcePoll, TailStream};

@@ -1,0 +1,1015 @@
+//! The always-on unification driver: bootstrap, stream, lag, re-anchor.
+//!
+//! [`LiveMerger`] turns a set of [`LiveSource`]s into a continuous jframe
+//! stream with **bounded lag**. See the crate docs for the watermark/lag
+//! contract; the short version:
+//!
+//! * each radio's *watermark* is the universal time of its last delivered
+//!   event — nothing older can arrive from it (per-radio delivery is
+//!   time-ordered);
+//! * the *safe horizon* is the minimum watermark over radios that are
+//!   currently live and not lagging; the merger emits every jframe older
+//!   than `safe − 2×search_window` and buffers nothing older than that;
+//! * a radio that delivers nothing for [`LiveConfig::max_lag_us`] of
+//!   *wall-clock* time (the one decision real time is consulted for — via
+//!   [`LiveClock`]) is declared **lagging**: it stops holding the safe
+//!   horizon back, but its channel stays open so it can catch up. Events it
+//!   delivers after catching up are re-admitted unless they fall below the
+//!   already-emitted horizon, in which case they are counted as
+//!   `late_dropped` and discarded — emission order is never violated.
+//!
+//! When nothing lags and no re-anchor fires, the emitted jframe sequence is
+//! **byte-identical** (count, order, [`JFrame::stable_digest`]) to a batch
+//! [`jigsaw_core::Pipeline`] run over the same events, for *every* chunking
+//! of the input bytes — the contract `repro tail --verify` and the
+//! chunk-invariance proptests pin.
+
+use crate::clock::LiveClock;
+use crate::source::{LiveSource, SourcePoll};
+use jigsaw_core::sync::bootstrap::{bootstrap_at, BootstrapConfig, BootstrapError};
+use jigsaw_core::unify::{MergeConfig, MergeStats, Merger};
+use jigsaw_core::JFrame;
+use jigsaw_ieee80211::Micros;
+use jigsaw_trace::format::FormatError;
+use jigsaw_trace::stream::MemoryStream;
+use jigsaw_trace::{PhyEvent, RadioId};
+use std::collections::VecDeque;
+
+/// Recent events retained per radio for re-anchor bootstraps.
+const REANCHOR_RING: usize = 512;
+
+/// Live-merge configuration.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Offset bootstrap parameters (shared with the batch pipeline).
+    pub bootstrap: BootstrapConfig,
+    /// Unification parameters (shared with the batch pipeline).
+    pub merge: MergeConfig,
+    /// Wall-clock silence after which a radio is declared lagging (µs).
+    pub max_lag_us: u64,
+    /// Safe-horizon progress between re-anchor attempts (µs of trace time).
+    pub reanchor_interval_us: Micros,
+    /// Minimum offset disagreement before a re-anchor is applied (µs).
+    pub reanchor_drift_us: Micros,
+    /// Max events polled from one source per [`LiveMerger::step`].
+    pub poll_budget: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            bootstrap: BootstrapConfig::default(),
+            merge: MergeConfig::default(),
+            max_lag_us: 2_000_000,
+            reanchor_interval_us: 60_000_000,
+            reanchor_drift_us: 5_000,
+            poll_budget: 256,
+        }
+    }
+}
+
+/// Errors a live merge can hit.
+#[derive(Debug)]
+pub enum LiveError {
+    /// A source's byte stream failed to decode.
+    Format(FormatError),
+    /// The initial offset bootstrap failed (no usable radios).
+    Bootstrap(BootstrapError),
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::Format(e) => write!(f, "live source: {e}"),
+            LiveError::Bootstrap(e) => write!(f, "live bootstrap: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+impl From<FormatError> for LiveError {
+    fn from(e: FormatError) -> Self {
+        LiveError::Format(e)
+    }
+}
+
+impl From<BootstrapError> for LiveError {
+    fn from(e: BootstrapError) -> Self {
+        LiveError::Bootstrap(e)
+    }
+}
+
+/// Where a source stands in the liveness state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceStatus {
+    /// Delivering events; holds the safe horizon back.
+    Live,
+    /// Silent past `max_lag_us`; excluded from the safe horizon but its
+    /// channel stays open — it re-admits on catch-up.
+    Lagging,
+    /// Producer finished cleanly; its channel may close.
+    Ended,
+    /// Never produced a decodable header; excluded from the merge.
+    Dead,
+}
+
+/// Per-source outcome in the final report.
+#[derive(Debug, Clone)]
+pub struct SourceReport {
+    /// The radio, once its header decoded ([`SourceStatus::Dead`] sources
+    /// have none).
+    pub radio: Option<RadioId>,
+    /// Events delivered (including any later dropped as late).
+    pub events: u64,
+    /// Catch-up events discarded because they fell below the
+    /// already-emitted horizon.
+    pub late_dropped: u64,
+    /// Whether the radio was ever declared lagging.
+    pub lagged: bool,
+    /// Final status.
+    pub status: SourceStatus,
+}
+
+/// Everything a completed live merge reports.
+#[derive(Debug)]
+pub struct LiveReport {
+    /// Unification statistics (identical semantics to the batch merger's).
+    pub merge: MergeStats,
+    /// Per-source liveness outcomes, in `add_source` order.
+    pub sources: Vec<SourceReport>,
+    /// Connected components in the bootstrap synchronization graph.
+    pub components: usize,
+    /// Radios that could only be NTP-anchored at bootstrap.
+    pub coarse_radios: usize,
+    /// Re-anchors applied (drift above threshold, shift within clamp).
+    pub reanchors: u64,
+    /// Re-anchors rejected by the `2×search_window` shift clamp.
+    pub reanchors_skipped: u64,
+    /// Emission lag of every jframe: safe horizon minus jframe timestamp
+    /// at the moment it left the merger (µs).
+    pub lag_samples: Vec<Micros>,
+}
+
+impl LiveReport {
+    /// The `q`-quantile of emission lag (`0.5` = p50, `0.99` = p99); 0 when
+    /// nothing was emitted.
+    pub fn lag_quantile(&self, q: f64) -> Micros {
+        if self.lag_samples.is_empty() {
+            return 0;
+        }
+        let mut s = self.lag_samples.clone();
+        s.sort_unstable();
+        let idx = ((s.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        s[idx.min(s.len() - 1)]
+    }
+
+    /// Worst-case emission lag (µs).
+    pub fn lag_max(&self) -> Micros {
+        self.lag_samples.iter().copied().max().unwrap_or(0)
+    }
+}
+
+struct SourceState<S> {
+    src: S,
+    /// Events accumulated before the merge exists (bootstrap phase).
+    gathered: Vec<PhyEvent>,
+    /// Most recent events, input to re-anchor bootstraps.
+    ring: VecDeque<PhyEvent>,
+    last_ts: Option<Micros>,
+    /// Universal time below which this source can deliver nothing new.
+    watermark: Micros,
+    events: u64,
+    late_dropped: u64,
+    lagged: bool,
+    status: SourceStatus,
+    /// Bootstrap phase: this source needs no more accumulation.
+    ready: bool,
+    /// Clock reading at the last delivered event.
+    last_progress: u64,
+    /// Index into the merger's radio table (dead sources have none).
+    merger_idx: Option<usize>,
+}
+
+impl<S> SourceState<S> {
+    fn new(src: S, now: u64) -> Self {
+        SourceState {
+            src,
+            gathered: Vec::new(),
+            ring: VecDeque::new(),
+            last_ts: None,
+            watermark: 0,
+            events: 0,
+            late_dropped: 0,
+            lagged: false,
+            status: SourceStatus::Live,
+            ready: false,
+            last_progress: now,
+            merger_idx: None,
+        }
+    }
+
+    fn open(&self) -> bool {
+        matches!(self.status, SourceStatus::Live | SourceStatus::Lagging)
+    }
+
+    fn remember(&mut self, ev: &PhyEvent) {
+        if self.ring.len() == REANCHOR_RING {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(ev.clone());
+    }
+}
+
+/// The always-on unification service: feeds a [`Merger`] from
+/// [`LiveSource`]s under the watermark/lag contract (crate docs).
+///
+/// Drive it with [`LiveMerger::step`] (one poll-feed-advance round, for
+/// embedding in a service loop) or [`LiveMerger::run`] (steps until every
+/// source ends — the recorded-corpus replay mode; do not use it with
+/// sources that can stay silent forever).
+pub struct LiveMerger<S, C> {
+    cfg: LiveConfig,
+    clock: C,
+    sources: Vec<SourceState<S>>,
+    merger: Option<Merger<MemoryStream>>,
+    last_safe: Micros,
+    next_reanchor: Option<Micros>,
+    reanchors: u64,
+    reanchors_skipped: u64,
+    lag_samples: Vec<Micros>,
+    components: usize,
+    coarse_radios: usize,
+}
+
+impl<S: LiveSource, C: LiveClock> LiveMerger<S, C> {
+    /// A live merger with no sources yet.
+    pub fn new(cfg: LiveConfig, clock: C) -> Self {
+        LiveMerger {
+            cfg,
+            clock,
+            sources: Vec::new(),
+            merger: None,
+            last_safe: 0,
+            next_reanchor: None,
+            reanchors: 0,
+            reanchors_skipped: 0,
+            lag_samples: Vec::new(),
+            components: 0,
+            coarse_radios: 0,
+        }
+    }
+
+    /// Registers a radio. Sources join during the bootstrap phase — before
+    /// the first event crosses the bootstrap window; a source added after
+    /// the merge is running is a programmer error.
+    ///
+    /// # Panics
+    /// Panics if the merge has already bootstrapped.
+    pub fn add_source(&mut self, src: S) {
+        assert!(
+            self.merger.is_none(),
+            "add_source after the merge bootstrapped"
+        );
+        let now = self.clock.now_us();
+        self.sources.push(SourceState::new(src, now));
+    }
+
+    /// True once offsets are bootstrapped and the merge is streaming.
+    pub fn is_streaming(&self) -> bool {
+        self.merger.is_some()
+    }
+
+    /// The current safe horizon (universal µs): everything older than
+    /// `safe − 2×search_window` has been emitted.
+    pub fn safe_horizon(&self) -> Micros {
+        self.last_safe
+    }
+
+    /// One poll-feed-advance round. Returns `true` while any source is
+    /// still open (live or lagging) — i.e. while there is reason to step
+    /// again; call [`LiveMerger::finish`] once it returns `false`.
+    pub fn step(&mut self, sink: &mut impl FnMut(JFrame)) -> Result<bool, LiveError> {
+        if self.merger.is_none() {
+            self.bootstrap_step()?;
+            if self.merger.is_none() {
+                return Ok(true);
+            }
+        }
+        self.stream_step(sink)?;
+        Ok(self.sources.iter().any(|s| s.open()))
+    }
+
+    /// Steps until every source has ended, then finishes. The replay mode:
+    /// with sources that always progress (file tails over a recorded
+    /// corpus) this terminates; a forever-silent channel source would not.
+    pub fn run(mut self, mut sink: impl FnMut(JFrame)) -> Result<LiveReport, LiveError> {
+        while self.step(&mut sink)? {}
+        self.finish(sink)
+    }
+
+    /// Closes every remaining radio, drains all buffered state, and
+    /// reports. Jframes still buffered (the last `2×search_window`) are
+    /// emitted here.
+    pub fn finish(mut self, mut sink: impl FnMut(JFrame)) -> Result<LiveReport, LiveError> {
+        // A finish before bootstrap completes (all sources ended inside the
+        // bootstrap window — short corpus) must still merge what arrived.
+        if self.merger.is_none() {
+            for s in &mut self.sources {
+                s.ready = true;
+            }
+            self.transition()?;
+        }
+        let mut merger = self.merger.take().expect("transition sets the merger");
+        for s in &mut self.sources {
+            if let Some(r) = s.merger_idx {
+                merger.close_radio(r);
+            }
+            if s.open() {
+                s.status = SourceStatus::Ended;
+            }
+        }
+        let last_safe = self.last_safe;
+        let lag_samples = &mut self.lag_samples;
+        let merge = merger.finish_live(|jf| {
+            lag_samples.push(last_safe.saturating_sub(jf.ts));
+            sink(jf);
+        })?;
+        Ok(LiveReport {
+            merge,
+            sources: self
+                .sources
+                .iter()
+                .map(|s| SourceReport {
+                    radio: s.src.meta().map(|m| m.radio),
+                    events: s.events,
+                    late_dropped: s.late_dropped,
+                    lagged: s.lagged,
+                    status: s.status,
+                })
+                .collect(),
+            components: self.components,
+            coarse_radios: self.coarse_radios,
+            reanchors: self.reanchors,
+            reanchors_skipped: self.reanchors_skipped,
+            lag_samples: std::mem::take(&mut self.lag_samples),
+        })
+    }
+
+    /// Accumulation phase: poll every open source toward bootstrap
+    /// readiness; transition to streaming once all are ready.
+    fn bootstrap_step(&mut self) -> Result<(), LiveError> {
+        let now = self.clock.now_us();
+        let budget = self.cfg.poll_budget.max(1);
+        let window_us = self.cfg.bootstrap.window_us;
+        for s in &mut self.sources {
+            if s.ready || !s.open() {
+                continue;
+            }
+            for _ in 0..budget {
+                match s.src.poll()? {
+                    SourcePoll::Event(ev) => {
+                        s.events += 1;
+                        s.last_ts = Some(ev.ts_local);
+                        s.last_progress = now;
+                        // Ready once an event lands past the bootstrap
+                        // window — the window contents are complete
+                        // (per-source delivery is time-ordered).
+                        if let Some(m) = s.src.meta() {
+                            if ev.ts_local > m.anchor_local_us.saturating_add(window_us) {
+                                s.ready = true;
+                            }
+                        }
+                        s.gathered.push(ev);
+                        if s.ready {
+                            break;
+                        }
+                    }
+                    SourcePoll::End => {
+                        s.status = SourceStatus::Ended;
+                        s.ready = true;
+                        break;
+                    }
+                    SourcePoll::Pending => break,
+                }
+            }
+            if !s.ready && now.saturating_sub(s.last_progress) > self.cfg.max_lag_us {
+                // Stalled inside the bootstrap window: a source whose
+                // header never arrived has no identity and is dead; one
+                // with a header bootstraps from what it delivered and is
+                // treated as lagging from the start.
+                if s.src.meta().is_none() {
+                    s.status = SourceStatus::Dead;
+                } else {
+                    s.status = SourceStatus::Lagging;
+                    s.lagged = true;
+                }
+                s.ready = true;
+            }
+        }
+        if self.sources.iter().all(|s| s.ready) {
+            self.transition()?;
+        }
+        Ok(())
+    }
+
+    /// Bootstraps offsets from the accumulated windows and builds the
+    /// streaming merger, mirroring the batch corpus driver exactly: the
+    /// bootstrap prefix is every event with
+    /// `ts_local ≤ anchor_local + window_us`, offsets come from
+    /// [`bootstrap_at`] windowed at each radio's NTP anchor, clocks are
+    /// referenced there, and **all** accumulated events are fed (replay
+    /// semantics — nothing is seeded).
+    fn transition(&mut self) -> Result<(), LiveError> {
+        let window_us = self.cfg.bootstrap.window_us;
+        let active: Vec<usize> = (0..self.sources.len())
+            .filter(|&i| self.sources[i].src.meta().is_some())
+            .collect();
+        let metas: Vec<_> = active
+            .iter()
+            .map(|&i| self.sources[i].src.meta().expect("filtered on meta"))
+            .collect();
+        let window_los: Vec<Micros> = metas.iter().map(|m| m.anchor_local_us).collect();
+        let prefixes: Vec<&[PhyEvent]> = active
+            .iter()
+            .zip(&metas)
+            .map(|(&i, m)| {
+                let g = &self.sources[i].gathered;
+                let hi = m.anchor_local_us.saturating_add(window_us);
+                let end = g.partition_point(|e| e.ts_local <= hi);
+                &g[..end]
+            })
+            .collect();
+        let boot = bootstrap_at(&metas, &prefixes, &window_los, &self.cfg.bootstrap)?;
+        self.components = boot.components;
+        self.coarse_radios = boot.coarse.iter().filter(|&&c| c).count();
+
+        let placeholders: Vec<MemoryStream> = metas
+            .iter()
+            .map(|m| MemoryStream::new(*m, Vec::new()))
+            .collect();
+        let mut merger = Merger::new_at(
+            placeholders,
+            &boot.offsets,
+            &window_los,
+            self.cfg.merge.clone(),
+        );
+        for (r, &i) in active.iter().enumerate() {
+            let s = &mut self.sources[i];
+            s.merger_idx = Some(r);
+            if s.open() {
+                merger.mark_live(r);
+            }
+            let gathered = std::mem::take(&mut s.gathered);
+            for ev in &gathered {
+                s.remember(ev);
+            }
+            merger.feed(r, gathered)?;
+            if let Some(ts) = s.last_ts {
+                s.watermark = merger.universal_of(r, ts);
+            }
+            if s.status == SourceStatus::Ended {
+                merger.close_radio(r);
+            }
+        }
+        self.merger = Some(merger);
+        Ok(())
+    }
+
+    /// One streaming round: poll → feed → lag policy → re-anchor → advance.
+    fn stream_step(&mut self, sink: &mut impl FnMut(JFrame)) -> Result<(), LiveError> {
+        let now = self.clock.now_us();
+        let budget = self.cfg.poll_budget.max(1);
+        let merger = self.merger.as_mut().expect("stream_step after transition");
+        for s in &mut self.sources {
+            if !s.open() {
+                continue;
+            }
+            let r = s.merger_idx.expect("open sources joined the merge");
+            let mut batch = Vec::new();
+            let mut ended = false;
+            for _ in 0..budget {
+                match s.src.poll()? {
+                    SourcePoll::Event(ev) => batch.push(ev),
+                    SourcePoll::Pending => break,
+                    SourcePoll::End => {
+                        ended = true;
+                        break;
+                    }
+                }
+            }
+            if !batch.is_empty() {
+                s.events += batch.len() as u64;
+                if s.status == SourceStatus::Lagging {
+                    // Re-admission: the horizon moved on without this
+                    // radio. Anything below what has already been emitted
+                    // is unusable — count and drop it; the rest joins.
+                    let cutoff = self
+                        .last_safe
+                        .saturating_sub(self.cfg.merge.search_window_us);
+                    let before = batch.len();
+                    batch.retain(|ev| merger.universal_of(r, ev.ts_local) >= cutoff);
+                    s.late_dropped += (before - batch.len()) as u64;
+                    s.status = SourceStatus::Live;
+                }
+                s.last_progress = now;
+                if let Some(ev) = batch.last() {
+                    s.last_ts = Some(ev.ts_local);
+                }
+                for ev in &batch {
+                    s.remember(ev);
+                }
+                merger.feed(r, batch)?;
+                if let Some(ts) = s.last_ts {
+                    s.watermark = merger.universal_of(r, ts);
+                }
+            } else if s.status == SourceStatus::Live
+                && !ended
+                && now.saturating_sub(s.last_progress) > self.cfg.max_lag_us
+            {
+                s.status = SourceStatus::Lagging;
+                s.lagged = true;
+            }
+            if ended {
+                s.status = SourceStatus::Ended;
+                merger.close_radio(r);
+            }
+        }
+
+        // The safe horizon: nothing below the slowest live radio's
+        // watermark can still arrive. Lagging radios are excluded — that
+        // is the bounded-lag guarantee; with no live radio left the
+        // horizon holds (never retreats).
+        let safe = self
+            .sources
+            .iter()
+            .filter(|s| s.status == SourceStatus::Live)
+            .map(|s| s.watermark)
+            .min()
+            .map_or(self.last_safe, |m| m.max(self.last_safe));
+        self.maybe_reanchor(safe);
+        let merger = self.merger.as_mut().expect("stream_step after transition");
+        let lag_samples = &mut self.lag_samples;
+        merger.advance(safe, &mut |jf| {
+            lag_samples.push(safe.saturating_sub(jf.ts));
+            sink(jf);
+        })?;
+        self.last_safe = safe;
+        Ok(())
+    }
+
+    /// Every `reanchor_interval_us` of safe-horizon progress, re-run the
+    /// offset bootstrap over each radio's recent events and re-anchor
+    /// clocks whose offsets drifted past `reanchor_drift_us` — the escape
+    /// hatch for drift that continuous resynchronization missed (e.g. a
+    /// radio that heard no shared frames for a long stretch). Shifts of
+    /// `2×search_window` or more are rejected as bootstrap glitches
+    /// (`reanchors_skipped`); coarse (NTP-only) estimates are never
+    /// applied.
+    fn maybe_reanchor(&mut self, safe: Micros) {
+        let interval = self.cfg.reanchor_interval_us;
+        match self.next_reanchor {
+            None => {
+                self.next_reanchor = Some(safe.saturating_add(interval));
+                return;
+            }
+            Some(at) if safe < at => return,
+            Some(_) => self.next_reanchor = Some(safe.saturating_add(interval)),
+        }
+        let merger = self.merger.as_mut().expect("re-anchor while streaming");
+        let window_us = self.cfg.bootstrap.window_us;
+        let joined: Vec<&SourceState<S>> = self
+            .sources
+            .iter()
+            .filter(|s| s.merger_idx.is_some())
+            .collect();
+        let metas: Vec<_> = joined
+            .iter()
+            .map(|s| s.src.meta().expect("joined sources have metas"))
+            .collect();
+        // Window each radio at the tail of its ring: the freshest
+        // bootstrap-window's worth of evidence.
+        let window_los: Vec<Micros> = joined
+            .iter()
+            .map(|s| {
+                s.ring
+                    .back()
+                    .map(|e| e.ts_local.saturating_sub(window_us))
+                    .or(s.last_ts)
+                    .unwrap_or(0)
+            })
+            .collect();
+        let prefixes: Vec<Vec<PhyEvent>> = joined
+            .iter()
+            .map(|s| s.ring.iter().cloned().collect())
+            .collect();
+        let Ok(boot) = bootstrap_at(&metas, &prefixes, &window_los, &self.cfg.bootstrap) else {
+            return;
+        };
+        let radios: Vec<usize> = joined
+            .iter()
+            .map(|s| s.merger_idx.expect("filtered on merger_idx"))
+            .collect();
+        for (k, &r) in radios.iter().enumerate() {
+            if boot.coarse[k] {
+                continue;
+            }
+            // Offset convention (see `bootstrap_at`): universal = local −
+            // offset, so the clock's current offset at `lo` is the local
+            // time minus its universal image.
+            let lo = window_los[k];
+            let current = lo as i64 - merger.universal_of(r, lo) as i64;
+            let shift = boot.offsets[k] - current;
+            if shift.unsigned_abs() <= self.cfg.reanchor_drift_us {
+                continue;
+            }
+            if shift.unsigned_abs() >= 2 * self.cfg.merge.search_window_us {
+                self.reanchors_skipped += 1;
+                continue;
+            }
+            merger.reanchor_clock(r, boot.offsets[k], lo);
+            self.reanchors += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::source::{ChannelSource, LiveSender};
+    use jigsaw_ieee80211::{Channel, PhyRate};
+    use jigsaw_trace::{MonitorId, PhyStatus, RadioMeta};
+
+    fn meta(r: u16) -> RadioMeta {
+        RadioMeta {
+            radio: RadioId(r),
+            monitor: MonitorId(r),
+            channel: Channel::of(1),
+            anchor_wall_us: 1_000_000,
+            anchor_local_us: 0,
+        }
+    }
+
+    /// A content-unique data frame both radios hear at (roughly) `ts`.
+    fn frame_bytes(seq: u16) -> Vec<u8> {
+        let mut b = vec![0u8; 34];
+        b[0] = 0x08; // data
+        b[4..10].copy_from_slice(&[2, 0, 0, 0, 0, 1]);
+        b[10..16].copy_from_slice(&[2, 0, 0, 0, 0, 2]);
+        b[16..22].copy_from_slice(&[2, 0, 0, 0, 0, 3]);
+        b[22] = (seq & 0xff) as u8;
+        b[23] = (seq >> 8) as u8;
+        b
+    }
+
+    fn ev(r: u16, ts: u64, bytes: Vec<u8>) -> PhyEvent {
+        PhyEvent {
+            radio: RadioId(r),
+            ts_local: ts,
+            channel: Channel::of(1),
+            rate: PhyRate::R11,
+            rssi_dbm: -50,
+            status: PhyStatus::Ok,
+            wire_len: bytes.len() as u32,
+            bytes,
+        }
+    }
+
+    /// Shared scenario: two radios on one channel hearing the same frames.
+    /// Returns per-radio event lists (radio 1's clock offset by `off`).
+    fn shared_events(n: u64, off: i64) -> (Vec<PhyEvent>, Vec<PhyEvent>) {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for k in 0..n {
+            let ts = 10_000 + k * 50_000;
+            let f = frame_bytes(k as u16);
+            a.push(ev(0, ts, f.clone()));
+            b.push(ev(1, (ts as i64 + off + (k % 3) as i64) as u64, f));
+        }
+        (a, b)
+    }
+
+    fn batch_reference(a: &[PhyEvent], b: &[PhyEvent], cfg: &LiveConfig) -> Vec<JFrame> {
+        let streams = vec![
+            MemoryStream::new(meta(0), Vec::new()),
+            MemoryStream::new(meta(1), Vec::new()),
+        ];
+        let metas = [meta(0), meta(1)];
+        let window_us = cfg.bootstrap.window_us;
+        let prefixes: Vec<&[PhyEvent]> = [a, b]
+            .iter()
+            .map(|evs| {
+                let end = evs.partition_point(|e| e.ts_local <= window_us);
+                &evs[..end]
+            })
+            .collect();
+        let boot = bootstrap_at(&metas, &prefixes, &[0, 0], &cfg.bootstrap).unwrap();
+        let mut m = Merger::new_at(streams, &boot.offsets, &[0, 0], cfg.merge.clone());
+        m.seed_pending(0, a.to_vec());
+        m.seed_pending(1, b.to_vec());
+        let mut out = Vec::new();
+        m.run(|jf| out.push(jf)).unwrap();
+        out
+    }
+
+    fn key(jf: &JFrame) -> (Micros, u8, u64, usize) {
+        (
+            jf.ts,
+            jf.channel.number(),
+            jf.stable_digest(),
+            jf.instance_count(),
+        )
+    }
+
+    fn drive_to_streaming(lm: &mut LiveMerger<ChannelSource, ManualClock>, out: &mut Vec<JFrame>) {
+        for _ in 0..1_000 {
+            if lm.is_streaming() {
+                return;
+            }
+            lm.step(&mut |jf| out.push(jf)).unwrap();
+        }
+        panic!("never reached streaming");
+    }
+
+    #[test]
+    fn channel_fed_live_matches_batch() {
+        let (a, b) = shared_events(80, 7);
+        let cfg = LiveConfig::default();
+        let want: Vec<_> = batch_reference(&a, &b, &cfg).iter().map(key).collect();
+
+        let clock = ManualClock::new();
+        let mut lm = LiveMerger::new(cfg, clock);
+        let (tx0, s0) = ChannelSource::new(meta(0));
+        let (tx1, s1) = ChannelSource::new(meta(1));
+        lm.add_source(s0);
+        lm.add_source(s1);
+        let mut out = Vec::new();
+        // Feed in uneven slices, stepping between them.
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut round = 0usize;
+        while i < a.len() || j < b.len() {
+            for _ in 0..1 + round % 3 {
+                if i < a.len() {
+                    tx0.send(a[i].clone());
+                    i += 1;
+                }
+            }
+            for _ in 0..1 + (round + 1) % 2 {
+                if j < b.len() {
+                    tx1.send(b[j].clone());
+                    j += 1;
+                }
+            }
+            lm.step(&mut |jf| out.push(jf)).unwrap();
+            round += 1;
+        }
+        drop(tx0);
+        drop(tx1);
+        while lm.step(&mut |jf| out.push(jf)).unwrap() {}
+        let report = lm.finish(|jf| out.push(jf)).unwrap();
+
+        let got: Vec<_> = out.iter().map(key).collect();
+        assert_eq!(got, want, "live emission must equal the batch merge");
+        assert_eq!(report.merge.events_in, 160);
+        assert_eq!(report.sources.len(), 2);
+        assert!(report
+            .sources
+            .iter()
+            .all(|s| s.status == SourceStatus::Ended && !s.lagged));
+    }
+
+    /// The acceptance scenario: one radio goes silent mid-run. Unification
+    /// must stall no longer than `max_lag_us`, then continue without it,
+    /// re-admit it on catch-up (dropping only below-horizon events), and
+    /// flag it in the report.
+    #[test]
+    fn killed_radio_lags_then_readmits() {
+        let (a, b) = shared_events(120, 3);
+        let cfg = LiveConfig {
+            max_lag_us: 1_000_000,
+            ..LiveConfig::default()
+        };
+        let clock = ManualClock::new();
+        let mut lm = LiveMerger::new(cfg, clock.clone());
+        let (tx0, s0) = ChannelSource::new(meta(0));
+        let (tx1, s1) = ChannelSource::new(meta(1));
+        lm.add_source(s0);
+        lm.add_source(s1);
+
+        // Both radios deliver the first half; radio 1 then goes silent.
+        let half = 60usize;
+        for e in &a[..half] {
+            tx0.send(e.clone());
+        }
+        for e in &b[..half] {
+            tx1.send(e.clone());
+        }
+        let mut out = Vec::new();
+        drive_to_streaming(&mut lm, &mut out);
+        for _ in 0..8 {
+            lm.step(&mut |jf| out.push(jf)).unwrap();
+        }
+        // Radio 0 keeps going alone.
+        for e in &a[half..90] {
+            tx0.send(e.clone());
+        }
+        lm.step(&mut |jf| out.push(jf)).unwrap();
+        let stalled_at = out.len();
+        let horizon_before = lm.safe_horizon();
+        // Within max_lag_us: the silent radio still holds the horizon.
+        lm.step(&mut |jf| out.push(jf)).unwrap();
+        assert_eq!(out.len(), stalled_at, "horizon must hold before max_lag");
+        // Past max_lag_us — with radio 0 still delivering, so only radio 1
+        // is silent: radio 1 is declared lagging and emission resumes.
+        clock.advance(1_500_000);
+        for e in &a[90..] {
+            tx0.send(e.clone());
+        }
+        lm.step(&mut |jf| out.push(jf)).unwrap();
+        lm.step(&mut |jf| out.push(jf)).unwrap();
+        assert!(
+            lm.safe_horizon() > horizon_before,
+            "horizon must advance past a lagging radio"
+        );
+        assert!(
+            out.len() > stalled_at,
+            "unification must continue without the lagging radio"
+        );
+        // Radio 1 catches up: its stale half-way events fall below the
+        // emitted horizon and are dropped; it rejoins live.
+        for e in &b[half..] {
+            tx1.send(e.clone());
+        }
+        lm.step(&mut |jf| out.push(jf)).unwrap();
+        drop(tx0);
+        drop(tx1);
+        while lm.step(&mut |jf| out.push(jf)).unwrap() {}
+        let report = lm.finish(|jf| out.push(jf)).unwrap();
+
+        let r1 = &report.sources[1];
+        assert!(r1.lagged, "report must flag the stalled radio");
+        assert_eq!(r1.status, SourceStatus::Ended);
+        assert_eq!(r1.events, 120);
+        assert!(
+            r1.late_dropped > 0,
+            "catch-up events below the horizon are dropped"
+        );
+        assert!(!report.sources[0].lagged);
+        // Emission order never violated despite the stall/catch-up cycle.
+        for w in out.windows(2) {
+            assert!(w[0].ts <= w[1].ts, "emission must stay time-ordered");
+        }
+    }
+
+    /// Runs two radios where radio 1's clock skews 1500 ppm fast, with
+    /// continuous resync disabled, under the given re-anchor settings.
+    fn run_skewed(reanchor_interval_us: Micros) -> LiveReport {
+        let mut cfg = LiveConfig {
+            reanchor_interval_us,
+            reanchor_drift_us: 2_000,
+            ..LiveConfig::default()
+        };
+        cfg.merge.resync_enabled = false;
+        // A re-anchor corrects the offset at its bridging frame, up to one
+        // bootstrap window behind the live edge, so ~1.5 ms of skew residual
+        // remains at 1500 ppm; widen the dispersion guard so corrected
+        // instances unify while uncorrected drift (up to 30 ms) cannot.
+        cfg.merge.merge_gap_us = 4_000;
+        let mut lm = LiveMerger::new(cfg, ManualClock::new());
+        let (tx0, s0) = ChannelSource::new(meta(0));
+        let (tx1, s1) = ChannelSource::new(meta(1));
+        lm.add_source(s0);
+        lm.add_source(s1);
+        let mut out = Vec::new();
+        for k in 0..400u64 {
+            let ts = 10_000 + k * 50_000;
+            let f = frame_bytes(k as u16);
+            tx0.send(ev(0, ts, f.clone()));
+            tx1.send(ev(1, ts + (ts * 15) / 10_000, f));
+            if k % 4 == 3 {
+                lm.step(&mut |jf| out.push(jf)).unwrap();
+            }
+        }
+        drop(tx0);
+        drop(tx1);
+        while lm.step(&mut |jf| out.push(jf)).unwrap() {}
+        lm.finish(|jf| out.push(jf)).unwrap()
+    }
+
+    /// A fast-skewing radio with continuous resync disabled: periodic
+    /// re-anchoring must fire (drift above threshold, shift within the
+    /// clamp) and recover unification that unchecked drift destroys.
+    #[test]
+    fn reanchor_corrects_unresynced_drift() {
+        // By t=10 s radio 1's stamps lead true time by 15 ms — far past
+        // the 2 ms drift threshold, inside the 20 ms shift clamp at each
+        // 3 s checkpoint.
+        let with = run_skewed(3_000_000);
+        assert!(
+            with.reanchors >= 1,
+            "drift must trigger a re-anchor (got {} applied, {} skipped)",
+            with.reanchors,
+            with.reanchors_skipped
+        );
+        let without = run_skewed(Micros::MAX);
+        assert_eq!(without.reanchors, 0);
+        assert!(
+            with.merge.instances_unified > without.merge.instances_unified,
+            "re-anchoring must recover unification lost to drift ({} vs {})",
+            with.merge.instances_unified,
+            without.merge.instances_unified
+        );
+    }
+
+    #[test]
+    fn short_corpus_ends_during_bootstrap() {
+        // Every event inside the bootstrap window; sources end before the
+        // merge ever transitions — finish() must still merge everything.
+        let (a, b) = shared_events(10, 2); // last ts ≈ 460 ms < 1 s window
+        let cfg = LiveConfig::default();
+        let want: Vec<_> = batch_reference(&a, &b, &cfg).iter().map(key).collect();
+        let mut lm = LiveMerger::new(cfg, ManualClock::new());
+        let (tx0, s0) = ChannelSource::new(meta(0));
+        let (tx1, s1) = ChannelSource::new(meta(1));
+        lm.add_source(s0);
+        lm.add_source(s1);
+        for e in &a {
+            tx0.send(e.clone());
+        }
+        for e in &b {
+            tx1.send(e.clone());
+        }
+        drop(tx0);
+        drop(tx1);
+        let mut out = Vec::new();
+        while lm.step(&mut |jf| out.push(jf)).unwrap() {}
+        let report = lm.finish(|jf| out.push(jf)).unwrap();
+        let got: Vec<_> = out.iter().map(key).collect();
+        assert_eq!(got, want);
+        assert_eq!(report.merge.events_in, 20);
+    }
+
+    #[test]
+    fn dead_source_is_excluded_and_flagged() {
+        // A source whose header never arrives: declared dead after
+        // max_lag_us, the rest of the mesh proceeds without it.
+        struct Headless;
+        impl LiveSource for Headless {
+            fn meta(&self) -> Option<RadioMeta> {
+                None
+            }
+            fn poll(&mut self) -> Result<SourcePoll, FormatError> {
+                Ok(SourcePoll::Pending)
+            }
+        }
+        enum Either {
+            Chan(ChannelSource),
+            Headless(Headless),
+        }
+        impl LiveSource for Either {
+            fn meta(&self) -> Option<RadioMeta> {
+                match self {
+                    Either::Chan(c) => c.meta(),
+                    Either::Headless(h) => h.meta(),
+                }
+            }
+            fn poll(&mut self) -> Result<SourcePoll, FormatError> {
+                match self {
+                    Either::Chan(c) => c.poll(),
+                    Either::Headless(h) => h.poll(),
+                }
+            }
+        }
+        let (a, b) = shared_events(60, 0);
+        let cfg = LiveConfig {
+            max_lag_us: 500_000,
+            ..LiveConfig::default()
+        };
+        let clock = ManualClock::new();
+        let mut lm = LiveMerger::new(cfg, clock.clone());
+        let (tx0, s0) = ChannelSource::new(meta(0));
+        let (tx1, s1) = ChannelSource::new(meta(1));
+        lm.add_source(Either::Chan(s0));
+        lm.add_source(Either::Headless(Headless));
+        lm.add_source(Either::Chan(s1));
+        let send_all = |tx: &LiveSender, evs: &[PhyEvent]| {
+            for e in evs {
+                tx.send(e.clone());
+            }
+        };
+        send_all(&tx0, &a);
+        send_all(&tx1, &b);
+        drop(tx0);
+        drop(tx1);
+        let mut out = Vec::new();
+        lm.step(&mut |jf| out.push(jf)).unwrap();
+        clock.advance(600_000);
+        while lm.step(&mut |jf| out.push(jf)).unwrap() {}
+        let report = lm.finish(|jf| out.push(jf)).unwrap();
+        assert_eq!(report.sources[1].status, SourceStatus::Dead);
+        assert!(report.sources[1].radio.is_none());
+        assert_eq!(report.merge.events_in, 120);
+        assert!(report.merge.jframes_out > 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Live event sources: where per-radio events trickle in from.
+//!
+//! A [`LiveSource`] is the push-mode sibling of
+//! [`jigsaw_trace::stream::EventStream`]: polling it yields the next
+//! decoded event, *or* [`SourcePoll::Pending`] when the producer simply has
+//! not delivered more bytes yet — which an `EventStream` cannot express
+//! (its `Ok(None)` means the stream is over, permanently).
+//!
+//! Two implementations:
+//!
+//! * [`ChunkedFileTail`] — tails a jigdump-format trace file in
+//!   fixed-size chunks through [`jigsaw_trace::tail::TailReader`],
+//!   resuming decode at block boundaries. Feeding a *recorded* corpus file
+//!   through it simulates liveness: the byte stream is identical to what a
+//!   growing file would deliver, for any chunk size.
+//! * [`ChannelSource`] — an in-process channel, for radios whose capture
+//!   process lives in the same address space (and for tests that need to
+//!   stall, kill, or revive a radio at will).
+//!
+//! [`TailStream`] adapts any `LiveSource` back into a pull-mode
+//! `EventStream`, so the existing batch and sharded pipeline drivers can
+//! consume live sources unchanged.
+
+use jigsaw_trace::format::FormatError;
+use jigsaw_trace::stream::EventStream;
+use jigsaw_trace::tail::{TailPoll, TailReader};
+use jigsaw_trace::{PhyEvent, RadioMeta};
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+use std::sync::mpsc;
+
+/// One poll of a [`LiveSource`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourcePoll {
+    /// The next event, in nondecreasing `ts_local` order.
+    Event(PhyEvent),
+    /// No event available *yet* — the producer is alive but quiet.
+    Pending,
+    /// The producer is done; no further events will ever arrive.
+    End,
+}
+
+/// An incrementally arriving per-radio event stream.
+pub trait LiveSource {
+    /// The radio's metadata, once known (a file tail learns it from the
+    /// trace header; an in-process channel knows it upfront).
+    fn meta(&self) -> Option<RadioMeta>;
+
+    /// Polls for the next event. Decode errors are terminal.
+    fn poll(&mut self) -> Result<SourcePoll, FormatError>;
+}
+
+/// Tails a trace file in `chunk_bytes`-sized reads.
+///
+/// Each poll decodes from bytes already committed; when starved it reads
+/// further chunks until an event decodes or the file ends, so over a
+/// *finished* file it never reports [`SourcePoll::Pending`] — every chunk
+/// boundary still exercises the tail reader's partial-block staging and
+/// block-boundary resume, which is what makes the chunking-invariance
+/// contract meaningful.
+pub struct ChunkedFileTail {
+    file: File,
+    tail: TailReader,
+    buf: Vec<u8>,
+    file_done: bool,
+}
+
+impl ChunkedFileTail {
+    /// Opens `path` for tailing with the given chunk size (clamped to ≥ 1).
+    pub fn open(path: &Path, chunk_bytes: usize) -> Result<Self, FormatError> {
+        Ok(ChunkedFileTail {
+            file: File::open(path)?,
+            tail: TailReader::new(),
+            buf: vec![0u8; chunk_bytes.max(1)],
+            file_done: false,
+        })
+    }
+
+    /// Bytes committed to the decoder so far.
+    pub fn committed_bytes(&self) -> u64 {
+        self.tail.committed_bytes()
+    }
+}
+
+impl LiveSource for ChunkedFileTail {
+    fn meta(&self) -> Option<RadioMeta> {
+        self.tail.meta()
+    }
+
+    fn poll(&mut self) -> Result<SourcePoll, FormatError> {
+        loop {
+            match self.tail.poll_event()? {
+                TailPoll::Event(ev) => return Ok(SourcePoll::Event(ev)),
+                TailPoll::End => return Ok(SourcePoll::End),
+                TailPoll::Pending => {
+                    debug_assert!(!self.file_done, "Pending after finish");
+                    let n = self.file.read(&mut self.buf)?;
+                    if n == 0 {
+                        self.file_done = true;
+                        self.tail.finish();
+                    } else {
+                        self.tail.extend(&self.buf[..n]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The sending half of an in-process live radio; drop it to end the stream.
+#[derive(Debug, Clone)]
+pub struct LiveSender(mpsc::Sender<PhyEvent>);
+
+impl LiveSender {
+    /// Sends one event (nondecreasing `ts_local`). Returns `false` if the
+    /// receiving [`ChannelSource`] is gone.
+    pub fn send(&self, ev: PhyEvent) -> bool {
+        self.0.send(ev).is_ok()
+    }
+}
+
+/// An in-process channel-backed live radio.
+pub struct ChannelSource {
+    meta: RadioMeta,
+    rx: mpsc::Receiver<PhyEvent>,
+}
+
+impl ChannelSource {
+    /// Creates a live radio fed through an in-process channel.
+    pub fn new(meta: RadioMeta) -> (LiveSender, ChannelSource) {
+        let (tx, rx) = mpsc::channel();
+        (LiveSender(tx), ChannelSource { meta, rx })
+    }
+}
+
+impl LiveSource for ChannelSource {
+    fn meta(&self) -> Option<RadioMeta> {
+        Some(self.meta)
+    }
+
+    fn poll(&mut self) -> Result<SourcePoll, FormatError> {
+        match self.rx.try_recv() {
+            Ok(ev) => Ok(SourcePoll::Event(ev)),
+            Err(mpsc::TryRecvError::Empty) => Ok(SourcePoll::Pending),
+            Err(mpsc::TryRecvError::Disconnected) => Ok(SourcePoll::End),
+        }
+    }
+}
+
+/// Pull-mode adapter: presents a [`LiveSource`] as an
+/// [`EventStream`], so the batch pipeline (serial or channel-sharded) can
+/// merge live sources through the existing
+/// [`jigsaw_core::EventSource`] machinery.
+///
+/// `next_event` **spins** on [`SourcePoll::Pending`] (yielding the thread
+/// between polls): correct for file tails, which always progress; for
+/// channel sources it blocks until the producer sends or hangs up.
+pub struct TailStream<S> {
+    src: S,
+    meta: RadioMeta,
+    lookahead: std::collections::VecDeque<PhyEvent>,
+}
+
+impl<S: LiveSource> TailStream<S> {
+    /// Wraps a live source, polling (and buffering any decoded events)
+    /// until its metadata is known.
+    pub fn open(mut src: S) -> Result<Self, FormatError> {
+        let mut lookahead = std::collections::VecDeque::new();
+        let meta = loop {
+            if let Some(m) = src.meta() {
+                break m;
+            }
+            match src.poll()? {
+                SourcePoll::Event(ev) => lookahead.push_back(ev),
+                SourcePoll::Pending => std::thread::yield_now(),
+                SourcePoll::End => match src.meta() {
+                    // A zero-event source ends with its header decoded and
+                    // nothing else — a legitimate (if idle) radio. Polling
+                    // past `End` is stable, so `next_event` needs no flag.
+                    Some(m) => break m,
+                    // One that ends before its header decodes has no
+                    // identity; surface it as the header truncation it is.
+                    None => {
+                        return Err(FormatError::BadRecord("source ended before header"));
+                    }
+                },
+            }
+        };
+        Ok(TailStream {
+            src,
+            meta,
+            lookahead,
+        })
+    }
+}
+
+impl<S: LiveSource> EventStream for TailStream<S> {
+    fn meta(&self) -> RadioMeta {
+        self.meta
+    }
+
+    fn next_event(&mut self) -> Result<Option<PhyEvent>, FormatError> {
+        if let Some(ev) = self.lookahead.pop_front() {
+            return Ok(Some(ev));
+        }
+        loop {
+            match self.src.poll()? {
+                SourcePoll::Event(ev) => return Ok(Some(ev)),
+                SourcePoll::End => return Ok(None),
+                SourcePoll::Pending => std::thread::yield_now(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_ieee80211::{Channel, PhyRate};
+    use jigsaw_trace::format::TraceWriter;
+    use jigsaw_trace::{MonitorId, PhyStatus, RadioId};
+
+    fn meta() -> RadioMeta {
+        RadioMeta {
+            radio: RadioId(3),
+            monitor: MonitorId(1),
+            channel: Channel::of(6),
+            anchor_wall_us: 100,
+            anchor_local_us: 9_000,
+        }
+    }
+
+    fn ev(ts: u64, tag: u8) -> PhyEvent {
+        PhyEvent {
+            radio: RadioId(3),
+            ts_local: ts,
+            channel: Channel::of(6),
+            rate: PhyRate::R11,
+            rssi_dbm: -55,
+            status: PhyStatus::Ok,
+            wire_len: 24,
+            bytes: vec![tag; 24],
+        }
+    }
+
+    fn write_trace(dir: &Path, events: &[PhyEvent]) -> std::path::PathBuf {
+        let path = dir.join("r003.jigt");
+        let f = File::create(&path).unwrap();
+        let mut w = TraceWriter::with_block_target(f, meta(), 200, 256).unwrap();
+        for e in events {
+            w.append(e).unwrap();
+        }
+        w.finish().unwrap();
+        path
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("jigsaw_live_src_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn chunked_tail_decodes_whole_file() {
+        let dir = tmpdir("whole");
+        let events: Vec<PhyEvent> = (0..300u64).map(|i| ev(1_000 + i * 40, i as u8)).collect();
+        let path = write_trace(&dir, &events);
+        for chunk in [1usize, 13, 4096] {
+            let mut t = ChunkedFileTail::open(&path, chunk).unwrap();
+            let mut got = Vec::new();
+            loop {
+                match t.poll().unwrap() {
+                    SourcePoll::Event(e) => got.push(e),
+                    SourcePoll::End => break,
+                    SourcePoll::Pending => unreachable!("file tails never pend"),
+                }
+            }
+            assert_eq!(got, events, "chunk={chunk}");
+            assert_eq!(t.meta(), Some(meta()));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn channel_source_pends_then_ends() {
+        let (tx, mut src) = ChannelSource::new(meta());
+        assert_eq!(src.poll().unwrap(), SourcePoll::Pending);
+        assert!(tx.send(ev(5, 1)));
+        assert!(matches!(src.poll().unwrap(), SourcePoll::Event(_)));
+        assert_eq!(src.poll().unwrap(), SourcePoll::Pending);
+        drop(tx);
+        assert_eq!(src.poll().unwrap(), SourcePoll::End);
+    }
+
+    #[test]
+    fn tail_stream_accepts_zero_event_source() {
+        // An idle radio's trace is a header and nothing else; the adapter
+        // must present it as an empty stream, not a truncation error.
+        let dir = tmpdir("empty");
+        let path = write_trace(&dir, &[]);
+        let mut s = TailStream::open(ChunkedFileTail::open(&path, 11).unwrap()).unwrap();
+        assert_eq!(EventStream::meta(&s), meta());
+        assert!(s.next_event().unwrap().is_none());
+        assert!(s.next_event().unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tail_stream_adapts_to_event_stream() {
+        let dir = tmpdir("adapt");
+        let events: Vec<PhyEvent> = (0..100u64).map(|i| ev(1_000 + i * 40, i as u8)).collect();
+        let path = write_trace(&dir, &events);
+        let src = ChunkedFileTail::open(&path, 7).unwrap();
+        let mut s = TailStream::open(src).unwrap();
+        assert_eq!(EventStream::meta(&s), meta());
+        let mut got = Vec::new();
+        while let Some(e) = s.next_event().unwrap() {
+            got.push(e);
+        }
+        assert_eq!(got, events);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

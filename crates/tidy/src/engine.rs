@@ -88,7 +88,7 @@ fn source_rules(rel: &str, toks: &[Tok]) -> Vec<Violation> {
     if rules::hash_order_scope(rel) {
         out.extend(rules::hash_order(rel, toks));
     }
-    if !rel.starts_with("crates/bench/") {
+    if rules::wall_clock_scope(rel) {
         out.extend(rules::wall_clock(rel, toks));
     }
     out.extend(rules::no_unsafe(rel, toks));

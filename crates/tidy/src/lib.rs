@@ -28,9 +28,12 @@
 //!   rework made serial ≡ sharded a construction, not an accident; this
 //!   rule keeps every future `HashMap` an explicit, justified decision.
 //! * `wall-clock` — no `SystemTime::now`/`Instant::now`/`thread_rng`
-//!   outside `crates/bench`. *Rationale:* replay output must be a pure
-//!   function of the trace bytes; only the bench harness may consult the
-//!   host clock or entropy.
+//!   outside `crates/bench` and `crates/live/src/clock.rs`. *Rationale:*
+//!   replay output must be a pure function of the trace bytes; only the
+//!   bench harness may consult the host clock or entropy, and the live
+//!   crate's *liveness policy* (stall eviction after `max_lag_us`) may do
+//!   so solely through the `LiveClock` trait defined in that one file —
+//!   what the live merger *emits* stays deterministic.
 //! * `no-unsafe` — no `unsafe` outside the (currently empty)
 //!   [`rules::UNSAFE_ALLOWLIST`]. *Rationale:* everything this tree
 //!   proves is provable in safe Rust; the workspace lint table already
@@ -104,7 +107,8 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         name: "wall-clock",
-        summary: "no SystemTime::now/Instant::now/thread_rng outside crates/bench",
+        summary:
+            "no SystemTime::now/Instant::now/thread_rng outside crates/bench and live's LiveClock",
     },
     Rule {
         name: "no-unsafe",

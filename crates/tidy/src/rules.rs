@@ -138,10 +138,22 @@ pub fn hash_order(rel: &str, tokens: &[Tok]) -> Vec<Violation> {
         .collect()
 }
 
+/// Scope of the `wall-clock` rule: everything except `crates/bench` (the
+/// harness measures wall time by design) and the live crate's clock module
+/// — the one place the live merger's *liveness policy* (`max_lag_us` stall
+/// eviction) is allowed to consult real time, behind the `LiveClock`
+/// trait. Everything the live merger *emits* remains a pure function of
+/// the trace bytes.
+pub fn wall_clock_scope(rel: &str) -> bool {
+    !rel.starts_with("crates/bench/") && rel != "crates/live/src/clock.rs"
+}
+
 /// Rule `wall-clock`: no `SystemTime::now`/`Instant::now`/`thread_rng`
-/// outside `crates/bench` — replay determinism means the pipeline's output
+/// outside `crates/bench` and `crates/live/src/clock.rs` (see
+/// [`wall_clock_scope`]) — replay determinism means the pipeline's output
 /// is a pure function of its inputs; only the harness may look at the
-/// clock (for measurements) or at entropy.
+/// clock (for measurements) or at entropy, and only the `LiveClock`
+/// boundary may consult it for liveness policy.
 pub fn wall_clock(rel: &str, tokens: &[Tok]) -> Vec<Violation> {
     let mut out = Vec::new();
     for (i, t) in tokens.iter().enumerate() {
@@ -262,5 +274,13 @@ mod tests {
         assert_eq!(run(wall_clock, "let t = Instant::now();").len(), 1);
         assert!(run(wall_clock, "let t = clock.now();").is_empty());
         assert_eq!(run(wall_clock, "let r = thread_rng();").len(), 1);
+    }
+
+    #[test]
+    fn wall_clock_scope_exempts_harness_and_live_clock_only() {
+        assert!(wall_clock_scope("crates/core/src/unify.rs"));
+        assert!(wall_clock_scope("crates/live/src/merger.rs"));
+        assert!(!wall_clock_scope("crates/live/src/clock.rs"));
+        assert!(!wall_clock_scope("crates/bench/src/bin/repro.rs"));
     }
 }

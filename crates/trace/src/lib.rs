@@ -20,6 +20,8 @@
 //!   files so the merger can seek by time;
 //! * [`stream`] — time-sorted event streams consumed by the merger, from
 //!   memory or from disk;
+//! * [`tail`] — incremental decode of a *growing* trace: chunk-fed bytes,
+//!   whole-block commits, and block-boundary resume for live ingest;
 //! * [`corpus`] — a recorded deployment on disk: one compressed, indexed
 //!   trace file per radio plus a manifest and digest (see below);
 //! * [`digest`] — FNV-1a content digests backing the golden-corpus CI check;
@@ -67,6 +69,7 @@ pub mod format;
 pub mod index;
 pub mod pcap;
 pub mod stream;
+pub mod tail;
 pub mod varint;
 
 use jigsaw_ieee80211::{Channel, Micros, PhyRate};

@@ -1,0 +1,489 @@
+//! Tailing decode of a growing trace file.
+//!
+//! The batch [`TraceReader`] treats a clean EOF
+//! between blocks as *the end of the trace* — correct for a finished corpus,
+//! wrong for a live capture where jigdump is still appending. [`TailReader`]
+//! adapts the same decoder to an **unbounded byte stream fed in arbitrary
+//! chunks**: bytes arrive via [`TailReader::extend`], whole blocks are
+//! committed to an internal buffer as they complete, and decode resumes *at a
+//! block boundary* (via [`TraceReader::seek_to_block`]) whenever the decoder
+//! had drained the committed prefix and new blocks have landed since.
+//!
+//! The contract that makes live merge equivalence provable:
+//!
+//! * **Chunking-invariant:** for any partition of a trace file's bytes into
+//!   chunks, the event sequence polled out of a `TailReader` is identical to
+//!   the batch reader's — chunk boundaries are invisible because only
+//!   complete units (the 30-byte header, then whole `20 + comp_len`-byte
+//!   blocks) are ever handed to the decoder.
+//! * **Never a false end:** [`TailReader::poll_event`] returns
+//!   [`TailPoll::Pending`] — not end-of-stream — when it runs out of
+//!   committed bytes before [`TailReader::finish`] is called.
+//! * **Truncation still surfaces:** after `finish`, leftover bytes that never
+//!   completed a block are a [`FormatError`], exactly as a truncated file is
+//!   for the batch reader.
+
+use crate::format::{FormatError, TraceReader, BLOCK_MAX};
+use crate::{PhyEvent, RadioMeta};
+use std::io::{self, Read, Seek, SeekFrom};
+use std::sync::{Arc, Mutex};
+
+/// Length of the fixed trace file header, bytes.
+const HEADER_LEN: usize = 30;
+/// Length of a block header (comp_len, raw_len, count, first_ts), bytes.
+const BLOCK_HEADER_LEN: usize = 20;
+
+/// A growable byte buffer shared between the committing side (the
+/// [`TailReader`], which appends) and the decoding side (the inner
+/// [`TraceReader`], which reads through a [`SharedBytes`] cursor).
+type SharedBuf = Arc<Mutex<Vec<u8>>>;
+
+/// A `Read + Seek` cursor over the shared grow-only buffer. Each cursor
+/// carries its own position; the underlying bytes are shared, so bytes
+/// committed by the tailer become visible to the decoder's cursor
+/// immediately.
+#[derive(Debug)]
+pub struct SharedBytes {
+    buf: SharedBuf,
+    pos: u64,
+}
+
+impl SharedBytes {
+    fn new(buf: SharedBuf) -> Self {
+        SharedBytes { buf, pos: 0 }
+    }
+
+    fn lock(buf: &SharedBuf) -> io::Result<std::sync::MutexGuard<'_, Vec<u8>>> {
+        buf.lock()
+            .map_err(|_| io::Error::other("shared trace buffer poisoned"))
+    }
+}
+
+impl Read for SharedBytes {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        let buf = Self::lock(&self.buf)?;
+        let start = self.pos.min(buf.len() as u64) as usize;
+        let n = out.len().min(buf.len() - start);
+        out[..n].copy_from_slice(&buf[start..start + n]);
+        self.pos = (start + n) as u64;
+        Ok(n)
+    }
+}
+
+impl Seek for SharedBytes {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        let len = Self::lock(&self.buf)?.len() as i64;
+        let target = match pos {
+            SeekFrom::Start(o) => o as i64,
+            SeekFrom::End(d) => len + d,
+            SeekFrom::Current(d) => self.pos as i64 + d,
+        };
+        if target < 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "seek before start of shared buffer",
+            ));
+        }
+        self.pos = target as u64;
+        Ok(self.pos)
+    }
+}
+
+/// One poll of a [`TailReader`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailPoll {
+    /// The next decoded event.
+    Event(PhyEvent),
+    /// No complete event is buffered yet, but the stream has not ended —
+    /// feed more bytes (or call [`TailReader::finish`]) and poll again.
+    Pending,
+    /// The stream ended cleanly: [`TailReader::finish`] was called and every
+    /// committed byte has been decoded.
+    End,
+}
+
+/// Incremental decoder for one radio's trace arriving as a byte stream.
+///
+/// Feed chunks with [`TailReader::extend`], then drain decoded events with
+/// [`TailReader::poll_event`] until it reports [`TailPoll::Pending`]. Call
+/// [`TailReader::finish`] once the producer is done; the final polls drain
+/// the remaining events and then report [`TailPoll::End`] (or a truncation
+/// error if a partial block was left behind).
+pub struct TailReader {
+    /// Whole committed units (header + complete blocks), visible to `reader`.
+    shared: SharedBuf,
+    /// Staging area for bytes that do not yet complete a unit.
+    pending: Vec<u8>,
+    /// The decoder, created once the 30-byte header has committed.
+    reader: Option<TraceReader<SharedBytes>>,
+    /// Total bytes committed to `shared`.
+    committed: u64,
+    /// Committed length at the decoder's last clean end-of-input.
+    consumed: u64,
+    /// True when the decoder has latched EOF at `consumed` and must be
+    /// re-seated with `seek_to_block` before it can see newer blocks.
+    drained: bool,
+    /// True once `finish` was called — no more bytes will arrive.
+    finished: bool,
+}
+
+impl TailReader {
+    /// Creates an empty tail reader; no bytes seen yet.
+    pub fn new() -> Self {
+        TailReader {
+            shared: Arc::new(Mutex::new(Vec::new())),
+            pending: Vec::new(),
+            reader: None,
+            committed: 0,
+            consumed: 0,
+            drained: false,
+            finished: false,
+        }
+    }
+
+    /// Appends a chunk of trace bytes. Chunks may split the header, block
+    /// headers, and block payloads at any byte position.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        debug_assert!(!self.finished, "extend after finish");
+        self.pending.extend_from_slice(bytes);
+    }
+
+    /// Declares the byte stream complete. Subsequent polls drain whatever
+    /// remains; leftover bytes that never completed a block surface as a
+    /// truncation error.
+    pub fn finish(&mut self) {
+        self.finished = true;
+    }
+
+    /// The radio metadata, once the header has been decoded.
+    pub fn meta(&self) -> Option<RadioMeta> {
+        self.reader.as_ref().map(|r| r.meta())
+    }
+
+    /// The snap length, once the header has been decoded.
+    pub fn snaplen(&self) -> Option<u32> {
+        self.reader.as_ref().map(|r| r.snaplen())
+    }
+
+    /// Bytes committed to the decoder so far (header plus whole blocks).
+    pub fn committed_bytes(&self) -> u64 {
+        self.committed
+    }
+
+    /// Bytes staged but not yet forming a complete unit.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Moves every complete unit from `pending` into the shared buffer.
+    fn commit(&mut self) -> Result<(), FormatError> {
+        if self.reader.is_none() {
+            if self.pending.len() < HEADER_LEN {
+                return Ok(());
+            }
+            {
+                let mut buf = SharedBytes::lock(&self.shared)?;
+                buf.extend_from_slice(&self.pending[..HEADER_LEN]);
+            }
+            self.pending.drain(..HEADER_LEN);
+            self.committed = HEADER_LEN as u64;
+            self.consumed = self.committed;
+            // Header validation happens in `open`; a bad magic or version
+            // surfaces here, on the first commit, not at the first poll.
+            self.reader = Some(TraceReader::open(SharedBytes::new(self.shared.clone()))?);
+        }
+        loop {
+            let Some(hdr) = self.pending.get(..BLOCK_HEADER_LEN) else {
+                return Ok(());
+            };
+            let comp_len = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as usize;
+            let raw_len = u32::from_le_bytes([hdr[4], hdr[5], hdr[6], hdr[7]]) as usize;
+            // Validate the sizes *before* waiting for the payload: a corrupt
+            // length must error now, not stall the tail forever waiting for
+            // gigabytes that will never arrive.
+            if comp_len > BLOCK_MAX || raw_len > BLOCK_MAX {
+                return Err(FormatError::BadRecord("block too large"));
+            }
+            let total = BLOCK_HEADER_LEN + comp_len;
+            let Some(block) = self.pending.get(..total) else {
+                return Ok(());
+            };
+            {
+                let mut buf = SharedBytes::lock(&self.shared)?;
+                buf.extend_from_slice(block);
+            }
+            self.pending.drain(..total);
+            self.committed += total as u64;
+        }
+    }
+
+    /// Decodes the next event from the committed bytes, if any.
+    pub fn poll_event(&mut self) -> Result<TailPoll, FormatError> {
+        self.commit()?;
+        let Some(reader) = self.reader.as_mut() else {
+            // Not even a full header yet.
+            if self.finished {
+                return Err(FormatError::BadRecord("truncated header"));
+            }
+            return Ok(TailPoll::Pending);
+        };
+        if self.drained {
+            if self.committed == self.consumed {
+                // Nothing new since the decoder drained.
+                return self.at_end();
+            }
+            // New blocks landed past the decoder's latched EOF: re-seat it at
+            // the boundary where it stopped and clear the latch.
+            reader.seek_to_block(self.consumed)?;
+            self.drained = false;
+        }
+        match reader.next_event()? {
+            Some(ev) => Ok(TailPoll::Event(ev)),
+            None => {
+                self.drained = true;
+                self.consumed = self.committed;
+                self.at_end()
+            }
+        }
+    }
+
+    /// The non-event outcome once the decoder has drained the committed
+    /// prefix: `Pending` while the stream is open, `End` after a clean
+    /// finish, truncation error after a finish with a partial unit staged.
+    fn at_end(&self) -> Result<TailPoll, FormatError> {
+        if !self.finished {
+            return Ok(TailPoll::Pending);
+        }
+        if self.pending.is_empty() {
+            Ok(TailPoll::End)
+        } else {
+            Err(FormatError::BadRecord("truncated block at end of stream"))
+        }
+    }
+}
+
+impl Default for TailReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceWriter;
+    use crate::{MonitorId, PhyStatus, RadioId};
+    use jigsaw_ieee80211::{Channel, PhyRate};
+
+    fn meta() -> RadioMeta {
+        RadioMeta {
+            radio: RadioId(9),
+            monitor: MonitorId(4),
+            channel: Channel::of(11),
+            anchor_wall_us: 500_000,
+            anchor_local_us: 42_000_000,
+        }
+    }
+
+    fn ev(ts: u64, body: &[u8]) -> PhyEvent {
+        PhyEvent {
+            radio: RadioId(9),
+            ts_local: ts,
+            channel: Channel::of(11),
+            rate: PhyRate::R54,
+            rssi_dbm: -48,
+            status: PhyStatus::Ok,
+            wire_len: body.len() as u32,
+            bytes: body.to_vec(),
+        }
+    }
+
+    /// A multi-block trace: small block target so chunk boundaries straddle
+    /// many block boundaries.
+    fn trace_bytes(n: u64, block_target: usize) -> (Vec<u8>, Vec<PhyEvent>) {
+        let events: Vec<PhyEvent> = (0..n).map(|i| ev(i * 17, &[i as u8; 60])).collect();
+        let mut w = TraceWriter::with_block_target(Vec::new(), meta(), 200, block_target).unwrap();
+        for e in &events {
+            w.append(e).unwrap();
+        }
+        let (buf, index, _) = w.finish().unwrap();
+        assert!(index.len() > 2, "want several blocks, got {}", index.len());
+        (buf, events)
+    }
+
+    /// Feeds `buf` in `chunk`-sized pieces, draining after every chunk, and
+    /// returns every decoded event plus how many `Pending` polls were seen.
+    fn tail_chunked(buf: &[u8], chunk: usize) -> (Vec<PhyEvent>, usize) {
+        let mut tail = TailReader::new();
+        let mut got = Vec::new();
+        let mut pendings = 0;
+        for piece in buf.chunks(chunk) {
+            tail.extend(piece);
+            loop {
+                match tail.poll_event().unwrap() {
+                    TailPoll::Event(e) => got.push(e),
+                    TailPoll::Pending => {
+                        pendings += 1;
+                        break;
+                    }
+                    TailPoll::End => unreachable!("End before finish"),
+                }
+            }
+        }
+        tail.finish();
+        loop {
+            match tail.poll_event().unwrap() {
+                TailPoll::Event(e) => got.push(e),
+                TailPoll::Pending => unreachable!("Pending after finish"),
+                TailPoll::End => break,
+            }
+        }
+        (got, pendings)
+    }
+
+    #[test]
+    fn whole_file_single_chunk() {
+        let (buf, events) = trace_bytes(800, 1024);
+        let (got, _) = tail_chunked(&buf, buf.len());
+        assert_eq!(got, events);
+    }
+
+    #[test]
+    fn one_byte_chunks() {
+        let (buf, events) = trace_bytes(200, 512);
+        let (got, pendings) = tail_chunked(&buf, 1);
+        assert_eq!(got, events);
+        // Nearly every 1-byte chunk leaves the decoder pending.
+        assert!(pendings > buf.len() / 2);
+    }
+
+    #[test]
+    fn block_straddling_chunks() {
+        let (buf, events) = trace_bytes(800, 1024);
+        // A spread of chunk sizes guaranteed to straddle 20-byte block
+        // headers and block payloads at odd offsets.
+        for chunk in [7, 29, 64, 1000, 4096] {
+            let (got, _) = tail_chunked(&buf, chunk);
+            assert_eq!(got, events, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn meta_available_after_header_commits() {
+        let (buf, _) = trace_bytes(50, 512);
+        let mut tail = TailReader::new();
+        tail.extend(&buf[..29]);
+        assert_eq!(tail.poll_event().unwrap(), TailPoll::Pending);
+        assert_eq!(tail.meta(), None);
+        tail.extend(&buf[29..30]);
+        assert_eq!(tail.poll_event().unwrap(), TailPoll::Pending);
+        assert_eq!(tail.meta(), Some(meta()));
+        assert_eq!(tail.snaplen(), Some(200));
+    }
+
+    #[test]
+    fn resumes_after_drain() {
+        // Drain to Pending mid-file, then feed the rest: the decoder must
+        // re-seat at the block boundary and continue (the seek_to_block
+        // resume path).
+        let (buf, events) = trace_bytes(400, 512);
+        let cut = buf.len() / 2;
+        let mut tail = TailReader::new();
+        let mut got = Vec::new();
+        tail.extend(&buf[..cut]);
+        loop {
+            match tail.poll_event().unwrap() {
+                TailPoll::Event(e) => got.push(e),
+                TailPoll::Pending => break,
+                TailPoll::End => unreachable!(),
+            }
+        }
+        assert!(!got.is_empty() && got.len() < events.len());
+        // Polling again while starved stays Pending (no false end).
+        assert_eq!(tail.poll_event().unwrap(), TailPoll::Pending);
+        tail.extend(&buf[cut..]);
+        tail.finish();
+        loop {
+            match tail.poll_event().unwrap() {
+                TailPoll::Event(e) => got.push(e),
+                TailPoll::Pending => unreachable!(),
+                TailPoll::End => break,
+            }
+        }
+        assert_eq!(got, events);
+    }
+
+    #[test]
+    fn truncated_tail_is_error() {
+        let (buf, _) = trace_bytes(400, 512);
+        let mut tail = TailReader::new();
+        tail.extend(&buf[..buf.len() - 3]);
+        let mut polls = 0;
+        loop {
+            match tail.poll_event().unwrap() {
+                TailPoll::Event(_) => polls += 1,
+                TailPoll::Pending => break,
+                TailPoll::End => unreachable!(),
+            }
+        }
+        assert!(polls > 0);
+        tail.finish();
+        // Drain the committed remainder, then hit the truncation error.
+        let err = loop {
+            match tail.poll_event() {
+                Ok(TailPoll::Event(_)) => {}
+                Ok(other) => panic!("expected truncation error, got {other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, FormatError::BadRecord(_)), "{err:?}");
+    }
+
+    #[test]
+    fn truncated_header_is_error() {
+        let (buf, _) = trace_bytes(200, 512);
+        let mut tail = TailReader::new();
+        tail.extend(&buf[..12]);
+        assert_eq!(tail.poll_event().unwrap(), TailPoll::Pending);
+        tail.finish();
+        assert!(matches!(
+            tail.poll_event(),
+            Err(FormatError::BadRecord("truncated header"))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_surfaces_at_commit() {
+        let (mut buf, _) = trace_bytes(200, 512);
+        buf[0] = b'X';
+        let mut tail = TailReader::new();
+        tail.extend(&buf);
+        assert!(matches!(tail.poll_event(), Err(FormatError::BadHeader)));
+    }
+
+    #[test]
+    fn oversized_block_length_errors_before_buffering() {
+        let (buf, _) = trace_bytes(200, 512);
+        let mut tail = TailReader::new();
+        tail.extend(&buf[..30]);
+        // A block header claiming a multi-gigabyte payload must fail now,
+        // not wait for bytes that will never come.
+        let mut bad = [0u8; 20];
+        bad[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        tail.extend(&bad);
+        assert!(matches!(
+            tail.poll_event(),
+            Err(FormatError::BadRecord("block too large"))
+        ));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        // Header only, zero blocks: a valid (if dull) live stream.
+        let w = TraceWriter::create(Vec::new(), meta(), 200).unwrap();
+        let (buf, _, total) = w.finish().unwrap();
+        assert_eq!(total, 0);
+        let (got, _) = tail_chunked(&buf, 5);
+        assert!(got.is_empty());
+    }
+}
