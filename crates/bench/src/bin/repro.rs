@@ -1283,10 +1283,11 @@ fn run_tail(args: &Args) {
         "tailed {events_in} events -> {jframes} jframes, {exchanges} exchanges, {flows} flows in {elapsed:.1?} ({driver}, peak buffered {peak} events)"
     );
     if let Some(rep) = &live_report {
+        let lag_q = rep.lag.quantiles(&[0.5, 0.99]);
         println!(
             "emission lag p50 {} µs  p99 {} µs  max {} µs (trace time behind the safe horizon)",
-            rep.lag_quantile(0.5),
-            rep.lag_quantile(0.99),
+            lag_q[0],
+            lag_q[1],
             rep.lag_max(),
         );
         for (k, s) in rep.sources.iter().enumerate() {
@@ -1683,6 +1684,7 @@ fn run_bench_live(args: &Args) {
     );
     assert!(digest.count() > 0, "live merge produced no jframes");
 
+    let lag_q = report.lag.quantiles(&[0.5, 0.99]);
     let bench = jigsaw_bench::LiveBench {
         scenario: "paper_day".into(),
         seed: args.seed,
@@ -1694,8 +1696,8 @@ fn run_bench_live(args: &Args) {
         chunk_bytes: chunk,
         record_s,
         merge_s,
-        lag_p50_us: report.lag_quantile(0.5),
-        lag_p99_us: report.lag_quantile(0.99),
+        lag_p50_us: lag_q[0],
+        lag_p99_us: lag_q[1],
         lag_max_us: report.lag_max(),
         peak_buffered_events: report.merge.peak_buffered,
         digest: digest.hex(),

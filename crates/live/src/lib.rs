@@ -26,10 +26,14 @@
 //!    it does so through the [`LiveClock`] trait ([`SystemClock`] in
 //!    production, [`ManualClock`] in tests) — everything *emitted* remains
 //!    a pure function of the trace bytes.
-//! 3. **Re-admission** — a lagging radio that catches up rejoins the
-//!    horizon. Catch-up events that fall below what has already been
-//!    emitted are counted (`late_dropped`) and discarded; emission order is
-//!    never violated.
+//! 3. **Re-admission** — a lagging radio rejoins the horizon only once a
+//!    poll round delivers events that survive the horizon filter *and*
+//!    reach the current safe horizon. Until then it stays lagging: catch-up
+//!    events below what has already been emitted are counted
+//!    (`late_dropped`) and discarded, and its stale watermark stays out of
+//!    the horizon minimum — a deep backlog drains under the filter round by
+//!    round, a permanently-behind radio cannot freeze the horizon, and
+//!    emission order is never violated.
 //! 4. **Re-anchoring** — every [`LiveConfig::reanchor_interval_us`] of
 //!    horizon progress, the offset bootstrap re-runs over each radio's
 //!    recent events and re-anchors clocks that drifted past
@@ -62,6 +66,10 @@
 //!
 //! let mut lm = LiveMerger::new(LiveConfig::default(), SystemClock::new());
 //! for name in ["r000.jigt", "r001.jigt"] {
+//!     // `open` replays a finished recording (EOF = end); for files still
+//!     // being written, use `ChunkedFileTail::follow` (EOF = live edge),
+//!     // drive with `LiveMerger::step`, and `stop()` the tails via
+//!     // `LiveMerger::sources_mut` once the writers exit.
 //!     lm.add_source(ChunkedFileTail::open(Path::new(name), 64 * 1024)?);
 //! }
 //! let report = lm.run(|jframe| {
@@ -77,5 +85,7 @@ pub mod merger;
 pub mod source;
 
 pub use clock::{LiveClock, ManualClock, SystemClock};
-pub use merger::{LiveConfig, LiveError, LiveMerger, LiveReport, SourceReport, SourceStatus};
+pub use merger::{
+    LagStats, LiveConfig, LiveError, LiveMerger, LiveReport, SourceReport, SourceStatus,
+};
 pub use source::{ChannelSource, ChunkedFileTail, LiveSender, LiveSource, SourcePoll, TailStream};

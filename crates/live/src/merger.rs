@@ -13,10 +13,14 @@
 //! * a radio that delivers nothing for [`LiveConfig::max_lag_us`] of
 //!   *wall-clock* time (the one decision real time is consulted for — via
 //!   [`LiveClock`]) is declared **lagging**: it stops holding the safe
-//!   horizon back, but its channel stays open so it can catch up. Events it
-//!   delivers after catching up are re-admitted unless they fall below the
-//!   already-emitted horizon, in which case they are counted as
-//!   `late_dropped` and discarded — emission order is never violated.
+//!   horizon back, but its channel stays open so it can catch up. While it
+//!   lags, every batch it delivers is filtered against the already-emitted
+//!   horizon (events below it are counted as `late_dropped` and discarded)
+//!   and its watermark stays out of the safe-horizon minimum; it flips back
+//!   to live only once a poll round retains events *and* its newest event
+//!   reaches the safe horizon. A deep backlog therefore drains under the
+//!   filter round by round, and a permanently-behind radio stays lagging
+//!   instead of freezing the horizon — emission order is never violated.
 //!
 //! When nothing lags and no re-anchor fires, the emitted jframe sequence is
 //! **byte-identical** (count, order, [`JFrame::stable_digest`]) to a batch
@@ -37,6 +41,10 @@ use std::collections::VecDeque;
 
 /// Recent events retained per radio for re-anchor bootstraps.
 const REANCHOR_RING: usize = 512;
+
+/// Lag samples retained for quantile estimation. Exact below this; past it,
+/// reservoir sampling keeps a uniform subset at constant memory.
+const LAG_RESERVOIR: usize = 4096;
 
 /// Live-merge configuration.
 #[derive(Debug, Clone)]
@@ -146,27 +154,106 @@ pub struct LiveReport {
     pub reanchors: u64,
     /// Re-anchors rejected by the `2×search_window` shift clamp.
     pub reanchors_skipped: u64,
-    /// Emission lag of every jframe: safe horizon minus jframe timestamp
-    /// at the moment it left the merger (µs).
-    pub lag_samples: Vec<Micros>,
+    /// Emission-lag statistics: safe horizon minus jframe timestamp at the
+    /// moment each jframe left the merger (µs).
+    pub lag: LagStats,
 }
 
 impl LiveReport {
     /// The `q`-quantile of emission lag (`0.5` = p50, `0.99` = p99); 0 when
-    /// nothing was emitted.
+    /// nothing was emitted. For several quantiles at once, use
+    /// [`LagStats::quantiles`] on [`LiveReport::lag`] — it sorts only once.
     pub fn lag_quantile(&self, q: f64) -> Micros {
-        if self.lag_samples.is_empty() {
-            return 0;
-        }
-        let mut s = self.lag_samples.clone();
-        s.sort_unstable();
-        let idx = ((s.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        s[idx.min(s.len() - 1)]
+        self.lag.quantile(q)
     }
 
-    /// Worst-case emission lag (µs).
+    /// Worst-case emission lag (µs). Always exact, even past the reservoir.
     pub fn lag_max(&self) -> Micros {
-        self.lag_samples.iter().copied().max().unwrap_or(0)
+        self.lag.max()
+    }
+}
+
+/// Bounded emission-lag accumulator for the always-on service.
+///
+/// Holds at most `LAG_RESERVOIR` (4096) samples: quantiles are exact until
+/// the reservoir fills, then classic Algorithm-R reservoir sampling (driven by a
+/// fixed-seed SplitMix64 step — no wall-clock entropy, so the statistics
+/// stay a pure function of the emitted stream) keeps a uniform subset at
+/// constant memory. Count and max are always exact.
+#[derive(Debug, Clone)]
+pub struct LagStats {
+    samples: Vec<Micros>,
+    count: u64,
+    max: Micros,
+    rng: u64,
+}
+
+impl LagStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        LagStats {
+            samples: Vec::new(),
+            count: 0,
+            max: 0,
+            rng: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn push(&mut self, lag: Micros) {
+        self.count += 1;
+        self.max = self.max.max(lag);
+        if self.samples.len() < LAG_RESERVOIR {
+            self.samples.push(lag);
+            return;
+        }
+        // Algorithm R: the n-th sample replaces a reservoir slot with
+        // probability reservoir/n, keeping the subset uniform.
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let slot = (z % self.count) as usize;
+        if let Some(s) = self.samples.get_mut(slot) {
+            *s = lag;
+        }
+    }
+
+    /// Total jframes observed (not capped by the reservoir).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Worst-case lag (µs); 0 when nothing was emitted.
+    pub fn max(&self) -> Micros {
+        self.max
+    }
+
+    /// The requested quantiles (`0.5` = p50), from a single sort of the
+    /// reservoir; all zeros when nothing was emitted.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<Micros> {
+        if self.samples.is_empty() {
+            return vec![0; qs.len()];
+        }
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        qs.iter()
+            .map(|&q| {
+                let idx = ((s.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+                s[idx.min(s.len() - 1)]
+            })
+            .collect()
+    }
+
+    /// One quantile; see [`LagStats::quantiles`].
+    pub fn quantile(&self, q: f64) -> Micros {
+        self.quantiles(&[q])[0]
+    }
+}
+
+impl Default for LagStats {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -237,7 +324,7 @@ pub struct LiveMerger<S, C> {
     next_reanchor: Option<Micros>,
     reanchors: u64,
     reanchors_skipped: u64,
-    lag_samples: Vec<Micros>,
+    lag: LagStats,
     components: usize,
     coarse_radios: usize,
 }
@@ -254,7 +341,7 @@ impl<S: LiveSource, C: LiveClock> LiveMerger<S, C> {
             next_reanchor: None,
             reanchors: 0,
             reanchors_skipped: 0,
-            lag_samples: Vec::new(),
+            lag: LagStats::new(),
             components: 0,
             coarse_radios: 0,
         }
@@ -280,10 +367,26 @@ impl<S: LiveSource, C: LiveClock> LiveMerger<S, C> {
         self.merger.is_some()
     }
 
+    /// Mutable access to the registered sources, in `add_source` order —
+    /// e.g. to [`crate::ChunkedFileTail::stop`] follow-mode tails once the
+    /// capture processes exit, so [`LiveMerger::run`] can terminate.
+    pub fn sources_mut(&mut self) -> impl Iterator<Item = &mut S> {
+        self.sources.iter_mut().map(|s| &mut s.src)
+    }
+
     /// The current safe horizon (universal µs): everything older than
     /// `safe − 2×search_window` has been emitted.
     pub fn safe_horizon(&self) -> Micros {
         self.last_safe
+    }
+
+    /// Where source `k` (in `add_source` order) currently stands in the
+    /// liveness state machine — service observability and test hook.
+    ///
+    /// # Panics
+    /// Panics if `k` is not a registered source index.
+    pub fn source_status(&self, k: usize) -> SourceStatus {
+        self.sources[k].status
     }
 
     /// One poll-feed-advance round. Returns `true` while any source is
@@ -330,9 +433,9 @@ impl<S: LiveSource, C: LiveClock> LiveMerger<S, C> {
             }
         }
         let last_safe = self.last_safe;
-        let lag_samples = &mut self.lag_samples;
+        let lag = &mut self.lag;
         let merge = merger.finish_live(|jf| {
-            lag_samples.push(last_safe.saturating_sub(jf.ts));
+            lag.push(last_safe.saturating_sub(jf.ts));
             sink(jf);
         })?;
         Ok(LiveReport {
@@ -352,7 +455,7 @@ impl<S: LiveSource, C: LiveClock> LiveMerger<S, C> {
             coarse_radios: self.coarse_radios,
             reanchors: self.reanchors,
             reanchors_skipped: self.reanchors_skipped,
-            lag_samples: std::mem::take(&mut self.lag_samples),
+            lag: std::mem::take(&mut self.lag),
         })
     }
 
@@ -500,29 +603,39 @@ impl<S: LiveSource, C: LiveClock> LiveMerger<S, C> {
             }
             if !batch.is_empty() {
                 s.events += batch.len() as u64;
+                s.last_progress = now;
+                let newest = batch.last().expect("checked non-empty").ts_local;
                 if s.status == SourceStatus::Lagging {
-                    // Re-admission: the horizon moved on without this
-                    // radio. Anything below what has already been emitted
-                    // is unusable — count and drop it; the rest joins.
+                    // Catch-up: the horizon moved on without this radio.
+                    // Anything below what has already been emitted is
+                    // unusable — count and drop it. The radio stays lagging
+                    // (filter still applied, watermark still excluded from
+                    // the safe horizon) until a round both retains events
+                    // and reaches the horizon itself; flipping earlier
+                    // would feed later stale batches unfiltered and let a
+                    // stale watermark freeze the horizon.
                     let cutoff = self
                         .last_safe
                         .saturating_sub(self.cfg.merge.search_window_us);
                     let before = batch.len();
                     batch.retain(|ev| merger.universal_of(r, ev.ts_local) >= cutoff);
                     s.late_dropped += (before - batch.len()) as u64;
-                    s.status = SourceStatus::Live;
+                    if !batch.is_empty() && merger.universal_of(r, newest) >= self.last_safe {
+                        s.status = SourceStatus::Live;
+                    }
                 }
-                s.last_progress = now;
-                if let Some(ev) = batch.last() {
-                    s.last_ts = Some(ev.ts_local);
-                }
+                // Even a fully dropped batch advances the watermark —
+                // delivery is time-ordered, so nothing older than `newest`
+                // can still arrive — but a lagging watermark never joins
+                // the safe-horizon minimum.
+                s.last_ts = Some(newest);
                 for ev in &batch {
                     s.remember(ev);
                 }
-                merger.feed(r, batch)?;
-                if let Some(ts) = s.last_ts {
-                    s.watermark = merger.universal_of(r, ts);
+                if !batch.is_empty() {
+                    merger.feed(r, batch)?;
                 }
+                s.watermark = merger.universal_of(r, newest);
             } else if s.status == SourceStatus::Live
                 && !ended
                 && now.saturating_sub(s.last_progress) > self.cfg.max_lag_us
@@ -549,9 +662,9 @@ impl<S: LiveSource, C: LiveClock> LiveMerger<S, C> {
             .map_or(self.last_safe, |m| m.max(self.last_safe));
         self.maybe_reanchor(safe);
         let merger = self.merger.as_mut().expect("stream_step after transition");
-        let lag_samples = &mut self.lag_samples;
+        let lag = &mut self.lag;
         merger.advance(safe, &mut |jf| {
-            lag_samples.push(safe.saturating_sub(jf.ts));
+            lag.push(safe.saturating_sub(jf.ts));
             sink(jf);
         })?;
         self.last_safe = safe;
@@ -862,6 +975,188 @@ mod tests {
         }
     }
 
+    /// The failure mode the one-batch catch-up test cannot see: a backlog
+    /// much larger than `poll_budget` drains over many poll rounds, and the
+    /// first rounds fall *entirely* below the emitted horizon. The radio
+    /// must stay `Lagging` through those rounds (filter applied, watermark
+    /// excluded) and flip back to live only once a retained round reaches
+    /// the safe horizon — flipping early fed later stale batches unfiltered
+    /// (out-of-order emission) with a stale watermark rejoining the horizon
+    /// minimum.
+    #[test]
+    fn deep_backlog_drains_under_filter_before_readmission() {
+        let (a, b) = shared_events(120, 3);
+        let cfg = LiveConfig {
+            max_lag_us: 1_000_000,
+            poll_budget: 8,
+            ..LiveConfig::default()
+        };
+        let clock = ManualClock::new();
+        let mut lm = LiveMerger::new(cfg, clock.clone());
+        let (tx0, s0) = ChannelSource::new(meta(0));
+        let (tx1, s1) = ChannelSource::new(meta(1));
+        lm.add_source(s0);
+        lm.add_source(s1);
+
+        let half = 60usize;
+        for e in &a[..half] {
+            tx0.send(e.clone());
+        }
+        for e in &b[..half] {
+            tx1.send(e.clone());
+        }
+        let mut out = Vec::new();
+        drive_to_streaming(&mut lm, &mut out);
+        for _ in 0..40 {
+            lm.step(&mut |jf| out.push(jf)).unwrap();
+        }
+        // Radio 1 goes silent; radio 0 runs far ahead.
+        for e in &a[half..110] {
+            tx0.send(e.clone());
+        }
+        for _ in 0..20 {
+            lm.step(&mut |jf| out.push(jf)).unwrap();
+        }
+        // Past max_lag_us, with radio 0 still delivering: radio 1 lags.
+        clock.advance(1_500_000);
+        for e in &a[110..] {
+            tx0.send(e.clone());
+        }
+        for _ in 0..10 {
+            lm.step(&mut |jf| out.push(jf)).unwrap();
+        }
+        assert_eq!(lm.source_status(1), SourceStatus::Lagging);
+        let horizon_hi = lm.safe_horizon();
+        assert!(horizon_hi > 0);
+
+        // The whole backlog arrives at once, but poll_budget = 8 means the
+        // first catch-up round is b[60..68] — hours below the horizon in
+        // trace time. It must be fully dropped WITHOUT flipping the radio
+        // live, and the horizon must not move backwards.
+        for e in &b[half..] {
+            tx1.send(e.clone());
+        }
+        lm.step(&mut |jf| out.push(jf)).unwrap();
+        assert_eq!(
+            lm.source_status(1),
+            SourceStatus::Lagging,
+            "a fully dropped catch-up round must not re-admit the radio"
+        );
+        assert!(lm.safe_horizon() >= horizon_hi);
+        // Drain the rest of the backlog; the radio stays lagging as long
+        // as its rounds trail the horizon.
+        for _ in 0..25 {
+            lm.step(&mut |jf| out.push(jf)).unwrap();
+        }
+        // Fresh events past the horizon: now a retained round reaches the
+        // safe horizon and the radio rejoins live.
+        for k in 0..4u64 {
+            tx1.send(ev(1, 6_200_000 + k * 10_000, frame_bytes(200 + k as u16)));
+        }
+        lm.step(&mut |jf| out.push(jf)).unwrap();
+        assert_eq!(
+            lm.source_status(1),
+            SourceStatus::Live,
+            "a caught-up radio must be re-admitted"
+        );
+
+        drop(tx0);
+        drop(tx1);
+        while lm.step(&mut |jf| out.push(jf)).unwrap() {}
+        let report = lm.finish(|jf| out.push(jf)).unwrap();
+        assert!(report.sources[1].lagged);
+        assert!(report.sources[1].late_dropped > 0);
+        // The documented guarantee the premature flip used to violate.
+        for w in out.windows(2) {
+            assert!(w[0].ts <= w[1].ts, "emission must stay time-ordered");
+        }
+    }
+
+    /// A radio that keeps delivering but permanently trails the horizon
+    /// must stay `Lagging` — were it re-admitted, its stale watermark would
+    /// rejoin the safe-horizon minimum and freeze the horizon forever
+    /// (unbounded lag) while its steady progress kept it from ever being
+    /// re-declared lagging.
+    #[test]
+    fn permanently_behind_radio_does_not_freeze_horizon() {
+        let (a, b) = shared_events(200, 3);
+        let cfg = LiveConfig {
+            max_lag_us: 1_000_000,
+            poll_budget: 8,
+            ..LiveConfig::default()
+        };
+        let clock = ManualClock::new();
+        let mut lm = LiveMerger::new(cfg, clock.clone());
+        let (tx0, s0) = ChannelSource::new(meta(0));
+        let (tx1, s1) = ChannelSource::new(meta(1));
+        lm.add_source(s0);
+        lm.add_source(s1);
+        for e in &a[..30] {
+            tx0.send(e.clone());
+        }
+        for e in &b[..30] {
+            tx1.send(e.clone());
+        }
+        let mut out = Vec::new();
+        drive_to_streaming(&mut lm, &mut out);
+        for _ in 0..20 {
+            lm.step(&mut |jf| out.push(jf)).unwrap();
+        }
+        // Radio 1 stalls; radio 0 pulls 70 events (3.5 s of trace) ahead.
+        for e in &a[30..100] {
+            tx0.send(e.clone());
+        }
+        for _ in 0..15 {
+            lm.step(&mut |jf| out.push(jf)).unwrap();
+        }
+        clock.advance(1_500_000);
+        for e in &a[100..102] {
+            tx0.send(e.clone());
+        }
+        lm.step(&mut |jf| out.push(jf)).unwrap();
+        assert_eq!(lm.source_status(1), SourceStatus::Lagging);
+
+        // From here on, BOTH radios deliver two events per step, but radio
+        // 1 replays its backlog and stays ~70 events behind forever. The
+        // horizon must keep tracking radio 0, not freeze at radio 1's
+        // stale watermark.
+        let mut k0 = 102usize;
+        let mut k1 = 30usize;
+        let mut last_horizon = lm.safe_horizon();
+        let mut advanced = 0usize;
+        while k0 < 200 {
+            tx0.send(a[k0].clone());
+            tx0.send(a[k0 + 1].clone());
+            tx1.send(b[k1].clone());
+            tx1.send(b[k1 + 1].clone());
+            k0 += 2;
+            k1 += 2;
+            lm.step(&mut |jf| out.push(jf)).unwrap();
+            assert_eq!(
+                lm.source_status(1),
+                SourceStatus::Lagging,
+                "a permanently-behind radio must stay lagging"
+            );
+            if lm.safe_horizon() > last_horizon {
+                advanced += 1;
+            }
+            last_horizon = lm.safe_horizon();
+        }
+        assert!(
+            advanced >= 40,
+            "horizon must keep advancing past a permanently-behind radio (advanced {advanced} times)"
+        );
+        drop(tx0);
+        drop(tx1);
+        while lm.step(&mut |jf| out.push(jf)).unwrap() {}
+        let report = lm.finish(|jf| out.push(jf)).unwrap();
+        assert!(report.sources[1].lagged);
+        assert!(report.sources[1].late_dropped > 0);
+        for w in out.windows(2) {
+            assert!(w[0].ts <= w[1].ts, "emission must stay time-ordered");
+        }
+    }
+
     /// Runs two radios where radio 1's clock skews 1500 ppm fast, with
     /// continuous resync disabled, under the given re-anchor settings.
     fn run_skewed(reanchor_interval_us: Micros) -> LiveReport {
@@ -920,6 +1215,28 @@ mod tests {
             with.merge.instances_unified,
             without.merge.instances_unified
         );
+    }
+
+    #[test]
+    fn lag_stats_bounded_and_exact_below_reservoir() {
+        let mut st = LagStats::new();
+        for lag in 0..100u64 {
+            st.push(lag);
+        }
+        assert_eq!(st.count(), 100);
+        assert_eq!(st.max(), 99);
+        // Exact while below the reservoir bound; one sort serves them all.
+        assert_eq!(st.quantiles(&[0.0, 0.5, 1.0]), vec![0, 50, 99]);
+        // Past the bound: memory stays constant, count/max stay exact, and
+        // quantiles stay in-range estimates.
+        for lag in 100..3 * LAG_RESERVOIR as u64 {
+            st.push(lag);
+        }
+        assert_eq!(st.count(), 3 * LAG_RESERVOIR as u64);
+        assert_eq!(st.max(), 3 * LAG_RESERVOIR as u64 - 1);
+        assert_eq!(st.samples.len(), LAG_RESERVOIR);
+        let p50 = st.quantile(0.5);
+        assert!(p50 > 0 && p50 < st.max());
     }
 
     #[test]

@@ -10,9 +10,15 @@
 //!
 //! * [`ChunkedFileTail`] — tails a jigdump-format trace file in
 //!   fixed-size chunks through [`jigsaw_trace::tail::TailReader`],
-//!   resuming decode at block boundaries. Feeding a *recorded* corpus file
-//!   through it simulates liveness: the byte stream is identical to what a
-//!   growing file would deliver, for any chunk size.
+//!   resuming decode at block boundaries. Two modes: **replay**
+//!   ([`ChunkedFileTail::open`]) treats EOF as the end of a finished
+//!   recording — feeding a recorded corpus file through it simulates
+//!   liveness, since the byte stream is identical to what a growing file
+//!   would deliver, for any chunk size; **follow**
+//!   ([`ChunkedFileTail::follow`]) treats EOF as the live edge of a file
+//!   *still being written* — it reports [`SourcePoll::Pending`] and picks
+//!   up appended bytes on later polls, ending only after
+//!   [`ChunkedFileTail::stop`] declares the writer done.
 //! * [`ChannelSource`] — an in-process channel, for radios whose capture
 //!   process lives in the same address space (and for tests that need to
 //!   stall, kill, or revive a radio at will).
@@ -54,27 +60,63 @@ pub trait LiveSource {
 /// Tails a trace file in `chunk_bytes`-sized reads.
 ///
 /// Each poll decodes from bytes already committed; when starved it reads
-/// further chunks until an event decodes or the file ends, so over a
-/// *finished* file it never reports [`SourcePoll::Pending`] — every chunk
-/// boundary still exercises the tail reader's partial-block staging and
-/// block-boundary resume, which is what makes the chunking-invariance
-/// contract meaningful.
+/// further chunks until an event decodes or the read hits the end of the
+/// file. What EOF *means* depends on the mode:
+///
+/// * **replay** ([`ChunkedFileTail::open`]) — the file is a finished
+///   recording; EOF ends the stream (a partial trailing block is the
+///   truncation error it would be for the batch reader). Over a finished
+///   file a replay tail never reports [`SourcePoll::Pending`], yet every
+///   chunk boundary still exercises the tail reader's partial-block
+///   staging and block-boundary resume — which is what makes the
+///   chunking-invariance contract meaningful.
+/// * **follow** ([`ChunkedFileTail::follow`]) — the file is still being
+///   written; EOF is the live edge, reported as [`SourcePoll::Pending`],
+///   and later polls read whatever the writer appended since (a writer
+///   caught mid-block just leaves the tail pending, never a truncation
+///   error). The stream can only end after [`ChunkedFileTail::stop`]
+///   declares the writer done.
 pub struct ChunkedFileTail {
     file: File,
     tail: TailReader,
     buf: Vec<u8>,
+    /// Follow mode: EOF is the live edge, not the end of the stream.
+    follow: bool,
     file_done: bool,
 }
 
 impl ChunkedFileTail {
-    /// Opens `path` for tailing with the given chunk size (clamped to ≥ 1).
+    /// Opens `path` in replay mode — a finished recording, EOF is the end —
+    /// with the given chunk size (clamped to ≥ 1).
     pub fn open(path: &Path, chunk_bytes: usize) -> Result<Self, FormatError> {
         Ok(ChunkedFileTail {
             file: File::open(path)?,
             tail: TailReader::new(),
             buf: vec![0u8; chunk_bytes.max(1)],
+            follow: false,
             file_done: false,
         })
+    }
+
+    /// Opens `path` in follow mode — the file is still being written, EOF
+    /// is the live edge ([`SourcePoll::Pending`]) — with the given chunk
+    /// size (clamped to ≥ 1). Call [`ChunkedFileTail::stop`] once the
+    /// writer is done, or the tail pends at the live edge forever.
+    pub fn follow(path: &Path, chunk_bytes: usize) -> Result<Self, FormatError> {
+        Ok(ChunkedFileTail {
+            file: File::open(path)?,
+            tail: TailReader::new(),
+            buf: vec![0u8; chunk_bytes.max(1)],
+            follow: true,
+            file_done: false,
+        })
+    }
+
+    /// Declares the writer done: the tail drops back to replay mode, drains
+    /// the remaining bytes, and the next EOF ends the stream (surfacing a
+    /// partial trailing block as a truncation error). No-op in replay mode.
+    pub fn stop(&mut self) {
+        self.follow = false;
     }
 
     /// Bytes committed to the decoder so far.
@@ -97,6 +139,12 @@ impl LiveSource for ChunkedFileTail {
                     debug_assert!(!self.file_done, "Pending after finish");
                     let n = self.file.read(&mut self.buf)?;
                     if n == 0 {
+                        if self.follow {
+                            // The live edge: the writer may append more, so
+                            // this is starvation, not the end — the next
+                            // poll re-reads past the current EOF.
+                            return Ok(SourcePoll::Pending);
+                        }
                         self.file_done = true;
                         self.tail.finish();
                     } else {
@@ -279,6 +327,61 @@ mod tests {
             assert_eq!(got, events, "chunk={chunk}");
             assert_eq!(t.meta(), Some(meta()));
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A follow-mode tail over a file that is still being written: EOF is
+    /// the live edge (Pending, even mid-block), later appends are picked
+    /// up, and only `stop()` lets the stream end.
+    #[test]
+    fn follow_mode_sees_later_appends() {
+        use std::io::Write;
+        let events: Vec<PhyEvent> = (0..300u64).map(|i| ev(1_000 + i * 40, i as u8)).collect();
+        let mut w = TraceWriter::with_block_target(Vec::new(), meta(), 200, 256).unwrap();
+        for e in &events {
+            w.append(e).unwrap();
+        }
+        let (buf, _, _) = w.finish().unwrap();
+        let dir = tmpdir("follow");
+        let path = dir.join("r003.jigt");
+        // The writer has landed the first third — cut at an arbitrary byte
+        // offset, so the tail likely catches it mid-block.
+        let (cut1, cut2) = (buf.len() / 3, 2 * buf.len() / 3);
+        std::fs::write(&path, &buf[..cut1]).unwrap();
+
+        let mut t = ChunkedFileTail::follow(&path, 37).unwrap();
+        let mut got = Vec::new();
+        let drain = |t: &mut ChunkedFileTail, got: &mut Vec<PhyEvent>| loop {
+            match t.poll().unwrap() {
+                SourcePoll::Event(e) => got.push(e),
+                SourcePoll::Pending => break false,
+                SourcePoll::End => break true,
+            }
+        };
+        assert!(!drain(&mut t, &mut got), "live edge must pend, not end");
+        assert!(!got.is_empty() && got.len() < events.len());
+        // Still pending on re-poll; no truncation error for the partial
+        // block the writer was caught in the middle of.
+        assert_eq!(t.poll().unwrap(), SourcePoll::Pending);
+
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&buf[cut1..cut2]).unwrap();
+        drop(f);
+        assert!(!drain(&mut t, &mut got), "still growing: pend again");
+        assert!(got.len() < events.len());
+
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&buf[cut2..]).unwrap();
+        drop(f);
+        t.stop();
+        assert!(drain(&mut t, &mut got), "stopped writer: stream ends");
+        assert_eq!(got, events);
         std::fs::remove_dir_all(&dir).ok();
     }
 

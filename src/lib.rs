@@ -130,26 +130,37 @@
 //! ```
 //!
 //! The corpus need not even be finished: the **live tail driver** merges
-//! traces as they grow. Each radio file is tailed in arbitrary-size
-//! chunks, the always-on merger emits jframes continuously under the
-//! bounded-lag contract, and the emitted stream is byte-identical to a
-//! batch merge of the same events — for every chunking (the CLI spelling
-//! is `repro tail --corpus <dir> [--chunk-bytes N] [--verify]`, and CI
-//! pins the equivalence at several chunk sizes on both drivers):
+//! traces while they are still being written. Each radio file is tailed in
+//! arbitrary-size chunks — `ChunkedFileTail::follow` treats EOF as the live
+//! edge, picking up the writer's appends on later polls ( `open` is the
+//! replay mode for finished recordings, where EOF is the end) — and the
+//! always-on merger emits jframes continuously under the bounded-lag
+//! contract. The emitted stream is byte-identical to a batch merge of the
+//! same events — for every chunking (the CLI spelling is `repro tail
+//! --corpus <dir> [--chunk-bytes N] [--verify]`, and CI pins the
+//! equivalence at several chunk sizes on both drivers):
 //!
 //! ```no_run
 //! use jigsaw::live::{ChunkedFileTail, LiveConfig, LiveMerger, SystemClock};
 //!
+//! # fn capture_is_over() -> bool { true }
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut lm = LiveMerger::new(LiveConfig::default(), SystemClock::new());
 //! for name in ["r000.jigt", "r001.jigt"] {
-//!     lm.add_source(ChunkedFileTail::open(std::path::Path::new(name), 64 * 1024)?);
+//!     lm.add_source(ChunkedFileTail::follow(std::path::Path::new(name), 64 * 1024)?);
 //! }
-//! let report = lm.run(|jframe| {
+//! let mut on_jframe = |jframe: jigsaw::core::JFrame| {
 //!     // Arrives in timestamp order, no later than 2×search_window
 //!     // behind the slowest live radio.
 //!     let _ = jframe.ts;
-//! })?;
+//! };
+//! while lm.step(&mut on_jframe)? {
+//!     if capture_is_over() {
+//!         // Writers are done: let the tails drain to their real end.
+//!         lm.sources_mut().for_each(ChunkedFileTail::stop);
+//!     }
+//! }
+//! let report = lm.finish(on_jframe)?;
 //! println!("p99 emission lag: {} µs", report.lag_quantile(0.99));
 //! # Ok(())
 //! # }
