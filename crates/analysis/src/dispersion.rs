@@ -152,11 +152,11 @@ mod tests {
         let mut d = DispersionAnalysis::new();
         let jf = JFrame {
             ts: 0,
-            bytes: vec![],
+            bytes: Default::default(),
             wire_len: 0,
             rate: jigsaw_ieee80211::PhyRate::R1,
             channel: jigsaw_ieee80211::Channel::of(1),
-            instances: vec![],
+            instances: Default::default(),
             dispersion: 0,
             valid: false,
             unique: false,

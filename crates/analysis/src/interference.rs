@@ -304,7 +304,7 @@ mod tests {
             },
             inferred_data: false,
             wire_len: 500,
-            bytes: vec![],
+            bytes: Default::default(),
             data_valid: false,
             instance_count: 1,
         }

@@ -340,11 +340,11 @@ mod tests {
             let wire_len = bytes.len() as u32;
             JFrame {
                 ts,
-                bytes,
+                bytes: bytes.into(),
                 wire_len,
                 rate,
                 channel: jigsaw_ieee80211::Channel::of(1),
-                instances: vec![],
+                instances: Default::default(),
                 dispersion: 0,
                 valid: true,
                 unique: false,
@@ -406,11 +406,11 @@ mod tests {
             let wire_len = bytes.len() as u32;
             JFrame {
                 ts,
-                bytes,
+                bytes: bytes.into(),
                 wire_len,
                 rate,
                 channel: jigsaw_ieee80211::Channel::of(1),
-                instances: vec![],
+                instances: Default::default(),
                 dispersion: 0,
                 valid: true,
                 unique: false,

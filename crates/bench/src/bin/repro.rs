@@ -100,6 +100,13 @@
 
 // The repro CLI's output *is* stdout; the workspace denial targets library code.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
+
+/// Every `bench-*` subcommand records allocs/event and peak live bytes
+/// into its `BENCH_*.json`; counting happens here, at the one allocator
+/// the whole process shares (see [`jigsaw_bench::alloc`]).
+#[global_allocator]
+static ALLOC: jigsaw_bench::alloc::CountingAlloc = jigsaw_bench::alloc::CountingAlloc;
+
 use jigsaw_analysis::activity::ActivityAnalysis;
 use jigsaw_analysis::coverage::{pods_subset, radios_of_pods, CoverageAnalysis, OracleCoverage};
 use jigsaw_analysis::dispersion::DispersionAnalysis;
@@ -698,6 +705,12 @@ fn run_bench_merge(args: &Args) {
         bench.serial_s,
         bench.parallel_s,
         bench.speedup()
+    );
+    println!(
+        "serial merge: {:.0} events/s  {:.4} allocs/event  peak heap {:.1} MB",
+        bench.events as f64 / bench.serial_s.max(1e-12),
+        bench.allocs_per_event,
+        bench.peak_alloc_bytes as f64 / 1e6,
     );
     if bench.cores < bench.threads {
         println!(
@@ -1564,7 +1577,9 @@ fn run_bench_stream(args: &Args) {
         shard,
         ..PipelineConfig::default()
     };
+    let region = jigsaw_bench::alloc::AllocRegion::begin();
     let (events, digest, peak, bytes_in, elapsed) = stream_merge_corpus(&corpus, &cfg, true);
+    let alloc_report = region.end();
     assert_eq!(events, summary.events, "streaming merge dropped events");
     assert!(digest.count() > 0, "streaming merge produced no jframes");
 
@@ -1602,6 +1617,8 @@ fn run_bench_stream(args: &Args) {
         merge_s: elapsed.as_secs_f64(),
         disk_bytes_in: bytes_in,
         peak_buffered_events: peak,
+        allocs_per_event: alloc_report.per_event(events),
+        peak_alloc_bytes: alloc_report.peak_bytes,
         digest: digest.hex(),
         window: window_bench,
     };
@@ -1617,6 +1634,11 @@ fn run_bench_stream(args: &Args) {
         bench.peak_buffered_events,
         bench.threads,
         bench.cores,
+    );
+    println!(
+        "alloc accounting: {:.4} allocs/event  peak heap {:.1} MB",
+        bench.allocs_per_event,
+        bench.peak_alloc_bytes as f64 / 1e6,
     );
     if let Some(w) = &bench.window {
         println!(
@@ -1675,9 +1697,11 @@ fn run_bench_live(args: &Args) {
         lm.add_source(tail);
     }
     let mut digest = jigsaw_bench::JframeStreamDigest::new();
+    let region = jigsaw_bench::alloc::AllocRegion::begin();
     let t0 = Instant::now();
     let report = lm.run(|jf| digest.observe(&jf)).expect("live merge");
     let merge_s = t0.elapsed().as_secs_f64();
+    let alloc_report = region.end();
     assert_eq!(
         report.merge.events_in, summary.events,
         "live merge dropped events"
@@ -1700,6 +1724,8 @@ fn run_bench_live(args: &Args) {
         lag_p99_us: lag_q[1],
         lag_max_us: report.lag_max(),
         peak_buffered_events: report.merge.peak_buffered,
+        allocs_per_event: alloc_report.per_event(report.merge.events_in),
+        peak_alloc_bytes: alloc_report.peak_bytes,
         digest: digest.hex(),
     };
     println!(
@@ -1713,6 +1739,11 @@ fn run_bench_live(args: &Args) {
         bench.lag_p99_us,
         bench.lag_max_us,
         bench.peak_buffered_events,
+    );
+    println!(
+        "alloc accounting: {:.4} allocs/event  peak heap {:.1} MB",
+        bench.allocs_per_event,
+        bench.peak_alloc_bytes as f64 / 1e6,
     );
     let path = args.out.as_deref().unwrap_or("BENCH_live.json");
     std::fs::write(path, bench.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));

@@ -25,6 +25,7 @@ use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub mod alloc;
 pub mod cli;
 pub mod sweep;
 
@@ -387,6 +388,13 @@ pub struct MergeBench {
     pub jframes_serial: u64,
     /// Jframes out of the sharded merge.
     pub jframes_parallel: u64,
+    /// Allocator calls per event during the timed serial merge — the
+    /// zero-copy payload path's headline metric. 0.0 when the counting
+    /// allocator is not installed (see [`alloc::counting_installed`]).
+    pub allocs_per_event: f64,
+    /// Peak live heap bytes during the timed serial merge (process-wide
+    /// high-water mark; the event buffers themselves are part of it).
+    pub peak_alloc_bytes: u64,
 }
 
 impl MergeBench {
@@ -397,7 +405,9 @@ impl MergeBench {
         // allocator so the first timed run is not charged for cold caches
         // (without this, whichever merger runs first looks slower).
         let _ = merge_wallclock(out, Some(1));
+        let region = alloc::AllocRegion::begin();
         let (serial_t, serial_stats) = merge_wallclock(out, Some(1));
+        let alloc_report = region.end();
         // Record the shard count that actually runs, not the request:
         // run_sharded never spawns more shards than distinct channels.
         let want = if threads == 0 { channels } else { threads };
@@ -422,6 +432,8 @@ impl MergeBench {
             parallel_s: par_t.as_secs_f64(),
             jframes_serial: serial_stats.jframes_out,
             jframes_parallel: par_stats.jframes_out,
+            allocs_per_event: alloc_report.per_event(serial_stats.events_in),
+            peak_alloc_bytes: alloc_report.peak_bytes,
         }
     }
 
@@ -448,7 +460,9 @@ impl MergeBench {
                 "  \"parallel_s\": {:.6},\n",
                 "  \"speedup\": {:.3},\n",
                 "  \"jframes_serial\": {},\n",
-                "  \"jframes_parallel\": {}\n",
+                "  \"jframes_parallel\": {},\n",
+                "  \"allocs_per_event\": {:.4},\n",
+                "  \"peak_alloc_bytes\": {}\n",
                 "}}\n"
             ),
             self.scenario,
@@ -464,6 +478,8 @@ impl MergeBench {
             self.speedup(),
             self.jframes_serial,
             self.jframes_parallel,
+            self.allocs_per_event,
+            self.peak_alloc_bytes,
         )
     }
 }
@@ -506,6 +522,13 @@ pub struct StreamBench {
     /// Peak events simultaneously buffered across all shard mergers
     /// (upper bound; see `MergeStats::peak_buffered`).
     pub peak_buffered_events: u64,
+    /// Allocator calls per event during the streaming merge (block decode
+    /// included — the leg the zero-copy payload path optimizes). 0.0 when
+    /// the counting allocator is not installed.
+    pub allocs_per_event: f64,
+    /// Peak live heap bytes during the streaming merge (process-wide
+    /// high-water mark).
+    pub peak_alloc_bytes: u64,
     /// Digest of the emitted jframe stream (count is `jframes`).
     pub digest: String,
     /// The seek-bounded windowed replay of the same corpus, when
@@ -604,6 +627,8 @@ impl StreamBench {
                 "  \"events_per_s\": {:.0},\n",
                 "{}",
                 "  \"peak_buffered_events\": {},\n",
+                "  \"allocs_per_event\": {:.4},\n",
+                "  \"peak_alloc_bytes\": {},\n",
                 "  \"digest\": \"{}\"\n",
                 "}}\n"
             ),
@@ -625,6 +650,8 @@ impl StreamBench {
             self.events_per_s(),
             window,
             self.peak_buffered_events,
+            self.allocs_per_event,
+            self.peak_alloc_bytes,
             self.digest,
         )
     }
@@ -667,6 +694,13 @@ pub struct LiveBench {
     pub lag_max_us: u64,
     /// Peak events simultaneously buffered in the live merger.
     pub peak_buffered_events: u64,
+    /// Allocator calls per event during the live merge (chunk staging and
+    /// block decode included). 0.0 when the counting allocator is not
+    /// installed.
+    pub allocs_per_event: f64,
+    /// Peak live heap bytes during the live merge (process-wide
+    /// high-water mark).
+    pub peak_alloc_bytes: u64,
     /// Digest of the emitted jframe stream (count is `jframes`).
     pub digest: String,
 }
@@ -698,6 +732,8 @@ impl LiveBench {
                 "  \"lag_p99_us\": {},\n",
                 "  \"lag_max_us\": {},\n",
                 "  \"peak_buffered_events\": {},\n",
+                "  \"allocs_per_event\": {:.4},\n",
+                "  \"peak_alloc_bytes\": {},\n",
                 "  \"digest\": \"{}\"\n",
                 "}}\n"
             ),
@@ -716,6 +752,8 @@ impl LiveBench {
             self.lag_p99_us,
             self.lag_max_us,
             self.peak_buffered_events,
+            self.allocs_per_event,
+            self.peak_alloc_bytes,
             self.digest,
         )
     }
@@ -809,6 +847,8 @@ mod tests {
             merge_s: 4.0,
             disk_bytes_in: 52_000_000,
             peak_buffered_events: 12_345,
+            allocs_per_event: 0.0312,
+            peak_alloc_bytes: 7_654_321,
             digest: "0123456789abcdef".into(),
             window: None,
         };
@@ -821,6 +861,8 @@ mod tests {
         assert!(j.contains("\"seed\": 20060124"));
         assert!(j.contains("\"git_sha\": \"abc123def456\""));
         assert!(j.contains("\"peak_buffered_events\": 12345"));
+        assert!(j.contains("\"allocs_per_event\": 0.0312"));
+        assert!(j.contains("\"peak_alloc_bytes\": 7654321"));
         assert!(j.contains("\"digest\": \"0123456789abcdef\""));
         assert!(!j.contains("window_from"), "no window leg, no window keys");
         assert!(j.trim_end().ends_with('}'));
@@ -858,6 +900,8 @@ mod tests {
             lag_p99_us: 19_500,
             lag_max_us: 20_000,
             peak_buffered_events: 4_321,
+            allocs_per_event: 0.125,
+            peak_alloc_bytes: 1_234_567,
             digest: "0123456789abcdef".into(),
         };
         assert!((b.events_per_s() - 250_000.0).abs() < 1e-6);
@@ -869,6 +913,8 @@ mod tests {
         assert!(j.contains("\"lag_p99_us\": 19500"));
         assert!(j.contains("\"lag_max_us\": 20000"));
         assert!(j.contains("\"peak_buffered_events\": 4321"));
+        assert!(j.contains("\"allocs_per_event\": 0.1250"));
+        assert!(j.contains("\"peak_alloc_bytes\": 1234567"));
         assert!(j.contains("\"git_sha\": \"abc123def456\""));
         assert!(j.trim_end().ends_with('}'));
     }
@@ -880,17 +926,17 @@ mod tests {
         use jigsaw_trace::{PhyStatus, RadioId};
         let jf = |ts: u64, chan: u8, fill: u8| JFrame {
             ts,
-            bytes: vec![fill; 20],
+            bytes: vec![fill; 20].into(),
             wire_len: 20,
             rate: PhyRate::R11,
             channel: Channel::of(chan),
-            instances: vec![Instance {
+            instances: jigsaw_core::Instances::one(Instance {
                 radio: RadioId(0),
                 ts_local: ts + 7,
                 ts_universal: ts,
                 rssi_dbm: -50,
                 status: PhyStatus::Ok,
-            }],
+            }),
             dispersion: 0,
             valid: true,
             unique: true,
@@ -942,6 +988,8 @@ mod tests {
             parallel_s: 1.5,
             jframes_serial: 400,
             jframes_parallel: 400,
+            allocs_per_event: 0.0417,
+            peak_alloc_bytes: 9_876_543,
         };
         assert!((b.speedup() - 2.0).abs() < 1e-9);
         let j = b.to_json();
@@ -949,6 +997,8 @@ mod tests {
         assert!(j.contains("\"scenario\": \"paper_day\""));
         assert!(j.contains("\"seed\": 20060124"));
         assert!(j.contains("\"git_sha\": \"abc123def456\""));
+        assert!(j.contains("\"allocs_per_event\": 0.0417"));
+        assert!(j.contains("\"peak_alloc_bytes\": 9876543"));
         assert!(j.trim_end().ends_with('}'));
     }
 }

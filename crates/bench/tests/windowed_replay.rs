@@ -252,7 +252,7 @@ fn window_clipping_pins_half_open_boundaries() {
             rssi_dbm: -50,
             status: PhyStatus::Ok,
             wire_len: 60,
-            bytes: vec![k as u8; 60],
+            bytes: vec![k as u8; 60].into(),
         })
         .collect();
     let dir = tmpdir("edges");

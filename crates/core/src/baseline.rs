@@ -89,13 +89,13 @@ pub fn naive_merge<S: EventStream>(
                             status: e.status,
                         }
                     })
-                    .collect::<Vec<_>>();
+                    .collect::<crate::jframe::Instances>();
                 let min = instances.iter().map(|i| i.ts_universal).min().unwrap_or(0);
                 let max = instances.iter().map(|i| i.ts_universal).max().unwrap_or(0);
                 stats.jframes_out += 1;
                 sink(&JFrame {
                     ts: rep.ts_local,
-                    bytes: rep.bytes.clone(),
+                    bytes: rep.bytes.handle(),
                     wire_len: rep.wire_len,
                     rate: rep.rate,
                     channel: rep.channel,
@@ -197,7 +197,7 @@ mod tests {
             rssi_dbm: -50,
             status: PhyStatus::Ok,
             wire_len,
-            bytes,
+            bytes: bytes.into(),
         }
     }
 

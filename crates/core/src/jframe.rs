@@ -4,10 +4,10 @@
 use jigsaw_ieee80211::frame::Frame;
 use jigsaw_ieee80211::wire::parse_frame;
 use jigsaw_ieee80211::{Channel, Micros, PhyRate};
-use jigsaw_trace::{PhyStatus, RadioId};
+use jigsaw_trace::{Payload, PhyStatus, RadioId};
 
 /// One radio's reception of the transmission.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Instance {
     /// The radio that heard it.
     pub radio: RadioId,
@@ -22,6 +22,148 @@ pub struct Instance {
     pub status: PhyStatus,
 }
 
+/// How many instances fit inline before [`Instances`] spills to the heap.
+/// The paper's trace averages 2.97 receptions per transmission, so four
+/// inline slots cover the common case without a per-jframe allocation.
+const INLINE_INSTANCES: usize = 4;
+
+const INSTANCE_FILL: Instance = Instance {
+    radio: RadioId(0),
+    ts_local: 0,
+    ts_universal: 0,
+    rssi_dbm: 0,
+    status: PhyStatus::Ok,
+};
+
+#[derive(Clone)]
+enum InstancesRepr {
+    Inline {
+        len: u8,
+        buf: [Instance; INLINE_INSTANCES],
+    },
+    Heap(Vec<Instance>),
+}
+
+/// The instance list of a jframe: a small vector that stores up to four
+/// receptions inline (`INLINE_INSTANCES`) and spills to the heap beyond
+/// that. Derefs to `[Instance]`, so iteration, indexing, `len()`, `swap()`
+/// and friends all read through; collect with `FromIterator` or build
+/// incrementally with [`Instances::push`]. Equality and `Debug` are
+/// slice-based — inline and spilled lists with the same contents compare
+/// equal, so no byte-identity contract can observe the representation.
+#[derive(Clone)]
+pub struct Instances(InstancesRepr);
+
+impl Instances {
+    /// An empty list (inline, no allocation).
+    pub const fn new() -> Self {
+        Instances(InstancesRepr::Inline {
+            len: 0,
+            buf: [INSTANCE_FILL; INLINE_INSTANCES],
+        })
+    }
+
+    /// A single-reception list (inline, no allocation) — the singleton
+    /// jframe's hot path.
+    pub fn one(inst: Instance) -> Self {
+        let mut s = Self::new();
+        s.push(inst);
+        s
+    }
+
+    /// Appends a reception, spilling to the heap past the inline capacity.
+    pub fn push(&mut self, inst: Instance) {
+        match &mut self.0 {
+            InstancesRepr::Inline { len, buf } => {
+                let n = *len as usize;
+                if n < INLINE_INSTANCES {
+                    buf[n] = inst;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_INSTANCES * 2);
+                    v.extend_from_slice(&buf[..]);
+                    v.push(inst);
+                    self.0 = InstancesRepr::Heap(v);
+                }
+            }
+            InstancesRepr::Heap(v) => v.push(inst),
+        }
+    }
+
+    /// True when the list lives in the heap-spilled representation.
+    #[cfg(test)]
+    fn is_spilled(&self) -> bool {
+        matches!(self.0, InstancesRepr::Heap(_))
+    }
+}
+
+impl Default for Instances {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for Instances {
+    type Target = [Instance];
+    fn deref(&self) -> &[Instance] {
+        match &self.0 {
+            InstancesRepr::Inline { len, buf } => &buf[..*len as usize],
+            InstancesRepr::Heap(v) => v,
+        }
+    }
+}
+
+impl std::ops::DerefMut for Instances {
+    fn deref_mut(&mut self) -> &mut [Instance] {
+        match &mut self.0 {
+            InstancesRepr::Inline { len, buf } => &mut buf[..*len as usize],
+            InstancesRepr::Heap(v) => v,
+        }
+    }
+}
+
+impl std::fmt::Debug for Instances {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for Instances {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Instances {}
+
+impl FromIterator<Instance> for Instances {
+    fn from_iter<I: IntoIterator<Item = Instance>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for inst in iter {
+            s.push(inst);
+        }
+        s
+    }
+}
+
+impl From<Vec<Instance>> for Instances {
+    fn from(v: Vec<Instance>) -> Self {
+        if v.len() <= INLINE_INSTANCES {
+            v.into_iter().collect()
+        } else {
+            Instances(InstancesRepr::Heap(v))
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Instances {
+    type Item = &'a Instance;
+    type IntoIter = std::slice::Iter<'a, Instance>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// A unified frame: the synchronized record of one on-air transmission.
 #[derive(Debug, Clone)]
 pub struct JFrame {
@@ -30,8 +172,11 @@ pub struct JFrame {
     /// monitor hardware timestamps receptions.
     pub ts: Micros,
     /// Frame contents from the best (FCS-valid, longest) instance,
-    /// possibly snap-truncated. Empty for pure PHY-error events.
-    pub bytes: Vec<u8>,
+    /// possibly snap-truncated. Empty for pure PHY-error events. A
+    /// [`Payload`] handle — cloned from the winning instance's event
+    /// without copying the bytes (digests and parsing read through deref,
+    /// so every byte-identity contract is unchanged).
+    pub bytes: Payload,
     /// True on-air length in bytes.
     pub wire_len: u32,
     /// PLCP rate.
@@ -41,8 +186,9 @@ pub struct JFrame {
     /// hear the same transmission, so unification never crosses channels
     /// (and the channel-sharded merge exploits exactly that).
     pub channel: Channel,
-    /// Every reception that was unified into this jframe.
-    pub instances: Vec<Instance>,
+    /// Every reception that was unified into this jframe. Stored inline
+    /// (no allocation) up to four receptions; see [`Instances`].
+    pub instances: Instances,
     /// Worst-case time offset between any two instances (µs) — the paper's
     /// *group dispersion* (Figure 4 plots its CDF).
     pub dispersion: Micros,
@@ -170,11 +316,11 @@ mod tests {
     fn jf(bytes: Vec<u8>, wire_len: u32, valid: bool) -> JFrame {
         JFrame {
             ts: 1000,
-            bytes,
+            bytes: bytes.into(),
             wire_len,
             rate: PhyRate::R11,
             channel: Channel::of(1),
-            instances: vec![],
+            instances: Instances::new(),
             dispersion: 0,
             valid,
             unique: false,
@@ -273,7 +419,9 @@ mod tests {
         assert_eq!(second.stable_digest(), swapped.stable_digest());
         // ...but every capture-side field does.
         let mut content = base.clone();
-        content.bytes[0] ^= 1;
+        let mut flipped = content.bytes.to_vec();
+        flipped[0] ^= 1;
+        content.bytes = flipped.into();
         assert_ne!(d, content.stable_digest());
         let mut local = base.clone();
         local.instances[0].ts_local += 1;
@@ -281,6 +429,58 @@ mod tests {
         let mut chan = base.clone();
         chan.channel = Channel::of(6);
         assert_ne!(d, chan.stable_digest());
+    }
+
+    #[test]
+    fn instances_inline_until_spill() {
+        let inst = |r: u16| Instance {
+            radio: RadioId(r),
+            ts_local: u64::from(r),
+            ts_universal: u64::from(r),
+            rssi_dbm: -50,
+            status: PhyStatus::Ok,
+        };
+        let mut v = Instances::new();
+        assert!(v.is_empty());
+        for r in 0..4 {
+            v.push(inst(r));
+            assert!(!v.is_spilled(), "≤{INLINE_INSTANCES} stays inline");
+        }
+        assert_eq!(v.len(), 4);
+        v.push(inst(4));
+        assert!(v.is_spilled(), "fifth reception spills to the heap");
+        assert_eq!(v.len(), 5);
+        // Order survives the spill, and slice ops read through.
+        assert_eq!(
+            v.iter().map(|i| i.radio.0).collect::<Vec<_>>(),
+            [0, 1, 2, 3, 4]
+        );
+        v.swap(0, 4);
+        assert_eq!(v[0].radio, RadioId(4));
+    }
+
+    #[test]
+    fn instances_construction_paths_agree() {
+        let inst = |r: u16| Instance {
+            radio: RadioId(r),
+            ts_local: 1,
+            ts_universal: 1,
+            rssi_dbm: -50,
+            status: PhyStatus::Ok,
+        };
+        // Short lists normalize to the inline representation no matter how
+        // they were built, so equality/Debug can't observe construction.
+        let collected: Instances = (0..3).map(inst).collect();
+        let converted: Instances = (0..3).map(inst).collect::<Vec<_>>().into();
+        assert!(!collected.is_spilled() && !converted.is_spilled());
+        assert_eq!(collected, converted);
+        assert_eq!(format!("{collected:?}"), format!("{converted:?}"));
+        assert_eq!(Instances::one(inst(0)).len(), 1);
+        // Long lists agree too, whichever path spilled them.
+        let pushed: Instances = (0..6).map(inst).collect();
+        let long: Instances = (0..6).map(inst).collect::<Vec<_>>().into();
+        assert!(pushed.is_spilled() && long.is_spilled());
+        assert_eq!(pushed, long);
     }
 
     #[test]

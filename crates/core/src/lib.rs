@@ -54,7 +54,7 @@ pub mod sync;
 pub mod transport;
 pub mod unify;
 
-pub use jframe::{Instance, JFrame};
+pub use jframe::{Instance, Instances, JFrame};
 pub use observer::{OnAttempt, OnExchange, OnFlows, OnJFrame, PipelineObserver};
 pub use pipeline::{
     CorpusSource, EventSource, Pipeline, PipelineConfig, PipelineReport, Reconstruction,

@@ -14,6 +14,7 @@ use crate::jframe::JFrame;
 use jigsaw_ieee80211::frame::Frame;
 use jigsaw_ieee80211::timing::{ack_airtime_us, SIFS_US, SLOT_US};
 use jigsaw_ieee80211::{MacAddr, Micros, PhyRate, SeqNum, Subtype};
+use jigsaw_trace::Payload;
 // tidy:allow-file(hash-order): the pending map is keyed lookup; expirations are collected and sorted by (ts, key) before emission
 use std::collections::HashMap;
 
@@ -58,8 +59,8 @@ pub struct Attempt {
     /// On-air length of the DATA frame (0 when inferred).
     pub wire_len: u32,
     /// Captured bytes of the DATA frame (possibly snapped; empty if
-    /// inferred).
-    pub bytes: Vec<u8>,
+    /// inferred). A shared [`Payload`] handle cloned from the jframe.
+    pub bytes: Payload,
     /// True if the DATA frame capture was FCS-valid and complete enough to
     /// parse.
     pub data_valid: bool,
@@ -276,7 +277,7 @@ impl AttemptAssembler {
             },
             inferred_data: false,
             wire_len: jf.wire_len,
-            bytes: jf.bytes.clone(),
+            bytes: jf.bytes.handle(),
             data_valid: true,
             instance_count: jf.instance_count(),
         };
@@ -330,7 +331,7 @@ impl AttemptAssembler {
             },
             inferred_data: false,
             wire_len: jf.wire_len,
-            bytes: jf.bytes.clone(),
+            bytes: jf.bytes.handle(),
             data_valid: false,
             instance_count: jf.instance_count(),
         };
@@ -378,7 +379,7 @@ impl AttemptAssembler {
             outcome: AttemptOutcome::Acked,
             inferred_data: true,
             wire_len: 0,
-            bytes: Vec::new(),
+            bytes: Payload::empty(),
             data_valid: false,
             instance_count: 0,
         });
@@ -399,11 +400,11 @@ mod tests {
         let wire_len = bytes.len() as u32;
         JFrame {
             ts,
-            bytes,
+            bytes: bytes.into(),
             wire_len,
             rate,
             channel: jigsaw_ieee80211::Channel::of(1),
-            instances: vec![],
+            instances: Default::default(),
             dispersion: 0,
             valid: true,
             unique: false,
@@ -608,7 +609,7 @@ mod tests {
         let d = data_frame(12, false, PhyRate::R11);
         let full = serialize_frame(&d);
         let mut jf = jframe_of(&d, 10_000, PhyRate::R11);
-        jf.bytes = full[..60].to_vec(); // snapped below FCS
+        jf.bytes = full[..60].into(); // snapped below FCS
         asm.push(&jf, &mut out);
         asm.finish(&mut out);
         assert_eq!(out.len(), 1);
@@ -624,11 +625,11 @@ mod tests {
         let mut out = Vec::new();
         let jf = JFrame {
             ts: 1,
-            bytes: vec![0xff; 10],
+            bytes: vec![0xff; 10].into(),
             wire_len: 10,
             rate: PhyRate::R1,
             channel: jigsaw_ieee80211::Channel::of(1),
-            instances: vec![],
+            instances: Default::default(),
             dispersion: 0,
             valid: false,
             unique: false,

@@ -20,6 +20,7 @@
 
 use crate::link::attempt::{Attempt, AttemptOutcome};
 use jigsaw_ieee80211::{MacAddr, Micros, PhyRate, SeqNum, Subtype};
+use jigsaw_trace::Payload;
 // tidy:allow-file(hash-order): the open-exchange map is keyed lookup; stale entries are sorted by (first_ts, key) before emission
 use std::collections::HashMap;
 
@@ -65,7 +66,8 @@ pub struct Exchange {
     /// On-air length of the MSDU frame.
     pub wire_len: u32,
     /// Best captured bytes of the DATA frame (for transport parsing).
-    pub bytes: Vec<u8>,
+    /// A shared [`Payload`] handle cloned from the best attempt.
+    pub bytes: Payload,
     /// True if `bytes` is a complete FCS-valid capture.
     pub data_valid: bool,
     /// Maximum instance count over the attempts (coverage bookkeeping).
@@ -262,7 +264,7 @@ fn exchange_from(a: &Attempt, delivery: DeliveryStatus) -> Exchange {
         last_rate: a.rate,
         protected: a.protected,
         wire_len: a.wire_len,
-        bytes: a.bytes.clone(),
+        bytes: a.bytes.handle(),
         data_valid: a.data_valid,
         instance_count: a.instance_count,
     }
@@ -290,7 +292,7 @@ fn merge_attempt(x: &mut Exchange, a: &Attempt) {
     if (a.data_valid && !x.data_valid)
         || (a.data_valid == x.data_valid && a.bytes.len() > x.bytes.len())
     {
-        x.bytes = a.bytes.clone();
+        x.bytes = a.bytes.handle();
         x.data_valid = a.data_valid;
         x.wire_len = x.wire_len.max(a.wire_len);
     }
@@ -320,7 +322,7 @@ mod tests {
             outcome,
             inferred_data: false,
             wire_len: 200,
-            bytes: vec![1, 2, 3],
+            bytes: vec![1, 2, 3].into(),
             data_valid: true,
             instance_count: 3,
         }
@@ -466,10 +468,10 @@ mod tests {
     fn best_bytes_kept_across_retries() {
         let mut first = attempt(1, Some(7), 1_000, AttemptOutcome::NoAckSeen, false);
         first.data_valid = false;
-        first.bytes = vec![1, 2];
+        first.bytes = vec![1, 2].into();
         let mut second = attempt(1, Some(7), 3_000, AttemptOutcome::Acked, true);
         second.data_valid = true;
-        second.bytes = vec![1, 2, 3, 4, 5];
+        second.bytes = vec![1, 2, 3, 4, 5].into();
         let (out, _) = run(vec![first, second]);
         assert_eq!(out.len(), 1);
         assert!(out[0].data_valid);

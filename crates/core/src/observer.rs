@@ -176,11 +176,11 @@ mod tests {
     fn jf() -> JFrame {
         JFrame {
             ts: 1,
-            bytes: vec![],
+            bytes: Default::default(),
             wire_len: 0,
             rate: PhyRate::R1,
             channel: Channel::of(1),
-            instances: vec![],
+            instances: Default::default(),
             dispersion: 0,
             valid: false,
             unique: false,

@@ -768,7 +768,7 @@ mod tests {
             rssi_dbm: -50,
             status: PhyStatus::Ok,
             wire_len,
-            bytes,
+            bytes: bytes.into(),
         }
     }
 

@@ -329,7 +329,7 @@ mod tests {
             rssi_dbm: -55,
             status: PhyStatus::Ok,
             wire_len,
-            bytes,
+            bytes: bytes.into(),
         }
     }
 
@@ -362,7 +362,7 @@ mod tests {
                 (
                     j.ts,
                     j.channel.number(),
-                    j.bytes.clone(),
+                    j.bytes.to_vec(),
                     j.instances.iter().map(|i| i.radio.0).collect(),
                 )
             })

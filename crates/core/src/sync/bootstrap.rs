@@ -120,7 +120,7 @@ pub fn content_key(ev: &PhyEvent) -> u64 {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x100000001b3);
     };
-    for &b in &ev.bytes {
+    for &b in ev.bytes.iter() {
         feed(b);
     }
     for b in ev.wire_len.to_le_bytes() {
@@ -358,7 +358,7 @@ mod tests {
             rssi_dbm: -55,
             status: PhyStatus::Ok,
             wire_len: len,
-            bytes,
+            bytes: bytes.into(),
         }
     }
 

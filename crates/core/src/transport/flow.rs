@@ -528,7 +528,7 @@ mod tests {
             last_rate: PhyRate::R11,
             protected: false,
             wire_len,
-            bytes,
+            bytes: bytes.into(),
             data_valid: true,
             instance_count: 2,
         }

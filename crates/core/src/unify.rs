@@ -34,7 +34,7 @@
 //! perfectly by channel; [`crate::shard`] runs one `Merger` per channel
 //! shard on its own thread and K-way-merges the results.
 
-use crate::jframe::{Instance, JFrame};
+use crate::jframe::{Instance, Instances, JFrame};
 use crate::sync::clock::ClockState;
 use jigsaw_ieee80211::fc::{FrameControl, FrameType, Subtype};
 use jigsaw_ieee80211::{Channel, MacAddr, Micros};
@@ -191,6 +191,28 @@ struct Candidate {
     univ: Micros,
 }
 
+/// Per-flush working storage, held across window closes so the steady
+/// state of the merge allocates nothing per batch: every `Vec`/map here
+/// is drained (not dropped) when a window is processed and its capacity
+/// reused by the next one. `spare` is a pool of emptied candidate
+/// buffers recycled between the window batches, the content clusters,
+/// and the content groups. Capacity is bounded by the busiest single
+/// search window seen, not by trace length.
+#[derive(Default)]
+struct Scratch {
+    valid: Vec<Candidate>,
+    corrupt: Vec<Candidate>,
+    errors: Vec<Candidate>,
+    groups: Vec<Vec<Candidate>>,
+    by_key: HashMap<(Channel, u64), Vec<Candidate>>,
+    keyed: Vec<((Channel, u64), Vec<Candidate>)>,
+    leftover_corrupt: Vec<Candidate>,
+    pushback: Vec<Candidate>,
+    ok_ts: Vec<Micros>,
+    to_close: Vec<usize>,
+    spare: Vec<Vec<Candidate>>,
+}
+
 /// The streaming merger.
 pub struct Merger<S> {
     cursors: Vec<Cursor<S>>,
@@ -201,9 +223,14 @@ pub struct Merger<S> {
     heap: BinaryHeap<Reverse<(Micros, usize, u64)>>,
     // Output reordering: jframes within 2×window may emerge out of order.
     // Keyed (ts, channel, seq) so emission order is a deterministic total
-    // order that the sharded merge can reproduce shard-by-shard.
-    out: BinaryHeap<Reverse<(Micros, u8, u64)>>,
-    out_frames: HashMap<u64, JFrame>,
+    // order that the sharded merge can reproduce shard-by-shard. `seq` is
+    // unique, so the trailing slab slot never participates in ordering —
+    // it just makes the parked frame an O(1) indexed lookup instead of a
+    // hash probe, and freed slots recycle so the steady-state reorder
+    // buffer allocates nothing.
+    out: BinaryHeap<Reverse<(Micros, u8, u64, u32)>>,
+    out_frames: Vec<Option<JFrame>>,
+    out_free: Vec<u32>,
     out_seq: u64,
     // Universal timestamp of the last emitted jframe — backs the
     // debug_assert that emission leaves in nondecreasing order (the PR 6
@@ -215,11 +242,12 @@ pub struct Merger<S> {
     resident: usize,
     // Per-channel merge state shared by the batch driver ([`Merger::run`])
     // and the incremental one ([`Merger::advance`]): the distinct channels
-    // (sorted) and each channel's open search window, if any. Initialized
-    // lazily by `live_init` so `new`/`seed_pending`/`feed` stay cheap.
+    // (sorted, computed once at construction) and each channel's open
+    // search window, if any.
     live_chans: Vec<Channel>,
     live_pend: Vec<Option<(Micros, Vec<Candidate>)>>,
     live_started: bool,
+    scratch: Scratch,
 }
 
 impl<S: EventStream> Merger<S> {
@@ -259,6 +287,13 @@ impl<S: EventStream> Merger<S> {
         // merge partitions streams by — using the same source everywhere
         // makes serial and sharded output identical by construction.
         let channels: Vec<Channel> = streams.iter().map(|s| s.meta().channel).collect();
+        // The distinct-channel window table is a pure function of the
+        // stream set, so it is computed exactly once here rather than
+        // cloned out of `channels` on every (re-)initialization.
+        let mut live_chans = channels.clone();
+        live_chans.sort_unstable();
+        live_chans.dedup();
+        let live_pend = vec![None; live_chans.len()];
         let cursors = streams
             .into_iter()
             .map(|s| Cursor {
@@ -278,13 +313,15 @@ impl<S: EventStream> Merger<S> {
             stats: MergeStats::default(),
             heap: BinaryHeap::new(),
             out: BinaryHeap::new(),
-            out_frames: HashMap::new(),
+            out_frames: Vec::new(),
+            out_free: Vec::new(),
             out_seq: 0,
             last_emitted: 0,
             resident: 0,
-            live_chans: Vec::new(),
-            live_pend: Vec::new(),
+            live_chans,
+            live_pend,
             live_started: false,
+            scratch: Scratch::default(),
         }
     }
 
@@ -510,18 +547,14 @@ impl<S: EventStream> Merger<S> {
         Ok(self.stats)
     }
 
-    /// Lazily sets up the per-channel window table and seats every cursor's
-    /// first head. Idempotent; shared by the batch and incremental drivers.
+    /// Lazily seats every cursor's first head (the window table itself is
+    /// built at construction). Idempotent; shared by the batch and
+    /// incremental drivers.
     fn live_init(&mut self) -> Result<(), FormatError> {
         if self.live_started {
             return Ok(());
         }
         self.live_started = true;
-        let mut v = self.channels.clone();
-        v.sort_unstable();
-        v.dedup();
-        self.live_pend = vec![None; v.len()];
-        self.live_chans = v;
         for r in 0..self.cursors.len() {
             self.push_head(r)?;
         }
@@ -532,12 +565,13 @@ impl<S: EventStream> Merger<S> {
     /// and re-keys the channel's heap entries against the possibly-moved
     /// clocks.
     fn close_window(&mut self, ci: usize, sink: &mut impl FnMut(JFrame)) -> bool {
-        let Some((t0, batch)) = self.live_pend[ci].take() else {
+        let Some((t0, mut batch)) = self.live_pend[ci].take() else {
             return false;
         };
         let ch = self.live_chans[ci];
         let drained = self.channel_exhausted(ch);
-        self.process_candidates(batch, t0, drained, sink);
+        self.process_candidates(&mut batch, t0, drained, sink);
+        self.scratch.spare.push(batch);
         self.refresh_channel_keys(ch);
         true
     }
@@ -583,33 +617,40 @@ impl<S: EventStream> Merger<S> {
                 return Ok(());
             }
             // Close every window that ended before this event.
-            let to_close: Vec<usize> = (0..self.live_chans.len())
-                .filter(|&ci| {
-                    matches!(&self.live_pend[ci], Some((t0, _))
+            let mut to_close = std::mem::take(&mut self.scratch.to_close);
+            to_close.extend((0..self.live_chans.len()).filter(|&ci| {
+                matches!(&self.live_pend[ci], Some((t0, _))
                         if t0.saturating_add(window) < ts)
-                })
-                .collect();
+            }));
             if !to_close.is_empty() {
                 // Restore this event's key first: processing may move
                 // clocks (or push events back) under it, and the refresh
                 // inside `close_window` re-keys it if needed.
                 let gen = self.cursors[r].gen;
                 self.heap.push(Reverse((ts, r, gen)));
-                for ci in to_close {
+                for ci in to_close.drain(..) {
                     self.close_window(ci, sink);
                 }
+                self.scratch.to_close = to_close;
                 // Flush reordered output below the safety horizon.
                 let horizon = self.live_horizon(safe);
                 self.flush_out(horizon, sink);
                 continue;
             }
+            self.scratch.to_close = to_close;
             let c = self.take_head(r);
             self.push_head(r)?;
             let ci = self
                 .live_chans
                 .binary_search(&self.channel_of(c.radio))
                 .expect("known channel");
-            let slot = self.live_pend[ci].get_or_insert_with(|| (c.univ, Vec::new()));
+            if self.live_pend[ci].is_none() {
+                // Recycle an emptied batch buffer rather than growing a
+                // fresh one for every window.
+                let batch = self.scratch.spare.pop().unwrap_or_default();
+                self.live_pend[ci] = Some((c.univ, batch));
+            }
+            let slot = self.live_pend[ci].as_mut().expect("window just seated");
             slot.1.push(c);
             // Residency peaks here: every in-flight candidate on
             // top of whatever the cursors and reorder buffer hold.
@@ -653,18 +694,29 @@ impl<S: EventStream> Merger<S> {
         let seq = self.out_seq;
         self.out_seq += 1;
         self.resident += jf.instances.len();
-        self.out.push(Reverse((jf.ts, jf.channel.number(), seq)));
-        self.out_frames.insert(seq, jf);
+        let key = (jf.ts, jf.channel.number(), seq);
+        let slot = match self.out_free.pop() {
+            Some(s) => {
+                self.out_frames[s as usize] = Some(jf);
+                s
+            }
+            None => {
+                self.out_frames.push(Some(jf));
+                (self.out_frames.len() - 1) as u32
+            }
+        };
+        self.out.push(Reverse((key.0, key.1, key.2, slot)));
         self.stats.jframes_out += 1;
     }
 
     fn flush_out(&mut self, horizon: Micros, sink: &mut impl FnMut(JFrame)) {
-        while let Some(&Reverse((ts, _, seq))) = self.out.peek() {
+        while let Some(&Reverse((ts, _, _, slot))) = self.out.peek() {
             if ts >= horizon {
                 break;
             }
             self.out.pop();
-            let jf = self.out_frames.remove(&seq).expect("frame stored");
+            let jf = self.out_frames[slot as usize].take().expect("frame stored");
+            self.out_free.push(slot);
             debug_assert!(
                 jf.ts >= self.last_emitted,
                 "jframe emission went backwards: {} after {}",
@@ -677,9 +729,13 @@ impl<S: EventStream> Merger<S> {
         }
     }
 
+    /// Processes one closed search window. `candidates` is drained, not
+    /// consumed, so the caller can recycle its buffer; all intermediate
+    /// storage comes from [`Scratch`] and is returned there emptied —
+    /// the steady state of the merge allocates nothing here.
     fn process_candidates(
         &mut self,
-        mut candidates: Vec<Candidate>,
+        candidates: &mut Vec<Candidate>,
         t0: Micros,
         drained: bool,
         _sink: &mut impl FnMut(JFrame),
@@ -702,10 +758,10 @@ impl<S: EventStream> Merger<S> {
         };
 
         // --- partition: valid / corrupt / phy-error ---
-        let mut valid: Vec<Candidate> = Vec::new();
-        let mut corrupt: Vec<Candidate> = Vec::new();
-        let mut errors: Vec<Candidate> = Vec::new();
-        for c in candidates {
+        let mut valid = std::mem::take(&mut self.scratch.valid);
+        let mut corrupt = std::mem::take(&mut self.scratch.corrupt);
+        let mut errors = std::mem::take(&mut self.scratch.errors);
+        for c in candidates.drain(..) {
             match c.ev.status {
                 PhyStatus::Ok => valid.push(c),
                 PhyStatus::FcsError => corrupt.push(c),
@@ -717,42 +773,53 @@ impl<S: EventStream> Merger<S> {
         //     gaps/duplicates (byte-identical captures on different
         //     channels are distinct transmissions: no radio pair on
         //     disjoint channels can hear the same frame) ---
-        let mut groups: Vec<Vec<Candidate>> = Vec::new();
+        let mut groups = std::mem::take(&mut self.scratch.groups);
         {
-            let mut by_key: HashMap<(Channel, u64), Vec<Candidate>> = HashMap::new();
-            for c in valid {
+            let mut by_key = std::mem::take(&mut self.scratch.by_key);
+            let mut spare = std::mem::take(&mut self.scratch.spare);
+            for c in valid.drain(..) {
                 by_key
                     .entry((
                         self.channel_of(c.radio),
                         crate::sync::bootstrap::content_key(&c.ev),
                     ))
-                    .or_default()
+                    .or_insert_with(|| spare.pop().unwrap_or_default())
                     .push(c);
             }
-            let mut keyed: Vec<((Channel, u64), Vec<Candidate>)> = by_key.into_iter().collect();
+            let mut keyed = std::mem::take(&mut self.scratch.keyed);
+            keyed.extend(by_key.drain());
             // Order clusters by their *earliest* instance, not the first to
             // arrive: arrival order is driver-dependent, and cluster order
             // decides resync order (clock corrections from one group reach
             // the next group's re-translation).
             keyed.sort_by_key(|(k, v)| (v.iter().map(|c| c.univ).min().unwrap_or(0), *k));
-            for (_, mut cluster) in keyed {
+            for (_, cluster) in keyed.iter_mut() {
                 cluster.sort_by_key(|c| (c.univ, c.ev.radio, c.ev.ts_local));
-                let mut cur: Vec<Candidate> = Vec::new();
-                for c in cluster {
+                let mut cur = spare.pop().unwrap_or_default();
+                for c in cluster.drain(..) {
                     let gap_split = cur
                         .last()
                         .map(|p| c.univ.saturating_sub(p.univ) > self.cfg.merge_gap_us)
                         .unwrap_or(false);
                     let dup_radio = cur.iter().any(|p| p.radio == c.radio);
                     if gap_split || dup_radio {
-                        groups.push(std::mem::take(&mut cur));
+                        let next = spare.pop().unwrap_or_default();
+                        groups.push(std::mem::replace(&mut cur, next));
                     }
                     cur.push(c);
                 }
-                if !cur.is_empty() {
+                if cur.is_empty() {
+                    spare.push(cur);
+                } else {
                     groups.push(cur);
                 }
             }
+            // Every cluster buffer is drained now — back to the pool.
+            spare.extend(keyed.drain(..).map(|(_, v)| v));
+            self.scratch.valid = valid;
+            self.scratch.by_key = by_key;
+            self.scratch.keyed = keyed;
+            self.scratch.spare = spare;
         }
         // Finish groups in universal-time order, not cluster order: the
         // clock corrections applied while finishing one group reach the
@@ -764,8 +831,8 @@ impl<S: EventStream> Merger<S> {
         groups.sort_by_key(|g| (g[0].univ, g[0].ev.radio, g[0].ev.ts_local));
 
         // --- attach corrupted instances by transmitter address ---
-        let mut leftover_corrupt: Vec<Candidate> = Vec::new();
-        'corrupt: for c in corrupt {
+        let mut leftover_corrupt = std::mem::take(&mut self.scratch.leftover_corrupt);
+        'corrupt: for c in corrupt.drain(..) {
             let peek = jigsaw_ieee80211::wire::peek_transmitter(&c.ev.bytes);
             if let Some((_, Some(ta))) = peek {
                 // Best candidate: same rate, transmitter matches, closest in
@@ -805,18 +872,19 @@ impl<S: EventStream> Merger<S> {
         }
 
         // --- build jframes, respecting the emit guard ---
-        let mut pushback: Vec<Candidate> = Vec::new();
-        for mut g in groups {
+        let mut pushback = std::mem::take(&mut self.scratch.pushback);
+        for mut g in groups.drain(..) {
             g.sort_by_key(|c| (c.univ, c.ev.radio, c.ev.ts_local));
             let min_ts = g.iter().map(|c| c.univ).min().unwrap_or(0);
             if min_ts >= emit_before {
                 self.stats.pushbacks += 1;
-                pushback.extend(g);
-                continue;
+                pushback.append(&mut g);
+            } else {
+                self.finish_group(&mut g);
             }
-            self.finish_group(g);
+            self.scratch.spare.push(g);
         }
-        for c in leftover_corrupt.into_iter().chain(errors) {
+        for c in leftover_corrupt.drain(..).chain(errors.drain(..)) {
             if c.univ >= emit_before {
                 pushback.push(c);
                 continue;
@@ -825,32 +893,42 @@ impl<S: EventStream> Merger<S> {
             let jf = singleton_jframe(&c, self.channel_of(c.radio));
             self.emit(jf);
         }
+        self.scratch.groups = groups;
+        self.scratch.corrupt = corrupt;
+        self.scratch.errors = errors;
+        self.scratch.leftover_corrupt = leftover_corrupt;
 
         // --- return pushed-back events to their cursors, in ts order ---
         if !pushback.is_empty() {
-            pushback.sort_by_key(|c| c.ev.ts_local);
-            let mut per_radio: HashMap<usize, Vec<PhyEvent>> = HashMap::new();
-            for c in pushback {
-                self.stats.events_in -= 1; // they will be counted again
-                self.resident += 1; // back into a cursor queue
-                per_radio.entry(c.radio).or_default().push(c.ev);
-            }
-            for (r, evs) in per_radio {
+            // Stable-sorted by (radio, ts): each radio's events form one
+            // run, globally ts-ordered within the run exactly as the old
+            // ts-only sort + per-radio map produced — but with no per-flush
+            // map allocation. Runs are peeled off the tail so the drains
+            // never shift elements.
+            pushback.sort_by_key(|c| (c.radio, c.ev.ts_local));
+            while let Some(last) = pushback.last() {
+                let r = last.radio;
+                let mut i = pushback.len();
+                while i > 0 && pushback[i - 1].radio == r {
+                    i -= 1;
+                }
                 // The current head (if any) came *after* these events.
-                for ev in evs.into_iter().rev() {
-                    if let Some(h) = self.cursors[r].head.take() {
-                        self.cursors[r].pending.push_front(h);
-                    }
-                    self.cursors[r].pending.push_front(ev);
+                if let Some(h) = self.cursors[r].head.take() {
+                    self.cursors[r].pending.push_front(h);
+                }
+                for c in pushback.drain(i..).rev() {
+                    self.stats.events_in -= 1; // they will be counted again
+                    self.resident += 1; // back into a cursor queue
+                    self.cursors[r].pending.push_front(c.ev);
                 }
                 self.cursors[r].gen += 1;
-                self.cursors[r].head = None;
                 let _ = self.push_head(r);
             }
         }
+        self.scratch.pushback = pushback;
     }
 
-    fn finish_group(&mut self, mut group: Vec<Candidate>) {
+    fn finish_group(&mut self, group: &mut Vec<Candidate>) {
         debug_assert!(!group.is_empty());
         // Re-translate instance timestamps with the *current* clock state:
         // corrections applied while finishing earlier groups of the same
@@ -866,11 +944,13 @@ impl<S: EventStream> Merger<S> {
         // corrects (only unique frames drive sync), so their timestamps
         // must not pollute the jframe's placement (lower middle for even
         // sizes).
-        let ok_ts: Vec<Micros> = group
-            .iter()
-            .filter(|c| c.ev.status == PhyStatus::Ok)
-            .map(|c| c.univ)
-            .collect();
+        let mut ok_ts = std::mem::take(&mut self.scratch.ok_ts);
+        ok_ts.extend(
+            group
+                .iter()
+                .filter(|c| c.ev.status == PhyStatus::Ok)
+                .map(|c| c.univ),
+        );
         let (median, dispersion) = if ok_ts.is_empty() {
             (group[(n - 1) / 2].univ, group[n - 1].univ - group[0].univ)
         } else {
@@ -879,6 +959,8 @@ impl<S: EventStream> Merger<S> {
                 ok_ts[ok_ts.len() - 1] - ok_ts[0],
             )
         };
+        ok_ts.clear();
+        self.scratch.ok_ts = ok_ts;
 
         // Representative: FCS-valid instance with the most bytes.
         let rep = group
@@ -888,7 +970,8 @@ impl<S: EventStream> Merger<S> {
             .unwrap_or(&group[0]);
         let valid = rep.ev.status == PhyStatus::Ok;
         let unique = is_sync_quality(&rep.ev.bytes, rep.ev.wire_len, rep.ev.status);
-        let bytes = rep.ev.bytes.clone();
+        // O(1) handle clone, never a byte copy (tidy: payload-no-clone).
+        let bytes = rep.ev.bytes.handle();
         let wire_len = rep.ev.wire_len;
         let rate = rep.ev.rate;
         let channel = self.channel_of(rep.radio);
@@ -905,7 +988,7 @@ impl<S: EventStream> Merger<S> {
             && ok_count >= 2
             && dispersion >= self.cfg.resync_threshold_us
         {
-            for c in &group {
+            for c in group.iter() {
                 if c.ev.status != PhyStatus::Ok {
                     continue;
                 }
@@ -919,7 +1002,7 @@ impl<S: EventStream> Merger<S> {
             self.stats.instances_unified += ok_count as u64;
         }
         let instances = group
-            .into_iter()
+            .drain(..)
             .map(|c| Instance {
                 radio: c.ev.radio,
                 ts_local: c.ev.ts_local,
@@ -951,17 +1034,18 @@ fn group_transmitter(g: &[Candidate]) -> Option<MacAddr> {
 fn singleton_jframe(c: &Candidate, channel: Channel) -> JFrame {
     JFrame {
         ts: c.univ,
-        bytes: c.ev.bytes.clone(),
+        // O(1) handle clone, never a byte copy (tidy: payload-no-clone).
+        bytes: c.ev.bytes.handle(),
         wire_len: c.ev.wire_len,
         rate: c.ev.rate,
         channel,
-        instances: vec![Instance {
+        instances: Instances::one(Instance {
             radio: c.ev.radio,
             ts_local: c.ev.ts_local,
             ts_universal: c.univ,
             rssi_dbm: c.ev.rssi_dbm,
             status: c.ev.status,
-        }],
+        }),
         dispersion: 0,
         valid: false,
         unique: false,
@@ -1019,7 +1103,7 @@ mod tests {
             rssi_dbm: -50,
             status,
             wire_len: len,
-            bytes,
+            bytes: bytes.into(),
         }
     }
 

@@ -58,7 +58,7 @@ fn ev(radio: u16, ts: u64, bytes: Vec<u8>) -> PhyEvent {
         rssi_dbm: -55,
         status: PhyStatus::Ok,
         wire_len,
-        bytes,
+        bytes: bytes.into(),
     }
 }
 

@@ -78,7 +78,7 @@ fn ev(radio: u16, ts: u64, bytes: Vec<u8>) -> PhyEvent {
         rssi_dbm: -50,
         status: PhyStatus::Ok,
         wire_len,
-        bytes,
+        bytes: bytes.into(),
     }
 }
 

@@ -785,7 +785,7 @@ mod tests {
             rssi_dbm: -50,
             status: PhyStatus::Ok,
             wire_len: bytes.len() as u32,
-            bytes,
+            bytes: bytes.into(),
         }
     }
 

@@ -288,7 +288,7 @@ mod tests {
             rssi_dbm: -55,
             status: PhyStatus::Ok,
             wire_len: 24,
-            bytes: vec![tag; 24],
+            bytes: vec![tag; 24].into(),
         }
     }
 

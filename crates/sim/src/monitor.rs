@@ -109,7 +109,7 @@ mod tests {
             rssi_dbm: -55,
             status,
             wire_len: 10,
-            bytes: vec![0; 10],
+            bytes: vec![0; 10].into(),
         }
     }
 

@@ -215,7 +215,7 @@ impl World {
                 rssi_dbm,
                 status,
                 wire_len,
-                bytes,
+                bytes: bytes.into(),
             });
             if desc.truth_idx != usize::MAX {
                 if let Some(t) = self.truth.transmissions.get_mut(desc.truth_idx) {

@@ -95,6 +95,9 @@ fn source_rules(rel: &str, toks: &[Tok]) -> Vec<Violation> {
     if rules::no_refcell_scope(rel) {
         out.extend(rules::no_refcell(rel, toks));
     }
+    if rules::payload_no_clone_scope(rel) {
+        out.extend(rules::payload_no_clone(rel, toks));
+    }
     out
 }
 

@@ -34,14 +34,23 @@
 //!   crate's *liveness policy* (stall eviction after `max_lag_us`) may do
 //!   so solely through the `LiveClock` trait defined in that one file —
 //!   what the live merger *emits* stays deterministic.
-//! * `no-unsafe` — no `unsafe` outside the (currently empty)
-//!   [`rules::UNSAFE_ALLOWLIST`]. *Rationale:* everything this tree
+//! * `no-unsafe` — no `unsafe` outside [`rules::UNSAFE_ALLOWLIST`],
+//!   whose one audited entry is the bench harness's counting global
+//!   allocator (`GlobalAlloc` is an `unsafe` trait; every method there
+//!   delegates verbatim to `System`). *Rationale:* everything this tree
 //!   proves is provable in safe Rust; the workspace lint table already
 //!   denies `unsafe_code`, and the rule keeps the guarantee visible in
 //!   the census.
 //! * `no-refcell` — no `RefCell` in `examples/` or the repro bins.
 //!   *Rationale:* the PR 4 `PipelineObserver` trait takes `&mut self`
 //!   precisely so driver code needs no interior-mutability shims.
+//! * `payload-no-clone` — no `.bytes.clone()` / `bytes.to_vec()` in
+//!   `crates/core/src/` or the trace decode-path files. *Rationale:* the
+//!   PR 10 zero-copy payload path decompresses each block once and moves
+//!   only `Payload` *handles* afterwards (`Payload::handle()` is the
+//!   O(1) spelling); a textual byte-copy on the hot path is either a
+//!   performance regression or a misleading name for a refcount bump.
+//!   The rare owned-bytes need (export boundaries) carries a waiver.
 //!
 //! **Cross-artifact rules** (see [`consistency`]):
 //!
@@ -112,11 +121,15 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         name: "no-unsafe",
-        summary: "no unsafe outside the (empty) allowlist",
+        summary: "no unsafe outside the allowlist (sole entry: the counting allocator)",
     },
     Rule {
         name: "no-refcell",
         summary: "no RefCell in examples or repro bins (PipelineObserver takes &mut self)",
+    },
+    Rule {
+        name: "payload-no-clone",
+        summary: "no bytes.clone()/bytes.to_vec() on the zero-copy payload path",
     },
     Rule {
         name: "sweep-coverage",

@@ -38,10 +38,14 @@ pub fn hash_order_scope(rel: &str) -> bool {
         || rel == "crates/sim/src/wired.rs"
 }
 
-/// Allowlist for `unsafe` blocks (rule 4). Currently empty by design: the
-/// workspace also denies `unsafe_code` via lints, and any future exception
-/// must be added here *and* carry a waiver explaining the safety argument.
-pub const UNSAFE_ALLOWLIST: &[&str] = &[];
+/// Allowlist for `unsafe` blocks (rule 4). One audited entry: the bench
+/// harness's counting global allocator — `GlobalAlloc` cannot be
+/// implemented without `unsafe impl`, and every method there delegates
+/// verbatim to `System` (the safety comment in the file carries the full
+/// argument). The workspace also denies `unsafe_code` via lints, so an
+/// allowlisted file additionally needs a scoped `#[allow(unsafe_code)]`;
+/// any future exception must justify itself the same way.
+pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/bench/src/alloc.rs"];
 
 /// Identifiers that legitimately precede `[` without forming an index
 /// expression (patterns, array types after keywords).
@@ -213,6 +217,53 @@ pub fn no_unsafe(rel: &str, tokens: &[Tok]) -> Vec<Violation> {
         .collect()
 }
 
+/// Scope of the `payload-no-clone` rule: the merge hot path
+/// (`crates/core/src/`) plus the trace decode-path files — everywhere a
+/// `Payload` flows between block decode and jframe emission.
+pub fn payload_no_clone_scope(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/") || DECODE_PATH_FILES.contains(&rel)
+}
+
+/// Rule `payload-no-clone`: no `.bytes.clone()` / `bytes.to_vec()` on the
+/// merge hot path or the decode path. The PR 10 zero-copy contract says
+/// payload bytes are decompressed once per block and only *handles* move
+/// after that — `Payload::handle()` is the O(1) spelling; a textual
+/// `.clone()`/`.to_vec()` on a `bytes` binding is either a byte copy (a
+/// regression) or an O(1) clone wearing a byte-copy's name (a trap for
+/// the next editor). Export paths that truly need owned bytes waive with
+/// the justification.
+pub fn payload_no_clone(rel: &str, tokens: &[Tok]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "bytes" {
+            continue;
+        }
+        let (Some(dot), Some(method), Some(paren)) =
+            (tokens.get(i + 1), tokens.get(i + 2), tokens.get(i + 3))
+        else {
+            continue;
+        };
+        if dot.text == "."
+            && method.kind == TokKind::Ident
+            && matches!(method.text.as_str(), "clone" | "to_vec")
+            && paren.text == "("
+        {
+            out.push(Violation {
+                file: rel.into(),
+                line: method.line,
+                rule: "payload-no-clone",
+                message: format!(
+                    "`bytes.{}()` copies payload bytes on the zero-copy path; clone the \
+                     O(1) handle with `.handle()`, or waive with the reason the copy \
+                     must exist",
+                    method.text
+                ),
+            });
+        }
+    }
+    out
+}
+
 /// Rule `no-refcell`: no `RefCell` in the repro binary or the examples —
 /// the PR 4 observer contract. `PipelineObserver` takes `&mut self`, so
 /// shared-mutability shims in driver code signal an API misuse that the
@@ -274,6 +325,29 @@ mod tests {
         assert_eq!(run(wall_clock, "let t = Instant::now();").len(), 1);
         assert!(run(wall_clock, "let t = clock.now();").is_empty());
         assert_eq!(run(wall_clock, "let r = thread_rng();").len(), 1);
+    }
+
+    #[test]
+    fn payload_no_clone_matches_bytes_bindings_only() {
+        let run = |src: &str| {
+            let lexed = lex(src);
+            payload_no_clone("crates/core/src/unify.rs", &strip_cfg_test(&lexed.tokens))
+        };
+        assert_eq!(run("let b = ev.bytes.clone();").len(), 1);
+        assert_eq!(run("let b = bytes.to_vec();").len(), 1);
+        // The O(1) handle spelling and non-bytes receivers never fire.
+        assert!(run("let b = ev.bytes.handle();").is_empty());
+        assert!(run("let m = ev.meta.clone(); let v = buf.to_vec();").is_empty());
+        // Words and strings do not fire; a comment mention does not either.
+        assert!(run("// about bytes.clone() in docs\nlet s = \"bytes.to_vec()\";").is_empty());
+    }
+
+    #[test]
+    fn payload_no_clone_scope_is_core_plus_decode_path() {
+        assert!(payload_no_clone_scope("crates/core/src/unify.rs"));
+        assert!(payload_no_clone_scope("crates/trace/src/format.rs"));
+        assert!(!payload_no_clone_scope("crates/sim/src/world/rx.rs"));
+        assert!(!payload_no_clone_scope("crates/trace/src/pcap.rs"));
     }
 
     #[test]

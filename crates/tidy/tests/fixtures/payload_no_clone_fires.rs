@@ -1,0 +1,7 @@
+//! Firing fixture: byte-copying payload spellings on the hot path.
+
+pub fn copies(ev: &Event, jf: &JFrame) -> (Payload, Vec<u8>) {
+    let a = ev.bytes.clone();
+    let b = jf.bytes.to_vec();
+    (a, b)
+}

@@ -75,6 +75,23 @@ fn no_refcell_fixtures() {
 }
 
 #[test]
+fn payload_no_clone_fixtures() {
+    let rel = "crates/core/src/fixture.rs";
+    assert_fires(rel, "payload_no_clone_fires.rs", "payload-no-clone", 2);
+    assert_clean(rel, "payload_no_clone_clean.rs");
+    // The decode-path files are in scope too...
+    assert_fires(
+        "crates/trace/src/format.rs",
+        "payload_no_clone_fires.rs",
+        "payload-no-clone",
+        2,
+    );
+    // ...but elsewhere (sim, bench, live) owned copies are legitimate.
+    assert_clean("crates/sim/src/world/rx.rs", "payload_no_clone_fires.rs");
+    assert_clean("crates/bench/src/lib.rs", "payload_no_clone_fires.rs");
+}
+
+#[test]
 fn waiver_hygiene_fixtures() {
     let rel = "crates/core/src/fixture.rs";
     assert_fires(rel, "waiver_hygiene_fires.rs", "waiver-hygiene", 3);

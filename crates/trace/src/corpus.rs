@@ -767,7 +767,7 @@ mod tests {
             rssi_dbm: -55,
             status: PhyStatus::Ok,
             wire_len: 60,
-            bytes: vec![fill; 60],
+            bytes: vec![fill; 60].into(),
         }
     }
 

@@ -17,10 +17,12 @@
 
 use crate::compress::{compress, decompress, DecompressError};
 use crate::index::IndexEntry;
+use crate::payload::{empty_block, Payload};
 use crate::varint::{get_ivarint, get_uvarint, put_ivarint, put_uvarint};
 use crate::{MonitorId, PhyEvent, PhyStatus, RadioId, RadioMeta};
 use jigsaw_ieee80211::{Channel, PhyRate};
 use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::sync::Arc;
 
 /// File magic.
 pub const MAGIC: [u8; 4] = *b"JIGT";
@@ -193,11 +195,15 @@ impl<W: Write> TraceWriter<W> {
 }
 
 /// Streaming reader for one radio's trace.
+///
+/// Each block is decompressed once into a shared `Arc<[u8]>` buffer;
+/// every event decoded from it carries a [`Payload`] range handle into
+/// that buffer — zero per-event payload allocation on the decode path.
 pub struct TraceReader<R: Read> {
     source: R,
     meta: RadioMeta,
     snaplen: u32,
-    block: Vec<u8>,
+    block: Arc<[u8]>,
     pos: usize,
     remaining_in_block: u32,
     ts: u64,
@@ -233,7 +239,7 @@ impl<R: Read> TraceReader<R> {
                 anchor_local_us,
             },
             snaplen,
-            block: Vec::new(),
+            block: empty_block(),
             pos: 0,
             remaining_in_block: 0,
             ts: 0,
@@ -271,7 +277,7 @@ impl<R: Read> TraceReader<R> {
         }
         let mut comp = vec![0u8; comp_len];
         self.source.read_exact(&mut comp)?;
-        self.block = decompress(&comp, raw_len)?;
+        self.block = decompress(&comp, raw_len)?.into();
         if self.block.len() != raw_len {
             return Err(FormatError::BadRecord("raw length mismatch"));
         }
@@ -318,14 +324,19 @@ impl<R: Read> TraceReader<R> {
         used += n;
         let (cap_len, n) = get_uvarint(at(used)?).ok_or(FormatError::BadRecord("cap_len"))?;
         used += n;
-        let end = usize::try_from(cap_len)
-            .ok()
-            .and_then(|c| used.checked_add(c))
+        let cap = usize::try_from(cap_len).map_err(|_| FormatError::BadRecord("bytes"))?;
+        let end = used
+            .checked_add(cap)
             .ok_or(FormatError::BadRecord("bytes"))?;
-        let bytes = buf
-            .get(used..end)
-            .ok_or(FormatError::BadRecord("bytes"))?
-            .to_vec();
+        // The payload is a range handle into the shared block, not a copy;
+        // `Payload::shared` validates `start + cap` against the block, which
+        // subsumes the old `buf.get(used..end)` bounds check.
+        let start = self
+            .pos
+            .checked_add(used)
+            .ok_or(FormatError::BadRecord("bytes"))?;
+        let bytes = Payload::shared(Arc::clone(&self.block), start, cap)
+            .ok_or(FormatError::BadRecord("bytes"))?;
         used = end;
 
         // The first record of a block carries dts = 0 relative to first_ts;
@@ -358,7 +369,7 @@ impl<R: Read + Seek> TraceReader<R> {
     /// [`TraceReader::next_event`] decodes the target block from scratch.
     pub fn seek_to_block(&mut self, offset: u64) -> Result<(), FormatError> {
         self.source.seek(SeekFrom::Start(offset))?;
-        self.block.clear();
+        self.block = empty_block();
         self.pos = 0;
         self.remaining_in_block = 0;
         self.ts = 0;
@@ -400,7 +411,7 @@ mod tests {
             rssi_dbm: -62,
             status: PhyStatus::Ok,
             wire_len: body.len() as u32,
-            bytes: body.to_vec(),
+            bytes: body.into(),
         }
     }
 

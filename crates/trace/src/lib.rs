@@ -12,6 +12,11 @@
 //! * [`PhyEvent`] — one reception at one radio: local timestamp, channel,
 //!   PLCP rate, RSSI, FCS/PHY status, true wire length, and captured bytes
 //!   (possibly snap-truncated, like jigdump's ~200-byte window);
+//! * [`Payload`] — the captured bytes themselves: a zero-copy range handle
+//!   into the shared decompressed block the event was decoded from (or a
+//!   small owned buffer for constructed events), cloned in O(1) by
+//!   [`Payload::handle`] so decode → merge → jframe never copies payload
+//!   bytes;
 //! * [`mod@format`] — a compact binary trace format: delta/varint encoded
 //!   records in independently decodable compressed blocks;
 //! * [`compress`] — an LZ77-family codec implemented in-repo (stand-in for
@@ -67,10 +72,13 @@ pub mod corpus;
 pub mod digest;
 pub mod format;
 pub mod index;
+pub mod payload;
 pub mod pcap;
 pub mod stream;
 pub mod tail;
 pub mod varint;
+
+pub use payload::Payload;
 
 use jigsaw_ieee80211::{Channel, Micros, PhyRate};
 
@@ -263,7 +271,9 @@ pub struct PhyEvent {
     /// known even when the body is corrupt; 0 for pure PHY errors).
     pub wire_len: u32,
     /// Captured bytes (≤ snap length; equal to `wire_len` when complete).
-    pub bytes: Vec<u8>,
+    /// A [`Payload`]: a zero-copy handle into the decoded block when the
+    /// event came off disk, an inline buffer when generated in memory.
+    pub bytes: Payload,
 }
 
 impl PhyEvent {
@@ -295,11 +305,11 @@ mod tests {
             rssi_dbm: -60,
             status: PhyStatus::Ok,
             wire_len: 4,
-            bytes: vec![1, 2, 3, 4],
+            bytes: vec![1, 2, 3, 4].into(),
         };
         assert!(ev.is_complete());
         let mut snapped = ev.clone();
-        snapped.bytes.truncate(2);
+        snapped.bytes = vec![1, 2].into();
         assert!(!snapped.is_complete());
     }
 

@@ -1,0 +1,265 @@
+//! Shared-block payload handles: the zero-copy capture-byte path.
+//!
+//! Block decode ([`crate::format::TraceReader`]) decompresses a block
+//! *once* into a reference-counted buffer and hands every event a
+//! [`Payload`] — a `(block, offset, len)` range handle — instead of an
+//! owned `Vec<u8>` copied out per record. Everything downstream (merger
+//! candidate buffers, jframe representatives, link-layer attempts) clones
+//! the handle, never the bytes.
+//!
+//! # Aliasing and lifetime invariant
+//!
+//! A shared handle keeps its whole decoded block alive through an
+//! [`Arc`]: blocks strictly outlive every handle cut from them, handles
+//! are immutable views, and dropping the last handle frees the block.
+//! Consumers read bytes only through `Deref<Target = [u8]>`, so digests,
+//! frame parsing, and the on-disk format see exactly the bytes an owned
+//! buffer would hold — the byte-identity contracts (serial ≡ sharded,
+//! live ≡ batch, golden corpus digests, [`stable_digest`]) are unchanged
+//! by construction. Memory stays bounded because the merger's residency
+//! is search-window-bounded: a pinned block is released as soon as the
+//! last in-window event referencing it is emitted.
+//!
+//! [`stable_digest`]: https://docs.rs/jigsaw_core
+//!
+//! Inline payloads cover the producers that never had a decoded block to
+//! share: simulator-generated events and channel-fed live events. They
+//! are `Arc`-backed too, so *every* clone of a payload — inline or
+//! shared — is O(1).
+
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
+
+/// The canonical empty block, allocated once per process so empty
+/// payloads (pure PHY errors capture no bytes) never hit the allocator.
+pub(crate) fn empty_block() -> Arc<[u8]> {
+    static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from(&[][..])).clone()
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// A self-contained buffer (simulator or channel-fed events).
+    Inline(Arc<[u8]>),
+    /// A range into a shared decoded block; `start..start + len` is
+    /// validated against the block at construction.
+    Shared {
+        block: Arc<[u8]>,
+        start: u32,
+        len: u32,
+    },
+}
+
+/// Captured frame bytes: either an inline buffer or a cheap handle into
+/// a shared decoded block. See the module docs for the aliasing and
+/// lifetime invariant. Clone is always O(1) (a refcount bump); equality
+/// and hashing are by byte content, so two payloads with identical bytes
+/// compare equal regardless of representation.
+#[derive(Clone)]
+pub struct Payload(Repr);
+
+impl Payload {
+    /// An empty payload (no allocation).
+    pub fn empty() -> Self {
+        Payload(Repr::Inline(empty_block()))
+    }
+
+    /// A range handle into `block`. `None` when `start + len` overruns
+    /// the block or exceeds the format's `u32` range — the caller (the
+    /// decode path) turns that into a decode error, never a panic.
+    pub fn shared(block: Arc<[u8]>, start: usize, len: usize) -> Option<Self> {
+        let end = start.checked_add(len)?;
+        if end > block.len() {
+            return None;
+        }
+        let (start, len) = (u32::try_from(start).ok()?, u32::try_from(len).ok()?);
+        Some(Payload(Repr::Shared { block, start, len }))
+    }
+
+    /// An O(1) copy of this handle — the spelling the hot path uses so
+    /// the `payload-no-clone` tidy rule can deny the textual
+    /// `.bytes.clone()` / `bytes.to_vec()` byte-copy patterns outright.
+    pub fn handle(&self) -> Self {
+        self.clone()
+    }
+
+    /// The payload bytes. Construction validates every range, so this is
+    /// panic-free by `get` (an impossible out-of-range reads as empty).
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Inline(buf) => buf,
+            Repr::Shared { block, start, len } => {
+                let (start, len) = (*start as usize, *len as usize);
+                start
+                    .checked_add(len)
+                    .and_then(|end| block.get(start..end))
+                    .unwrap_or(&[])
+            }
+        }
+    }
+
+    /// True when this payload is a range handle into a shared block
+    /// (i.e. the zero-copy decode path produced it).
+    pub fn is_shared(&self) -> bool {
+        matches!(self.0, Repr::Shared { .. })
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Repr::Inline(buf) => buf.len(),
+            Repr::Shared { len, .. } => *len as usize,
+        }
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the bytes into an owned `Vec` (export paths only — the
+    /// pipeline itself never needs this).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::empty()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Payload {}
+
+impl std::hash::Hash for Payload {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Bytes only, like the Vec<u8> this type replaced — the backing
+        // representation is an implementation detail.
+        std::fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        if v.is_empty() {
+            return Payload::empty();
+        }
+        Payload(Repr::Inline(v.into()))
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        if v.is_empty() {
+            return Payload::empty();
+        }
+        Payload(Repr::Inline(Arc::from(v)))
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Payload {
+    fn from(v: [u8; N]) -> Self {
+        Payload::from(&v[..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_roundtrip_and_equality() {
+        let p: Payload = vec![1u8, 2, 3].into();
+        assert_eq!(&*p, &[1, 2, 3]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert!(!p.is_shared());
+        assert_eq!(p.to_vec(), vec![1, 2, 3]);
+        let q: Payload = (&[1u8, 2, 3][..]).into();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn shared_is_a_validated_range() {
+        let block: Arc<[u8]> = Arc::from(&[10u8, 11, 12, 13, 14][..]);
+        let p = Payload::shared(Arc::clone(&block), 1, 3).unwrap();
+        assert!(p.is_shared());
+        assert_eq!(&*p, &[11, 12, 13]);
+        // Shared and inline with the same bytes compare equal.
+        assert_eq!(p, Payload::from(vec![11, 12, 13]));
+        // Out-of-range construction is rejected, not deferred to a panic.
+        assert!(Payload::shared(Arc::clone(&block), 3, 3).is_none());
+        assert!(Payload::shared(Arc::clone(&block), 6, 0).is_none());
+        assert!(Payload::shared(block, usize::MAX, 1).is_none());
+    }
+
+    #[test]
+    fn handles_keep_the_block_alive() {
+        let block: Arc<[u8]> = Arc::from(&[7u8; 64][..]);
+        let p = Payload::shared(Arc::clone(&block), 8, 8).unwrap();
+        let h = p.handle();
+        drop(block);
+        drop(p);
+        // The last handle still reads valid bytes.
+        assert_eq!(&*h, &[7u8; 8]);
+    }
+
+    #[test]
+    fn empty_payloads_share_one_block() {
+        let a = Payload::empty();
+        let b = Payload::default();
+        let c: Payload = Vec::new().into();
+        assert!(a.is_empty() && b.is_empty() && c.is_empty());
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn hash_matches_content_not_representation() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash_of = |p: &Payload| {
+            let mut h = DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
+        let block: Arc<[u8]> = Arc::from(&[1u8, 2, 3, 4][..]);
+        let shared = Payload::shared(block, 1, 2).unwrap();
+        let inline: Payload = vec![2u8, 3].into();
+        assert_eq!(hash_of(&shared), hash_of(&inline));
+    }
+
+    #[test]
+    fn debug_prints_bytes_like_a_vec() {
+        let p: Payload = vec![1u8, 2].into();
+        assert_eq!(format!("{p:?}"), "[1, 2]");
+    }
+}

@@ -72,7 +72,7 @@ impl<W: Write> PcapWriter<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{PhyStatus, RadioId};
+    use crate::{Payload, PhyStatus, RadioId};
     use jigsaw_ieee80211::{Channel, PhyRate};
 
     #[test]
@@ -106,7 +106,7 @@ mod tests {
             rssi_dbm: -90,
             status: PhyStatus::PhyError,
             wire_len: 0,
-            bytes: vec![],
+            bytes: Payload::empty(),
         };
         assert!(!w.write_event(&ev).unwrap());
         assert_eq!(w.frames(), 0);

@@ -260,7 +260,7 @@ mod tests {
             rssi_dbm: -70,
             status: PhyStatus::Ok,
             wire_len: 3,
-            bytes: vec![1, 2, 3],
+            bytes: vec![1, 2, 3].into(),
         }
     }
 

@@ -294,7 +294,7 @@ mod tests {
             rssi_dbm: -48,
             status: PhyStatus::Ok,
             wire_len: body.len() as u32,
-            bytes: body.to_vec(),
+            bytes: body.into(),
         }
     }
 

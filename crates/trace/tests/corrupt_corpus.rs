@@ -32,7 +32,7 @@ fn ev(ts: u64, fill: u8) -> PhyEvent {
         rssi_dbm: -55,
         status: PhyStatus::Ok,
         wire_len: 60,
-        bytes: vec![fill; 60],
+        bytes: vec![fill; 60].into(),
     }
 }
 

@@ -1,0 +1,155 @@
+//! Shared-payload decode ≡ owned decode, event for event.
+//!
+//! PR 10 replaced the per-record `Vec<u8>` copy in block decode with
+//! [`Payload`] range handles into the shared decompressed block. The
+//! contract this file pins: the *bytes an event carries are exactly the
+//! bytes the old owned decode produced* — same `ts_local`, same
+//! `wire_len`, same payload content, for every event, over arbitrary
+//! block targets — and the decode path really is the zero-copy one
+//! (handles into shared blocks, not inline copies). The owned reference
+//! is reconstructed the way the old reader did it: copy each record's
+//! bytes out the moment it is decoded.
+
+use jigsaw_ieee80211::{Channel, PhyRate};
+use jigsaw_trace::format::{TraceReader, TraceWriter};
+use jigsaw_trace::{MonitorId, PhyEvent, PhyStatus, RadioId, RadioMeta};
+use proptest::prelude::*;
+
+fn meta() -> RadioMeta {
+    RadioMeta {
+        radio: RadioId(3),
+        monitor: MonitorId(1),
+        channel: Channel::of(11),
+        anchor_wall_us: 5_000_000,
+        anchor_local_us: 123_456_789,
+    }
+}
+
+fn ev(ts: u64, status: PhyStatus, body: &[u8]) -> PhyEvent {
+    PhyEvent {
+        radio: RadioId(3),
+        ts_local: ts,
+        channel: Channel::of(11),
+        rate: PhyRate::R11,
+        rssi_dbm: -58,
+        status,
+        wire_len: body.len() as u32,
+        bytes: body.into(),
+    }
+}
+
+/// The old decode, reconstructed: every record's payload copied into an
+/// owned buffer as soon as it is decoded, nothing shared.
+fn owned_decode(buf: &[u8]) -> Vec<(u64, u32, Vec<u8>)> {
+    TraceReader::open(buf)
+        .expect("open")
+        .map(|r| {
+            let e = r.expect("decode");
+            (e.ts_local, e.wire_len, e.bytes.to_vec())
+        })
+        .collect()
+}
+
+proptest! {
+    /// Shared-payload decode produces the same (ts, len, bytes) stream as
+    /// the owned reference, and its non-empty payloads are block handles.
+    #[test]
+    fn shared_decode_equals_owned_decode(
+        deltas in proptest::collection::vec(0u64..50_000, 1..250),
+        statuses in proptest::collection::vec(0u8..3, 1..250),
+        pattern in 0u8..255,
+        body_len in 0usize..220,
+        block_target in 64usize..8_192,
+        snaplen in 64u32..512,
+    ) {
+        let mut ts = 0u64;
+        let events: Vec<PhyEvent> = deltas
+            .iter()
+            .zip(statuses.iter().cycle())
+            .enumerate()
+            .map(|(i, (d, &s))| {
+                ts += d;
+                let status = match s {
+                    0 => PhyStatus::Ok,
+                    1 => PhyStatus::FcsError,
+                    _ => PhyStatus::PhyError,
+                };
+                // Repetitive-ish bodies so the LZ codec emits real match
+                // tokens; vary the length so records straddle blocks.
+                let len = (body_len + i * 7) % 221;
+                let body: Vec<u8> = (0..len).map(|j| pattern ^ (j as u8)).collect();
+                ev(ts, status, &body)
+            })
+            .collect();
+
+        let mut w = TraceWriter::with_block_target(Vec::new(), meta(), snaplen, block_target)
+            .expect("create");
+        for e in &events {
+            w.append(e).expect("append");
+        }
+        let (buf, _index, total) = w.finish().expect("finish");
+        prop_assert_eq!(total, events.len() as u64);
+
+        // The owned reference stream (what the old decode returned).
+        let owned = owned_decode(&buf);
+        prop_assert_eq!(owned.len(), events.len());
+
+        // The shared-payload stream must match it event for event — and
+        // actually be shared: every non-empty payload is a range handle
+        // into a decoded block, never a fresh copy.
+        let reader = TraceReader::open(&buf[..]).expect("open");
+        let mut n = 0usize;
+        for (got, want) in reader.zip(owned.iter()) {
+            let got = got.expect("decode");
+            prop_assert_eq!(got.ts_local, want.0);
+            prop_assert_eq!(got.wire_len, want.1);
+            prop_assert_eq!(&*got.bytes, &want.2[..]);
+            // Snaplen applies on write; the decoded body can't exceed it.
+            prop_assert!(got.bytes.len() <= snaplen as usize);
+            if !got.bytes.is_empty() {
+                prop_assert!(
+                    got.bytes.is_shared(),
+                    "decode produced an inline copy for a {}-byte payload",
+                    got.bytes.len()
+                );
+            }
+            n += 1;
+        }
+        prop_assert_eq!(n, events.len());
+    }
+
+    /// Handles outlive the reader and the block they were cut from: the
+    /// aliasing/lifetime invariant the `Payload` rustdoc promises. Collect
+    /// every event, drop the reader, then read all payloads back.
+    #[test]
+    fn handles_outlive_the_reader(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..128), 1..60),
+        block_target in 64usize..2_048,
+    ) {
+        let mut w = TraceWriter::with_block_target(Vec::new(), meta(), 512, block_target)
+            .expect("create");
+        let mut ts = 0u64;
+        let events: Vec<PhyEvent> = bodies
+            .iter()
+            .map(|b| {
+                ts += 100;
+                ev(ts, PhyStatus::Ok, b)
+            })
+            .collect();
+        for e in &events {
+            w.append(e).expect("append");
+        }
+        let (buf, _, _) = w.finish().expect("finish");
+
+        let decoded: Vec<PhyEvent> = TraceReader::open(&buf[..])
+            .expect("open")
+            .map(|r| r.expect("decode"))
+            .collect();
+        // Reader (and its current-block handle) dropped here; the events'
+        // Arcs keep every referenced block alive.
+        for (got, want) in decoded.iter().zip(events.iter()) {
+            prop_assert_eq!(&*got.bytes, &*want.bytes);
+        }
+    }
+}
